@@ -1,0 +1,47 @@
+//! B9 — micro-adaptive bandit selection overhead and convergence.
+
+use adaptvm_dsl::ast::ScalarOp;
+use adaptvm_kernels::{filter_cmp, FilterFlavor, Operand};
+use adaptvm_storage::gen;
+use adaptvm_storage::scalar::Scalar;
+use adaptvm_vm::adaptive::{BanditPolicy, FlavorPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+fn bench(c: &mut Criterion) {
+    let n = 64 * 1024;
+    let data = gen::signed_with_selectivity(n, 0.3, 5);
+    let mut g = c.benchmark_group("bandit");
+    g.sample_size(20);
+    g.bench_function("fixed_selvec", |b| {
+        b.iter(|| {
+            filter_cmp(
+                ScalarOp::Gt,
+                &[Operand::Col(&data), Operand::Const(Scalar::I64(0))],
+                None,
+                FilterFlavor::SelVecLoop,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("bandit_driven", |b| {
+        let mut policy = BanditPolicy::epsilon_greedy(0.1, 9);
+        b.iter(|| {
+            let flavor = policy.filter_flavor("bench");
+            let t0 = Instant::now();
+            let sel = filter_cmp(
+                ScalarOp::Gt,
+                &[Operand::Col(&data), Operand::Const(Scalar::I64(0))],
+                None,
+                flavor,
+            )
+            .unwrap();
+            policy.feedback_filter("bench", flavor, t0.elapsed().as_nanos() as u64, n);
+            sel
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

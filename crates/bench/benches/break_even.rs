@@ -1,0 +1,38 @@
+//! B5 — compile-or-interpret break-even through the VM.
+
+use adaptvm_dsl::programs;
+use adaptvm_jit::compiler::CostModel;
+use adaptvm_storage::Array;
+use adaptvm_vm::{Buffers, Strategy, Vm, VmConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("break_even");
+    g.sample_size(10);
+    for chunks in [10usize, 1000] {
+        let n = chunks * 1024;
+        let data: Vec<i64> = (0..n as i64).map(|i| i % 1000).collect();
+        for (name, strategy) in [
+            ("interpret", Strategy::Interpret),
+            ("jit", Strategy::CompiledPipeline),
+            ("adaptive", Strategy::Adaptive),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, chunks), &data, |b, data| {
+                b.iter(|| {
+                    let config = VmConfig {
+                        strategy,
+                        cost_model: CostModel::default(),
+                        ..VmConfig::default()
+                    };
+                    let vm = Vm::new(config);
+                    let buffers = Buffers::new().with_input("xs", Array::from(data.clone()));
+                    vm.run(&programs::map_chain(n as i64), buffers).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! B4 — scan strategies over per-block compressed columns.
+
+use adaptvm_relational::compressed_exec::{sum_where_gt, ScanStrategy};
+use adaptvm_storage::block::{Block, BlockColumn};
+use adaptvm_storage::compress::Scheme;
+use adaptvm_storage::gen;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn column() -> BlockColumn {
+    let mut col = BlockColumn::new();
+    for b in 0..128usize {
+        let (data, scheme) = match b % 4 {
+            0 => (gen::runs_i64(4096, 64, b as u64), Scheme::Rle),
+            1 => (gen::categorical_i64(4096, 5, b as u64), Scheme::Dict),
+            2 => (gen::uniform_i64(4096, 1000, 1255, b as u64), Scheme::ForPack),
+            _ => (gen::uniform_i64(4096, -1_000_000, 1_000_000, b as u64), Scheme::Plain),
+        };
+        col.push_block(Block::compress(&data, scheme).unwrap());
+    }
+    col
+}
+
+fn bench(c: &mut Criterion) {
+    let col = column();
+    let mut g = c.benchmark_group("compression");
+    g.throughput(Throughput::Elements(col.rows() as u64));
+    for (name, strategy) in [
+        ("decompress", ScanStrategy::Decompress),
+        ("compressed", ScanStrategy::Compressed),
+        ("adaptive", ScanStrategy::Adaptive),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| sum_where_gt(&col, 500, strategy).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! B7 — deforestation: unfused interpretation vs fused traces.
+
+use adaptvm_dsl::programs;
+use adaptvm_dsl::transform::fuse_program;
+use adaptvm_storage::Array;
+use adaptvm_vm::{Buffers, Strategy, Vm, VmConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let n: usize = 1 << 20;
+    let data: Vec<i64> = (0..n as i64).collect();
+    let program = programs::map_chain(n as i64);
+    let fused = fuse_program(&program);
+    let mut g = c.benchmark_group("fusion");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("unfused_interpret", |b| {
+        b.iter(|| {
+            let vm = Vm::new(VmConfig {
+                strategy: Strategy::Interpret,
+                ..VmConfig::default()
+            });
+            let buffers = Buffers::new().with_input("xs", Array::from(data.clone()));
+            vm.run(&program, buffers).unwrap()
+        })
+    });
+    g.bench_function("fused_compiled", |b| {
+        b.iter(|| {
+            let vm = Vm::new(VmConfig {
+                strategy: Strategy::CompiledPipeline,
+                ..VmConfig::default()
+            });
+            let buffers = Buffers::new().with_input("xs", Array::from(data.clone()));
+            vm.run(&fused, buffers).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! B6 — device placement: virtual-cost pricing and sharded host execution.
+
+use adaptvm_dsl::programs;
+use adaptvm_hetsim::cost::price;
+use adaptvm_hetsim::device::DeviceSpec;
+use adaptvm_hetsim::exec::run_trace_on;
+use adaptvm_jit::compiler::{compile, CostModel};
+use adaptvm_jit::pipeline::whole_pipeline_fragment;
+use adaptvm_storage::Array;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heterogeneous");
+    g.sample_size(20);
+    // Pricing is nanosecond-scale; benchmark the decision itself.
+    g.bench_function("price_three_devices", |b| {
+        let devices = [
+            DeviceSpec::cpu(),
+            DeviceSpec::integrated_gpu(),
+            DeviceSpec::discrete_gpu(),
+        ];
+        b.iter(|| {
+            devices
+                .iter()
+                .map(|d| price(d, 1 << 20, 64, 8 << 20, 8 << 20).total_ns())
+                .min()
+        })
+    });
+    // Actual device-run (host execution + virtual accounting).
+    let frag = whole_pipeline_fragment(&programs::map_chain(i64::MAX), &HashMap::new()).unwrap();
+    let trace = compile(frag, &CostModel::untimed());
+    let data = Array::from((0..(1 << 18) as i64).collect::<Vec<_>>());
+    for d in [DeviceSpec::cpu(), DeviceSpec::discrete_gpu()] {
+        g.bench_with_input(BenchmarkId::new("run_on", d.name.clone()), &d, |b, d| {
+            b.iter(|| run_trace_on(d, &trace, &[&data], None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

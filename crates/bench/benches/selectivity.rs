@@ -1,0 +1,38 @@
+//! B2 — filter flavor × selectivity.
+
+use adaptvm_dsl::ast::ScalarOp;
+use adaptvm_kernels::{filter_cmp, FilterFlavor, Operand};
+use adaptvm_storage::gen;
+use adaptvm_storage::scalar::Scalar;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let n = 256 * 1024;
+    let mut g = c.benchmark_group("selectivity");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+    for sel in [0.01, 0.5, 0.99] {
+        let data = gen::signed_with_selectivity(n, sel, 7);
+        for flavor in FilterFlavor::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(flavor.name(), sel),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        filter_cmp(
+                            ScalarOp::Gt,
+                            &[Operand::Col(data), Operand::Const(Scalar::I64(0))],
+                            None,
+                            flavor,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! T1 — Table I skeleton kernel throughput.
+
+use adaptvm_dsl::ast::{FoldFn, MergeKind, ScalarOp};
+use adaptvm_kernels::*;
+use adaptvm_storage::scalar::Scalar;
+use adaptvm_storage::Array;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let n = 64 * 1024;
+    let a = Array::from((0..n as i64).collect::<Vec<_>>());
+    let b = Array::from((0..n as i64).rev().collect::<Vec<_>>());
+    let sorted = Array::from((0..n as i64).collect::<Vec<_>>());
+    let mut g = c.benchmark_group("skeletons");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("map_add_i64", |bch| {
+        bch.iter(|| map_apply(ScalarOp::Add, &[Operand::Col(&a), Operand::Col(&b)], None, MapMode::Full).unwrap())
+    });
+    g.bench_function("map_mul_const_i64", |bch| {
+        bch.iter(|| map_apply(ScalarOp::Mul, &[Operand::Col(&a), Operand::Const(Scalar::I64(3))], None, MapMode::Full).unwrap())
+    });
+    g.bench_function("filter_gt_selvec", |bch| {
+        bch.iter(|| filter_cmp(ScalarOp::Gt, &[Operand::Col(&a), Operand::Const(Scalar::I64(n as i64 / 2))], None, FilterFlavor::SelVecLoop).unwrap())
+    });
+    g.bench_function("fold_sum_i64", |bch| {
+        bch.iter(|| fold_apply(FoldFn::Sum, &Scalar::I64(0), &a, None).unwrap())
+    });
+    g.bench_function("gather", |bch| {
+        let idx = Array::from((0..n as i64).map(|i| (i * 7) % n as i64).collect::<Vec<_>>());
+        bch.iter(|| movement::gather(&a, &idx).unwrap())
+    });
+    g.bench_function("merge_union", |bch| {
+        bch.iter(|| merge::merge_apply(MergeKind::Union, &sorted, &sorted).unwrap())
+    });
+    g.bench_function("gen_condense", |bch| {
+        let sel = adaptvm_storage::sel::SelVec::new((0..n as u32).step_by(3).collect());
+        bch.iter(|| movement::condense(&a, Some(&sel)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

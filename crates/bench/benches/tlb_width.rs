@@ -1,0 +1,40 @@
+//! B8 — partitioning with different TLB-width (max_io) budgets.
+
+use adaptvm_dsl::depgraph::DepGraph;
+use adaptvm_dsl::normalize::normalize_program;
+use adaptvm_dsl::parser::parse_program;
+use adaptvm_dsl::partition::{partition, PartitionConfig};
+use adaptvm_dsl::programs::loop_body;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn wide_program(lanes: usize) -> adaptvm_dsl::ast::Program {
+    let mut src = String::from("mut i\ni := 0\nloop {\n  let x = read i xs in {\n");
+    let mut closes = 1;
+    for k in 0..lanes {
+        src.push_str(&format!("let y{k} = map (\\v -> v * 2 + {k}) x in {{\n"));
+        src.push_str(&format!("write out{k} i y{k}\n"));
+        closes += 1;
+    }
+    src.push_str("i := i + len(x)\n");
+    for _ in 0..closes {
+        src.push('}');
+    }
+    src.push_str("\nif i >= 4096 then { break }\n}");
+    parse_program(&src).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let program = normalize_program(&wide_program(12));
+    let body = loop_body(&program).unwrap();
+    let g_ = DepGraph::from_stmts(body);
+    let mut grp = c.benchmark_group("tlb_width");
+    for max_io in [2usize, 8, 32] {
+        grp.bench_with_input(BenchmarkId::new("partition", max_io), &max_io, |b, &m| {
+            b.iter(|| partition(&g_, &PartitionConfig::with_max_io(m)))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! B1 — TPC-H Q1 engine styles and Q6 through the VM.
+
+use adaptvm_bench::experiments;
+use adaptvm_relational::tpch;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let table = tpch::lineitem(500_000, 42);
+    let mut g = c.benchmark_group("tpch_q1");
+    g.sample_size(10);
+    g.bench_function("q1_vectorized", |b| b.iter(|| tpch::q1_vectorized(&table, 1024)));
+    g.bench_function("q1_fused", |b| b.iter(|| tpch::q1_fused(&table)));
+    let compact = tpch::CompactLineitem::from_table(&table);
+    g.bench_function("q1_adaptive", |b| b.iter(|| tpch::q1_adaptive(&compact, 1024)));
+    g.finish();
+
+    let mut g = c.benchmark_group("tpch_q6");
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("interpret", adaptvm_vm::Strategy::Interpret),
+        ("compiled", adaptvm_vm::Strategy::CompiledPipeline),
+        ("adaptive", adaptvm_vm::Strategy::Adaptive),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let config = adaptvm_vm::VmConfig {
+                    strategy,
+                    ..adaptvm_vm::VmConfig::default()
+                };
+                let vm = adaptvm_vm::Vm::new(config);
+                let program = tpch::q6_program(table.rows() as i64, 1000);
+                vm.run(&program, tpch::q6_buffers(&table)).unwrap()
+            })
+        });
+    }
+    g.finish();
+    let _ = experiments::time_ms(1, || {});
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! The experiment harness: regenerates every paper artifact and derived
+//! experiment from DESIGN.md §6.
+//!
+//! ```sh
+//! cargo run --release -p adaptvm-bench --bin experiments          # all
+//! cargo run --release -p adaptvm-bench --bin experiments -- b2   # one
+//! ```
+
+use adaptvm_bench::experiments as exp;
+
+fn section(id: &str, title: &str, rows: Vec<String>) {
+    println!("\n=== {id}: {title} ===");
+    for r in rows {
+        println!("{r}");
+    }
+}
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1).map(|s| s.to_lowercase());
+    let want = |id: &str| filter.as_deref().is_none_or(|f| f == id);
+
+    if want("t1") {
+        section("T1", "Table I skeleton/kernel conformance", exp::exp_t1());
+    }
+    if want("f1") {
+        section("F1", "Fig. 1 state machine trace", exp::exp_f1());
+    }
+    if want("f2") {
+        section("F2", "Fig. 2 across execution strategies", exp::exp_f2());
+    }
+    if want("f3") {
+        section("F3", "Fig. 3 greedy partitioning", exp::exp_f3());
+    }
+    if want("b1") {
+        section("B1", "TPC-H Q1/Q6 strategy comparison", exp::exp_b1(2_000_000));
+    }
+    if want("b2") {
+        section("B2", "filter-flavor selectivity sweep", exp::exp_b2(1 << 20));
+    }
+    if want("b3") {
+        section("B3", "adaptive join reordering", exp::exp_b3());
+    }
+    if want("b4") {
+        section("B4", "compressed execution under scheme changes", exp::exp_b4(256, 4096));
+    }
+    if want("b5") {
+        section("B5", "compile-or-interpret break-even", exp::exp_b5());
+    }
+    if want("b6") {
+        section("B6", "heterogeneous placement crossover", exp::exp_b6());
+    }
+    if want("b7") {
+        section("B7", "deforestation / fusion ablation", exp::exp_b7(1 << 21));
+    }
+    if want("b8") {
+        section("B8", "TLB-width partitioning heuristic", exp::exp_b8());
+    }
+    if want("b9") {
+        section("B9", "micro-adaptive bandit regret", exp::exp_b9());
+    }
+}

@@ -1,0 +1,8 @@
+//! Shared experiment implementations.
+//!
+//! Each `exp_*` function runs one experiment from DESIGN.md §6 and returns
+//! printable rows; the `experiments` binary prints them (regenerating the
+//! numbers in EXPERIMENTS.md) and the Criterion benches time the same code
+//! paths.
+
+pub mod experiments;

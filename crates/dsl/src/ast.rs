@@ -1,0 +1,772 @@
+//! Abstract syntax of the DSL.
+//!
+//! The design follows §II: data-parallel *skeletons* over arrays (Table I),
+//! scalar expressions with named operations usable inside lambdas, control
+//! flow (infinite loop, break, if-then-else), mutable variables, `let … in`
+//! bindings for sharing intermediates, and named function definitions.
+
+use adaptvm_storage::scalar::{Scalar, ScalarType};
+
+/// Scalar operations usable inside lambdas (and for loop control).
+///
+/// These are the "simpler operations" normalization breaks complex lambdas
+/// into (§III-A) — each has a pre-compiled vectorized kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division on integers).
+    Div,
+    /// Remainder.
+    Rem,
+    /// Square root (promotes to f64).
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Negation.
+    Neg,
+    /// Binary minimum.
+    Min,
+    /// Binary maximum.
+    Max,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+    /// Logical not.
+    Not,
+    /// 64-bit hash (multiplicative).
+    Hash,
+    /// Cast to a target type.
+    Cast(ScalarType),
+    /// String length (a "non-trivial string operation" per §III-B — excluded
+    /// from JIT fragments by the partitioner's default heuristics).
+    StrLen,
+    /// String concatenation (also excluded from fragments by default).
+    Concat,
+}
+
+impl ScalarOp {
+    /// Number of operands.
+    pub fn arity(self) -> usize {
+        match self {
+            ScalarOp::Sqrt
+            | ScalarOp::Abs
+            | ScalarOp::Neg
+            | ScalarOp::Not
+            | ScalarOp::Hash
+            | ScalarOp::Cast(_)
+            | ScalarOp::StrLen => 1,
+            _ => 2,
+        }
+    }
+
+    /// True for comparison operators (result type `bool`).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            ScalarOp::Eq | ScalarOp::Ne | ScalarOp::Lt | ScalarOp::Le | ScalarOp::Gt | ScalarOp::Ge
+        )
+    }
+
+    /// True for the string operations the §III-B heuristics exclude from
+    /// compiled fragments ("they hinder vectorization").
+    pub fn is_string_op(self) -> bool {
+        matches!(self, ScalarOp::StrLen | ScalarOp::Concat)
+    }
+
+    /// Stable lowercase name, used by the printer and kernel lookup.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarOp::Add => "add",
+            ScalarOp::Sub => "sub",
+            ScalarOp::Mul => "mul",
+            ScalarOp::Div => "div",
+            ScalarOp::Rem => "rem",
+            ScalarOp::Sqrt => "sqrt",
+            ScalarOp::Abs => "abs",
+            ScalarOp::Neg => "neg",
+            ScalarOp::Min => "min",
+            ScalarOp::Max => "max",
+            ScalarOp::Eq => "eq",
+            ScalarOp::Ne => "ne",
+            ScalarOp::Lt => "lt",
+            ScalarOp::Le => "le",
+            ScalarOp::Gt => "gt",
+            ScalarOp::Ge => "ge",
+            ScalarOp::And => "and",
+            ScalarOp::Or => "or",
+            ScalarOp::Not => "not",
+            ScalarOp::Hash => "hash",
+            ScalarOp::Cast(_) => "cast",
+            ScalarOp::StrLen => "strlen",
+            ScalarOp::Concat => "concat",
+        }
+    }
+}
+
+/// A lambda: parameter names and a scalar-expression body.
+///
+/// Lambdas appear in `map`, `filter`, `gen` and `fold`. Their bodies are
+/// *scalar* expressions over the parameters (plus captured `let`-bound
+/// scalars) — the vectorized interpreter lifts them element-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lambda {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Scalar body over `params` (uses only `Const` / `Var` / `Apply`).
+    pub body: Box<Expr>,
+}
+
+impl Lambda {
+    /// Convenience constructor.
+    pub fn new(params: Vec<&str>, body: Expr) -> Lambda {
+        Lambda {
+            params: params.into_iter().map(String::from).collect(),
+            body: Box::new(body),
+        }
+    }
+
+    /// True when the body is a single operation over variables/constants —
+    /// the *normal form* the interpreter's kernel lookup requires (§III-A).
+    pub fn is_normalized(&self) -> bool {
+        match self.body.as_ref() {
+            Expr::Var(_) | Expr::Const(_) => true,
+            Expr::Apply(_, args) => args
+                .iter()
+                .all(|a| matches!(a, Expr::Var(_) | Expr::Const(_))),
+            _ => false,
+        }
+    }
+}
+
+/// Built-in reduction functions for `fold`.
+///
+/// Folds carry a named reduction rather than a free lambda so the kernel
+/// library can dispatch to specialized (and reassociable, hence
+/// SIMD/parallel-safe) implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FoldFn {
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of elements (ignores values).
+    Count,
+    /// Logical all (bool input).
+    All,
+    /// Logical any (bool input).
+    Any,
+}
+
+impl FoldFn {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FoldFn::Sum => "sum",
+            FoldFn::Min => "min",
+            FoldFn::Max => "max",
+            FoldFn::Count => "count",
+            FoldFn::All => "all",
+            FoldFn::Any => "any",
+        }
+    }
+}
+
+/// The merge flavors of Table I's abstract `merge` skeleton.
+///
+/// All operate on **sorted** inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeKind {
+    /// Sorted union (duplicates preserved, as in merge sort).
+    Union,
+    /// Values present in both inputs (MergeJoin's key intersection).
+    Intersect,
+    /// Values of the left input not present in the right (MergeDiff).
+    Diff,
+    /// For each match, the index in the *left* input (MergeJoin build side).
+    JoinLeftIdx,
+    /// For each match, the index in the *right* input (MergeJoin probe side).
+    JoinRightIdx,
+}
+
+impl MergeKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeKind::Union => "union",
+            MergeKind::Intersect => "intersect",
+            MergeKind::Diff => "diff",
+            MergeKind::JoinLeftIdx => "join_left",
+            MergeKind::JoinRightIdx => "join_right",
+        }
+    }
+}
+
+/// Conflict handling for `scatter` when two lanes write the same location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictFn {
+    /// Last writer (in index order) wins.
+    LastWins,
+    /// Add into the target (used for scatter-aggregation).
+    Add,
+    /// Keep the minimum.
+    Min,
+    /// Keep the maximum.
+    Max,
+}
+
+/// Expressions: scalar expressions *and* data-parallel skeleton
+/// applications. Scalars are arrays of length one (§II), so both live in
+/// one syntactic category; the type checker distinguishes them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant scalar.
+    Const(Scalar),
+    /// A variable reference (let-bound, mutable, or lambda parameter).
+    Var(String),
+    /// Scalar function application (inside lambdas, or on scalar operands).
+    Apply(ScalarOp, Vec<Expr>),
+    /// Length of the array an expression evaluates to.
+    Len(Box<Expr>),
+    /// `map f v…` — element-wise application over one or more equal-length
+    /// arrays.
+    Map {
+        /// The per-element function.
+        f: Lambda,
+        /// Input arrays (arity must match `f.params`).
+        inputs: Vec<Expr>,
+    },
+    /// `filter p v…` — attach a selection vector; does **not** move data.
+    ///
+    /// The selection attaches to the *first* input (the flow carrier).
+    /// Additional inputs exist so normalization can hoist complex predicate
+    /// arithmetic into preceding `map`s and still select the original flow:
+    /// `filter (\x -> 2*x+1 > 3) a` normalizes to
+    /// `let d = map (\x -> 2*x+1) a in filter (\x d -> d > 3) a d`.
+    Filter {
+        /// The predicate (arity = number of inputs; selection is computed
+        /// from the predicate, applied to `inputs[0]`).
+        p: Lambda,
+        /// Flow carrier first, then derived predicate operands.
+        inputs: Vec<Expr>,
+    },
+    /// `fold r i v` — reduce `v` with `r`, starting from `i`.
+    Fold {
+        /// The reduction function.
+        r: FoldFn,
+        /// Initial value.
+        init: Box<Expr>,
+        /// The input array.
+        input: Box<Expr>,
+    },
+    /// `read i d` — consecutive read of up to one chunk from buffer `d`
+    /// starting at position `i`.
+    Read {
+        /// Start position (scalar).
+        pos: Box<Expr>,
+        /// Named source buffer.
+        data: String,
+        /// Maximum elements to read; `None` means the engine's chunk size.
+        len: Option<Box<Expr>>,
+    },
+    /// `gather is d` — read buffer `d` at the index array `is`.
+    Gather {
+        /// Index array.
+        indices: Box<Expr>,
+        /// Named source buffer.
+        data: String,
+    },
+    /// `gen f n` — build an array of length `n` with `f(0..n)`.
+    Gen {
+        /// The index function.
+        f: Lambda,
+        /// Length (scalar).
+        len: Box<Expr>,
+    },
+    /// `condense v` — physically eliminate the pending selection.
+    Condense(Box<Expr>),
+    /// `merge kind l r` — abstract merge on sorted arrays.
+    Merge {
+        /// Which merge.
+        kind: MergeKind,
+        /// Left sorted input.
+        left: Box<Expr>,
+        /// Right sorted input.
+        right: Box<Expr>,
+    },
+}
+
+/// Statements (§II: state maintenance, assignments, control flow, writes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `mut x` — declare a mutable variable.
+    DeclareMut {
+        /// Variable name.
+        name: String,
+    },
+    /// `x := e` — assign to a mutable variable.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        expr: Expr,
+    },
+    /// `let x = e in { body }` — bind an immutable intermediate.
+    Let {
+        /// Bound name.
+        name: String,
+        /// Bound expression.
+        expr: Expr,
+        /// Statements with `name` in scope.
+        body: Vec<Stmt>,
+    },
+    /// `write d i v` — consecutive write of `v` into buffer `d` at `i`.
+    Write {
+        /// Named target buffer.
+        target: String,
+        /// Start position (scalar).
+        pos: Expr,
+        /// Values to write.
+        value: Expr,
+    },
+    /// `scatter d is v conflict` — random write with conflict handling.
+    Scatter {
+        /// Named target buffer.
+        target: String,
+        /// Index array.
+        indices: Expr,
+        /// Values to write.
+        value: Expr,
+        /// Conflict resolution.
+        conflict: ConflictFn,
+    },
+    /// `loop { body }` — infinite loop, exits via `break`.
+    Loop(Vec<Stmt>),
+    /// `break` — exit the innermost loop.
+    Break,
+    /// `if c then { … } else { … }`.
+    If {
+        /// Scalar boolean condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// Evaluate an expression for effect (rare; kept for completeness).
+    ExprStmt(Expr),
+}
+
+/// A named function definition (§II: "function definitions").
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements; the function's value is its final `Assign` to
+    /// `result` or is used purely for effects on buffers.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program: optional function definitions plus a statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Named functions (callable from front-ends; not via `Apply`).
+    pub funcs: Vec<FuncDef>,
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// A program from statements only.
+    pub fn new(stmts: Vec<Stmt>) -> Program {
+        Program {
+            funcs: Vec::new(),
+            stmts,
+        }
+    }
+}
+
+/// Coarse operation classes used by cost estimation and the §III-B
+/// partitioning heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// `map` (and `gen`).
+    Map,
+    /// `filter` — excluded from fused fragments by default (§III-B).
+    Filter,
+    /// `fold`.
+    Fold,
+    /// `read`.
+    Read,
+    /// `write`.
+    Write,
+    /// `gather` / `scatter` (random access).
+    Random,
+    /// `condense`.
+    Condense,
+    /// `merge`.
+    Merge,
+    /// Non-trivial string operation — excluded from fragments (§III-B).
+    StringOp,
+    /// Scalar-only computation.
+    Scalar,
+}
+
+impl Expr {
+    /// The coarse class of the *outermost* operation.
+    pub fn op_class(&self) -> OpClass {
+        match self {
+            Expr::Map { f, .. } => {
+                if lambda_uses_string_op(f) {
+                    OpClass::StringOp
+                } else {
+                    OpClass::Map
+                }
+            }
+            Expr::Gen { .. } => OpClass::Map,
+            Expr::Filter { .. } => OpClass::Filter,
+            Expr::Fold { .. } => OpClass::Fold,
+            Expr::Read { .. } => OpClass::Read,
+            Expr::Gather { .. } => OpClass::Random,
+            Expr::Condense(_) => OpClass::Condense,
+            Expr::Merge { .. } => OpClass::Merge,
+            Expr::Const(_) | Expr::Var(_) | Expr::Apply(..) | Expr::Len(_) => OpClass::Scalar,
+        }
+    }
+
+    /// Free variables of the expression (lambda parameters are bound).
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Apply(_, args) => {
+                for a in args {
+                    a.collect_free(bound, out);
+                }
+            }
+            Expr::Len(e) | Expr::Condense(e) => e.collect_free(bound, out),
+            Expr::Map { f, inputs } => {
+                for i in inputs {
+                    i.collect_free(bound, out);
+                }
+                let n = bound.len();
+                bound.extend(f.params.iter().cloned());
+                f.body.collect_free(bound, out);
+                bound.truncate(n);
+            }
+            Expr::Filter { p, inputs } => {
+                for i in inputs {
+                    i.collect_free(bound, out);
+                }
+                let n = bound.len();
+                bound.extend(p.params.iter().cloned());
+                p.body.collect_free(bound, out);
+                bound.truncate(n);
+            }
+            Expr::Fold { init, input, .. } => {
+                init.collect_free(bound, out);
+                input.collect_free(bound, out);
+            }
+            Expr::Read { pos, len, .. } => {
+                pos.collect_free(bound, out);
+                if let Some(l) = len {
+                    l.collect_free(bound, out);
+                }
+            }
+            Expr::Gather { indices, .. } => indices.collect_free(bound, out),
+            Expr::Gen { f, len } => {
+                len.collect_free(bound, out);
+                let n = bound.len();
+                bound.extend(f.params.iter().cloned());
+                f.body.collect_free(bound, out);
+                bound.truncate(n);
+            }
+            Expr::Merge { left, right, .. } => {
+                left.collect_free(bound, out);
+                right.collect_free(bound, out);
+            }
+        }
+    }
+
+    /// Static cost estimate for one evaluation over a chunk, in abstract
+    /// units. Used to seed the §III-B partitioner before profile feedback
+    /// replaces it with measured costs.
+    pub fn static_cost(&self) -> f64 {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0.0,
+            Expr::Len(_) => 0.1,
+            Expr::Apply(op, args) => {
+                let inner: f64 = args.iter().map(Expr::static_cost).sum();
+                let own = match op {
+                    ScalarOp::Div | ScalarOp::Rem | ScalarOp::Sqrt => 4.0,
+                    ScalarOp::Hash => 2.0,
+                    op if op.is_string_op() => 8.0,
+                    _ => 1.0,
+                };
+                own + inner
+            }
+            Expr::Map { f, inputs } => {
+                2.0 + f.body.static_cost() + inputs.iter().map(Expr::static_cost).sum::<f64>()
+            }
+            Expr::Gen { f, .. } => 2.0 + f.body.static_cost(),
+            Expr::Filter { p, inputs } => {
+                3.0 + p.body.static_cost() + inputs.iter().map(Expr::static_cost).sum::<f64>()
+            }
+            Expr::Fold { init, input, .. } => 2.0 + init.static_cost() + input.static_cost(),
+            Expr::Read { .. } => 1.0,
+            Expr::Gather { indices, .. } => 4.0 + indices.static_cost(),
+            Expr::Condense(e) => 2.0 + e.static_cost(),
+            Expr::Merge { left, right, .. } => 6.0 + left.static_cost() + right.static_cost(),
+        }
+    }
+}
+
+fn lambda_uses_string_op(f: &Lambda) -> bool {
+    fn walk(e: &Expr) -> bool {
+        match e {
+            Expr::Apply(op, args) => op.is_string_op() || args.iter().any(walk),
+            _ => false,
+        }
+    }
+    walk(&f.body)
+}
+
+/// Builder helpers for constructing programs in Rust (used by tests,
+/// examples and the relational layer's lowering).
+pub mod build {
+    use super::*;
+
+    /// Integer constant.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Scalar::I64(v))
+    }
+
+    /// Float constant.
+    pub fn float(v: f64) -> Expr {
+        Expr::Const(Scalar::F64(v))
+    }
+
+    /// Boolean constant.
+    pub fn boolean(v: bool) -> Expr {
+        Expr::Const(Scalar::Bool(v))
+    }
+
+    /// Variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Binary scalar application.
+    pub fn bin(op: ScalarOp, l: Expr, r: Expr) -> Expr {
+        Expr::Apply(op, vec![l, r])
+    }
+
+    /// Unary scalar application.
+    pub fn un(op: ScalarOp, e: Expr) -> Expr {
+        Expr::Apply(op, vec![e])
+    }
+
+    /// `map` skeleton.
+    pub fn map(f: Lambda, inputs: Vec<Expr>) -> Expr {
+        Expr::Map { f, inputs }
+    }
+
+    /// `filter` skeleton over a single flow input.
+    pub fn filter(p: Lambda, input: Expr) -> Expr {
+        Expr::Filter {
+            p,
+            inputs: vec![input],
+        }
+    }
+
+    /// `filter` skeleton over a flow carrier plus derived inputs.
+    pub fn filter_multi(p: Lambda, inputs: Vec<Expr>) -> Expr {
+        Expr::Filter { p, inputs }
+    }
+
+    /// `fold` skeleton.
+    pub fn fold(r: FoldFn, init: Expr, input: Expr) -> Expr {
+        Expr::Fold {
+            r,
+            init: Box::new(init),
+            input: Box::new(input),
+        }
+    }
+
+    /// `read` skeleton (engine chunk size).
+    pub fn read(pos: Expr, data: &str) -> Expr {
+        Expr::Read {
+            pos: Box::new(pos),
+            data: data.to_string(),
+            len: None,
+        }
+    }
+
+    /// `gather` skeleton.
+    pub fn gather(indices: Expr, data: &str) -> Expr {
+        Expr::Gather {
+            indices: Box::new(indices),
+            data: data.to_string(),
+        }
+    }
+
+    /// `gen` skeleton.
+    pub fn gen(f: Lambda, len: Expr) -> Expr {
+        Expr::Gen {
+            f,
+            len: Box::new(len),
+        }
+    }
+
+    /// `condense` skeleton.
+    pub fn condense(e: Expr) -> Expr {
+        Expr::Condense(Box::new(e))
+    }
+
+    /// `merge` skeleton.
+    pub fn merge(kind: MergeKind, left: Expr, right: Expr) -> Expr {
+        Expr::Merge {
+            kind,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `let name = expr in { body }`.
+    pub fn let_in(name: &str, expr: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::Let {
+            name: name.to_string(),
+            expr,
+            body,
+        }
+    }
+
+    /// `mut name`.
+    pub fn declare_mut(name: &str) -> Stmt {
+        Stmt::DeclareMut {
+            name: name.to_string(),
+        }
+    }
+
+    /// `name := expr`.
+    pub fn assign(name: &str, expr: Expr) -> Stmt {
+        Stmt::Assign {
+            name: name.to_string(),
+            expr,
+        }
+    }
+
+    /// `write target pos value`.
+    pub fn write(target: &str, pos: Expr, value: Expr) -> Stmt {
+        Stmt::Write {
+            target: target.to_string(),
+            pos,
+            value,
+        }
+    }
+
+    /// One-parameter lambda.
+    pub fn lam1(param: &str, body: Expr) -> Lambda {
+        Lambda::new(vec![param], body)
+    }
+
+    /// Two-parameter lambda.
+    pub fn lam2(p1: &str, p2: &str, body: Expr) -> Lambda {
+        Lambda::new(vec![p1, p2], body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn arity_and_classes() {
+        assert_eq!(ScalarOp::Add.arity(), 2);
+        assert_eq!(ScalarOp::Sqrt.arity(), 1);
+        assert!(ScalarOp::Lt.is_comparison());
+        assert!(!ScalarOp::Add.is_comparison());
+        assert!(ScalarOp::StrLen.is_string_op());
+    }
+
+    #[test]
+    fn normal_form_detection() {
+        let simple = lam1("x", bin(ScalarOp::Mul, int(2), var("x")));
+        assert!(simple.is_normalized());
+        let nested = lam1(
+            "x",
+            un(ScalarOp::Sqrt, bin(ScalarOp::Add, var("x"), int(1))),
+        );
+        assert!(!nested.is_normalized());
+        let identity = lam1("x", var("x"));
+        assert!(identity.is_normalized());
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        // map (\x -> x + y) input : free are input's vars plus y.
+        let e = map(
+            lam1("x", bin(ScalarOp::Add, var("x"), var("y"))),
+            vec![var("input")],
+        );
+        let mut fv = e.free_vars();
+        fv.sort();
+        assert_eq!(fv, vec!["input".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_of_read_and_write_exprs() {
+        let e = read(var("i"), "some_data");
+        assert_eq!(e.free_vars(), vec!["i".to_string()]);
+        let e = gather(var("is"), "d");
+        assert_eq!(e.free_vars(), vec!["is".to_string()]);
+    }
+
+    #[test]
+    fn op_class_of_string_map_is_string() {
+        let e = map(lam1("s", un(ScalarOp::StrLen, var("s"))), vec![var("v")]);
+        assert_eq!(e.op_class(), OpClass::StringOp);
+        let e = map(lam1("x", var("x")), vec![var("v")]);
+        assert_eq!(e.op_class(), OpClass::Map);
+    }
+
+    #[test]
+    fn static_cost_orders_ops_sensibly() {
+        let cheap = map(lam1("x", bin(ScalarOp::Add, var("x"), int(1))), vec![var("v")]);
+        let pricey = map(lam1("x", un(ScalarOp::Sqrt, var("x"))), vec![var("v")]);
+        assert!(pricey.static_cost() > cheap.static_cost());
+        assert!(read(int(0), "d").static_cost() < cheap.static_cost());
+    }
+}

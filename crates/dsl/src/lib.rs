@@ -1,0 +1,78 @@
+//! The `adaptvm` DSL (paper §II).
+//!
+//! A small language of **data-parallel skeletons** (Table I of the paper)
+//! plus control flow and mutable state, sitting between front-ends (query
+//! compilers, UDF languages) and the adaptive VM. The skeleton set:
+//!
+//! | Skeleton   | Purpose |
+//! |------------|---------|
+//! | `map`      | element-wise application of `f` on one or more arrays |
+//! | `filter`   | element-wise selection with predicate `p` — computes a **selection vector**, does not move data |
+//! | `fold`     | reduction with initial value and reduction function |
+//! | `read`     | consecutive read from position `i` of a named buffer |
+//! | `write`    | consecutive write to position `i` of a named buffer |
+//! | `gather`   | random read at an index array |
+//! | `scatter`  | random write at an index array with a conflict handler |
+//! | `gen`      | fill an array from an index function |
+//! | `condense` | physically eliminate a pending selection |
+//! | `merge`    | abstract merge (join / union / diff / intersect) on sorted inputs |
+//!
+//! On top of the skeletons the language has expressions (constants,
+//! function application, variables), control flow (infinite `loop`, `break`,
+//! `if-then-else`), mutable variables (`mut`, `:=`) and `let … in` bindings
+//! (§II, Fig. 2).
+//!
+//! The crate also implements the *transformations* the paper calls out:
+//! deforestation/fusion, chunk-size manipulation (vectorized ↔
+//! tuple-at-a-time ↔ column-at-a-time, footnote 1), lambda normalization
+//! (§III-A), dependency-graph construction and the greedy partitioning of
+//! §III-B / Fig. 3.
+
+pub mod ast;
+pub mod depgraph;
+pub mod normalize;
+pub mod parser;
+pub mod partition;
+pub mod printer;
+pub mod programs;
+pub mod transform;
+pub mod typecheck;
+pub mod value;
+
+pub use ast::{ConflictFn, Expr, FoldFn, Lambda, MergeKind, OpClass, Program, ScalarOp, Stmt};
+pub use depgraph::{DepGraph, Node, NodeId};
+pub use partition::{PartitionConfig, Partitioning, Region};
+pub use value::{Value, Vector};
+
+/// Errors produced by DSL analyses and transformations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslError {
+    /// Parse failure with position and message.
+    Parse {
+        /// Byte offset in the source.
+        offset: usize,
+        /// Human readable message.
+        message: String,
+    },
+    /// Type error with message.
+    Type(String),
+    /// Reference to an unbound variable.
+    Unbound(String),
+    /// A transformation's precondition failed.
+    Transform(String),
+}
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DslError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            DslError::Type(m) => write!(f, "type error: {m}"),
+            DslError::Unbound(v) => write!(f, "unbound variable: {v}"),
+            DslError::Transform(m) => write!(f, "transform error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}

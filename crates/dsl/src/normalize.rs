@@ -1,0 +1,655 @@
+//! Normalization (§III-A): break composite operations into simple ones.
+//!
+//! The paper's example: `f(a,b) = sqrt(a² + b²)` is split into
+//! `f1(a) = a²`, `f2(b) = b²`, `f3(x,y) = x + y`, `f4(x) = √x`, so each
+//! piece can be dispatched to a **pre-compiled vectorized kernel**.
+//!
+//! This module implements that as a two-part rewrite into a normal form:
+//!
+//! 1. **ANF** — every skeleton's operands are *atoms* (variables or
+//!    constants); nested skeletons are hoisted into fresh `let` bindings.
+//! 2. **Single-op lambdas** — every `map`/`gen` lambda body is one scalar
+//!    operation over atoms; composite bodies are flattened into chains of
+//!    `map`s. `filter` predicates become a single comparison (or boolean
+//!    variable) whose non-trivial operands were hoisted into `map`s — the
+//!    flow carrier stays first so the selection still attaches to the
+//!    original data.
+//!
+//! Normalized programs satisfy [`is_normalized_program`], the precondition
+//! of the interpreter's kernel lookup and the dependency-graph builder.
+
+use crate::ast::{Expr, Lambda, Program, ScalarOp, Stmt};
+
+/// Counter-based fresh-name generator (`_t0`, `_t1`, …).
+#[derive(Debug, Default)]
+struct Fresh {
+    counter: usize,
+}
+
+impl Fresh {
+    fn next(&mut self) -> String {
+        let name = format!("_t{}", self.counter);
+        self.counter += 1;
+        name
+    }
+}
+
+/// Normalize a whole program.
+pub fn normalize_program(p: &Program) -> Program {
+    let mut fresh = Fresh::default();
+    Program {
+        funcs: p.funcs.clone(),
+        stmts: normalize_stmts(&p.stmts, &mut fresh),
+    }
+}
+
+/// True when every skeleton has atom operands and single-op lambdas.
+pub fn is_normalized_program(p: &Program) -> bool {
+    p.stmts.iter().all(stmt_normalized)
+}
+
+fn stmt_normalized(s: &Stmt) -> bool {
+    match s {
+        Stmt::DeclareMut { .. } | Stmt::Break => true,
+        Stmt::Assign { expr, .. } => expr_normalized(expr),
+        Stmt::Let { expr, body, .. } => expr_normalized(expr) && body.iter().all(stmt_normalized),
+        Stmt::Write { pos, value, .. } => scalar_normalized(pos) && is_atom(value),
+        Stmt::Scatter { indices, value, .. } => is_atom(indices) && is_atom(value),
+        Stmt::Loop(body) => body.iter().all(stmt_normalized),
+        Stmt::If { cond, then, els } => {
+            scalar_normalized(cond)
+                && then.iter().all(stmt_normalized)
+                && els.iter().all(stmt_normalized)
+        }
+        Stmt::ExprStmt(e) => expr_normalized(e),
+    }
+}
+
+fn is_atom(e: &Expr) -> bool {
+    matches!(e, Expr::Var(_) | Expr::Const(_))
+}
+
+/// Scalar (non-skeleton) expressions may keep nested `Apply`s — they drive
+/// loop counters, not kernels — but must not contain skeletons except
+/// `len(atom)`.
+fn scalar_normalized(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        Expr::Apply(_, args) => args.iter().all(scalar_normalized),
+        Expr::Len(inner) => is_atom(inner),
+        _ => false,
+    }
+}
+
+fn expr_normalized(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        Expr::Apply(_, args) => args.iter().all(scalar_normalized),
+        Expr::Len(inner) => is_atom(inner),
+        Expr::Map { f, inputs } => f.is_normalized() && inputs.iter().all(is_atom),
+        Expr::Filter { p, inputs } => p.is_normalized() && inputs.iter().all(is_atom),
+        Expr::Fold { init, input, .. } => is_atom(init) && is_atom(input),
+        Expr::Read { pos, len, .. } => {
+            scalar_normalized(pos) && len.as_deref().is_none_or(scalar_normalized)
+        }
+        Expr::Gather { indices, .. } => is_atom(indices),
+        Expr::Gen { f, len } => f.is_normalized() && scalar_normalized(len),
+        Expr::Condense(inner) => is_atom(inner),
+        Expr::Merge { left, right, .. } => is_atom(left) && is_atom(right),
+    }
+}
+
+fn normalize_stmts(stmts: &[Stmt], fresh: &mut Fresh) -> Vec<Stmt> {
+    stmts.iter().map(|s| normalize_stmt(s, fresh)).collect()
+}
+
+/// Wrap a statement in `let` bindings: `binds` outermost-first.
+fn wrap_bindings(binds: Vec<(String, Expr)>, inner: Stmt) -> Stmt {
+    let mut stmt = inner;
+    for (name, expr) in binds.into_iter().rev() {
+        stmt = Stmt::Let {
+            name,
+            expr,
+            body: vec![stmt],
+        };
+    }
+    stmt
+}
+
+fn normalize_stmt(s: &Stmt, fresh: &mut Fresh) -> Stmt {
+    match s {
+        Stmt::DeclareMut { .. } | Stmt::Break => s.clone(),
+        Stmt::Assign { name, expr } => {
+            let mut binds = Vec::new();
+            let e = normalize_expr(expr, &mut binds, fresh);
+            wrap_bindings(
+                binds,
+                Stmt::Assign {
+                    name: name.clone(),
+                    expr: e,
+                },
+            )
+        }
+        Stmt::Let { name, expr, body } => {
+            let mut binds = Vec::new();
+            let e = normalize_expr(expr, &mut binds, fresh);
+            wrap_bindings(
+                binds,
+                Stmt::Let {
+                    name: name.clone(),
+                    expr: e,
+                    body: normalize_stmts(body, fresh),
+                },
+            )
+        }
+        Stmt::Write { target, pos, value } => {
+            let mut binds = Vec::new();
+            let value = atomize(value, &mut binds, fresh);
+            let pos = normalize_scalar(pos, &mut binds, fresh);
+            wrap_bindings(
+                binds,
+                Stmt::Write {
+                    target: target.clone(),
+                    pos,
+                    value,
+                },
+            )
+        }
+        Stmt::Scatter {
+            target,
+            indices,
+            value,
+            conflict,
+        } => {
+            let mut binds = Vec::new();
+            let indices = atomize(indices, &mut binds, fresh);
+            let value = atomize(value, &mut binds, fresh);
+            wrap_bindings(
+                binds,
+                Stmt::Scatter {
+                    target: target.clone(),
+                    indices,
+                    value,
+                    conflict: *conflict,
+                },
+            )
+        }
+        Stmt::Loop(body) => Stmt::Loop(normalize_stmts(body, fresh)),
+        Stmt::If { cond, then, els } => {
+            let mut binds = Vec::new();
+            let cond = normalize_scalar(cond, &mut binds, fresh);
+            wrap_bindings(
+                binds,
+                Stmt::If {
+                    cond,
+                    then: normalize_stmts(then, fresh),
+                    els: normalize_stmts(els, fresh),
+                },
+            )
+        }
+        Stmt::ExprStmt(e) => {
+            let mut binds = Vec::new();
+            let e = normalize_expr(e, &mut binds, fresh);
+            wrap_bindings(binds, Stmt::ExprStmt(e))
+        }
+    }
+}
+
+/// Normalize an expression, pushing hoisted bindings into `binds`.
+fn normalize_expr(e: &Expr, binds: &mut Vec<(String, Expr)>, fresh: &mut Fresh) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::Apply(op, args) => {
+            // Scalar computation; hoist any embedded skeletons.
+            let args = args
+                .iter()
+                .map(|a| normalize_scalar(a, binds, fresh))
+                .collect();
+            Expr::Apply(*op, args)
+        }
+        Expr::Len(inner) => Expr::Len(Box::new(atomize(inner, binds, fresh))),
+        Expr::Map { f, inputs } => {
+            let inputs: Vec<Expr> = inputs.iter().map(|i| atomize(i, binds, fresh)).collect();
+            if f.is_normalized() {
+                Expr::Map {
+                    f: f.clone(),
+                    inputs,
+                }
+            } else {
+                flatten_lambda(f, &inputs, binds, fresh)
+            }
+        }
+        Expr::Filter { p, inputs } => {
+            let inputs: Vec<Expr> = inputs.iter().map(|i| atomize(i, binds, fresh)).collect();
+            if p.is_normalized() {
+                Expr::Filter {
+                    p: p.clone(),
+                    inputs,
+                }
+            } else {
+                flatten_filter(p, &inputs, binds, fresh)
+            }
+        }
+        Expr::Fold { r, init, input } => Expr::Fold {
+            r: *r,
+            init: Box::new(atomize_scalar(init, binds, fresh)),
+            input: Box::new(atomize(input, binds, fresh)),
+        },
+        Expr::Read { pos, data, len } => Expr::Read {
+            pos: Box::new(normalize_scalar(pos, binds, fresh)),
+            data: data.clone(),
+            len: len
+                .as_ref()
+                .map(|l| Box::new(normalize_scalar(l, binds, fresh))),
+        },
+        Expr::Gather { indices, data } => Expr::Gather {
+            indices: Box::new(atomize(indices, binds, fresh)),
+            data: data.clone(),
+        },
+        Expr::Gen { f, len } => {
+            let len_e = normalize_scalar(len, binds, fresh);
+            if f.is_normalized() {
+                Expr::Gen {
+                    f: f.clone(),
+                    len: Box::new(len_e),
+                }
+            } else {
+                // gen f n  ⇒  let idx = gen (\i -> i) n in <maps over idx>
+                let idx = fresh.next();
+                binds.push((
+                    idx.clone(),
+                    Expr::Gen {
+                        f: Lambda::new(vec!["i"], Expr::Var("i".into())),
+                        len: Box::new(len_e),
+                    },
+                ));
+                flatten_lambda(f, &[Expr::Var(idx)], binds, fresh)
+            }
+        }
+        Expr::Condense(inner) => Expr::Condense(Box::new(atomize(inner, binds, fresh))),
+        Expr::Merge { kind, left, right } => Expr::Merge {
+            kind: *kind,
+            left: Box::new(atomize(left, binds, fresh)),
+            right: Box::new(atomize(right, binds, fresh)),
+        },
+    }
+}
+
+/// Normalize in atom position: bind anything non-atomic to a fresh name.
+fn atomize(e: &Expr, binds: &mut Vec<(String, Expr)>, fresh: &mut Fresh) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        other => {
+            let ne = normalize_expr(other, binds, fresh);
+            match ne {
+                Expr::Const(_) | Expr::Var(_) => ne,
+                bound => {
+                    let name = fresh.next();
+                    binds.push((name.clone(), bound));
+                    Expr::Var(name)
+                }
+            }
+        }
+    }
+}
+
+/// Like [`atomize`] but leaves pure scalar computation inline (fold inits
+/// are usually constants or counters).
+fn atomize_scalar(e: &Expr, binds: &mut Vec<(String, Expr)>, fresh: &mut Fresh) -> Expr {
+    if scalar_normalized(e) {
+        e.clone()
+    } else {
+        atomize(e, binds, fresh)
+    }
+}
+
+/// Normalize a scalar-position expression: skeletons inside are hoisted,
+/// plain arithmetic stays inline.
+fn normalize_scalar(e: &Expr, binds: &mut Vec<(String, Expr)>, fresh: &mut Fresh) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::Apply(op, args) => Expr::Apply(
+            *op,
+            args.iter()
+                .map(|a| normalize_scalar(a, binds, fresh))
+                .collect(),
+        ),
+        Expr::Len(inner) => Expr::Len(Box::new(atomize(inner, binds, fresh))),
+        other => atomize(other, binds, fresh),
+    }
+}
+
+/// An operand of a flattened lambda body: a constant, one of the original
+/// parameters, or a derived array bound earlier in the chain.
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Const(Expr),
+    Array(String),
+}
+
+/// Flatten a composite `map` lambda into a chain of single-op maps. Returns
+/// the final (normalized) map expression; intermediate maps go to `binds`.
+fn flatten_lambda(
+    f: &Lambda,
+    inputs: &[Expr],
+    binds: &mut Vec<(String, Expr)>,
+    fresh: &mut Fresh,
+) -> Expr {
+    let operand = flatten_body(&f.body, f, inputs, binds, fresh);
+    match operand {
+        Operand::Array(name) => {
+            // The chain already ends in a bound map — unwrap the last
+            // binding so the caller owns the final expression.
+            if let Some(pos) = binds.iter().rposition(|(n, _)| *n == name) {
+                let (_, e) = binds.remove(pos);
+                e
+            } else {
+                // The body was a bare parameter: identity map over it.
+                Expr::Var(name)
+            }
+        }
+        Operand::Const(c) => {
+            // Constant body: broadcast via identity-style map over the first
+            // input to preserve length.
+            let src = inputs
+                .first()
+                .cloned()
+                .unwrap_or(Expr::Const(adaptvm_storage::scalar::Scalar::I64(0)));
+            Expr::Map {
+                f: Lambda::new(vec!["_x"], c),
+                inputs: vec![src],
+            }
+        }
+    }
+}
+
+/// Flatten a body expression to an operand, emitting single-op maps.
+fn flatten_body(
+    e: &Expr,
+    f: &Lambda,
+    inputs: &[Expr],
+    binds: &mut Vec<(String, Expr)>,
+    fresh: &mut Fresh,
+) -> Operand {
+    match e {
+        Expr::Const(_) => Operand::Const(e.clone()),
+        Expr::Var(v) => {
+            match f.params.iter().position(|p| p == v) {
+                Some(i) => match &inputs[i] {
+                    Expr::Var(arr) => Operand::Array(arr.clone()),
+                    // Constant input broadcast as scalar.
+                    c => Operand::Const(c.clone()),
+                },
+                // Captured outer variable (scalar) — treat as constant.
+                None => Operand::Const(e.clone()),
+            }
+        }
+        Expr::Apply(op, args) => {
+            let operands: Vec<Operand> = args
+                .iter()
+                .map(|a| flatten_body(a, f, inputs, binds, fresh))
+                .collect();
+            emit_single_op_map(*op, &operands, binds, fresh)
+        }
+        // Nested skeletons inside lambda bodies are not expressible (the
+        // type checker rejects array-typed lambda bodies), so anything else
+        // is a constant-like scalar.
+        other => Operand::Const(other.clone()),
+    }
+}
+
+/// Emit `tN = map (\…single op…) arrays…`, deduplicating array operands.
+fn emit_single_op_map(
+    op: ScalarOp,
+    operands: &[Operand],
+    binds: &mut Vec<(String, Expr)>,
+    fresh: &mut Fresh,
+) -> Operand {
+    // Collect distinct array operands, in order.
+    let mut arrays: Vec<String> = Vec::new();
+    for o in operands {
+        if let Operand::Array(a) = o {
+            if !arrays.contains(a) {
+                arrays.push(a.clone());
+            }
+        }
+    }
+    let params: Vec<String> = (0..arrays.len()).map(|i| format!("_p{i}")).collect();
+    let body_args: Vec<Expr> = operands
+        .iter()
+        .map(|o| match o {
+            Operand::Const(c) => c.clone(),
+            Operand::Array(a) => {
+                let idx = arrays.iter().position(|x| x == a).expect("collected");
+                Expr::Var(params[idx].clone())
+            }
+        })
+        .collect();
+    if arrays.is_empty() {
+        // Pure constant folding opportunity; keep as scalar constant
+        // expression (it stays inside the next op's lambda).
+        return Operand::Const(Expr::Apply(op, body_args));
+    }
+    let lambda = Lambda {
+        params: params.clone(),
+        body: Box::new(Expr::Apply(op, body_args)),
+    };
+    let name = fresh.next();
+    binds.push((
+        name.clone(),
+        Expr::Map {
+            f: lambda,
+            inputs: arrays.into_iter().map(Expr::Var).collect(),
+        },
+    ));
+    Operand::Array(name)
+}
+
+/// Flatten a composite filter predicate. The flow carrier (`inputs[0]`)
+/// stays first; derived predicate operands are appended as extra inputs.
+fn flatten_filter(
+    p: &Lambda,
+    inputs: &[Expr],
+    binds: &mut Vec<(String, Expr)>,
+    fresh: &mut Fresh,
+) -> Expr {
+    // Try to keep the root comparison in the predicate; hoist its operands.
+    let (root_op, root_args): (ScalarOp, &[Expr]) = match p.body.as_ref() {
+        Expr::Apply(op, args) if op.is_comparison() => (*op, args),
+        // Anything else: compute the whole boolean array, then select by it.
+        _ => {
+            let bools = flatten_body(&p.body, p, inputs, binds, fresh);
+            return filter_by_operands(
+                inputs,
+                ScalarOp::Eq,
+                &[
+                    bools,
+                    Operand::Const(Expr::Const(adaptvm_storage::scalar::Scalar::Bool(true))),
+                ],
+            );
+        }
+    };
+    let operands: Vec<Operand> = root_args
+        .iter()
+        .map(|a| flatten_body(a, p, inputs, binds, fresh))
+        .collect();
+    filter_by_operands(inputs, root_op, &operands)
+}
+
+/// Build the final normalized filter: flow carrier first, then the distinct
+/// array operands of the root comparison.
+fn filter_by_operands(inputs: &[Expr], op: ScalarOp, operands: &[Operand]) -> Expr {
+    let flow = inputs[0].clone();
+    let flow_name = match &flow {
+        Expr::Var(v) => Some(v.clone()),
+        _ => None,
+    };
+    let mut arrays: Vec<String> = Vec::new();
+    for o in operands {
+        if let Operand::Array(a) = o {
+            if Some(a) != flow_name.as_ref() && !arrays.contains(a) {
+                arrays.push(a.clone());
+            }
+        }
+    }
+    // Parameter 0 is the flow carrier; extra params follow.
+    let mut params = vec!["_x0".to_string()];
+    params.extend((0..arrays.len()).map(|i| format!("_x{}", i + 1)));
+    let body_args: Vec<Expr> = operands
+        .iter()
+        .map(|o| match o {
+            Operand::Const(c) => c.clone(),
+            Operand::Array(a) => {
+                if Some(a) == flow_name.as_ref() {
+                    Expr::Var(params[0].clone())
+                } else {
+                    let idx = arrays.iter().position(|x| x == a).expect("collected");
+                    Expr::Var(params[idx + 1].clone())
+                }
+            }
+        })
+        .collect();
+    let mut all_inputs = vec![flow];
+    all_inputs.extend(arrays.into_iter().map(Expr::Var));
+    Expr::Filter {
+        p: Lambda {
+            params,
+            body: Box::new(Expr::Apply(op, body_args)),
+        },
+        inputs: all_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+    use crate::printer::print_program;
+    use crate::programs;
+    use crate::typecheck::{check_program, TypeEnv};
+    use adaptvm_storage::scalar::ScalarType;
+
+    fn normalize_src(src: &str) -> Program {
+        normalize_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn already_normal_is_untouched() {
+        let p = programs::fig2_example();
+        let n = normalize_program(&p);
+        assert_eq!(p, n);
+        assert!(is_normalized_program(&n));
+    }
+
+    #[test]
+    fn hypot_splits_into_four_ops() {
+        // The paper's §III-A example.
+        let p = programs::hypot_whole_array();
+        assert!(!is_normalized_program(&p));
+        let n = normalize_program(&p);
+        assert!(is_normalized_program(&n), "{}", print_program(&n));
+        // Count the maps: p², q², +, sqrt → 4 single-op maps.
+        let printed = print_program(&n);
+        assert_eq!(printed.matches("map (").count(), 4, "{printed}");
+        // Still type checks.
+        let env = TypeEnv::new()
+            .with_buffer("xs", ScalarType::F64)
+            .with_buffer("ys", ScalarType::F64)
+            .with_buffer("out", ScalarType::F64);
+        check_program(&n, &env).unwrap();
+    }
+
+    #[test]
+    fn duplicate_operands_deduplicated() {
+        // x*x over one input must produce a unary map, not binary.
+        let p = normalize_src("let s = map (\\x -> sqrt(x * x)) (read 0 xs) in { write out 0 s }");
+        assert!(is_normalized_program(&p));
+        let printed = print_program(&p);
+        assert!(printed.contains("_p0 * _p0"), "{printed}");
+    }
+
+    #[test]
+    fn complex_filter_keeps_flow_first() {
+        // filter (\x -> 2*x+1 > 3) a : selection must attach to `a`.
+        let p = normalize_src(
+            "let a = read 0 xs in { let t = filter (\\x -> 2 * x + 1 > 3) a in { let b = condense t in { write out 0 b } } }",
+        );
+        assert!(is_normalized_program(&p), "{}", print_program(&p));
+        let printed = print_program(&p);
+        // The final filter's first input is still `a`.
+        assert!(
+            printed.contains("filter (\\_x0 _x1 -> _x1 > 3) a"),
+            "{printed}"
+        );
+        let env = TypeEnv::new()
+            .with_buffer("xs", ScalarType::I64)
+            .with_buffer("out", ScalarType::I64);
+        check_program(&p, &env).unwrap();
+    }
+
+    #[test]
+    fn conjunction_predicate_becomes_bool_select() {
+        let p = normalize_src(
+            "let a = read 0 xs in { let t = filter (\\x -> x > 0 && x < 10) a in { write out 0 (condense t) } }",
+        );
+        assert!(is_normalized_program(&p), "{}", print_program(&p));
+        let printed = print_program(&p);
+        // Root is not a comparison → select by == true on a computed bool
+        // array.
+        assert!(printed.contains("== true"), "{printed}");
+        let env = TypeEnv::new()
+            .with_buffer("xs", ScalarType::I64)
+            .with_buffer("out", ScalarType::I64);
+        check_program(&p, &env).unwrap();
+    }
+
+    #[test]
+    fn nested_skeletons_are_hoisted() {
+        let p = normalize_src("let s = fold sum 0 (map (\\x -> x + 1) (read 0 xs)) in { result := s }");
+        assert!(is_normalized_program(&p), "{}", print_program(&p));
+        // read bound, map bound, fold over the map temp.
+        let printed = print_program(&p);
+        assert!(printed.contains("let _t0 = read 0 xs"), "{printed}");
+    }
+
+    #[test]
+    fn gen_with_complex_lambda() {
+        let p = normalize_src("let g = gen (\\i -> i * i + 1) 10 in { write out 0 g }");
+        assert!(is_normalized_program(&p), "{}", print_program(&p));
+        let printed = print_program(&p);
+        assert!(printed.contains("gen (\\i -> i) 10"), "{printed}");
+    }
+
+    #[test]
+    fn captured_scalars_stay_inline() {
+        // `alpha` is a captured outer scalar, not an array operand.
+        let src = "mut alpha\nalpha := 3\nlet a = read 0 xs in { let r = map (\\x -> alpha * x + 1) a in { write out 0 r } }";
+        let p = normalize_src(src);
+        assert!(is_normalized_program(&p), "{}", print_program(&p));
+        let printed = print_program(&p);
+        assert!(printed.contains("alpha * _p0"), "{printed}");
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for p in [
+            programs::hypot_whole_array(),
+            programs::fig2_example(),
+            programs::map_chain(100),
+        ] {
+            let once = normalize_program(&p);
+            let twice = normalize_program(&once);
+            assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn normalized_expr_predicate() {
+        let e = parse_expr("map (\\x -> 2 * x) input").unwrap();
+        let mut binds = Vec::new();
+        let mut fresh = Fresh::default();
+        let n = normalize_expr(&e, &mut binds, &mut fresh);
+        assert!(binds.is_empty());
+        assert_eq!(n, e);
+    }
+}

@@ -1,0 +1,854 @@
+//! Parser for the DSL's concrete syntax.
+//!
+//! The syntax follows Fig. 2 of the paper, with braces instead of
+//! indentation. The Fig. 2 program reads:
+//!
+//! ```text
+//! mut i
+//! mut k
+//! i := 0
+//! k := 0
+//! loop {
+//!   let input = read i some_data in {
+//!     let a = map (\x -> 2 * x) input in {
+//!       let t = filter (\x -> x > 0) a in {
+//!         let b = condense t in {
+//!           write v i a
+//!           write w k b
+//!           i := i + len(a)
+//!           k := k + len(b)
+//!         }
+//!       }
+//!     }
+//!   }
+//!   if i >= 4096 then { break }
+//! }
+//! ```
+//!
+//! [`parse_program`] parses a whole program, [`parse_expr`] a single
+//! expression. The printer ([`crate::printer`]) emits this same syntax, and
+//! `parse(print(p)) == p` is a tested round-trip invariant.
+
+use adaptvm_storage::scalar::{Scalar, ScalarType};
+
+use crate::ast::{ConflictFn, Expr, FoldFn, Lambda, MergeKind, Program, ScalarOp, Stmt};
+use crate::DslError;
+
+/// Parse a whole program.
+pub fn parse_program(src: &str) -> Result<Program, DslError> {
+    let mut p = Parser::new(src)?;
+    let stmts = p.stmt_list(&[])?;
+    p.expect_eof()?;
+    Ok(Program::new(stmts))
+}
+
+/// Parse a single expression.
+pub fn parse_expr(src: &str) -> Result<Expr, DslError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Punctuation / operators.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Lambda, // `\`
+    Arrow,  // `->`
+    Assign, // `:=`
+    Equals, // `=`
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // Line comments: `# …`
+            if self.pos < self.src.len() && self.src[self.pos] == b'#' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(Tok, usize), DslError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((Tok::Eof, start));
+        }
+        let c = self.src[self.pos];
+        let two = if self.pos + 1 < self.src.len() {
+            Some(&self.src[self.pos..self.pos + 2])
+        } else {
+            None
+        };
+        macro_rules! tok2 {
+            ($t:expr) => {{
+                self.pos += 2;
+                return Ok(($t, start));
+            }};
+        }
+        match two {
+            Some(b"->") => tok2!(Tok::Arrow),
+            Some(b":=") => tok2!(Tok::Assign),
+            Some(b"<=") => tok2!(Tok::Le),
+            Some(b">=") => tok2!(Tok::Ge),
+            Some(b"==") => tok2!(Tok::EqEq),
+            Some(b"!=") => tok2!(Tok::NotEq),
+            Some(b"&&") => tok2!(Tok::AndAnd),
+            Some(b"||") => tok2!(Tok::OrOr),
+            _ => {}
+        }
+        let single = match c {
+            b'{' => Some(Tok::LBrace),
+            b'}' => Some(Tok::RBrace),
+            b'(' => Some(Tok::LParen),
+            b')' => Some(Tok::RParen),
+            b'\\' => Some(Tok::Lambda),
+            b'=' => Some(Tok::Equals),
+            b',' => Some(Tok::Comma),
+            b'+' => Some(Tok::Plus),
+            b'-' => Some(Tok::Minus),
+            b'*' => Some(Tok::Star),
+            b'/' => Some(Tok::Slash),
+            b'%' => Some(Tok::Percent),
+            b'<' => Some(Tok::Lt),
+            b'>' => Some(Tok::Gt),
+            b'!' => Some(Tok::Bang),
+            _ => None,
+        };
+        if let Some(t) = single {
+            self.pos += 1;
+            return Ok((t, start));
+        }
+        if c == b'"' {
+            self.pos += 1;
+            let mut s = String::new();
+            while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                s.push(self.src[self.pos] as char);
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string literal"));
+            }
+            self.pos += 1;
+            return Ok((Tok::Str(s), start));
+        }
+        if c.is_ascii_digit() {
+            let mut end = self.pos;
+            while end < self.src.len() && self.src[end].is_ascii_digit() {
+                end += 1;
+            }
+            let is_float = end < self.src.len()
+                && self.src[end] == b'.'
+                && end + 1 < self.src.len()
+                && self.src[end + 1].is_ascii_digit();
+            if is_float {
+                end += 1;
+                while end < self.src.len() && self.src[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end]).expect("ascii");
+                let v: f64 = text.parse().map_err(|e| self.err(format!("bad float: {e}")))?;
+                self.pos = end;
+                return Ok((Tok::Float(v), start));
+            }
+            let text = std::str::from_utf8(&self.src[self.pos..end]).expect("ascii");
+            let v: i64 = text.parse().map_err(|e| self.err(format!("bad int: {e}")))?;
+            self.pos = end;
+            return Ok((Tok::Int(v), start));
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut end = self.pos;
+            while end < self.src.len()
+                && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+            {
+                end += 1;
+            }
+            let text = std::str::from_utf8(&self.src[self.pos..end]).expect("ascii");
+            self.pos = end;
+            return Ok((Tok::Ident(text.to_string()), start));
+        }
+        Err(self.err(format!("unexpected character {:?}", c as char)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, DslError> {
+        let mut lx = Lexer::new(src);
+        let mut toks = Vec::new();
+        loop {
+            let (t, off) = lx.next()?;
+            let eof = t == Tok::Eof;
+            toks.push((t, off));
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser { toks, idx: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.idx].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx].0.clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), DslError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), DslError> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DslError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ----- statements -------------------------------------------------
+
+    /// Parse statements until `}` or EOF (whichever the caller expects).
+    fn stmt_list(&mut self, _stop: &[&str]) -> Result<Vec<Stmt>, DslError> {
+        let mut out = Vec::new();
+        while *self.peek() != Tok::RBrace && *self.peek() != Tok::Eof {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, DslError> {
+        self.expect(Tok::LBrace)?;
+        let stmts = self.stmt_list(&[])?;
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, DslError> {
+        match self.peek().clone() {
+            Tok::Ident(kw) => match kw.as_str() {
+                "mut" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    Ok(Stmt::DeclareMut { name })
+                }
+                "let" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(Tok::Equals)?;
+                    let expr = self.expr()?;
+                    match self.bump() {
+                        Tok::Ident(s) if s == "in" => {}
+                        other => return Err(self.err(format!("expected `in`, found {other:?}"))),
+                    }
+                    let body = self.block()?;
+                    Ok(Stmt::Let { name, expr, body })
+                }
+                "write" => {
+                    self.bump();
+                    let target = self.ident()?;
+                    let pos = self.atom()?;
+                    let value = self.atom()?;
+                    Ok(Stmt::Write { target, pos, value })
+                }
+                "scatter" => {
+                    self.bump();
+                    let target = self.ident()?;
+                    let indices = self.atom()?;
+                    let value = self.atom()?;
+                    let conflict = match self.ident()?.as_str() {
+                        "last" => ConflictFn::LastWins,
+                        "add" => ConflictFn::Add,
+                        "min" => ConflictFn::Min,
+                        "max" => ConflictFn::Max,
+                        other => {
+                            return Err(self.err(format!("unknown conflict function {other}")))
+                        }
+                    };
+                    Ok(Stmt::Scatter {
+                        target,
+                        indices,
+                        value,
+                        conflict,
+                    })
+                }
+                "loop" => {
+                    self.bump();
+                    Ok(Stmt::Loop(self.block()?))
+                }
+                "break" => {
+                    self.bump();
+                    Ok(Stmt::Break)
+                }
+                "if" => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    match self.bump() {
+                        Tok::Ident(s) if s == "then" => {}
+                        other => return Err(self.err(format!("expected `then`, found {other:?}"))),
+                    }
+                    let then = self.block()?;
+                    let els = if self.is_kw("else") {
+                        self.bump();
+                        self.block()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::If { cond, then, els })
+                }
+                _ => {
+                    // `name := expr` assignment.
+                    let name = self.ident()?;
+                    self.expect(Tok::Assign)?;
+                    let expr = self.expr()?;
+                    Ok(Stmt::Assign { name, expr })
+                }
+            },
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, DslError> {
+        // Skeleton keywords first; otherwise a scalar expression.
+        if let Tok::Ident(kw) = self.peek() {
+            match kw.as_str() {
+                "map" => {
+                    self.bump();
+                    let f = self.lambda()?;
+                    let mut inputs = Vec::new();
+                    for _ in 0..f.params.len() {
+                        inputs.push(self.atom()?);
+                    }
+                    return Ok(Expr::Map { f, inputs });
+                }
+                "filter" => {
+                    self.bump();
+                    let p = self.lambda()?;
+                    let mut inputs = Vec::new();
+                    for _ in 0..p.params.len() {
+                        inputs.push(self.atom()?);
+                    }
+                    return Ok(Expr::Filter { p, inputs });
+                }
+                "fold" => {
+                    self.bump();
+                    let r = match self.ident()?.as_str() {
+                        "sum" => FoldFn::Sum,
+                        "min" => FoldFn::Min,
+                        "max" => FoldFn::Max,
+                        "count" => FoldFn::Count,
+                        "all" => FoldFn::All,
+                        "any" => FoldFn::Any,
+                        other => return Err(self.err(format!("unknown fold function {other}"))),
+                    };
+                    let init = self.atom()?;
+                    let input = self.atom()?;
+                    return Ok(Expr::Fold {
+                        r,
+                        init: Box::new(init),
+                        input: Box::new(input),
+                    });
+                }
+                "read" => {
+                    self.bump();
+                    let pos = self.atom()?;
+                    let data = self.ident()?;
+                    return Ok(Expr::Read {
+                        pos: Box::new(pos),
+                        data,
+                        len: None,
+                    });
+                }
+                "gather" => {
+                    self.bump();
+                    let indices = self.atom()?;
+                    let data = self.ident()?;
+                    return Ok(Expr::Gather {
+                        indices: Box::new(indices),
+                        data,
+                    });
+                }
+                "gen" => {
+                    self.bump();
+                    let f = self.lambda()?;
+                    let len = self.atom()?;
+                    return Ok(Expr::Gen {
+                        f,
+                        len: Box::new(len),
+                    });
+                }
+                "condense" => {
+                    self.bump();
+                    let e = self.atom()?;
+                    return Ok(Expr::Condense(Box::new(e)));
+                }
+                "merge" => {
+                    self.bump();
+                    let kind = match self.ident()?.as_str() {
+                        "union" => MergeKind::Union,
+                        "intersect" => MergeKind::Intersect,
+                        "diff" => MergeKind::Diff,
+                        "join_left" => MergeKind::JoinLeftIdx,
+                        "join_right" => MergeKind::JoinRightIdx,
+                        other => return Err(self.err(format!("unknown merge kind {other}"))),
+                    };
+                    let left = self.atom()?;
+                    let right = self.atom()?;
+                    return Ok(Expr::Merge {
+                        kind,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.or_expr()
+    }
+
+    fn lambda(&mut self) -> Result<Lambda, DslError> {
+        self.expect(Tok::LParen)?;
+        self.expect(Tok::Lambda)?;
+        let mut params = Vec::new();
+        loop {
+            params.push(self.ident()?);
+            if *self.peek() == Tok::Arrow {
+                break;
+            }
+        }
+        self.expect(Tok::Arrow)?;
+        let body = self.or_expr()?;
+        self.expect(Tok::RParen)?;
+        Ok(Lambda {
+            params,
+            body: Box::new(body),
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Apply(ScalarOp::Or, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Apply(ScalarOp::And, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, DslError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => Some(ScalarOp::Lt),
+            Tok::Le => Some(ScalarOp::Le),
+            Tok::Gt => Some(ScalarOp::Gt),
+            Tok::Ge => Some(ScalarOp::Ge),
+            Tok::EqEq => Some(ScalarOp::Eq),
+            Tok::NotEq => Some(ScalarOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Apply(op, vec![lhs, rhs]))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => ScalarOp::Add,
+                Tok::Minus => ScalarOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Apply(op, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => ScalarOp::Mul,
+                Tok::Slash => ScalarOp::Div,
+                Tok::Percent => ScalarOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Apply(op, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, DslError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Apply(ScalarOp::Neg, vec![e]))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Apply(ScalarOp::Not, vec![e]))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    /// Named scalar calls accepted in atom position: `name(args…)`.
+    fn named_call(&mut self, name: &str) -> Result<Option<Expr>, DslError> {
+        let op = match name {
+            "sqrt" => Some((ScalarOp::Sqrt, 1)),
+            "abs" => Some((ScalarOp::Abs, 1)),
+            "hash" => Some((ScalarOp::Hash, 1)),
+            "strlen" => Some((ScalarOp::StrLen, 1)),
+            "min" => Some((ScalarOp::Min, 2)),
+            "max" => Some((ScalarOp::Max, 2)),
+            "concat" => Some((ScalarOp::Concat, 2)),
+            _ => None,
+        };
+        if let Some((op, arity)) = op {
+            self.expect(Tok::LParen)?;
+            let mut args = Vec::new();
+            for i in 0..arity {
+                if i > 0 {
+                    self.expect(Tok::Comma)?;
+                }
+                args.push(self.or_expr()?);
+            }
+            self.expect(Tok::RParen)?;
+            return Ok(Some(Expr::Apply(op, args)));
+        }
+        if name == "len" {
+            self.expect(Tok::LParen)?;
+            let e = self.expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Some(Expr::Len(Box::new(e))));
+        }
+        if name == "cast" {
+            // cast(ty, e)
+            self.expect(Tok::LParen)?;
+            let ty = match self.ident()?.as_str() {
+                "i8" => ScalarType::I8,
+                "i16" => ScalarType::I16,
+                "i32" => ScalarType::I32,
+                "i64" => ScalarType::I64,
+                "f64" => ScalarType::F64,
+                "bool" => ScalarType::Bool,
+                "str" => ScalarType::Str,
+                other => return Err(self.err(format!("unknown type {other}"))),
+            };
+            self.expect(Tok::Comma)?;
+            let e = self.or_expr()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Some(Expr::Apply(ScalarOp::Cast(ty), vec![e])));
+        }
+        Ok(None)
+    }
+
+    fn atom(&mut self) -> Result<Expr, DslError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(Scalar::I64(v)))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Const(Scalar::F64(v)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Const(Scalar::Str(s)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr::Const(Scalar::Bool(true)));
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr::Const(Scalar::Bool(false)));
+                    }
+                    _ => {}
+                }
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    if let Some(call) = self.named_call(&name)? {
+                        return Ok(call);
+                    }
+                    return Err(self.err(format!("unknown function {name}")));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+
+    #[test]
+    fn scalar_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            bin(ScalarOp::Add, int(1), bin(ScalarOp::Mul, int(2), int(3)))
+        );
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(
+            e,
+            bin(ScalarOp::Mul, bin(ScalarOp::Add, int(1), int(2)), int(3))
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = parse_expr("x > 0 && y <= 4 || !z").unwrap();
+        // (x>0 && y<=4) || (!z)
+        match e {
+            Expr::Apply(ScalarOp::Or, args) => {
+                assert!(matches!(&args[0], Expr::Apply(ScalarOp::And, _)));
+                assert!(matches!(&args[1], Expr::Apply(ScalarOp::Not, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_calls() {
+        assert_eq!(
+            parse_expr("sqrt(x)").unwrap(),
+            un(ScalarOp::Sqrt, var("x"))
+        );
+        assert_eq!(
+            parse_expr("min(a, b)").unwrap(),
+            bin(ScalarOp::Min, var("a"), var("b"))
+        );
+        assert_eq!(
+            parse_expr("cast(i8, x)").unwrap(),
+            un(ScalarOp::Cast(ScalarType::I8), var("x"))
+        );
+        assert!(parse_expr("mystery(x)").is_err());
+    }
+
+    #[test]
+    fn skeleton_exprs() {
+        let e = parse_expr("map (\\x -> 2 * x) input").unwrap();
+        assert_eq!(
+            e,
+            map(
+                lam1("x", bin(ScalarOp::Mul, int(2), var("x"))),
+                vec![var("input")]
+            )
+        );
+        let e = parse_expr("map (\\x y -> x + y) a b").unwrap();
+        assert_eq!(
+            e,
+            map(
+                lam2("x", "y", bin(ScalarOp::Add, var("x"), var("y"))),
+                vec![var("a"), var("b")]
+            )
+        );
+        let e = parse_expr("fold sum 0 xs").unwrap();
+        assert_eq!(e, fold(FoldFn::Sum, int(0), var("xs")));
+        let e = parse_expr("merge union xs ys").unwrap();
+        assert_eq!(e, merge(MergeKind::Union, var("xs"), var("ys")));
+        let e = parse_expr("read i some_data").unwrap();
+        assert_eq!(e, read(var("i"), "some_data"));
+        let e = parse_expr("condense t").unwrap();
+        assert_eq!(e, condense(var("t")));
+        let e = parse_expr("gather idx d").unwrap();
+        assert_eq!(e, gather(var("idx"), "d"));
+        let e = parse_expr("gen (\\i -> i * i) 10").unwrap();
+        assert_eq!(e, gen(lam1("i", bin(ScalarOp::Mul, var("i"), var("i"))), int(10)));
+    }
+
+    #[test]
+    fn fig2_program_parses() {
+        let src = r#"
+            mut i
+            mut k
+            i := 0
+            k := 0
+            loop {
+              let input = read i some_data in {
+                let a = map (\x -> 2 * x) input in {
+                  let t = filter (\x -> x > 0) a in {
+                    let b = condense t in {
+                      write v i a
+                      write w k b
+                      i := i + len(a)
+                      k := k + len(b)
+                    }
+                  }
+                }
+              }
+              if i >= 4096 then { break }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 5);
+        assert!(matches!(&p.stmts[4], Stmt::Loop(body) if body.len() == 2));
+    }
+
+    #[test]
+    fn statements_parse() {
+        let p = parse_program("mut x\nx := 1 + 2").unwrap();
+        assert_eq!(p.stmts[0], declare_mut("x"));
+        assert_eq!(
+            p.stmts[1],
+            assign("x", bin(ScalarOp::Add, int(1), int(2)))
+        );
+        let p = parse_program("if x > 1 then { break } else { x := 0 }").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::If { els, .. } if els.len() == 1));
+        let p = parse_program("scatter out idx vals add").unwrap();
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Scatter {
+                conflict: ConflictFn::Add,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let p = parse_program("# a comment\nmut x # trailing\nx := \"hi\"").unwrap();
+        assert_eq!(
+            p.stmts[1],
+            assign("x", Expr::Const(Scalar::Str("hi".into())))
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_program("mut 5").unwrap_err();
+        assert!(matches!(err, DslError::Parse { .. }));
+        let err = parse_expr("1 +").unwrap_err();
+        assert!(matches!(err, DslError::Parse { .. }));
+        let err = parse_expr("\"unterminated").unwrap_err();
+        assert!(matches!(err, DslError::Parse { .. }));
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(parse_expr("2.5").unwrap(), float(2.5));
+        assert_eq!(parse_expr("-1.5").unwrap(), un(ScalarOp::Neg, float(1.5)));
+    }
+}

@@ -1,0 +1,401 @@
+//! Pretty printer emitting the concrete syntax of [`crate::parser`].
+//!
+//! `parse_program(print_program(p)) == p` is a tested round-trip invariant
+//! (modulo scalar-constant width: the printer emits `i64`/`f64` literals).
+
+use adaptvm_storage::scalar::Scalar;
+
+use crate::ast::{ConflictFn, Expr, Lambda, Program, ScalarOp, Stmt};
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.stmts {
+        print_stmt(s, 0, &mut out);
+    }
+    out
+}
+
+/// Render a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(e, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::DeclareMut { name } => {
+            out.push_str("mut ");
+            out.push_str(name);
+            out.push('\n');
+        }
+        Stmt::Assign { name, expr: e } => {
+            out.push_str(name);
+            out.push_str(" := ");
+            expr(e, out);
+            out.push('\n');
+        }
+        Stmt::Let {
+            name,
+            expr: e,
+            body,
+        } => {
+            out.push_str("let ");
+            out.push_str(name);
+            out.push_str(" = ");
+            expr(e, out);
+            out.push_str(" in {\n");
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Write { target, pos, value } => {
+            out.push_str("write ");
+            out.push_str(target);
+            out.push(' ');
+            atom(pos, out);
+            out.push(' ');
+            atom(value, out);
+            out.push('\n');
+        }
+        Stmt::Scatter {
+            target,
+            indices,
+            value,
+            conflict,
+        } => {
+            out.push_str("scatter ");
+            out.push_str(target);
+            out.push(' ');
+            atom(indices, out);
+            out.push(' ');
+            atom(value, out);
+            out.push(' ');
+            out.push_str(match conflict {
+                ConflictFn::LastWins => "last",
+                ConflictFn::Add => "add",
+                ConflictFn::Min => "min",
+                ConflictFn::Max => "max",
+            });
+            out.push('\n');
+        }
+        Stmt::Loop(body) => {
+            out.push_str("loop {\n");
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Break => out.push_str("break\n"),
+        Stmt::If { cond, then, els } => {
+            out.push_str("if ");
+            expr(cond, out);
+            out.push_str(" then {\n");
+            for s in then {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push('}');
+            if !els.is_empty() {
+                out.push_str(" else {\n");
+                for s in els {
+                    print_stmt(s, level + 1, out);
+                }
+                indent(level, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::ExprStmt(e) => {
+            expr(e, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn lambda(f: &Lambda, out: &mut String) {
+    out.push_str("(\\");
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(p);
+    }
+    out.push_str(" -> ");
+    expr(&f.body, out);
+    out.push(')');
+}
+
+fn expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Map { f, inputs } => {
+            out.push_str("map ");
+            lambda(f, out);
+            for i in inputs {
+                out.push(' ');
+                atom(i, out);
+            }
+        }
+        Expr::Filter { p, inputs } => {
+            out.push_str("filter ");
+            lambda(p, out);
+            for i in inputs {
+                out.push(' ');
+                atom(i, out);
+            }
+        }
+        Expr::Fold { r, init, input } => {
+            out.push_str("fold ");
+            out.push_str(r.name());
+            out.push(' ');
+            atom(init, out);
+            out.push(' ');
+            atom(input, out);
+        }
+        Expr::Read { pos, data, .. } => {
+            out.push_str("read ");
+            atom(pos, out);
+            out.push(' ');
+            out.push_str(data);
+        }
+        Expr::Gather { indices, data } => {
+            out.push_str("gather ");
+            atom(indices, out);
+            out.push(' ');
+            out.push_str(data);
+        }
+        Expr::Gen { f, len } => {
+            out.push_str("gen ");
+            lambda(f, out);
+            out.push(' ');
+            atom(len, out);
+        }
+        Expr::Condense(e) => {
+            out.push_str("condense ");
+            atom(e, out);
+        }
+        Expr::Merge { kind, left, right } => {
+            out.push_str("merge ");
+            out.push_str(kind.name());
+            out.push(' ');
+            atom(left, out);
+            out.push(' ');
+            atom(right, out);
+        }
+        _ => scalar_expr(e, 0, out),
+    }
+}
+
+/// Binding strength for infix printing; higher binds tighter.
+fn precedence(op: ScalarOp) -> u8 {
+    match op {
+        ScalarOp::Or => 1,
+        ScalarOp::And => 2,
+        ScalarOp::Eq | ScalarOp::Ne | ScalarOp::Lt | ScalarOp::Le | ScalarOp::Gt | ScalarOp::Ge => 3,
+        ScalarOp::Add | ScalarOp::Sub => 4,
+        ScalarOp::Mul | ScalarOp::Div | ScalarOp::Rem => 5,
+        _ => 6,
+    }
+}
+
+fn infix_symbol(op: ScalarOp) -> Option<&'static str> {
+    Some(match op {
+        ScalarOp::Add => "+",
+        ScalarOp::Sub => "-",
+        ScalarOp::Mul => "*",
+        ScalarOp::Div => "/",
+        ScalarOp::Rem => "%",
+        ScalarOp::Lt => "<",
+        ScalarOp::Le => "<=",
+        ScalarOp::Gt => ">",
+        ScalarOp::Ge => ">=",
+        ScalarOp::Eq => "==",
+        ScalarOp::Ne => "!=",
+        ScalarOp::And => "&&",
+        ScalarOp::Or => "||",
+        _ => return None,
+    })
+}
+
+fn scalar_expr(e: &Expr, parent_prec: u8, out: &mut String) {
+    match e {
+        Expr::Const(s) => match s {
+            Scalar::Str(v) => {
+                out.push('"');
+                out.push_str(v);
+                out.push('"');
+            }
+            other => out.push_str(&other.to_string()),
+        },
+        Expr::Var(v) => out.push_str(v),
+        Expr::Len(inner) => {
+            out.push_str("len(");
+            expr(inner, out);
+            out.push(')');
+        }
+        Expr::Apply(op, args) => {
+            if let Some(sym) = infix_symbol(*op) {
+                let prec = precedence(*op);
+                let need_parens = prec < parent_prec;
+                if need_parens {
+                    out.push('(');
+                }
+                scalar_expr(&args[0], prec, out);
+                out.push(' ');
+                out.push_str(sym);
+                out.push(' ');
+                // Right operand binds one tighter (left-associative ops).
+                scalar_expr(&args[1], prec + 1, out);
+                if need_parens {
+                    out.push(')');
+                }
+            } else {
+                match op {
+                    ScalarOp::Neg => {
+                        out.push('-');
+                        scalar_expr(&args[0], 6, out);
+                    }
+                    ScalarOp::Not => {
+                        out.push('!');
+                        scalar_expr(&args[0], 6, out);
+                    }
+                    ScalarOp::Cast(ty) => {
+                        out.push_str("cast(");
+                        out.push_str(&ty.to_string());
+                        out.push_str(", ");
+                        scalar_expr(&args[0], 0, out);
+                        out.push(')');
+                    }
+                    named => {
+                        out.push_str(named.name());
+                        out.push('(');
+                        for (i, a) in args.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            scalar_expr(a, 0, out);
+                        }
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        // A skeleton in scalar position must be parenthesized.
+        other => {
+            out.push('(');
+            expr(other, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Print in atom position: anything non-atomic is parenthesized.
+fn atom(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Var(_) => expr(e, out),
+        Expr::Const(Scalar::I64(v)) if *v >= 0 => out.push_str(&v.to_string()),
+        Expr::Const(Scalar::F64(v)) if *v >= 0.0 => out.push_str(&v.to_string()),
+        Expr::Const(Scalar::Bool(b)) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Const(Scalar::Str(s)) => {
+            out.push('"');
+            out.push_str(s);
+            out.push('"');
+        }
+        Expr::Len(_) => expr(e, out),
+        _ => {
+            out.push('(');
+            expr(e, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+    use crate::programs;
+
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("reparse of {printed:?} failed: {err}");
+        });
+        assert_eq!(e, e2, "print was {printed:?}");
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "x > 0 && y <= 4 || !z",
+            "sqrt(x * x + y * y)",
+            "map (\\x -> 2 * x) input",
+            "map (\\x y -> x + y) a b",
+            "filter (\\x -> x > 0) a",
+            "fold sum 0 xs",
+            "read i some_data",
+            "gather idx d",
+            "gen (\\i -> i % 7) 100",
+            "condense t",
+            "merge join_left xs ys",
+            "cast(i16, x + 1)",
+            "min(a, max(b, c))",
+            "len(read i d)",
+            "1 - 2 - 3",
+            "a / b / c",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        // 1 - 2 - 3 must stay (1-2)-3.
+        let e = parse_expr("1 - 2 - 3").unwrap();
+        let printed = print_expr(&e);
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+        assert_eq!(printed, "1 - 2 - 3");
+        // But 1 - (2 - 3) needs parens.
+        let e = parse_expr("1 - (2 - 3)").unwrap();
+        let printed = print_expr(&e);
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+        assert!(printed.contains('('));
+    }
+
+    #[test]
+    fn fig2_roundtrips() {
+        let p = programs::fig2_example();
+        let printed = print_program(&p);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn statement_roundtrips() {
+        for src in [
+            "mut x\nx := 1\n",
+            "write out i vals\n",
+            "scatter out idx vals add\n",
+            "if x > 1 then { break } else { x := 0 }\n",
+            "loop { break }\n",
+        ] {
+            let p = parse_program(src).unwrap();
+            let printed = print_program(&p);
+            assert_eq!(parse_program(&printed).unwrap(), p, "printed:\n{printed}");
+        }
+    }
+}

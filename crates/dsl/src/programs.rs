@@ -1,0 +1,254 @@
+//! Canned DSL programs used across tests, examples and experiments.
+
+use crate::ast::build::*;
+use crate::ast::{Expr, FoldFn, Program, ScalarOp, Stmt};
+use crate::parser::parse_program;
+
+/// The paper's Fig. 2 example, verbatim (chunked loop over `some_data`,
+/// doubling into `v` and writing the positive doubles into `w`).
+///
+/// Buffers: reads `some_data`, writes `v` and `w`. Stops after 4096 input
+/// elements.
+pub fn fig2_example() -> Program {
+    fig2_with_limit(4096)
+}
+
+/// Fig. 2 with a configurable input limit (the paper uses 4096).
+pub fn fig2_with_limit(limit: i64) -> Program {
+    let src = format!(
+        r#"
+        mut i
+        mut k
+        i := 0
+        k := 0
+        loop {{
+          let input = read i some_data in {{
+            let a = map (\x -> 2 * x) input in {{
+              let t = filter (\x -> x > 0) a in {{
+                let b = condense t in {{
+                  write v i a
+                  write w k b
+                  i := i + len(a)
+                  k := k + len(b)
+                }}
+              }}
+            }}
+          }}
+          if i >= {limit} then {{ break }}
+        }}
+        "#
+    );
+    parse_program(&src).expect("fig2 source is well-formed")
+}
+
+/// The §III-A normalization example: `f(a,b) = sqrt(a² + b²)` mapped over
+/// two buffers, written to `out`. Whole-array form (no chunk loop) — feed it
+/// to [`crate::transform::vectorize`] to obtain the chunked version.
+pub fn hypot_whole_array() -> Program {
+    parse_program(
+        r#"
+        let a = read 0 xs in {
+          let b = read 0 ys in {
+            let h = map (\p q -> sqrt(p * p + q * q)) a b in {
+              write out 0 h
+            }
+          }
+        }
+        "#,
+    )
+    .expect("hypot source is well-formed")
+}
+
+/// SAXPY: `out[i] = alpha * x[i] + y[i]` over full buffers, chunked.
+pub fn saxpy(alpha: i64, n: i64) -> Program {
+    let src = format!(
+        r#"
+        mut i
+        i := 0
+        loop {{
+          let x = read i xs in {{
+            let y = read i ys in {{
+              let r = map (\p q -> {alpha} * p + q) x y in {{
+                write out i r
+                i := i + len(x)
+              }}
+            }}
+          }}
+          if i >= {n} then {{ break }}
+        }}
+        "#
+    );
+    parse_program(&src).expect("saxpy source is well-formed")
+}
+
+/// Selective aggregation: sum of `2*x` for `x > threshold`, chunked.
+/// Accumulates into mutable `acc`; used by the selectivity experiments.
+pub fn filter_sum(threshold: i64, n: i64) -> Program {
+    let src = format!(
+        r#"
+        mut i
+        mut acc
+        i := 0
+        acc := 0
+        loop {{
+          let input = read i xs in {{
+            let t = filter (\x -> x > {threshold}) input in {{
+              let b = condense t in {{
+                let d = map (\x -> 2 * x) b in {{
+                  let s = fold sum 0 d in {{
+                    acc := acc + s
+                    i := i + len(input)
+                  }}
+                }}
+              }}
+            }}
+          }}
+          if i >= {n} then {{ break }}
+        }}
+        "#
+    );
+    parse_program(&src).expect("filter_sum source is well-formed")
+}
+
+/// A longer straight-line map chain (for fusion/deforestation experiments):
+/// `out = (((x*2)+3)*5)-1`, written per chunk.
+pub fn map_chain(n: i64) -> Program {
+    let src = format!(
+        r#"
+        mut i
+        i := 0
+        loop {{
+          let x = read i xs in {{
+            let a = map (\v -> v * 2) x in {{
+              let b = map (\v -> v + 3) a in {{
+                let c = map (\v -> v * 5) b in {{
+                  let d = map (\v -> v - 1) c in {{
+                    write out i d
+                    i := i + len(x)
+                  }}
+                }}
+              }}
+            }}
+          }}
+          if i >= {n} then {{ break }}
+        }}
+        "#
+    );
+    parse_program(&src).expect("map_chain source is well-formed")
+}
+
+/// Reference semantics of Fig. 2 computed directly in Rust: returns
+/// `(v, w)` for the first `limit` elements of `data`.
+pub fn fig2_reference(data: &[i64], limit: usize) -> (Vec<i64>, Vec<i64>) {
+    let n = data.len().min(limit);
+    let v: Vec<i64> = data[..n].iter().map(|&x| 2 * x).collect();
+    let w: Vec<i64> = v.iter().copied().filter(|&x| x > 0).collect();
+    (v, w)
+}
+
+/// Reference semantics of [`filter_sum`].
+pub fn filter_sum_reference(data: &[i64], threshold: i64, limit: usize) -> i64 {
+    data[..data.len().min(limit)]
+        .iter()
+        .filter(|&&x| x > threshold)
+        .map(|&x| 2 * x)
+        .sum()
+}
+
+/// Reference semantics of [`map_chain`].
+pub fn map_chain_reference(data: &[i64], limit: usize) -> Vec<i64> {
+    data[..data.len().min(limit)]
+        .iter()
+        .map(|&x| (((x * 2) + 3) * 5) - 1)
+        .collect()
+}
+
+/// Extract the loop-body statements of a single-loop program like Fig. 2.
+/// Returns `None` when the program has no top-level loop.
+pub fn loop_body(p: &Program) -> Option<&Vec<Stmt>> {
+    p.stmts.iter().find_map(|s| match s {
+        Stmt::Loop(body) => Some(body),
+        _ => None,
+    })
+}
+
+/// Build a simple one-`let` program: `let r = <expr> in { write out 0 r }`.
+pub fn expr_program(e: Expr) -> Program {
+    Program::new(vec![let_in(
+        "r",
+        e,
+        vec![write("out", int(0), var("r"))],
+    )])
+}
+
+/// A whole-array sum-of-squares program used by transform tests.
+pub fn sum_of_squares() -> Program {
+    Program::new(vec![let_in(
+        "x",
+        read(int(0), "xs"),
+        vec![let_in(
+            "sq",
+            map(
+                lam1("v", bin(ScalarOp::Mul, var("v"), var("v"))),
+                vec![var("x")],
+            ),
+            vec![let_in(
+                "s",
+                fold(FoldFn::Sum, int(0), var("sq")),
+                vec![Stmt::Assign {
+                    name: "result".into(),
+                    expr: var("s"),
+                }],
+            )],
+        )],
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Stmt;
+
+    #[test]
+    fn fig2_shape() {
+        let p = fig2_example();
+        assert_eq!(p.stmts.len(), 5);
+        let body = loop_body(&p).expect("has a loop");
+        assert_eq!(body.len(), 2);
+        assert!(matches!(&body[0], Stmt::Let { name, .. } if name == "input"));
+        assert!(matches!(&body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn fig2_reference_semantics() {
+        let data = vec![1i64, -2, 3, -4];
+        let (v, w) = fig2_reference(&data, 4);
+        assert_eq!(v, vec![2, -4, 6, -8]);
+        assert_eq!(w, vec![2, 6]);
+        // Limit truncates.
+        let (v, _) = fig2_reference(&data, 2);
+        assert_eq!(v, vec![2, -4]);
+    }
+
+    #[test]
+    fn canned_programs_parse() {
+        let _ = hypot_whole_array();
+        let _ = saxpy(3, 1000);
+        let _ = filter_sum(0, 1000);
+        let _ = map_chain(1000);
+        let _ = sum_of_squares();
+    }
+
+    #[test]
+    fn references_are_consistent() {
+        let data: Vec<i64> = (-10..10).collect();
+        assert_eq!(
+            filter_sum_reference(&data, 0, data.len()),
+            data.iter().filter(|&&x| x > 0).map(|x| 2 * x).sum::<i64>()
+        );
+        assert_eq!(
+            map_chain_reference(&[1], 1),
+            vec![(((1 * 2) + 3) * 5) - 1]
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! Chunk-loop manipulation: the execution-strategy axis.
+//!
+//! Footnote 1 of the paper: a chunked program can be turned into simpler
+//! column-at-a-time or tuple-at-a-time execution by *manipulating the array
+//! lengths* of its reads, "followed by partial evaluation which will remove
+//! the loop implementing the chunking". We implement the length
+//! manipulation ([`set_chunk_size`]); the interpreter and JIT consume the
+//! resulting programs directly (at chunk 1 the JIT's fused traces *are* the
+//! partial-evaluation result: a tuple-at-a-time loop).
+//!
+//! [`vectorize`] performs the inverse direction: a whole-array program
+//! (straight-line `let`s over full buffers) is wrapped into a Fig. 2-style
+//! chunk loop — the paper's "pipeline-building" transformation.
+//! [`shard`] adjusts loop boundaries for parallel execution (the paper's
+//! parallelization-through-loop-boundaries, morsel-style).
+
+use adaptvm_storage::scalar::Scalar;
+
+use crate::ast::{Expr, Program, ScalarOp, Stmt};
+use crate::DslError;
+
+/// A chunk-size choice = an execution strategy (footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkSize {
+    /// Tuple-at-a-time (HyPer-style): chunks of one element.
+    Tuple,
+    /// Chunk-at-a-time (X100-style): cache-resident chunks.
+    Vector(usize),
+    /// Column-at-a-time (MonetDB-style): one full-column chunk.
+    Column,
+}
+
+impl ChunkSize {
+    /// The concrete element count (`Column` = effectively unbounded).
+    pub fn elements(self) -> usize {
+        match self {
+            ChunkSize::Tuple => 1,
+            ChunkSize::Vector(n) => n.max(1),
+            ChunkSize::Column => usize::MAX,
+        }
+    }
+}
+
+/// Set the read length of every `read` in the program, switching the
+/// execution strategy (footnote 1: "manipulate the array lengths").
+pub fn set_chunk_size(p: &Program, size: ChunkSize) -> Program {
+    let len_expr = match size {
+        ChunkSize::Column => None,
+        other => Some(Expr::Const(Scalar::I64(other.elements() as i64))),
+    };
+    Program {
+        funcs: p.funcs.clone(),
+        stmts: rewrite_stmts(&p.stmts, &|e| match e {
+            Expr::Read { pos, data, .. } => Expr::Read {
+                pos: pos.clone(),
+                data: data.clone(),
+                len: len_expr.clone().map(Box::new),
+            },
+            other => other.clone(),
+        }),
+    }
+}
+
+fn rewrite_stmts(stmts: &[Stmt], f: &dyn Fn(&Expr) -> Expr) -> Vec<Stmt> {
+    stmts.iter().map(|s| rewrite_stmt(s, f)).collect()
+}
+
+fn rewrite_stmt(s: &Stmt, f: &dyn Fn(&Expr) -> Expr) -> Stmt {
+    match s {
+        Stmt::DeclareMut { .. } | Stmt::Break => s.clone(),
+        Stmt::Assign { name, expr } => Stmt::Assign {
+            name: name.clone(),
+            expr: rewrite_expr(expr, f),
+        },
+        Stmt::Let { name, expr, body } => Stmt::Let {
+            name: name.clone(),
+            expr: rewrite_expr(expr, f),
+            body: rewrite_stmts(body, f),
+        },
+        Stmt::Write { target, pos, value } => Stmt::Write {
+            target: target.clone(),
+            pos: rewrite_expr(pos, f),
+            value: rewrite_expr(value, f),
+        },
+        Stmt::Scatter {
+            target,
+            indices,
+            value,
+            conflict,
+        } => Stmt::Scatter {
+            target: target.clone(),
+            indices: rewrite_expr(indices, f),
+            value: rewrite_expr(value, f),
+            conflict: *conflict,
+        },
+        Stmt::Loop(body) => Stmt::Loop(rewrite_stmts(body, f)),
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: rewrite_expr(cond, f),
+            then: rewrite_stmts(then, f),
+            els: rewrite_stmts(els, f),
+        },
+        Stmt::ExprStmt(e) => Stmt::ExprStmt(rewrite_expr(e, f)),
+    }
+}
+
+/// Bottom-up expression rewrite.
+fn rewrite_expr(e: &Expr, f: &dyn Fn(&Expr) -> Expr) -> Expr {
+    let rebuilt = match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::Apply(op, args) => Expr::Apply(
+            *op,
+            args.iter().map(|a| rewrite_expr(a, f)).collect(),
+        ),
+        Expr::Len(inner) => Expr::Len(Box::new(rewrite_expr(inner, f))),
+        Expr::Map { f: lam, inputs } => Expr::Map {
+            f: lam.clone(),
+            inputs: inputs.iter().map(|i| rewrite_expr(i, f)).collect(),
+        },
+        Expr::Filter { p, inputs } => Expr::Filter {
+            p: p.clone(),
+            inputs: inputs.iter().map(|i| rewrite_expr(i, f)).collect(),
+        },
+        Expr::Fold { r, init, input } => Expr::Fold {
+            r: *r,
+            init: Box::new(rewrite_expr(init, f)),
+            input: Box::new(rewrite_expr(input, f)),
+        },
+        Expr::Read { pos, data, len } => Expr::Read {
+            pos: Box::new(rewrite_expr(pos, f)),
+            data: data.clone(),
+            len: len.as_ref().map(|l| Box::new(rewrite_expr(l, f))),
+        },
+        Expr::Gather { indices, data } => Expr::Gather {
+            indices: Box::new(rewrite_expr(indices, f)),
+            data: data.clone(),
+        },
+        Expr::Gen { f: lam, len } => Expr::Gen {
+            f: lam.clone(),
+            len: Box::new(rewrite_expr(len, f)),
+        },
+        Expr::Condense(inner) => Expr::Condense(Box::new(rewrite_expr(inner, f))),
+        Expr::Merge { kind, left, right } => Expr::Merge {
+            kind: *kind,
+            left: Box::new(rewrite_expr(left, f)),
+            right: Box::new(rewrite_expr(right, f)),
+        },
+    };
+    f(&rebuilt)
+}
+
+/// Wrap a whole-array straight-line program into a chunk loop
+/// (pipeline-building).
+///
+/// Preconditions: no `loop`/`break`/`if` in the source; every `read` uses
+/// position `0`; every `write` uses position `0`. Programs with `fold`s are
+/// rejected (a chunked fold needs an accumulator rewrite the caller should
+/// express directly — see `programs::filter_sum` for the pattern).
+pub fn vectorize(p: &Program, chunk: usize) -> Result<Program, DslError> {
+    let mut targets = Vec::new();
+    check_vectorizable(&p.stmts, &mut targets)?;
+
+    // Cursor variables: `_i` for reads, one `_o_<buf>` per write target.
+    let mut stmts: Vec<Stmt> = vec![
+        Stmt::DeclareMut { name: "_i".into() },
+        Stmt::Assign {
+            name: "_i".into(),
+            expr: Expr::Const(Scalar::I64(0)),
+        },
+    ];
+    for t in &targets {
+        stmts.push(Stmt::DeclareMut {
+            name: format!("_o_{t}"),
+        });
+        stmts.push(Stmt::Assign {
+            name: format!("_o_{t}"),
+            expr: Expr::Const(Scalar::I64(0)),
+        });
+    }
+
+    // Rewrite the body: reads at `_i` with the chunk length; writes at
+    // their cursor, followed by cursor bumps; after the body, bump `_i` and
+    // exit when the first read came up short.
+    let first_read_var = first_read_binding(&p.stmts).ok_or_else(|| {
+        DslError::Transform("vectorize needs at least one `let _ = read …`".into())
+    })?;
+    let body = vectorize_stmts(&p.stmts, chunk, &first_read_var)?;
+    stmts.push(Stmt::Loop(body));
+    Ok(Program {
+        funcs: p.funcs.clone(),
+        stmts,
+    })
+}
+
+fn check_vectorizable(stmts: &[Stmt], targets: &mut Vec<String>) -> Result<(), DslError> {
+    for s in stmts {
+        match s {
+            Stmt::Loop(_) | Stmt::Break | Stmt::If { .. } => {
+                return Err(DslError::Transform(
+                    "vectorize expects a straight-line whole-array program".into(),
+                ))
+            }
+            Stmt::Let { expr, body, .. } => {
+                if contains_fold(expr) {
+                    return Err(DslError::Transform(
+                        "vectorize does not lift folds; write the accumulator loop directly"
+                            .into(),
+                    ));
+                }
+                check_vectorizable(body, targets)?;
+            }
+            Stmt::Write { target, pos, .. } => {
+                if !matches!(pos, Expr::Const(Scalar::I64(0))) {
+                    return Err(DslError::Transform(
+                        "vectorize expects whole-array writes at position 0".into(),
+                    ));
+                }
+                if !targets.contains(target) {
+                    targets.push(target.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn contains_fold(e: &Expr) -> bool {
+    match e {
+        Expr::Fold { .. } => true,
+        Expr::Map { inputs, .. } | Expr::Filter { inputs, .. } => {
+            inputs.iter().any(contains_fold)
+        }
+        Expr::Len(i) | Expr::Condense(i) => contains_fold(i),
+        Expr::Merge { left, right, .. } => contains_fold(left) || contains_fold(right),
+        _ => false,
+    }
+}
+
+fn first_read_binding(stmts: &[Stmt]) -> Option<String> {
+    for s in stmts {
+        if let Stmt::Let { name, expr, body } = s {
+            if matches!(expr, Expr::Read { .. }) {
+                return Some(name.clone());
+            }
+            if let Some(n) = first_read_binding(body) {
+                return Some(n);
+            }
+        }
+    }
+    None
+}
+
+fn vectorize_stmts(
+    stmts: &[Stmt],
+    chunk: usize,
+    first_read: &str,
+) -> Result<Vec<Stmt>, DslError> {
+    let mut out = Vec::new();
+    let mut iter = stmts.iter().peekable();
+    while let Some(s) = iter.next() {
+        match s {
+            Stmt::Let { name, expr, body } => {
+                let expr = match expr {
+                    Expr::Read { data, .. } => Expr::Read {
+                        pos: Box::new(Expr::Var("_i".into())),
+                        data: data.clone(),
+                        len: Some(Box::new(Expr::Const(Scalar::I64(chunk as i64)))),
+                    },
+                    other => other.clone(),
+                };
+                let mut body = vectorize_stmts(body, chunk, first_read)?;
+                // Immediately after binding the first read: exit on empty.
+                if name == first_read {
+                    body.insert(
+                        0,
+                        Stmt::If {
+                            cond: Expr::Apply(
+                                ScalarOp::Eq,
+                                vec![
+                                    Expr::Len(Box::new(Expr::Var(name.clone()))),
+                                    Expr::Const(Scalar::I64(0)),
+                                ],
+                            ),
+                            then: vec![Stmt::Break],
+                            els: Vec::new(),
+                        },
+                    );
+                    // At the end of the body: advance the input cursor.
+                    body.push(Stmt::Assign {
+                        name: "_i".into(),
+                        expr: Expr::Apply(
+                            ScalarOp::Add,
+                            vec![
+                                Expr::Var("_i".into()),
+                                Expr::Len(Box::new(Expr::Var(name.clone()))),
+                            ],
+                        ),
+                    });
+                }
+                out.push(Stmt::Let {
+                    name: name.clone(),
+                    expr,
+                    body,
+                });
+            }
+            Stmt::Write { target, value, .. } => {
+                let cursor = format!("_o_{target}");
+                out.push(Stmt::Write {
+                    target: target.clone(),
+                    pos: Expr::Var(cursor.clone()),
+                    value: value.clone(),
+                });
+                out.push(Stmt::Assign {
+                    name: cursor.clone(),
+                    expr: Expr::Apply(
+                        ScalarOp::Add,
+                        vec![
+                            Expr::Var(cursor),
+                            Expr::Len(Box::new(value.clone())),
+                        ],
+                    ),
+                });
+            }
+            other => out.push(other.clone()),
+        }
+        let _ = &iter; // keep peekable for future extensions
+    }
+    Ok(out)
+}
+
+/// Shard a chunk loop for parallel execution: returns `n_shards` copies of
+/// the program, the `k`-th starting its input cursor at `start + k·stride`
+/// rows and stopping after `stride` rows. This is the paper's
+/// "parallelization through the manipulation of loop boundaries"; callers
+/// (the VM) run the shards on worker threads over disjoint output buffers.
+pub fn shard(p: &Program, total_rows: usize, n_shards: usize) -> Vec<(usize, usize, Program)> {
+    let n = n_shards.max(1);
+    let stride = total_rows.div_ceil(n);
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let start = k * stride;
+        let end = (start + stride).min(total_rows);
+        if start >= end {
+            break;
+        }
+        out.push((start, end, p.clone()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::printer::print_program;
+    use crate::programs;
+    use crate::typecheck::{check_program, TypeEnv};
+    use adaptvm_storage::scalar::ScalarType;
+
+    #[test]
+    fn chunk_size_rewrites_reads() {
+        let p = programs::fig2_example();
+        let t = set_chunk_size(&p, ChunkSize::Tuple);
+        let printed = print_program(&t);
+        // Reads now carry an explicit length of 1 (not visible in the
+        // surface syntax, check the AST).
+        fn find_read_len(stmts: &[Stmt]) -> Option<i64> {
+            for s in stmts {
+                match s {
+                    Stmt::Let { expr, body, .. } => {
+                        if let Expr::Read { len: Some(l), .. } = expr {
+                            if let Expr::Const(Scalar::I64(v)) = l.as_ref() {
+                                return Some(*v);
+                            }
+                        }
+                        if let Some(v) = find_read_len(body) {
+                            return Some(v);
+                        }
+                    }
+                    Stmt::Loop(b) => {
+                        if let Some(v) = find_read_len(b) {
+                            return Some(v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        assert_eq!(find_read_len(&t.stmts), Some(1), "{printed}");
+        let v = set_chunk_size(&p, ChunkSize::Vector(512));
+        assert_eq!(find_read_len(&v.stmts), Some(512));
+        let c = set_chunk_size(&p, ChunkSize::Column);
+        assert_eq!(find_read_len(&c.stmts), None);
+    }
+
+    #[test]
+    fn chunk_elements() {
+        assert_eq!(ChunkSize::Tuple.elements(), 1);
+        assert_eq!(ChunkSize::Vector(0).elements(), 1);
+        assert_eq!(ChunkSize::Vector(1024).elements(), 1024);
+        assert_eq!(ChunkSize::Column.elements(), usize::MAX);
+    }
+
+    #[test]
+    fn vectorize_hypot() {
+        let p = programs::hypot_whole_array();
+        let v = vectorize(&p, 1024).unwrap();
+        let printed = print_program(&v);
+        assert!(printed.contains("loop {"), "{printed}");
+        assert!(printed.contains("_i := _i + len(a)"), "{printed}");
+        assert!(printed.contains("_o_out := _o_out + len(h)"), "{printed}");
+        assert!(printed.contains("if len(a) == 0 then"), "{printed}");
+        // Still type checks.
+        let env = TypeEnv::new()
+            .with_buffer("xs", ScalarType::F64)
+            .with_buffer("ys", ScalarType::F64)
+            .with_buffer("out", ScalarType::F64);
+        check_program(&v, &env).unwrap();
+    }
+
+    #[test]
+    fn vectorize_rejects_folds_and_loops() {
+        assert!(matches!(
+            vectorize(&programs::sum_of_squares(), 1024),
+            Err(DslError::Transform(_))
+        ));
+        assert!(matches!(
+            vectorize(&programs::fig2_example(), 1024),
+            Err(DslError::Transform(_))
+        ));
+        let non_zero_write =
+            parse_program("let a = read 0 xs in { write out 5 a }").unwrap();
+        assert!(vectorize(&non_zero_write, 16).is_err());
+        let no_read = parse_program("mut x\nx := 1").unwrap();
+        assert!(vectorize(&no_read, 16).is_err());
+    }
+
+    #[test]
+    fn shard_covers_all_rows_once() {
+        let p = programs::fig2_example();
+        let shards = shard(&p, 10_000, 4);
+        assert_eq!(shards.len(), 4);
+        let mut covered = 0;
+        let mut expected_start = 0;
+        for (start, end, _) in &shards {
+            assert_eq!(*start, expected_start);
+            covered += end - start;
+            expected_start = *end;
+        }
+        assert_eq!(covered, 10_000);
+        // Degenerate cases.
+        assert_eq!(shard(&p, 3, 8).len(), 3);
+        assert_eq!(shard(&p, 100, 1).len(), 1);
+    }
+}

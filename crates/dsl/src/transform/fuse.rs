@@ -1,0 +1,332 @@
+//! Deforestation: fuse `map` chains to eliminate intermediate arrays
+//! (Wadler-style, §II "essentially loop fusion on the data-parallel
+//! operations").
+//!
+//! `let a = map f x in { let b = map g a in { … } }`, with `a` used only by
+//! the inner map, becomes `let b = map (g ∘ f) x in { … }`. The fused
+//! lambda is composite, so a subsequent [`crate::normalize`] pass — or the
+//! JIT, which compiles composite lambdas directly — decides how it runs.
+//! The fusion/no-fusion choice is exactly experiment B7.
+
+use crate::ast::{Expr, Lambda, Stmt};
+
+/// Count free uses of `name` in a statement list (stops at shadowing).
+pub fn count_var_uses(stmts: &[Stmt], name: &str) -> usize {
+    stmts.iter().map(|s| stmt_uses(s, name)).sum()
+}
+
+fn stmt_uses(s: &Stmt, name: &str) -> usize {
+    match s {
+        Stmt::DeclareMut { .. } | Stmt::Break => 0,
+        Stmt::Assign { expr, .. } | Stmt::ExprStmt(expr) => expr_uses(expr, name),
+        Stmt::Let {
+            name: bound,
+            expr,
+            body,
+        } => {
+            let own = expr_uses(expr, name);
+            if bound == name {
+                own // shadowed in body
+            } else {
+                own + count_var_uses(body, name)
+            }
+        }
+        Stmt::Write { pos, value, .. } => expr_uses(pos, name) + expr_uses(value, name),
+        Stmt::Scatter { indices, value, .. } => {
+            expr_uses(indices, name) + expr_uses(value, name)
+        }
+        Stmt::Loop(body) => count_var_uses(body, name),
+        Stmt::If { cond, then, els } => {
+            expr_uses(cond, name) + count_var_uses(then, name) + count_var_uses(els, name)
+        }
+    }
+}
+
+fn expr_uses(e: &Expr, name: &str) -> usize {
+    match e {
+        Expr::Const(_) => 0,
+        Expr::Var(v) => usize::from(v == name),
+        Expr::Apply(_, args) => args.iter().map(|a| expr_uses(a, name)).sum(),
+        Expr::Len(inner) | Expr::Condense(inner) => expr_uses(inner, name),
+        Expr::Map { f, inputs } => {
+            let lam = if f.params.iter().any(|p| p == name) {
+                0
+            } else {
+                expr_uses(&f.body, name)
+            };
+            lam + inputs.iter().map(|i| expr_uses(i, name)).sum::<usize>()
+        }
+        Expr::Filter { p, inputs } => {
+            let lam = if p.params.iter().any(|x| x == name) {
+                0
+            } else {
+                expr_uses(&p.body, name)
+            };
+            lam + inputs.iter().map(|i| expr_uses(i, name)).sum::<usize>()
+        }
+        Expr::Fold { init, input, .. } => expr_uses(init, name) + expr_uses(input, name),
+        Expr::Read { pos, len, .. } => {
+            expr_uses(pos, name) + len.as_ref().map_or(0, |l| expr_uses(l, name))
+        }
+        Expr::Gather { indices, .. } => expr_uses(indices, name),
+        Expr::Gen { f, len } => {
+            let lam = if f.params.iter().any(|p| p == name) {
+                0
+            } else {
+                expr_uses(&f.body, name)
+            };
+            lam + expr_uses(len, name)
+        }
+        Expr::Merge { left, right, .. } => expr_uses(left, name) + expr_uses(right, name),
+    }
+}
+
+/// Substitute `replacement` for `var` inside a scalar expression.
+fn substitute(e: &Expr, var: &str, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Var(v) if v == var => replacement.clone(),
+        Expr::Apply(op, args) => Expr::Apply(
+            *op,
+            args.iter().map(|a| substitute(a, var, replacement)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Fuse all single-use map-over-map chains in a program. Applies repeatedly
+/// until a fixed point.
+pub fn fuse_program(p: &crate::ast::Program) -> crate::ast::Program {
+    let mut stmts = p.stmts.clone();
+    loop {
+        let (new, changed) = fuse_stmts(&stmts);
+        stmts = new;
+        if !changed {
+            break;
+        }
+    }
+    crate::ast::Program {
+        funcs: p.funcs.clone(),
+        stmts,
+    }
+}
+
+fn fuse_stmts(stmts: &[Stmt]) -> (Vec<Stmt>, bool) {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut changed = false;
+    for s in stmts {
+        let (s, c) = fuse_stmt(s);
+        changed |= c;
+        out.push(s);
+    }
+    (out, changed)
+}
+
+fn fuse_stmt(s: &Stmt) -> (Stmt, bool) {
+    match s {
+        Stmt::Let { name, expr, body } => {
+            // Try fusing this binding into a directly nested map consumer.
+            if let Expr::Map {
+                f: inner_f,
+                inputs: inner_inputs,
+            } = expr
+            {
+                if body.len() == 1 {
+                    if let Stmt::Let {
+                        name: outer_name,
+                        expr:
+                            Expr::Map {
+                                f: outer_f,
+                                inputs: outer_inputs,
+                            },
+                        body: outer_body,
+                    } = &body[0]
+                    {
+                        let uses_in_outer_inputs = outer_inputs
+                            .iter()
+                            .filter(|i| matches!(i, Expr::Var(v) if v == name))
+                            .count();
+                        let total_uses = count_var_uses(body, name);
+                        if uses_in_outer_inputs > 0 && total_uses == uses_in_outer_inputs {
+                            let fused = compose_maps(
+                                name,
+                                inner_f,
+                                inner_inputs,
+                                outer_f,
+                                outer_inputs,
+                            );
+                            let new_let = Stmt::Let {
+                                name: outer_name.clone(),
+                                expr: fused,
+                                body: outer_body.clone(),
+                            };
+                            let (fused_more, _) = fuse_stmt(&new_let);
+                            return (fused_more, true);
+                        }
+                    }
+                }
+            }
+            let (body, changed) = fuse_stmts(body);
+            (
+                Stmt::Let {
+                    name: name.clone(),
+                    expr: expr.clone(),
+                    body,
+                },
+                changed,
+            )
+        }
+        Stmt::Loop(body) => {
+            let (body, changed) = fuse_stmts(body);
+            (Stmt::Loop(body), changed)
+        }
+        Stmt::If { cond, then, els } => {
+            let (then, c1) = fuse_stmts(then);
+            let (els, c2) = fuse_stmts(els);
+            (
+                Stmt::If {
+                    cond: cond.clone(),
+                    then,
+                    els,
+                },
+                c1 || c2,
+            )
+        }
+        other => (other.clone(), false),
+    }
+}
+
+/// Build `map (g ∘ f)` replacing uses of the intermediate `mid`.
+fn compose_maps(
+    mid: &str,
+    inner_f: &Lambda,
+    inner_inputs: &[Expr],
+    outer_f: &Lambda,
+    outer_inputs: &[Expr],
+) -> Expr {
+    // Rename inner params to avoid capture.
+    let renamed: Vec<String> = inner_f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, _)| format!("_f{i}"))
+        .collect();
+    let mut inner_body = (*inner_f.body).clone();
+    for (old, new) in inner_f.params.iter().zip(&renamed) {
+        inner_body = substitute(&inner_body, old, &Expr::Var(new.clone()));
+    }
+
+    let mut params = Vec::new();
+    let mut inputs = Vec::new();
+    let mut body = (*outer_f.body).clone();
+    for (param, input) in outer_f.params.iter().zip(outer_inputs) {
+        if matches!(input, Expr::Var(v) if v == mid) {
+            // This operand is the fused intermediate: inline f's body.
+            body = substitute(&body, param, &inner_body);
+        } else {
+            params.push(param.clone());
+            inputs.push(input.clone());
+        }
+    }
+    // Prepend f's (renamed) params and inputs.
+    let mut all_params = renamed;
+    all_params.extend(params);
+    let mut all_inputs = inner_inputs.to_vec();
+    all_inputs.extend(inputs);
+    Expr::Map {
+        f: Lambda {
+            params: all_params,
+            body: Box::new(body),
+        },
+        inputs: all_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::printer::print_program;
+    use crate::programs;
+
+    #[test]
+    fn fuses_simple_chain() {
+        let p = parse_program(
+            "let a = map (\\x -> x * 2) src in { let b = map (\\y -> y + 3) a in { write out 0 b } }",
+        )
+        .unwrap();
+        let f = fuse_program(&p);
+        let printed = print_program(&f);
+        // One fused map remains.
+        assert_eq!(printed.matches("map (").count(), 1, "{printed}");
+        assert!(printed.contains("_f0 * 2 + 3"), "{printed}");
+    }
+
+    #[test]
+    fn fuses_whole_chain_of_four() {
+        let p = programs::map_chain(100);
+        let f = fuse_program(&p);
+        let printed = print_program(&f);
+        assert_eq!(printed.matches("map (").count(), 1, "{printed}");
+    }
+
+    #[test]
+    fn does_not_fuse_multi_use_intermediate() {
+        // `a` is used by the map AND by the write — fusing would duplicate
+        // work, so we keep it.
+        let p = parse_program(
+            "let a = map (\\x -> x * 2) src in { let b = map (\\y -> y + 3) a in { write v 0 a\nwrite w 0 b } }",
+        )
+        .unwrap();
+        let f = fuse_program(&p);
+        let printed = print_program(&f);
+        assert_eq!(printed.matches("map (").count(), 2, "{printed}");
+    }
+
+    #[test]
+    fn fuses_into_multi_input_map() {
+        // b = map(\u v -> u+v) a c : fuse a's producer, keep c.
+        let p = parse_program(
+            "let a = map (\\x -> x * 2) src in { let b = map (\\u v -> u + v) a c in { write out 0 b } }",
+        )
+        .unwrap();
+        let f = fuse_program(&p);
+        let printed = print_program(&f);
+        assert_eq!(printed.matches("map (").count(), 1, "{printed}");
+        assert!(printed.contains("src"), "{printed}");
+        assert!(printed.contains(" c"), "{printed}");
+    }
+
+    #[test]
+    fn fig2_untouched_by_fusion() {
+        // Fig. 2's map output `a` is consumed twice (filter + write v).
+        let p = programs::fig2_example();
+        assert_eq!(fuse_program(&p), p);
+    }
+
+    #[test]
+    fn count_uses_respects_shadowing() {
+        let p = parse_program(
+            "let a = read 0 xs in { let a = map (\\x -> x) a in { write out 0 a } }",
+        )
+        .unwrap();
+        // Outer `a` is used once: by the inner binding's expression.
+        if let Stmt::Let { body, .. } = &p.stmts[0] {
+            assert_eq!(count_var_uses(body, "a"), 1);
+        } else {
+            panic!("expected let");
+        }
+    }
+
+    #[test]
+    fn fusion_preserves_semantics_shape() {
+        // Verify via reference: fused chain must compute the same function.
+        // (Execution-level equivalence is tested in the VM crate.)
+        let p = programs::map_chain(10);
+        let f = fuse_program(&p);
+        let printed = print_program(&f);
+        assert!(
+            printed.contains("(_f0 * 2 + 3) * 5 - 1"),
+            "fused body wrong: {printed}"
+        );
+    }
+}

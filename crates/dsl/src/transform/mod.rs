@@ -1,0 +1,17 @@
+//! Program transformations (§II).
+//!
+//! The paper lists the transformations its DSL design enables:
+//! * **Deforestation** — eliminate intermediate arrays by fusing
+//!   data-parallel operations ([`fuse`]),
+//! * **Pipeline building / execution-strategy switching** — manipulate the
+//!   chunk loop: vectorized (chunk-at-a-time), tuple-at-a-time (chunk 1,
+//!   HyPer-like) and column-at-a-time (one full-column chunk, MonetDB-like)
+//!   are all the *same* program at different chunk sizes (footnote 1 of the
+//!   paper) ([`chunking`]),
+//! * **Parallelization** — loop-boundary manipulation ([`chunking::shard`]).
+
+pub mod chunking;
+pub mod fuse;
+
+pub use chunking::{set_chunk_size, shard, vectorize, ChunkSize};
+pub use fuse::{count_var_uses, fuse_program};

@@ -1,0 +1,594 @@
+//! Bidirectional type checker for DSL programs.
+//!
+//! Types are either scalars or arrays of scalars (`§II`: "these skeletons
+//! operate on arrays of data … scalar values can be seen as arrays with
+//! length 1"). The checker propagates element types through skeletons,
+//! infers lambda parameter types from the inputs, and validates buffer
+//! reads/writes against a buffer environment.
+
+use std::collections::HashMap;
+
+use adaptvm_storage::scalar::ScalarType;
+
+use crate::ast::{Expr, FoldFn, Lambda, MergeKind, Program, ScalarOp, Stmt};
+use crate::DslError;
+
+/// A DSL type: scalar or array-of-scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// A single value.
+    Scalar(ScalarType),
+    /// An array of values.
+    Array(ScalarType),
+}
+
+impl Type {
+    /// The element type (identity for scalars).
+    pub fn element(self) -> ScalarType {
+        match self {
+            Type::Scalar(t) | Type::Array(t) => t,
+        }
+    }
+
+    /// True for array types.
+    pub fn is_array(self) -> bool {
+        matches!(self, Type::Array(_))
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Scalar(t) => write!(f, "{t}"),
+            Type::Array(t) => write!(f, "[{t}]"),
+        }
+    }
+}
+
+/// Typing environment: variables in scope and the named buffers the program
+/// may `read`/`write`/`gather`/`scatter`.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    vars: HashMap<String, Type>,
+    buffers: HashMap<String, ScalarType>,
+}
+
+impl TypeEnv {
+    /// Empty environment.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Register a named buffer of element type `ty`.
+    pub fn with_buffer(mut self, name: &str, ty: ScalarType) -> TypeEnv {
+        self.buffers.insert(name.to_string(), ty);
+        self
+    }
+
+    /// Register a variable.
+    pub fn with_var(mut self, name: &str, ty: Type) -> TypeEnv {
+        self.vars.insert(name.to_string(), ty);
+        self
+    }
+
+    fn buffer(&self, name: &str) -> Result<ScalarType, DslError> {
+        self.buffers
+            .get(name)
+            .copied()
+            .ok_or_else(|| DslError::Unbound(format!("buffer {name}")))
+    }
+}
+
+/// Result of scalar-operation typing over promoted operand types.
+fn apply_type(op: ScalarOp, args: &[ScalarType]) -> Result<ScalarType, DslError> {
+    use ScalarOp::*;
+    let promote2 = |a: ScalarType, b: ScalarType| {
+        a.promote(b)
+            .ok_or_else(|| DslError::Type(format!("no common type for {a} and {b} in {op:?}")))
+    };
+    match op {
+        Add | Sub | Mul | Div | Rem | Min | Max => {
+            let t = promote2(args[0], args[1])?;
+            if !t.is_numeric() {
+                return Err(DslError::Type(format!("{op:?} needs numeric operands, got {t}")));
+            }
+            Ok(t)
+        }
+        Sqrt => {
+            if !args[0].is_numeric() {
+                return Err(DslError::Type(format!("sqrt needs a numeric operand, got {}", args[0])));
+            }
+            Ok(ScalarType::F64)
+        }
+        Abs | Neg => {
+            if !args[0].is_numeric() {
+                return Err(DslError::Type(format!("{op:?} needs a numeric operand, got {}", args[0])));
+            }
+            Ok(args[0])
+        }
+        Eq | Ne => {
+            if args[0] != args[1] && args[0].promote(args[1]).is_none() {
+                return Err(DslError::Type(format!(
+                    "cannot compare {} with {}",
+                    args[0], args[1]
+                )));
+            }
+            Ok(ScalarType::Bool)
+        }
+        Lt | Le | Gt | Ge => {
+            let comparable = (args[0].is_numeric() && args[1].is_numeric())
+                || (args[0] == ScalarType::Str && args[1] == ScalarType::Str);
+            if !comparable {
+                return Err(DslError::Type(format!(
+                    "cannot order {} with {}",
+                    args[0], args[1]
+                )));
+            }
+            Ok(ScalarType::Bool)
+        }
+        And | Or => {
+            if args[0] != ScalarType::Bool || args[1] != ScalarType::Bool {
+                return Err(DslError::Type(format!(
+                    "{op:?} needs booleans, got {} and {}",
+                    args[0], args[1]
+                )));
+            }
+            Ok(ScalarType::Bool)
+        }
+        Not => {
+            if args[0] != ScalarType::Bool {
+                return Err(DslError::Type(format!("not needs a boolean, got {}", args[0])));
+            }
+            Ok(ScalarType::Bool)
+        }
+        Hash => Ok(ScalarType::I64),
+        Cast(t) => Ok(t),
+        StrLen => {
+            if args[0] != ScalarType::Str {
+                return Err(DslError::Type(format!("strlen needs a string, got {}", args[0])));
+            }
+            Ok(ScalarType::I64)
+        }
+        Concat => {
+            if args[0] != ScalarType::Str || args[1] != ScalarType::Str {
+                return Err(DslError::Type("concat needs strings".into()));
+            }
+            Ok(ScalarType::Str)
+        }
+    }
+}
+
+/// Infer a lambda's result element type given its inputs' element types.
+pub fn infer_lambda(f: &Lambda, arg_types: &[ScalarType], env: &TypeEnv) -> Result<ScalarType, DslError> {
+    if f.params.len() != arg_types.len() {
+        return Err(DslError::Type(format!(
+            "lambda takes {} parameters but {} inputs were given",
+            f.params.len(),
+            arg_types.len()
+        )));
+    }
+    let mut inner = env.clone();
+    for (p, &t) in f.params.iter().zip(arg_types) {
+        inner.vars.insert(p.clone(), Type::Scalar(t));
+    }
+    match infer_expr(&f.body, &inner)? {
+        Type::Scalar(t) => Ok(t),
+        Type::Array(t) => Err(DslError::Type(format!(
+            "lambda body must be scalar, produced [{t}]"
+        ))),
+    }
+}
+
+/// Infer the type of an expression.
+pub fn infer_expr(e: &Expr, env: &TypeEnv) -> Result<Type, DslError> {
+    match e {
+        Expr::Const(s) => Ok(Type::Scalar(s.scalar_type())),
+        Expr::Var(name) => env
+            .vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| DslError::Unbound(name.clone())),
+        Expr::Apply(op, args) => {
+            if args.len() != op.arity() {
+                return Err(DslError::Type(format!(
+                    "{op:?} takes {} operands, got {}",
+                    op.arity(),
+                    args.len()
+                )));
+            }
+            let mut tys = Vec::with_capacity(args.len());
+            let mut any_array = false;
+            for a in args {
+                let t = infer_expr(a, env)?;
+                any_array |= t.is_array();
+                tys.push(t.element());
+            }
+            let result = apply_type(*op, &tys)?;
+            // A scalar op lifted over arrays yields an array (implicit map).
+            Ok(if any_array {
+                Type::Array(result)
+            } else {
+                Type::Scalar(result)
+            })
+        }
+        Expr::Len(inner) => {
+            let t = infer_expr(inner, env)?;
+            if !t.is_array() {
+                return Err(DslError::Type(format!("len needs an array, got {t}")));
+            }
+            Ok(Type::Scalar(ScalarType::I64))
+        }
+        Expr::Map { f, inputs } => {
+            let mut elems = Vec::with_capacity(inputs.len());
+            for i in inputs {
+                elems.push(infer_expr(i, env)?.element());
+            }
+            Ok(Type::Array(infer_lambda(f, &elems, env)?))
+        }
+        Expr::Filter { p, inputs } => {
+            if inputs.is_empty() {
+                return Err(DslError::Type("filter needs at least one input".into()));
+            }
+            let mut elems = Vec::with_capacity(inputs.len());
+            let mut flow = None;
+            for (i, input) in inputs.iter().enumerate() {
+                let t = infer_expr(input, env)?;
+                if !t.is_array() {
+                    return Err(DslError::Type(format!("filter needs arrays, got {t}")));
+                }
+                if i == 0 {
+                    flow = Some(t);
+                }
+                elems.push(t.element());
+            }
+            let pt = infer_lambda(p, &elems, env)?;
+            if pt != ScalarType::Bool {
+                return Err(DslError::Type(format!(
+                    "filter predicate must be boolean, got {pt}"
+                )));
+            }
+            Ok(flow.expect("non-empty inputs"))
+        }
+        Expr::Fold { r, init, input } => {
+            let it = infer_expr(input, env)?;
+            if !it.is_array() {
+                return Err(DslError::Type(format!("fold needs an array, got {it}")));
+            }
+            let init_t = infer_expr(init, env)?.element();
+            let elem = it.element();
+            let result = match r {
+                FoldFn::Count => ScalarType::I64,
+                FoldFn::All | FoldFn::Any => {
+                    if elem != ScalarType::Bool {
+                        return Err(DslError::Type(format!(
+                            "fold {} needs booleans, got {elem}",
+                            r.name()
+                        )));
+                    }
+                    ScalarType::Bool
+                }
+                FoldFn::Sum | FoldFn::Min | FoldFn::Max => {
+                    if !elem.is_numeric() {
+                        return Err(DslError::Type(format!(
+                            "fold {} needs numbers, got {elem}",
+                            r.name()
+                        )));
+                    }
+                    elem.promote(init_t).ok_or_else(|| {
+                        DslError::Type(format!(
+                            "fold init {init_t} incompatible with elements {elem}"
+                        ))
+                    })?
+                }
+            };
+            Ok(Type::Scalar(result))
+        }
+        Expr::Read { pos, data, len } => {
+            expect_scalar_int(pos, env, "read position")?;
+            if let Some(l) = len {
+                expect_scalar_int(l, env, "read length")?;
+            }
+            Ok(Type::Array(env.buffer(data)?))
+        }
+        Expr::Gather { indices, data } => {
+            let it = infer_expr(indices, env)?;
+            if !it.is_array() || !it.element().is_integer() {
+                return Err(DslError::Type(format!(
+                    "gather needs integer indices, got {it}"
+                )));
+            }
+            Ok(Type::Array(env.buffer(data)?))
+        }
+        Expr::Gen { f, len } => {
+            expect_scalar_int(len, env, "gen length")?;
+            Ok(Type::Array(infer_lambda(f, &[ScalarType::I64], env)?))
+        }
+        Expr::Condense(inner) => {
+            let t = infer_expr(inner, env)?;
+            if !t.is_array() {
+                return Err(DslError::Type(format!("condense needs an array, got {t}")));
+            }
+            Ok(t)
+        }
+        Expr::Merge { kind, left, right } => {
+            let lt = infer_expr(left, env)?;
+            let rt = infer_expr(right, env)?;
+            if !lt.is_array() || !rt.is_array() {
+                return Err(DslError::Type("merge needs arrays".into()));
+            }
+            if lt.element() != rt.element() {
+                return Err(DslError::Type(format!(
+                    "merge inputs must agree: {lt} vs {rt}"
+                )));
+            }
+            Ok(match kind {
+                MergeKind::JoinLeftIdx | MergeKind::JoinRightIdx => Type::Array(ScalarType::I64),
+                _ => lt,
+            })
+        }
+    }
+}
+
+fn expect_scalar_int(e: &Expr, env: &TypeEnv, what: &str) -> Result<(), DslError> {
+    let t = infer_expr(e, env)?;
+    match t {
+        Type::Scalar(s) if s.is_integer() => Ok(()),
+        other => Err(DslError::Type(format!(
+            "{what} must be a scalar integer, got {other}"
+        ))),
+    }
+}
+
+/// Check a whole program against an environment (mutable-variable types are
+/// recorded on first assignment).
+pub fn check_program(p: &Program, env: &TypeEnv) -> Result<(), DslError> {
+    let mut env = env.clone();
+    check_stmts(&p.stmts, &mut env, false)
+}
+
+fn check_stmts(stmts: &[Stmt], env: &mut TypeEnv, in_loop: bool) -> Result<(), DslError> {
+    for s in stmts {
+        check_stmt(s, env, in_loop)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(s: &Stmt, env: &mut TypeEnv, in_loop: bool) -> Result<(), DslError> {
+    match s {
+        Stmt::DeclareMut { .. } => Ok(()),
+        Stmt::Assign { name, expr } => {
+            let t = infer_expr(expr, env)?;
+            if let Some(existing) = env.vars.get(name) {
+                if *existing != t {
+                    return Err(DslError::Type(format!(
+                        "assignment changes type of {name}: {existing} → {t}"
+                    )));
+                }
+            }
+            env.vars.insert(name.clone(), t);
+            Ok(())
+        }
+        Stmt::Let { name, expr, body } => {
+            let t = infer_expr(expr, env)?;
+            let shadowed = env.vars.insert(name.clone(), t);
+            let r = check_stmts(body, env, in_loop);
+            match shadowed {
+                Some(old) => {
+                    env.vars.insert(name.clone(), old);
+                }
+                None => {
+                    env.vars.remove(name);
+                }
+            }
+            r
+        }
+        Stmt::Write { target, pos, value } => {
+            expect_scalar_int(pos, env, "write position")?;
+            let vt = infer_expr(value, env)?;
+            let bt = env.buffer(target)?;
+            if vt.element() != bt {
+                return Err(DslError::Type(format!(
+                    "write of {vt} into buffer {target} of [{bt}]"
+                )));
+            }
+            Ok(())
+        }
+        Stmt::Scatter {
+            target,
+            indices,
+            value,
+            ..
+        } => {
+            let it = infer_expr(indices, env)?;
+            if !it.is_array() || !it.element().is_integer() {
+                return Err(DslError::Type("scatter needs integer indices".into()));
+            }
+            let vt = infer_expr(value, env)?;
+            let bt = env.buffer(target)?;
+            if vt.element() != bt {
+                return Err(DslError::Type(format!(
+                    "scatter of {vt} into buffer {target} of [{bt}]"
+                )));
+            }
+            Ok(())
+        }
+        Stmt::Loop(body) => check_stmts(body, env, true),
+        Stmt::Break => {
+            if in_loop {
+                Ok(())
+            } else {
+                Err(DslError::Type("break outside loop".into()))
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            let t = infer_expr(cond, env)?;
+            if t != Type::Scalar(ScalarType::Bool) {
+                return Err(DslError::Type(format!("if condition must be bool, got {t}")));
+            }
+            check_stmts(then, env, in_loop)?;
+            check_stmts(els, env, in_loop)
+        }
+        Stmt::ExprStmt(e) => infer_expr(e, env).map(|_| ()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+    use crate::programs;
+
+    fn env() -> TypeEnv {
+        TypeEnv::new()
+            .with_buffer("some_data", ScalarType::I64)
+            .with_buffer("v", ScalarType::I64)
+            .with_buffer("w", ScalarType::I64)
+            .with_buffer("xs", ScalarType::I64)
+            .with_buffer("ys", ScalarType::I64)
+            .with_buffer("out", ScalarType::F64)
+    }
+
+    fn ty(src: &str) -> Result<Type, DslError> {
+        infer_expr(&parse_expr(src).unwrap(), &env())
+    }
+
+    #[test]
+    fn scalar_expressions() {
+        assert_eq!(ty("1 + 2").unwrap(), Type::Scalar(ScalarType::I64));
+        assert_eq!(ty("1 + 2.5").unwrap(), Type::Scalar(ScalarType::F64));
+        assert_eq!(ty("1 < 2").unwrap(), Type::Scalar(ScalarType::Bool));
+        assert_eq!(ty("sqrt(4)").unwrap(), Type::Scalar(ScalarType::F64));
+        assert_eq!(ty("cast(i16, 9)").unwrap(), Type::Scalar(ScalarType::I16));
+        assert!(ty("true + 1").is_err());
+        assert!(ty("1 && true").is_err());
+        assert!(ty("strlen(1)").is_err());
+    }
+
+    #[test]
+    fn skeleton_types() {
+        assert_eq!(
+            ty("read 0 some_data").unwrap(),
+            Type::Array(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("map (\\x -> x * 2) (read 0 xs)").unwrap(),
+            Type::Array(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("map (\\x -> sqrt(x)) (read 0 xs)").unwrap(),
+            Type::Array(ScalarType::F64)
+        );
+        assert_eq!(
+            ty("filter (\\x -> x > 0) (read 0 xs)").unwrap(),
+            Type::Array(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("fold sum 0 (read 0 xs)").unwrap(),
+            Type::Scalar(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("fold count 0 (read 0 xs)").unwrap(),
+            Type::Scalar(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("len(read 0 xs)").unwrap(),
+            Type::Scalar(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("merge join_left (read 0 xs) (read 0 ys)").unwrap(),
+            Type::Array(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("gen (\\i -> i % 3) 10").unwrap(),
+            Type::Array(ScalarType::I64)
+        );
+        assert_eq!(
+            ty("gather (gen (\\i -> i) 4) xs").unwrap(),
+            Type::Array(ScalarType::I64)
+        );
+    }
+
+    #[test]
+    fn skeleton_type_errors() {
+        // Non-bool predicate.
+        assert!(ty("filter (\\x -> x + 1) (read 0 xs)").is_err());
+        // Fold all over ints.
+        assert!(ty("fold all true (read 0 xs)").is_err());
+        // Unknown buffer.
+        assert!(ty("read 0 nope").is_err());
+        // len of scalar.
+        assert!(ty("len(1)").is_err());
+        // Lambda arity mismatch is a parse-level impossibility; via builder:
+        use crate::ast::build::*;
+        let bad = map(lam2("a", "b", var("a")), vec![var("x")]);
+        let e = env().with_var("x", Type::Array(ScalarType::I64));
+        assert!(infer_expr(&bad, &e).is_err());
+    }
+
+    #[test]
+    fn implicit_lift_of_scalar_ops() {
+        // Applying a scalar op to an array lifts element-wise.
+        let e = env().with_var("a", Type::Array(ScalarType::I64));
+        let t = infer_expr(&parse_expr("a + 1").unwrap(), &e).unwrap();
+        assert_eq!(t, Type::Array(ScalarType::I64));
+    }
+
+    #[test]
+    fn fig2_checks() {
+        check_program(&programs::fig2_example(), &env()).unwrap();
+    }
+
+    #[test]
+    fn canned_programs_check() {
+        let int_out = TypeEnv::new()
+            .with_buffer("xs", ScalarType::I64)
+            .with_buffer("ys", ScalarType::I64)
+            .with_buffer("out", ScalarType::I64);
+        check_program(&programs::saxpy(3, 100), &int_out).unwrap();
+        check_program(&programs::filter_sum(0, 100), &int_out).unwrap();
+        check_program(
+            &programs::map_chain(100),
+            &TypeEnv::new()
+                .with_buffer("xs", ScalarType::I64)
+                .with_buffer("out", ScalarType::I64),
+        )
+        .unwrap();
+        check_program(
+            &programs::hypot_whole_array(),
+            &TypeEnv::new()
+                .with_buffer("xs", ScalarType::F64)
+                .with_buffer("ys", ScalarType::F64)
+                .with_buffer("out", ScalarType::F64),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn statement_errors() {
+        // break outside loop.
+        assert!(check_program(&parse_program("break").unwrap(), &env()).is_err());
+        // write type mismatch: f64 map into i64 buffer.
+        let p = parse_program(
+            "let a = map (\\x -> sqrt(x)) (read 0 xs) in { write v 0 a }",
+        )
+        .unwrap();
+        assert!(check_program(&p, &env()).is_err());
+        // non-bool if condition.
+        let p = parse_program("if 1 + 2 then { break }").unwrap();
+        assert!(check_program(&p, &env()).is_err());
+        // assignment retype.
+        let p = parse_program("mut x\nx := 1\nx := true").unwrap();
+        assert!(check_program(&p, &env()).is_err());
+    }
+
+    #[test]
+    fn let_scoping_restores() {
+        // `a` out of scope after the let body.
+        let p = parse_program(
+            "let a = read 0 xs in { write v 0 a }\nwrite v 0 a",
+        )
+        .unwrap();
+        let err = check_program(&p, &env()).unwrap_err();
+        assert!(matches!(err, DslError::Unbound(name) if name == "a"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Runtime values flowing through the VM.
+//!
+//! A [`Vector`] is an array plus an optional *pending selection* — the
+//! representation Table I's `filter` produces ("filters do not physically
+//! modify the flow, instead they calculate a selection vector"). `condense`
+//! materializes the selection.
+
+use adaptvm_storage::array::Array;
+use adaptvm_storage::scalar::Scalar;
+use adaptvm_storage::sel::SelVec;
+use adaptvm_storage::StorageError;
+
+/// An array with an optional pending selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    /// The physical data.
+    pub data: Array,
+    /// Pending selection over `data` (None = all selected).
+    pub sel: Option<SelVec>,
+}
+
+impl Vector {
+    /// A dense vector (no pending selection).
+    pub fn dense(data: Array) -> Vector {
+        Vector { data, sel: None }
+    }
+
+    /// A vector with a pending selection.
+    pub fn selected(data: Array, sel: SelVec) -> Vector {
+        Vector {
+            data,
+            sel: Some(sel),
+        }
+    }
+
+    /// Physical length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when there are no physical elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Logical (selected) length.
+    pub fn selected_len(&self) -> usize {
+        self.sel.as_ref().map_or(self.data.len(), SelVec::len)
+    }
+
+    /// Materialize the selection into dense data (`condense`).
+    pub fn condense(&self) -> Result<Vector, StorageError> {
+        match &self.sel {
+            None => Ok(self.clone()),
+            Some(sel) => Ok(Vector::dense(self.data.take(sel.indices())?)),
+        }
+    }
+
+    /// Observed selectivity of the pending selection (1.0 when dense).
+    pub fn selectivity(&self) -> f64 {
+        match &self.sel {
+            None => 1.0,
+            Some(s) => s.selectivity(self.data.len()),
+        }
+    }
+}
+
+/// A runtime value: a vector or a scalar.
+///
+/// §II: "Scalar values can be seen as arrays with length 1" — we keep a
+/// separate scalar representation for loop counters and fold results, but
+/// every skeleton accepts either via [`Value::to_vector_broadcast`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An array value with optional selection.
+    Vector(Vector),
+    /// A scalar value.
+    Scalar(Scalar),
+}
+
+impl Value {
+    /// A dense vector value.
+    pub fn dense(data: Array) -> Value {
+        Value::Vector(Vector::dense(data))
+    }
+
+    /// The vector, if this is one.
+    pub fn as_vector(&self) -> Option<&Vector> {
+        match self {
+            Value::Vector(v) => Some(v),
+            Value::Scalar(_) => None,
+        }
+    }
+
+    /// The scalar, if this is one.
+    pub fn as_scalar(&self) -> Option<&Scalar> {
+        match self {
+            Value::Scalar(s) => Some(s),
+            Value::Vector(_) => None,
+        }
+    }
+
+    /// Scalar widened to `i64`, when possible.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_scalar().and_then(Scalar::as_i64)
+    }
+
+    /// Logical length: vectors report their selected length, scalars 1.
+    pub fn logical_len(&self) -> usize {
+        match self {
+            Value::Vector(v) => v.selected_len(),
+            Value::Scalar(_) => 1,
+        }
+    }
+
+    /// View as a vector, broadcasting a scalar to length `n`.
+    pub fn to_vector_broadcast(&self, n: usize) -> Vector {
+        match self {
+            Value::Vector(v) => v.clone(),
+            Value::Scalar(s) => Vector::dense(Array::splat(s, n)),
+        }
+    }
+}
+
+impl From<Scalar> for Value {
+    fn from(s: Scalar) -> Value {
+        Value::Scalar(s)
+    }
+}
+
+impl From<Array> for Value {
+    fn from(a: Array) -> Value {
+        Value::dense(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_selected() {
+        let v = Vector::dense(Array::from(vec![1i64, 2, 3]));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.selected_len(), 3);
+        assert_eq!(v.selectivity(), 1.0);
+
+        let s = Vector::selected(Array::from(vec![1i64, 2, 3]), SelVec::new(vec![0, 2]));
+        assert_eq!(s.selected_len(), 2);
+        assert!((s.selectivity() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condense_materializes() {
+        let s = Vector::selected(Array::from(vec![1i64, 2, 3]), SelVec::new(vec![2]));
+        let d = s.condense().unwrap();
+        assert_eq!(d.data, Array::from(vec![3i64]));
+        assert!(d.sel.is_none());
+    }
+
+    #[test]
+    fn value_conversions() {
+        let v: Value = Array::from(vec![1i64]).into();
+        assert!(v.as_vector().is_some());
+        assert_eq!(v.logical_len(), 1);
+        let s: Value = Scalar::I64(9).into();
+        assert_eq!(s.as_i64(), Some(9));
+        assert_eq!(s.logical_len(), 1);
+        let b = s.to_vector_broadcast(4);
+        assert_eq!(b.data, Array::from(vec![9i64, 9, 9, 9]));
+    }
+}

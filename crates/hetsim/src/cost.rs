@@ -1,0 +1,201 @@
+//! The device cost model and virtual clock.
+//!
+//! Execution of a fragment over a chunk on a device costs, in virtual
+//! nanoseconds:
+//!
+//! ```text
+//! launch + transfer_in(bytes_in) + max(compute, memory) + transfer_out(bytes_out)
+//!
+//! compute = lanes_processed · ops_per_lane · OP_NS / effective_lanes
+//! memory  = (bytes_in + bytes_out) / mem_bandwidth
+//! ```
+//!
+//! `max(compute, memory)` is the classical roofline: a kernel is bound by
+//! whichever resource saturates first. Transfers apply only to devices with
+//! private memory (discrete GPU, FPGA).
+
+use crate::device::DeviceSpec;
+
+/// Virtual cost of one host-lane-equivalent operation, in nanoseconds.
+/// Roughly one simple ALU op per cycle at ~1 GHz per "host lane".
+pub const OP_NS: f64 = 1.0;
+
+/// An itemized virtual cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Kernel launch latency.
+    pub launch_ns: u64,
+    /// Host→device transfer.
+    pub transfer_in_ns: u64,
+    /// Compute/memory roofline time.
+    pub exec_ns: u64,
+    /// Device→host transfer of results.
+    pub transfer_out_ns: u64,
+}
+
+impl CostBreakdown {
+    /// Total virtual nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.launch_ns + self.transfer_in_ns + self.exec_ns + self.transfer_out_ns
+    }
+}
+
+/// Price one fragment execution on `device`.
+///
+/// * `lanes` — lanes processed (chunk length or selected count),
+/// * `ops_per_lane` — trace operations per lane,
+/// * `bytes_in` / `bytes_out` — operand and result footprints.
+pub fn price(
+    device: &DeviceSpec,
+    lanes: usize,
+    ops_per_lane: usize,
+    bytes_in: usize,
+    bytes_out: usize,
+) -> CostBreakdown {
+    let transfer = |bytes: usize| -> u64 {
+        match &device.link {
+            None => 0,
+            Some(link) => {
+                if bytes == 0 {
+                    0
+                } else {
+                    link.latency_ns + (bytes as f64 / link.bandwidth_bps * 1e9) as u64
+                }
+            }
+        }
+    };
+    let compute_ns = lanes as f64 * ops_per_lane.max(1) as f64 * OP_NS / device.effective_lanes();
+    let memory_ns = (bytes_in + bytes_out) as f64 / device.mem_bandwidth_bps * 1e9;
+    CostBreakdown {
+        launch_ns: device.launch_ns,
+        transfer_in_ns: transfer(bytes_in),
+        exec_ns: compute_ns.max(memory_ns) as u64,
+        transfer_out_ns: transfer(bytes_out),
+    }
+}
+
+/// A per-device virtual clock (monotone accumulator).
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    total_ns: u64,
+    events: u64,
+}
+
+impl VirtualClock {
+    /// A fresh clock at zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Charge a cost to the clock.
+    pub fn charge(&mut self, cost: &CostBreakdown) {
+        self.total_ns += cost.total_ns();
+        self.events += 1;
+    }
+
+    /// Charge raw nanoseconds.
+    pub fn charge_ns(&mut self, ns: u64) {
+        self.total_ns += ns;
+        self.events += 1;
+    }
+
+    /// Accumulated virtual nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Number of charges.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn cpu_small_input_beats_dgpu() {
+        let cpu = DeviceSpec::cpu();
+        let dgpu = DeviceSpec::discrete_gpu();
+        // 1k rows, 4 ops, 8 KiB in/out: launch+transfer dominate the GPU.
+        let c = price(&cpu, 1024, 4, 8192, 8192).total_ns();
+        let g = price(&dgpu, 1024, 4, 8192, 8192).total_ns();
+        assert!(c < g, "cpu {c} vs dgpu {g}");
+    }
+
+    #[test]
+    fn dgpu_large_input_beats_cpu() {
+        let cpu = DeviceSpec::cpu();
+        let dgpu = DeviceSpec::discrete_gpu();
+        // 64M rows, 16 ops each: compute dwarfs transfer.
+        let n = 64 * 1024 * 1024;
+        let bytes = n * 8;
+        let c = price(&cpu, n, 16, bytes, bytes).total_ns();
+        let g = price(&dgpu, n, 16, bytes, bytes).total_ns();
+        assert!(g < c, "dgpu {g} vs cpu {c}");
+    }
+
+    #[test]
+    fn crossover_exists_and_is_monotone() {
+        let cpu = DeviceSpec::cpu();
+        let dgpu = DeviceSpec::discrete_gpu();
+        let mut last_winner_cpu = true;
+        let mut crossed = false;
+        for exp in 8..=26 {
+            let n = 1usize << exp;
+            let bytes = n * 8;
+            let c = price(&cpu, n, 16, bytes, bytes).total_ns();
+            let g = price(&dgpu, n, 16, bytes, bytes).total_ns();
+            let cpu_wins = c <= g;
+            if last_winner_cpu && !cpu_wins {
+                crossed = true;
+            }
+            // Once the GPU wins it keeps winning (monotone crossover).
+            if !last_winner_cpu {
+                assert!(!cpu_wins, "winner flipped back at n=2^{exp}");
+            }
+            last_winner_cpu = cpu_wins;
+        }
+        assert!(crossed, "no CPU→GPU crossover found in sweep");
+    }
+
+    #[test]
+    fn integrated_gpu_has_no_transfer_cost() {
+        let igpu = DeviceSpec::integrated_gpu();
+        let c = price(&igpu, 1024, 4, 1 << 20, 1 << 20);
+        assert_eq!(c.transfer_in_ns, 0);
+        assert_eq!(c.transfer_out_ns, 0);
+        assert!(c.launch_ns > 0);
+    }
+
+    #[test]
+    fn memory_bound_kernels_hit_the_roofline() {
+        let cpu = DeviceSpec::cpu();
+        // 1 op per lane over a lot of bytes: memory-bound.
+        let n = 1 << 24;
+        let bytes = n * 8;
+        let c = price(&cpu, n, 1, bytes, bytes);
+        let mem_ns = ((2 * bytes) as f64 / cpu.mem_bandwidth_bps * 1e9) as u64;
+        assert_eq!(c.exec_ns, mem_ns);
+    }
+
+    #[test]
+    fn virtual_clock_accumulates() {
+        let mut clock = VirtualClock::new();
+        let c = price(&DeviceSpec::cpu(), 1024, 4, 8192, 8192);
+        clock.charge(&c);
+        clock.charge_ns(100);
+        assert_eq!(clock.total_ns(), c.total_ns() + 100);
+        assert_eq!(clock.events(), 2);
+    }
+
+    #[test]
+    fn zero_work_costs_only_launch() {
+        let dgpu = DeviceSpec::discrete_gpu();
+        let c = price(&dgpu, 0, 0, 0, 0);
+        assert_eq!(c.transfer_in_ns, 0);
+        assert_eq!(c.total_ns(), dgpu.launch_ns);
+    }
+}

@@ -1,0 +1,149 @@
+//! Device descriptors and presets.
+//!
+//! Preset numbers are order-of-magnitude figures for 2018-era hardware
+//! (the paper's publication year): a desktop CPU, an integrated GPU
+//! sharing host memory, a discrete GPU behind PCIe 3.0, and an FPGA
+//! profile with modest clocks but deep pipelining on streaming kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Host CPU.
+    Cpu,
+    /// Integrated GPU (shares host memory; no transfer cost).
+    IntegratedGpu,
+    /// Discrete GPU behind a host link.
+    DiscreteGpu,
+    /// FPGA streaming profile.
+    Fpga,
+}
+
+/// A host link (PCIe-style) for devices with private memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Per-transfer latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// A simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Display name.
+    pub name: String,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Data-parallel lanes executing concurrently.
+    pub parallelism: u32,
+    /// Per-lane throughput relative to one host CPU lane (1.0 = host).
+    pub lane_speed: f64,
+    /// Kernel launch latency in nanoseconds (0 for the host CPU).
+    pub launch_ns: u64,
+    /// Private-memory bandwidth in bytes/second (bounds streaming kernels).
+    pub mem_bandwidth_bps: f64,
+    /// Host link; `None` means host-shared memory (no transfers).
+    pub link: Option<Link>,
+}
+
+impl DeviceSpec {
+    /// A desktop-class 8-core CPU.
+    pub fn cpu() -> DeviceSpec {
+        DeviceSpec {
+            name: "cpu".into(),
+            kind: DeviceKind::Cpu,
+            parallelism: 8,
+            lane_speed: 1.0,
+            launch_ns: 0,
+            mem_bandwidth_bps: 40e9,
+            link: None,
+        }
+    }
+
+    /// An integrated GPU: many slow lanes, shared memory, cheap launch.
+    pub fn integrated_gpu() -> DeviceSpec {
+        DeviceSpec {
+            name: "igpu".into(),
+            kind: DeviceKind::IntegratedGpu,
+            parallelism: 384,
+            lane_speed: 0.08,
+            launch_ns: 5_000,
+            mem_bandwidth_bps: 40e9,
+            link: None,
+        }
+    }
+
+    /// A discrete GPU: thousands of slow lanes, fast private memory,
+    /// expensive launch, PCIe 3.0 x16 link.
+    pub fn discrete_gpu() -> DeviceSpec {
+        DeviceSpec {
+            name: "dgpu".into(),
+            kind: DeviceKind::DiscreteGpu,
+            parallelism: 2048,
+            lane_speed: 0.12,
+            launch_ns: 20_000,
+            mem_bandwidth_bps: 320e9,
+            link: Some(Link {
+                bandwidth_bps: 12e9,
+                latency_ns: 10_000,
+            }),
+        }
+    }
+
+    /// An FPGA streaming profile: modest clock, very deep pipelining
+    /// (modeled as wide parallelism at low lane speed), slow link.
+    pub fn fpga() -> DeviceSpec {
+        DeviceSpec {
+            name: "fpga".into(),
+            kind: DeviceKind::Fpga,
+            parallelism: 512,
+            lane_speed: 0.05,
+            launch_ns: 50_000,
+            mem_bandwidth_bps: 19e9,
+            link: Some(Link {
+                bandwidth_bps: 7.8e9,
+                latency_ns: 15_000,
+            }),
+        }
+    }
+
+    /// Effective compute throughput in "host-lane equivalents".
+    pub fn effective_lanes(&self) -> f64 {
+        self.parallelism as f64 * self.lane_speed
+    }
+
+    /// True when operands must be copied over a link before execution.
+    pub fn needs_transfer(&self) -> bool {
+        self.link.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let cpu = DeviceSpec::cpu();
+        let dgpu = DeviceSpec::discrete_gpu();
+        let igpu = DeviceSpec::integrated_gpu();
+        // Discrete GPU has the most effective compute.
+        assert!(dgpu.effective_lanes() > cpu.effective_lanes());
+        assert!(dgpu.effective_lanes() > igpu.effective_lanes());
+        // But also the launch/transfer overheads.
+        assert!(dgpu.launch_ns > cpu.launch_ns);
+        assert!(dgpu.needs_transfer());
+        assert!(!cpu.needs_transfer());
+        assert!(!igpu.needs_transfer());
+        assert!(DeviceSpec::fpga().needs_transfer());
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let d = DeviceSpec::discrete_gpu();
+        assert_eq!(d, d.clone());
+        assert_ne!(d, DeviceSpec::cpu());
+    }
+}

@@ -1,0 +1,125 @@
+//! Whole-pipeline compilation: the HyPer-style baseline.
+//!
+//! §II / §IV target 1: "the same system \[should\] be able to either use
+//! vectorized execution, or tuple-at-a-time JIT compilation, as such
+//! mimicking the MonetDB/X100 and HyPer approaches inside the same
+//! framework". This module provides the second half: it takes a normalized
+//! chunked loop body, forms ONE region covering every node, and compiles it
+//! into a single trace. Executed per chunk the trace already processes
+//! tuples one at a time through the whole pipeline (the filter guard and
+//! fold accumulators make each lane a complete tuple pass); executed at
+//! chunk size 1 it is literally tuple-at-a-time.
+
+use std::collections::HashMap;
+
+use adaptvm_dsl::ast::Program;
+use adaptvm_dsl::depgraph::{scalar_uses, DepGraph};
+use adaptvm_dsl::normalize::normalize_program;
+use adaptvm_dsl::partition::Region;
+use adaptvm_dsl::programs::loop_body;
+use adaptvm_storage::scalar::ScalarType;
+
+use crate::builder::{build_fragment, Fragment};
+use crate::error::JitError;
+
+/// Compile the entire loop body of `program` into one fragment.
+///
+/// The program must be a chunked loop (Fig. 2 shape). Returns the fragment
+/// plus the loop-control statements the VM still interprets (counter
+/// updates and the break condition remain interpreter business — they are
+/// scalar control flow, not data-parallel work).
+pub fn whole_pipeline_fragment(
+    program: &Program,
+    type_hints: &HashMap<String, ScalarType>,
+) -> Result<Fragment, JitError> {
+    let normalized = normalize_program(program);
+    let body = loop_body(&normalized)
+        .ok_or_else(|| JitError::Unsupported("program has no chunk loop".into()))?;
+    let graph = DepGraph::from_stmts(body);
+    if graph.is_empty() {
+        return Err(JitError::Unsupported("loop body has no operations".into()));
+    }
+    let region = Region {
+        nodes: (0..graph.len()).collect(),
+        seed: 0,
+        cost: 0.0,
+    };
+    let uses = scalar_uses(body);
+    build_fragment(&graph, &region, &uses, type_hints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CostModel};
+    use adaptvm_dsl::programs;
+    use adaptvm_storage::array::Array;
+    use adaptvm_storage::scalar::Scalar;
+
+    #[test]
+    fn fig2_whole_pipeline() {
+        let frag = whole_pipeline_fragment(&programs::fig2_example(), &HashMap::new()).unwrap();
+        let trace = compile(frag, &CostModel::untimed());
+        let x = Array::from(vec![1i64, -2, 3, -4]);
+        let r = trace.run(&[&x], None).unwrap();
+        let a = &r.arrays.iter().find(|(n, _)| n == "a").unwrap().1;
+        let b = &r.arrays.iter().find(|(n, _)| n == "b").unwrap().1;
+        assert_eq!(*a, Array::from(vec![2i64, -4, 6, -8]));
+        assert_eq!(*b, Array::from(vec![2i64, 6]));
+        assert_eq!(trace.reads.len(), 1);
+        assert_eq!(trace.reads[0].var, "input");
+        assert_eq!(trace.reads[0].buffer, "some_data");
+        assert_eq!(trace.writes.len(), 2);
+    }
+
+    #[test]
+    fn filter_sum_whole_pipeline() {
+        let frag = whole_pipeline_fragment(&programs::filter_sum(10, 100), &HashMap::new()).unwrap();
+        let trace = compile(frag, &CostModel::untimed());
+        let x = Array::from(vec![5i64, 20, 11, 3]);
+        let r = trace.run(&[&x], None).unwrap();
+        let s = r.scalars.iter().find(|(n, _)| n == "s").unwrap();
+        // 2*20 + 2*11 = 62.
+        assert_eq!(s.1, Scalar::I64(62));
+    }
+
+    #[test]
+    fn map_chain_pipeline_fuses_after_normalization() {
+        let frag = whole_pipeline_fragment(&programs::map_chain(100), &HashMap::new()).unwrap();
+        // 4 chained maps → 4 trace ops (read/write are wiring, not ops).
+        assert_eq!(frag.ir.pre_ops.len(), 4);
+        let trace = compile(frag, &CostModel::untimed());
+        let x = Array::from(vec![1i64, 2]);
+        let r = trace.run(&[&x], None).unwrap();
+        let d = &r.arrays.iter().find(|(n, _)| n == "d").unwrap().1;
+        assert_eq!(
+            d.to_i64_vec().unwrap(),
+            programs::map_chain_reference(&[1, 2], 2)
+        );
+    }
+
+    #[test]
+    fn hypot_normalizes_then_compiles() {
+        // Whole-array program: vectorize first, then compile.
+        let chunked =
+            adaptvm_dsl::transform::vectorize(&programs::hypot_whole_array(), 1024).unwrap();
+        let mut hints = HashMap::new();
+        hints.insert("a".to_string(), ScalarType::F64);
+        hints.insert("b".to_string(), ScalarType::F64);
+        let frag = whole_pipeline_fragment(&chunked, &hints).unwrap();
+        assert_eq!(frag.ir.lane, crate::ir::LaneType::F64);
+        let trace = compile(frag, &CostModel::untimed());
+        let p = Array::from(vec![3.0, 6.0]);
+        let q = Array::from(vec![4.0, 8.0]);
+        let r = trace.run(&[&p, &q], None).unwrap();
+        let h = &r.arrays.iter().find(|(n, _)| n == "h").unwrap().1;
+        assert_eq!(*h, Array::from(vec![5.0, 10.0]));
+    }
+
+    #[test]
+    fn programs_without_loops_are_rejected() {
+        let err =
+            whole_pipeline_fragment(&programs::hypot_whole_array(), &HashMap::new()).unwrap_err();
+        assert!(matches!(err, JitError::Unsupported(_)));
+    }
+}

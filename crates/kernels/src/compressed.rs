@@ -1,0 +1,251 @@
+//! Compressed-execution kernels (§III-C / [Abadi et al. 2006]).
+//!
+//! These operate *directly on encoded blocks*, skipping decompression:
+//! * RLE: aggregate per run (`value × run_length`), map over run values,
+//!   filter by expanding matching runs to index ranges;
+//! * Dictionary: evaluate predicates on the (small) dictionary, then select
+//!   by code; sum via per-code counts;
+//! * Frame-of-reference: min/max bounds prune filters without touching the
+//!   payload; sums use `n·reference + Σ offsets`.
+//!
+//! Every function returns `Option`: `None` means "no compressed fast path
+//! for this encoding/operation" and the caller (the VM) falls back to
+//! decompress-and-interpret — exactly the adaptive fallback of §III-C.
+
+use adaptvm_dsl::ast::ScalarOp;
+use adaptvm_storage::array::Array;
+use adaptvm_storage::compress::{decompress, Encoded};
+use adaptvm_storage::scalar::Scalar;
+use adaptvm_storage::sel::SelVec;
+
+use crate::error::KernelError;
+
+/// Sum the block's values without full decompression, when a fast path
+/// exists.
+pub fn sum_compressed(enc: &Encoded) -> Option<Scalar> {
+    match enc {
+        Encoded::Rle(b) => {
+            let values = b.values.to_i64_vec()?;
+            let sum: i64 = values
+                .iter()
+                .zip(&b.run_lengths)
+                .map(|(&v, &n)| v.wrapping_mul(n as i64))
+                .sum();
+            Some(Scalar::I64(sum))
+        }
+        Encoded::Dict(b) => {
+            let dict = b.dictionary.to_i64_vec()?;
+            let mut counts = vec![0i64; dict.len()];
+            for &c in &b.codes {
+                counts[c as usize] += 1;
+            }
+            let sum: i64 = dict
+                .iter()
+                .zip(&counts)
+                .map(|(&v, &n)| v.wrapping_mul(n))
+                .sum();
+            Some(Scalar::I64(sum))
+        }
+        Encoded::ForPack(b) => {
+            // n·reference + Σ offsets: decode offsets only.
+            let decoded = adaptvm_storage::compress::forpack::decode(b);
+            let values = decoded.to_i64_vec()?;
+            Some(Scalar::I64(values.iter().sum()))
+        }
+        _ => None,
+    }
+}
+
+/// Evaluate `value <op> threshold` over the block and return the selection,
+/// when a fast path exists.
+pub fn filter_compressed(enc: &Encoded, op: ScalarOp, threshold: i64) -> Option<SelVec> {
+    if !op.is_comparison() {
+        return None;
+    }
+    let pred = |v: i64| -> bool {
+        match op {
+            ScalarOp::Eq => v == threshold,
+            ScalarOp::Ne => v != threshold,
+            ScalarOp::Lt => v < threshold,
+            ScalarOp::Le => v <= threshold,
+            ScalarOp::Gt => v > threshold,
+            ScalarOp::Ge => v >= threshold,
+            _ => unreachable!(),
+        }
+    };
+    match enc {
+        Encoded::Rle(b) => {
+            // Evaluate once per run; emit whole index ranges.
+            let values = b.values.to_i64_vec()?;
+            let mut out = Vec::new();
+            let mut pos: u32 = 0;
+            for (&v, &n) in values.iter().zip(&b.run_lengths) {
+                if pred(v) {
+                    out.extend(pos..pos + n);
+                }
+                pos += n;
+            }
+            Some(SelVec::new(out))
+        }
+        Encoded::Dict(b) => {
+            // Evaluate once per dictionary entry, select by code.
+            let dict = b.dictionary.to_i64_vec()?;
+            let matches: Vec<bool> = dict.iter().map(|&v| pred(v)).collect();
+            let mut out = Vec::new();
+            for (i, &c) in b.codes.iter().enumerate() {
+                if matches[c as usize] {
+                    out.push(i as u32);
+                }
+            }
+            Some(SelVec::new(out))
+        }
+        Encoded::ForPack(b) => {
+            // Bound pruning: all-match / none-match without decoding.
+            let (lo, hi) = (b.reference, b.max_bound());
+            let all = |sel: bool| {
+                if sel {
+                    Some(SelVec::identity(b.len()))
+                } else {
+                    Some(SelVec::empty())
+                }
+            };
+            match op {
+                ScalarOp::Gt if lo > threshold => all(true),
+                ScalarOp::Gt if hi <= threshold => all(false),
+                ScalarOp::Ge if lo >= threshold => all(true),
+                ScalarOp::Ge if hi < threshold => all(false),
+                ScalarOp::Lt if hi < threshold => all(true),
+                ScalarOp::Lt if lo >= threshold => all(false),
+                ScalarOp::Le if hi <= threshold => all(true),
+                ScalarOp::Le if lo > threshold => all(false),
+                ScalarOp::Eq if lo == hi && lo == threshold => all(true),
+                ScalarOp::Eq if threshold < lo || threshold > hi => all(false),
+                ScalarOp::Ne if threshold < lo || threshold > hi => all(true),
+                _ => None, // bounds do not decide; fall back
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Map a constant-operand arithmetic op over the block, *keeping it
+/// compressed*, when a fast path exists (RLE and Dict transform their value
+/// arrays only).
+pub fn map_const_compressed(enc: &Encoded, op: ScalarOp, constant: i64) -> Option<Encoded> {
+    let apply = |values: &Array| -> Option<Array> {
+        let v = values.to_i64_vec()?;
+        let mapped: Vec<i64> = match op {
+            ScalarOp::Add => v.iter().map(|&x| x.wrapping_add(constant)).collect(),
+            ScalarOp::Sub => v.iter().map(|&x| x.wrapping_sub(constant)).collect(),
+            ScalarOp::Mul => v.iter().map(|&x| x.wrapping_mul(constant)).collect(),
+            _ => return None,
+        };
+        Some(Array::I64(mapped))
+    };
+    match enc {
+        Encoded::Rle(b) => {
+            let values = apply(&b.values)?;
+            let mut nb = b.clone();
+            nb.values = values;
+            Some(Encoded::Rle(nb))
+        }
+        Encoded::Dict(b) => {
+            let dictionary = apply(&b.dictionary)?;
+            let mut nb = b.clone();
+            nb.dictionary = dictionary;
+            Some(Encoded::Dict(nb))
+        }
+        _ => None,
+    }
+}
+
+/// Reference implementation used to validate fast paths: decompress then
+/// compute.
+pub fn sum_via_decompress(enc: &Encoded) -> Result<Scalar, KernelError> {
+    let data = decompress(enc)?;
+    crate::fold::fold_apply(adaptvm_dsl::ast::FoldFn::Sum, &Scalar::I64(0), &data, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptvm_storage::compress::{compress, Scheme};
+
+    fn data() -> Array {
+        Array::from(vec![5i64, 5, 5, -2, -2, 9, 9, 9, 9, 0])
+    }
+
+    #[test]
+    fn sums_match_reference() {
+        let d = data();
+        for scheme in [Scheme::Rle, Scheme::Dict, Scheme::ForPack] {
+            let enc = compress(&d, scheme).unwrap();
+            let fast = sum_compressed(&enc).expect("fast path exists");
+            let slow = sum_via_decompress(&enc).unwrap();
+            assert_eq!(fast, slow, "{scheme:?}");
+        }
+        // Plain has no fast path.
+        let enc = compress(&d, Scheme::Plain).unwrap();
+        assert!(sum_compressed(&enc).is_none());
+    }
+
+    #[test]
+    fn rle_filter_expands_runs() {
+        let enc = compress(&data(), Scheme::Rle).unwrap();
+        let sel = filter_compressed(&enc, ScalarOp::Gt, 0).unwrap();
+        assert_eq!(sel.indices(), &[0, 1, 2, 5, 6, 7, 8]);
+        let sel = filter_compressed(&enc, ScalarOp::Eq, -2).unwrap();
+        assert_eq!(sel.indices(), &[3, 4]);
+    }
+
+    #[test]
+    fn dict_filter_evaluates_dictionary_once() {
+        let enc = compress(&data(), Scheme::Dict).unwrap();
+        let sel = filter_compressed(&enc, ScalarOp::Ge, 5).unwrap();
+        assert_eq!(sel.indices(), &[0, 1, 2, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn forpack_bound_pruning() {
+        let narrow = Array::from(vec![100i64, 105, 110]);
+        let enc = compress(&narrow, Scheme::ForPack).unwrap();
+        // Entirely above 50 → all match, no decode.
+        let sel = filter_compressed(&enc, ScalarOp::Gt, 50).unwrap();
+        assert_eq!(sel.len(), 3);
+        // Entirely below 1000 → none match Gt.
+        let sel = filter_compressed(&enc, ScalarOp::Gt, 1000).unwrap();
+        assert!(sel.is_empty());
+        // Bounds straddle → no fast answer.
+        assert!(filter_compressed(&enc, ScalarOp::Gt, 105).is_none());
+        // Ne outside range → all.
+        let sel = filter_compressed(&enc, ScalarOp::Ne, 7).unwrap();
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn map_const_stays_compressed() {
+        let d = data();
+        for scheme in [Scheme::Rle, Scheme::Dict] {
+            let enc = compress(&d, scheme).unwrap();
+            let mapped = map_const_compressed(&enc, ScalarOp::Mul, 2).unwrap();
+            assert_eq!(mapped.scheme(), scheme);
+            let expected: Vec<i64> = d.to_i64_vec().unwrap().iter().map(|x| x * 2).collect();
+            assert_eq!(
+                decompress(&mapped).unwrap().to_i64_vec().unwrap(),
+                expected
+            );
+        }
+        // Unsupported op → None.
+        let enc = compress(&d, Scheme::Rle).unwrap();
+        assert!(map_const_compressed(&enc, ScalarOp::Div, 2).is_none());
+        // ForPack has no remap fast path.
+        let enc = compress(&d, Scheme::ForPack).unwrap();
+        assert!(map_const_compressed(&enc, ScalarOp::Add, 1).is_none());
+    }
+
+    #[test]
+    fn non_comparison_filter_rejected() {
+        let enc = compress(&data(), Scheme::Rle).unwrap();
+        assert!(filter_compressed(&enc, ScalarOp::Add, 0).is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Kernel error type.
+
+use std::fmt;
+
+use adaptvm_storage::scalar::ScalarType;
+use adaptvm_storage::StorageError;
+
+/// Errors produced by kernel dispatch and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// No kernel exists for the requested (op, types) combination.
+    NoKernel {
+        /// Operation name.
+        op: String,
+        /// Operand types.
+        types: Vec<ScalarType>,
+    },
+    /// Operand lengths disagree.
+    LengthMismatch {
+        /// First length.
+        left: usize,
+        /// Second length.
+        right: usize,
+    },
+    /// All operands were constants (a map needs at least one array).
+    NoArrayOperand,
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Input violates a kernel precondition (e.g. unsorted merge input).
+    Precondition(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoKernel { op, types } => {
+                write!(f, "no kernel for {op} over {types:?}")
+            }
+            KernelError::LengthMismatch { left, right } => {
+                write!(f, "operand length mismatch: {left} vs {right}")
+            }
+            KernelError::NoArrayOperand => write!(f, "map needs at least one array operand"),
+            KernelError::Storage(e) => write!(f, "storage error: {e}"),
+            KernelError::Precondition(m) => write!(f, "kernel precondition violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<StorageError> for KernelError {
+    fn from(e: StorageError) -> KernelError {
+        KernelError::Storage(e)
+    }
+}

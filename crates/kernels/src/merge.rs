@@ -1,0 +1,300 @@
+//! `merge` kernels: the abstract merge of Table I, on sorted inputs.
+//!
+//! The paper keeps `merge` abstract ("Abstract merge for MergeJoin,
+//! MergeDiff, MergeUnion …"); the concrete flavors here are sorted union,
+//! intersection, difference, and merge-join index generation. All verify
+//! the sortedness precondition — an unsorted input is a programming error
+//! the kernel reports rather than silently mis-merging.
+
+use adaptvm_dsl::ast::MergeKind;
+use adaptvm_storage::array::Array;
+
+use crate::error::KernelError;
+
+/// Run a merge of the given kind over two sorted arrays.
+pub fn merge_apply(kind: MergeKind, left: &Array, right: &Array) -> Result<Array, KernelError> {
+    if left.scalar_type() != right.scalar_type() {
+        return Err(KernelError::NoKernel {
+            op: format!("merge {}", kind.name()),
+            types: vec![left.scalar_type(), right.scalar_type()],
+        });
+    }
+    match (left, right) {
+        (Array::I64(l), Array::I64(r)) => merge_typed(kind, l, r, Array::I64),
+        (Array::I32(l), Array::I32(r)) => merge_typed(kind, l, r, Array::I32),
+        (Array::I16(l), Array::I16(r)) => merge_typed(kind, l, r, Array::I16),
+        (Array::I8(l), Array::I8(r)) => merge_typed(kind, l, r, Array::I8),
+        (Array::Str(l), Array::Str(r)) => merge_typed(kind, l, r, Array::Str),
+        (Array::F64(l), Array::F64(r)) => {
+            // Total order via partial_cmp; NaN is a precondition violation.
+            if l.iter().chain(r.iter()).any(|v| v.is_nan()) {
+                return Err(KernelError::Precondition("merge input contains NaN".into()));
+            }
+            merge_typed_by(kind, l, r, Array::F64, |a, b| {
+                a.partial_cmp(b).expect("NaN excluded")
+            })
+        }
+        other => Err(KernelError::NoKernel {
+            op: format!("merge {}", kind.name()),
+            types: vec![other.0.scalar_type()],
+        }),
+    }
+}
+
+fn merge_typed<T: Ord + Clone>(
+    kind: MergeKind,
+    l: &[T],
+    r: &[T],
+    mk: impl Fn(Vec<T>) -> Array,
+) -> Result<Array, KernelError> {
+    merge_typed_by(kind, l, r, mk, |a, b| a.cmp(b))
+}
+
+fn merge_typed_by<T: Clone>(
+    kind: MergeKind,
+    l: &[T],
+    r: &[T],
+    mk: impl Fn(Vec<T>) -> Array,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+) -> Result<Array, KernelError> {
+    use std::cmp::Ordering::*;
+    for (name, side) in [("left", l), ("right", r)] {
+        if side.windows(2).any(|w| cmp(&w[0], &w[1]) == Greater) {
+            return Err(KernelError::Precondition(format!(
+                "merge {name} input is not sorted"
+            )));
+        }
+    }
+    Ok(match kind {
+        MergeKind::Union => {
+            let mut out = Vec::with_capacity(l.len() + r.len());
+            let (mut i, mut j) = (0, 0);
+            while i < l.len() && j < r.len() {
+                if cmp(&l[i], &r[j]) != Greater {
+                    out.push(l[i].clone());
+                    i += 1;
+                } else {
+                    out.push(r[j].clone());
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(&l[i..]);
+            out.extend_from_slice(&r[j..]);
+            mk(out)
+        }
+        MergeKind::Intersect => {
+            let mut out = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < l.len() && j < r.len() {
+                match cmp(&l[i], &r[j]) {
+                    Less => i += 1,
+                    Greater => j += 1,
+                    Equal => {
+                        out.push(l[i].clone());
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            mk(out)
+        }
+        MergeKind::Diff => {
+            let mut out = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < l.len() {
+                if j >= r.len() {
+                    out.push(l[i].clone());
+                    i += 1;
+                    continue;
+                }
+                match cmp(&l[i], &r[j]) {
+                    Less => {
+                        out.push(l[i].clone());
+                        i += 1;
+                    }
+                    Greater => j += 1,
+                    Equal => i += 1,
+                }
+            }
+            mk(out)
+        }
+        MergeKind::JoinLeftIdx | MergeKind::JoinRightIdx => {
+            let (li, ri) = join_pairs(l, r, &cmp);
+            let picked = if kind == MergeKind::JoinLeftIdx { li } else { ri };
+            Array::I64(picked)
+        }
+    })
+}
+
+/// Enumerate matching (left, right) index pairs of a sort-merge join,
+/// including duplicate cross products, in deterministic order.
+fn join_pairs<T>(
+    l: &[T],
+    r: &[T],
+    cmp: &impl Fn(&T, &T) -> std::cmp::Ordering,
+) -> (Vec<i64>, Vec<i64>) {
+    use std::cmp::Ordering::*;
+    let mut li = Vec::new();
+    let mut ri = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < l.len() && j < r.len() {
+        match cmp(&l[i], &r[j]) {
+            Less => i += 1,
+            Greater => j += 1,
+            Equal => {
+                // Find the run of equal keys on both sides.
+                let i_end = (i..l.len())
+                    .take_while(|&x| cmp(&l[x], &l[i]) == Equal)
+                    .last()
+                    .expect("run includes i")
+                    + 1;
+                let j_end = (j..r.len())
+                    .take_while(|&x| cmp(&r[x], &r[j]) == Equal)
+                    .last()
+                    .expect("run includes j")
+                    + 1;
+                for a in i..i_end {
+                    for b in j..j_end {
+                        li.push(a as i64);
+                        ri.push(b as i64);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    (li, ri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: Vec<i64>) -> Array {
+        Array::from(v)
+    }
+
+    #[test]
+    fn union_keeps_duplicates_sorted() {
+        let r = merge_apply(
+            MergeKind::Union,
+            &ints(vec![1, 3, 3, 5]),
+            &ints(vec![2, 3, 6]),
+        )
+        .unwrap();
+        assert_eq!(r, ints(vec![1, 2, 3, 3, 3, 5, 6]));
+    }
+
+    #[test]
+    fn intersect_and_diff() {
+        let l = ints(vec![1, 2, 4, 6, 8]);
+        let r = ints(vec![2, 3, 4, 9]);
+        assert_eq!(
+            merge_apply(MergeKind::Intersect, &l, &r).unwrap(),
+            ints(vec![2, 4])
+        );
+        assert_eq!(
+            merge_apply(MergeKind::Diff, &l, &r).unwrap(),
+            ints(vec![1, 6, 8])
+        );
+        // Diff with empty right = left.
+        assert_eq!(merge_apply(MergeKind::Diff, &l, &ints(vec![])).unwrap(), l);
+    }
+
+    #[test]
+    fn join_indices_with_duplicates() {
+        let l = ints(vec![1, 2, 2, 5]);
+        let r = ints(vec![2, 2, 5, 7]);
+        let li = merge_apply(MergeKind::JoinLeftIdx, &l, &r).unwrap();
+        let ri = merge_apply(MergeKind::JoinRightIdx, &l, &r).unwrap();
+        // 2×2 cross product on key 2, plus (3,2) for key 5.
+        assert_eq!(li, ints(vec![1, 1, 2, 2, 3]));
+        assert_eq!(ri, ints(vec![0, 1, 0, 1, 2]));
+    }
+
+    #[test]
+    fn join_indices_line_up() {
+        let l = ints(vec![1, 3, 5]);
+        let r = ints(vec![3, 4, 5]);
+        let li = merge_apply(MergeKind::JoinLeftIdx, &l, &r).unwrap();
+        let ri = merge_apply(MergeKind::JoinRightIdx, &l, &r).unwrap();
+        let lv = li.as_i64().unwrap();
+        let rv = ri.as_i64().unwrap();
+        assert_eq!(lv.len(), rv.len());
+        for (a, b) in lv.iter().zip(rv) {
+            assert_eq!(
+                l.get(*a as usize).unwrap(),
+                r.get(*b as usize).unwrap(),
+                "join pair must match keys"
+            );
+        }
+    }
+
+    #[test]
+    fn string_merges() {
+        let l = Array::from(vec!["a".to_string(), "c".to_string()]);
+        let r = Array::from(vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(
+            merge_apply(MergeKind::Intersect, &l, &r).unwrap(),
+            Array::from(vec!["c".to_string()])
+        );
+    }
+
+    #[test]
+    fn float_merge_and_nan_rejection() {
+        let l = Array::from(vec![1.0, 2.0]);
+        let r = Array::from(vec![2.0, 3.0]);
+        assert_eq!(
+            merge_apply(MergeKind::Union, &l, &r).unwrap(),
+            Array::from(vec![1.0, 2.0, 2.0, 3.0])
+        );
+        let bad = Array::from(vec![f64::NAN]);
+        assert!(matches!(
+            merge_apply(MergeKind::Union, &l, &bad),
+            Err(KernelError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn unsorted_inputs_rejected() {
+        let l = ints(vec![3, 1]);
+        let r = ints(vec![1, 2]);
+        assert!(matches!(
+            merge_apply(MergeKind::Union, &l, &r),
+            Err(KernelError::Precondition(_))
+        ));
+        assert!(matches!(
+            merge_apply(MergeKind::Union, &r, &l),
+            Err(KernelError::Precondition(_))
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(merge_apply(
+            MergeKind::Union,
+            &ints(vec![1]),
+            &Array::from(vec![1.0f64])
+        )
+        .is_err());
+        assert!(merge_apply(
+            MergeKind::Union,
+            &Array::from(vec![true]),
+            &Array::from(vec![false])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = ints(vec![]);
+        let l = ints(vec![1, 2]);
+        assert_eq!(merge_apply(MergeKind::Union, &e, &l).unwrap(), l);
+        assert_eq!(merge_apply(MergeKind::Intersect, &e, &l).unwrap(), e);
+        assert_eq!(
+            merge_apply(MergeKind::JoinLeftIdx, &e, &l).unwrap().len(),
+            0
+        );
+    }
+}

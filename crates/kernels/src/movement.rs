@@ -1,0 +1,284 @@
+//! Data-movement kernels: `gen`, `gather`, `scatter`, `condense`.
+//!
+//! `read`/`write` are thin wrappers over [`Array::slice`] /
+//! [`Array::write_at`] and live with the interpreter's buffer handling;
+//! the kernels here are the ones with per-element work.
+
+use adaptvm_dsl::ast::ConflictFn;
+use adaptvm_storage::array::Array;
+use adaptvm_storage::scalar::Scalar;
+use adaptvm_storage::sel::SelVec;
+
+use crate::error::KernelError;
+
+/// `gen (\i -> i) n` — the identity index array `[0, n)`, the seed of every
+/// normalized `gen` chain.
+pub fn gen_index(n: usize) -> Array {
+    Array::I64((0..n as i64).collect())
+}
+
+/// `condense` — materialize the selected lanes of `data` densely.
+pub fn condense(data: &Array, sel: Option<&SelVec>) -> Result<Array, KernelError> {
+    match sel {
+        None => Ok(data.clone()),
+        Some(s) => Ok(data.take(s.indices())?),
+    }
+}
+
+/// `gather` — `data[indices[i]]` for each lane (bounds-checked).
+pub fn gather(data: &Array, indices: &Array) -> Result<Array, KernelError> {
+    let idx = indices
+        .to_i64_vec()
+        .ok_or_else(|| KernelError::NoKernel {
+            op: "gather".into(),
+            types: vec![indices.scalar_type()],
+        })?;
+    let n = data.len();
+    let mut u32s = Vec::with_capacity(idx.len());
+    for i in idx {
+        if i < 0 || i as usize >= n {
+            return Err(KernelError::Storage(
+                adaptvm_storage::StorageError::OutOfBounds {
+                    index: i.max(0) as usize,
+                    len: n,
+                },
+            ));
+        }
+        u32s.push(i as u32);
+    }
+    Ok(data.take(&u32s)?)
+}
+
+/// `scatter` — write `values[i]` to `target[indices[i]]`, resolving
+/// conflicting lanes with `conflict` (Table I: "using function f to handle
+/// conflicts"). The target grows as needed.
+pub fn scatter(
+    target: &mut Array,
+    indices: &Array,
+    values: &Array,
+    conflict: ConflictFn,
+) -> Result<(), KernelError> {
+    let idx = indices
+        .to_i64_vec()
+        .ok_or_else(|| KernelError::NoKernel {
+            op: "scatter".into(),
+            types: vec![indices.scalar_type()],
+        })?;
+    if idx.len() != values.len() {
+        return Err(KernelError::LengthMismatch {
+            left: idx.len(),
+            right: values.len(),
+        });
+    }
+    if values.scalar_type() != target.scalar_type() {
+        return Err(KernelError::Storage(
+            adaptvm_storage::StorageError::TypeMismatch {
+                expected: target.scalar_type(),
+                found: values.scalar_type(),
+            },
+        ));
+    }
+    // Grow the target to cover the maximum index.
+    if let Some(&max) = idx.iter().max() {
+        if max < 0 {
+            return Err(KernelError::Precondition("negative scatter index".into()));
+        }
+        let needed = max as usize + 1;
+        if target.len() < needed {
+            let pad = default_array(target, needed - target.len());
+            target.extend(&pad)?;
+        }
+    }
+
+    macro_rules! scatter_impl {
+        ($t:expr, $v:expr, $merge:expr) => {{
+            for (i, val) in idx.iter().zip($v.iter()) {
+                let slot = &mut $t[*i as usize];
+                *slot = $merge(slot.clone(), val.clone());
+            }
+        }};
+    }
+    macro_rules! dispatch_numeric {
+        ($t:expr, $v:expr) => {{
+            match conflict {
+                ConflictFn::LastWins => scatter_impl!($t, $v, |_old, new| new),
+                ConflictFn::Add => scatter_impl!($t, $v, |old, new| old + new),
+                ConflictFn::Min => scatter_impl!($t, $v, |old: _, new: _| if new < old {
+                    new
+                } else {
+                    old
+                }),
+                ConflictFn::Max => scatter_impl!($t, $v, |old: _, new: _| if new > old {
+                    new
+                } else {
+                    old
+                }),
+            }
+        }};
+    }
+    match (target, values) {
+        (Array::I8(t), Array::I8(v)) => dispatch_numeric!(t, v),
+        (Array::I16(t), Array::I16(v)) => dispatch_numeric!(t, v),
+        (Array::I32(t), Array::I32(v)) => dispatch_numeric!(t, v),
+        (Array::I64(t), Array::I64(v)) => dispatch_numeric!(t, v),
+        (Array::F64(t), Array::F64(v)) => dispatch_numeric!(t, v),
+        (Array::Bool(t), Array::Bool(v)) => match conflict {
+            ConflictFn::LastWins => scatter_impl!(t, v, |_old, new| new),
+            ConflictFn::Add | ConflictFn::Max => scatter_impl!(t, v, |old, new| old | new),
+            ConflictFn::Min => scatter_impl!(t, v, |old, new| old & new),
+        },
+        (Array::Str(t), Array::Str(v)) => match conflict {
+            ConflictFn::LastWins => scatter_impl!(t, v, |_old, new: String| new),
+            other => {
+                return Err(KernelError::Precondition(format!(
+                    "scatter conflict {other:?} not defined for strings"
+                )))
+            }
+        },
+        _ => unreachable!("type equality checked above"),
+    }
+    Ok(())
+}
+
+fn default_array(like: &Array, n: usize) -> Array {
+    let default = match like.scalar_type() {
+        t if t.is_integer() => Scalar::int_of_type(0, t),
+        adaptvm_storage::scalar::ScalarType::F64 => Scalar::F64(0.0),
+        adaptvm_storage::scalar::ScalarType::Bool => Scalar::Bool(false),
+        adaptvm_storage::scalar::ScalarType::Str => Scalar::Str(String::new()),
+        _ => unreachable!(),
+    };
+    Array::splat(&default, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_identity() {
+        assert_eq!(gen_index(4), Array::from(vec![0i64, 1, 2, 3]));
+        assert_eq!(gen_index(0).len(), 0);
+    }
+
+    #[test]
+    fn condense_with_and_without_sel() {
+        let a = Array::from(vec![9i64, 8, 7]);
+        assert_eq!(condense(&a, None).unwrap(), a);
+        let sel = SelVec::new(vec![0, 2]);
+        assert_eq!(
+            condense(&a, Some(&sel)).unwrap(),
+            Array::from(vec![9i64, 7])
+        );
+    }
+
+    #[test]
+    fn gather_bounds() {
+        let a = Array::from(vec![10i64, 20, 30]);
+        let idx = Array::from(vec![2i64, 0]);
+        assert_eq!(gather(&a, &idx).unwrap(), Array::from(vec![30i64, 10]));
+        assert!(gather(&a, &Array::from(vec![3i64])).is_err());
+        assert!(gather(&a, &Array::from(vec![-1i64])).is_err());
+        assert!(gather(&a, &Array::from(vec![1.5f64])).is_err());
+    }
+
+    #[test]
+    fn scatter_last_wins_and_grows() {
+        let mut t = Array::from(vec![0i64; 2]);
+        scatter(
+            &mut t,
+            &Array::from(vec![0i64, 4, 0]),
+            &Array::from(vec![1i64, 2, 3]),
+            ConflictFn::LastWins,
+        )
+        .unwrap();
+        assert_eq!(t, Array::from(vec![3i64, 0, 0, 0, 2]));
+    }
+
+    #[test]
+    fn scatter_add_aggregates() {
+        // Scatter-add is the aggregation primitive.
+        let mut t = Array::from(vec![0i64; 3]);
+        scatter(
+            &mut t,
+            &Array::from(vec![1i64, 1, 2, 1]),
+            &Array::from(vec![5i64, 7, 9, 1]),
+            ConflictFn::Add,
+        )
+        .unwrap();
+        assert_eq!(t, Array::from(vec![0i64, 13, 9]));
+    }
+
+    #[test]
+    fn scatter_min_max() {
+        let mut t = Array::from(vec![100i64, 100]);
+        scatter(
+            &mut t,
+            &Array::from(vec![0i64, 0, 1]),
+            &Array::from(vec![5i64, 9, 200]),
+            ConflictFn::Min,
+        )
+        .unwrap();
+        assert_eq!(t, Array::from(vec![5i64, 100]));
+        let mut t = Array::from(vec![0i64, 0]);
+        scatter(
+            &mut t,
+            &Array::from(vec![0i64, 0]),
+            &Array::from(vec![5i64, 9]),
+            ConflictFn::Max,
+        )
+        .unwrap();
+        assert_eq!(t, Array::from(vec![9i64, 0]));
+    }
+
+    #[test]
+    fn scatter_errors() {
+        let mut t = Array::from(vec![0i64]);
+        // Length mismatch.
+        assert!(scatter(
+            &mut t,
+            &Array::from(vec![0i64, 1]),
+            &Array::from(vec![1i64]),
+            ConflictFn::Add
+        )
+        .is_err());
+        // Type mismatch.
+        assert!(scatter(
+            &mut t,
+            &Array::from(vec![0i64]),
+            &Array::from(vec![1.0f64]),
+            ConflictFn::Add
+        )
+        .is_err());
+        // Negative index.
+        assert!(scatter(
+            &mut t,
+            &Array::from(vec![-1i64]),
+            &Array::from(vec![1i64]),
+            ConflictFn::Add
+        )
+        .is_err());
+        // String min undefined.
+        let mut s = Array::from(vec!["".to_string()]);
+        assert!(scatter(
+            &mut s,
+            &Array::from(vec![0i64]),
+            &Array::from(vec!["x".to_string()]),
+            ConflictFn::Min
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scatter_bool_semantics() {
+        let mut t = Array::from(vec![false, true]);
+        scatter(
+            &mut t,
+            &Array::from(vec![0i64, 0, 1]),
+            &Array::from(vec![true, false, false]),
+            ConflictFn::Max, // OR
+        )
+        .unwrap();
+        assert_eq!(t, Array::from(vec![true, true]));
+    }
+}

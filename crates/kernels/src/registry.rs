@@ -1,0 +1,295 @@
+//! The kernel registry: an enumerable catalog of every pre-compiled
+//! primitive, with per-kernel call statistics.
+//!
+//! §III-A: the interpreter "looks up" pre-compiled functions. Dispatch
+//! itself is static (the `match`es in [`crate::map`] etc. — zero lookup
+//! cost); the registry exists for the two things a lookup table would also
+//! provide: *discoverability* (the VM can report which kernels exist, the
+//! Table I conformance test walks it) and *statistics* (per-kernel call and
+//! tuple counts feeding the profiler).
+
+use std::collections::HashMap;
+
+use adaptvm_dsl::ast::{FoldFn, MergeKind, ScalarOp};
+use adaptvm_storage::scalar::ScalarType;
+use parking_lot::Mutex;
+
+use crate::filter::FilterFlavor;
+use crate::map::MapMode;
+
+/// Identity of one pre-compiled kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId {
+    /// Skeleton family (`map`, `filter`, `fold`, `merge`, …).
+    pub family: &'static str,
+    /// Operation name within the family.
+    pub op: String,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Flavor name (micro-adaptivity arm), when the family has flavors.
+    pub flavor: Option<&'static str>,
+}
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}_{}_{}", self.family, self.op, self.ty)?;
+        if let Some(fl) = self.flavor {
+            write!(f, "_{fl}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The numeric types the arithmetic kernels are monomorphized for.
+pub const NUMERIC_TYPES: [ScalarType; 5] = [
+    ScalarType::I8,
+    ScalarType::I16,
+    ScalarType::I32,
+    ScalarType::I64,
+    ScalarType::F64,
+];
+
+/// Enumerate every kernel this crate pre-compiles, mirroring Table I.
+pub fn all_kernels() -> Vec<KernelId> {
+    let mut out = Vec::new();
+    let arith = [
+        ScalarOp::Add,
+        ScalarOp::Sub,
+        ScalarOp::Mul,
+        ScalarOp::Div,
+        ScalarOp::Rem,
+        ScalarOp::Min,
+        ScalarOp::Max,
+        ScalarOp::Neg,
+        ScalarOp::Abs,
+        ScalarOp::Sqrt,
+        ScalarOp::Hash,
+    ];
+    let modes: [(&MapMode, &str); 2] = [(&MapMode::Full, "full"), (&MapMode::Selective, "selective")];
+    for op in arith {
+        for ty in NUMERIC_TYPES {
+            for (_, mode_name) in modes {
+                out.push(KernelId {
+                    family: "map",
+                    op: op.name().to_string(),
+                    ty,
+                    flavor: Some(mode_name),
+                });
+            }
+        }
+    }
+    let cmps = [
+        ScalarOp::Eq,
+        ScalarOp::Ne,
+        ScalarOp::Lt,
+        ScalarOp::Le,
+        ScalarOp::Gt,
+        ScalarOp::Ge,
+    ];
+    for op in cmps {
+        for ty in NUMERIC_TYPES.iter().chain([&ScalarType::Str]) {
+            out.push(KernelId {
+                family: "map",
+                op: op.name().to_string(),
+                ty: *ty,
+                flavor: None,
+            });
+            for flavor in FilterFlavor::ALL {
+                out.push(KernelId {
+                    family: "filter",
+                    op: op.name().to_string(),
+                    ty: *ty,
+                    flavor: Some(flavor.name()),
+                });
+            }
+        }
+    }
+    for op in [ScalarOp::And, ScalarOp::Or, ScalarOp::Not] {
+        out.push(KernelId {
+            family: "map",
+            op: op.name().to_string(),
+            ty: ScalarType::Bool,
+            flavor: None,
+        });
+    }
+    for op in [ScalarOp::StrLen, ScalarOp::Concat] {
+        out.push(KernelId {
+            family: "map",
+            op: op.name().to_string(),
+            ty: ScalarType::Str,
+            flavor: None,
+        });
+    }
+    for f in [
+        FoldFn::Sum,
+        FoldFn::Min,
+        FoldFn::Max,
+        FoldFn::Count,
+    ] {
+        for ty in NUMERIC_TYPES {
+            out.push(KernelId {
+                family: "fold",
+                op: f.name().to_string(),
+                ty,
+                flavor: None,
+            });
+        }
+    }
+    for f in [FoldFn::All, FoldFn::Any] {
+        out.push(KernelId {
+            family: "fold",
+            op: f.name().to_string(),
+            ty: ScalarType::Bool,
+            flavor: None,
+        });
+    }
+    for kind in [
+        MergeKind::Union,
+        MergeKind::Intersect,
+        MergeKind::Diff,
+        MergeKind::JoinLeftIdx,
+        MergeKind::JoinRightIdx,
+    ] {
+        for ty in [ScalarType::I64, ScalarType::I32, ScalarType::F64, ScalarType::Str] {
+            out.push(KernelId {
+                family: "merge",
+                op: kind.name().to_string(),
+                ty,
+                flavor: None,
+            });
+        }
+    }
+    for fam in ["read", "write", "gather", "scatter", "gen", "condense"] {
+        for ty in NUMERIC_TYPES {
+            out.push(KernelId {
+                family: "move",
+                op: fam.to_string(),
+                ty,
+                flavor: None,
+            });
+        }
+    }
+    out
+}
+
+/// Per-kernel call statistics, shared between interpreter threads.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    counts: Mutex<HashMap<KernelId, KernelCounters>>,
+}
+
+/// Counters for one kernel.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Number of invocations (chunks).
+    pub calls: u64,
+    /// Total tuples processed.
+    pub tuples: u64,
+}
+
+impl KernelStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> KernelStats {
+        KernelStats::default()
+    }
+
+    /// Record one call over `tuples` tuples.
+    pub fn record(&self, id: KernelId, tuples: usize) {
+        let mut map = self.counts.lock();
+        let c = map.entry(id).or_default();
+        c.calls += 1;
+        c.tuples += tuples as u64;
+    }
+
+    /// Counters for one kernel.
+    pub fn get(&self, id: &KernelId) -> KernelCounters {
+        self.counts.lock().get(id).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of all non-zero counters, sorted by kernel id.
+    pub fn snapshot(&self) -> Vec<(KernelId, KernelCounters)> {
+        let mut v: Vec<_> = self
+            .counts
+            .lock()
+            .iter()
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Total calls across all kernels.
+    pub fn total_calls(&self) -> u64 {
+        self.counts.lock().values().map(|c| c.calls).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I conformance: every skeleton family is represented.
+    #[test]
+    fn table1_families_present() {
+        let all = all_kernels();
+        for family in ["map", "filter", "fold", "merge", "move"] {
+            assert!(
+                all.iter().any(|k| k.family == family),
+                "family {family} missing"
+            );
+        }
+        for op in ["read", "write", "gather", "scatter", "gen", "condense"] {
+            assert!(
+                all.iter().any(|k| k.op == op),
+                "Table I skeleton {op} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_is_large_and_unique() {
+        let all = all_kernels();
+        assert!(all.len() > 200, "expected hundreds of kernels, got {}", all.len());
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "kernel ids must be unique");
+    }
+
+    #[test]
+    fn flavors_enumerated() {
+        let all = all_kernels();
+        let filter_flavors: std::collections::HashSet<_> = all
+            .iter()
+            .filter(|k| k.family == "filter")
+            .filter_map(|k| k.flavor)
+            .collect();
+        assert_eq!(filter_flavors.len(), 3);
+        let map_modes: std::collections::HashSet<_> = all
+            .iter()
+            .filter(|k| k.family == "map" && k.op == "add")
+            .filter_map(|k| k.flavor)
+            .collect();
+        assert_eq!(map_modes.len(), 2);
+    }
+
+    #[test]
+    fn stats_record_and_snapshot() {
+        let stats = KernelStats::new();
+        let id = KernelId {
+            family: "map",
+            op: "add".into(),
+            ty: ScalarType::I64,
+            flavor: Some("full"),
+        };
+        stats.record(id.clone(), 1024);
+        stats.record(id.clone(), 512);
+        let c = stats.get(&id);
+        assert_eq!(c.calls, 2);
+        assert_eq!(c.tuples, 1536);
+        assert_eq!(stats.total_calls(), 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0.to_string(), "map_add_i64_full");
+    }
+}

@@ -1,0 +1,250 @@
+//! Scan strategies over per-block compressed columns (§I, §III-C).
+//!
+//! The workload: `SUM(x) WHERE x > threshold` over a [`BlockColumn`] whose
+//! compression scheme changes block by block. Three strategies:
+//!
+//! * [`ScanStrategy::Decompress`] — always decompress, then run the plain
+//!   vectorized kernels (the safe baseline, cf. the paper's fallback),
+//! * [`ScanStrategy::Compressed`] — always try the compressed-execution
+//!   fast paths ([`adaptvm_kernels::compressed`]); fall back to
+//!   decompression when a block's encoding has no fast path,
+//! * [`ScanStrategy::Adaptive`] — the paper's behaviour: keep a
+//!   situation-keyed plan per scheme ("the program may only contain the
+//!   code of the current combination of compression techniques"), notice
+//!   scheme changes at block boundaries, fall back to
+//!   decompress-and-interpret on first encounter, and use the specialized
+//!   path once it has "compiled" (cached) a plan for that scheme.
+
+use std::collections::HashMap;
+
+use adaptvm_dsl::ast::{FoldFn, ScalarOp};
+use adaptvm_kernels::compressed::{filter_compressed, sum_compressed};
+use adaptvm_kernels::{fold_apply, Operand};
+use adaptvm_storage::block::BlockColumn;
+use adaptvm_storage::compress::Scheme;
+use adaptvm_storage::scalar::Scalar;
+
+use crate::ops::OpResult;
+
+/// How to execute over compressed blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStrategy {
+    /// Decompress every block, run plain kernels.
+    Decompress,
+    /// Use compressed fast paths wherever they exist.
+    Compressed,
+    /// Situation-keyed adaptive plans with first-encounter fallback.
+    Adaptive,
+}
+
+/// Statistics of one scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Blocks processed.
+    pub blocks: usize,
+    /// Blocks handled by a compressed fast path.
+    pub fast_path: usize,
+    /// Blocks that were decompressed.
+    pub decompressed: usize,
+    /// Scheme changes observed at block boundaries.
+    pub scheme_changes: usize,
+    /// Per-scheme plan cache entries at the end (adaptive only).
+    pub plans_cached: usize,
+}
+
+/// `SUM(x) WHERE x > threshold` over a blocked column.
+pub fn sum_where_gt(
+    column: &BlockColumn,
+    threshold: i64,
+    strategy: ScanStrategy,
+) -> OpResult<(i64, ScanStats)> {
+    let mut stats = ScanStats::default();
+    let mut total: i64 = 0;
+    let mut last_scheme: Option<Scheme> = None;
+    // The adaptive strategy's "code cache": scheme → specialized plan
+    // exists. (The plan itself is the choice fast-vs-decompress; what
+    // matters for the experiment is the first-encounter fallback and the
+    // per-situation reuse, mirroring trace compilation per situation.)
+    let mut plans: HashMap<Scheme, bool> = HashMap::new();
+
+    for block in column.blocks() {
+        stats.blocks += 1;
+        let scheme = block.scheme();
+        if last_scheme.is_some() && last_scheme != Some(scheme) {
+            stats.scheme_changes += 1;
+        }
+        last_scheme = Some(scheme);
+
+        let use_fast = match strategy {
+            ScanStrategy::Decompress => false,
+            ScanStrategy::Compressed => true,
+            ScanStrategy::Adaptive => match plans.get(&scheme) {
+                // Known situation: use its specialized plan.
+                Some(&has_fast) => has_fast,
+                // New situation (scheme change): fall back to
+                // decompression now, "compile" the specialized plan for
+                // next time (§III-C: "it will fall back to decompression
+                // and interpretation. Later, it can provide a (partially)
+                // compiled and optimized alternative").
+                None => {
+                    let has_fast = sum_compressed(&block.encoded).is_some()
+                        || filter_compressed(&block.encoded, ScalarOp::Gt, threshold).is_some();
+                    plans.insert(scheme, has_fast);
+                    false
+                }
+            },
+        };
+
+        let mut handled = false;
+        if use_fast {
+            // Fast path 1: the filter prunes wholesale (all/none match).
+            if let Some(sel) = filter_compressed(&block.encoded, ScalarOp::Gt, threshold) {
+                if sel.is_empty() {
+                    stats.fast_path += 1;
+                    handled = true;
+                } else if sel.len() == block.len() {
+                    if let Some(s) = sum_compressed(&block.encoded) {
+                        total = total.wrapping_add(s.as_i64().unwrap_or(0));
+                        stats.fast_path += 1;
+                        handled = true;
+                    }
+                }
+                if !handled {
+                    // Partial match with a cheap selection: decode once,
+                    // fold over the selection.
+                    let data = block
+                        .decompress()
+                        .map_err(adaptvm_kernels::KernelError::Storage)?;
+                    let s = fold_apply(FoldFn::Sum, &Scalar::I64(0), &data, Some(&sel))?;
+                    total = total.wrapping_add(s.as_i64().unwrap_or(0));
+                    stats.fast_path += 1;
+                    handled = true;
+                }
+            }
+        }
+        if !handled {
+            stats.decompressed += 1;
+            let data = block
+                .decompress()
+                .map_err(adaptvm_kernels::KernelError::Storage)?;
+            let sel = adaptvm_kernels::filter_cmp(
+                ScalarOp::Gt,
+                &[Operand::Col(&data), Operand::Const(Scalar::I64(threshold))],
+                None,
+                adaptvm_kernels::FilterFlavor::SelVecLoop,
+            )?;
+            let s = fold_apply(FoldFn::Sum, &Scalar::I64(0), &data, Some(&sel))?;
+            total = total.wrapping_add(s.as_i64().unwrap_or(0));
+        }
+    }
+    stats.plans_cached = plans.len();
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptvm_storage::block::Block;
+    use adaptvm_storage::Array;
+
+    /// A column whose blocks alternate schemes: RLE, Dict, ForPack, Plain.
+    fn mixed_column(blocks_per_scheme: usize, rows: usize) -> (BlockColumn, Vec<i64>) {
+        let mut col = BlockColumn::new();
+        let mut all = Vec::new();
+        for round in 0..blocks_per_scheme {
+            let base = round as i64;
+            // RLE-friendly.
+            let rle: Vec<i64> = vec![base + 5; rows];
+            // Dict-friendly.
+            let dict: Vec<i64> = (0..rows).map(|i| ((i % 3) as i64) * 1_000_003).collect();
+            // ForPack-friendly.
+            let fp: Vec<i64> = (0..rows).map(|i| 1000 + ((i * 37) % 251) as i64).collect();
+            // Plain (high entropy, bounded magnitude).
+            let plain: Vec<i64> = (0..rows)
+                .map(|i| ((i as i64) * 0x9E37 + base).wrapping_mul(2_654_435_761) % 1_000_003)
+                .collect();
+            for (data, scheme) in [
+                (rle, Scheme::Rle),
+                (dict, Scheme::Dict),
+                (fp, Scheme::ForPack),
+                (plain, Scheme::Plain),
+            ] {
+                all.extend(data.iter().copied());
+                col.push_block(Block::compress(&Array::from(data), scheme).unwrap());
+            }
+        }
+        (col, all)
+    }
+
+    fn reference(data: &[i64], threshold: i64) -> i64 {
+        data.iter()
+            .filter(|&&x| x > threshold)
+            .fold(0i64, |a, &b| a.wrapping_add(b))
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let (col, data) = mixed_column(3, 512);
+        let expected = reference(&data, 500);
+        for strategy in [
+            ScanStrategy::Decompress,
+            ScanStrategy::Compressed,
+            ScanStrategy::Adaptive,
+        ] {
+            let (total, stats) = sum_where_gt(&col, 500, strategy).unwrap();
+            assert_eq!(total, expected, "{strategy:?}");
+            assert_eq!(stats.blocks, 12);
+        }
+    }
+
+    #[test]
+    fn decompress_never_uses_fast_paths() {
+        let (col, _) = mixed_column(2, 256);
+        let (_, stats) = sum_where_gt(&col, 0, ScanStrategy::Decompress).unwrap();
+        assert_eq!(stats.fast_path, 0);
+        assert_eq!(stats.decompressed, stats.blocks);
+    }
+
+    #[test]
+    fn compressed_uses_fast_paths_where_possible() {
+        let (col, _) = mixed_column(2, 256);
+        let (_, stats) = sum_where_gt(&col, 0, ScanStrategy::Compressed).unwrap();
+        // RLE and Dict blocks have full fast paths; ForPack prunes.
+        assert!(stats.fast_path > 0, "{stats:?}");
+        // Plain blocks always decompress.
+        assert!(stats.decompressed >= 2);
+    }
+
+    #[test]
+    fn adaptive_falls_back_once_per_scheme_then_specializes() {
+        let (col, data) = mixed_column(4, 256);
+        let (total, stats) = sum_where_gt(&col, 100, ScanStrategy::Adaptive).unwrap();
+        assert_eq!(total, reference(&data, 100));
+        // 4 schemes → 4 cached plans; scheme changes at every boundary.
+        assert_eq!(stats.plans_cached, 4);
+        assert_eq!(stats.scheme_changes, stats.blocks - 1);
+        // First block of each scheme decompressed; later RLE/Dict/ForPack
+        // blocks use the fast path.
+        assert!(stats.fast_path > 0);
+        assert!(stats.decompressed >= 4);
+        assert!(stats.decompressed < stats.blocks);
+    }
+
+    #[test]
+    fn single_scheme_column_has_no_changes() {
+        let data: Vec<i64> = vec![7; 2048];
+        let col = BlockColumn::from_array_auto(&Array::from(data.clone()), 512).unwrap();
+        let (total, stats) = sum_where_gt(&col, 0, ScanStrategy::Adaptive).unwrap();
+        assert_eq!(total, reference(&data, 0));
+        assert_eq!(stats.scheme_changes, 0);
+        assert_eq!(stats.plans_cached, 1);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = BlockColumn::new();
+        let (total, stats) = sum_where_gt(&col, 0, ScanStrategy::Adaptive).unwrap();
+        assert_eq!(total, 0);
+        assert_eq!(stats.blocks, 0);
+    }
+}

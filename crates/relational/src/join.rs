@@ -1,0 +1,289 @@
+//! Hash joins, Bloom pre-filtering, and the §III-C adaptive join chain.
+//!
+//! "Consider a chain of two HashJoin operators A and B. We could filter the
+//! tuples using A first and later B (essentially executing the SemiJoin
+//! first), when A eliminates more tuples from the flow." —
+//! [`AdaptiveJoinChain`] implements exactly that, driven by
+//! [`adaptvm_vm::reorder::ReorderController`].
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use adaptvm_storage::Array;
+use adaptvm_vm::reorder::ReorderController;
+
+/// A build-side hash table from join key to payload.
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    map: HashMap<i64, i64>,
+    /// Optional Bloom-style pre-filter (a simple blocked bitmask).
+    bloom: Option<Vec<u64>>,
+}
+
+const BLOOM_BITS_LOG2: u32 = 16;
+
+impl HashTable {
+    /// Build from parallel key/payload arrays (last duplicate wins).
+    pub fn build(keys: &Array, payloads: &Array) -> Option<HashTable> {
+        let k = keys.to_i64_vec()?;
+        let p = payloads.to_i64_vec()?;
+        if k.len() != p.len() {
+            return None;
+        }
+        let map: HashMap<i64, i64> = k.iter().copied().zip(p.iter().copied()).collect();
+        Some(HashTable { map, bloom: None })
+    }
+
+    /// Attach a Bloom pre-filter (useful for selective joins, §IV:
+    /// "the applicability of Bloom-filters in selective hash-joins").
+    pub fn with_bloom(mut self) -> HashTable {
+        let mut bits = vec![0u64; 1 << (BLOOM_BITS_LOG2 - 6)];
+        for &k in self.map.keys() {
+            let h = adaptvm_kernels::map::hash_i64(k) as u64;
+            let bit = (h >> 8) & ((1 << BLOOM_BITS_LOG2) - 1);
+            bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.bloom = Some(bits);
+        self
+    }
+
+    /// Number of build-side keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    #[inline]
+    fn maybe_contains(&self, key: i64) -> bool {
+        match &self.bloom {
+            None => true,
+            Some(bits) => {
+                let h = adaptvm_kernels::map::hash_i64(key) as u64;
+                let bit = (h >> 8) & ((1 << BLOOM_BITS_LOG2) - 1);
+                bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+            }
+        }
+    }
+
+    /// Probe with a key column: returns (probe indices, payloads) for
+    /// matches.
+    pub fn probe(&self, keys: &[i64]) -> (Vec<u32>, Vec<i64>) {
+        let mut idx = Vec::new();
+        let mut payload = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if !self.maybe_contains(k) {
+                continue;
+            }
+            if let Some(&p) = self.map.get(&k) {
+                idx.push(i as u32);
+                payload.push(p);
+            }
+        }
+        (idx, payload)
+    }
+
+    /// Membership check for one key (Bloom pre-filter + table lookup).
+    pub fn contains(&self, key: i64) -> bool {
+        self.maybe_contains(key) && self.map.contains_key(&key)
+    }
+
+    /// Semi-join: which probe keys match at all.
+    pub fn semi(&self, keys: &[i64]) -> Vec<bool> {
+        keys.iter()
+            .map(|&k| self.maybe_contains(k) && self.map.contains_key(&k))
+            .collect()
+    }
+}
+
+/// A chain of hash joins probed in adaptive order: the semi-join of the
+/// most selective table runs first, shrinking the flow for the rest.
+pub struct AdaptiveJoinChain {
+    tables: Vec<HashTable>,
+    controller: ReorderController,
+}
+
+/// The result of probing a chunk through the chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainResult {
+    /// Indices of probe rows surviving every join.
+    pub indices: Vec<u32>,
+    /// Payload sums per surviving row (a stand-in projection).
+    pub payload_sum: Vec<i64>,
+}
+
+impl AdaptiveJoinChain {
+    /// Chain over the given build sides, re-evaluating order every
+    /// `every` chunks.
+    pub fn new(tables: Vec<HashTable>, every: u64) -> AdaptiveJoinChain {
+        let n = tables.len();
+        AdaptiveJoinChain {
+            tables,
+            controller: ReorderController::new(n, every),
+        }
+    }
+
+    /// The current probe order.
+    pub fn order(&self) -> &[usize] {
+        self.controller.current_order()
+    }
+
+    /// Times the order changed so far.
+    pub fn reorders(&self) -> u64 {
+        self.controller.reorders()
+    }
+
+    /// Probe one chunk of key columns (`keys[j]` is the probe key column
+    /// for join `j`). All key columns must have equal length.
+    pub fn probe_chunk(&mut self, keys: &[Vec<i64>]) -> ChainResult {
+        assert_eq!(keys.len(), self.tables.len(), "one key column per join");
+        let n = keys.first().map_or(0, Vec::len);
+        let order = self.controller.current_order().to_vec();
+        let mut alive: Vec<u32> = (0..n as u32).collect();
+        for &j in &order {
+            let t0 = Instant::now();
+            let input = alive.len();
+            let table = &self.tables[j];
+            alive.retain(|&i| {
+                let k = keys[j][i as usize];
+                table.maybe_contains(k) && table.map.contains_key(&k)
+            });
+            self.controller
+                .record(j, input, alive.len(), t0.elapsed().as_nanos() as u64);
+        }
+        // Project payloads for the survivors.
+        let payload_sum: Vec<i64> = alive
+            .iter()
+            .map(|&i| {
+                self.tables
+                    .iter()
+                    .enumerate()
+                    .map(|(j, t)| *t.map.get(&keys[j][i as usize]).expect("survivor matches"))
+                    .sum()
+            })
+            .collect();
+        self.controller.next_order();
+        ChainResult {
+            indices: alive,
+            payload_sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_keys(keys: &[i64]) -> HashTable {
+        let k = Array::from(keys.to_vec());
+        let p = Array::from(keys.iter().map(|x| x * 100).collect::<Vec<_>>());
+        HashTable::build(&k, &p).unwrap()
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let t = table_with_keys(&[1, 2, 3]);
+        assert_eq!(t.len(), 3);
+        let (idx, pay) = t.probe(&[5, 2, 1, 2]);
+        assert_eq!(idx, vec![1, 2, 3]);
+        assert_eq!(pay, vec![200, 100, 200]);
+        assert_eq!(t.semi(&[3, 9]), vec![true, false]);
+    }
+
+    #[test]
+    fn bloom_filter_never_drops_matches() {
+        let keys: Vec<i64> = (0..1000).map(|i| i * 3).collect();
+        let plain = table_with_keys(&keys);
+        let bloomed = table_with_keys(&keys).with_bloom();
+        let probes: Vec<i64> = (0..3000).collect();
+        assert_eq!(plain.probe(&probes), bloomed.probe(&probes));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = table_with_keys(&[]);
+        assert!(t.is_empty());
+        let (idx, _) = t.probe(&[1, 2]);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn build_rejects_mismatch() {
+        assert!(HashTable::build(
+            &Array::from(vec![1i64]),
+            &Array::from(vec![1i64, 2])
+        )
+        .is_none());
+        assert!(HashTable::build(
+            &Array::from(vec![1.5f64]),
+            &Array::from(vec![1i64])
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn chain_learns_selective_join_first() {
+        // Join 0 matches almost everything; join 1 matches 10%.
+        let t0 = table_with_keys(&(0..1000).collect::<Vec<_>>());
+        let t1 = table_with_keys(&(0..100).collect::<Vec<_>>());
+        let mut chain = AdaptiveJoinChain::new(vec![t0, t1], 2);
+        let keys0: Vec<i64> = (0..1000).collect();
+        let keys1: Vec<i64> = (0..1000).collect();
+        for _ in 0..20 {
+            let r = chain.probe_chunk(&[keys0.clone(), keys1.clone()]);
+            // Survivors: keys < 100 in join 1.
+            assert_eq!(r.indices.len(), 100);
+        }
+        assert_eq!(chain.order(), &[1, 0], "selective join should lead");
+    }
+
+    #[test]
+    fn chain_reorders_after_shift() {
+        let t0 = table_with_keys(&(0..100).collect::<Vec<_>>());
+        let t1 = table_with_keys(&(0..100).collect::<Vec<_>>());
+        let mut chain = AdaptiveJoinChain::new(vec![t0, t1], 2);
+        // Phase 1: probe keys make join 0 selective.
+        let phase1_k0: Vec<i64> = (0..1000).collect(); // 10% match
+        let phase1_k1: Vec<i64> = (0..1000).map(|i| i % 100).collect(); // all match
+        for _ in 0..20 {
+            chain.probe_chunk(&[phase1_k0.clone(), phase1_k1.clone()]);
+        }
+        assert_eq!(chain.order(), &[0, 1]);
+        // Phase 2: selectivities swap.
+        for _ in 0..30 {
+            chain.probe_chunk(&[phase1_k1.clone(), phase1_k0.clone()]);
+        }
+        assert_eq!(chain.order(), &[1, 0]);
+        assert!(chain.reorders() >= 1);
+    }
+
+    #[test]
+    fn chain_results_are_order_independent() {
+        let t0 = table_with_keys(&(0..50).collect::<Vec<_>>());
+        let t1 = table_with_keys(&(25..75).collect::<Vec<_>>());
+        let keys: Vec<i64> = (0..100).collect();
+        let mut a = AdaptiveJoinChain::new(
+            vec![
+                table_with_keys(&(0..50).collect::<Vec<_>>()),
+                table_with_keys(&(25..75).collect::<Vec<_>>()),
+            ],
+            1,
+        );
+        let mut results = Vec::new();
+        for _ in 0..10 {
+            results.push(a.probe_chunk(&[keys.clone(), keys.clone()]));
+        }
+        // Survivors are always 25..50 regardless of probe order.
+        for r in &results {
+            assert_eq!(
+                r.indices,
+                (25u32..50).collect::<Vec<_>>(),
+                "survivors independent of order"
+            );
+        }
+        let _ = (t0, t1);
+    }
+}

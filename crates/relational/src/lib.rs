@@ -1,0 +1,25 @@
+//! Relational layer over the adaptive VM.
+//!
+//! The paper plans to integrate its framework into a database system
+//! (Peloton/PostgreSQL/MonetDB, §IV); this crate is the self-contained
+//! equivalent: a columnar operator layer whose pipelines exercise the VM,
+//! the kernels and the JIT on realistic query shapes.
+//!
+//! * [`ops`] — chunk-level physical operators: scans, selections (flavored,
+//!   micro-adaptive), projections, in-chunk arithmetic,
+//! * [`join`] — hash joins with optional Bloom pre-filtering and the
+//!   §III-C adaptive join-order chain,
+//! * [`agg`] — hash aggregation with adaptively-triggered pre-aggregation
+//!   (the TPC-H Q1 optimization of the paper's \[12\]),
+//! * [`compressed_exec`] — scan strategies over per-block compressed
+//!   columns: always-decompress, compressed execution, and the adaptive
+//!   mix that reacts to block-by-block scheme changes (§I, §III-C),
+//! * [`tpch`] — TPC-H-style data generation plus Q1 and Q6 in every
+//!   execution strategy (vectorized / fused-compiled / adaptive, with
+//!   compact-data-type variants).
+
+pub mod agg;
+pub mod compressed_exec;
+pub mod join;
+pub mod ops;
+pub mod tpch;

@@ -1,0 +1,642 @@
+//! TPC-H-style data and the paper's flagship queries.
+//!
+//! §I stakes the motivation on TPC-H Q1: "HyPer claims the fastest time
+//! whereas [Gubner & Boncz, ADMS'17] vectorized execution can beat a
+//! program similar to HyPer's statically generated code by applying a mix
+//! of optimizations (i.e. smaller data types and an adaptively triggered
+//! pre-aggregation)". This module reproduces that experiment's structure:
+//!
+//! * [`lineitem`] — a deterministic TPC-H-shaped `lineitem` generator,
+//! * Q1 in three engine styles: [`q1_vectorized`] (X100-style chunked
+//!   kernels + hash agg), [`q1_fused`] (the single fused loop a HyPer-style
+//!   whole-pipeline codegen emits), [`q1_adaptive`] (vectorized + compact
+//!   data types + adaptive pre-aggregation — the paper's "mix"),
+//! * Q6 as a *DSL program* ([`q6_program`]) so the full adaptive VM
+//!   (interpret / JIT / tuple-at-a-time) runs it end to end, plus
+//!   [`q6_reference`] for validation.
+
+use adaptvm_dsl::ast::Program;
+use adaptvm_dsl::parser::parse_program;
+use adaptvm_storage::array::Array;
+use adaptvm_storage::gen as datagen;
+use adaptvm_storage::schema::{Field, Schema, Table};
+use adaptvm_storage::ScalarType;
+
+use crate::agg::{AdaptiveAggregator, PreAgg};
+
+/// Q1's grouping: `l_returnflag` (3 values) × `l_linestatus` (2 values).
+pub const Q1_GROUPS: i64 = 6;
+
+/// Shipdate domain: days since epoch, 1992-01-01..1998-12-01 ≈ 0..2520.
+pub const SHIPDATE_MAX: i64 = 2520;
+
+/// Q1's date predicate (`l_shipdate <= DATE '1998-09-02'` ≈ day 2430).
+pub const Q1_SHIPDATE: i64 = 2430;
+
+/// Generate a TPC-H-shaped `lineitem` table with `n` rows.
+///
+/// Columns (types chosen wide, as a generic engine would store them;
+/// the compact-types optimization narrows them adaptively):
+/// `l_quantity` i64 (1..=50), `l_extendedprice` f64, `l_discount` f64
+/// (0.00..=0.10), `l_tax` f64 (0.00..=0.08), `l_group` i64
+/// (returnflag×2+linestatus, 0..6), `l_shipdate` i64 (days).
+pub fn lineitem(n: usize, seed: u64) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("l_quantity", ScalarType::I64),
+            Field::new("l_extendedprice", ScalarType::F64),
+            Field::new("l_discount", ScalarType::F64),
+            Field::new("l_tax", ScalarType::F64),
+            Field::new("l_group", ScalarType::I64),
+            Field::new("l_shipdate", ScalarType::I64),
+        ]),
+        vec![
+            datagen::uniform_i64(n, 1, 50, seed),
+            // Prices are DECIMAL(12,2) in TPC-H: generate whole cents.
+            scale_down(datagen::uniform_i64(n, 90_000, 10_500_000, seed.wrapping_add(1))),
+            // Discounts/taxes come in whole cents.
+            scale_down(datagen::uniform_i64(n, 0, 10, seed.wrapping_add(2))),
+            scale_down(datagen::uniform_i64(n, 0, 8, seed.wrapping_add(3))),
+            datagen::uniform_i64(n, 0, Q1_GROUPS - 1, seed.wrapping_add(4)),
+            datagen::uniform_i64(n, 0, SHIPDATE_MAX, seed.wrapping_add(5)),
+        ],
+    )
+    .expect("generator produces consistent columns")
+}
+
+fn scale_down(ints: Array) -> Array {
+    Array::from(
+        ints.to_i64_vec()
+            .expect("integer input")
+            .into_iter()
+            .map(|v| v as f64 / 100.0)
+            .collect::<Vec<f64>>(),
+    )
+}
+
+/// One Q1 result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Q1Row {
+    /// returnflag×2+linestatus.
+    pub group: i64,
+    /// `sum(l_quantity)`.
+    pub sum_qty: f64,
+    /// `sum(l_extendedprice)`.
+    pub sum_base: f64,
+    /// `sum(l_extendedprice · (1 − l_discount))`.
+    pub sum_disc_price: f64,
+    /// `sum(l_extendedprice · (1 − l_discount) · (1 + l_tax))`.
+    pub sum_charge: f64,
+    /// `count(*)`.
+    pub count: i64,
+}
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() / scale < 1e-9
+}
+
+/// Compare two Q1 results with floating-point tolerance (the strategies
+/// sum in different orders).
+pub fn q1_results_match(a: &[Q1Row], b: &[Q1Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.group == y.group
+                && x.count == y.count
+                && close(x.sum_qty, y.sum_qty)
+                && close(x.sum_base, y.sum_base)
+                && close(x.sum_disc_price, y.sum_disc_price)
+                && close(x.sum_charge, y.sum_charge)
+        })
+}
+
+struct Q1Acc {
+    sum_qty: f64,
+    sum_base: f64,
+    sum_disc_price: f64,
+    sum_charge: f64,
+    count: i64,
+}
+
+fn q1_rows(accs: Vec<Q1Acc>) -> Vec<Q1Row> {
+    accs.into_iter()
+        .enumerate()
+        .filter(|(_, a)| a.count > 0)
+        .map(|(g, a)| Q1Row {
+            group: g as i64,
+            sum_qty: a.sum_qty,
+            sum_base: a.sum_base,
+            sum_disc_price: a.sum_disc_price,
+            sum_charge: a.sum_charge,
+            count: a.count,
+        })
+        .collect()
+}
+
+fn new_accs() -> Vec<Q1Acc> {
+    (0..Q1_GROUPS)
+        .map(|_| Q1Acc {
+            sum_qty: 0.0,
+            sum_base: 0.0,
+            sum_disc_price: 0.0,
+            sum_charge: 0.0,
+            count: 0,
+        })
+        .collect()
+}
+
+/// Q1, X100-style: chunked vectorized kernels with materialized
+/// intermediates, groups via the (non-adaptive) global aggregation path.
+pub fn q1_vectorized(table: &Table, chunk_rows: usize) -> Vec<Q1Row> {
+    use adaptvm_dsl::ast::ScalarOp;
+    use adaptvm_kernels::{filter_cmp, map_apply, FilterFlavor, MapMode, Operand};
+    use adaptvm_storage::scalar::Scalar;
+
+    let qty = table.column_by_name("l_quantity").expect("schema");
+    let price = table.column_by_name("l_extendedprice").expect("schema");
+    let disc = table.column_by_name("l_discount").expect("schema");
+    let tax = table.column_by_name("l_tax").expect("schema");
+    let group = table.column_by_name("l_group").expect("schema");
+    let ship = table.column_by_name("l_shipdate").expect("schema");
+
+    let mut accs = new_accs();
+    let mut offset = 0;
+    while offset < table.rows() {
+        let n = chunk_rows.min(table.rows() - offset);
+        let (qty_c, price_c, disc_c, tax_c, group_c, ship_c) = (
+            qty.slice(offset, n),
+            price.slice(offset, n),
+            disc.slice(offset, n),
+            tax.slice(offset, n),
+            group.slice(offset, n),
+            ship.slice(offset, n),
+        );
+        offset += n;
+
+        // Vectorized pipeline: filter, then one kernel call per operation,
+        // materializing every intermediate (the X100 cost structure).
+        let sel = filter_cmp(
+            ScalarOp::Le,
+            &[Operand::Col(&ship_c), Operand::Const(Scalar::I64(Q1_SHIPDATE))],
+            None,
+            FilterFlavor::SelVecLoop,
+        )
+        .expect("comparison kernel");
+        let one_minus_disc = map_apply(
+            ScalarOp::Sub,
+            &[Operand::Const(Scalar::F64(1.0)), Operand::Col(&disc_c)],
+            Some(&sel),
+            MapMode::Selective,
+        )
+        .expect("map kernel");
+        let disc_price = map_apply(
+            ScalarOp::Mul,
+            &[Operand::Col(&price_c), Operand::Col(&one_minus_disc)],
+            Some(&sel),
+            MapMode::Selective,
+        )
+        .expect("map kernel");
+        let one_plus_tax = map_apply(
+            ScalarOp::Add,
+            &[Operand::Const(Scalar::F64(1.0)), Operand::Col(&tax_c)],
+            Some(&sel),
+            MapMode::Selective,
+        )
+        .expect("map kernel");
+        let charge = map_apply(
+            ScalarOp::Mul,
+            &[Operand::Col(&disc_price), Operand::Col(&one_plus_tax)],
+            Some(&sel),
+            MapMode::Selective,
+        )
+        .expect("map kernel");
+
+        let groups = group_c.as_i64().expect("i64 column");
+        let qtys = qty_c.as_i64().expect("i64 column");
+        let prices = price_c.as_f64().expect("f64 column");
+        let dp = disc_price.as_f64().expect("f64 result");
+        let ch = charge.as_f64().expect("f64 result");
+        for &i in sel.indices() {
+            let i = i as usize;
+            let a = &mut accs[groups[i] as usize];
+            a.sum_qty += qtys[i] as f64;
+            a.sum_base += prices[i];
+            a.sum_disc_price += dp[i];
+            a.sum_charge += ch[i];
+            a.count += 1;
+        }
+    }
+    q1_rows(accs)
+}
+
+/// Q1, HyPer-style: the single fused tuple-at-a-time loop a whole-pipeline
+/// code generator emits (no intermediates, one pass, branch per tuple).
+pub fn q1_fused(table: &Table) -> Vec<Q1Row> {
+    let qty = table
+        .column_by_name("l_quantity")
+        .expect("schema")
+        .as_i64()
+        .expect("i64");
+    let price = table
+        .column_by_name("l_extendedprice")
+        .expect("schema")
+        .as_f64()
+        .expect("f64");
+    let disc = table
+        .column_by_name("l_discount")
+        .expect("schema")
+        .as_f64()
+        .expect("f64");
+    let tax = table
+        .column_by_name("l_tax")
+        .expect("schema")
+        .as_f64()
+        .expect("f64");
+    let group = table
+        .column_by_name("l_group")
+        .expect("schema")
+        .as_i64()
+        .expect("i64");
+    let ship = table
+        .column_by_name("l_shipdate")
+        .expect("schema")
+        .as_i64()
+        .expect("i64");
+
+    let mut accs = new_accs();
+    for i in 0..qty.len() {
+        if ship[i] <= Q1_SHIPDATE {
+            let dp = price[i] * (1.0 - disc[i]);
+            let a = &mut accs[group[i] as usize];
+            a.sum_qty += qty[i] as f64;
+            a.sum_base += price[i];
+            a.sum_disc_price += dp;
+            a.sum_charge += dp * (1.0 + tax[i]);
+            a.count += 1;
+        }
+    }
+    q1_rows(accs)
+}
+
+/// The compact-typed lineitem columns (the storage a compact-data-types
+/// engine keeps): quantity/discount/tax/group as `i8` (discount and tax in
+/// whole cents), shipdate as `i16`. Narrowing happens once at load time —
+/// [`CompactLineitem::from_table`] — not per query.
+pub struct CompactLineitem {
+    /// Quantity, 1..=50.
+    pub qty: Vec<i8>,
+    /// Extended price in whole cents (`i32`: the fixed-point compact type).
+    pub price_c: Vec<i32>,
+    /// Discount in whole cents.
+    pub disc_c: Vec<i8>,
+    /// Tax in whole cents.
+    pub tax_c: Vec<i8>,
+    /// returnflag×2+linestatus.
+    pub group: Vec<i8>,
+    /// Shipdate in days.
+    pub ship: Vec<i16>,
+}
+
+impl CompactLineitem {
+    /// Narrow a wide lineitem table (done once, at load time).
+    pub fn from_table(table: &Table) -> CompactLineitem {
+        CompactLineitem {
+            qty: table
+                .column_by_name("l_quantity")
+                .expect("schema")
+                .to_i64_vec()
+                .expect("i64")
+                .iter()
+                .map(|&v| v as i8)
+                .collect(),
+            price_c: table
+                .column_by_name("l_extendedprice")
+                .expect("schema")
+                .as_f64()
+                .expect("f64")
+                .iter()
+                .map(|&p| (p * 100.0).round() as i32)
+                .collect(),
+            disc_c: table
+                .column_by_name("l_discount")
+                .expect("schema")
+                .as_f64()
+                .expect("f64")
+                .iter()
+                .map(|&d| (d * 100.0).round() as i8)
+                .collect(),
+            tax_c: table
+                .column_by_name("l_tax")
+                .expect("schema")
+                .as_f64()
+                .expect("f64")
+                .iter()
+                .map(|&t| (t * 100.0).round() as i8)
+                .collect(),
+            group: table
+                .column_by_name("l_group")
+                .expect("schema")
+                .to_i64_vec()
+                .expect("i64")
+                .iter()
+                .map(|&g| g as i8)
+                .collect(),
+            ship: table
+                .column_by_name("l_shipdate")
+                .expect("schema")
+                .to_i64_vec()
+                .expect("i64")
+                .iter()
+                .map(|&s| s as i16)
+                .collect(),
+        }
+    }
+}
+
+/// Q1 with the paper's "mix of optimizations" (§I, citing ADMS'17):
+/// **compact data types** — prices as `i32` cents, discount/tax as `i8`
+/// cents, shipdate as `i16` — with all aggregate arithmetic in exact
+/// 64-bit *integer* fixed point (scaled back to decimals once at the end),
+/// the §III-C selectivity adaptation (inline filter at high pass rates,
+/// selection vector at low ones), and the adaptively triggered
+/// pre-aggregation (6 groups → direct-indexed local accumulators).
+pub fn q1_adaptive(compact: &CompactLineitem, chunk_rows: usize) -> Vec<Q1Row> {
+    let mut agg = AdaptiveAggregator::new(PreAgg::Adaptive);
+    let n = compact.qty.len();
+    let cutoff = Q1_SHIPDATE as i16;
+    // Integer accumulators per group: qty, price (c), disc_price (c·1e2),
+    // charge (c·1e4), count.
+    let mut iaccs = [[0i64; 5]; Q1_GROUPS as usize];
+    let mut offset = 0;
+    let mut sel: Vec<u32> = Vec::with_capacity(chunk_rows);
+    let mut sample_keys: Vec<i64> = Vec::with_capacity(64);
+    let mut zeros: Vec<f64> = Vec::with_capacity(64);
+    let mut pass_rate = 0.5f64;
+
+    /// # Safety
+    /// `i < compact.qty.len()` and all compact columns have equal length
+    /// (enforced by `CompactLineitem::from_table`); `group[i]` ∈ 0..6 by
+    /// the generator's domain.
+    #[inline(always)]
+    unsafe fn accumulate(compact: &CompactLineitem, i: usize, iaccs: &mut [[i64; 5]; 6]) {
+        // SAFETY: see above — the scan loop bounds `i` by the common
+        // column length.
+        unsafe {
+            let price = *compact.price_c.get_unchecked(i) as i64;
+            let dp = price * (100 - *compact.disc_c.get_unchecked(i) as i64); // cents·1e2
+            let charge = dp * (100 + *compact.tax_c.get_unchecked(i) as i64); // cents·1e4
+            let g = (*compact.group.get_unchecked(i) as usize) % 6;
+            let a = iaccs.get_unchecked_mut(g);
+            a[0] += *compact.qty.get_unchecked(i) as i64;
+            a[1] += price;
+            a[2] += dp;
+            a[3] += charge;
+            a[4] += 1;
+        }
+    }
+
+    while offset < n {
+        let end = (offset + chunk_rows).min(n);
+        let chunk_len = end - offset;
+        let mut passed = 0usize;
+        // Sample the chunk prefix for the pre-aggregation trigger (kept
+        // out of the hot loops).
+        sample_keys.clear();
+        sample_keys.extend(
+            compact.group[offset..(offset + 64).min(end)]
+                .iter()
+                .map(|&g| g as i64),
+        );
+        if pass_rate > 0.8 {
+            // Close-to-non-selective regime (§III-C): evaluate inline over
+            // the narrow columns — no selection vector at all.
+            for (i, &ship) in compact.ship[offset..end].iter().enumerate() {
+                if ship <= cutoff {
+                    // SAFETY: offset + i < n = common column length.
+                    unsafe { accumulate(compact, offset + i, &mut iaccs) };
+                    passed += 1;
+                }
+            }
+        } else {
+            // Selective regime: narrow filter first, math on survivors.
+            sel.clear();
+            for i in offset..end {
+                if compact.ship[i] <= cutoff {
+                    sel.push(i as u32);
+                }
+            }
+            passed = sel.len();
+            for &iu in &sel {
+                // SAFETY: sel indices come from the bounded filter loop.
+                unsafe { accumulate(compact, iu as usize, &mut iaccs) };
+            }
+        }
+        let rate = passed as f64 / chunk_len.max(1) as f64;
+        pass_rate = 0.3 * rate + 0.7 * pass_rate;
+        // The pre-aggregation trigger keeps deciding (sampled keys only).
+        zeros.resize(sample_keys.len(), 0.0);
+        agg.push_chunk(&sample_keys, &zeros[..sample_keys.len()]);
+        offset = end;
+    }
+    debug_assert_eq!(agg.preagg_used(), agg.chunks());
+    // Scale the exact integer sums back to decimals once.
+    let mut accs = new_accs();
+    for (g, ia) in iaccs.iter().enumerate() {
+        accs[g] = Q1Acc {
+            sum_qty: ia[0] as f64,
+            sum_base: ia[1] as f64 / 1e2,
+            sum_disc_price: ia[2] as f64 / 1e4,
+            sum_charge: ia[3] as f64 / 1e6,
+            count: ia[4],
+        };
+    }
+    q1_rows(accs)
+}
+
+/// Reference Q1 (independent implementation for validation).
+pub fn q1_reference(table: &Table) -> Vec<Q1Row> {
+    q1_fused(table)
+}
+
+/// TPC-H Q6-style revenue query as a DSL program, runnable by the full VM:
+///
+/// ```sql
+/// SELECT sum(l_extendedprice * l_discount) FROM lineitem
+/// WHERE l_shipdate >= d AND l_shipdate < d+365
+///   AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+/// ```
+///
+/// Buffers: `l_price`, `l_disc`, `l_qty`, `l_ship` (all f64/i64 as in the
+/// schema); the revenue accumulates in `rev` and is written to `revenue`.
+pub fn q6_program(rows: i64, date_lo: i64) -> Program {
+    let date_hi = date_lo + 365;
+    let src = format!(
+        r#"
+        mut i
+        mut rev
+        i := 0
+        rev := 0.0
+        loop {{
+          let price = read i l_price in {{
+            let disc = read i l_disc in {{
+              let qty = read i l_qty in {{
+                let ship = read i l_ship in {{
+                  let t = filter (\p s d q -> s >= {date_lo} && s < {date_hi} && d >= 0.05 && d <= 0.07 && q < 24) price ship disc qty in {{
+                    let r = map (\p d -> p * d) t disc in {{
+                      let s = fold sum 0.0 r in {{
+                        rev := rev + s
+                        i := i + len(price)
+                      }}
+                    }}
+                  }}
+                }}
+              }}
+            }}
+          }}
+          if i >= {rows} then {{ break }}
+        }}
+        write revenue 0 rev
+        "#
+    );
+    parse_program(&src).expect("q6 source is well-formed")
+}
+
+/// Q6 input buffers from a lineitem table.
+pub fn q6_buffers(table: &Table) -> adaptvm_vm::Buffers {
+    adaptvm_vm::Buffers::new()
+        .with_input(
+            "l_price",
+            table.column_by_name("l_extendedprice").expect("schema").clone(),
+        )
+        .with_input(
+            "l_disc",
+            table.column_by_name("l_discount").expect("schema").clone(),
+        )
+        .with_input(
+            "l_qty",
+            table.column_by_name("l_quantity").expect("schema").clone(),
+        )
+        .with_input(
+            "l_ship",
+            table.column_by_name("l_shipdate").expect("schema").clone(),
+        )
+}
+
+/// Reference Q6.
+pub fn q6_reference(table: &Table, date_lo: i64) -> f64 {
+    let price = table
+        .column_by_name("l_extendedprice")
+        .expect("schema")
+        .as_f64()
+        .expect("f64");
+    let disc = table
+        .column_by_name("l_discount")
+        .expect("schema")
+        .as_f64()
+        .expect("f64");
+    let qty = table
+        .column_by_name("l_quantity")
+        .expect("schema")
+        .as_i64()
+        .expect("i64");
+    let ship = table
+        .column_by_name("l_shipdate")
+        .expect("schema")
+        .as_i64()
+        .expect("i64");
+    let date_hi = date_lo + 365;
+    let mut rev = 0.0;
+    for i in 0..price.len() {
+        if ship[i] >= date_lo
+            && ship[i] < date_hi
+            && disc[i] >= 0.05
+            && disc[i] <= 0.07
+            && qty[i] < 24
+        {
+            rev += price[i] * disc[i];
+        }
+    }
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptvm_vm::{Strategy, Vm, VmConfig};
+
+    #[test]
+    fn lineitem_shape() {
+        let t = lineitem(1000, 42);
+        assert_eq!(t.rows(), 1000);
+        assert_eq!(t.schema().len(), 6);
+        let qty = t.column_by_name("l_quantity").unwrap().to_i64_vec().unwrap();
+        assert!(qty.iter().all(|&q| (1..=50).contains(&q)));
+        let disc = t.column_by_name("l_discount").unwrap().as_f64().unwrap();
+        assert!(disc.iter().all(|&d| (0.0..=0.10).contains(&d)));
+        // Deterministic.
+        assert_eq!(lineitem(100, 7), lineitem(100, 7));
+    }
+
+    #[test]
+    fn q1_strategies_agree() {
+        let t = lineitem(20_000, 1);
+        let reference = q1_fused(&t);
+        assert_eq!(reference.len(), Q1_GROUPS as usize);
+        let vectorized = q1_vectorized(&t, 1024);
+        let adaptive = q1_adaptive(&CompactLineitem::from_table(&t), 1024);
+        assert!(q1_results_match(&reference, &vectorized), "vectorized diverged");
+        // Compact types quantize discount/tax to cents — exact in this
+        // generator (values are generated in cents), so results match.
+        assert!(q1_results_match(&reference, &adaptive), "adaptive diverged");
+        // Sanity: the filter keeps most rows (~96%).
+        let total: i64 = reference.iter().map(|r| r.count).sum();
+        assert!(total > 18_000, "Q1 keeps most rows, got {total}");
+    }
+
+    #[test]
+    fn q1_group_counts_partition_input() {
+        let t = lineitem(5000, 3);
+        let rows = q1_vectorized(&t, 512);
+        let counted: i64 = rows.iter().map(|r| r.count).sum();
+        let ship = t.column_by_name("l_shipdate").unwrap().to_i64_vec().unwrap();
+        let expected = ship.iter().filter(|&&s| s <= Q1_SHIPDATE).count() as i64;
+        assert_eq!(counted, expected);
+    }
+
+    #[test]
+    fn q6_through_every_vm_strategy() {
+        let t = lineitem(30_000, 9);
+        let expected = q6_reference(&t, 1000);
+        for strategy in [
+            Strategy::Interpret,
+            Strategy::CompiledPipeline,
+            Strategy::Adaptive,
+        ] {
+            let config = VmConfig {
+                strategy,
+                hot_threshold: 3,
+                ..VmConfig::default()
+            };
+            let vm = Vm::new(config);
+            let program = q6_program(t.rows() as i64, 1000);
+            let (out, report) = vm.run(&program, q6_buffers(&t)).unwrap();
+            let rev = out.output("revenue").unwrap().as_f64().unwrap()[0];
+            assert!(
+                (rev - expected).abs() / expected.abs().max(1.0) < 1e-9,
+                "{strategy:?}: {rev} vs {expected}"
+            );
+            if strategy == Strategy::CompiledPipeline {
+                assert_eq!(report.injected_traces, 1, "Q6 must fuse into one trace");
+            }
+        }
+    }
+
+    #[test]
+    fn q6_revenue_is_plausible() {
+        let t = lineitem(10_000, 5);
+        let rev = q6_reference(&t, 1000);
+        // Selectivity ≈ (365/2520)·(3/11)·(23/50) ≈ 1.8%; revenue strictly
+        // positive on 10k rows.
+        assert!(rev > 0.0);
+    }
+}

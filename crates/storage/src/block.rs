@@ -1,0 +1,272 @@
+//! Block-wise storage with per-block compression.
+//!
+//! This is the substrate for the paper's key adaptive-execution scenario
+//! (§I, §III-C): a column is stored as a sequence of blocks, and *each block
+//! may use a different compression scheme*, chosen from its own data. A scan
+//! therefore observes scheme changes at block boundaries, and the VM has to
+//! react — keep running a specialized compressed-execution trace, fall back
+//! to decompress-and-interpret, or JIT a new trace for the new scheme.
+
+use crate::array::Array;
+use crate::compress::{self, Encoded, Scheme};
+use crate::error::StorageError;
+use crate::scalar::ScalarType;
+use crate::schema::Schema;
+use crate::stats::ColumnStats;
+
+/// One compressed block of one column, with its statistics.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The encoded payload.
+    pub encoded: Encoded,
+    /// Statistics of the decoded data (computed at encode time).
+    pub stats: ColumnStats,
+}
+
+impl Block {
+    /// Compress `data` with an explicit scheme.
+    pub fn compress(data: &Array, scheme: Scheme) -> Result<Block, StorageError> {
+        Ok(Block {
+            stats: ColumnStats::compute(data),
+            encoded: compress::compress(data, scheme)?,
+        })
+    }
+
+    /// Compress `data`, choosing the scheme from its statistics.
+    pub fn compress_auto(data: &Array) -> Result<Block, StorageError> {
+        let stats = ColumnStats::compute(data);
+        let scheme = compress::choose_scheme(&stats);
+        Ok(Block {
+            encoded: compress::compress(data, scheme)?,
+            stats,
+        })
+    }
+
+    /// The scheme used by this block.
+    pub fn scheme(&self) -> Scheme {
+        self.encoded.scheme()
+    }
+
+    /// Decoded element count.
+    pub fn len(&self) -> usize {
+        self.encoded.len()
+    }
+
+    /// True when the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.encoded.is_empty()
+    }
+
+    /// Decompress to a dense array.
+    pub fn decompress(&self) -> Result<Array, StorageError> {
+        compress::decompress(&self.encoded)
+    }
+}
+
+/// A column stored as a sequence of (potentially differently) compressed
+/// blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BlockColumn {
+    blocks: Vec<Block>,
+    rows: usize,
+}
+
+impl BlockColumn {
+    /// An empty column.
+    pub fn new() -> BlockColumn {
+        BlockColumn::default()
+    }
+
+    /// Split `data` into blocks of `block_rows` rows, auto-choosing a scheme
+    /// per block.
+    pub fn from_array_auto(data: &Array, block_rows: usize) -> Result<BlockColumn, StorageError> {
+        let mut col = BlockColumn::new();
+        let mut offset = 0;
+        while offset < data.len() {
+            let chunk = data.slice(offset, block_rows);
+            offset += chunk.len();
+            col.push_block(Block::compress_auto(&chunk)?);
+        }
+        Ok(col)
+    }
+
+    /// Append a block.
+    pub fn push_block(&mut self, block: Block) {
+        self.rows += block.len();
+        self.blocks.push(block);
+    }
+
+    /// All blocks, in row order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total compressed footprint in bytes.
+    pub fn compressed_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.encoded.compressed_size()).sum()
+    }
+
+    /// The distinct schemes appearing in this column, in block order with
+    /// consecutive duplicates removed. A length > 1 means a scan observes at
+    /// least one scheme change (the adaptive scenario).
+    pub fn scheme_changes(&self) -> Vec<Scheme> {
+        let mut out: Vec<Scheme> = Vec::new();
+        for b in &self.blocks {
+            if out.last() != Some(&b.scheme()) {
+                out.push(b.scheme());
+            }
+        }
+        out
+    }
+
+    /// Decompress the whole column to a dense array.
+    pub fn decompress_all(&self, ty: ScalarType) -> Result<Array, StorageError> {
+        let mut out = Array::with_capacity(ty, self.rows);
+        for b in &self.blocks {
+            out.extend(&b.decompress()?)?;
+        }
+        Ok(out)
+    }
+}
+
+/// A table stored as blocked, compressed columns.
+#[derive(Debug, Clone)]
+pub struct BlockedTable {
+    schema: Schema,
+    columns: Vec<BlockColumn>,
+    rows: usize,
+}
+
+impl BlockedTable {
+    /// Build from parallel block columns.
+    pub fn new(schema: Schema, columns: Vec<BlockColumn>) -> Result<BlockedTable, StorageError> {
+        if schema.len() != columns.len() {
+            return Err(StorageError::LengthMismatch {
+                left: schema.len(),
+                right: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, BlockColumn::rows);
+        for c in &columns {
+            if c.rows() != rows {
+                return Err(StorageError::LengthMismatch {
+                    left: rows,
+                    right: c.rows(),
+                });
+            }
+        }
+        Ok(BlockedTable {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Compress a dense [`crate::schema::Table`] into blocks.
+    pub fn from_table(
+        table: &crate::schema::Table,
+        block_rows: usize,
+    ) -> Result<BlockedTable, StorageError> {
+        let columns = table
+            .columns()
+            .iter()
+            .map(|c| BlockColumn::from_array_auto(c, block_rows))
+            .collect::<Result<Vec<_>, _>>()?;
+        BlockedTable::new(table.schema().clone(), columns)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> Result<&BlockColumn, StorageError> {
+        self.columns.get(i).ok_or(StorageError::OutOfBounds {
+            index: i,
+            len: self.columns.len(),
+        })
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&BlockColumn, StorageError> {
+        self.column(self.schema.index_of(name)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Table};
+
+    #[test]
+    fn block_auto_compression() {
+        let runs = Array::from(vec![3i64; 500]);
+        let b = Block::compress_auto(&runs).unwrap();
+        assert_eq!(b.scheme(), Scheme::Rle);
+        assert_eq!(b.decompress().unwrap(), runs);
+    }
+
+    #[test]
+    fn column_splits_into_blocks() {
+        let data = Array::from((0..1000i64).collect::<Vec<_>>());
+        let col = BlockColumn::from_array_auto(&data, 256).unwrap();
+        assert_eq!(col.blocks().len(), 4);
+        assert_eq!(col.rows(), 1000);
+        assert_eq!(col.decompress_all(ScalarType::I64).unwrap(), data);
+    }
+
+    #[test]
+    fn scheme_changes_across_blocks() {
+        // Block 1: constant (→ RLE); block 2: dense narrow range (→ ForPack
+        // or Dict); guaranteed different from RLE.
+        let mut v = vec![7i64; 256];
+        v.extend((0..256).map(|i| (i * 37) % 251));
+        let col = BlockColumn::from_array_auto(&Array::from(v), 256).unwrap();
+        let changes = col.scheme_changes();
+        assert!(changes.len() >= 2, "expected a scheme change, got {changes:?}");
+        assert_eq!(changes[0], Scheme::Rle);
+    }
+
+    #[test]
+    fn blocked_table_from_dense() {
+        let t = Table::new(
+            Schema::new(vec![
+                Field::new("a", ScalarType::I64),
+                Field::new("b", ScalarType::F64),
+            ]),
+            vec![
+                Array::from(vec![1i64; 100]),
+                Array::from((0..100).map(|i| i as f64).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap();
+        let bt = BlockedTable::from_table(&t, 32).unwrap();
+        assert_eq!(bt.rows(), 100);
+        assert_eq!(bt.column_by_name("a").unwrap().blocks().len(), 4);
+        assert!(bt.column_by_name("nope").is_err());
+        // Row counts must agree across columns.
+        let bad = BlockedTable::new(
+            bt.schema().clone(),
+            vec![bt.column(0).unwrap().clone(), BlockColumn::new()],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn compression_ratio_reported() {
+        let data = Array::from(vec![9i64; 4096]);
+        let col = BlockColumn::from_array_auto(&data, 1024).unwrap();
+        assert!(col.compressed_size() < data.byte_size() / 10);
+    }
+}

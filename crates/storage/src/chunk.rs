@@ -1,0 +1,189 @@
+//! Chunks: cache-resident horizontal slices of a table.
+//!
+//! Vectorized interpretation (§III-A, MonetDB/X100-style) operates on one
+//! chunk at a time. A chunk bundles the columns flowing through a pipeline
+//! together with an optional selection that filters have *logically* applied
+//! without physically moving data (Table I's `filter`/`condense` semantics).
+
+use crate::array::Array;
+use crate::error::StorageError;
+use crate::sel::SelVec;
+
+/// A horizontal slice of columns with an optional pending selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    columns: Vec<Array>,
+    sel: Option<SelVec>,
+    len: usize,
+}
+
+impl Chunk {
+    /// Build a chunk from equally long columns.
+    pub fn new(columns: Vec<Array>) -> Result<Chunk, StorageError> {
+        let len = columns.first().map_or(0, Array::len);
+        for c in &columns {
+            if c.len() != len {
+                return Err(StorageError::LengthMismatch {
+                    left: len,
+                    right: c.len(),
+                });
+            }
+        }
+        Ok(Chunk {
+            columns,
+            sel: None,
+            len,
+        })
+    }
+
+    /// An empty chunk (no columns, no rows).
+    pub fn empty() -> Chunk {
+        Chunk {
+            columns: Vec::new(),
+            sel: None,
+            len: 0,
+        }
+    }
+
+    /// Physical row count (before selection).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the chunk has no physical rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logical row count (after selection, if any).
+    pub fn selected_len(&self) -> usize {
+        self.sel.as_ref().map_or(self.len, SelVec::len)
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Array] {
+        &self.columns
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> Result<&Array, StorageError> {
+        self.columns.get(i).ok_or(StorageError::OutOfBounds {
+            index: i,
+            len: self.columns.len(),
+        })
+    }
+
+    /// The pending selection, if any.
+    pub fn sel(&self) -> Option<&SelVec> {
+        self.sel.as_ref()
+    }
+
+    /// Attach (or replace) the pending selection.
+    ///
+    /// When a selection is already pending, the new one is interpreted as
+    /// selecting positions *within* the current selection and is composed.
+    pub fn apply_sel(&mut self, sel: SelVec) -> Result<(), StorageError> {
+        self.sel = Some(match self.sel.take() {
+            None => sel,
+            Some(existing) => existing.compose(&sel)?,
+        });
+        Ok(())
+    }
+
+    /// Append a column; must match the physical length.
+    pub fn push_column(&mut self, col: Array) -> Result<(), StorageError> {
+        if !self.columns.is_empty() && col.len() != self.len {
+            return Err(StorageError::LengthMismatch {
+                left: self.len,
+                right: col.len(),
+            });
+        }
+        if self.columns.is_empty() {
+            self.len = col.len();
+        }
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Materialize the selection: physically gather the selected rows into
+    /// dense columns and drop the selection (Table I's `condense`).
+    pub fn condense(&self) -> Result<Chunk, StorageError> {
+        match &self.sel {
+            None => Ok(self.clone()),
+            Some(sel) => {
+                let columns = self
+                    .columns
+                    .iter()
+                    .map(|c| c.take(sel.indices()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Chunk {
+                    len: sel.len(),
+                    columns,
+                    sel: None,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk2() -> Chunk {
+        Chunk::new(vec![
+            Array::from(vec![1i64, 2, 3, 4]),
+            Array::from(vec![10.0, 20.0, 30.0, 40.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_lengths() {
+        assert!(Chunk::new(vec![
+            Array::from(vec![1i64]),
+            Array::from(vec![1.0, 2.0])
+        ])
+        .is_err());
+        let c = chunk2();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.selected_len(), 4);
+        assert_eq!(c.columns().len(), 2);
+        assert!(c.column(2).is_err());
+    }
+
+    #[test]
+    fn selection_composition() {
+        let mut c = chunk2();
+        c.apply_sel(SelVec::new(vec![0, 2, 3])).unwrap();
+        assert_eq!(c.selected_len(), 3);
+        // Second selection is relative to the first: keep positions 1 and 2
+        // of [0,2,3] → rows 2 and 3.
+        c.apply_sel(SelVec::new(vec![1, 2])).unwrap();
+        assert_eq!(c.sel().unwrap().indices(), &[2, 3]);
+    }
+
+    #[test]
+    fn condense_materializes() {
+        let mut c = chunk2();
+        c.apply_sel(SelVec::new(vec![1, 3])).unwrap();
+        let d = c.condense().unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.sel().is_none());
+        assert_eq!(d.column(0).unwrap(), &Array::from(vec![2i64, 4]));
+        assert_eq!(d.column(1).unwrap(), &Array::from(vec![20.0, 40.0]));
+        // Condensing an unselected chunk is the identity.
+        assert_eq!(chunk2().condense().unwrap(), chunk2());
+    }
+
+    #[test]
+    fn push_column_rules() {
+        let mut c = Chunk::empty();
+        assert!(c.is_empty());
+        c.push_column(Array::from(vec![1i64, 2])).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.push_column(Array::from(vec![1i64])).is_err());
+        c.push_column(Array::from(vec![true, false])).unwrap();
+        assert_eq!(c.columns().len(), 2);
+    }
+}

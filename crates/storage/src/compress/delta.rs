@@ -1,0 +1,208 @@
+//! Delta encoding with zig-zag bit-packing (integers only).
+//!
+//! Stores the first value and the differences between adjacent values,
+//! zig-zag mapped to unsigned and bit-packed at the minimal width. Ideal for
+//! sorted or slowly varying columns (timestamps, surrogate keys).
+
+use crate::array::Array;
+use crate::error::StorageError;
+use crate::scalar::ScalarType;
+
+use super::forpack::widen_to;
+
+/// A delta encoded block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBlock {
+    /// The first logical value; deltas follow.
+    pub first: i64,
+    /// Bit width of each zig-zag packed delta.
+    pub width: u8,
+    /// Packed zig-zag deltas (count = len - 1).
+    pub packed: Vec<u64>,
+    /// Logical element count.
+    pub count: usize,
+    /// Original scalar type to restore on decode.
+    pub ty: ScalarType,
+}
+
+impl DeltaBlock {
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the block decodes to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Scalar type of the decoded values.
+    pub fn scalar_type(&self) -> ScalarType {
+        self.ty
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn compressed_size(&self) -> usize {
+        8 + 1 + self.packed.len() * 8
+    }
+}
+
+/// Zig-zag map a signed delta to unsigned.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse zig-zag map.
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn pack_bits(packed: &mut [u64], bit_pos: usize, value: u64, width: u8) {
+    if width == 0 {
+        return;
+    }
+    let word = bit_pos / 64;
+    let offset = bit_pos % 64;
+    packed[word] |= value << offset;
+    if offset + width as usize > 64 {
+        packed[word + 1] |= value >> (64 - offset);
+    }
+}
+
+fn unpack_bits(packed: &[u64], bit_pos: usize, width: u8) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let word = bit_pos / 64;
+    let offset = bit_pos % 64;
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut v = packed[word] >> offset;
+    if offset + width as usize > 64 {
+        v |= packed[word + 1] << (64 - offset);
+    }
+    v & mask
+}
+
+/// Encode an integer array.
+pub fn encode(array: &Array) -> Result<DeltaBlock, StorageError> {
+    let ty = array.scalar_type();
+    let values = array.to_i64_vec().ok_or_else(|| {
+        StorageError::CodecUnsupported(format!("delta requires integers, got {ty}"))
+    })?;
+    if values.is_empty() {
+        return Ok(DeltaBlock {
+            first: 0,
+            width: 0,
+            packed: Vec::new(),
+            count: 0,
+            ty,
+        });
+    }
+    let deltas: Vec<u64> = values
+        .windows(2)
+        .map(|w| zigzag(w[1].wrapping_sub(w[0])))
+        .collect();
+    let max = deltas.iter().copied().max().unwrap_or(0);
+    let width = (64 - max.leading_zeros()).min(64) as u8;
+    let total_bits = deltas.len() * width as usize;
+    let mut packed = vec![0u64; total_bits.div_ceil(64) + 1];
+    for (i, &d) in deltas.iter().enumerate() {
+        pack_bits(&mut packed, i * width as usize, d, width);
+    }
+    Ok(DeltaBlock {
+        first: values[0],
+        width,
+        packed,
+        count: values.len(),
+        ty,
+    })
+}
+
+/// Decode back to a dense array of the original type.
+pub fn decode(block: &DeltaBlock) -> Array {
+    if block.count == 0 {
+        return Array::empty(block.ty);
+    }
+    let mut out = Vec::with_capacity(block.count);
+    let mut current = block.first;
+    out.push(current);
+    for i in 0..block.count - 1 {
+        let d = unzigzag(unpack_bits(&block.packed, i * block.width as usize, block.width));
+        current = current.wrapping_add(d);
+        out.push(current);
+    }
+    widen_to(out, block.ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn roundtrip_sorted() {
+        let a = Array::from((0..1000i64).map(|i| i * 3 + 7).collect::<Vec<_>>());
+        let b = encode(&a).unwrap();
+        // Constant delta of 3 → zigzag 6 → 3 bits.
+        assert_eq!(b.width, 3);
+        assert!(b.compressed_size() < a.byte_size() / 4);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn roundtrip_oscillating() {
+        let a = Array::from(vec![100i64, 90, 105, 85, 110]);
+        let b = encode(&a).unwrap();
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn roundtrip_single_value() {
+        let a = Array::from(vec![42i64]);
+        let b = encode(&a).unwrap();
+        assert_eq!(b.width, 0);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn preserves_narrow_types() {
+        let a = Array::I8(vec![1, 2, 4, 8]);
+        let b = encode(&a).unwrap();
+        assert_eq!(b.scalar_type(), ScalarType::I8);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn extreme_deltas() {
+        let a = Array::from(vec![i64::MIN, i64::MAX, i64::MIN]);
+        let b = encode(&a).unwrap();
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn rejects_non_integers() {
+        assert!(encode(&Array::from(vec![1.5f64])).is_err());
+    }
+
+    #[test]
+    fn empty() {
+        let a = Array::empty(ScalarType::I32);
+        let b = encode(&a).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(decode(&b), a);
+    }
+}

@@ -1,0 +1,131 @@
+//! Dictionary encoding.
+//!
+//! Stores the distinct values once (in first-occurrence order) plus one
+//! `u32` code per element. Compressed execution can evaluate predicates on
+//! the (small) dictionary and then select by code — the kernel crate's
+//! `filter_on_dict` exploits this.
+
+use crate::array::Array;
+use crate::error::StorageError;
+use crate::scalar::ScalarType;
+
+/// A dictionary encoded block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictBlock {
+    /// Distinct values, in first-occurrence order.
+    pub dictionary: Array,
+    /// One code per logical element, indexing into `dictionary`.
+    pub codes: Vec<u32>,
+}
+
+impl DictBlock {
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the block decodes to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Scalar type of the decoded values.
+    pub fn scalar_type(&self) -> ScalarType {
+        self.dictionary.scalar_type()
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn compressed_size(&self) -> usize {
+        self.dictionary.byte_size() + self.codes.len() * 4
+    }
+}
+
+/// Encode an array into a dictionary block.
+pub fn encode(array: &Array) -> DictBlock {
+    use std::collections::HashMap;
+    macro_rules! encode_impl {
+        ($v:expr, $mk:expr, $key:expr) => {{
+            let mut dict = Vec::new();
+            let mut codes = Vec::with_capacity($v.len());
+            let mut index: HashMap<_, u32> = HashMap::new();
+            for x in $v {
+                let code = *index.entry($key(x)).or_insert_with(|| {
+                    dict.push(x.clone());
+                    (dict.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            DictBlock {
+                dictionary: $mk(dict),
+                codes,
+            }
+        }};
+    }
+    match array {
+        Array::I8(v) => encode_impl!(v, Array::I8, |x: &i8| *x),
+        Array::I16(v) => encode_impl!(v, Array::I16, |x: &i16| *x),
+        Array::I32(v) => encode_impl!(v, Array::I32, |x: &i32| *x),
+        Array::I64(v) => encode_impl!(v, Array::I64, |x: &i64| *x),
+        Array::F64(v) => encode_impl!(v, Array::F64, |x: &f64| x.to_bits()),
+        Array::Bool(v) => encode_impl!(v, Array::Bool, |x: &bool| *x),
+        Array::Str(v) => encode_impl!(v, Array::Str, |x: &String| x.clone()),
+    }
+}
+
+/// Decode back to a dense array.
+pub fn decode(block: &DictBlock) -> Result<Array, StorageError> {
+    block.dictionary.take(&block.codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_in_first_occurrence_order() {
+        let a = Array::from(vec![7i64, 3, 7, 7, 3, 9]);
+        let b = encode(&a);
+        assert_eq!(b.dictionary, Array::from(vec![7i64, 3, 9]));
+        assert_eq!(b.codes, vec![0, 1, 0, 0, 1, 2]);
+        assert_eq!(b.cardinality(), 3);
+        assert_eq!(decode(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn strings() {
+        let a = Array::from(vec!["x".to_string(), "y".to_string(), "x".to_string()]);
+        let b = encode(&a);
+        assert_eq!(b.cardinality(), 2);
+        assert_eq!(decode(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn floats_keyed_by_bits() {
+        let a = Array::from(vec![1.5, -0.0, 0.0, 1.5]);
+        let b = encode(&a);
+        // -0.0 and 0.0 have distinct bit patterns.
+        assert_eq!(b.cardinality(), 3);
+        assert_eq!(decode(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn empty() {
+        let a = Array::empty(ScalarType::Str);
+        let b = encode(&a);
+        assert!(b.is_empty());
+        assert_eq!(decode(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn size_wins_on_low_cardinality() {
+        let v: Vec<String> = (0..1000).map(|i| format!("category-{}", i % 3)).collect();
+        let a = Array::from(v);
+        let b = encode(&a);
+        assert!(b.compressed_size() < a.byte_size());
+    }
+}

@@ -1,0 +1,223 @@
+//! Frame-of-reference encoding with bit-packing (integers only).
+//!
+//! Every value is stored as an unsigned offset from the block minimum
+//! (the *reference*), packed at the minimal bit width. This is the workhorse
+//! codec for narrow-range integer columns, and the natural input to the
+//! compact-data-types optimization: a FOR block's width bounds the range of
+//! the decoded values.
+
+use crate::array::Array;
+use crate::error::StorageError;
+use crate::scalar::ScalarType;
+
+/// A frame-of-reference bit-packed block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBlock {
+    /// The block minimum; all packed values are offsets from it.
+    pub reference: i64,
+    /// Bit width of each packed offset (0..=64).
+    pub width: u8,
+    /// Packed offsets, little-endian bit order within each word.
+    pub packed: Vec<u64>,
+    /// Logical element count.
+    pub count: usize,
+    /// Original scalar type to restore on decode.
+    pub ty: ScalarType,
+}
+
+impl ForBlock {
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the block decodes to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Scalar type of the decoded values.
+    pub fn scalar_type(&self) -> ScalarType {
+        self.ty
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn compressed_size(&self) -> usize {
+        8 + 1 + self.packed.len() * 8
+    }
+
+    /// Maximum decoded value (`reference + 2^width - 1`), used for
+    /// compact-type inference without decoding.
+    pub fn max_bound(&self) -> i64 {
+        if self.width >= 64 {
+            i64::MAX
+        } else {
+            self.reference
+                .saturating_add(((1u128 << self.width) - 1).min(i64::MAX as u128) as i64)
+        }
+    }
+}
+
+/// Write `value` (must fit in `width` bits) at bit position `bit_pos`.
+fn pack_bits(packed: &mut [u64], bit_pos: usize, value: u64, width: u8) {
+    if width == 0 {
+        return;
+    }
+    let word = bit_pos / 64;
+    let offset = bit_pos % 64;
+    packed[word] |= value << offset;
+    if offset + width as usize > 64 {
+        packed[word + 1] |= value >> (64 - offset);
+    }
+}
+
+/// Read a `width`-bit value at bit position `bit_pos`.
+fn unpack_bits(packed: &[u64], bit_pos: usize, width: u8) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let word = bit_pos / 64;
+    let offset = bit_pos % 64;
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut v = packed[word] >> offset;
+    if offset + width as usize > 64 {
+        v |= packed[word + 1] << (64 - offset);
+    }
+    v & mask
+}
+
+/// Encode an integer array.
+pub fn encode(array: &Array) -> Result<ForBlock, StorageError> {
+    let ty = array.scalar_type();
+    let values = array.to_i64_vec().ok_or_else(|| {
+        StorageError::CodecUnsupported(format!("forpack requires integers, got {ty}"))
+    })?;
+    if values.is_empty() {
+        return Ok(ForBlock {
+            reference: 0,
+            width: 0,
+            packed: Vec::new(),
+            count: 0,
+            ty,
+        });
+    }
+    let reference = *values.iter().min().expect("non-empty");
+    let max = *values.iter().max().expect("non-empty");
+    let range = (max as i128 - reference as i128) as u128;
+    let width = (128 - range.leading_zeros()).min(64) as u8;
+    let total_bits = values.len() * width as usize;
+    let mut packed = vec![0u64; total_bits.div_ceil(64) + 1];
+    for (i, &v) in values.iter().enumerate() {
+        let offset = (v as i128 - reference as i128) as u64;
+        pack_bits(&mut packed, i * width as usize, offset, width);
+    }
+    Ok(ForBlock {
+        reference,
+        width,
+        packed,
+        count: values.len(),
+        ty,
+    })
+}
+
+/// Decode back to a dense array of the original type.
+pub fn decode(block: &ForBlock) -> Array {
+    let mut out = Vec::with_capacity(block.count);
+    for i in 0..block.count {
+        let offset = unpack_bits(&block.packed, i * block.width as usize, block.width);
+        out.push(block.reference.wrapping_add(offset as i64));
+    }
+    widen_to(out, block.ty)
+}
+
+/// Narrow an `i64` vector back to the requested integer type.
+pub(crate) fn widen_to(values: Vec<i64>, ty: ScalarType) -> Array {
+    match ty {
+        ScalarType::I8 => Array::I8(values.iter().map(|&x| x as i8).collect()),
+        ScalarType::I16 => Array::I16(values.iter().map(|&x| x as i16).collect()),
+        ScalarType::I32 => Array::I32(values.iter().map(|&x| x as i32).collect()),
+        _ => Array::I64(values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_narrow_range() {
+        let a = Array::from(vec![1000i64, 1001, 1003, 1000, 1007]);
+        let b = encode(&a).unwrap();
+        assert_eq!(b.reference, 1000);
+        assert_eq!(b.width, 3); // range 7 needs 3 bits
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn roundtrip_negative_values() {
+        let a = Array::from(vec![-100i64, -50, 0, 25]);
+        let b = encode(&a).unwrap();
+        assert_eq!(b.reference, -100);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn roundtrip_extreme_range() {
+        let a = Array::from(vec![i64::MIN, i64::MAX, 0]);
+        let b = encode(&a).unwrap();
+        assert_eq!(b.width, 64);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn constant_column_packs_to_zero_bits() {
+        let a = Array::from(vec![42i64; 1000]);
+        let b = encode(&a).unwrap();
+        assert_eq!(b.width, 0);
+        assert!(b.compressed_size() < 32);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn preserves_narrow_types() {
+        let a = Array::I16(vec![5, 6, 7]);
+        let b = encode(&a).unwrap();
+        assert_eq!(b.scalar_type(), ScalarType::I16);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn rejects_non_integers() {
+        assert!(encode(&Array::from(vec![1.5f64])).is_err());
+        assert!(encode(&Array::from(vec![true])).is_err());
+    }
+
+    #[test]
+    fn bit_packing_primitives() {
+        let mut packed = vec![0u64; 3];
+        // Straddle a word boundary: 13-bit values at positions near 64.
+        pack_bits(&mut packed, 60, 0x1ABC & 0x1FFF, 13);
+        assert_eq!(unpack_bits(&packed, 60, 13), 0x1ABC & 0x1FFF);
+        pack_bits(&mut packed, 0, 0x3F, 6);
+        assert_eq!(unpack_bits(&packed, 0, 6), 0x3F);
+    }
+
+    #[test]
+    fn max_bound_is_sound() {
+        let a = Array::from(vec![10i64, 14, 12]);
+        let b = encode(&a).unwrap();
+        assert!(b.max_bound() >= 14);
+    }
+
+    #[test]
+    fn empty() {
+        let a = Array::empty(ScalarType::I64);
+        let b = encode(&a).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(decode(&b), a);
+    }
+}

@@ -1,0 +1,152 @@
+//! Run-length encoding.
+//!
+//! Stores each maximal run of equal values once, with a run length. Works
+//! for every scalar type. Compressed execution can aggregate runs without
+//! expanding them (`value × run_length`), which the kernel crate exploits.
+
+use crate::array::Array;
+use crate::scalar::ScalarType;
+
+/// A run-length encoded block: `values[i]` repeats `run_lengths[i]` times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RleBlock {
+    /// One entry per run.
+    pub values: Array,
+    /// Length of each run (parallel to `values`).
+    pub run_lengths: Vec<u32>,
+    len: usize,
+}
+
+impl RleBlock {
+    /// Logical (decoded) length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the block decodes to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Scalar type of the decoded values.
+    pub fn scalar_type(&self) -> ScalarType {
+        self.values.scalar_type()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.run_lengths.len()
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn compressed_size(&self) -> usize {
+        self.values.byte_size() + self.run_lengths.len() * 4
+    }
+}
+
+/// Encode an array into runs.
+pub fn encode(array: &Array) -> RleBlock {
+    macro_rules! encode_impl {
+        ($v:expr, $mk:expr) => {{
+            let mut values = Vec::new();
+            let mut run_lengths: Vec<u32> = Vec::new();
+            for x in $v {
+                match values.last() {
+                    Some(last) if last == x => *run_lengths.last_mut().unwrap() += 1,
+                    _ => {
+                        values.push(x.clone());
+                        run_lengths.push(1);
+                    }
+                }
+            }
+            RleBlock {
+                values: $mk(values),
+                run_lengths,
+                len: $v.len(),
+            }
+        }};
+    }
+    match array {
+        Array::I8(v) => encode_impl!(v, Array::I8),
+        Array::I16(v) => encode_impl!(v, Array::I16),
+        Array::I32(v) => encode_impl!(v, Array::I32),
+        Array::I64(v) => encode_impl!(v, Array::I64),
+        Array::F64(v) => encode_impl!(v, Array::F64),
+        Array::Bool(v) => encode_impl!(v, Array::Bool),
+        Array::Str(v) => encode_impl!(v, Array::Str),
+    }
+}
+
+/// Decode back to a dense array.
+pub fn decode(block: &RleBlock) -> Array {
+    macro_rules! decode_impl {
+        ($v:expr, $mk:expr) => {{
+            let mut out = Vec::with_capacity(block.len);
+            for (val, &n) in $v.iter().zip(&block.run_lengths) {
+                for _ in 0..n {
+                    out.push(val.clone());
+                }
+            }
+            $mk(out)
+        }};
+    }
+    match &block.values {
+        Array::I8(v) => decode_impl!(v, Array::I8),
+        Array::I16(v) => decode_impl!(v, Array::I16),
+        Array::I32(v) => decode_impl!(v, Array::I32),
+        Array::I64(v) => decode_impl!(v, Array::I64),
+        Array::F64(v) => decode_impl!(v, Array::F64),
+        Array::Bool(v) => decode_impl!(v, Array::Bool),
+        Array::Str(v) => decode_impl!(v, Array::Str),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_runs() {
+        let a = Array::from(vec![1i64, 1, 1, 2, 3, 3]);
+        let b = encode(&a);
+        assert_eq!(b.run_count(), 3);
+        assert_eq!(b.values, Array::from(vec![1i64, 2, 3]));
+        assert_eq!(b.run_lengths, vec![3, 1, 2]);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn single_run() {
+        let a = Array::from(vec![5.5f64; 100]);
+        let b = encode(&a);
+        assert_eq!(b.run_count(), 1);
+        assert_eq!(b.len(), 100);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn no_runs_degenerates() {
+        let a = Array::from(vec![1i32, 2, 3]);
+        let b = encode(&a);
+        assert_eq!(b.run_count(), 3);
+        assert_eq!(decode(&b), a);
+    }
+
+    #[test]
+    fn strings_and_bools() {
+        let a = Array::from(vec![true, true, false]);
+        assert_eq!(decode(&encode(&a)), a);
+        let s = Array::from(vec!["x".to_string(), "x".to_string(), "y".to_string()]);
+        let b = encode(&s);
+        assert_eq!(b.run_count(), 2);
+        assert_eq!(decode(&b), s);
+    }
+
+    #[test]
+    fn empty() {
+        let a = Array::empty(ScalarType::I8);
+        let b = encode(&a);
+        assert!(b.is_empty());
+        assert_eq!(decode(&b), a);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by storage operations.
+
+use std::fmt;
+
+use crate::scalar::ScalarType;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operation received an array of the wrong type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: ScalarType,
+        /// What it actually got.
+        found: ScalarType,
+    },
+    /// An operation received arrays of incompatible lengths.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// A compressed block failed to decode.
+    CorruptBlock(String),
+    /// A codec cannot represent the given data (e.g. dictionary overflow).
+    CodecUnsupported(String),
+    /// A column name was not found in a schema.
+    UnknownColumn(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StorageError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            StorageError::CorruptBlock(msg) => write!(f, "corrupt block: {msg}"),
+            StorageError::CodecUnsupported(msg) => write!(f, "codec unsupported: {msg}"),
+            StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = StorageError::TypeMismatch {
+            expected: ScalarType::I64,
+            found: ScalarType::F64,
+        };
+        assert!(err.to_string().contains("i64"));
+        assert!(err.to_string().contains("f64"));
+
+        let err = StorageError::OutOfBounds { index: 10, len: 4 };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,220 @@
+//! Deterministic data generators for tests, examples and experiments.
+//!
+//! All generators take an explicit seed and use a local PRNG, so every
+//! experiment in EXPERIMENTS.md regenerates identical data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::array::Array;
+use crate::scalar::ScalarType;
+use crate::schema::{Field, Schema, Table};
+
+/// Uniform `i64` values in `[lo, hi]`.
+pub fn uniform_i64(n: usize, lo: i64, hi: i64, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Array::from((0..n).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<i64>>())
+}
+
+/// Uniform `f64` values in `[lo, hi)`.
+pub fn uniform_f64(n: usize, lo: f64, hi: f64, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Array::from((0..n).map(|_| rng.gen_range(lo..hi)).collect::<Vec<f64>>())
+}
+
+/// Booleans that are `true` with probability `p` — the selectivity control
+/// knob for the filter-strategy experiments.
+pub fn bernoulli(n: usize, p: f64, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Array::from((0..n).map(|_| rng.gen_bool(p.clamp(0.0, 1.0))).collect::<Vec<bool>>())
+}
+
+/// `i64` values where a fraction `p` is negative and the rest positive —
+/// used to drive `filter (>0)` at a chosen selectivity.
+pub fn signed_with_selectivity(n: usize, p_positive: f64, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Array::from(
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(p_positive.clamp(0.0, 1.0)) {
+                    rng.gen_range(1..=1000)
+                } else {
+                    rng.gen_range(-1000..=0)
+                }
+            })
+            .collect::<Vec<i64>>(),
+    )
+}
+
+/// Sorted `i64` sequence with random non-negative gaps (delta-friendly).
+pub fn sorted_i64(n: usize, start: i64, max_gap: i64, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = Vec::with_capacity(n);
+    let mut current = start;
+    for _ in 0..n {
+        v.push(current);
+        current += rng.gen_range(0..=max_gap);
+    }
+    Array::from(v)
+}
+
+/// Low-cardinality values drawn from `k` distinct choices (dict-friendly).
+pub fn categorical_i64(n: usize, k: usize, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let choices: Vec<i64> = (0..k as i64).map(|i| i * 1_000_003 + 17).collect();
+    Array::from(
+        (0..n)
+            .map(|_| choices[rng.gen_range(0..k)])
+            .collect::<Vec<i64>>(),
+    )
+}
+
+/// Runs of equal values with geometric run lengths (RLE-friendly).
+pub fn runs_i64(n: usize, avg_run: usize, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = Vec::with_capacity(n);
+    while v.len() < n {
+        let value: i64 = rng.gen_range(0..100);
+        let run = rng.gen_range(1..=avg_run.max(1) * 2);
+        for _ in 0..run.min(n - v.len()) {
+            v.push(value);
+        }
+    }
+    Array::from(v)
+}
+
+/// Zipf-ish skewed keys over `[0, k)` with exponent ~1 — join/aggregate
+/// workloads use this to create hot groups.
+pub fn zipf_i64(n: usize, k: usize, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Inverse-CDF sampling over 1/rank weights.
+    let weights: Vec<f64> = (1..=k).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    Array::from(
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                cdf.partition_point(|&c| c < u) as i64
+            })
+            .collect::<Vec<i64>>(),
+    )
+}
+
+/// Short strings of the form `"<prefix><id>"`, `k` distinct values.
+pub fn strings(n: usize, k: usize, prefix: &str, seed: u64) -> Array {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Array::from(
+        (0..n)
+            .map(|_| format!("{prefix}{}", rng.gen_range(0..k)))
+            .collect::<Vec<String>>(),
+    )
+}
+
+/// A generic measurement table: `id` (sorted), `group` (categorical),
+/// `value` (uniform f64), `flag` (bernoulli). Handy for examples.
+pub fn measurements(n: usize, groups: usize, seed: u64) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("id", ScalarType::I64),
+            Field::new("group", ScalarType::I64),
+            Field::new("value", ScalarType::F64),
+            Field::new("flag", ScalarType::Bool),
+        ]),
+        vec![
+            sorted_i64(n, 0, 3, seed),
+            categorical_i64(n, groups, seed.wrapping_add(1)),
+            uniform_f64(n, 0.0, 100.0, seed.wrapping_add(2)),
+            bernoulli(n, 0.5, seed.wrapping_add(3)),
+        ],
+    )
+    .expect("generator produces consistent columns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ColumnStats;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(uniform_i64(100, 0, 50, 7), uniform_i64(100, 0, 50, 7));
+        assert_ne!(uniform_i64(100, 0, 50, 7), uniform_i64(100, 0, 50, 8));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let a = uniform_i64(1000, -5, 5, 1);
+        let v = a.to_i64_vec().unwrap();
+        assert!(v.iter().all(|&x| (-5..=5).contains(&x)));
+        let f = uniform_f64(1000, 1.0, 2.0, 1);
+        assert!(f.as_f64().unwrap().iter().all(|&x| (1.0..2.0).contains(&x)));
+    }
+
+    #[test]
+    fn bernoulli_hits_target_rate() {
+        let a = bernoulli(20_000, 0.25, 3);
+        let ones = a.as_bool().unwrap().iter().filter(|&&b| b).count();
+        let rate = ones as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate was {rate}");
+    }
+
+    #[test]
+    fn selectivity_generator_hits_target() {
+        let a = signed_with_selectivity(20_000, 0.1, 5);
+        let pos = a.to_i64_vec().unwrap().iter().filter(|&&x| x > 0).count();
+        let rate = pos as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate was {rate}");
+    }
+
+    #[test]
+    fn sorted_is_sorted() {
+        let a = sorted_i64(1000, 5, 10, 2).to_i64_vec().unwrap();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(a[0], 5);
+    }
+
+    #[test]
+    fn categorical_cardinality() {
+        let a = categorical_i64(5000, 7, 4);
+        let s = ColumnStats::compute(&a);
+        assert_eq!(s.distinct, 7);
+    }
+
+    #[test]
+    fn runs_have_long_runs() {
+        let a = runs_i64(5000, 16, 6);
+        assert_eq!(a.len(), 5000);
+        let s = ColumnStats::compute(&a);
+        assert!(s.avg_run_len() > 4.0, "avg run {}", s.avg_run_len());
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let a = zipf_i64(10_000, 100, 9);
+        let v = a.to_i64_vec().unwrap();
+        assert!(v.iter().all(|&x| (0..100).contains(&x)));
+        let zero_share = v.iter().filter(|&&x| x == 0).count() as f64 / v.len() as f64;
+        // Rank 1 of a 100-element 1/r distribution has weight ≈ 0.19.
+        assert!(zero_share > 0.1, "zero share {zero_share}");
+    }
+
+    #[test]
+    fn measurements_table_shape() {
+        let t = measurements(500, 4, 11);
+        assert_eq!(t.rows(), 500);
+        assert_eq!(t.schema().len(), 4);
+        assert_eq!(t.schema().field("value").unwrap().ty, ScalarType::F64);
+    }
+
+    #[test]
+    fn strings_have_prefix() {
+        let a = strings(100, 5, "cat-", 3);
+        assert!(a.as_str().unwrap().iter().all(|s| s.starts_with("cat-")));
+    }
+}

@@ -1,0 +1,49 @@
+//! Columnar storage substrate for `adaptvm`.
+//!
+//! This crate provides the data representation shared by every layer of the
+//! adaptive VM described in Gubner's ICDE 2018 PhD-symposium paper:
+//!
+//! * [`scalar`] — scalar values and the scalar type lattice (including the
+//!   small integer types needed for *compact data types* optimizations),
+//! * [`mod@array`] — typed, densely stored arrays (the operands of the DSL's
+//!   data-parallel skeletons),
+//! * [`sel`] — selection vectors **and** selection bitmaps. The paper's
+//!   micro-adaptivity discussion (§III-C) requires both flavors, since the
+//!   VM may switch between selective and full computation,
+//! * [`chunk`] — a cache-resident horizontal slice of a table
+//!   (MonetDB/X100-style vectorized execution operates chunk-at-a-time),
+//! * [`schema`] — fields, schemas and in-memory tables,
+//! * [`block`] — block-wise storage where the compression scheme may change
+//!   from block to block (the scenario of §I / §III-C),
+//! * [`compress`] — the compression codecs (RLE, dictionary,
+//!   frame-of-reference with bit-packing, delta) and automatic per-block
+//!   scheme selection,
+//! * [`stats`] — lightweight statistics used for codec selection and
+//!   compact-type inference,
+//! * [`gen`] — deterministic data generators, including a TPC-H-style
+//!   `lineitem` generator used by the experiment suite.
+
+pub mod array;
+pub mod block;
+pub mod chunk;
+pub mod compress;
+pub mod error;
+pub mod gen;
+pub mod scalar;
+pub mod schema;
+pub mod sel;
+pub mod stats;
+
+pub use array::Array;
+pub use block::{Block, BlockColumn, BlockedTable};
+pub use chunk::Chunk;
+pub use error::StorageError;
+pub use scalar::{Scalar, ScalarType};
+pub use schema::{Field, Schema, Table};
+pub use sel::{Bitmap, SelVec};
+
+/// Default chunk length used by vectorized execution.
+///
+/// 1024 is the classical MonetDB/X100 vector size: large enough to amortize
+/// interpretation overhead, small enough to stay cache resident.
+pub const DEFAULT_CHUNK: usize = 1024;

@@ -1,0 +1,256 @@
+//! Scalar values and the scalar type lattice.
+//!
+//! The type set deliberately includes the narrow integer widths `i8`/`i16`:
+//! the paper (§I, citing Gubner & Boncz, ADMS 2017) motivates *compact data
+//! types* — running expressions in the smallest width that provably fits —
+//! as one of the optimizations an adaptive VM can apply when static engines
+//! cannot (code-explosion argument).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The scalar types understood by the DSL and the kernel library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ScalarType {
+    /// 1-byte signed integer (compact-type target).
+    I8,
+    /// 2-byte signed integer (compact-type target).
+    I16,
+    /// 4-byte signed integer.
+    I32,
+    /// 8-byte signed integer.
+    I64,
+    /// 8-byte IEEE-754 float.
+    F64,
+    /// Boolean.
+    Bool,
+    /// Variable-length UTF-8 string.
+    Str,
+}
+
+impl ScalarType {
+    /// Width of one value in bytes (strings report pointer width, as the
+    /// vectorized engine passes them by reference).
+    pub fn width(self) -> usize {
+        match self {
+            ScalarType::I8 | ScalarType::Bool => 1,
+            ScalarType::I16 => 2,
+            ScalarType::I32 => 4,
+            ScalarType::I64 | ScalarType::F64 | ScalarType::Str => 8,
+        }
+    }
+
+    /// True for the signed integer family.
+    pub fn is_integer(self) -> bool {
+        matches!(
+            self,
+            ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64
+        )
+    }
+
+    /// True for any numeric type (integers and floats).
+    pub fn is_numeric(self) -> bool {
+        self.is_integer() || self == ScalarType::F64
+    }
+
+    /// The smallest signed-integer type able to hold every value in
+    /// `[min, max]`, used by the compact-data-types optimization.
+    pub fn smallest_int_for(min: i64, max: i64) -> ScalarType {
+        if min >= i8::MIN as i64 && max <= i8::MAX as i64 {
+            ScalarType::I8
+        } else if min >= i16::MIN as i64 && max <= i16::MAX as i64 {
+            ScalarType::I16
+        } else if min >= i32::MIN as i64 && max <= i32::MAX as i64 {
+            ScalarType::I32
+        } else {
+            ScalarType::I64
+        }
+    }
+
+    /// Numeric promotion: the common type two operands are widened to.
+    ///
+    /// Returns `None` when the pair has no common numeric type.
+    pub fn promote(self, other: ScalarType) -> Option<ScalarType> {
+        use ScalarType::*;
+        if self == other {
+            return Some(self);
+        }
+        match (self, other) {
+            (F64, t) | (t, F64) if t.is_numeric() => Some(F64),
+            (a, b) if a.is_integer() && b.is_integer() => Some(a.max(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::I8 => "i8",
+            ScalarType::I16 => "i16",
+            ScalarType::I32 => "i32",
+            ScalarType::I64 => "i64",
+            ScalarType::F64 => "f64",
+            ScalarType::Bool => "bool",
+            ScalarType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// The DSL treats scalars as arrays of length one (§II); this type is the
+/// boxed representation used for constants, fold results and loop counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scalar {
+    /// 1-byte signed integer.
+    I8(i8),
+    /// 2-byte signed integer.
+    I16(i16),
+    /// 4-byte signed integer.
+    I32(i32),
+    /// 8-byte signed integer.
+    I64(i64),
+    /// 8-byte float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Scalar {
+    /// The type of this scalar.
+    pub fn scalar_type(&self) -> ScalarType {
+        match self {
+            Scalar::I8(_) => ScalarType::I8,
+            Scalar::I16(_) => ScalarType::I16,
+            Scalar::I32(_) => ScalarType::I32,
+            Scalar::I64(_) => ScalarType::I64,
+            Scalar::F64(_) => ScalarType::F64,
+            Scalar::Bool(_) => ScalarType::Bool,
+            Scalar::Str(_) => ScalarType::Str,
+        }
+    }
+
+    /// Widen to `i64`, if this is any integer type.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Scalar::I8(v) => Some(*v as i64),
+            Scalar::I16(v) => Some(*v as i64),
+            Scalar::I32(v) => Some(*v as i64),
+            Scalar::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Widen to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::F64(v) => Some(*v),
+            other => other.as_i64().map(|v| v as f64),
+        }
+    }
+
+    /// Extract a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Construct the integer `v` at the requested width, truncating.
+    pub fn int_of_type(v: i64, ty: ScalarType) -> Scalar {
+        match ty {
+            ScalarType::I8 => Scalar::I8(v as i8),
+            ScalarType::I16 => Scalar::I16(v as i16),
+            ScalarType::I32 => Scalar::I32(v as i32),
+            ScalarType::I64 => Scalar::I64(v),
+            ScalarType::F64 => Scalar::F64(v as f64),
+            ScalarType::Bool => Scalar::Bool(v != 0),
+            ScalarType::Str => Scalar::Str(v.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::I8(v) => write!(f, "{v}"),
+            Scalar::I16(v) => write!(f, "{v}"),
+            Scalar::I32(v) => write!(f, "{v}"),
+            Scalar::I64(v) => write!(f, "{v}"),
+            Scalar::F64(v) => write!(f, "{v}"),
+            Scalar::Bool(v) => write!(f, "{v}"),
+            Scalar::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ScalarType::I8.width(), 1);
+        assert_eq!(ScalarType::I16.width(), 2);
+        assert_eq!(ScalarType::I32.width(), 4);
+        assert_eq!(ScalarType::I64.width(), 8);
+        assert_eq!(ScalarType::F64.width(), 8);
+        assert_eq!(ScalarType::Bool.width(), 1);
+    }
+
+    #[test]
+    fn smallest_int_picks_narrowest() {
+        assert_eq!(ScalarType::smallest_int_for(0, 100), ScalarType::I8);
+        assert_eq!(ScalarType::smallest_int_for(-200, 100), ScalarType::I16);
+        assert_eq!(ScalarType::smallest_int_for(0, 70_000), ScalarType::I32);
+        assert_eq!(
+            ScalarType::smallest_int_for(0, i64::MAX),
+            ScalarType::I64
+        );
+        // Boundaries are inclusive.
+        assert_eq!(ScalarType::smallest_int_for(-128, 127), ScalarType::I8);
+        assert_eq!(ScalarType::smallest_int_for(-129, 0), ScalarType::I16);
+    }
+
+    #[test]
+    fn promotion_lattice() {
+        use ScalarType::*;
+        assert_eq!(I8.promote(I64), Some(I64));
+        assert_eq!(I16.promote(I32), Some(I32));
+        assert_eq!(I64.promote(F64), Some(F64));
+        assert_eq!(F64.promote(F64), Some(F64));
+        assert_eq!(Bool.promote(I64), None);
+        assert_eq!(Str.promote(I64), None);
+        assert_eq!(Bool.promote(Bool), Some(Bool));
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(Scalar::I8(5).as_i64(), Some(5));
+        assert_eq!(Scalar::I64(-3).as_f64(), Some(-3.0));
+        assert_eq!(Scalar::F64(2.5).as_i64(), None);
+        assert_eq!(Scalar::Bool(true).as_bool(), Some(true));
+        assert_eq!(Scalar::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Scalar::int_of_type(300, ScalarType::I8), Scalar::I8(44));
+    }
+
+    #[test]
+    fn scalar_type_of() {
+        assert_eq!(Scalar::I32(1).scalar_type(), ScalarType::I32);
+        assert_eq!(Scalar::Str("a".into()).scalar_type(), ScalarType::Str);
+    }
+}

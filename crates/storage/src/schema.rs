@@ -1,0 +1,201 @@
+//! Fields, schemas, and simple in-memory tables.
+
+use crate::array::Array;
+use crate::chunk::Chunk;
+use crate::error::StorageError;
+use crate::scalar::ScalarType;
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ScalarType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ScalarType) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column called `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, StorageError> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// The field called `name`.
+    pub fn field(&self, name: &str) -> Result<&Field, StorageError> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+}
+
+/// A dense, uncompressed in-memory table (one array per column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Array>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a table, validating arity, types and lengths.
+    pub fn new(schema: Schema, columns: Vec<Array>) -> Result<Table, StorageError> {
+        if schema.len() != columns.len() {
+            return Err(StorageError::LengthMismatch {
+                left: schema.len(),
+                right: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Array::len);
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.ty != c.scalar_type() {
+                return Err(StorageError::TypeMismatch {
+                    expected: f.ty,
+                    found: c.scalar_type(),
+                });
+            }
+            if c.len() != rows {
+                return Err(StorageError::LengthMismatch {
+                    left: rows,
+                    right: c.len(),
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> Result<&Array, StorageError> {
+        self.columns.get(i).ok_or(StorageError::OutOfBounds {
+            index: i,
+            len: self.columns.len(),
+        })
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Array, StorageError> {
+        self.column(self.schema.index_of(name)?)
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Array] {
+        &self.columns
+    }
+
+    /// Read rows `[offset, offset+len)` of the named columns into a chunk.
+    pub fn read_chunk(
+        &self,
+        names: &[&str],
+        offset: usize,
+        len: usize,
+    ) -> Result<Chunk, StorageError> {
+        let cols = names
+            .iter()
+            .map(|n| self.column_by_name(n).map(|c| c.slice(offset, len)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Chunk::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Field::new("id", ScalarType::I64),
+                Field::new("price", ScalarType::F64),
+            ]),
+            vec![
+                Array::from(vec![1i64, 2, 3]),
+                Array::from(vec![9.5, 8.0, 7.5]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let schema = Schema::new(vec![Field::new("id", ScalarType::I64)]);
+        // Wrong arity.
+        assert!(Table::new(schema.clone(), vec![]).is_err());
+        // Wrong type.
+        assert!(Table::new(schema.clone(), vec![Array::from(vec![1.0])]).is_err());
+        // Ok.
+        let t = Table::new(schema, vec![Array::from(vec![1i64])]).unwrap();
+        assert_eq!(t.rows(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = sample();
+        assert_eq!(t.schema().index_of("price").unwrap(), 1);
+        assert!(t.schema().index_of("nope").is_err());
+        assert_eq!(
+            t.column_by_name("id").unwrap(),
+            &Array::from(vec![1i64, 2, 3])
+        );
+        assert_eq!(t.schema().field("price").unwrap().ty, ScalarType::F64);
+    }
+
+    #[test]
+    fn read_chunk_slices_and_clamps() {
+        let t = sample();
+        let c = t.read_chunk(&["price", "id"], 1, 10).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.column(0).unwrap(), &Array::from(vec![8.0, 7.5]));
+        assert_eq!(c.column(1).unwrap(), &Array::from(vec![2i64, 3]));
+        assert!(t.read_chunk(&["nope"], 0, 1).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Selection vectors and selection bitmaps.
+//!
+//! The paper's `filter` skeleton "does not physically modify the flow,
+//! instead it calculates a selection vector" (Table I). §III-C further
+//! proposes switching between *selection vectors* (good at low match rates)
+//! and *bitmaps* (good at high match rates, SIMD-friendly) depending on
+//! observed selectivity — so this module provides both, with lossless
+//! conversions between them. The equivalence `SelVec ⟷ Bitmap` is one of the
+//! library's tested invariants.
+
+use crate::error::StorageError;
+
+/// A selection vector: sorted, unique indices of the selected elements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelVec {
+    indices: Vec<u32>,
+}
+
+impl SelVec {
+    /// Create from raw indices. Indices must be strictly increasing.
+    pub fn new(indices: Vec<u32>) -> SelVec {
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "selection vector must be strictly increasing"
+        );
+        SelVec { indices }
+    }
+
+    /// The identity selection over `len` elements.
+    pub fn identity(len: usize) -> SelVec {
+        SelVec {
+            indices: (0..len as u32).collect(),
+        }
+    }
+
+    /// An empty selection.
+    pub fn empty() -> SelVec {
+        SelVec::default()
+    }
+
+    /// Number of selected elements.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The selected indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Consume into the raw index vector.
+    pub fn into_indices(self) -> Vec<u32> {
+        self.indices
+    }
+
+    /// Selectivity relative to a domain of `domain_len` elements.
+    pub fn selectivity(&self, domain_len: usize) -> f64 {
+        if domain_len == 0 {
+            0.0
+        } else {
+            self.len() as f64 / domain_len as f64
+        }
+    }
+
+    /// Compose two selections: `outer` selects positions *within* `self`.
+    ///
+    /// This is what happens when a second filter runs on an already-filtered
+    /// flow: the result selects `self.indices[outer.indices[i]]`.
+    pub fn compose(&self, outer: &SelVec) -> Result<SelVec, StorageError> {
+        let mut out = Vec::with_capacity(outer.len());
+        for &o in &outer.indices {
+            let o = o as usize;
+            if o >= self.indices.len() {
+                return Err(StorageError::OutOfBounds {
+                    index: o,
+                    len: self.indices.len(),
+                });
+            }
+            out.push(self.indices[o]);
+        }
+        Ok(SelVec::new(out))
+    }
+
+    /// Intersect with another selection over the same domain.
+    pub fn intersect(&self, other: &SelVec) -> SelVec {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.indices[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        SelVec::new(out)
+    }
+
+    /// Convert to a bitmap over a domain of `domain_len` elements.
+    pub fn to_bitmap(&self, domain_len: usize) -> Bitmap {
+        let mut bm = Bitmap::zeros(domain_len);
+        for &i in &self.indices {
+            bm.set(i as usize, true);
+        }
+        bm
+    }
+}
+
+/// A selection bitmap: one bit per element of the domain, packed into `u64`
+/// words. The SIMD-friendly flavor of selection (§III-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap over `len` elements.
+    pub fn zeros(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one bitmap over `len` elements.
+    pub fn ones(len: usize) -> Bitmap {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bm.clear_tail();
+        bm
+    }
+
+    /// Build from a slice of booleans (branch-free word building — this
+    /// is the hot path of the bitmap filter flavor).
+    pub fn from_bools(bits: &[bool]) -> Bitmap {
+        let len = bits.len();
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut chunks = bits.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut w = 0u64;
+            for (j, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << j;
+            }
+            words.push(w);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = 0u64;
+            for (j, &b) in rest.iter().enumerate() {
+                w |= (b as u64) << j;
+            }
+            words.push(w);
+        }
+        Bitmap { words, len }
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Domain length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `idx`.
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Set bit `idx` to `value`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        debug_assert!(idx < self.len);
+        let (w, b) = (idx / 64, idx % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Number of set bits (popcount).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND with another bitmap over the same domain.
+    pub fn and(&self, other: &Bitmap) -> Result<Bitmap, StorageError> {
+        if self.len != other.len {
+            return Err(StorageError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        Ok(Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        })
+    }
+
+    /// Bitwise OR with another bitmap over the same domain.
+    pub fn or(&self, other: &Bitmap) -> Result<Bitmap, StorageError> {
+        if self.len != other.len {
+            return Err(StorageError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        Ok(Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        })
+    }
+
+    /// Bitwise NOT over the domain.
+    pub fn not(&self) -> Bitmap {
+        let mut bm = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        bm.clear_tail();
+        bm
+    }
+
+    /// Convert to a selection vector (indices of set bits, in order).
+    ///
+    /// Uses word-at-a-time iteration with trailing-zero extraction — the
+    /// standard technique for fast bitmap→selvec conversion.
+    pub fn to_selvec(&self) -> SelVec {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                out.push((wi * 64) as u32 + bit);
+                w &= w - 1;
+            }
+        }
+        SelVec::new(out)
+    }
+
+    /// Selectivity: fraction of set bits.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_empty() {
+        let s = SelVec::identity(4);
+        assert_eq!(s.indices(), &[0, 1, 2, 3]);
+        assert_eq!(s.selectivity(4), 1.0);
+        assert!(SelVec::empty().is_empty());
+        assert_eq!(SelVec::empty().selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn compose_selections() {
+        // First filter keeps indices 1,3,5; second (within that) keeps 0,2.
+        let inner = SelVec::new(vec![1, 3, 5]);
+        let outer = SelVec::new(vec![0, 2]);
+        assert_eq!(inner.compose(&outer).unwrap().indices(), &[1, 5]);
+        // Out-of-range composition errors.
+        assert!(inner.compose(&SelVec::new(vec![3])).is_err());
+    }
+
+    #[test]
+    fn intersect_is_sorted_merge() {
+        let a = SelVec::new(vec![0, 2, 4, 6]);
+        let b = SelVec::new(vec![2, 3, 4, 7]);
+        assert_eq!(a.intersect(&b).indices(), &[2, 4]);
+        assert_eq!(a.intersect(&SelVec::empty()).len(), 0);
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let s = SelVec::new(vec![0, 63, 64, 100]);
+        let bm = s.to_bitmap(128);
+        assert_eq!(bm.count_ones(), 4);
+        assert!(bm.get(63));
+        assert!(bm.get(64));
+        assert!(!bm.get(65));
+        assert_eq!(bm.to_selvec(), s);
+    }
+
+    #[test]
+    fn bitmap_logic_ops() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        assert_eq!(a.and(&b).unwrap().to_selvec().indices(), &[0]);
+        assert_eq!(a.or(&b).unwrap().to_selvec().indices(), &[0, 1, 2]);
+        assert_eq!(a.not().to_selvec().indices(), &[2, 3]);
+        assert!(a.and(&Bitmap::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn ones_respects_tail() {
+        let bm = Bitmap::ones(70);
+        assert_eq!(bm.count_ones(), 70);
+        assert_eq!(bm.not().count_ones(), 0);
+        assert_eq!(bm.selectivity(), 1.0);
+    }
+
+    #[test]
+    fn from_bools_matches_set() {
+        let bools = [false, true, false, true, true];
+        let bm = Bitmap::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(bm.get(i), b);
+        }
+        assert_eq!(bm.to_selvec().indices(), &[1, 3, 4]);
+    }
+}

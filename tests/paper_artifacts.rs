@@ -1,0 +1,172 @@
+//! End-to-end checks of the paper's own artifacts: Table I, Fig. 1,
+//! Fig. 2 and Fig. 3 (experiment ids T1, F1, F2, F3 in DESIGN.md).
+
+use adaptvm::dsl::depgraph::DepGraph;
+use adaptvm::dsl::partition::{partition, PartitionConfig};
+use adaptvm::dsl::programs;
+use adaptvm::prelude::*;
+use adaptvm::vm::engine::VmState;
+
+/// T1 — every Table I skeleton has pre-compiled kernels.
+#[test]
+fn t1_table1_conformance() {
+    let kernels = adaptvm::kernels::registry::all_kernels();
+    for skeleton in [
+        "read", "write", "gather", "scatter", "gen", "condense",
+    ] {
+        assert!(
+            kernels.iter().any(|k| k.op == skeleton),
+            "Table I skeleton `{skeleton}` missing from the kernel registry"
+        );
+    }
+    for family in ["map", "filter", "fold", "merge"] {
+        assert!(
+            kernels.iter().any(|k| k.family == family),
+            "Table I family `{family}` missing"
+        );
+    }
+    assert!(kernels.len() > 200, "registry too small: {}", kernels.len());
+}
+
+/// F1 — the Fig. 1 state machine goes Interpret → Optimize → GenerateCode
+/// → InjectFunctions and keeps producing correct output afterwards.
+#[test]
+fn f1_state_machine() {
+    let n = 128 * 1024i64;
+    let data: Vec<i64> = (0..n).map(|i| (i % 11) - 5).collect();
+    let config = VmConfig {
+        hot_threshold: 6,
+        ..VmConfig::default()
+    };
+    let vm = Vm::new(config);
+    let buffers = Buffers::new().with_input("some_data", Array::from(data.clone()));
+    let (out, report) = vm
+        .run(&programs::fig2_with_limit(n - 4096), buffers)
+        .unwrap();
+
+    let states: Vec<VmState> = report.transitions.iter().map(|t| t.state).collect();
+    assert_eq!(
+        states,
+        vec![
+            VmState::Interpret,
+            VmState::Optimize,
+            VmState::GenerateCode,
+            VmState::InjectFunctions
+        ]
+    );
+    // The optimize decision fired exactly at the hot threshold.
+    assert_eq!(report.transitions[1].iteration, 6);
+    // Compiled execution took over.
+    assert!(report.trace_executions > report.iterations / 2);
+    // And the answer is still right.
+    let (v, w) = programs::fig2_reference(&data, (n - 4096) as usize);
+    assert_eq!(out.output("v").unwrap().to_i64_vec().unwrap(), v);
+    assert_eq!(out.output("w").unwrap().to_i64_vec().unwrap(), w);
+}
+
+/// F2 — the Fig. 2 program produces byte-identical output under every
+/// execution strategy and chunk-size regime (footnote 1's claim).
+#[test]
+fn f2_strategy_equivalence() {
+    let n = 32 * 1024i64;
+    let data: Vec<i64> = (0..n).map(|i| (i * 37 % 199) - 99).collect();
+    let limit = n - 8192;
+    let mut reference: Option<(Vec<i64>, Vec<i64>)> = None;
+    for (strategy, chunk) in [
+        (Strategy::Interpret, 1024),
+        (Strategy::Interpret, 1), // tuple-at-a-time interpretation
+        (Strategy::CompiledPipeline, 1), // tuple-at-a-time compiled
+        (Strategy::CompiledPipeline, 1024),
+        (Strategy::CompiledPipeline, n as usize), // column-at-a-time
+        (Strategy::Adaptive, 1024),
+    ] {
+        let config = VmConfig {
+            strategy,
+            chunk_size: chunk,
+            hot_threshold: 3,
+            ..VmConfig::default()
+        };
+        let vm = Vm::new(config);
+        let buffers = Buffers::new().with_input("some_data", Array::from(data.clone()));
+        let (out, _) = vm.run(&programs::fig2_with_limit(limit), buffers).unwrap();
+        let v = out.output("v").unwrap().to_i64_vec().unwrap();
+        let w = out.output("w").unwrap().to_i64_vec().unwrap();
+        // Processed length depends on the chunk size (whole chunks are
+        // consumed before the break check); w must always be the positive
+        // subset of v.
+        assert_eq!(
+            w,
+            v.iter().copied().filter(|&x| x > 0).collect::<Vec<_>>(),
+            "{strategy:?}/{chunk}"
+        );
+        if chunk == 1024 {
+            match &reference {
+                None => reference = Some((v, w)),
+                Some((rv, rw)) => {
+                    assert_eq!(*rv, v, "{strategy:?} diverged");
+                    assert_eq!(*rw, w, "{strategy:?} diverged");
+                }
+            }
+        }
+    }
+}
+
+/// F3 — the greedy partitioner reproduces the Fig. 3 split exactly.
+#[test]
+fn f3_partitioning() {
+    let p = programs::fig2_example();
+    let body = programs::loop_body(&p).unwrap();
+    let g = DepGraph::from_stmts(body);
+    let parts = partition(&g, &PartitionConfig::default());
+    assert_eq!(parts.regions.len(), 2);
+    assert!(parts.interpreted.is_empty());
+    let mut sets: Vec<Vec<String>> = parts
+        .regions
+        .iter()
+        .map(|r| {
+            let mut v: Vec<String> = r.nodes.iter().map(|&id| g.node(id).label.clone()).collect();
+            v.sort();
+            v
+        })
+        .collect();
+    sets.sort();
+    assert_eq!(
+        sets,
+        vec![
+            vec!["condense", "filter", "write w"],
+            vec!["map (\\x -> …)", "read some_data", "write v"],
+        ]
+        .into_iter()
+        .map(|v| v.into_iter().map(String::from).collect::<Vec<_>>())
+        .collect::<Vec<_>>()
+    );
+}
+
+/// The §III-A normalization example: sqrt(a²+b²) splits into four
+/// single-op functions and still computes correctly through the VM.
+#[test]
+fn normalization_example_runs() {
+    let program = programs::hypot_whole_array();
+    let normalized = adaptvm::dsl::normalize::normalize_program(&program);
+    let printed = adaptvm::dsl::printer::print_program(&normalized);
+    assert_eq!(printed.matches("map (").count(), 4, "{printed}");
+
+    let vm = Vm::adaptive();
+    let buffers = Buffers::new()
+        .with_input("xs", Array::from(vec![3.0, 5.0, 8.0]))
+        .with_input("ys", Array::from(vec![4.0, 12.0, 15.0]));
+    let (out, _) = vm.run(&normalized, buffers).unwrap();
+    assert_eq!(
+        out.output("out").unwrap(),
+        &Array::from(vec![5.0, 13.0, 17.0])
+    );
+}
+
+/// Parse → print → parse round-trip on the Fig. 2 source.
+#[test]
+fn fig2_parser_roundtrip() {
+    let p = programs::fig2_example();
+    let printed = adaptvm::dsl::printer::print_program(&p);
+    let reparsed = adaptvm::dsl::parser::parse_program(&printed).unwrap();
+    assert_eq!(p, reparsed);
+}

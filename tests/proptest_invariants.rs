@@ -1,0 +1,171 @@
+//! Property-based tests of the library's core invariants.
+
+use adaptvm::dsl::ast::{FoldFn, ScalarOp};
+use adaptvm::dsl::programs;
+use adaptvm::kernels::{filter_cmp, fold_apply, FilterFlavor, Operand};
+use adaptvm::prelude::*;
+use adaptvm::storage::compress::{compress, decompress, Scheme};
+// `Strategy` exists in both preludes (proptest's trait, adaptvm's enum);
+// the VM enum is the one used below.
+use adaptvm::vm::Strategy;
+use adaptvm::storage::sel::{Bitmap, SelVec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every integer codec round-trips arbitrary data.
+    #[test]
+    fn codec_roundtrip_i64(data in prop::collection::vec(any::<i64>(), 0..300)) {
+        let arr = Array::from(data);
+        for scheme in Scheme::ALL {
+            let enc = compress(&arr, scheme).unwrap();
+            prop_assert_eq!(decompress(&enc).unwrap(), arr.clone(), "{}", scheme);
+        }
+    }
+
+    /// Narrow types survive compression round-trips.
+    #[test]
+    fn codec_roundtrip_i16(data in prop::collection::vec(any::<i16>(), 0..300)) {
+        let arr = Array::I16(data);
+        for scheme in Scheme::ALL {
+            let enc = compress(&arr, scheme).unwrap();
+            prop_assert_eq!(decompress(&enc).unwrap(), arr.clone(), "{}", scheme);
+        }
+    }
+
+    /// SelVec ⟷ Bitmap conversions are lossless, and set algebra agrees.
+    #[test]
+    fn selection_representations_agree(bits in prop::collection::vec(any::<bool>(), 0..400)) {
+        let bm = Bitmap::from_bools(&bits);
+        let sel = bm.to_selvec();
+        prop_assert_eq!(sel.len(), bm.count_ones());
+        prop_assert_eq!(sel.to_bitmap(bits.len()), bm.clone());
+        // Complement partitions the domain.
+        prop_assert_eq!(bm.count_ones() + bm.not().count_ones(), bits.len());
+    }
+
+    /// All three filter flavors produce identical selections, with and
+    /// without a pre-existing selection.
+    #[test]
+    fn filter_flavors_equivalent(
+        data in prop::collection::vec(-1000i64..1000, 1..300),
+        threshold in -1000i64..1000,
+        keep_every in 1usize..4,
+    ) {
+        let arr = Array::from(data.clone());
+        let existing = SelVec::new(
+            (0..data.len() as u32).step_by(keep_every).collect()
+        );
+        let operands = [Operand::Col(&arr), Operand::Const(Scalar::I64(threshold))];
+        let baseline = filter_cmp(ScalarOp::Gt, &operands, Some(&existing), FilterFlavor::SelVecLoop).unwrap();
+        for flavor in [FilterFlavor::Bitmap, FilterFlavor::ComputeAll] {
+            let sel = filter_cmp(ScalarOp::Gt, &operands, Some(&existing), flavor).unwrap();
+            prop_assert_eq!(sel.indices(), baseline.indices());
+        }
+        // And the selection is correct.
+        for &i in baseline.indices() {
+            prop_assert!(data[i as usize] > threshold);
+        }
+    }
+
+    /// Folds agree with the naive reference under arbitrary selections.
+    #[test]
+    fn folds_match_reference(
+        data in prop::collection::vec(-10_000i64..10_000, 1..300),
+        keep_every in 1usize..5,
+    ) {
+        let arr = Array::from(data.clone());
+        let sel = SelVec::new((0..data.len() as u32).step_by(keep_every).collect());
+        let selected: Vec<i64> = sel.indices().iter().map(|&i| data[i as usize]).collect();
+        let sum = fold_apply(FoldFn::Sum, &Scalar::I64(0), &arr, Some(&sel)).unwrap();
+        prop_assert_eq!(sum, Scalar::I64(selected.iter().sum::<i64>()));
+        let min = fold_apply(FoldFn::Min, &Scalar::I64(i64::MAX), &arr, Some(&sel)).unwrap();
+        prop_assert_eq!(min, Scalar::I64(*selected.iter().min().unwrap()));
+        let count = fold_apply(FoldFn::Count, &Scalar::I64(0), &arr, Some(&sel)).unwrap();
+        prop_assert_eq!(count, Scalar::I64(selected.len() as i64));
+    }
+
+    /// The headline invariant: the Fig. 2-family program computes the same
+    /// result under interpretation, whole-pipeline compilation, and the
+    /// adaptive state machine, for arbitrary data and thresholds.
+    #[test]
+    fn strategy_equivalence_random_programs(
+        data in prop::collection::vec(-500i64..500, 64..2048),
+        factor in 1i64..20,
+        threshold in -400i64..400,
+    ) {
+        // Program: y = factor*x; keep y > threshold; also sum the kept.
+        let n = data.len() as i64;
+        let src = format!(
+            "mut i\nmut k\nmut acc\ni := 0\nk := 0\nacc := 0\nloop {{\n  let x = read i xs in {{\n    let y = map (\\v -> {factor} * v) x in {{\n      let t = filter (\\v -> v > {threshold}) y in {{\n        let b = condense t in {{\n          let s = fold sum 0 b in {{\n            write out i y\n            write kept k b\n            acc := acc + s\n            i := i + len(x)\n            k := k + len(b)\n          }}\n        }}\n      }}\n    }}\n  }}\n  if i >= {n} then {{ break }}\n}}"
+        );
+        let program = adaptvm::dsl::parser::parse_program(&src).unwrap();
+        let mut outputs = Vec::new();
+        for strategy in [Strategy::Interpret, Strategy::CompiledPipeline, Strategy::Adaptive] {
+            let config = VmConfig {
+                strategy,
+                chunk_size: 256,
+                hot_threshold: 2,
+                ..VmConfig::default()
+            };
+            let vm = Vm::new(config);
+            let buffers = Buffers::new().with_input("xs", Array::from(data.clone()));
+            let (out, _) = vm.run(&program, buffers).unwrap();
+            outputs.push((
+                out.output("out").cloned(),
+                out.output("kept").cloned(),
+            ));
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1], "interpret vs compiled");
+        prop_assert_eq!(&outputs[0], &outputs[2], "interpret vs adaptive");
+        // And against the reference semantics.
+        let expected_out: Vec<i64> = data.iter().map(|&v| factor * v).collect();
+        let expected_kept: Vec<i64> = expected_out.iter().copied().filter(|&v| v > threshold).collect();
+        prop_assert_eq!(
+            outputs[0].0.as_ref().unwrap().to_i64_vec().unwrap(),
+            expected_out
+        );
+        match (&outputs[0].1, expected_kept.is_empty()) {
+            // `kept` may never be created when nothing passes.
+            (None, true) => {}
+            (Some(arr), _) => prop_assert_eq!(arr.to_i64_vec().unwrap(), expected_kept),
+            (None, false) => prop_assert!(false, "kept missing but matches expected"),
+        }
+    }
+
+    /// The partitioner covers every node exactly once, whatever the width
+    /// budget, on arbitrary straight-line map chains.
+    #[test]
+    fn partitioner_total_coverage(chain_len in 1usize..12, max_io in 1usize..16) {
+        let mut src = String::from("mut i\ni := 0\nloop {\n  let x = read i xs in {\n");
+        let mut prev = "x".to_string();
+        for k in 0..chain_len {
+            src.push_str(&format!("let m{k} = map (\\v -> v + {k}) {prev} in {{\n"));
+            prev = format!("m{k}");
+        }
+        src.push_str(&format!("write out i {prev}\ni := i + len(x)\n"));
+        for _ in 0..=chain_len {
+            src.push('}');
+        }
+        src.push_str("\nif i >= 1024 then { break }\n}");
+        let program = adaptvm::dsl::parser::parse_program(&src).unwrap();
+        let body = programs::loop_body(&program).unwrap();
+        let g = adaptvm::dsl::depgraph::DepGraph::from_stmts(body);
+        let parts = adaptvm::dsl::partition::partition(
+            &g,
+            &adaptvm::dsl::partition::PartitionConfig::with_max_io(max_io),
+        );
+        let mut seen = vec![0usize; g.len()];
+        for r in &parts.regions {
+            prop_assert!(g.io_count(&r.nodes) <= max_io.max(2) || r.nodes.len() == 1);
+            for &id in &r.nodes {
+                seen[id] += 1;
+            }
+        }
+        for &id in &parts.interpreted {
+            seen[id] += 1;
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+}
