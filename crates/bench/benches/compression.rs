@@ -12,8 +12,14 @@ fn column() -> BlockColumn {
         let (data, scheme) = match b % 4 {
             0 => (gen::runs_i64(4096, 64, b as u64), Scheme::Rle),
             1 => (gen::categorical_i64(4096, 5, b as u64), Scheme::Dict),
-            2 => (gen::uniform_i64(4096, 1000, 1255, b as u64), Scheme::ForPack),
-            _ => (gen::uniform_i64(4096, -1_000_000, 1_000_000, b as u64), Scheme::Plain),
+            2 => (
+                gen::uniform_i64(4096, 1000, 1255, b as u64),
+                Scheme::ForPack,
+            ),
+            _ => (
+                gen::uniform_i64(4096, -1_000_000, 1_000_000, b as u64),
+                Scheme::Plain,
+            ),
         };
         col.push_block(Block::compress(&data, scheme).unwrap());
     }

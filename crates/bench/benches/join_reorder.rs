@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("join_reorder");
     g.sample_size(10);
-    g.bench_function("shifted_workload_summary", |b| {
-        b.iter(|| experiments::exp_b3())
-    });
+    g.bench_function("shifted_workload_summary", |b| b.iter(experiments::exp_b3));
     g.finish();
 }
 

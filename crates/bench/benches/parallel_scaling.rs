@@ -1,0 +1,119 @@
+//! B10 — morsel-driven parallel scaling: TPC-H Q1/Q6 swept over
+//! 1/2/4/8 workers.
+//!
+//! Beyond the per-worker-count timings, the bench prints a speedup table
+//! (sequential time / parallel time). On multi-core hardware the
+//! vectorized-Q1 sweep demonstrates >1.5× at 4 workers; on a single-core
+//! container the speedups degenerate to ~1× (the numbers still verify
+//! that dispatch overhead is small).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use adaptvm_relational::parallel::{
+    q1_parallel_adaptive, q1_parallel_vectorized, q6_parallel, ParallelOpts,
+};
+use adaptvm_relational::tpch;
+use adaptvm_storage::DEFAULT_CHUNK;
+use adaptvm_vm::{Strategy, VmConfig};
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench(c: &mut Criterion) {
+    let rows = 500_000;
+    let table = tpch::lineitem(rows, 42);
+    let compact = tpch::CompactLineitem::from_table(&table);
+    let morsel_rows = 16 * DEFAULT_CHUNK;
+
+    let mut g = c.benchmark_group("parallel_q1_vectorized");
+    g.sample_size(10);
+    for workers in WORKERS {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                q1_parallel_vectorized(
+                    &table,
+                    DEFAULT_CHUNK,
+                    ParallelOpts {
+                        workers: w,
+                        morsel_rows,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("parallel_q1_adaptive");
+    g.sample_size(10);
+    for workers in WORKERS {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                q1_parallel_adaptive(
+                    &compact,
+                    DEFAULT_CHUNK,
+                    ParallelOpts {
+                        workers: w,
+                        morsel_rows,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("parallel_q6_vm");
+    g.sample_size(10);
+    for workers in WORKERS {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                q6_parallel(
+                    &table,
+                    1000,
+                    VmConfig {
+                        strategy: Strategy::Adaptive,
+                        ..VmConfig::default()
+                    },
+                    ParallelOpts {
+                        workers: w,
+                        morsel_rows,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Speedup table: median-of-3 wall times per worker count, vectorized
+    // strategy (the acceptance metric: >1.5× at 4 workers on multi-core).
+    println!("\n-- speedup table (vectorized Q1, {rows} rows, morsel {morsel_rows})");
+    let time_of = |w: usize| {
+        let mut runs: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = q1_parallel_vectorized(
+                    &table,
+                    DEFAULT_CHUNK,
+                    ParallelOpts {
+                        workers: w,
+                        morsel_rows,
+                    },
+                );
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        runs.sort_by(f64::total_cmp);
+        runs[1]
+    };
+    let base = time_of(1);
+    println!("   1 worker : {:8.2} ms  1.00×", base * 1e3);
+    for w in [2usize, 4, 8] {
+        let t = time_of(w);
+        println!("   {w} workers: {:8.2} ms  {:.2}×", t * 1e3, base / t);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("   (available cores: {cores})");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

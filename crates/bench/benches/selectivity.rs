@@ -14,21 +14,17 @@ fn bench(c: &mut Criterion) {
     for sel in [0.01, 0.5, 0.99] {
         let data = gen::signed_with_selectivity(n, sel, 7);
         for flavor in FilterFlavor::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(flavor.name(), sel),
-                &data,
-                |b, data| {
-                    b.iter(|| {
-                        filter_cmp(
-                            ScalarOp::Gt,
-                            &[Operand::Col(data), Operand::Const(Scalar::I64(0))],
-                            None,
-                            flavor,
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(flavor.name(), sel), &data, |b, data| {
+                b.iter(|| {
+                    filter_cmp(
+                        ScalarOp::Gt,
+                        &[Operand::Col(data), Operand::Const(Scalar::I64(0))],
+                        None,
+                        flavor,
+                    )
+                    .unwrap()
+                })
+            });
         }
     }
     g.finish();

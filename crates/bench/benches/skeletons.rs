@@ -14,19 +14,47 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("skeletons");
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("map_add_i64", |bch| {
-        bch.iter(|| map_apply(ScalarOp::Add, &[Operand::Col(&a), Operand::Col(&b)], None, MapMode::Full).unwrap())
+        bch.iter(|| {
+            map_apply(
+                ScalarOp::Add,
+                &[Operand::Col(&a), Operand::Col(&b)],
+                None,
+                MapMode::Full,
+            )
+            .unwrap()
+        })
     });
     g.bench_function("map_mul_const_i64", |bch| {
-        bch.iter(|| map_apply(ScalarOp::Mul, &[Operand::Col(&a), Operand::Const(Scalar::I64(3))], None, MapMode::Full).unwrap())
+        bch.iter(|| {
+            map_apply(
+                ScalarOp::Mul,
+                &[Operand::Col(&a), Operand::Const(Scalar::I64(3))],
+                None,
+                MapMode::Full,
+            )
+            .unwrap()
+        })
     });
     g.bench_function("filter_gt_selvec", |bch| {
-        bch.iter(|| filter_cmp(ScalarOp::Gt, &[Operand::Col(&a), Operand::Const(Scalar::I64(n as i64 / 2))], None, FilterFlavor::SelVecLoop).unwrap())
+        bch.iter(|| {
+            filter_cmp(
+                ScalarOp::Gt,
+                &[Operand::Col(&a), Operand::Const(Scalar::I64(n as i64 / 2))],
+                None,
+                FilterFlavor::SelVecLoop,
+            )
+            .unwrap()
+        })
     });
     g.bench_function("fold_sum_i64", |bch| {
         bch.iter(|| fold_apply(FoldFn::Sum, &Scalar::I64(0), &a, None).unwrap())
     });
     g.bench_function("gather", |bch| {
-        let idx = Array::from((0..n as i64).map(|i| (i * 7) % n as i64).collect::<Vec<_>>());
+        let idx = Array::from(
+            (0..n as i64)
+                .map(|i| (i * 7) % n as i64)
+                .collect::<Vec<_>>(),
+        );
         bch.iter(|| movement::gather(&a, &idx).unwrap())
     });
     g.bench_function("merge_union", |bch| {

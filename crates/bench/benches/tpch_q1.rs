@@ -8,10 +8,14 @@ fn bench(c: &mut Criterion) {
     let table = tpch::lineitem(500_000, 42);
     let mut g = c.benchmark_group("tpch_q1");
     g.sample_size(10);
-    g.bench_function("q1_vectorized", |b| b.iter(|| tpch::q1_vectorized(&table, 1024)));
+    g.bench_function("q1_vectorized", |b| {
+        b.iter(|| tpch::q1_vectorized(&table, 1024))
+    });
     g.bench_function("q1_fused", |b| b.iter(|| tpch::q1_fused(&table)));
     let compact = tpch::CompactLineitem::from_table(&table);
-    g.bench_function("q1_adaptive", |b| b.iter(|| tpch::q1_adaptive(&compact, 1024)));
+    g.bench_function("q1_adaptive", |b| {
+        b.iter(|| tpch::q1_adaptive(&compact, 1024))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("tpch_q6");

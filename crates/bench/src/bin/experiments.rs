@@ -32,16 +32,28 @@ fn main() {
         section("F3", "Fig. 3 greedy partitioning", exp::exp_f3());
     }
     if want("b1") {
-        section("B1", "TPC-H Q1/Q6 strategy comparison", exp::exp_b1(2_000_000));
+        section(
+            "B1",
+            "TPC-H Q1/Q6 strategy comparison",
+            exp::exp_b1(2_000_000),
+        );
     }
     if want("b2") {
-        section("B2", "filter-flavor selectivity sweep", exp::exp_b2(1 << 20));
+        section(
+            "B2",
+            "filter-flavor selectivity sweep",
+            exp::exp_b2(1 << 20),
+        );
     }
     if want("b3") {
         section("B3", "adaptive join reordering", exp::exp_b3());
     }
     if want("b4") {
-        section("B4", "compressed execution under scheme changes", exp::exp_b4(256, 4096));
+        section(
+            "B4",
+            "compressed execution under scheme changes",
+            exp::exp_b4(256, 4096),
+        );
     }
     if want("b5") {
         section("B5", "compile-or-interpret break-even", exp::exp_b5());
@@ -50,7 +62,11 @@ fn main() {
         section("B6", "heterogeneous placement crossover", exp::exp_b6());
     }
     if want("b7") {
-        section("B7", "deforestation / fusion ablation", exp::exp_b7(1 << 21));
+        section(
+            "B7",
+            "deforestation / fusion ablation",
+            exp::exp_b7(1 << 21),
+        );
     }
     if want("b8") {
         section("B8", "TLB-width partitioning heuristic", exp::exp_b8());

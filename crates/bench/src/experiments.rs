@@ -90,8 +90,16 @@ pub fn exp_f2() -> Vec<String> {
         let (out, _) = vm
             .run(&programs::fig2_with_limit(limit), buffers)
             .expect("fig2 runs");
-        let v = out.output("v").expect("written").to_i64_vec().expect("ints");
-        let w = out.output("w").expect("written").to_i64_vec().expect("ints");
+        let v = out
+            .output("v")
+            .expect("written")
+            .to_i64_vec()
+            .expect("ints");
+        let w = out
+            .output("w")
+            .expect("written")
+            .to_i64_vec()
+            .expect("ints");
         // w must always be the positive subset of v; strategies at the
         // same chunk size must match bit for bit. (Different chunk sizes
         // legitimately process different row counts — whole chunks are
@@ -182,7 +190,11 @@ pub fn exp_b1(rows_n: usize) -> Vec<String> {
             let vm = Vm::new(config);
             let program = tpch::q6_program(rows_n as i64, 1000);
             let (out, _) = vm.run(&program, tpch::q6_buffers(&table)).expect("q6 runs");
-            let rev = out.output("revenue").expect("written").as_f64().expect("f64")[0];
+            let rev = out
+                .output("revenue")
+                .expect("written")
+                .as_f64()
+                .expect("f64")[0];
             assert!((rev - expected).abs() / expected.abs().max(1.0) < 1e-9);
         });
         rows.push(format!("{name}: {t:>9.2} ms"));
@@ -318,7 +330,10 @@ pub fn exp_b4(blocks: usize, rows_per_block: usize) -> Vec<String> {
     for b in 0..blocks {
         let (data, scheme) = match b % 4 {
             0 => (gen::runs_i64(rows_per_block, 64, b as u64), Scheme::Rle),
-            1 => (gen::categorical_i64(rows_per_block, 5, b as u64), Scheme::Dict),
+            1 => (
+                gen::categorical_i64(rows_per_block, 5, b as u64),
+                Scheme::Dict,
+            ),
             2 => (
                 gen::uniform_i64(rows_per_block, 1000, 1255, b as u64),
                 Scheme::ForPack,
@@ -386,7 +401,11 @@ pub fn exp_b5() -> Vec<String> {
         let t_interp = time_ms(2, || run(Strategy::Interpret, 8));
         let t_jit = time_ms(2, || run(Strategy::CompiledPipeline, 8));
         let t_adaptive = time_ms(2, || run(Strategy::Adaptive, 8));
-        let winner = if t_interp <= t_jit { "interpret" } else { "jit" };
+        let winner = if t_interp <= t_jit {
+            "interpret"
+        } else {
+            "jit"
+        };
         rows.push(format!(
             "{chunks:<12} {t_interp:>14.3} {t_jit:>14.3} {t_adaptive:>14.3} {winner:>10}"
         ));
@@ -526,9 +545,7 @@ pub fn exp_b8() -> Vec<String> {
         let compilable = parts
             .regions
             .iter()
-            .filter(|r| {
-                adaptvm_jit::builder::build_fragment(&g, r, &uses, &HashMap::new()).is_ok()
-            })
+            .filter(|r| adaptvm_jit::builder::build_fragment(&g, r, &uses, &HashMap::new()).is_ok())
             .count();
         let t = time_ms(2, || {
             let config = VmConfig {

@@ -764,7 +764,10 @@ mod tests {
 
     #[test]
     fn static_cost_orders_ops_sensibly() {
-        let cheap = map(lam1("x", bin(ScalarOp::Add, var("x"), int(1))), vec![var("v")]);
+        let cheap = map(
+            lam1("x", bin(ScalarOp::Add, var("x"), int(1))),
+            vec![var("v")],
+        );
         let pricey = map(lam1("x", un(ScalarOp::Sqrt, var("x"))), vec![var("v")]);
         assert!(pricey.static_cost() > cheap.static_cost());
         assert!(read(int(0), "d").static_cost() < cheap.static_cost());

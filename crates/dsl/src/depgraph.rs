@@ -122,10 +122,8 @@ impl DepGraph {
                     self.walk(then);
                     self.walk(els);
                 }
-                Stmt::Assign { .. }
-                | Stmt::DeclareMut { .. }
-                | Stmt::Break
-                | Stmt::ExprStmt(_) => {}
+                Stmt::Assign { .. } | Stmt::DeclareMut { .. } | Stmt::Break | Stmt::ExprStmt(_) => {
+                }
             }
         }
     }
@@ -221,10 +219,7 @@ impl DepGraph {
     /// bound variable name (sinks are keyed by `write <buffer>`).
     pub fn apply_costs(&mut self, costs: &HashMap<String, f64>) {
         for n in &mut self.nodes {
-            let key = n
-                .output
-                .clone()
-                .unwrap_or_else(|| n.label.clone());
+            let key = n.output.clone().unwrap_or_else(|| n.label.clone());
             if let Some(&c) = costs.get(&key) {
                 n.cost = c;
             }
@@ -255,8 +250,8 @@ impl DepGraph {
             }
             // Outputs consumed outside the set.
             if let Some(o) = &n.output {
-                let escapes = self.consumers[id].iter().any(|&c| !in_set(c))
-                    || self.consumers[id].is_empty();
+                let escapes =
+                    self.consumers[id].iter().any(|&c| !in_set(c)) || self.consumers[id].is_empty();
                 if escapes && !names.contains(&o.as_str()) {
                     names.push(o);
                 }
@@ -388,11 +383,8 @@ mod tests {
     fn fig2_nodes_and_edges() {
         let g = fig2_graph();
         assert_eq!(g.len(), 6);
-        let by_label: HashMap<&str, NodeId> = g
-            .nodes()
-            .iter()
-            .map(|n| (n.label.as_str(), n.id))
-            .collect();
+        let by_label: HashMap<&str, NodeId> =
+            g.nodes().iter().map(|n| (n.label.as_str(), n.id)).collect();
         let read = by_label["read some_data"];
         let map = by_label["map (\\x -> …)"];
         let filter = by_label["filter"];
@@ -425,11 +417,8 @@ mod tests {
     #[test]
     fn io_counts() {
         let g = fig2_graph();
-        let by_label: HashMap<&str, NodeId> = g
-            .nodes()
-            .iter()
-            .map(|n| (n.label.as_str(), n.id))
-            .collect();
+        let by_label: HashMap<&str, NodeId> =
+            g.nodes().iter().map(|n| (n.label.as_str(), n.id)).collect();
         let read = by_label["read some_data"];
         let map = by_label["map (\\x -> …)"];
         let wv = by_label["write v"];
@@ -447,7 +436,11 @@ mod tests {
         costs.insert("a".to_string(), 100.0); // map binds `a`
         costs.insert("write v".to_string(), 9.0);
         g.apply_costs(&costs);
-        let map = g.nodes().iter().find(|n| n.output.as_deref() == Some("a")).unwrap();
+        let map = g
+            .nodes()
+            .iter()
+            .find(|n| n.output.as_deref() == Some("a"))
+            .unwrap();
         assert_eq!(map.cost, 100.0);
         let wv = g.nodes().iter().find(|n| n.label == "write v").unwrap();
         assert_eq!(wv.cost, 9.0);

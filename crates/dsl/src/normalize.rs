@@ -605,7 +605,8 @@ mod tests {
 
     #[test]
     fn nested_skeletons_are_hoisted() {
-        let p = normalize_src("let s = fold sum 0 (map (\\x -> x + 1) (read 0 xs)) in { result := s }");
+        let p =
+            normalize_src("let s = fold sum 0 (map (\\x -> x + 1) (read 0 xs)) in { result := s }");
         assert!(is_normalized_program(&p), "{}", print_program(&p));
         // read bound, map bound, fold over the map temp.
         let printed = print_program(&p);

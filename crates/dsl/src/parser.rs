@@ -198,12 +198,16 @@ impl<'a> Lexer<'a> {
                     end += 1;
                 }
                 let text = std::str::from_utf8(&self.src[self.pos..end]).expect("ascii");
-                let v: f64 = text.parse().map_err(|e| self.err(format!("bad float: {e}")))?;
+                let v: f64 = text
+                    .parse()
+                    .map_err(|e| self.err(format!("bad float: {e}")))?;
                 self.pos = end;
                 return Ok((Tok::Float(v), start));
             }
             let text = std::str::from_utf8(&self.src[self.pos..end]).expect("ascii");
-            let v: i64 = text.parse().map_err(|e| self.err(format!("bad int: {e}")))?;
+            let v: i64 = text
+                .parse()
+                .map_err(|e| self.err(format!("bad int: {e}")))?;
             self.pos = end;
             return Ok((Tok::Int(v), start));
         }
@@ -348,9 +352,7 @@ impl Parser {
                         "add" => ConflictFn::Add,
                         "min" => ConflictFn::Min,
                         "max" => ConflictFn::Max,
-                        other => {
-                            return Err(self.err(format!("unknown conflict function {other}")))
-                        }
+                        other => return Err(self.err(format!("unknown conflict function {other}"))),
                     };
                     Ok(Stmt::Scatter {
                         target,
@@ -732,10 +734,7 @@ mod tests {
 
     #[test]
     fn named_calls() {
-        assert_eq!(
-            parse_expr("sqrt(x)").unwrap(),
-            un(ScalarOp::Sqrt, var("x"))
-        );
+        assert_eq!(parse_expr("sqrt(x)").unwrap(), un(ScalarOp::Sqrt, var("x")));
         assert_eq!(
             parse_expr("min(a, b)").unwrap(),
             bin(ScalarOp::Min, var("a"), var("b"))
@@ -776,7 +775,10 @@ mod tests {
         let e = parse_expr("gather idx d").unwrap();
         assert_eq!(e, gather(var("idx"), "d"));
         let e = parse_expr("gen (\\i -> i * i) 10").unwrap();
-        assert_eq!(e, gen(lam1("i", bin(ScalarOp::Mul, var("i"), var("i"))), int(10)));
+        assert_eq!(
+            e,
+            gen(lam1("i", bin(ScalarOp::Mul, var("i"), var("i"))), int(10))
+        );
     }
 
     #[test]
@@ -811,10 +813,7 @@ mod tests {
     fn statements_parse() {
         let p = parse_program("mut x\nx := 1 + 2").unwrap();
         assert_eq!(p.stmts[0], declare_mut("x"));
-        assert_eq!(
-            p.stmts[1],
-            assign("x", bin(ScalarOp::Add, int(1), int(2)))
-        );
+        assert_eq!(p.stmts[1], assign("x", bin(ScalarOp::Add, int(1), int(2))));
         let p = parse_program("if x > 1 then { break } else { x := 0 }").unwrap();
         assert!(matches!(&p.stmts[0], Stmt::If { els, .. } if els.len() == 1));
         let p = parse_program("scatter out idx vals add").unwrap();

@@ -244,11 +244,8 @@ mod tests {
         let parts = partition(&g, &PartitionConfig::default());
         assert_eq!(parts.regions.len(), 2, "{parts:?}");
         assert!(parts.interpreted.is_empty());
-        let mut regions: Vec<Vec<String>> = parts
-            .regions
-            .iter()
-            .map(|r| labels(&g, &r.nodes))
-            .collect();
+        let mut regions: Vec<Vec<String>> =
+            parts.regions.iter().map(|r| labels(&g, &r.nodes)).collect();
         regions.sort();
         assert_eq!(
             regions,
@@ -289,7 +286,10 @@ mod tests {
         };
         let parts = partition(&g, &cfg);
         let interpreted = labels(&g, &parts.interpreted);
-        assert!(interpreted.contains(&"filter".to_string()), "{interpreted:?}");
+        assert!(
+            interpreted.contains(&"filter".to_string()),
+            "{interpreted:?}"
+        );
         // No region contains the filter.
         for r in &parts.regions {
             assert!(!labels(&g, &r.nodes).contains(&"filter".to_string()));
@@ -321,10 +321,7 @@ mod tests {
         let parts = partition(&g, &cfg);
         assert_eq!(parts.regions.len(), 1);
         // Everything else is interpreted.
-        assert_eq!(
-            parts.regions[0].len() + parts.interpreted.len(),
-            g.len()
-        );
+        assert_eq!(parts.regions[0].len() + parts.interpreted.len(), g.len());
     }
 
     #[test]

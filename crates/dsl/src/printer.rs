@@ -202,7 +202,9 @@ fn precedence(op: ScalarOp) -> u8 {
     match op {
         ScalarOp::Or => 1,
         ScalarOp::And => 2,
-        ScalarOp::Eq | ScalarOp::Ne | ScalarOp::Lt | ScalarOp::Le | ScalarOp::Gt | ScalarOp::Ge => 3,
+        ScalarOp::Eq | ScalarOp::Ne | ScalarOp::Lt | ScalarOp::Le | ScalarOp::Gt | ScalarOp::Ge => {
+            3
+        }
         ScalarOp::Add | ScalarOp::Sub => 4,
         ScalarOp::Mul | ScalarOp::Div | ScalarOp::Rem => 5,
         _ => 6,

@@ -174,11 +174,7 @@ pub fn loop_body(p: &Program) -> Option<&Vec<Stmt>> {
 
 /// Build a simple one-`let` program: `let r = <expr> in { write out 0 r }`.
 pub fn expr_program(e: Expr) -> Program {
-    Program::new(vec![let_in(
-        "r",
-        e,
-        vec![write("out", int(0), var("r"))],
-    )])
+    Program::new(vec![let_in("r", e, vec![write("out", int(0), var("r"))])])
 }
 
 /// A whole-array sum-of-squares program used by transform tests.
@@ -240,15 +236,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // the chain mirrors map_chain's ops
     fn references_are_consistent() {
         let data: Vec<i64> = (-10..10).collect();
         assert_eq!(
             filter_sum_reference(&data, 0, data.len()),
             data.iter().filter(|&&x| x > 0).map(|x| 2 * x).sum::<i64>()
         );
-        assert_eq!(
-            map_chain_reference(&[1], 1),
-            vec![(((1 * 2) + 3) * 5) - 1]
-        );
+        assert_eq!(map_chain_reference(&[1], 1), vec![(((1 * 2) + 3) * 5) - 1]);
     }
 }

@@ -107,10 +107,9 @@ fn rewrite_stmt(s: &Stmt, f: &dyn Fn(&Expr) -> Expr) -> Stmt {
 fn rewrite_expr(e: &Expr, f: &dyn Fn(&Expr) -> Expr) -> Expr {
     let rebuilt = match e {
         Expr::Const(_) | Expr::Var(_) => e.clone(),
-        Expr::Apply(op, args) => Expr::Apply(
-            *op,
-            args.iter().map(|a| rewrite_expr(a, f)).collect(),
-        ),
+        Expr::Apply(op, args) => {
+            Expr::Apply(*op, args.iter().map(|a| rewrite_expr(a, f)).collect())
+        }
         Expr::Len(inner) => Expr::Len(Box::new(rewrite_expr(inner, f))),
         Expr::Map { f: lam, inputs } => Expr::Map {
             f: lam.clone(),
@@ -202,8 +201,7 @@ fn check_vectorizable(stmts: &[Stmt], targets: &mut Vec<String>) -> Result<(), D
             Stmt::Let { expr, body, .. } => {
                 if contains_fold(expr) {
                     return Err(DslError::Transform(
-                        "vectorize does not lift folds; write the accumulator loop directly"
-                            .into(),
+                        "vectorize does not lift folds; write the accumulator loop directly".into(),
                     ));
                 }
                 check_vectorizable(body, targets)?;
@@ -227,9 +225,7 @@ fn check_vectorizable(stmts: &[Stmt], targets: &mut Vec<String>) -> Result<(), D
 fn contains_fold(e: &Expr) -> bool {
     match e {
         Expr::Fold { .. } => true,
-        Expr::Map { inputs, .. } | Expr::Filter { inputs, .. } => {
-            inputs.iter().any(contains_fold)
-        }
+        Expr::Map { inputs, .. } | Expr::Filter { inputs, .. } => inputs.iter().any(contains_fold),
         Expr::Len(i) | Expr::Condense(i) => contains_fold(i),
         Expr::Merge { left, right, .. } => contains_fold(left) || contains_fold(right),
         _ => false,
@@ -250,11 +246,7 @@ fn first_read_binding(stmts: &[Stmt]) -> Option<String> {
     None
 }
 
-fn vectorize_stmts(
-    stmts: &[Stmt],
-    chunk: usize,
-    first_read: &str,
-) -> Result<Vec<Stmt>, DslError> {
+fn vectorize_stmts(stmts: &[Stmt], chunk: usize, first_read: &str) -> Result<Vec<Stmt>, DslError> {
     let mut out = Vec::new();
     let mut iter = stmts.iter().peekable();
     while let Some(s) = iter.next() {
@@ -314,10 +306,7 @@ fn vectorize_stmts(
                     name: cursor.clone(),
                     expr: Expr::Apply(
                         ScalarOp::Add,
-                        vec![
-                            Expr::Var(cursor),
-                            Expr::Len(Box::new(value.clone())),
-                        ],
+                        vec![Expr::Var(cursor), Expr::Len(Box::new(value.clone()))],
                     ),
                 });
             }
@@ -429,8 +418,7 @@ mod tests {
             vectorize(&programs::fig2_example(), 1024),
             Err(DslError::Transform(_))
         ));
-        let non_zero_write =
-            parse_program("let a = read 0 xs in { write out 5 a }").unwrap();
+        let non_zero_write = parse_program("let a = read 0 xs in { write out 5 a }").unwrap();
         assert!(vectorize(&non_zero_write, 16).is_err());
         let no_read = parse_program("mut x\nx := 1").unwrap();
         assert!(vectorize(&no_read, 16).is_err());

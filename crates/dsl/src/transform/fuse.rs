@@ -32,9 +32,7 @@ fn stmt_uses(s: &Stmt, name: &str) -> usize {
             }
         }
         Stmt::Write { pos, value, .. } => expr_uses(pos, name) + expr_uses(value, name),
-        Stmt::Scatter { indices, value, .. } => {
-            expr_uses(indices, name) + expr_uses(value, name)
-        }
+        Stmt::Scatter { indices, value, .. } => expr_uses(indices, name) + expr_uses(value, name),
         Stmt::Loop(body) => count_var_uses(body, name),
         Stmt::If { cond, then, els } => {
             expr_uses(cond, name) + count_var_uses(then, name) + count_var_uses(els, name)
@@ -87,7 +85,9 @@ fn substitute(e: &Expr, var: &str, replacement: &Expr) -> Expr {
         Expr::Var(v) if v == var => replacement.clone(),
         Expr::Apply(op, args) => Expr::Apply(
             *op,
-            args.iter().map(|a| substitute(a, var, replacement)).collect(),
+            args.iter()
+                .map(|a| substitute(a, var, replacement))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -147,13 +147,8 @@ fn fuse_stmt(s: &Stmt) -> (Stmt, bool) {
                             .count();
                         let total_uses = count_var_uses(body, name);
                         if uses_in_outer_inputs > 0 && total_uses == uses_in_outer_inputs {
-                            let fused = compose_maps(
-                                name,
-                                inner_f,
-                                inner_inputs,
-                                outer_f,
-                                outer_inputs,
-                            );
+                            let fused =
+                                compose_maps(name, inner_f, inner_inputs, outer_f, outer_inputs);
                             let new_let = Stmt::Let {
                                 name: outer_name.clone(),
                                 expr: fused,
@@ -305,10 +300,9 @@ mod tests {
 
     #[test]
     fn count_uses_respects_shadowing() {
-        let p = parse_program(
-            "let a = read 0 xs in { let a = map (\\x -> x) a in { write out 0 a } }",
-        )
-        .unwrap();
+        let p =
+            parse_program("let a = read 0 xs in { let a = map (\\x -> x) a in { write out 0 a } }")
+                .unwrap();
         // Outer `a` is used once: by the inner binding's expression.
         if let Stmt::Let { body, .. } = &p.stmts[0] {
             assert_eq!(count_var_uses(body, "a"), 1);

@@ -90,19 +90,27 @@ fn apply_type(op: ScalarOp, args: &[ScalarType]) -> Result<ScalarType, DslError>
         Add | Sub | Mul | Div | Rem | Min | Max => {
             let t = promote2(args[0], args[1])?;
             if !t.is_numeric() {
-                return Err(DslError::Type(format!("{op:?} needs numeric operands, got {t}")));
+                return Err(DslError::Type(format!(
+                    "{op:?} needs numeric operands, got {t}"
+                )));
             }
             Ok(t)
         }
         Sqrt => {
             if !args[0].is_numeric() {
-                return Err(DslError::Type(format!("sqrt needs a numeric operand, got {}", args[0])));
+                return Err(DslError::Type(format!(
+                    "sqrt needs a numeric operand, got {}",
+                    args[0]
+                )));
             }
             Ok(ScalarType::F64)
         }
         Abs | Neg => {
             if !args[0].is_numeric() {
-                return Err(DslError::Type(format!("{op:?} needs a numeric operand, got {}", args[0])));
+                return Err(DslError::Type(format!(
+                    "{op:?} needs a numeric operand, got {}",
+                    args[0]
+                )));
             }
             Ok(args[0])
         }
@@ -137,7 +145,10 @@ fn apply_type(op: ScalarOp, args: &[ScalarType]) -> Result<ScalarType, DslError>
         }
         Not => {
             if args[0] != ScalarType::Bool {
-                return Err(DslError::Type(format!("not needs a boolean, got {}", args[0])));
+                return Err(DslError::Type(format!(
+                    "not needs a boolean, got {}",
+                    args[0]
+                )));
             }
             Ok(ScalarType::Bool)
         }
@@ -145,7 +156,10 @@ fn apply_type(op: ScalarOp, args: &[ScalarType]) -> Result<ScalarType, DslError>
         Cast(t) => Ok(t),
         StrLen => {
             if args[0] != ScalarType::Str {
-                return Err(DslError::Type(format!("strlen needs a string, got {}", args[0])));
+                return Err(DslError::Type(format!(
+                    "strlen needs a string, got {}",
+                    args[0]
+                )));
             }
             Ok(ScalarType::I64)
         }
@@ -159,7 +173,11 @@ fn apply_type(op: ScalarOp, args: &[ScalarType]) -> Result<ScalarType, DslError>
 }
 
 /// Infer a lambda's result element type given its inputs' element types.
-pub fn infer_lambda(f: &Lambda, arg_types: &[ScalarType], env: &TypeEnv) -> Result<ScalarType, DslError> {
+pub fn infer_lambda(
+    f: &Lambda,
+    arg_types: &[ScalarType],
+    env: &TypeEnv,
+) -> Result<ScalarType, DslError> {
     if f.params.len() != arg_types.len() {
         return Err(DslError::Type(format!(
             "lambda takes {} parameters but {} inputs were given",
@@ -423,7 +441,9 @@ fn check_stmt(s: &Stmt, env: &mut TypeEnv, in_loop: bool) -> Result<(), DslError
         Stmt::If { cond, then, els } => {
             let t = infer_expr(cond, env)?;
             if t != Type::Scalar(ScalarType::Bool) {
-                return Err(DslError::Type(format!("if condition must be bool, got {t}")));
+                return Err(DslError::Type(format!(
+                    "if condition must be bool, got {t}"
+                )));
             }
             check_stmts(then, env, in_loop)?;
             check_stmts(els, env, in_loop)
@@ -490,10 +510,7 @@ mod tests {
             ty("fold count 0 (read 0 xs)").unwrap(),
             Type::Scalar(ScalarType::I64)
         );
-        assert_eq!(
-            ty("len(read 0 xs)").unwrap(),
-            Type::Scalar(ScalarType::I64)
-        );
+        assert_eq!(ty("len(read 0 xs)").unwrap(), Type::Scalar(ScalarType::I64));
         assert_eq!(
             ty("merge join_left (read 0 xs) (read 0 ys)").unwrap(),
             Type::Array(ScalarType::I64)
@@ -568,10 +585,8 @@ mod tests {
         // break outside loop.
         assert!(check_program(&parse_program("break").unwrap(), &env()).is_err());
         // write type mismatch: f64 map into i64 buffer.
-        let p = parse_program(
-            "let a = map (\\x -> sqrt(x)) (read 0 xs) in { write v 0 a }",
-        )
-        .unwrap();
+        let p =
+            parse_program("let a = map (\\x -> sqrt(x)) (read 0 xs) in { write v 0 a }").unwrap();
         assert!(check_program(&p, &env()).is_err());
         // non-bool if condition.
         let p = parse_program("if 1 + 2 then { break }").unwrap();
@@ -584,10 +599,7 @@ mod tests {
     #[test]
     fn let_scoping_restores() {
         // `a` out of scope after the let body.
-        let p = parse_program(
-            "let a = read 0 xs in { write v 0 a }\nwrite v 0 a",
-        )
-        .unwrap();
+        let p = parse_program("let a = read 0 xs in { write v 0 a }\nwrite v 0 a").unwrap();
         let err = check_program(&p, &env()).unwrap_err();
         assert!(matches!(err, DslError::Unbound(name) if name == "a"));
     }

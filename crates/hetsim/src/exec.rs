@@ -123,9 +123,8 @@ fn run_sharded(
             }
             Some(acc) => {
                 for ((_, dst), (_, src)) in acc.arrays.iter_mut().zip(partial.arrays) {
-                    dst.extend(&src).map_err(|e| {
-                        JitError::Unsupported(format!("shard merge failed: {e}"))
-                    })?;
+                    dst.extend(&src)
+                        .map_err(|e| JitError::Unsupported(format!("shard merge failed: {e}")))?;
                 }
                 for ((_, _, dst), (_, _, src)) in acc.sels.iter_mut().zip(partial.sels) {
                     let mut indices = dst.indices().to_vec();

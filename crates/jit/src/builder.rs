@@ -166,9 +166,10 @@ pub fn build_fragment(
         let node = g.node(id);
         match node.class {
             OpClass::Read => {
-                let expr = node.expr.as_ref().ok_or_else(|| {
-                    JitError::Unresolved("read node without expression".into())
-                })?;
+                let expr = node
+                    .expr
+                    .as_ref()
+                    .ok_or_else(|| JitError::Unresolved("read node without expression".into()))?;
                 let (buffer, pos, len) = match expr {
                     Expr::Read { data, pos, len } => (
                         data.clone(),
@@ -218,8 +219,7 @@ pub fn build_fragment(
                         let mut srcs = Vec::with_capacity(args.len());
                         let mut guarded = false;
                         for a in args {
-                            let r =
-                                resolve_lambda_arg(a, f, actuals, &mut var_map, &mut inputs)?;
+                            let r = resolve_lambda_arg(a, f, actuals, &mut var_map, &mut inputs)?;
                             guarded |= r.guarded;
                             srcs.push(r.src);
                         }
@@ -274,14 +274,14 @@ pub fn build_fragment(
                 let flow_ref = resolve(&Expr::Var(flow_name.clone()), &mut var_map, &mut inputs)?;
                 let (op, lhs, rhs) = match p.body.as_ref() {
                     Expr::Apply(op, args) if op.is_comparison() && args.len() == 2 => {
-                        let l = resolve_lambda_arg(&args[0], p, actuals, &mut var_map, &mut inputs)?;
-                        let r = resolve_lambda_arg(&args[1], p, actuals, &mut var_map, &mut inputs)?;
+                        let l =
+                            resolve_lambda_arg(&args[0], p, actuals, &mut var_map, &mut inputs)?;
+                        let r =
+                            resolve_lambda_arg(&args[1], p, actuals, &mut var_map, &mut inputs)?;
                         (*op, l.src, r.src)
                     }
                     other => {
-                        return Err(JitError::Unsupported(format!(
-                            "filter predicate {other:?}"
-                        )))
+                        return Err(JitError::Unsupported(format!("filter predicate {other:?}")))
                     }
                 };
                 filter = Some(FilterCheck { op, lhs, rhs });
@@ -361,10 +361,7 @@ pub fn build_fragment(
                 });
                 needed.push(value);
             }
-            OpClass::Merge
-            | OpClass::Random
-            | OpClass::StringOp
-            | OpClass::Scalar => {
+            OpClass::Merge | OpClass::Random | OpClass::StringOp | OpClass::Scalar => {
                 return Err(JitError::Unsupported(format!(
                     "{:?} node in fragment",
                     node.class
@@ -447,9 +444,7 @@ pub fn build_fragment(
     }
 
     if outputs.is_empty() {
-        return Err(JitError::Unsupported(
-            "fragment produces no outputs".into(),
-        ));
+        return Err(JitError::Unsupported("fragment produces no outputs".into()));
     }
 
     Ok(Fragment {
@@ -541,11 +536,7 @@ mod tests {
         assert_eq!(map_frag.writes[0].buffer, "v");
         assert_eq!(map_frag.writes[0].value_var, "a");
         // a escapes (filter consumes it + len(a) in the counter update).
-        assert!(map_frag
-            .ir
-            .outputs
-            .iter()
-            .any(|o| o.name() == "a"));
+        assert!(map_frag.ir.outputs.iter().any(|o| o.name() == "a"));
         // Executes: a = 2*x.
         let x = Array::from(vec![1i64, -2]);
         let r = execute(&map_frag.ir, &[&x], None).unwrap();
@@ -580,11 +571,7 @@ mod tests {
         ));
         let a = Array::from(vec![2i64, -4, 6]);
         let r = execute(&filter_frag.ir, &[&a], None).unwrap();
-        let (_, b) = r
-            .arrays
-            .iter()
-            .find(|(n, _)| n == "b")
-            .expect("b output");
+        let (_, b) = r.arrays.iter().find(|(n, _)| n == "b").expect("b output");
         assert_eq!(*b, Array::from(vec![2i64, 6]));
     }
 

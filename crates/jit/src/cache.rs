@@ -129,6 +129,37 @@ impl CodeCache {
         inner.map.clear();
         inner.order.clear();
     }
+
+    /// Look up a trace, compiling and inserting it on a miss.
+    ///
+    /// This is the shared-cache fast path for parallel execution: the first
+    /// worker to reach a fragment pays the compile cost, every other worker
+    /// reuses the trace. Note the compile runs *outside* the cache lock, so
+    /// two workers racing on the same cold key may both compile; the cache
+    /// stays consistent (last insert wins, both traces are equivalent) and
+    /// no worker ever blocks behind another's compilation.
+    pub fn get_or_compile(
+        &self,
+        key: TraceKey,
+        compile: impl FnOnce() -> Arc<CompiledTrace>,
+    ) -> (Arc<CompiledTrace>, bool) {
+        if let Some(hit) = self.get(&key) {
+            return (hit, true);
+        }
+        let trace = compile();
+        self.insert(key, trace.clone());
+        (trace, false)
+    }
+}
+
+impl std::fmt::Debug for CodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CodeCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! running while a worker thread generates code; finished traces are
 //! *injected* on the next poll.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -148,11 +149,19 @@ pub struct Finished {
 
 /// Background compile server (Fig. 1: interpretation continues while code
 /// is generated; finished functions are injected on poll).
+///
+/// The server is shareable across threads: `submit`/`poll`/`wait` take
+/// `&self` (the ticket counter is atomic, the channels have interior
+/// locking), so a morsel-parallel run can hand one `Arc<CompileServer>`
+/// to every worker and let whichever worker polls first inject the trace.
 pub struct CompileServer {
     tx: Option<Sender<Job>>,
     rx_done: Receiver<Finished>,
     worker: Option<std::thread::JoinHandle<()>>,
-    next_ticket: u64,
+    next_ticket: AtomicU64,
+    /// Finishes drained from the channel but not yet claimed: lets
+    /// concurrent `wait` calls complete in any ticket order.
+    stash: parking_lot::Mutex<Vec<Finished>>,
 }
 
 impl CompileServer {
@@ -181,15 +190,15 @@ impl CompileServer {
             tx: Some(tx),
             rx_done,
             worker: Some(worker),
-            next_ticket: 0,
+            next_ticket: AtomicU64::new(0),
+            stash: parking_lot::Mutex::new(Vec::new()),
         }
     }
 
     /// Submit a fragment; returns the ticket to match against
     /// [`CompileServer::poll`] results.
-    pub fn submit(&mut self, fragment: Fragment) -> Result<u64, JitError> {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
+    pub fn submit(&self, fragment: Fragment) -> Result<u64, JitError> {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         self.tx
             .as_ref()
             .ok_or(JitError::ServerDown)?
@@ -200,16 +209,47 @@ impl CompileServer {
 
     /// Collect all traces finished since the last poll (non-blocking).
     pub fn poll(&self) -> Vec<Finished> {
-        self.rx_done.try_iter().collect()
+        let mut out: Vec<Finished> = {
+            let mut stash = self.stash.lock();
+            stash.drain(..).collect()
+        };
+        out.extend(self.rx_done.try_iter());
+        out
     }
 
-    /// Block until the given ticket finishes (test/benchmark helper).
+    /// Block until the given ticket finishes. Finishes for other tickets
+    /// seen along the way are stashed, not dropped, so concurrent waiters
+    /// can claim their tickets in any order. Waiting blocks on the done
+    /// channel (bounded wake-ups, not a spin): the short timeout only
+    /// exists so a waiter notices when *another* waiter stashed its
+    /// ticket while it was blocked.
     pub fn wait(&self, ticket: u64) -> Result<Arc<CompiledTrace>, JitError> {
+        use crossbeam::channel::{RecvTimeoutError, TryRecvError};
         loop {
-            match self.rx_done.recv() {
-                Ok(f) if f.ticket == ticket => return Ok(f.trace),
-                Ok(_) => continue, // out-of-order finish for another ticket
-                Err(_) => return Err(JitError::ServerDown),
+            let mut disconnected = false;
+            {
+                let mut stash = self.stash.lock();
+                loop {
+                    match self.rx_done.try_recv() {
+                        Ok(f) => stash.push(f),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+                if let Some(pos) = stash.iter().position(|f| f.ticket == ticket) {
+                    return Ok(stash.swap_remove(pos).trace);
+                }
+            }
+            if disconnected {
+                return Err(JitError::ServerDown);
+            }
+            match self.rx_done.recv_timeout(Duration::from_millis(1)) {
+                Ok(f) => self.stash.lock().push(f),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(JitError::ServerDown),
             }
         }
     }
@@ -278,7 +318,7 @@ mod tests {
 
     #[test]
     fn server_compiles_in_background() {
-        let mut server = CompileServer::start(CostModel::untimed());
+        let server = CompileServer::start(CostModel::untimed());
         let t1 = server.submit(fig2_whole_fragment()).unwrap();
         let t2 = server.submit(fig2_whole_fragment()).unwrap();
         assert_ne!(t1, t2);
@@ -294,5 +334,37 @@ mod tests {
     fn server_poll_is_nonblocking() {
         let server = CompileServer::start(CostModel::untimed());
         assert!(server.poll().is_empty());
+    }
+
+    #[test]
+    fn server_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileServer>();
+        assert_send_sync::<CompiledTrace>();
+
+        // Concurrent submits from many threads: every ticket is unique and
+        // every job finishes.
+        let server = std::sync::Arc::new(CompileServer::start(CostModel::untimed()));
+        let tickets: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let srv = server.clone();
+                    s.spawn(move || {
+                        (0..4)
+                            .map(|_| srv.submit(fig2_whole_fragment()).unwrap())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let unique: std::collections::HashSet<u64> = tickets.iter().copied().collect();
+        assert_eq!(unique.len(), 16, "tickets must be unique: {tickets:?}");
+        for t in tickets {
+            assert!(server.wait(t).is_ok());
+        }
     }
 }

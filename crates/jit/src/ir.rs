@@ -625,7 +625,11 @@ fn pack_typed<T: LaneNum>(ir: &TraceIr) -> Result<Packed<T>, JitError> {
                 packed.sel_count += 1;
             }
             OutputSpec::Fold {
-                f, src, guarded, init, ..
+                f,
+                src,
+                guarded,
+                init,
+                ..
             } => {
                 if !matches!(f, FoldFn::Sum | FoldFn::Min | FoldFn::Max | FoldFn::Count) {
                     return Err(JitError::Unsupported(format!("fold {f:?} in trace")));
@@ -721,12 +725,7 @@ fn apply_block<T: LaneNum>(
 }
 
 /// Block-vectorized execution over all lanes (no pending selection).
-fn run_blocks<T: LaneNum>(
-    ir: &TraceIr,
-    p: &Packed<T>,
-    views: &[&[T]],
-    n: usize,
-) -> TraceResult {
+fn run_blocks<T: LaneNum>(ir: &TraceIr, p: &Packed<T>, views: &[&[T]], n: usize) -> TraceResult {
     let mut regs: Vec<Vec<T>> = vec![vec![T::default(); BLK]; p.n_regs];
     let mut mask = [true; BLK];
     let mut arr_bufs: Vec<Vec<T>> = (0..p.arr_count).map(|_| Vec::with_capacity(n)).collect();
@@ -1004,7 +1003,9 @@ fn assemble<T: LaneNum>(
         match o {
             OutputSpec::Array { name, out_ty, .. } => {
                 let lanes = std::mem::take(&mut arr_bufs[ai]);
-                result.arrays.push((name.clone(), T::narrow(lanes, *out_ty)));
+                result
+                    .arrays
+                    .push((name.clone(), T::narrow(lanes, *out_ty)));
                 ai += 1;
             }
             OutputSpec::Sel { name, flow } => {
@@ -1095,7 +1096,6 @@ pub fn run_packed(
         PackedProgram::F64(p) => run_packed_typed(ir, p, inputs, n, candidates),
     }
 }
-
 
 /// Execute a trace over chunk `inputs` (equal-length arrays matching
 /// `ir.inputs`). `candidates` restricts execution to already-selected lanes

@@ -144,17 +144,13 @@ fn const_fold(ir: &mut TraceIr, stats: &mut PassStats) -> bool {
     // Apply one replacement at a time: substitutions invalidate any other
     // replacement computed against the pre-substitution state.
     loop {
-        let next = ir
-            .pre_ops
-            .iter()
-            .chain(ir.post_ops.iter())
-            .find_map(|op| {
-                if op.args.iter().all(|a| const_of(a).is_some()) {
-                    eval_const(op.op, &op.args, is_float).map(|r| (op.dst, r))
-                } else {
-                    None
-                }
-            });
+        let next = ir.pre_ops.iter().chain(ir.post_ops.iter()).find_map(|op| {
+            if op.args.iter().all(|a| const_of(a).is_some()) {
+                eval_const(op.op, &op.args, is_float).map(|r| (op.dst, r))
+            } else {
+                None
+            }
+        });
         match next {
             Some((dst, r)) => {
                 remove_op(ir, dst);
@@ -176,27 +172,23 @@ fn simplify(ir: &mut TraceIr, stats: &mut PassStats) -> bool {
     let mut changed = false;
     // One replacement per step (see const_fold for why).
     loop {
-        let next = ir
-            .pre_ops
-            .iter()
-            .chain(ir.post_ops.iter())
-            .find_map(|op| {
-                let repl = match (op.op, op.args.as_slice()) {
-                    (ScalarOp::Add, [x, c]) if is_zero(c) => Some(*x),
-                    (ScalarOp::Add, [c, x]) if is_zero(c) => Some(*x),
-                    (ScalarOp::Sub, [x, c]) if is_zero(c) => Some(*x),
-                    (ScalarOp::Mul, [x, c]) if is_one(c) => Some(*x),
-                    (ScalarOp::Mul, [c, x]) if is_one(c) => Some(*x),
-                    (ScalarOp::Div, [x, c]) if is_one(c) => Some(*x),
-                    // Traces carry finite data, so x*0 = 0 holds in both
-                    // lane domains (NaN inputs are rejected upstream by
-                    // merge/compare preconditions).
-                    (ScalarOp::Mul, [_, c]) if is_zero(c) => Some(Src::ConstI(0)),
-                    (ScalarOp::Mul, [c, _]) if is_zero(c) => Some(Src::ConstI(0)),
-                    _ => None,
-                };
-                repl.map(|r| (op.dst, r))
-            });
+        let next = ir.pre_ops.iter().chain(ir.post_ops.iter()).find_map(|op| {
+            let repl = match (op.op, op.args.as_slice()) {
+                (ScalarOp::Add, [x, c]) if is_zero(c) => Some(*x),
+                (ScalarOp::Add, [c, x]) if is_zero(c) => Some(*x),
+                (ScalarOp::Sub, [x, c]) if is_zero(c) => Some(*x),
+                (ScalarOp::Mul, [x, c]) if is_one(c) => Some(*x),
+                (ScalarOp::Mul, [c, x]) if is_one(c) => Some(*x),
+                (ScalarOp::Div, [x, c]) if is_one(c) => Some(*x),
+                // Traces carry finite data, so x*0 = 0 holds in both
+                // lane domains (NaN inputs are rejected upstream by
+                // merge/compare preconditions).
+                (ScalarOp::Mul, [_, c]) if is_zero(c) => Some(Src::ConstI(0)),
+                (ScalarOp::Mul, [c, _]) if is_zero(c) => Some(Src::ConstI(0)),
+                _ => None,
+            };
+            repl.map(|r| (op.dst, r))
+        });
         match next {
             Some((dst, r)) => {
                 remove_op(ir, dst);
@@ -226,8 +218,7 @@ fn cse(ir: &mut TraceIr, stats: &mut PassStats) -> bool {
         let mut seen: Vec<(ScalarOp, Vec<Src>, usize)> = Vec::new();
         let mut dup: Option<(usize, usize)> = None;
         for op in ops {
-            if let Some((_, _, canon)) =
-                seen.iter().find(|(o, a, _)| *o == op.op && *a == op.args)
+            if let Some((_, _, canon)) = seen.iter().find(|(o, a, _)| *o == op.op && *a == op.args)
             {
                 dup = Some((op.dst, *canon));
                 break;

@@ -74,7 +74,8 @@ mod tests {
 
     #[test]
     fn filter_sum_whole_pipeline() {
-        let frag = whole_pipeline_fragment(&programs::filter_sum(10, 100), &HashMap::new()).unwrap();
+        let frag =
+            whole_pipeline_fragment(&programs::filter_sum(10, 100), &HashMap::new()).unwrap();
         let trace = compile(frag, &CostModel::untimed());
         let x = Array::from(vec![5i64, 20, 11, 3]);
         let r = trace.run(&[&x], None).unwrap();

@@ -230,10 +230,7 @@ mod tests {
             let mapped = map_const_compressed(&enc, ScalarOp::Mul, 2).unwrap();
             assert_eq!(mapped.scheme(), scheme);
             let expected: Vec<i64> = d.to_i64_vec().unwrap().iter().map(|x| x * 2).collect();
-            assert_eq!(
-                decompress(&mapped).unwrap().to_i64_vec().unwrap(),
-                expected
-            );
+            assert_eq!(decompress(&mapped).unwrap().to_i64_vec().unwrap(), expected);
         }
         // Unsupported op → None.
         let enc = compress(&d, Scheme::Rle).unwrap();

@@ -255,9 +255,13 @@ mod tests {
             (ScalarOp::Ge, vec![0, 2, 3, 5]),
         ];
         for (op, expected) in cases {
-            let sel =
-                filter_cmp(op, &[Operand::Col(&d), c.clone()], None, FilterFlavor::SelVecLoop)
-                    .unwrap();
+            let sel = filter_cmp(
+                op,
+                &[Operand::Col(&d), c.clone()],
+                None,
+                FilterFlavor::SelVecLoop,
+            )
+            .unwrap();
             assert_eq!(sel.indices(), &expected[..], "{op:?}");
         }
     }

@@ -34,13 +34,9 @@ pub fn fold_apply(
             })?;
             let init_b = init.as_bool().unwrap_or(f == FoldFn::All);
             let result = match (f, sel) {
-                (FoldFn::All, Some(s)) => {
-                    init_b && s.indices().iter().all(|&i| bools[i as usize])
-                }
+                (FoldFn::All, Some(s)) => init_b && s.indices().iter().all(|&i| bools[i as usize]),
                 (FoldFn::All, None) => init_b && bools.iter().all(|&b| b),
-                (FoldFn::Any, Some(s)) => {
-                    init_b || s.indices().iter().any(|&i| bools[i as usize])
-                }
+                (FoldFn::Any, Some(s)) => init_b || s.indices().iter().any(|&i| bools[i as usize]),
                 (FoldFn::Any, None) => init_b || bools.iter().any(|&b| b),
                 _ => unreachable!(),
             };

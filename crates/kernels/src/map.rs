@@ -14,9 +14,9 @@
 
 use adaptvm_dsl::ast::ScalarOp;
 use adaptvm_storage::array::Array;
-use adaptvm_storage::scalar::ScalarType;
 #[cfg(test)]
 use adaptvm_storage::scalar::Scalar;
+use adaptvm_storage::scalar::ScalarType;
 use adaptvm_storage::sel::SelVec;
 
 use crate::error::KernelError;
@@ -79,10 +79,12 @@ fn binary_loop<T: Copy, R: Copy + Default>(
 fn promoted(operands: &[Operand<'_>], op: ScalarOp) -> Result<ScalarType, KernelError> {
     let mut ty = operands[0].scalar_type();
     for o in &operands[1..] {
-        ty = ty.promote(o.scalar_type()).ok_or_else(|| KernelError::NoKernel {
-            op: op.name().into(),
-            types: operands.iter().map(Operand::scalar_type).collect(),
-        })?;
+        ty = ty
+            .promote(o.scalar_type())
+            .ok_or_else(|| KernelError::NoKernel {
+                op: op.name().into(),
+                types: operands.iter().map(Operand::scalar_type).collect(),
+            })?;
     }
     Ok(ty)
 }
@@ -127,24 +129,44 @@ pub fn map_apply(
             let p = promoted(operands, op)?;
             match p {
                 ScalarType::I8 => Ok(Array::I8(binary_loop(
-                    n, sel, mode,
-                    as_i8(&operands[0])?, as_i8(&operands[1])?, $f_int,
+                    n,
+                    sel,
+                    mode,
+                    as_i8(&operands[0])?,
+                    as_i8(&operands[1])?,
+                    $f_int,
                 ))),
                 ScalarType::I16 => Ok(Array::I16(binary_loop(
-                    n, sel, mode,
-                    as_i16(&operands[0])?, as_i16(&operands[1])?, $f_int,
+                    n,
+                    sel,
+                    mode,
+                    as_i16(&operands[0])?,
+                    as_i16(&operands[1])?,
+                    $f_int,
                 ))),
                 ScalarType::I32 => Ok(Array::I32(binary_loop(
-                    n, sel, mode,
-                    as_i32(&operands[0])?, as_i32(&operands[1])?, $f_int,
+                    n,
+                    sel,
+                    mode,
+                    as_i32(&operands[0])?,
+                    as_i32(&operands[1])?,
+                    $f_int,
                 ))),
                 ScalarType::I64 => Ok(Array::I64(binary_loop(
-                    n, sel, mode,
-                    as_i64(&operands[0])?, as_i64(&operands[1])?, $f_int,
+                    n,
+                    sel,
+                    mode,
+                    as_i64(&operands[0])?,
+                    as_i64(&operands[1])?,
+                    $f_int,
                 ))),
                 ScalarType::F64 => Ok(Array::F64(binary_loop(
-                    n, sel, mode,
-                    as_f64(&operands[0])?, as_f64(&operands[1])?, $f_f64,
+                    n,
+                    sel,
+                    mode,
+                    as_f64(&operands[0])?,
+                    as_f64(&operands[1])?,
+                    $f_f64,
                 ))),
                 other => Err(KernelError::NoKernel {
                     op: op.name().into(),
@@ -159,33 +181,51 @@ pub fn map_apply(
             let p = promoted(operands, op)?;
             let bools = match p {
                 ScalarType::I8 => binary_loop(
-                    n, sel, mode,
-                    as_i8(&operands[0])?, as_i8(&operands[1])?,
+                    n,
+                    sel,
+                    mode,
+                    as_i8(&operands[0])?,
+                    as_i8(&operands[1])?,
                     |a, b| $f(&a, &b),
                 ),
                 ScalarType::I16 => binary_loop(
-                    n, sel, mode,
-                    as_i16(&operands[0])?, as_i16(&operands[1])?,
+                    n,
+                    sel,
+                    mode,
+                    as_i16(&operands[0])?,
+                    as_i16(&operands[1])?,
                     |a, b| $f(&a, &b),
                 ),
                 ScalarType::I32 => binary_loop(
-                    n, sel, mode,
-                    as_i32(&operands[0])?, as_i32(&operands[1])?,
+                    n,
+                    sel,
+                    mode,
+                    as_i32(&operands[0])?,
+                    as_i32(&operands[1])?,
                     |a, b| $f(&a, &b),
                 ),
                 ScalarType::I64 => binary_loop(
-                    n, sel, mode,
-                    as_i64(&operands[0])?, as_i64(&operands[1])?,
+                    n,
+                    sel,
+                    mode,
+                    as_i64(&operands[0])?,
+                    as_i64(&operands[1])?,
                     |a, b| $f(&a, &b),
                 ),
                 ScalarType::F64 => binary_loop(
-                    n, sel, mode,
-                    as_f64(&operands[0])?, as_f64(&operands[1])?,
+                    n,
+                    sel,
+                    mode,
+                    as_f64(&operands[0])?,
+                    as_f64(&operands[1])?,
                     |a, b| $f(&a, &b),
                 ),
                 ScalarType::Bool => binary_loop(
-                    n, sel, mode,
-                    as_bool(&operands[0])?, as_bool(&operands[1])?,
+                    n,
+                    sel,
+                    mode,
+                    as_bool(&operands[0])?,
+                    as_bool(&operands[1])?,
                     |a, b| $f(&a, &b),
                 ),
                 ScalarType::Str => {
@@ -204,14 +244,10 @@ pub fn map_apply(
         ScalarOp::Mul => arith!(|a, b| a.wrapping_mul(b), |a, b| a * b),
         // Integer division by zero yields 0 (database-style total division;
         // the DSL has no NULLs).
-        ScalarOp::Div => arith!(
-            |a, b| if b == 0 { 0 } else { a.wrapping_div(b) },
-            |a, b| a / b
-        ),
-        ScalarOp::Rem => arith!(
-            |a, b| if b == 0 { 0 } else { a.wrapping_rem(b) },
-            |a, b| a % b
-        ),
+        ScalarOp::Div => arith!(|a, b| if b == 0 { 0 } else { a.wrapping_div(b) }, |a, b| a
+            / b),
+        ScalarOp::Rem => arith!(|a, b| if b == 0 { 0 } else { a.wrapping_rem(b) }, |a, b| a
+            % b),
         ScalarOp::Min => arith!(|a, b| a.min(b), |a: f64, b: f64| a.min(b)),
         ScalarOp::Max => arith!(|a, b| a.max(b), |a: f64, b: f64| a.max(b)),
         ScalarOp::Eq => compare!(|a, b| a == b),
@@ -244,26 +280,38 @@ pub fn map_apply(
             |a| !a,
         ))),
         ScalarOp::Neg => match operands[0].scalar_type() {
-            ScalarType::I8 => Ok(Array::I8(unary_loop(n, sel, mode, as_i8(&operands[0])?, |a| {
-                a.wrapping_neg()
-            }))),
+            ScalarType::I8 => Ok(Array::I8(unary_loop(
+                n,
+                sel,
+                mode,
+                as_i8(&operands[0])?,
+                |a| a.wrapping_neg(),
+            ))),
             ScalarType::I16 => Ok(Array::I16(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_i16(&operands[0])?,
                 |a| a.wrapping_neg(),
             ))),
             ScalarType::I32 => Ok(Array::I32(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_i32(&operands[0])?,
                 |a| a.wrapping_neg(),
             ))),
             ScalarType::I64 => Ok(Array::I64(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_i64(&operands[0])?,
                 |a| a.wrapping_neg(),
             ))),
             ScalarType::F64 => Ok(Array::F64(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_f64(&operands[0])?,
                 |a| -a,
             ))),
@@ -273,26 +321,38 @@ pub fn map_apply(
             }),
         },
         ScalarOp::Abs => match operands[0].scalar_type() {
-            ScalarType::I8 => Ok(Array::I8(unary_loop(n, sel, mode, as_i8(&operands[0])?, |a| {
-                a.wrapping_abs()
-            }))),
+            ScalarType::I8 => Ok(Array::I8(unary_loop(
+                n,
+                sel,
+                mode,
+                as_i8(&operands[0])?,
+                |a| a.wrapping_abs(),
+            ))),
             ScalarType::I16 => Ok(Array::I16(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_i16(&operands[0])?,
                 |a| a.wrapping_abs(),
             ))),
             ScalarType::I32 => Ok(Array::I32(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_i32(&operands[0])?,
                 |a| a.wrapping_abs(),
             ))),
             ScalarType::I64 => Ok(Array::I64(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_i64(&operands[0])?,
                 |a| a.wrapping_abs(),
             ))),
             ScalarType::F64 => Ok(Array::F64(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_f64(&operands[0])?,
                 |a| a.abs(),
             ))),
@@ -314,16 +374,22 @@ pub fn map_apply(
                 Ok(Array::I64((0..n).map(|i| hash_str(a.get(i))).collect()))
             }
             ScalarType::F64 => Ok(Array::I64(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_f64(&operands[0])?,
                 |a| hash_i64(a.to_bits() as i64),
             ))),
             ScalarType::Bool => {
                 let a = as_bool(&operands[0])?;
-                Ok(Array::I64(unary_loop(n, sel, mode, a, |a| hash_i64(a as i64))))
+                Ok(Array::I64(unary_loop(n, sel, mode, a, |a| {
+                    hash_i64(a as i64)
+                })))
             }
             _ => Ok(Array::I64(unary_loop(
-                n, sel, mode,
+                n,
+                sel,
+                mode,
                 as_i64(&operands[0])?,
                 hash_i64,
             ))),
@@ -552,10 +618,7 @@ mod tests {
             MapMode::Full,
         )
         .unwrap();
-        assert_eq!(
-            r,
-            Array::from(vec!["ab!".to_string(), "!".to_string()])
-        );
+        assert_eq!(r, Array::from(vec!["ab!".to_string(), "!".to_string()]));
         let r = map_apply(ScalarOp::Hash, &[Operand::Col(&s)], None, MapMode::Full).unwrap();
         assert_eq!(r.len(), 2);
     }

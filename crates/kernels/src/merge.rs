@@ -120,7 +120,11 @@ fn merge_typed_by<T: Clone>(
         }
         MergeKind::JoinLeftIdx | MergeKind::JoinRightIdx => {
             let (li, ri) = join_pairs(l, r, &cmp);
-            let picked = if kind == MergeKind::JoinLeftIdx { li } else { ri };
+            let picked = if kind == MergeKind::JoinLeftIdx {
+                li
+            } else {
+                ri
+            };
             Array::I64(picked)
         }
     })
@@ -272,12 +276,7 @@ mod tests {
 
     #[test]
     fn type_mismatch_rejected() {
-        assert!(merge_apply(
-            MergeKind::Union,
-            &ints(vec![1]),
-            &Array::from(vec![1.0f64])
-        )
-        .is_err());
+        assert!(merge_apply(MergeKind::Union, &ints(vec![1]), &Array::from(vec![1.0f64])).is_err());
         assert!(merge_apply(
             MergeKind::Union,
             &Array::from(vec![true]),

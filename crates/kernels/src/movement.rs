@@ -27,12 +27,10 @@ pub fn condense(data: &Array, sel: Option<&SelVec>) -> Result<Array, KernelError
 
 /// `gather` — `data[indices[i]]` for each lane (bounds-checked).
 pub fn gather(data: &Array, indices: &Array) -> Result<Array, KernelError> {
-    let idx = indices
-        .to_i64_vec()
-        .ok_or_else(|| KernelError::NoKernel {
-            op: "gather".into(),
-            types: vec![indices.scalar_type()],
-        })?;
+    let idx = indices.to_i64_vec().ok_or_else(|| KernelError::NoKernel {
+        op: "gather".into(),
+        types: vec![indices.scalar_type()],
+    })?;
     let n = data.len();
     let mut u32s = Vec::with_capacity(idx.len());
     for i in idx {
@@ -58,12 +56,10 @@ pub fn scatter(
     values: &Array,
     conflict: ConflictFn,
 ) -> Result<(), KernelError> {
-    let idx = indices
-        .to_i64_vec()
-        .ok_or_else(|| KernelError::NoKernel {
-            op: "scatter".into(),
-            types: vec![indices.scalar_type()],
-        })?;
+    let idx = indices.to_i64_vec().ok_or_else(|| KernelError::NoKernel {
+        op: "scatter".into(),
+        types: vec![indices.scalar_type()],
+    })?;
     if idx.len() != values.len() {
         return Err(KernelError::LengthMismatch {
             left: idx.len(),
@@ -103,16 +99,12 @@ pub fn scatter(
             match conflict {
                 ConflictFn::LastWins => scatter_impl!($t, $v, |_old, new| new),
                 ConflictFn::Add => scatter_impl!($t, $v, |old, new| old + new),
-                ConflictFn::Min => scatter_impl!($t, $v, |old: _, new: _| if new < old {
-                    new
-                } else {
-                    old
-                }),
-                ConflictFn::Max => scatter_impl!($t, $v, |old: _, new: _| if new > old {
-                    new
-                } else {
-                    old
-                }),
+                ConflictFn::Min => {
+                    scatter_impl!($t, $v, |old: _, new: _| if new < old { new } else { old })
+                }
+                ConflictFn::Max => {
+                    scatter_impl!($t, $v, |old: _, new: _| if new > old { new } else { old })
+                }
             }
         }};
     }

@@ -50,9 +50,7 @@ pub fn common_len(operands: &[Operand<'_>]) -> Result<usize, KernelError> {
         if let Some(n) = o.len() {
             match len {
                 None => len = Some(n),
-                Some(m) if m != n => {
-                    return Err(KernelError::LengthMismatch { left: m, right: n })
-                }
+                Some(m) if m != n => return Err(KernelError::LengthMismatch { left: m, right: n }),
                 _ => {}
             }
         }

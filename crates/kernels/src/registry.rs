@@ -65,7 +65,8 @@ pub fn all_kernels() -> Vec<KernelId> {
         ScalarOp::Sqrt,
         ScalarOp::Hash,
     ];
-    let modes: [(&MapMode, &str); 2] = [(&MapMode::Full, "full"), (&MapMode::Selective, "selective")];
+    let modes: [(&MapMode, &str); 2] =
+        [(&MapMode::Full, "full"), (&MapMode::Selective, "selective")];
     for op in arith {
         for ty in NUMERIC_TYPES {
             for (_, mode_name) in modes {
@@ -120,12 +121,7 @@ pub fn all_kernels() -> Vec<KernelId> {
             flavor: None,
         });
     }
-    for f in [
-        FoldFn::Sum,
-        FoldFn::Min,
-        FoldFn::Max,
-        FoldFn::Count,
-    ] {
+    for f in [FoldFn::Sum, FoldFn::Min, FoldFn::Max, FoldFn::Count] {
         for ty in NUMERIC_TYPES {
             out.push(KernelId {
                 family: "fold",
@@ -150,7 +146,12 @@ pub fn all_kernels() -> Vec<KernelId> {
         MergeKind::JoinLeftIdx,
         MergeKind::JoinRightIdx,
     ] {
-        for ty in [ScalarType::I64, ScalarType::I32, ScalarType::F64, ScalarType::Str] {
+        for ty in [
+            ScalarType::I64,
+            ScalarType::I32,
+            ScalarType::F64,
+            ScalarType::Str,
+        ] {
             out.push(KernelId {
                 family: "merge",
                 op: kind.name().to_string(),
@@ -249,7 +250,11 @@ mod tests {
     #[test]
     fn registry_is_large_and_unique() {
         let all = all_kernels();
-        assert!(all.len() > 200, "expected hundreds of kernels, got {}", all.len());
+        assert!(
+            all.len() > 200,
+            "expected hundreds of kernels, got {}",
+            all.len()
+        );
         let mut dedup = all.clone();
         dedup.sort();
         dedup.dedup();

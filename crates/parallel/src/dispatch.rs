@@ -1,0 +1,162 @@
+//! Work-stealing morsel dispatch.
+//!
+//! The [`Dispatcher`] hands morsels to workers HyPer-style: the plan is
+//! pre-partitioned into contiguous per-worker runs (locality: a worker
+//! streams adjacent morsels, so its table slices walk memory linearly),
+//! and a worker whose run is exhausted **steals from the back** of the
+//! most-loaded other queue. Stealing from the back takes the work
+//! farthest from the victim's current position, minimizing cache
+//! interference; under skew (one morsel much slower than the rest) the
+//! other workers drain the rest of the plan instead of idling.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::morsel::Morsel;
+
+/// Per-run dispatch statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Morsels executed per worker.
+    pub executed: Vec<u64>,
+    /// Morsels obtained by stealing from another worker's queue.
+    pub steals: u64,
+}
+
+/// A work-stealing morsel queue set for `workers` workers.
+pub struct Dispatcher {
+    queues: Vec<Mutex<VecDeque<Morsel>>>,
+    executed: Vec<AtomicU64>,
+    steals: AtomicU64,
+}
+
+impl Dispatcher {
+    /// Partition `morsels` into contiguous runs, one per worker. Workers
+    /// may be more numerous than morsels; the surplus queues start empty
+    /// (those workers go straight to stealing).
+    pub fn new(morsels: &[Morsel], workers: usize) -> Dispatcher {
+        let workers = workers.max(1);
+        let per = morsels.len().div_ceil(workers.max(1)).max(1);
+        let mut queues: Vec<Mutex<VecDeque<Morsel>>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = (w * per).min(morsels.len());
+            let hi = ((w + 1) * per).min(morsels.len());
+            queues.push(Mutex::new(morsels[lo..hi].iter().copied().collect()));
+        }
+        Dispatcher {
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: AtomicU64::new(0),
+            queues,
+        }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Take the next morsel for `worker`: own queue front first, then a
+    /// steal from the back of the longest other queue. `None` means the
+    /// whole plan is drained.
+    pub fn next(&self, worker: usize) -> Option<Morsel> {
+        debug_assert!(worker < self.queues.len());
+        if let Some(m) = self.lock(worker).pop_front() {
+            self.executed[worker].fetch_add(1, Ordering::Relaxed);
+            return Some(m);
+        }
+        // Steal: pick the victim with the most remaining work. The length
+        // survey is racy by design — a stale choice only means a second
+        // probe, never lost or duplicated work (every pop holds the lock).
+        loop {
+            let victim = (0..self.queues.len())
+                .filter(|&w| w != worker)
+                .map(|w| (self.lock(w).len(), w))
+                .max()
+                .filter(|&(len, _)| len > 0)
+                .map(|(_, w)| w)?;
+            if let Some(m) = self.lock(victim).pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.executed[worker].fetch_add(1, Ordering::Relaxed);
+                return Some(m);
+            }
+            // The victim drained between survey and steal; survey again.
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DispatchStats {
+        DispatchStats {
+            executed: self
+                .executed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lock(&self, w: usize) -> std::sync::MutexGuard<'_, VecDeque<Morsel>> {
+        self.queues[w].lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morsel::MorselPlan;
+
+    #[test]
+    fn single_worker_drains_in_order() {
+        let plan = MorselPlan::new(10, 2);
+        let d = Dispatcher::new(plan.morsels(), 1);
+        let order: Vec<usize> = std::iter::from_fn(|| d.next(0)).map(|m| m.index).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.stats().steals, 0);
+        assert_eq!(d.stats().executed, vec![5]);
+    }
+
+    #[test]
+    fn all_morsels_dispatched_exactly_once() {
+        let plan = MorselPlan::new(1000, 7);
+        let d = Dispatcher::new(plan.morsels(), 4);
+        let seen: Vec<Vec<usize>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|w| {
+                    let d = &d;
+                    s.spawn(move || std::iter::from_fn(|| d.next(w)).map(|m| m.index).collect())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<usize> = seen.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..plan.len()).collect();
+        assert_eq!(all, expect);
+        let stats = d.stats();
+        assert_eq!(stats.executed.iter().sum::<u64>(), plan.len() as u64);
+    }
+
+    #[test]
+    fn idle_workers_steal() {
+        // 2 workers, but worker 1 never calls next: worker 0 must steal
+        // worker 1's whole run.
+        let plan = MorselPlan::new(8, 1);
+        let d = Dispatcher::new(plan.morsels(), 2);
+        let got: Vec<usize> = std::iter::from_fn(|| d.next(0)).map(|m| m.index).collect();
+        assert_eq!(got.len(), 8);
+        assert!(d.stats().steals >= 4, "{:?}", d.stats());
+    }
+
+    #[test]
+    fn more_workers_than_morsels() {
+        let plan = MorselPlan::new(2, 1);
+        let d = Dispatcher::new(plan.morsels(), 8);
+        let got: usize = (0..8)
+            .map(|w| std::iter::from_fn(|| d.next(w)).count())
+            .sum();
+        assert_eq!(got, 2);
+    }
+}

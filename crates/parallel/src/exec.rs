@@ -1,0 +1,263 @@
+//! Morsel-parallel execution of DSL programs on the adaptive VM.
+//!
+//! [`ParallelVm`] runs one program instance per morsel, each on its own
+//! [`adaptvm_vm::Env`]/interpreter (workers share **no** mutable query
+//! state), while two things are deliberately shared across the whole run:
+//!
+//! * the **JIT code cache** ([`adaptvm_jit::CodeCache`]): the first worker
+//!   to hit a hot fragment compiles it; every later morsel — on any
+//!   worker — injects the cached trace without paying the compile cost
+//!   (visible as `trace_cache_hits` in the report),
+//! * the **profile**: per-morsel [`Profile`]s are merged in morsel order,
+//!   so §III's adaptive decisions see the combined signal of all workers
+//!   (many workers feeding one profile sharpens hot-path detection).
+//!
+//! Results are merged in morsel order, which makes a parallel run's
+//! output independent of worker count and scheduling; see the crate docs
+//! for the determinism argument.
+
+use std::sync::Arc;
+
+use adaptvm_jit::cache::CacheStats;
+use adaptvm_jit::CodeCache;
+use adaptvm_vm::{Buffers, Profile, Vm, VmConfig, VmError};
+
+use crate::dispatch::DispatchStats;
+use crate::morsel::{Morsel, MorselPlan};
+use crate::pool::run_morsels;
+
+/// Capacity of the auto-installed shared code cache. Generously sized:
+/// a query pipeline yields a handful of fragments; 256 holds many queries'
+/// worth of specialized traces.
+const SHARED_CACHE_CAPACITY: usize = 256;
+
+/// What one parallel run did, aggregated over all morsels.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelRunReport {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Morsels executed.
+    pub morsels: usize,
+    /// Merged run profile (all workers' signal combined).
+    pub profile: Profile,
+    /// Total chunk-loop iterations across morsels.
+    pub iterations: u64,
+    /// Traces injected into morsel plans (fresh compiles *and* shared-
+    /// cache hits; the hits alone are `trace_cache_hits`).
+    pub injected_traces: usize,
+    /// Traces injected straight from the shared cache (no compile paid).
+    pub trace_cache_hits: u64,
+    /// Total modeled compile cost (ns) actually paid (cache hits cost 0).
+    pub compile_ns_total: u64,
+    /// Trace-step executions across morsels.
+    pub trace_executions: u64,
+    /// Interpretation fallbacks across morsels.
+    pub fallbacks: u64,
+    /// Morsels stolen across worker queues.
+    pub steals: u64,
+    /// Morsels executed per worker.
+    pub per_worker_morsels: Vec<u64>,
+    /// Shared-cache statistics at the end of the run.
+    pub cache_stats: CacheStats,
+    /// Wall-clock nanoseconds for the whole parallel run.
+    pub wall_ns: u64,
+}
+
+/// A morsel-driven parallel VM: `workers` threads, one shared JIT.
+pub struct ParallelVm {
+    workers: usize,
+    config: VmConfig,
+    cache: Arc<CodeCache>,
+}
+
+impl ParallelVm {
+    /// A parallel VM with `workers` threads over `config`. When the config
+    /// carries no code cache, a shared one is installed — every worker
+    /// compiles into / injects from the same cache.
+    pub fn new(workers: usize, mut config: VmConfig) -> ParallelVm {
+        let cache = match &config.code_cache {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(CodeCache::new(SHARED_CACHE_CAPACITY));
+                config.code_cache = Some(c.clone());
+                c
+            }
+        };
+        ParallelVm {
+            workers: workers.max(1),
+            config,
+            cache,
+        }
+    }
+
+    /// The shared code cache (inspect its stats, or pass the same cache to
+    /// several `ParallelVm`s to share traces across queries).
+    pub fn cache(&self) -> &Arc<CodeCache> {
+        &self.cache
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The per-worker VM configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Run `make(morsel)`-built program instances over the plan. Returns
+    /// per-morsel output buffers **in morsel order** plus the aggregated
+    /// report. The caller merges outputs (ordered reduction) — see
+    /// `adaptvm_relational::parallel` for complete pipelines.
+    pub fn run_morsels<F>(
+        &self,
+        plan: &MorselPlan,
+        make: F,
+    ) -> Result<(Vec<Buffers>, ParallelRunReport), VmError>
+    where
+        F: Fn(&Morsel) -> (adaptvm_dsl::ast::Program, Buffers) + Sync,
+    {
+        let wall = std::time::Instant::now();
+        let vm = Vm::new(self.config.clone());
+        let (outcomes, dispatch) = run_morsels(self.workers, plan, |_w, m| {
+            let (program, buffers) = make(m);
+            vm.run(&program, buffers)
+        })?;
+
+        let mut report = ParallelRunReport {
+            workers: self.workers,
+            morsels: plan.len(),
+            ..ParallelRunReport::default()
+        };
+        let mut buffers = Vec::with_capacity(outcomes.len());
+        for (out, run) in outcomes {
+            buffers.push(out);
+            report.profile.merge(&run.profile);
+            report.iterations += run.iterations;
+            report.injected_traces += run.injected_traces;
+            report.trace_cache_hits += run.trace_cache_hits;
+            report.compile_ns_total += run.compile_ns_total;
+            report.trace_executions += run.trace_executions;
+            report.fallbacks += run.fallbacks;
+        }
+        report.steals = dispatch.steals;
+        report.per_worker_morsels = dispatch.executed;
+        report.cache_stats = self.cache.stats();
+        report.wall_ns = wall.elapsed().as_nanos() as u64;
+        Ok((buffers, report))
+    }
+}
+
+impl ParallelRunReport {
+    /// The dispatch view of this run.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        DispatchStats {
+            executed: self.per_worker_morsels.clone(),
+            steals: self.steals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptvm_dsl::programs;
+    use adaptvm_storage::Array;
+    use adaptvm_vm::Strategy;
+
+    /// Fig. 2 over a morsel: double every element, keep positives.
+    fn fig2_task(data: &[i64], m: &Morsel) -> (adaptvm_dsl::ast::Program, Buffers) {
+        let slice: Vec<i64> = data[m.start..m.end()].to_vec();
+        (
+            programs::fig2_with_limit(slice.len() as i64),
+            Buffers::new().with_input("some_data", Array::from(slice)),
+        )
+    }
+
+    fn reference_v(data: &[i64]) -> Vec<i64> {
+        data.iter().map(|&x| 2 * x).collect()
+    }
+
+    #[test]
+    fn parallel_outputs_merge_in_morsel_order() {
+        let data: Vec<i64> = (0..40_000).map(|i| (i % 11) - 5).collect();
+        let plan = MorselPlan::new(data.len(), 4096);
+        for workers in [1, 2, 4] {
+            let pvm = ParallelVm::new(
+                workers,
+                VmConfig {
+                    strategy: Strategy::Interpret,
+                    ..VmConfig::default()
+                },
+            );
+            let (outs, report) = pvm.run_morsels(&plan, |m| fig2_task(&data, m)).unwrap();
+            let mut v = Vec::new();
+            for out in &outs {
+                v.extend(out.output("v").unwrap().to_i64_vec().unwrap());
+            }
+            assert_eq!(v, reference_v(&data), "workers={workers}");
+            assert_eq!(report.morsels, plan.len());
+            assert_eq!(
+                report.per_worker_morsels.iter().sum::<u64>(),
+                plan.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_compiles_once_per_fragment() {
+        let data: Vec<i64> = (0..131_072).map(|i| (i % 11) - 5).collect();
+        // Equal-size morsels → identical programs → identical fragment
+        // fingerprints: only the first morsel's regions compile.
+        let plan = MorselPlan::new(data.len(), 16_384);
+        let pvm = ParallelVm::new(
+            4,
+            VmConfig {
+                strategy: Strategy::CompiledPipeline,
+                ..VmConfig::default()
+            },
+        );
+        let (_, report) = pvm.run_morsels(&plan, |m| fig2_task(&data, m)).unwrap();
+        assert_eq!(plan.len(), 8);
+        assert!(
+            report.trace_cache_hits >= 1,
+            "later morsels must hit the shared cache: {report:?}"
+        );
+        // Every morsel injects one trace; hits are the subset of those
+        // injections that paid no compile.
+        assert_eq!(
+            report.injected_traces,
+            plan.len(),
+            "every morsel injects a trace: {report:?}"
+        );
+        assert!(
+            (report.trace_cache_hits as usize) < plan.len(),
+            "the first morsel's compile is never a hit: {report:?}"
+        );
+        // The profile merged signal from every morsel.
+        assert_eq!(report.iterations as usize, plan.len() * (16_384 / 1024));
+    }
+
+    #[test]
+    fn adaptive_strategy_profiles_across_workers() {
+        let data: Vec<i64> = (0..65_536).map(|i| (i % 7) - 3).collect();
+        let plan = MorselPlan::new(data.len(), 16_384);
+        let pvm = ParallelVm::new(
+            2,
+            VmConfig {
+                strategy: Strategy::Adaptive,
+                hot_threshold: 4,
+                ..VmConfig::default()
+            },
+        );
+        let (outs, report) = pvm.run_morsels(&plan, |m| fig2_task(&data, m)).unwrap();
+        let total: usize = outs.iter().map(|o| o.output("v").unwrap().len()).sum();
+        assert_eq!(total, data.len());
+        // Each morsel crossed the hot threshold (16 chunks > 4), so traces
+        // were injected, and the merged profile saw every morsel's loop.
+        assert!(report.injected_traces > 0);
+        assert_eq!(report.iterations, 64);
+        assert!(report.profile.iterations == 64);
+    }
+}

@@ -1,0 +1,48 @@
+//! Morsel-driven parallel execution for the adaptive VM.
+//!
+//! The paper's engine (see [`adaptvm_vm`]) is chunk-at-a-time, which is
+//! already morsel-shaped: columnar row ranges are natural work units. This
+//! crate adds the missing intra-query parallelism in the style of HyPer's
+//! morsel-driven parallelism (Leis et al., SIGMOD 2014):
+//!
+//! * [`morsel`] — [`Morsel`]/[`MorselPlan`]: fixed-size, order-indexed
+//!   horizontal slices of tables/columns/selections,
+//! * [`dispatch`] — [`Dispatcher`]: contiguous per-worker runs with
+//!   back-of-queue work stealing (locality first, no idle workers under
+//!   skew),
+//! * [`pool`] — [`run_morsels`]: scoped worker threads, results assembled
+//!   in morsel order, first error aborts,
+//! * [`exec`] — [`ParallelVm`]: one program instance per morsel, each on a
+//!   private `Env`/interpreter, all sharing one JIT code cache (compile
+//!   once, inject everywhere) and merging their profiles into one run
+//!   profile.
+//!
+//! ## Determinism
+//!
+//! Parallel results are **independent of worker count and scheduling**:
+//! a morsel's result depends only on its row range (workers share no
+//! mutable query state), and every merge — output buffers, aggregate
+//! partials, profiles — happens in morsel order. With chunk-aligned
+//! morsels ([`MorselPlan::chunk_aligned`]) a parallel run reproduces the
+//! *same chunk boundaries* as a sequential run, so even floating-point
+//! accumulations are bit-identical to single-threaded execution; see
+//! `adaptvm_relational::parallel` for the TPC-H pipelines built on this.
+//!
+//! ## What is shared, what is not
+//!
+//! Shared (thread-safe, `Arc`): the JIT [`adaptvm_jit::CodeCache`], the
+//! [`adaptvm_jit::CompileServer`], the [`Dispatcher`]. Per-worker: the
+//! `Env`, the interpreter, flavor policies, per-morsel buffers. The
+//! profile is per-morsel during execution and merged afterwards —
+//! contention-free profiling with a single combined signal for the
+//! adaptive machinery.
+
+pub mod dispatch;
+pub mod exec;
+pub mod morsel;
+pub mod pool;
+
+pub use dispatch::{DispatchStats, Dispatcher};
+pub use exec::{ParallelRunReport, ParallelVm};
+pub use morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
+pub use pool::run_morsels;

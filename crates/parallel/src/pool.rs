@@ -1,0 +1,134 @@
+//! The scoped worker pool: run a task over every morsel of a plan and
+//! return the results **in morsel order**.
+//!
+//! Each worker loops on [`Dispatcher::next`] until the plan drains. A
+//! worker owns everything mutable it touches (the task builds per-morsel
+//! state); only explicitly shared structures (the JIT code cache, the
+//! dispatcher) cross threads. `workers = 1` runs inline on the calling
+//! thread — *by construction* identical to a sequential loop over the
+//! plan, which is the anchor of every determinism guarantee upstairs.
+
+use crate::dispatch::{DispatchStats, Dispatcher};
+use crate::morsel::{Morsel, MorselPlan};
+
+/// Run `task` over every morsel using `workers` threads; results come back
+/// in morsel order. The first task error aborts the run (remaining morsels
+/// are skipped) and is returned. Worker panics propagate.
+pub fn run_morsels<T, E, F>(
+    workers: usize,
+    plan: &MorselPlan,
+    task: F,
+) -> Result<(Vec<T>, DispatchStats), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, &Morsel) -> Result<T, E> + Sync,
+{
+    let workers = workers.max(1);
+    let dispatcher = Dispatcher::new(plan.morsels(), workers);
+
+    if workers == 1 {
+        // Inline sequential execution: the single-threaded reference path.
+        let mut results = Vec::with_capacity(plan.len());
+        while let Some(m) = dispatcher.next(0) {
+            results.push(task(0, &m)?);
+        }
+        return Ok((results, dispatcher.stats()));
+    }
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let worker_outputs: Vec<Result<Vec<(usize, T)>, E>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let dispatcher = &dispatcher;
+                let task = &task;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let Some(m) = dispatcher.next(w) else { break };
+                        match task(w, &m) {
+                            Ok(v) => out.push((m.index, v)),
+                            Err(e) => {
+                                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    });
+
+    // Assemble in morsel order (indices are unique and dense on success).
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(plan.len());
+    for out in worker_outputs {
+        indexed.extend(out?);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    Ok((
+        indexed.into_iter().map(|(_, v)| v).collect(),
+        dispatcher.stats(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_morsel_order() {
+        let plan = MorselPlan::new(100, 3);
+        for workers in [1, 2, 4, 8] {
+            let (results, _) =
+                run_morsels(workers, &plan, |_, m| Ok::<usize, ()>(m.start)).unwrap();
+            let expect: Vec<usize> = plan.morsels().iter().map(|m| m.start).collect();
+            assert_eq!(results, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn errors_abort_and_surface() {
+        let plan = MorselPlan::new(64, 1);
+        let r = run_morsels(4, &plan, |_, m| {
+            if m.index == 13 {
+                Err("boom")
+            } else {
+                Ok(m.index)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let data: Vec<i64> = (0..10_000).collect();
+        let plan = MorselPlan::new(data.len(), 128);
+        let seq: i64 = data.iter().sum();
+        for workers in [1, 2, 4, 8] {
+            let (parts, stats) = run_morsels(workers, &plan, |_, m| {
+                Ok::<i64, ()>(data[m.start..m.end()].iter().sum())
+            })
+            .unwrap();
+            assert_eq!(parts.iter().sum::<i64>(), seq);
+            assert_eq!(
+                stats.executed.iter().sum::<u64>(),
+                plan.len() as u64,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let plan = MorselPlan::new(0, 8);
+        let (results, stats) = run_morsels(4, &plan, |_, _| Ok::<(), ()>(())).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.steals, 0);
+    }
+}

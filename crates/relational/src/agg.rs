@@ -24,7 +24,8 @@ pub struct GroupState {
 }
 
 impl GroupState {
-    fn observe(&mut self, v: f64) {
+    /// Fold one value into the state.
+    pub fn observe(&mut self, v: f64) {
         if self.count == 0 {
             self.min = v;
             self.max = v;
@@ -36,7 +37,9 @@ impl GroupState {
         self.sum += v;
     }
 
-    fn merge(&mut self, other: &GroupState) {
+    /// Merge another partial state (used by pre-aggregation and by the
+    /// partitioned parallel aggregation's final merge phase).
+    pub fn merge(&mut self, other: &GroupState) {
         if other.count == 0 {
             return;
         }

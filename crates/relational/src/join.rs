@@ -212,16 +212,8 @@ mod tests {
 
     #[test]
     fn build_rejects_mismatch() {
-        assert!(HashTable::build(
-            &Array::from(vec![1i64]),
-            &Array::from(vec![1i64, 2])
-        )
-        .is_none());
-        assert!(HashTable::build(
-            &Array::from(vec![1.5f64]),
-            &Array::from(vec![1i64])
-        )
-        .is_none());
+        assert!(HashTable::build(&Array::from(vec![1i64]), &Array::from(vec![1i64, 2])).is_none());
+        assert!(HashTable::build(&Array::from(vec![1.5f64]), &Array::from(vec![1i64])).is_none());
     }
 
     #[test]

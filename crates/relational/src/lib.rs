@@ -16,10 +16,15 @@
 //!   mix that reacts to block-by-block scheme changes (§I, §III-C),
 //! * [`tpch`] — TPC-H-style data generation plus Q1 and Q6 in every
 //!   execution strategy (vectorized / fused-compiled / adaptive, with
-//!   compact-data-type variants).
+//!   compact-data-type variants),
+//! * [`parallel`] — morsel-parallel pipelines over the same operators:
+//!   parallel scan/filter/projection, partitioned hash aggregation with a
+//!   final merge phase, and parallel Q1/Q6 in every strategy, built on
+//!   [`adaptvm_parallel`]'s work-stealing dispatcher and shared JIT cache.
 
 pub mod agg;
 pub mod compressed_exec;
 pub mod join;
 pub mod ops;
+pub mod parallel;
 pub mod tpch;

@@ -228,8 +228,7 @@ mod tests {
         let t = table();
         for flavor in FilterFlavor::ALL {
             for mode in [MapMode::Full, MapMode::Selective] {
-                let (total, rows) =
-                    filter_project_sum(&t, "k", 89, "v", 16, flavor, mode).unwrap();
+                let (total, rows) = filter_project_sum(&t, "k", 89, "v", 16, flavor, mode).unwrap();
                 // k in 90..=99 → v = 900..=990, doubled & summed.
                 let expected: f64 = (90..100).map(|i| (i * 10 * 2) as f64).sum();
                 assert_eq!(total, expected, "{flavor:?}/{mode:?}");
@@ -241,7 +240,10 @@ mod tests {
     #[test]
     fn selections_compose_across_selects() {
         let t = table();
-        let mut chunk = DenseScan::new(&t, &["k", "v"], 128).unwrap().next().unwrap();
+        let mut chunk = DenseScan::new(&t, &["k", "v"], 128)
+            .unwrap()
+            .next()
+            .unwrap();
         select_cmp(
             &mut chunk,
             0,
@@ -271,9 +273,12 @@ mod tests {
     #[test]
     fn project_over_two_columns() {
         let t = table();
-        let mut chunk = DenseScan::new(&t, &["k", "v"], 128).unwrap().next().unwrap();
-        let idx = project_binary(&mut chunk, ScalarOp::Add, 0, Some(1), None, MapMode::Full)
+        let mut chunk = DenseScan::new(&t, &["k", "v"], 128)
+            .unwrap()
+            .next()
             .unwrap();
+        let idx =
+            project_binary(&mut chunk, ScalarOp::Add, 0, Some(1), None, MapMode::Full).unwrap();
         let col = chunk.column(idx).unwrap().to_i64_vec().unwrap();
         assert_eq!(col[5], 5 + 50);
         // Missing operands error.

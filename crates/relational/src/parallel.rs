@@ -1,0 +1,514 @@
+//! Morsel-parallel relational pipelines.
+//!
+//! Every pipeline here follows the same shape: slice the table into a
+//! [`MorselPlan`], run the per-morsel stage on the work-stealing pool
+//! ([`adaptvm_parallel`]), and merge the per-morsel results **in morsel
+//! order**. The ordered merge is what makes parallel results independent
+//! of worker count — and, wherever the sequential implementation already
+//! folds per chunk (`q1_vectorized`, [`crate::ops::filter_project_sum`],
+//! Q6 through the VM), chunk-aligned morsels make the parallel result
+//! **bit-identical to the single-threaded one**, because both sides add
+//! the same per-chunk partials in the same order.
+//!
+//! Exactness ladder (strongest first):
+//! * [`q1_parallel_adaptive`] — integer fixed-point accumulators:
+//!   bit-identical to [`tpch::q1_adaptive`] for *any* split,
+//! * [`q1_parallel_vectorized`], [`parallel_filter_project_sum`],
+//!   [`q6_parallel`] — bit-identical to their sequential counterparts via
+//!   per-chunk partials merged in global chunk order,
+//! * [`q1_parallel_fused`], [`parallel_hash_aggregate`] — deterministic
+//!   (worker-count independent) per-morsel merge; equal to the sequential
+//!   fold up to floating-point associativity.
+
+use std::collections::HashMap;
+use std::convert::Infallible;
+
+use adaptvm_dsl::ast::ScalarOp;
+use adaptvm_kernels::{FilterFlavor, MapMode};
+use adaptvm_parallel::{run_morsels, Morsel, MorselPlan, ParallelRunReport, ParallelVm};
+use adaptvm_storage::scalar::Scalar;
+use adaptvm_storage::schema::Table;
+use adaptvm_vm::{VmConfig, VmError};
+
+use crate::agg::{AdaptiveAggregator, GroupState, PreAgg};
+use crate::ops::{self, DenseScan, OpResult};
+use crate::tpch::{self, CompactLineitem, Q1Row, Q1_GROUPS};
+
+/// How to run a parallel pipeline: worker threads and morsel size.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOpts {
+    /// Worker threads (clamped to ≥ 1; 1 = inline sequential execution).
+    pub workers: usize,
+    /// Rows per morsel (aligned up to the chunk size where it matters).
+    pub morsel_rows: usize,
+}
+
+impl Default for ParallelOpts {
+    fn default() -> ParallelOpts {
+        ParallelOpts {
+            workers: 4,
+            morsel_rows: adaptvm_parallel::DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+/// Run a per-morsel stage over a table and return the per-morsel results
+/// in morsel order — the generic scan→…→merge driver every concrete
+/// pipeline below builds on.
+pub fn parallel_pipeline<T, F>(table: &Table, opts: ParallelOpts, stage: F) -> OpResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(&Morsel) -> OpResult<T> + Sync,
+{
+    let plan = MorselPlan::new(table.rows(), opts.morsel_rows);
+    run_morsels(opts.workers, &plan, |_, m| stage(m)).map(|(v, _)| v)
+}
+
+/// Morsel-parallel select→project→sum (the parallel version of
+/// [`ops::filter_project_sum`]): filter `filter_col > threshold`, compute
+/// `2 · value_col` over survivors, sum. Per-chunk sums are merged in
+/// global chunk order, so the result is bit-identical to the sequential
+/// pipeline at the same `chunk_rows`.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_filter_project_sum(
+    table: &Table,
+    filter_col: &str,
+    threshold: i64,
+    value_col: &str,
+    chunk_rows: usize,
+    flavor: FilterFlavor,
+    mode: MapMode,
+    opts: ParallelOpts,
+) -> OpResult<(f64, usize)> {
+    let chunk_rows = chunk_rows.max(1);
+    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, chunk_rows);
+    let (per_morsel, _) = run_morsels(opts.workers, &plan, |_, m| {
+        // Slice only the columns the pipeline reads, not the whole table.
+        let slice = project_slice(table, &[filter_col, value_col], m)?;
+        let scan = DenseScan::new(&slice, &[filter_col, value_col], chunk_rows)?;
+        let mut parts: Vec<(f64, usize)> = Vec::new();
+        for mut chunk in scan {
+            ops::select_cmp(&mut chunk, 0, ScalarOp::Gt, Scalar::I64(threshold), flavor)?;
+            let doubled = ops::project_binary(
+                &mut chunk,
+                ScalarOp::Mul,
+                1,
+                None,
+                Some(Scalar::I64(2)),
+                mode,
+            )?;
+            parts.push((ops::sum_f64(&chunk, doubled)?, ops::count(&chunk)));
+        }
+        Ok::<_, adaptvm_kernels::KernelError>(parts)
+    })?;
+    // Final merge: fold per-chunk sums in global chunk order.
+    let mut total = 0.0;
+    let mut rows = 0;
+    for parts in per_morsel {
+        for (s, c) in parts {
+            total += s;
+            rows += c;
+        }
+    }
+    Ok((total, rows))
+}
+
+/// Partitioned hash aggregation with a final merge phase: each morsel
+/// aggregates `(key_col, value_col)` into a private hash table (through
+/// the adaptively pre-aggregating [`AdaptiveAggregator`]), and the
+/// partial tables are merged in morsel order, then sorted by key.
+pub fn parallel_hash_aggregate(
+    table: &Table,
+    key_col: &str,
+    value_col: &str,
+    mode: PreAgg,
+    chunk_rows: usize,
+    opts: ParallelOpts,
+) -> OpResult<Vec<(i64, GroupState)>> {
+    let chunk_rows = chunk_rows.max(1);
+    let keys = table
+        .column_by_name(key_col)
+        .map_err(adaptvm_kernels::KernelError::Storage)?
+        .to_i64_vec()
+        .ok_or_else(|| {
+            adaptvm_kernels::KernelError::Precondition(format!("{key_col} must be integer"))
+        })?;
+    let values = table
+        .column_by_name(value_col)
+        .map_err(adaptvm_kernels::KernelError::Storage)?
+        .as_f64()
+        .ok_or_else(|| {
+            adaptvm_kernels::KernelError::Precondition(format!("{value_col} must be f64"))
+        })?;
+
+    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, chunk_rows);
+    let (partials, _) = run_morsels(opts.workers, &plan, |_, m| {
+        let mut agg = AdaptiveAggregator::new(mode);
+        let mut off = m.start;
+        while off < m.end() {
+            let n = chunk_rows.min(m.end() - off);
+            agg.push_chunk(&keys[off..off + n], &values[off..off + n]);
+            off += n;
+        }
+        Ok::<_, adaptvm_kernels::KernelError>(agg.finish())
+    })?;
+
+    // Merge phase: morsel order, then key order for the final answer.
+    let mut global: HashMap<i64, GroupState> = HashMap::new();
+    for partial in partials {
+        for (k, s) in partial {
+            global.entry(k).or_default().merge(&s);
+        }
+    }
+    let mut out: Vec<(i64, GroupState)> = global.into_iter().collect();
+    out.sort_by_key(|(k, _)| *k);
+    Ok(out)
+}
+
+fn never<T>(r: Result<T, Infallible>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// A morsel-sized table holding only the named columns.
+fn project_slice(table: &Table, columns: &[&str], m: &Morsel) -> OpResult<Table> {
+    let fields = columns
+        .iter()
+        .map(|n| table.schema().field(n).cloned())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(adaptvm_kernels::KernelError::Storage)?;
+    let arrays = columns
+        .iter()
+        .map(|n| table.column_by_name(n).map(|c| m.slice_array(c)))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(adaptvm_kernels::KernelError::Storage)?;
+    Table::new(adaptvm_storage::schema::Schema::new(fields), arrays)
+        .map_err(adaptvm_kernels::KernelError::Storage)
+}
+
+/// Parallel TPC-H Q1, X100-style vectorized. Per-chunk partial
+/// accumulators merged in global chunk order: bit-identical to
+/// [`tpch::q1_vectorized`] at the same `chunk_rows`, for any worker
+/// count.
+pub fn q1_parallel_vectorized(table: &Table, chunk_rows: usize, opts: ParallelOpts) -> Vec<Q1Row> {
+    let chunk_rows = chunk_rows.max(1);
+    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, chunk_rows);
+    let (per_morsel, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+        let mut parts = Vec::with_capacity(m.len.div_ceil(chunk_rows));
+        let mut off = m.start;
+        while off < m.end() {
+            let n = chunk_rows.min(m.end() - off);
+            parts.push(tpch::q1_vectorized_chunk(table, off, n));
+            off += n;
+        }
+        Ok(parts)
+    }));
+    let mut accs = tpch::new_accs();
+    for parts in per_morsel {
+        for partial in parts {
+            for (a, p) in accs.iter_mut().zip(&partial) {
+                a.merge(p);
+            }
+        }
+    }
+    tpch::q1_rows(accs)
+}
+
+/// Parallel TPC-H Q1, HyPer-style fused. Per-morsel partials merged in
+/// morsel order: deterministic for any worker count; equal to
+/// [`tpch::q1_fused`] up to floating-point associativity (counts and
+/// integer-valued sums are exact).
+pub fn q1_parallel_fused(table: &Table, opts: ParallelOpts) -> Vec<Q1Row> {
+    let plan = MorselPlan::new(table.rows(), opts.morsel_rows);
+    let (partials, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+        Ok(tpch::q1_fused_range(table, m.start, m.len))
+    }));
+    let mut accs = tpch::new_accs();
+    for partial in partials {
+        for (a, p) in accs.iter_mut().zip(&partial) {
+            a.merge(p);
+        }
+    }
+    tpch::q1_rows(accs)
+}
+
+/// Parallel TPC-H Q1 with the paper's compact-types + adaptive mix. The
+/// accumulators are exact 64-bit integer fixed point — associative — so
+/// the result is **bit-identical to [`tpch::q1_adaptive`]** for any
+/// worker count and any morsel size.
+pub fn q1_parallel_adaptive(
+    compact: &CompactLineitem,
+    chunk_rows: usize,
+    opts: ParallelOpts,
+) -> Vec<Q1Row> {
+    let chunk_rows = chunk_rows.max(1);
+    let plan = MorselPlan::chunk_aligned(compact.qty.len(), opts.morsel_rows, chunk_rows);
+    let (partials, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+        Ok(tpch::q1_adaptive_range(compact, m.start, m.len, chunk_rows))
+    }));
+    let mut iaccs = [[0i64; 5]; Q1_GROUPS as usize];
+    for p in &partials {
+        tpch::q1_adaptive_merge(&mut iaccs, p);
+    }
+    tpch::q1_adaptive_rows(&iaccs)
+}
+
+/// Parallel TPC-H Q6 through the full adaptive VM: one VM program per
+/// morsel (each worker owns its `Env`/interpreter), all sharing one JIT
+/// code cache, revenues folded in morsel order.
+///
+/// With `morsel_rows == config.chunk_size` every morsel is exactly one
+/// chunk and the revenue fold reproduces the single-threaded VM's
+/// addition tree: the result is bit-identical to running
+/// [`tpch::q6_program`] on one thread with the same strategy. Larger
+/// (chunk-aligned) morsels remain deterministic for any worker count.
+pub fn q6_parallel(
+    table: &Table,
+    date_lo: i64,
+    config: VmConfig,
+    opts: ParallelOpts,
+) -> Result<(f64, ParallelRunReport), VmError> {
+    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, config.chunk_size);
+    let pvm = ParallelVm::new(opts.workers, config);
+    // Resolve the four Q6 columns once; each morsel slices only these.
+    let price = table.column_by_name("l_extendedprice").expect("schema");
+    let disc = table.column_by_name("l_discount").expect("schema");
+    let qty = table.column_by_name("l_quantity").expect("schema");
+    let ship = table.column_by_name("l_shipdate").expect("schema");
+    let (outs, report) = pvm.run_morsels(&plan, |m| {
+        let buffers = adaptvm_vm::Buffers::new()
+            .with_input("l_price", m.slice_array(price))
+            .with_input("l_disc", m.slice_array(disc))
+            .with_input("l_qty", m.slice_array(qty))
+            .with_input("l_ship", m.slice_array(ship));
+        (tpch::q6_program(m.len as i64, date_lo), buffers)
+    })?;
+    let mut revenue = 0.0;
+    for (i, out) in outs.iter().enumerate() {
+        let rev = out
+            .output("revenue")
+            .and_then(|a| a.as_f64())
+            .and_then(|v| v.first().copied())
+            .ok_or_else(|| VmError::Shape(format!("morsel {i} produced no f64 revenue output")))?;
+        revenue += rev;
+    }
+    Ok((revenue, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptvm_storage::DEFAULT_CHUNK;
+    use adaptvm_vm::Strategy;
+
+    fn exact_eq(a: &[Q1Row], b: &[Q1Row]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.group == y.group
+                    && x.count == y.count
+                    && x.sum_qty.to_bits() == y.sum_qty.to_bits()
+                    && x.sum_base.to_bits() == y.sum_base.to_bits()
+                    && x.sum_disc_price.to_bits() == y.sum_disc_price.to_bits()
+                    && x.sum_charge.to_bits() == y.sum_charge.to_bits()
+            })
+    }
+
+    #[test]
+    fn parallel_vectorized_q1_bit_identical_to_sequential() {
+        let t = tpch::lineitem(50_000, 11);
+        let seq = tpch::q1_vectorized(&t, 1024);
+        for workers in [1, 2, 4, 8] {
+            let par = q1_parallel_vectorized(
+                &t,
+                1024,
+                ParallelOpts {
+                    workers,
+                    morsel_rows: 8 * 1024,
+                },
+            );
+            assert!(exact_eq(&seq, &par), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_adaptive_q1_bit_identical_to_sequential() {
+        let t = tpch::lineitem(40_000, 5);
+        let compact = CompactLineitem::from_table(&t);
+        let seq = tpch::q1_adaptive(&compact, 1024);
+        for (workers, morsel) in [(1, 1000), (2, 4096), (4, 7777), (8, 1024)] {
+            let par = q1_parallel_adaptive(
+                &compact,
+                1024,
+                ParallelOpts {
+                    workers,
+                    morsel_rows: morsel,
+                },
+            );
+            assert!(exact_eq(&seq, &par), "workers={workers} morsel={morsel}");
+        }
+    }
+
+    #[test]
+    fn parallel_fused_q1_matches_reference() {
+        let t = tpch::lineitem(30_000, 3);
+        let seq = tpch::q1_fused(&t);
+        let one_worker = q1_parallel_fused(
+            &t,
+            ParallelOpts {
+                workers: 1,
+                morsel_rows: 4096,
+            },
+        );
+        for workers in [2, 4, 8] {
+            let par = q1_parallel_fused(
+                &t,
+                ParallelOpts {
+                    workers,
+                    morsel_rows: 4096,
+                },
+            );
+            // Same morsel decomposition ⇒ bit-identical across worker counts.
+            assert!(exact_eq(&one_worker, &par), "workers={workers}");
+            // And equal to the sequential fused loop within fp tolerance.
+            assert!(tpch::q1_results_match(&seq, &par), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_filter_project_sum_bit_identical() {
+        use adaptvm_storage::gen;
+        let t = gen::measurements(20_000, 8, 21);
+        let (seq_total, seq_rows) = ops::filter_project_sum(
+            &t,
+            "group",
+            2,
+            "value",
+            512,
+            FilterFlavor::SelVecLoop,
+            MapMode::Selective,
+        )
+        .unwrap();
+        for workers in [1, 2, 4] {
+            let (total, rows) = parallel_filter_project_sum(
+                &t,
+                "group",
+                2,
+                "value",
+                512,
+                FilterFlavor::SelVecLoop,
+                MapMode::Selective,
+                ParallelOpts {
+                    workers,
+                    morsel_rows: 2048,
+                },
+            )
+            .unwrap();
+            assert_eq!(rows, seq_rows, "workers={workers}");
+            assert_eq!(total.to_bits(), seq_total.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn partitioned_agg_merges_deterministically() {
+        use adaptvm_storage::gen;
+        let t = gen::measurements(30_000, 16, 9);
+        let reference = parallel_hash_aggregate(
+            &t,
+            "group",
+            "value",
+            PreAgg::Adaptive,
+            1024,
+            ParallelOpts {
+                workers: 1,
+                morsel_rows: 4096,
+            },
+        )
+        .unwrap();
+        // Sanity: counts partition the input.
+        assert_eq!(
+            reference.iter().map(|(_, s)| s.count).sum::<i64>(),
+            t.rows() as i64
+        );
+        for workers in [2, 4, 8] {
+            let par = parallel_hash_aggregate(
+                &t,
+                "group",
+                "value",
+                PreAgg::Adaptive,
+                1024,
+                ParallelOpts {
+                    workers,
+                    morsel_rows: 4096,
+                },
+            )
+            .unwrap();
+            assert_eq!(par.len(), reference.len());
+            for ((k1, s1), (k2, s2)) in reference.iter().zip(&par) {
+                assert_eq!(k1, k2);
+                assert_eq!(s1.count, s2.count);
+                assert_eq!(s1.sum.to_bits(), s2.sum.to_bits(), "workers={workers}");
+                assert_eq!(s1.min.to_bits(), s2.min.to_bits());
+                assert_eq!(s1.max.to_bits(), s2.max.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_q6_every_strategy_matches_reference() {
+        let t = tpch::lineitem(20_000, 9);
+        let expected = tpch::q6_reference(&t, 1000);
+        for strategy in [
+            Strategy::Interpret,
+            Strategy::CompiledPipeline,
+            Strategy::Adaptive,
+        ] {
+            let config = VmConfig {
+                strategy,
+                hot_threshold: 3,
+                ..VmConfig::default()
+            };
+            let (rev, report) = q6_parallel(
+                &t,
+                1000,
+                config,
+                ParallelOpts {
+                    workers: 4,
+                    morsel_rows: 4 * DEFAULT_CHUNK,
+                },
+            )
+            .unwrap();
+            assert!(
+                (rev - expected).abs() / expected.abs().max(1.0) < 1e-9,
+                "{strategy:?}: {rev} vs {expected}"
+            );
+            assert_eq!(report.morsels, 5, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_q6_shares_the_jit_across_morsels() {
+        let t = tpch::lineitem(40_960, 2);
+        let config = VmConfig {
+            strategy: Strategy::CompiledPipeline,
+            ..VmConfig::default()
+        };
+        let (_, report) = q6_parallel(
+            &t,
+            1000,
+            config,
+            ParallelOpts {
+                workers: 4,
+                morsel_rows: 8 * DEFAULT_CHUNK,
+            },
+        )
+        .unwrap();
+        // 5 equal-size morsels, one fragment each: ≥4 must be cache hits.
+        assert_eq!(report.morsels, 5);
+        assert!(
+            report.trace_cache_hits >= 4,
+            "shared cache must serve later morsels: {report:?}"
+        );
+    }
+}

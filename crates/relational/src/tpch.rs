@@ -53,7 +53,12 @@ pub fn lineitem(n: usize, seed: u64) -> Table {
         vec![
             datagen::uniform_i64(n, 1, 50, seed),
             // Prices are DECIMAL(12,2) in TPC-H: generate whole cents.
-            scale_down(datagen::uniform_i64(n, 90_000, 10_500_000, seed.wrapping_add(1))),
+            scale_down(datagen::uniform_i64(
+                n,
+                90_000,
+                10_500_000,
+                seed.wrapping_add(1),
+            )),
             // Discounts/taxes come in whole cents.
             scale_down(datagen::uniform_i64(n, 0, 10, seed.wrapping_add(2))),
             scale_down(datagen::uniform_i64(n, 0, 8, seed.wrapping_add(3))),
@@ -110,15 +115,29 @@ pub fn q1_results_match(a: &[Q1Row], b: &[Q1Row]) -> bool {
         })
 }
 
-struct Q1Acc {
-    sum_qty: f64,
-    sum_base: f64,
-    sum_disc_price: f64,
-    sum_charge: f64,
-    count: i64,
+pub(crate) struct Q1Acc {
+    pub(crate) sum_qty: f64,
+    pub(crate) sum_base: f64,
+    pub(crate) sum_disc_price: f64,
+    pub(crate) sum_charge: f64,
+    pub(crate) count: i64,
 }
 
-fn q1_rows(accs: Vec<Q1Acc>) -> Vec<Q1Row> {
+impl Q1Acc {
+    /// Merge a partial accumulator into this one. Merging per-chunk
+    /// partials **in chunk order** reproduces the sequential fold's
+    /// floating-point addition tree exactly — the determinism hook the
+    /// parallel pipelines rely on.
+    pub(crate) fn merge(&mut self, other: &Q1Acc) {
+        self.sum_qty += other.sum_qty;
+        self.sum_base += other.sum_base;
+        self.sum_disc_price += other.sum_disc_price;
+        self.sum_charge += other.sum_charge;
+        self.count += other.count;
+    }
+}
+
+pub(crate) fn q1_rows(accs: Vec<Q1Acc>) -> Vec<Q1Row> {
     accs.into_iter()
         .enumerate()
         .filter(|(_, a)| a.count > 0)
@@ -133,7 +152,7 @@ fn q1_rows(accs: Vec<Q1Acc>) -> Vec<Q1Row> {
         .collect()
 }
 
-fn new_accs() -> Vec<Q1Acc> {
+pub(crate) fn new_accs() -> Vec<Q1Acc> {
     (0..Q1_GROUPS)
         .map(|_| Q1Acc {
             sum_qty: 0.0,
@@ -145,9 +164,10 @@ fn new_accs() -> Vec<Q1Acc> {
         .collect()
 }
 
-/// Q1, X100-style: chunked vectorized kernels with materialized
-/// intermediates, groups via the (non-adaptive) global aggregation path.
-pub fn q1_vectorized(table: &Table, chunk_rows: usize) -> Vec<Q1Row> {
+/// One chunk's Q1 partial accumulators, X100-style: filter, then one
+/// kernel call per operation, materializing every intermediate (the X100
+/// cost structure). Rows `[offset, offset+len)`.
+pub(crate) fn q1_vectorized_chunk(table: &Table, offset: usize, len: usize) -> Vec<Q1Acc> {
     use adaptvm_dsl::ast::ScalarOp;
     use adaptvm_kernels::{filter_cmp, map_apply, FilterFlavor, MapMode, Operand};
     use adaptvm_storage::scalar::Scalar;
@@ -159,79 +179,94 @@ pub fn q1_vectorized(table: &Table, chunk_rows: usize) -> Vec<Q1Row> {
     let group = table.column_by_name("l_group").expect("schema");
     let ship = table.column_by_name("l_shipdate").expect("schema");
 
+    let (qty_c, price_c, disc_c, tax_c, group_c, ship_c) = (
+        qty.slice(offset, len),
+        price.slice(offset, len),
+        disc.slice(offset, len),
+        tax.slice(offset, len),
+        group.slice(offset, len),
+        ship.slice(offset, len),
+    );
+
+    let mut accs = new_accs();
+    let sel = filter_cmp(
+        ScalarOp::Le,
+        &[
+            Operand::Col(&ship_c),
+            Operand::Const(Scalar::I64(Q1_SHIPDATE)),
+        ],
+        None,
+        FilterFlavor::SelVecLoop,
+    )
+    .expect("comparison kernel");
+    let one_minus_disc = map_apply(
+        ScalarOp::Sub,
+        &[Operand::Const(Scalar::F64(1.0)), Operand::Col(&disc_c)],
+        Some(&sel),
+        MapMode::Selective,
+    )
+    .expect("map kernel");
+    let disc_price = map_apply(
+        ScalarOp::Mul,
+        &[Operand::Col(&price_c), Operand::Col(&one_minus_disc)],
+        Some(&sel),
+        MapMode::Selective,
+    )
+    .expect("map kernel");
+    let one_plus_tax = map_apply(
+        ScalarOp::Add,
+        &[Operand::Const(Scalar::F64(1.0)), Operand::Col(&tax_c)],
+        Some(&sel),
+        MapMode::Selective,
+    )
+    .expect("map kernel");
+    let charge = map_apply(
+        ScalarOp::Mul,
+        &[Operand::Col(&disc_price), Operand::Col(&one_plus_tax)],
+        Some(&sel),
+        MapMode::Selective,
+    )
+    .expect("map kernel");
+
+    let groups = group_c.as_i64().expect("i64 column");
+    let qtys = qty_c.as_i64().expect("i64 column");
+    let prices = price_c.as_f64().expect("f64 column");
+    let dp = disc_price.as_f64().expect("f64 result");
+    let ch = charge.as_f64().expect("f64 result");
+    for &i in sel.indices() {
+        let i = i as usize;
+        let a = &mut accs[groups[i] as usize];
+        a.sum_qty += qtys[i] as f64;
+        a.sum_base += prices[i];
+        a.sum_disc_price += dp[i];
+        a.sum_charge += ch[i];
+        a.count += 1;
+    }
+    accs
+}
+
+/// Q1, X100-style: chunked vectorized kernels, per-chunk partial
+/// accumulators merged in chunk order. (The chunk-ordered merge is what
+/// `parallel::q1_parallel_vectorized` reproduces bit-for-bit.)
+pub fn q1_vectorized(table: &Table, chunk_rows: usize) -> Vec<Q1Row> {
+    let chunk_rows = chunk_rows.max(1);
     let mut accs = new_accs();
     let mut offset = 0;
     while offset < table.rows() {
         let n = chunk_rows.min(table.rows() - offset);
-        let (qty_c, price_c, disc_c, tax_c, group_c, ship_c) = (
-            qty.slice(offset, n),
-            price.slice(offset, n),
-            disc.slice(offset, n),
-            tax.slice(offset, n),
-            group.slice(offset, n),
-            ship.slice(offset, n),
-        );
-        offset += n;
-
-        // Vectorized pipeline: filter, then one kernel call per operation,
-        // materializing every intermediate (the X100 cost structure).
-        let sel = filter_cmp(
-            ScalarOp::Le,
-            &[Operand::Col(&ship_c), Operand::Const(Scalar::I64(Q1_SHIPDATE))],
-            None,
-            FilterFlavor::SelVecLoop,
-        )
-        .expect("comparison kernel");
-        let one_minus_disc = map_apply(
-            ScalarOp::Sub,
-            &[Operand::Const(Scalar::F64(1.0)), Operand::Col(&disc_c)],
-            Some(&sel),
-            MapMode::Selective,
-        )
-        .expect("map kernel");
-        let disc_price = map_apply(
-            ScalarOp::Mul,
-            &[Operand::Col(&price_c), Operand::Col(&one_minus_disc)],
-            Some(&sel),
-            MapMode::Selective,
-        )
-        .expect("map kernel");
-        let one_plus_tax = map_apply(
-            ScalarOp::Add,
-            &[Operand::Const(Scalar::F64(1.0)), Operand::Col(&tax_c)],
-            Some(&sel),
-            MapMode::Selective,
-        )
-        .expect("map kernel");
-        let charge = map_apply(
-            ScalarOp::Mul,
-            &[Operand::Col(&disc_price), Operand::Col(&one_plus_tax)],
-            Some(&sel),
-            MapMode::Selective,
-        )
-        .expect("map kernel");
-
-        let groups = group_c.as_i64().expect("i64 column");
-        let qtys = qty_c.as_i64().expect("i64 column");
-        let prices = price_c.as_f64().expect("f64 column");
-        let dp = disc_price.as_f64().expect("f64 result");
-        let ch = charge.as_f64().expect("f64 result");
-        for &i in sel.indices() {
-            let i = i as usize;
-            let a = &mut accs[groups[i] as usize];
-            a.sum_qty += qtys[i] as f64;
-            a.sum_base += prices[i];
-            a.sum_disc_price += dp[i];
-            a.sum_charge += ch[i];
-            a.count += 1;
+        let partial = q1_vectorized_chunk(table, offset, n);
+        for (a, p) in accs.iter_mut().zip(&partial) {
+            a.merge(p);
         }
+        offset += n;
     }
     q1_rows(accs)
 }
 
-/// Q1, HyPer-style: the single fused tuple-at-a-time loop a whole-pipeline
-/// code generator emits (no intermediates, one pass, branch per tuple).
-pub fn q1_fused(table: &Table) -> Vec<Q1Row> {
+/// Q1 partials over rows `[start, start+len)`, HyPer-style: the fused
+/// tuple-at-a-time loop a whole-pipeline code generator emits (no
+/// intermediates, one pass, branch per tuple).
+pub(crate) fn q1_fused_range(table: &Table, start: usize, len: usize) -> Vec<Q1Acc> {
     let qty = table
         .column_by_name("l_quantity")
         .expect("schema")
@@ -264,7 +299,8 @@ pub fn q1_fused(table: &Table) -> Vec<Q1Row> {
         .expect("i64");
 
     let mut accs = new_accs();
-    for i in 0..qty.len() {
+    let end = (start + len).min(qty.len());
+    for i in start..end {
         if ship[i] <= Q1_SHIPDATE {
             let dp = price[i] * (1.0 - disc[i]);
             let a = &mut accs[group[i] as usize];
@@ -275,7 +311,13 @@ pub fn q1_fused(table: &Table) -> Vec<Q1Row> {
             a.count += 1;
         }
     }
-    q1_rows(accs)
+    accs
+}
+
+/// Q1, HyPer-style: the single fused tuple-at-a-time loop over the whole
+/// table.
+pub fn q1_fused(table: &Table) -> Vec<Q1Row> {
+    q1_rows(q1_fused_range(table, 0, table.rows()))
 }
 
 /// The compact-typed lineitem columns (the storage a compact-data-types
@@ -361,13 +403,29 @@ impl CompactLineitem {
 /// selection vector at low ones), and the adaptively triggered
 /// pre-aggregation (6 groups → direct-indexed local accumulators).
 pub fn q1_adaptive(compact: &CompactLineitem, chunk_rows: usize) -> Vec<Q1Row> {
+    let iaccs = q1_adaptive_range(compact, 0, compact.qty.len(), chunk_rows);
+    q1_adaptive_rows(&iaccs)
+}
+
+/// The exact integer Q1 accumulators over rows `[start, start+len)`.
+///
+/// All aggregate arithmetic is 64-bit integer fixed point, so the
+/// accumulators are **associative**: merging per-range results with
+/// [`q1_adaptive_merge`] gives bit-identical sums in any split — the
+/// parallel adaptive Q1 is exactly the sequential one.
+pub(crate) fn q1_adaptive_range(
+    compact: &CompactLineitem,
+    start: usize,
+    len: usize,
+    chunk_rows: usize,
+) -> [[i64; 5]; Q1_GROUPS as usize] {
     let mut agg = AdaptiveAggregator::new(PreAgg::Adaptive);
-    let n = compact.qty.len();
+    let n = (start + len).min(compact.qty.len());
     let cutoff = Q1_SHIPDATE as i16;
     // Integer accumulators per group: qty, price (c), disc_price (c·1e2),
     // charge (c·1e4), count.
     let mut iaccs = [[0i64; 5]; Q1_GROUPS as usize];
-    let mut offset = 0;
+    let mut offset = start;
     let mut sel: Vec<u32> = Vec::with_capacity(chunk_rows);
     let mut sample_keys: Vec<i64> = Vec::with_capacity(64);
     let mut zeros: Vec<f64> = Vec::with_capacity(64);
@@ -439,7 +497,23 @@ pub fn q1_adaptive(compact: &CompactLineitem, chunk_rows: usize) -> Vec<Q1Row> {
         offset = end;
     }
     debug_assert_eq!(agg.preagg_used(), agg.chunks());
-    // Scale the exact integer sums back to decimals once.
+    iaccs
+}
+
+/// Merge integer Q1 accumulators (exact; associative and commutative).
+pub(crate) fn q1_adaptive_merge(
+    into: &mut [[i64; 5]; Q1_GROUPS as usize],
+    other: &[[i64; 5]; Q1_GROUPS as usize],
+) {
+    for (a, b) in into.iter_mut().zip(other) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+    }
+}
+
+/// Scale the exact integer sums back to decimals once, at the very end.
+pub(crate) fn q1_adaptive_rows(iaccs: &[[i64; 5]; Q1_GROUPS as usize]) -> Vec<Q1Row> {
     let mut accs = new_accs();
     for (g, ia) in iaccs.iter().enumerate() {
         accs[g] = Q1Acc {
@@ -506,7 +580,10 @@ pub fn q6_buffers(table: &Table) -> adaptvm_vm::Buffers {
     adaptvm_vm::Buffers::new()
         .with_input(
             "l_price",
-            table.column_by_name("l_extendedprice").expect("schema").clone(),
+            table
+                .column_by_name("l_extendedprice")
+                .expect("schema")
+                .clone(),
         )
         .with_input(
             "l_disc",
@@ -569,7 +646,11 @@ mod tests {
         let t = lineitem(1000, 42);
         assert_eq!(t.rows(), 1000);
         assert_eq!(t.schema().len(), 6);
-        let qty = t.column_by_name("l_quantity").unwrap().to_i64_vec().unwrap();
+        let qty = t
+            .column_by_name("l_quantity")
+            .unwrap()
+            .to_i64_vec()
+            .unwrap();
         assert!(qty.iter().all(|&q| (1..=50).contains(&q)));
         let disc = t.column_by_name("l_discount").unwrap().as_f64().unwrap();
         assert!(disc.iter().all(|&d| (0.0..=0.10).contains(&d)));
@@ -584,7 +665,10 @@ mod tests {
         assert_eq!(reference.len(), Q1_GROUPS as usize);
         let vectorized = q1_vectorized(&t, 1024);
         let adaptive = q1_adaptive(&CompactLineitem::from_table(&t), 1024);
-        assert!(q1_results_match(&reference, &vectorized), "vectorized diverged");
+        assert!(
+            q1_results_match(&reference, &vectorized),
+            "vectorized diverged"
+        );
         // Compact types quantize discount/tax to cents — exact in this
         // generator (values are generated in cents), so results match.
         assert!(q1_results_match(&reference, &adaptive), "adaptive diverged");
@@ -598,7 +682,11 @@ mod tests {
         let t = lineitem(5000, 3);
         let rows = q1_vectorized(&t, 512);
         let counted: i64 = rows.iter().map(|r| r.count).sum();
-        let ship = t.column_by_name("l_shipdate").unwrap().to_i64_vec().unwrap();
+        let ship = t
+            .column_by_name("l_shipdate")
+            .unwrap()
+            .to_i64_vec()
+            .unwrap();
         let expected = ship.iter().filter(|&&s| s <= Q1_SHIPDATE).count() as i64;
         assert_eq!(counted, expected);
     }

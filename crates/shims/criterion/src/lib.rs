@@ -1,0 +1,286 @@
+//! Offline shim for `criterion`: a small wall-clock benchmarking harness
+//! exposing the subset of criterion's API the workspace's benches use —
+//! `Criterion`, benchmark groups, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: after one warm-up call, each benchmark runs batches
+//! whose size is auto-tuned so a batch takes ≥ ~10 ms, for `sample_size`
+//! batches (default 10, capped by a ~1 s per-benchmark budget). The mean,
+//! min and max per-iteration times are printed, plus throughput when the
+//! group declares one. Set `ADAPTVM_BENCH_QUICK=1` to run every benchmark
+//! exactly once (CI smoke mode).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmark
+/// work. (Stable-Rust formulation via `std::hint::black_box`.)
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, used to derive rates in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing callback target.
+pub struct Bencher {
+    /// Iterations per measured batch (tuned by the harness).
+    batch: u64,
+    /// Collected batch durations.
+    samples: Vec<Duration>,
+    /// Samples requested.
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, called `batch` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch auto-tuning: grow the batch until it costs ≥10ms
+        // (or the quick budget in CI smoke mode).
+        let quick = std::env::var_os("ADAPTVM_BENCH_QUICK").is_some();
+        if quick {
+            let t0 = Instant::now();
+            black_box(f());
+            self.batch = 1;
+            self.samples.push(t0.elapsed());
+            return;
+        }
+        let target = Duration::from_millis(10);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= target || self.batch >= 1 << 20 {
+                break;
+            }
+            self.batch = (self.batch * 2).max(2);
+        }
+        let budget = Duration::from_secs(1);
+        let t_all = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+            if t_all.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.batch as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!(
+                "  {:>10.1} Melem/s",
+                n as f64 / mean * 1_000.0 / 1_000_000.0
+            )
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / mean * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} {:>12} [{} .. {}]{rate}",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare group throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            batch: 1,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            batch: 1,
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut b);
+        report(&id.to_string(), &b, None);
+        self
+    }
+}
+
+/// Declare a benchmark group function list (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        std::env::set_var("ADAPTVM_BENCH_QUICK", "1");
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("counter", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1);
+        std::env::remove_var("ADAPTVM_BENCH_QUICK");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline shim for `proptest`: a deterministic mini property-testing
+//! harness covering the surface this workspace uses — the `proptest!`
+//! macro, range / `any` / `prop::collection::vec` strategies,
+//! `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (fully deterministic, no persisted failure regressions) and there is
+//! **no shrinking** — a failing case panics with the generated inputs
+//! visible via the assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Test-runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value-generation strategy (reduced: generation only, no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for the full domain of a type (proptest's `any`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                // Mix raw values with boundary cases: real proptest biases
+                // toward edges, and codec round-trips want MIN/MAX/0 seen.
+                match rng.gen_range(0usize..8) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_any_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// `prop::…` module tree (mirrors the proptest prelude's `prop` alias).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Vectors of `element` values with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Any, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Derive a per-test seed from the test name (deterministic across runs).
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run a property body over `config.cases` generated cases.
+pub fn run_cases(name: &str, config: ProptestConfig, mut body: impl FnMut(&mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed_from_name(name));
+    for _ in 0..config.cases {
+        body(&mut rng);
+    }
+}
+
+/// The `proptest!` block macro: wraps each `fn name(arg in strategy, …)`
+/// into a `#[test]` running `cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), $cfg, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Property assertion (panics on failure; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn range_in_bounds(x in -50i64..50, n in 1usize..4) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        /// Vec strategy respects its length range.
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(any::<i16>(), 0..10)) {
+            prop_assert!(v.len() < 10);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_from_name("a"), crate::seed_from_name("b"));
+    }
+}

@@ -1,0 +1,4 @@
+//! Offline shim for `serde`: the derive macros only, expanded to nothing.
+//! See `crates/shims/README.md` for the rationale.
+
+pub use serde_derive_shim::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline shim: no-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses serde's derive attributes (no actual
+//! serialization paths run in-tree), so the derives expand to nothing.
+//! Swapping the real serde back in restores working serialization without
+//! touching any annotated type.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -333,7 +333,9 @@ impl Array {
     pub fn to_f64_vec(&self) -> Option<Vec<f64>> {
         match self {
             Array::F64(v) => Some(v.clone()),
-            other => other.to_i64_vec().map(|v| v.iter().map(|&x| x as f64).collect()),
+            other => other
+                .to_i64_vec()
+                .map(|v| v.iter().map(|&x| x as f64).collect()),
         }
     }
 
@@ -423,7 +425,10 @@ mod tests {
     #[test]
     fn take_gathers_and_bounds_checks() {
         let a = Array::from(vec![10i64, 20, 30]);
-        assert_eq!(a.take(&[2, 0, 2]).unwrap(), Array::from(vec![30i64, 10, 30]));
+        assert_eq!(
+            a.take(&[2, 0, 2]).unwrap(),
+            Array::from(vec![30i64, 10, 30])
+        );
         assert!(a.take(&[3]).is_err());
         assert_eq!(a.take(&[]).unwrap().len(), 0);
     }
@@ -446,7 +451,10 @@ mod tests {
     #[test]
     fn cast_str_parses() {
         let a = Array::from(vec!["12".to_string(), "-3".to_string()]);
-        assert_eq!(a.cast(ScalarType::I64).unwrap(), Array::from(vec![12i64, -3]));
+        assert_eq!(
+            a.cast(ScalarType::I64).unwrap(),
+            Array::from(vec![12i64, -3])
+        );
         let bad = Array::from(vec!["xy".to_string()]);
         assert!(bad.cast(ScalarType::I64).is_err());
     }

@@ -108,7 +108,10 @@ impl BlockColumn {
 
     /// Total compressed footprint in bytes.
     pub fn compressed_size(&self) -> usize {
-        self.blocks.iter().map(|b| b.encoded.compressed_size()).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.encoded.compressed_size())
+            .sum()
     }
 
     /// The distinct schemes appearing in this column, in block order with
@@ -234,7 +237,10 @@ mod tests {
         v.extend((0..256).map(|i| (i * 37) % 251));
         let col = BlockColumn::from_array_auto(&Array::from(v), 256).unwrap();
         let changes = col.scheme_changes();
-        assert!(changes.len() >= 2, "expected a scheme change, got {changes:?}");
+        assert!(
+            changes.len() >= 2,
+            "expected a scheme change, got {changes:?}"
+        );
         assert_eq!(changes[0], Scheme::Rle);
     }
 

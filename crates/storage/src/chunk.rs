@@ -140,11 +140,7 @@ mod tests {
 
     #[test]
     fn construction_checks_lengths() {
-        assert!(Chunk::new(vec![
-            Array::from(vec![1i64]),
-            Array::from(vec![1.0, 2.0])
-        ])
-        .is_err());
+        assert!(Chunk::new(vec![Array::from(vec![1i64]), Array::from(vec![1.0, 2.0])]).is_err());
         let c = chunk2();
         assert_eq!(c.len(), 4);
         assert_eq!(c.selected_len(), 4);

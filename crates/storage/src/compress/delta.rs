@@ -131,7 +131,11 @@ pub fn decode(block: &DeltaBlock) -> Array {
     let mut current = block.first;
     out.push(current);
     for i in 0..block.count - 1 {
-        let d = unzigzag(unpack_bits(&block.packed, i * block.width as usize, block.width));
+        let d = unzigzag(unpack_bits(
+            &block.packed,
+            i * block.width as usize,
+            block.width,
+        ));
         current = current.wrapping_add(d);
         out.push(current);
     }

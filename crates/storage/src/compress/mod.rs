@@ -229,11 +229,7 @@ mod tests {
 
     #[test]
     fn generic_schemes_roundtrip_strings() {
-        let data = Array::from(vec![
-            "aa".to_string(),
-            "aa".to_string(),
-            "bb".to_string(),
-        ]);
+        let data = Array::from(vec!["aa".to_string(), "aa".to_string(), "bb".to_string()]);
         for scheme in [Scheme::Plain, Scheme::Rle, Scheme::Dict] {
             roundtrip(data.clone(), scheme);
         }
@@ -255,7 +251,10 @@ mod tests {
         assert_eq!(choose_scheme(&ColumnStats::compute(&runs)), Scheme::Rle);
         // Few distinct, no runs → Dict.
         let v: Vec<i64> = (0..1000).map(|i| (i % 7) * 1_000_000_007).collect();
-        assert_eq!(choose_scheme(&ColumnStats::compute(&v.into())), Scheme::Dict);
+        assert_eq!(
+            choose_scheme(&ColumnStats::compute(&v.into())),
+            Scheme::Dict
+        );
         // Narrow range, many distinct, no runs → ForPack.
         let v: Vec<i64> = (0..1000).map(|i| (i * 37) % 997).collect();
         assert_eq!(
@@ -266,7 +265,10 @@ mod tests {
         let v: Vec<i64> = (0..1000)
             .map(|i| (i as i64).wrapping_mul(0x9E3779B97F4A7C15u64 as i64))
             .collect();
-        assert_eq!(choose_scheme(&ColumnStats::compute(&v.into())), Scheme::Plain);
+        assert_eq!(
+            choose_scheme(&ColumnStats::compute(&v.into())),
+            Scheme::Plain
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub fn uniform_f64(n: usize, lo: f64, hi: f64, seed: u64) -> Array {
 /// knob for the filter-strategy experiments.
 pub fn bernoulli(n: usize, p: f64, seed: u64) -> Array {
     let mut rng = StdRng::seed_from_u64(seed);
-    Array::from((0..n).map(|_| rng.gen_bool(p.clamp(0.0, 1.0))).collect::<Vec<bool>>())
+    Array::from(
+        (0..n)
+            .map(|_| rng.gen_bool(p.clamp(0.0, 1.0)))
+            .collect::<Vec<bool>>(),
+    )
 }
 
 /// `i64` values where a fraction `p` is negative and the rest positive —

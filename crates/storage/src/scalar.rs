@@ -217,10 +217,7 @@ mod tests {
         assert_eq!(ScalarType::smallest_int_for(0, 100), ScalarType::I8);
         assert_eq!(ScalarType::smallest_int_for(-200, 100), ScalarType::I16);
         assert_eq!(ScalarType::smallest_int_for(0, 70_000), ScalarType::I32);
-        assert_eq!(
-            ScalarType::smallest_int_for(0, i64::MAX),
-            ScalarType::I64
-        );
+        assert_eq!(ScalarType::smallest_int_for(0, i64::MAX), ScalarType::I64);
         // Boundaries are inclusive.
         assert_eq!(ScalarType::smallest_int_for(-128, 127), ScalarType::I8);
         assert_eq!(ScalarType::smallest_int_for(-129, 0), ScalarType::I16);

@@ -132,6 +132,21 @@ impl Table {
         &self.columns
     }
 
+    /// Rows `[offset, offset+len)` as a new table (clamped at the tail).
+    ///
+    /// This is the morsel-slicing primitive of the parallel executor: a
+    /// morsel is a fixed-size horizontal slice of a table, and workers
+    /// operate on slices so their reads stay dense and cache-friendly.
+    pub fn slice(&self, offset: usize, len: usize) -> Table {
+        let columns: Vec<Array> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        let rows = columns.first().map_or(0, Array::len);
+        Table {
+            schema: self.schema.clone(),
+            columns,
+            rows,
+        }
+    }
+
     /// Read rows `[offset, offset+len)` of the named columns into a chunk.
     pub fn read_chunk(
         &self,
@@ -187,6 +202,19 @@ mod tests {
             &Array::from(vec![1i64, 2, 3])
         );
         assert_eq!(t.schema().field("price").unwrap().ty, ScalarType::F64);
+    }
+
+    #[test]
+    fn slice_clamps_and_preserves_schema() {
+        let t = sample();
+        let s = t.slice(1, 10);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.schema(), t.schema());
+        assert_eq!(s.column_by_name("id").unwrap(), &Array::from(vec![2i64, 3]));
+        assert_eq!(t.slice(3, 5).rows(), 0);
+        // Morsels tile the table exactly.
+        let rows: usize = (0..t.rows()).step_by(2).map(|o| t.slice(o, 2).rows()).sum();
+        assert_eq!(rows, t.rows());
     }
 
     #[test]

@@ -104,6 +104,23 @@ impl SelVec {
         SelVec::new(out)
     }
 
+    /// Restrict the selection to domain rows `[offset, offset+len)`,
+    /// rebasing the surviving indices to the sub-domain (index `offset`
+    /// becomes `0`). The morsel-slicing primitive for selection vectors:
+    /// slicing a selected column into morsels slices the selection the
+    /// same way.
+    pub fn slice_domain(&self, offset: usize, len: usize) -> SelVec {
+        let lo = offset as u32;
+        let hi = offset.saturating_add(len) as u32;
+        SelVec::new(
+            self.indices
+                .iter()
+                .filter(|&&i| i >= lo && i < hi)
+                .map(|&i| i - lo)
+                .collect(),
+        )
+    }
+
     /// Convert to a bitmap over a domain of `domain_len` elements.
     pub fn to_bitmap(&self, domain_len: usize) -> Bitmap {
         let mut bm = Bitmap::zeros(domain_len);
@@ -292,6 +309,17 @@ mod tests {
         assert_eq!(s.selectivity(4), 1.0);
         assert!(SelVec::empty().is_empty());
         assert_eq!(SelVec::empty().selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn slice_domain_rebases_and_tiles() {
+        let s = SelVec::new(vec![0, 3, 4, 7, 9]);
+        assert_eq!(s.slice_domain(0, 5).indices(), &[0, 3, 4]);
+        assert_eq!(s.slice_domain(5, 5).indices(), &[2, 4]);
+        assert!(s.slice_domain(10, 5).is_empty());
+        // Morsel slices of the domain cover the selection exactly once.
+        let total: usize = (0..10).step_by(5).map(|o| s.slice_domain(o, 5).len()).sum();
+        assert_eq!(total, s.len());
     }
 
     #[test]

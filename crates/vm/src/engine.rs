@@ -34,8 +34,9 @@ use adaptvm_dsl::partition::{partition, PartitionConfig};
 use adaptvm_dsl::typecheck::{infer_expr, Type, TypeEnv};
 use adaptvm_dsl::value::{Value, Vector};
 use adaptvm_hetsim::exec::run_trace_on;
-use adaptvm_jit::builder::build_fragment;
-use adaptvm_jit::compiler::{compile, CompiledTrace, CompileServer, CostModel};
+use adaptvm_jit::builder::{build_fragment, Fragment};
+use adaptvm_jit::cache::{CodeCache, TraceKey};
+use adaptvm_jit::compiler::{compile, CompileServer, CompiledTrace, CostModel};
 use adaptvm_jit::JitError;
 use adaptvm_storage::array::Array;
 use adaptvm_storage::scalar::ScalarType;
@@ -101,6 +102,12 @@ pub struct VmConfig {
     pub async_compile: bool,
     /// Devices for placement; empty = host only, >1 = adaptive placement.
     pub devices: Vec<adaptvm_hetsim::device::DeviceSpec>,
+    /// Shared code cache, keyed by fragment fingerprint. When set, compile
+    /// decisions consult the cache first and publish finished traces into
+    /// it — this is how morsel-parallel workers share one JIT: the first
+    /// worker to reach a fragment compiles it, everyone else injects the
+    /// cached trace for free (§III-B's multi-trace store, shared).
+    pub code_cache: Option<Arc<CodeCache>>,
 }
 
 impl Default for VmConfig {
@@ -113,6 +120,7 @@ impl Default for VmConfig {
             partition: PartitionConfig::default(),
             async_compile: false,
             devices: Vec::new(),
+            code_cache: None,
         }
     }
 }
@@ -134,6 +142,8 @@ pub struct RunReport {
     pub interpreted_nodes: u64,
     /// Fragments that failed to build/run and fell back to interpretation.
     pub fallbacks: u64,
+    /// Traces injected straight from the shared code cache (no compile).
+    pub trace_cache_hits: u64,
     /// The run profile.
     pub profile: Profile,
     /// Virtual nanoseconds charged per device (placement runs).
@@ -185,6 +195,11 @@ struct Injection {
     trace: Arc<CompiledTrace>,
 }
 
+/// Situation key for unspecialized engine traces in the shared cache.
+/// (Specialized situations — compression scheme, selectivity class — keep
+/// their own entries beside it; see [`adaptvm_jit::cache`].)
+const GENERIC_SITUATION: &str = "generic";
+
 impl Vm {
     /// A VM with the given configuration.
     pub fn new(config: VmConfig) -> Vm {
@@ -196,8 +211,39 @@ impl Vm {
         Vm::new(VmConfig::default())
     }
 
+    /// Compile a fragment, going through the shared code cache when one is
+    /// configured. Returns the trace; accounts compile cost vs. cache hit
+    /// in the report.
+    fn compile_cached(&self, frag: Fragment, report: &mut RunReport) -> Arc<CompiledTrace> {
+        match &self.config.code_cache {
+            Some(cache) => {
+                let key = TraceKey {
+                    fingerprint: frag.ir.fingerprint(),
+                    situation: GENERIC_SITUATION.to_string(),
+                };
+                let model = self.config.cost_model;
+                let (trace, hit) = cache.get_or_compile(key, || Arc::new(compile(frag, &model)));
+                if hit {
+                    report.trace_cache_hits += 1;
+                } else {
+                    report.compile_ns_total += trace.cost_ns;
+                }
+                trace
+            }
+            None => {
+                let trace = Arc::new(compile(frag, &self.config.cost_model));
+                report.compile_ns_total += trace.cost_ns;
+                trace
+            }
+        }
+    }
+
     /// Run a program with the default fixed flavor policy.
-    pub fn run(&self, program: &Program, buffers: Buffers) -> Result<(Buffers, RunReport), VmError> {
+    pub fn run(
+        &self,
+        program: &Program,
+        buffers: Buffers,
+    ) -> Result<(Buffers, RunReport), VmError> {
         let mut policy = FixedPolicy::default();
         self.run_with_policy(program, buffers, &mut policy)
     }
@@ -222,7 +268,10 @@ impl Vm {
         });
 
         // Split around the first top-level loop.
-        let loop_pos = program.stmts.iter().position(|s| matches!(s, Stmt::Loop(_)));
+        let loop_pos = program
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::Loop(_)));
         let Some(loop_pos) = loop_pos else {
             // No loop: plain interpretation.
             let mut interp = Interpreter::new(self.config.chunk_size, &mut profile, policy);
@@ -279,15 +328,8 @@ impl Vm {
             };
             match build_fragment(&graph, &region, &uses, &hints) {
                 Ok(frag) => {
-                    let trace = compile(frag, &self.config.cost_model);
-                    report.compile_ns_total += trace.cost_ns;
-                    inject(
-                        &mut injections,
-                        &graph,
-                        &flat,
-                        region.nodes.clone(),
-                        Arc::new(trace),
-                    );
+                    let trace = self.compile_cached(frag, &mut report);
+                    inject(&mut injections, &graph, &flat, region.nodes.clone(), trace);
                     report.injected_traces += 1;
                     plan = build_plan(&flat, &injections);
                     report.transitions.push(StateTransition {
@@ -325,36 +367,47 @@ impl Vm {
                     iteration: iterations,
                     state: VmState::GenerateCode,
                 });
+                let injected_before = report.injected_traces;
                 for region in &parts.regions {
                     match build_fragment(&graph, region, &uses, &hints) {
                         Ok(frag) => {
                             if self.config.async_compile {
+                                // A cached trace needs no compile round-trip
+                                // even on the background path: inject now.
+                                let cached = self.config.code_cache.as_ref().and_then(|c| {
+                                    c.get(&TraceKey {
+                                        fingerprint: frag.ir.fingerprint(),
+                                        situation: GENERIC_SITUATION.to_string(),
+                                    })
+                                });
+                                if let Some(trace) = cached {
+                                    report.trace_cache_hits += 1;
+                                    inject(
+                                        &mut injections,
+                                        &graph,
+                                        &flat,
+                                        region.nodes.clone(),
+                                        trace,
+                                    );
+                                    report.injected_traces += 1;
+                                    continue;
+                                }
                                 let srv = server.get_or_insert_with(|| {
                                     CompileServer::start(self.config.cost_model)
                                 });
                                 if let Ok(ticket) = srv.submit(frag) {
-                                    pending.insert(
-                                        ticket,
-                                        (region.seed, region.nodes.clone()),
-                                    );
+                                    pending.insert(ticket, (region.seed, region.nodes.clone()));
                                 }
                             } else {
-                                let trace = compile(frag, &self.config.cost_model);
-                                report.compile_ns_total += trace.cost_ns;
-                                inject(
-                                    &mut injections,
-                                    &graph,
-                                    &flat,
-                                    region.nodes.clone(),
-                                    Arc::new(trace),
-                                );
+                                let trace = self.compile_cached(frag, &mut report);
+                                inject(&mut injections, &graph, &flat, region.nodes.clone(), trace);
                                 report.injected_traces += 1;
                             }
                         }
                         Err(_) => report.fallbacks += 1,
                     }
                 }
-                if !self.config.async_compile {
+                if !self.config.async_compile || report.injected_traces > injected_before {
                     plan = build_plan(&flat, &injections);
                     report.transitions.push(StateTransition {
                         iteration: iterations,
@@ -370,6 +423,15 @@ impl Vm {
                     for f in finished {
                         if let Some((_, nodes)) = pending.remove(&f.ticket) {
                             report.compile_ns_total += f.trace.cost_ns;
+                            if let Some(cache) = &self.config.code_cache {
+                                cache.insert(
+                                    TraceKey {
+                                        fingerprint: f.trace.fingerprint,
+                                        situation: GENERIC_SITUATION.to_string(),
+                                    },
+                                    f.trace.clone(),
+                                );
+                            }
                             inject(&mut injections, &graph, &flat, nodes, f.trace);
                             report.injected_traces += 1;
                         }
@@ -551,7 +613,9 @@ fn exec_trace(
             );
             run.result
         }
-        None => trace.run(&inputs, None).map_err(TraceFailure::Recoverable)?,
+        None => trace
+            .run(&inputs, None)
+            .map_err(TraceFailure::Recoverable)?,
     };
 
     // 4. Bind outputs (arrays first — selections may reference them).
@@ -570,9 +634,14 @@ fn exec_trace(
                 }
             },
         };
-        interp
-            .profile
-            .record_selectivity(&format!("trace-sel@{name}"), if data.is_empty() { 0.0 } else { sel.len() as f64 / data.len() as f64 });
+        interp.profile.record_selectivity(
+            &format!("trace-sel@{name}"),
+            if data.is_empty() {
+                0.0
+            } else {
+                sel.len() as f64 / data.len() as f64
+            },
+        );
         env.set(&name, Value::Vector(Vector::selected(data, sel)));
     }
     for (name, scalar) in result.scalars {
@@ -591,7 +660,11 @@ fn exec_trace(
             .map_err(TraceFailure::Fatal)?;
         let value = env.get(&spec.value_var).map_err(TraceFailure::Fatal)?;
         let data = match value {
-            Value::Vector(v) => v.condense().map_err(|e| TraceFailure::Fatal(e.into()))?.data,
+            Value::Vector(v) => {
+                v.condense()
+                    .map_err(|e| TraceFailure::Fatal(e.into()))?
+                    .data
+            }
             Value::Scalar(s) => Array::splat(s, 1),
         };
         env.buffers
@@ -631,9 +704,7 @@ fn flatten_body(stmts: &[Stmt]) -> Option<FlatBody> {
 
 fn stmt_has_nodes(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match s {
-        Stmt::Let { expr, body, .. } => {
-            expr.op_class() != OpClass::Scalar || stmt_has_nodes(body)
-        }
+        Stmt::Let { expr, body, .. } => expr.op_class() != OpClass::Scalar || stmt_has_nodes(body),
         Stmt::Write { .. } | Stmt::Scatter { .. } => true,
         Stmt::Loop(b) => stmt_has_nodes(b),
         Stmt::If { then, els, .. } => stmt_has_nodes(then) || stmt_has_nodes(els),
@@ -978,7 +1049,10 @@ mod tests {
             .find(|(n, _)| n == "dgpu")
             .unwrap()
             .1;
-        assert!(cpu > 0 && gpu == 0, "small chunks belong on the CPU: {report:?}");
+        assert!(
+            cpu > 0 && gpu == 0,
+            "small chunks belong on the CPU: {report:?}"
+        );
         assert!(report.device_ns.iter().any(|(_, ns)| *ns > 0));
     }
 
@@ -997,6 +1071,43 @@ mod tests {
         // acc lives in the env — surface it via a write program instead:
         // simpler: rerun interpreted and compare profiles' iteration count.
         assert_eq!(report.iterations, 40);
+    }
+
+    #[test]
+    fn shared_code_cache_compiles_once_across_runs() {
+        let cache = Arc::new(CodeCache::new(8));
+        let config = VmConfig {
+            strategy: Strategy::CompiledPipeline,
+            code_cache: Some(cache.clone()),
+            ..VmConfig::default()
+        };
+        // First run: compiles and publishes the pipeline trace.
+        let (out1, r1) = run_fig2(config.clone(), 10_000, 8192);
+        check_fig2(&out1, 10_000, 8192);
+        assert_eq!(r1.injected_traces, 1);
+        assert_eq!(r1.trace_cache_hits, 0);
+        assert!(r1.compile_ns_total > 0);
+        assert_eq!(cache.stats().entries, 1);
+        // Second run over the same program: injects from the cache, pays
+        // no compile cost, computes the same result.
+        let (out2, r2) = run_fig2(config, 10_000, 8192);
+        check_fig2(&out2, 10_000, 8192);
+        assert_eq!(r2.trace_cache_hits, 1);
+        assert_eq!(r2.compile_ns_total, 0);
+        assert_eq!(out1.output("v"), out2.output("v"));
+        // Adaptive runs share the same cache entries.
+        let adaptive = VmConfig {
+            strategy: Strategy::Adaptive,
+            hot_threshold: 2,
+            code_cache: Some(cache.clone()),
+            ..VmConfig::default()
+        };
+        let (out3, r3) = run_fig2(adaptive, 10_000, 8192);
+        check_fig2(&out3, 10_000, 8192);
+        assert!(
+            r3.trace_cache_hits + (r3.injected_traces as u64) > 0,
+            "{r3:?}"
+        );
     }
 
     #[test]

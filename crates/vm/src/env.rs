@@ -75,7 +75,9 @@ impl Buffers {
 
     /// Iterate over input buffer names and types.
     pub fn input_types(&self) -> impl Iterator<Item = (&str, ScalarType)> {
-        self.inputs.iter().map(|(n, a)| (n.as_str(), a.scalar_type()))
+        self.inputs
+            .iter()
+            .map(|(n, a)| (n.as_str(), a.scalar_type()))
     }
 
     /// Consume into the output map.

@@ -212,7 +212,8 @@ impl<'p> Interpreter<'p> {
             Expr::Gen { f, len } => {
                 let n = self.eval_scalar_int(len, env)? as usize;
                 let index = Value::dense(movement::gen_index(n));
-                if f.params.len() == 1 && matches!(f.body.as_ref(), Expr::Var(v) if *v == f.params[0])
+                if f.params.len() == 1
+                    && matches!(f.body.as_ref(), Expr::Var(v) if *v == f.params[0])
                 {
                     return Ok(index);
                 }
@@ -362,7 +363,10 @@ impl<'p> Interpreter<'p> {
 
         // Fast path: normalized comparison predicate.
         let sel = if let Expr::Apply(op, args) = p.body.as_ref() {
-            if op.is_comparison() && args.iter().all(|a| matches!(a, Expr::Var(_) | Expr::Const(_)))
+            if op.is_comparison()
+                && args
+                    .iter()
+                    .all(|a| matches!(a, Expr::Var(_) | Expr::Const(_)))
             {
                 let operands = args
                     .iter()
@@ -447,9 +451,7 @@ fn common_sel(values: &[Value]) -> Result<Option<SelVec>, VmError> {
             match (&sel, &vec.sel) {
                 (None, Some(s)) => sel = Some(s),
                 (Some(a), Some(b)) if *a != b => {
-                    return Err(VmError::Shape(
-                        "operands carry different selections".into(),
-                    ))
+                    return Err(VmError::Shape("operands carry different selections".into()))
                 }
                 _ => {}
             }
@@ -469,7 +471,11 @@ pub fn run_interpreted(
     let mut env = Env::new(buffers);
     {
         let mut interp = Interpreter::new(
-            if chunk_size == 0 { DEFAULT_CHUNK } else { chunk_size },
+            if chunk_size == 0 {
+                DEFAULT_CHUNK
+            } else {
+                chunk_size
+            },
             &mut profile,
             &mut policy,
         );
@@ -495,8 +501,7 @@ mod tests {
     fn fig2_interprets_correctly() {
         let data: Vec<i64> = (0..5000).map(|i| (i % 5) - 2).collect();
         let buffers = Buffers::new().with_input("some_data", Array::from(data.clone()));
-        let (out, profile) =
-            run_interpreted(&programs::fig2_example(), buffers, 1024).unwrap();
+        let (out, profile) = run_interpreted(&programs::fig2_example(), buffers, 1024).unwrap();
         let (v_ref, w_ref) = programs::fig2_reference(&data, 4096);
         assert_eq!(out.output("v").unwrap().to_i64_vec().unwrap(), v_ref);
         assert_eq!(out.output("w").unwrap().to_i64_vec().unwrap(), w_ref);
@@ -527,8 +532,7 @@ mod tests {
             let processed = fig2_processed(data.len(), chunk, 4096);
             let expected = programs::fig2_reference(&data, processed);
             let buffers = Buffers::new().with_input("some_data", Array::from(data.clone()));
-            let (out, _) =
-                run_interpreted(&programs::fig2_example(), buffers, chunk).unwrap();
+            let (out, _) = run_interpreted(&programs::fig2_example(), buffers, chunk).unwrap();
             assert_eq!(
                 out.output("v").unwrap().to_i64_vec().unwrap(),
                 expected.0,
@@ -620,7 +624,10 @@ mod tests {
             out.output("out").unwrap(),
             &Array::from(vec![1i64, 2, 3, 3, 5])
         );
-        let out = run("let g = gen (\\i -> i * i) 5 in { write sq 0 g }", Buffers::new());
+        let out = run(
+            "let g = gen (\\i -> i * i) 5 in { write sq 0 g }",
+            Buffers::new(),
+        );
         assert_eq!(
             out.output("sq").unwrap(),
             &Array::from(vec![0i64, 1, 4, 9, 16])

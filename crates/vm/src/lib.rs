@@ -26,7 +26,7 @@ pub mod placement;
 pub mod profile;
 pub mod reorder;
 
-pub use adaptive::{FlavorPolicy, FixedPolicy, BanditPolicy};
+pub use adaptive::{BanditPolicy, FixedPolicy, FlavorPolicy};
 pub use engine::{RunReport, Strategy, Vm, VmConfig, VmState};
 pub use env::{Buffers, Env};
 pub use error::VmError;

@@ -71,8 +71,7 @@ impl PlacementPolicy {
             return;
         }
         let ratio = observed_ns as f64 / predicted as f64;
-        self.correction[device] =
-            ALPHA * ratio + (1.0 - ALPHA) * self.correction[device];
+        self.correction[device] = ALPHA * ratio + (1.0 - ALPHA) * self.correction[device];
     }
 
     /// How many times each device was chosen.
@@ -130,12 +129,14 @@ mod tests {
         // Report that the chosen device is consistently 100× slower than
         // predicted; the policy must eventually switch.
         for _ in 0..50 {
-            let predicted =
-                price(&p.devices()[before].clone(), lanes, ops, b, b).total_ns();
+            let predicted = price(&p.devices()[before].clone(), lanes, ops, b, b).total_ns();
             p.feedback(before, lanes, ops, b, b, predicted * 100);
         }
         let after = p.choose(lanes, ops, b, b);
-        assert_ne!(before, after, "policy should abandon the mispredicted device");
+        assert_ne!(
+            before, after,
+            "policy should abandon the mispredicted device"
+        );
     }
 
     #[test]

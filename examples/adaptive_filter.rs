@@ -57,12 +57,7 @@ fn main() {
                 flavor,
             )
             .expect("filter kernel");
-            policy.feedback_filter(
-                "demo-filter",
-                flavor,
-                t0.elapsed().as_nanos() as u64,
-                chunk,
-            );
+            policy.feedback_filter("demo-filter", flavor, t0.elapsed().as_nanos() as u64, chunk);
         }
         println!(
             "  bandit converged to : {:?}",

@@ -48,11 +48,14 @@ fn main() {
             costs[0], costs[1], costs[2], costs[3], devices[chosen].name
         );
     }
-    println!("\ndecisions per device: {:?}", policy
-        .devices()
-        .iter()
-        .map(|d| d.name.clone())
-        .zip(policy.decisions().iter().copied())
-        .collect::<Vec<_>>());
+    println!(
+        "\ndecisions per device: {:?}",
+        policy
+            .devices()
+            .iter()
+            .map(|d| d.name.clone())
+            .zip(policy.decisions().iter().copied())
+            .collect::<Vec<_>>()
+    );
     println!("Small inputs stay on the CPU (launch+transfer latency);\nlarge streaming inputs migrate to the discrete GPU — the §IV-3 crossover.");
 }

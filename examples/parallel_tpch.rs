@@ -1,0 +1,115 @@
+//! Morsel-driven parallel TPC-H: Q1 in all three engine styles and Q6
+//! through the full adaptive VM, swept over worker counts.
+//!
+//! Run with: `cargo run --release --example parallel_tpch [rows]`
+//!
+//! Prints per-style wall times, parallel speedups, the work-stealing
+//! dispatch stats, and the shared-JIT cache hits — and verifies that
+//! every parallel result agrees with the single-threaded engine.
+
+use std::time::Instant;
+
+use adaptvm::relational::parallel::{
+    q1_parallel_adaptive, q1_parallel_vectorized, q6_parallel, ParallelOpts,
+};
+use adaptvm::relational::tpch;
+use adaptvm::storage::DEFAULT_CHUNK;
+use adaptvm::vm::{Strategy, VmConfig};
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let workers_sweep = [1usize, 2, 4, 8];
+    let morsel_rows = 16 * DEFAULT_CHUNK;
+
+    println!("generating lineitem with {rows} rows…");
+    let table = tpch::lineitem(rows, 42);
+    let compact = tpch::CompactLineitem::from_table(&table);
+
+    // Single-threaded baselines.
+    let t0 = Instant::now();
+    let q1_seq = tpch::q1_vectorized(&table, DEFAULT_CHUNK);
+    let q1_seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let q1_adaptive_seq = tpch::q1_adaptive(&compact, DEFAULT_CHUNK);
+    let q1_adaptive_seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    println!("\n== parallel Q1 (vectorized), morsel = {morsel_rows} rows");
+    println!("   sequential: {q1_seq_ms:8.2} ms");
+    for workers in workers_sweep {
+        let t0 = Instant::now();
+        let rows = q1_parallel_vectorized(
+            &table,
+            DEFAULT_CHUNK,
+            ParallelOpts {
+                workers,
+                morsel_rows,
+            },
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(tpch::q1_results_match(&q1_seq, &rows), "diverged!");
+        println!(
+            "   {workers} worker(s): {ms:8.2} ms  (speedup {:.2}×)",
+            q1_seq_ms / ms
+        );
+    }
+
+    println!("\n== parallel Q1 (compact types + adaptive mix)");
+    println!("   sequential: {q1_adaptive_seq_ms:8.2} ms");
+    for workers in workers_sweep {
+        let t0 = Instant::now();
+        let rows = q1_parallel_adaptive(
+            &compact,
+            DEFAULT_CHUNK,
+            ParallelOpts {
+                workers,
+                morsel_rows,
+            },
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(tpch::q1_results_match(&q1_adaptive_seq, &rows), "diverged!");
+        println!(
+            "   {workers} worker(s): {ms:8.2} ms  (speedup {:.2}×)",
+            q1_adaptive_seq_ms / ms
+        );
+    }
+
+    let expected_q6 = tpch::q6_reference(&table, 1000);
+    for (name, strategy) in [
+        ("interpret", Strategy::Interpret),
+        ("compiled", Strategy::CompiledPipeline),
+        ("adaptive", Strategy::Adaptive),
+    ] {
+        println!("\n== parallel Q6 through the VM ({name})");
+        for workers in workers_sweep {
+            let config = VmConfig {
+                strategy,
+                ..VmConfig::default()
+            };
+            let t0 = Instant::now();
+            let (rev, report) = q6_parallel(
+                &table,
+                1000,
+                config,
+                ParallelOpts {
+                    workers,
+                    morsel_rows,
+                },
+            )
+            .expect("q6 runs");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                (rev - expected_q6).abs() / expected_q6.abs().max(1.0) < 1e-9,
+                "diverged: {rev} vs {expected_q6}"
+            );
+            println!(
+                "   {workers} worker(s): {ms:8.2} ms  morsels/worker {:?}  steals {}  jit-cache-hits {}",
+                report.per_worker_morsels, report.steals, report.trace_cache_hits
+            );
+        }
+    }
+
+    println!("\nall parallel results agree with the single-threaded engine ✓");
+}

@@ -14,7 +14,10 @@ fn main() {
     // loop runs long enough to become "hot").
     let limit = 1 << 20;
     let program = programs::fig2_with_limit(limit);
-    println!("=== The DSL program (paper Fig. 2) ===\n{}", print_program(&program));
+    println!(
+        "=== The DSL program (paper Fig. 2) ===\n{}",
+        print_program(&program)
+    );
 
     let n = (limit + 4096) as usize;
     let data: Vec<i64> = (0..n as i64).map(|i| (i % 9) - 4).collect();
@@ -39,8 +42,14 @@ fn main() {
         println!("--- strategy: {strategy:?} ---");
         println!("  states        : {:?}", report.state_names());
         println!("  iterations    : {}", report.iterations);
-        println!("  traces        : {} injected, {} executions", report.injected_traces, report.trace_executions);
-        println!("  compile cost  : {:.2} ms", report.compile_ns_total as f64 / 1e6);
+        println!(
+            "  traces        : {} injected, {} executions",
+            report.injected_traces, report.trace_executions
+        );
+        println!(
+            "  compile cost  : {:.2} ms",
+            report.compile_ns_total as f64 / 1e6
+        );
         println!("  wall time     : {:.2} ms", report.wall_ns as f64 / 1e6);
         println!("  |v| = {v_len}, |w| = {w_len}");
     }

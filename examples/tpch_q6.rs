@@ -41,7 +41,11 @@ fn main() {
         let t0 = Instant::now();
         let (out, report) = vm.run(&program, tpch::q6_buffers(&table)).expect("q6 runs");
         let wall = t0.elapsed().as_secs_f64() * 1e3;
-        let rev = out.output("revenue").expect("written").as_f64().expect("f64")[0];
+        let rev = out
+            .output("revenue")
+            .expect("written")
+            .as_f64()
+            .expect("f64")[0];
         let ok = (rev - expected).abs() / expected.abs().max(1.0) < 1e-9;
         println!(
             "{:<20} {:>12.2} {:>14.2} {:>12} {:>10}",

@@ -21,8 +21,13 @@
 //!   target 3),
 //! * [`vm`] — the Fig. 1 state machine engine, profiler, micro-adaptive
 //!   bandits, operator reordering and device placement (§III),
+//! * [`parallel`] — morsel-driven parallel execution: work-stealing morsel
+//!   dispatch, per-worker interpreters sharing one JIT code cache and one
+//!   merged profile (HyPer-style intra-query parallelism over the
+//!   chunk-at-a-time engine),
 //! * [`relational`] — operators, adaptive aggregation/joins, compressed
-//!   scans and the TPC-H Q1/Q6 workloads the paper's motivation cites.
+//!   scans and the TPC-H Q1/Q6 workloads the paper's motivation cites —
+//!   each with morsel-parallel variants in `relational::parallel`.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +49,7 @@ pub use adaptvm_dsl as dsl;
 pub use adaptvm_hetsim as hetsim;
 pub use adaptvm_jit as jit;
 pub use adaptvm_kernels as kernels;
+pub use adaptvm_parallel as parallel;
 pub use adaptvm_relational as relational;
 pub use adaptvm_storage as storage;
 pub use adaptvm_vm as vm;
@@ -56,6 +62,7 @@ pub mod prelude {
     pub use adaptvm_hetsim::device::DeviceSpec;
     pub use adaptvm_jit::compiler::CostModel;
     pub use adaptvm_kernels::{FilterFlavor, MapMode};
+    pub use adaptvm_parallel::{Morsel, MorselPlan, ParallelVm};
     pub use adaptvm_storage::{Array, Scalar, ScalarType};
     pub use adaptvm_vm::{BanditPolicy, Buffers, RunReport, Strategy, Vm, VmConfig};
 }

@@ -23,9 +23,7 @@ fn bandit_policy_through_vm() {
     };
     let vm = Vm::new(config);
     let buffers = Buffers::new().with_input("xs", Array::from(data.clone()));
-    let (_, report) = vm
-        .run_with_policy(&program, buffers, &mut policy)
-        .unwrap();
+    let (_, report) = vm.run_with_policy(&program, buffers, &mut policy).unwrap();
     assert!(report.iterations > 10);
     // One filter site observed with plausible selectivity (~0.49).
     let classes = report.profile.sel_classes();
@@ -111,7 +109,10 @@ fn placement_migrates_large_chunks() {
         .find(|(n, _)| n == "igpu")
         .map(|(_, c)| *c)
         .unwrap_or(0);
-    assert!(igpu > 0, "wide chunks should be placed on the iGPU: {report:?}");
+    assert!(
+        igpu > 0,
+        "wide chunks should be placed on the iGPU: {report:?}"
+    );
 }
 
 /// B1 — the full Q1/Q6 stack: all variants agree at a non-trivial scale.
@@ -119,9 +120,15 @@ fn placement_migrates_large_chunks() {
 fn tpch_stack_agrees() {
     let table = tpch::lineitem(100_000, 77);
     let fused = tpch::q1_fused(&table);
-    assert!(tpch::q1_results_match(&fused, &tpch::q1_vectorized(&table, 2048)));
+    assert!(tpch::q1_results_match(
+        &fused,
+        &tpch::q1_vectorized(&table, 2048)
+    ));
     let compact = tpch::CompactLineitem::from_table(&table);
-    assert!(tpch::q1_results_match(&fused, &tpch::q1_adaptive(&compact, 2048)));
+    assert!(tpch::q1_results_match(
+        &fused,
+        &tpch::q1_adaptive(&compact, 2048)
+    ));
 
     let expected = tpch::q6_reference(&table, 1200);
     let vm = Vm::new(VmConfig {

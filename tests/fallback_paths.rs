@@ -6,11 +6,7 @@
 use adaptvm::dsl::parser::parse_program;
 use adaptvm::prelude::*;
 
-fn run(
-    src: &str,
-    buffers: Buffers,
-    strategy: Strategy,
-) -> (Buffers, adaptvm::vm::RunReport) {
+fn run(src: &str, buffers: Buffers, strategy: Strategy) -> (Buffers, adaptvm::vm::RunReport) {
     let program = parse_program(src).unwrap();
     let config = VmConfig {
         strategy,
@@ -178,9 +174,6 @@ fn ucb_policy_equivalent_results() {
         let vm = Vm::new(config);
         let buffers = Buffers::new().with_input("xs", Array::from(data.clone()));
         let (out, _) = vm.run_with_policy(&program, buffers, &mut policy).unwrap();
-        assert_eq!(
-            out.output("kept").unwrap().to_i64_vec().unwrap(),
-            expected
-        );
+        assert_eq!(out.output("kept").unwrap().to_i64_vec().unwrap(), expected);
     }
 }

@@ -11,9 +11,7 @@ use adaptvm::vm::engine::VmState;
 #[test]
 fn t1_table1_conformance() {
     let kernels = adaptvm::kernels::registry::all_kernels();
-    for skeleton in [
-        "read", "write", "gather", "scatter", "gen", "condense",
-    ] {
+    for skeleton in ["read", "write", "gather", "scatter", "gen", "condense"] {
         assert!(
             kernels.iter().any(|k| k.op == skeleton),
             "Table I skeleton `{skeleton}` missing from the kernel registry"
@@ -74,7 +72,7 @@ fn f2_strategy_equivalence() {
     let mut reference: Option<(Vec<i64>, Vec<i64>)> = None;
     for (strategy, chunk) in [
         (Strategy::Interpret, 1024),
-        (Strategy::Interpret, 1), // tuple-at-a-time interpretation
+        (Strategy::Interpret, 1),        // tuple-at-a-time interpretation
         (Strategy::CompiledPipeline, 1), // tuple-at-a-time compiled
         (Strategy::CompiledPipeline, 1024),
         (Strategy::CompiledPipeline, n as usize), // column-at-a-time

@@ -1,0 +1,186 @@
+//! Determinism of the morsel-parallel executor: parallel TPC-H Q1 and Q6
+//! must return results identical to the single-threaded engine for 1, 2,
+//! 4 and 8 workers — bit-identical wherever the merge reproduces the
+//! sequential addition tree (chunk-ordered merges, integer fixed point),
+//! and within the repo's established float tolerance elsewhere.
+
+use adaptvm::relational::parallel::{
+    q1_parallel_adaptive, q1_parallel_fused, q1_parallel_vectorized, q6_parallel, ParallelOpts,
+};
+use adaptvm::relational::tpch;
+use adaptvm::storage::DEFAULT_CHUNK;
+use adaptvm::vm::{Strategy, Vm, VmConfig};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn rows_bits(rows: &[tpch::Q1Row]) -> Vec<(i64, i64, u64, u64, u64, u64)> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.group,
+                r.count,
+                r.sum_qty.to_bits(),
+                r.sum_base.to_bits(),
+                r.sum_disc_price.to_bits(),
+                r.sum_charge.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn q1_vectorized_bit_identical_for_all_worker_counts() {
+    let t = tpch::lineitem(60_000, 42);
+    let sequential = rows_bits(&tpch::q1_vectorized(&t, DEFAULT_CHUNK));
+    for workers in WORKER_COUNTS {
+        let par = q1_parallel_vectorized(
+            &t,
+            DEFAULT_CHUNK,
+            ParallelOpts {
+                workers,
+                morsel_rows: 8 * DEFAULT_CHUNK,
+            },
+        );
+        assert_eq!(
+            rows_bits(&par),
+            sequential,
+            "vectorized Q1 diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn q1_adaptive_bit_identical_for_all_worker_counts() {
+    let t = tpch::lineitem(60_000, 42);
+    let compact = tpch::CompactLineitem::from_table(&t);
+    let sequential = rows_bits(&tpch::q1_adaptive(&compact, DEFAULT_CHUNK));
+    for workers in WORKER_COUNTS {
+        // Integer fixed-point accumulators: exact for any morsel size.
+        let par = q1_parallel_adaptive(
+            &compact,
+            DEFAULT_CHUNK,
+            ParallelOpts {
+                workers,
+                morsel_rows: 3000 + workers * 1000,
+            },
+        );
+        assert_eq!(
+            rows_bits(&par),
+            sequential,
+            "adaptive Q1 diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn q1_fused_deterministic_across_worker_counts() {
+    let t = tpch::lineitem(60_000, 42);
+    let reference_bits = rows_bits(&q1_parallel_fused(
+        &t,
+        ParallelOpts {
+            workers: 1,
+            morsel_rows: 8192,
+        },
+    ));
+    for workers in WORKER_COUNTS {
+        let par = q1_parallel_fused(
+            &t,
+            ParallelOpts {
+                workers,
+                morsel_rows: 8192,
+            },
+        );
+        // Bit-identical across worker counts (same morsel partials, same
+        // ordered merge)…
+        assert_eq!(rows_bits(&par), reference_bits, "workers={workers}");
+        // …and equal to the sequential fused loop within fp tolerance.
+        assert!(
+            tpch::q1_results_match(&tpch::q1_fused(&t), &par),
+            "fused Q1 diverged at {workers} workers"
+        );
+    }
+}
+
+/// Q6 with one-chunk morsels: the revenue fold reproduces the sequential
+/// VM's addition tree, so results are bit-identical to the single-threaded
+/// engine under every execution strategy.
+#[test]
+fn q6_bit_identical_to_single_threaded_engine_every_strategy() {
+    let t = tpch::lineitem(30_000, 7);
+    for strategy in [
+        Strategy::Interpret,
+        Strategy::CompiledPipeline,
+        Strategy::Adaptive,
+    ] {
+        let config = VmConfig {
+            strategy,
+            hot_threshold: 3,
+            ..VmConfig::default()
+        };
+        // Single-threaded engine run.
+        let vm = Vm::new(config.clone());
+        let (out, _) = vm
+            .run(
+                &tpch::q6_program(t.rows() as i64, 1000),
+                tpch::q6_buffers(&t),
+            )
+            .unwrap();
+        let sequential = out.output("revenue").unwrap().as_f64().unwrap()[0];
+
+        for workers in WORKER_COUNTS {
+            let (rev, report) = q6_parallel(
+                &t,
+                1000,
+                config.clone(),
+                ParallelOpts {
+                    workers,
+                    morsel_rows: config.chunk_size,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                rev.to_bits(),
+                sequential.to_bits(),
+                "{strategy:?} Q6 diverged at {workers} workers"
+            );
+            assert_eq!(
+                report.per_worker_morsels.iter().sum::<u64>(),
+                report.morsels as u64
+            );
+        }
+    }
+}
+
+/// Larger (multi-chunk) morsels: still deterministic — the result depends
+/// on the morsel plan, never on the worker count or scheduling.
+#[test]
+fn q6_worker_count_invariant_with_large_morsels() {
+    let t = tpch::lineitem(50_000, 13);
+    let expected = tpch::q6_reference(&t, 1000);
+    let mut bits: Option<u64> = None;
+    for workers in WORKER_COUNTS {
+        let config = VmConfig {
+            strategy: Strategy::Adaptive,
+            hot_threshold: 4,
+            ..VmConfig::default()
+        };
+        let (rev, _) = q6_parallel(
+            &t,
+            1000,
+            config,
+            ParallelOpts {
+                workers,
+                morsel_rows: 16 * DEFAULT_CHUNK,
+            },
+        )
+        .unwrap();
+        match bits {
+            None => bits = Some(rev.to_bits()),
+            Some(b) => assert_eq!(rev.to_bits(), b, "workers={workers}"),
+        }
+        assert!(
+            (rev - expected).abs() / expected.abs().max(1.0) < 1e-9,
+            "workers={workers}: {rev} vs {expected}"
+        );
+    }
+}

@@ -7,8 +7,8 @@ use adaptvm::prelude::*;
 use adaptvm::storage::compress::{compress, decompress, Scheme};
 // `Strategy` exists in both preludes (proptest's trait, adaptvm's enum);
 // the VM enum is the one used below.
-use adaptvm::vm::Strategy;
 use adaptvm::storage::sel::{Bitmap, SelVec};
+use adaptvm::vm::Strategy;
 use proptest::prelude::*;
 
 proptest! {
