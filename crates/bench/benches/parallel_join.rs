@@ -1,0 +1,122 @@
+//! B11 — morsel-parallel partitioned hash joins: the Q3-style
+//! lineitem ⋈ orders revenue query swept over 1/2/4/8 workers and all
+//! three probe strategies, plus the partitioned build on its own.
+//!
+//! Like `parallel_scaling`, the speedup table needs multi-core hardware
+//! to show >1×; on a single-core container the numbers verify that the
+//! two-phase (build barrier + shared probe) overhead stays small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use adaptvm_relational::parallel::{parallel_build_hash_table, q3_parallel, ParallelOpts};
+use adaptvm_relational::tpch::{self, JoinStrategy};
+use adaptvm_storage::{Array, DEFAULT_CHUNK};
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench(c: &mut Criterion) {
+    let rows = 400_000;
+    let n_orders = 100_000;
+    let date = tpch::SHIPDATE_MAX / 2;
+    let lineitem = tpch::lineitem_q3(rows, n_orders, 42);
+    let orders = tpch::orders(n_orders, 42);
+    let morsel_rows = 16 * DEFAULT_CHUNK;
+
+    for (name, strategy) in [
+        ("parallel_q3_vectorized", JoinStrategy::Vectorized),
+        ("parallel_q3_fused", JoinStrategy::Fused),
+        ("parallel_q3_adaptive", JoinStrategy::Adaptive),
+    ] {
+        let mut g = c.benchmark_group(name);
+        g.sample_size(10);
+        for workers in WORKERS {
+            g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+                b.iter(|| {
+                    q3_parallel(
+                        &lineitem,
+                        &orders,
+                        date,
+                        strategy,
+                        DEFAULT_CHUNK,
+                        true,
+                        ParallelOpts {
+                            workers: w,
+                            morsel_rows,
+                        },
+                    )
+                    .unwrap()
+                })
+            });
+        }
+        g.finish();
+    }
+
+    // The partitioned build phase in isolation (heavy duplication: 4 build
+    // rows per key).
+    let build_keys = Array::from(
+        (0..rows as i64)
+            .map(|i| i % (rows as i64 / 4))
+            .collect::<Vec<_>>(),
+    );
+    let build_pays = Array::from((0..rows as i64).collect::<Vec<_>>());
+    let mut g = c.benchmark_group("partitioned_build");
+    g.sample_size(10);
+    for workers in WORKERS {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                parallel_build_hash_table(
+                    &build_keys,
+                    &build_pays,
+                    false,
+                    ParallelOpts {
+                        workers: w,
+                        morsel_rows,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Speedup table: median-of-3 wall times, fused strategy (the cheapest
+    // probe loop, so parallel overhead shows up first).
+    println!(
+        "\n-- speedup table (Q3 fused, {rows} rows ⋈ {n_orders} orders, morsel {morsel_rows})"
+    );
+    let time_of = |w: usize| {
+        let mut runs: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = q3_parallel(
+                    &lineitem,
+                    &orders,
+                    date,
+                    JoinStrategy::Fused,
+                    DEFAULT_CHUNK,
+                    true,
+                    ParallelOpts {
+                        workers: w,
+                        morsel_rows,
+                    },
+                )
+                .unwrap();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        runs.sort_by(f64::total_cmp);
+        runs[1]
+    };
+    let base = time_of(1);
+    println!("   1 worker : {:8.2} ms  1.00×", base * 1e3);
+    for w in [2usize, 4, 8] {
+        let t = time_of(w);
+        println!("   {w} workers: {:8.2} ms  {:.2}×", t * 1e3, base / t);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("   (available cores: {cores})");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

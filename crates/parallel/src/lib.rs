@@ -10,6 +10,8 @@
 //! * [`dispatch`] — [`Dispatcher`]: contiguous per-worker runs with
 //!   back-of-queue work stealing (locality first, no idle workers under
 //!   skew),
+//! * [`join`] — [`build_then_probe`]: the generic two-phase join driver
+//!   (partitioned build merged in morsel order, shared read-only probe),
 //! * [`pool`] — [`run_morsels`]: scoped worker threads, results assembled
 //!   in morsel order, first error aborts,
 //! * [`exec`] — [`ParallelVm`]: one program instance per morsel, each on a
@@ -39,10 +41,12 @@
 
 pub mod dispatch;
 pub mod exec;
+pub mod join;
 pub mod morsel;
 pub mod pool;
 
 pub use dispatch::{DispatchStats, Dispatcher};
 pub use exec::{ParallelRunReport, ParallelVm};
+pub use join::{build_then_probe, BuildProbeStats};
 pub use morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
 pub use pool::run_morsels;

@@ -5,80 +5,194 @@
 //! first), when A eliminates more tuples from the flow." —
 //! [`AdaptiveJoinChain`] implements exactly that, driven by
 //! [`adaptvm_vm::reorder::ReorderController`].
+//!
+//! [`HashTable`] is a true multimap: duplicate build keys keep every
+//! payload (contiguous, in build-row order, in one arena), and
+//! [`HashTable::probe`] emits **one output row per build match** — the
+//! inner-join cardinality a nested-loop join would produce. Build sides
+//! can also be assembled from per-morsel [`JoinPartition`]s (see
+//! [`HashTable::from_partitions`]), which is what the morsel-parallel
+//! partitioned build in `crate::parallel` uses.
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::time::Instant;
 
 use adaptvm_storage::Array;
 use adaptvm_vm::reorder::ReorderController;
 
-/// A build-side hash table from join key to payload.
+/// Bloom-style pre-filter: a bitmask sized from build cardinality
+/// (~8 bits per distinct key, rounded up to a power of two), with two
+/// probe bits per key derived by double hashing. At 8 bits/key and two
+/// probes the false-positive rate stays below ~10% at any build size —
+/// unlike a fixed-size mask, which saturates once the build outgrows it.
 #[derive(Debug, Clone)]
-pub struct HashTable {
-    map: HashMap<i64, i64>,
-    /// Optional Bloom-style pre-filter (a simple blocked bitmask).
-    bloom: Option<Vec<u64>>,
+struct Bloom {
+    bits: Vec<u64>,
+    mask: u64,
 }
 
-const BLOOM_BITS_LOG2: u32 = 16;
+impl Bloom {
+    /// An empty filter sized for `distinct_keys` entries.
+    fn sized_for(distinct_keys: usize) -> Bloom {
+        let nbits = distinct_keys.saturating_mul(8).next_power_of_two().max(64) as u64;
+        Bloom {
+            bits: vec![0u64; (nbits / 64) as usize],
+            mask: nbits - 1,
+        }
+    }
+
+    /// The two probe positions for `key` (Kirsch–Mitzenmacher double
+    /// hashing over the halves of the 64-bit multiplicative hash; the
+    /// high half leads because multiplicative hashing mixes high bits
+    /// best).
+    #[inline]
+    fn positions(&self, key: i64) -> (u64, u64) {
+        let h = adaptvm_kernels::map::hash_i64(key) as u64;
+        let h1 = h >> 32;
+        let h2 = (h & 0xffff_ffff) | 1; // odd: never a no-op step
+        (h1 & self.mask, h1.wrapping_add(h2) & self.mask)
+    }
+
+    fn insert(&mut self, key: i64) {
+        let (a, b) = self.positions(key);
+        self.bits[(a / 64) as usize] |= 1 << (a % 64);
+        self.bits[(b / 64) as usize] |= 1 << (b % 64);
+    }
+
+    #[inline]
+    fn maybe_contains(&self, key: i64) -> bool {
+        let (a, b) = self.positions(key);
+        self.bits[(a / 64) as usize] & (1 << (a % 64)) != 0
+            && self.bits[(b / 64) as usize] & (1 << (b % 64)) != 0
+    }
+}
+
+/// A build-side hash table from join key to payloads (a multimap).
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    /// key → `(start, len)` into [`Self::payloads`]: every payload for a
+    /// key is contiguous, in build-row order.
+    map: HashMap<i64, (u32, u32)>,
+    /// The payload arena.
+    payloads: Vec<i64>,
+    /// Optional Bloom-style pre-filter.
+    bloom: Option<Bloom>,
+}
 
 impl HashTable {
-    /// Build from parallel key/payload arrays (last duplicate wins).
+    /// Build from parallel key/payload arrays. Duplicate keys keep every
+    /// payload (in build-row order): probing emits one output row per
+    /// build match. Returns `None` on non-integer columns or a length
+    /// mismatch.
     pub fn build(keys: &Array, payloads: &Array) -> Option<HashTable> {
         let k = keys.to_i64_vec()?;
         let p = payloads.to_i64_vec()?;
         if k.len() != p.len() {
             return None;
         }
-        let map: HashMap<i64, i64> = k.iter().copied().zip(p.iter().copied()).collect();
-        Some(HashTable { map, bloom: None })
+        Some(HashTable::from_rows(&k, &p))
+    }
+
+    /// Build from key/payload slices (infallible form of [`Self::build`]).
+    /// Panics if the slices differ in length.
+    pub fn from_rows(keys: &[i64], payloads: &[i64]) -> HashTable {
+        HashTable::from_partitions([JoinPartition::from_rows(keys, payloads)])
+    }
+
+    /// Merge per-morsel partitions (in iteration order) into one table.
+    ///
+    /// Feeding the partitions **in morsel order** concatenates each key's
+    /// payload list in global build-row order, so the merged table is
+    /// observably identical to a sequential [`Self::build`] over the whole
+    /// column — the contract the morsel-parallel partitioned build relies
+    /// on.
+    pub fn from_partitions<I>(partitions: I) -> HashTable
+    where
+        I: IntoIterator<Item = JoinPartition>,
+    {
+        let mut merged: HashMap<i64, Vec<i64>> = HashMap::new();
+        for partition in partitions {
+            for (key, payloads) in partition.map {
+                merged.entry(key).or_default().extend(payloads);
+            }
+        }
+        let total: usize = merged.values().map(Vec::len).sum();
+        let mut map = HashMap::with_capacity(merged.len());
+        let mut arena = Vec::with_capacity(total);
+        for (key, payloads) in merged {
+            map.insert(key, (arena.len() as u32, payloads.len() as u32));
+            arena.extend(payloads);
+        }
+        HashTable {
+            map,
+            payloads: arena,
+            bloom: None,
+        }
     }
 
     /// Attach a Bloom pre-filter (useful for selective joins, §IV:
     /// "the applicability of Bloom-filters in selective hash-joins").
+    /// The bitmask is sized from the build cardinality (~8 bits per
+    /// distinct key) and probes two derived bits per key.
     pub fn with_bloom(mut self) -> HashTable {
-        let mut bits = vec![0u64; 1 << (BLOOM_BITS_LOG2 - 6)];
+        let mut bloom = Bloom::sized_for(self.map.len());
         for &k in self.map.keys() {
-            let h = adaptvm_kernels::map::hash_i64(k) as u64;
-            let bit = (h >> 8) & ((1 << BLOOM_BITS_LOG2) - 1);
-            bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            bloom.insert(k);
         }
-        self.bloom = Some(bits);
+        self.bloom = Some(bloom);
         self
     }
 
-    /// Number of build-side keys.
+    /// Number of build-side rows (counting duplicates).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.payloads.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.payloads.is_empty()
+    }
+
+    /// Number of distinct build-side keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Bits in the attached Bloom filter (0 when none is attached).
+    pub fn bloom_bits(&self) -> usize {
+        self.bloom.as_ref().map_or(0, |b| (b.mask + 1) as usize)
     }
 
     #[inline]
     fn maybe_contains(&self, key: i64) -> bool {
         match &self.bloom {
             None => true,
-            Some(bits) => {
-                let h = adaptvm_kernels::map::hash_i64(key) as u64;
-                let bit = (h >> 8) & ((1 << BLOOM_BITS_LOG2) - 1);
-                bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
-            }
+            Some(bloom) => bloom.maybe_contains(key),
         }
     }
 
-    /// Probe with a key column: returns (probe indices, payloads) for
-    /// matches.
+    /// All build payloads matching `key`, in build-row order (empty when
+    /// the key misses).
+    #[inline]
+    pub fn matches(&self, key: i64) -> &[i64] {
+        if !self.maybe_contains(key) {
+            return &[];
+        }
+        match self.map.get(&key) {
+            Some(&(start, len)) => &self.payloads[start as usize..(start + len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Probe with a key column: one output row **per build match** — the
+    /// probe index repeats for duplicate build keys, paired with each
+    /// matching payload in build-row order.
     pub fn probe(&self, keys: &[i64]) -> (Vec<u32>, Vec<i64>) {
         let mut idx = Vec::new();
         let mut payload = Vec::new();
         for (i, &k) in keys.iter().enumerate() {
-            if !self.maybe_contains(k) {
-                continue;
-            }
-            if let Some(&p) = self.map.get(&k) {
+            for &p in self.matches(k) {
                 idx.push(i as u32);
                 payload.push(p);
             }
@@ -93,10 +207,133 @@ impl HashTable {
 
     /// Semi-join: which probe keys match at all.
     pub fn semi(&self, keys: &[i64]) -> Vec<bool> {
-        keys.iter()
-            .map(|&k| self.maybe_contains(k) && self.map.contains_key(&k))
-            .collect()
+        keys.iter().map(|&k| self.contains(k)).collect()
     }
+}
+
+/// A build-side partition over one morsel's rows: a local multimap that
+/// [`HashTable::from_partitions`] merges (in morsel order) into the one
+/// shared, read-only probe table. Partitions are cheap to build
+/// independently — that is the parallel half of "partitioned build,
+/// shared probe".
+#[derive(Debug, Clone, Default)]
+pub struct JoinPartition {
+    map: HashMap<i64, Vec<i64>>,
+    rows: usize,
+}
+
+impl JoinPartition {
+    /// Hash one morsel's key/payload rows into a local multimap. Panics if
+    /// the slices differ in length.
+    pub fn from_rows(keys: &[i64], payloads: &[i64]) -> JoinPartition {
+        assert_eq!(
+            keys.len(),
+            payloads.len(),
+            "build keys and payloads must have equal lengths"
+        );
+        let mut map: HashMap<i64, Vec<i64>> = HashMap::new();
+        for (&k, &p) in keys.iter().zip(payloads) {
+            map.entry(k).or_default().push(p);
+        }
+        JoinPartition {
+            map,
+            rows: keys.len(),
+        }
+    }
+
+    /// Build rows hashed into this partition.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// One per-join observation from probing a chunk/morsel: how many rows the
+/// join saw, how many passed, and how long it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinObservation {
+    /// Which join in the chain.
+    pub join: usize,
+    /// Rows flowing into the join.
+    pub input: usize,
+    /// Rows surviving the join.
+    pub output: usize,
+    /// Elapsed nanoseconds.
+    pub ns: u64,
+}
+
+/// Probe rows `range` of the key columns through `tables` in the fixed
+/// `order`, with no controller interaction: the morsel-level worker step
+/// the parallel join chain runs, and the core of
+/// [`AdaptiveJoinChain::probe_chunk`]. Returns the survivors (indices are
+/// **global** row numbers into `keys`) and one [`JoinObservation`] per
+/// join, in probe order.
+///
+/// Panics (with a clear message, validated up front) on unequal key
+/// columns, an out-of-range probe `range`, or an `order` that is not a
+/// permutation-subset of the joins.
+pub fn probe_chunk_with_order(
+    tables: &[HashTable],
+    order: &[usize],
+    keys: &[Vec<i64>],
+    range: Range<usize>,
+) -> (ChainResult, Vec<JoinObservation>) {
+    let n = validate_key_columns(keys, tables.len());
+    assert!(
+        range.end <= n,
+        "probe range {range:?} exceeds the key columns' {n} rows"
+    );
+    for &j in order {
+        assert!(j < tables.len(), "order names join {j} of {}", tables.len());
+    }
+    let mut alive: Vec<u32> = (range.start as u32..range.end as u32).collect();
+    let mut observations = Vec::with_capacity(order.len());
+    for &j in order {
+        let t0 = Instant::now();
+        let input = alive.len();
+        let table = &tables[j];
+        alive.retain(|&i| table.contains(keys[j][i as usize]));
+        observations.push(JoinObservation {
+            join: j,
+            input,
+            output: alive.len(),
+            ns: t0.elapsed().as_nanos() as u64,
+        });
+    }
+    // Project payloads for the survivors: per surviving row, the sum of
+    // every matching build payload across the chain (duplicate build keys
+    // contribute every match).
+    let payload_sum: Vec<i64> = alive
+        .iter()
+        .map(|&i| {
+            tables
+                .iter()
+                .enumerate()
+                .map(|(j, t)| t.matches(keys[j][i as usize]).iter().sum::<i64>())
+                .sum()
+        })
+        .collect();
+    (
+        ChainResult {
+            indices: alive,
+            payload_sum,
+        },
+        observations,
+    )
+}
+
+/// Panic with a clear message unless every key column has the same length.
+pub(crate) fn validate_key_columns(keys: &[Vec<i64>], joins: usize) -> usize {
+    assert_eq!(keys.len(), joins, "one key column per join");
+    let n = keys.first().map_or(0, Vec::len);
+    for (j, column) in keys.iter().enumerate() {
+        assert_eq!(
+            column.len(),
+            n,
+            "join key columns must have equal lengths: column {j} has {} rows, column 0 has {n}",
+            column.len(),
+        );
+    }
+    n
 }
 
 /// A chain of hash joins probed in adaptive order: the semi-join of the
@@ -111,7 +348,8 @@ pub struct AdaptiveJoinChain {
 pub struct ChainResult {
     /// Indices of probe rows surviving every join.
     pub indices: Vec<u32>,
-    /// Payload sums per surviving row (a stand-in projection).
+    /// Payload sums per surviving row (a stand-in projection; duplicate
+    /// build keys contribute every matching payload).
     pub payload_sum: Vec<i64>,
 }
 
@@ -137,39 +375,17 @@ impl AdaptiveJoinChain {
     }
 
     /// Probe one chunk of key columns (`keys[j]` is the probe key column
-    /// for join `j`). All key columns must have equal length.
+    /// for join `j`). All key columns must have equal length (validated up
+    /// front, with a clear panic message on mismatch).
     pub fn probe_chunk(&mut self, keys: &[Vec<i64>]) -> ChainResult {
-        assert_eq!(keys.len(), self.tables.len(), "one key column per join");
-        let n = keys.first().map_or(0, Vec::len);
+        let n = validate_key_columns(keys, self.tables.len());
         let order = self.controller.current_order().to_vec();
-        let mut alive: Vec<u32> = (0..n as u32).collect();
-        for &j in &order {
-            let t0 = Instant::now();
-            let input = alive.len();
-            let table = &self.tables[j];
-            alive.retain(|&i| {
-                let k = keys[j][i as usize];
-                table.maybe_contains(k) && table.map.contains_key(&k)
-            });
-            self.controller
-                .record(j, input, alive.len(), t0.elapsed().as_nanos() as u64);
+        let (result, observations) = probe_chunk_with_order(&self.tables, &order, keys, 0..n);
+        for o in observations {
+            self.controller.record(o.join, o.input, o.output, o.ns);
         }
-        // Project payloads for the survivors.
-        let payload_sum: Vec<i64> = alive
-            .iter()
-            .map(|&i| {
-                self.tables
-                    .iter()
-                    .enumerate()
-                    .map(|(j, t)| *t.map.get(&keys[j][i as usize]).expect("survivor matches"))
-                    .sum()
-            })
-            .collect();
         self.controller.next_order();
-        ChainResult {
-            indices: alive,
-            payload_sum,
-        }
+        result
     }
 }
 
@@ -194,12 +410,60 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_build_keys_emit_one_row_per_match() {
+        // Key 7 appears three times, key 8 once.
+        let keys = Array::from(vec![7i64, 8, 7, 7]);
+        let pays = Array::from(vec![70i64, 80, 71, 72]);
+        let t = HashTable::build(&keys, &pays).unwrap();
+        assert_eq!(t.len(), 4, "all build rows retained");
+        assert_eq!(t.distinct_keys(), 2);
+        assert_eq!(t.matches(7), &[70, 71, 72], "build-row order");
+        let (idx, pay) = t.probe(&[8, 7, 9]);
+        assert_eq!(idx, vec![0, 1, 1, 1]);
+        assert_eq!(pay, vec![80, 70, 71, 72]);
+    }
+
+    #[test]
+    fn partitioned_build_matches_sequential_build() {
+        let keys: Vec<i64> = (0..500).map(|i| i % 37).collect();
+        let pays: Vec<i64> = (0..500).collect();
+        let whole = HashTable::from_rows(&keys, &pays);
+        // Split into uneven morsels, merge in morsel order.
+        let parts = [0..123, 123..200, 200..500]
+            .map(|r: Range<usize>| JoinPartition::from_rows(&keys[r.clone()], &pays[r.clone()]));
+        assert_eq!(parts.iter().map(JoinPartition::rows).sum::<usize>(), 500);
+        let merged = HashTable::from_partitions(parts);
+        let probes: Vec<i64> = (-5..45).collect();
+        assert_eq!(whole.probe(&probes), merged.probe(&probes));
+        assert_eq!(whole.len(), merged.len());
+        assert_eq!(whole.distinct_keys(), merged.distinct_keys());
+    }
+
+    #[test]
     fn bloom_filter_never_drops_matches() {
         let keys: Vec<i64> = (0..1000).map(|i| i * 3).collect();
         let plain = table_with_keys(&keys);
         let bloomed = table_with_keys(&keys).with_bloom();
         let probes: Vec<i64> = (0..3000).collect();
         assert_eq!(plain.probe(&probes), bloomed.probe(&probes));
+    }
+
+    #[test]
+    fn bloom_scales_with_build_cardinality() {
+        // ~8 bits/key, power of two, with a floor for tiny builds.
+        let small = table_with_keys(&(0..10).collect::<Vec<_>>()).with_bloom();
+        assert_eq!(small.bloom_bits(), 128);
+        let big_keys: Vec<i64> = (0..100_000).collect();
+        let big = table_with_keys(&big_keys).with_bloom();
+        assert_eq!(big.bloom_bits(), (100_000usize * 8).next_power_of_two());
+        // False-positive rate stays useful beyond the old fixed 2^16 mask:
+        // probe 100k keys that are all misses and require <25% to pass.
+        let misses: Vec<i64> = (1_000_000..1_100_000).collect();
+        let passed = misses.iter().filter(|&&k| big.contains(k)).count();
+        assert_eq!(passed, 0, "contains() consults the table after the bloom");
+        let fp =
+            misses.iter().filter(|&&k| big.maybe_contains(k)).count() as f64 / misses.len() as f64;
+        assert!(fp < 0.25, "false-positive rate collapsed: {fp}");
     }
 
     #[test]
@@ -214,6 +478,14 @@ mod tests {
     fn build_rejects_mismatch() {
         assert!(HashTable::build(&Array::from(vec![1i64]), &Array::from(vec![1i64, 2])).is_none());
         assert!(HashTable::build(&Array::from(vec![1.5f64]), &Array::from(vec![1i64])).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "join key columns must have equal lengths")]
+    fn chain_rejects_unequal_key_columns() {
+        let mut chain =
+            AdaptiveJoinChain::new(vec![table_with_keys(&[1]), table_with_keys(&[2])], 2);
+        chain.probe_chunk(&[vec![1, 2, 3], vec![1, 2]]);
     }
 
     #[test]
@@ -277,5 +549,20 @@ mod tests {
             );
         }
         let _ = (t0, t1);
+    }
+
+    #[test]
+    fn chain_payload_counts_every_duplicate_match() {
+        // Join 0 has key 1 twice (payloads 10, 11); join 1 once (payload 5).
+        let t0 = HashTable::build(
+            &Array::from(vec![1i64, 1, 2]),
+            &Array::from(vec![10i64, 11, 20]),
+        )
+        .unwrap();
+        let t1 = HashTable::build(&Array::from(vec![1i64]), &Array::from(vec![5i64])).unwrap();
+        let mut chain = AdaptiveJoinChain::new(vec![t0, t1], 4);
+        let r = chain.probe_chunk(&[vec![1, 2], vec![1, 1]]);
+        assert_eq!(r.indices, vec![0, 1]);
+        assert_eq!(r.payload_sum, vec![10 + 11 + 5, 20 + 5]);
     }
 }

@@ -7,8 +7,10 @@
 //!
 //! * [`ops`] — chunk-level physical operators: scans, selections (flavored,
 //!   micro-adaptive), projections, in-chunk arithmetic,
-//! * [`join`] — hash joins with optional Bloom pre-filtering and the
-//!   §III-C adaptive join-order chain,
+//! * [`join`] — multimap hash joins (one output row per build match) with
+//!   cardinality-sized Bloom pre-filtering, the §III-C adaptive
+//!   join-order chain, and per-morsel build partitions for the parallel
+//!   partitioned build,
 //! * [`agg`] — hash aggregation with adaptively-triggered pre-aggregation
 //!   (the TPC-H Q1 optimization of the paper's \[12\]),
 //! * [`compressed_exec`] — scan strategies over per-block compressed
@@ -16,10 +18,12 @@
 //!   mix that reacts to block-by-block scheme changes (§I, §III-C),
 //! * [`tpch`] — TPC-H-style data generation plus Q1 and Q6 in every
 //!   execution strategy (vectorized / fused-compiled / adaptive, with
-//!   compact-data-type variants),
+//!   compact-data-type variants) and a Q3-style `lineitem ⋈ orders`
+//!   revenue query in three probe strategies,
 //! * [`parallel`] — morsel-parallel pipelines over the same operators:
 //!   parallel scan/filter/projection, partitioned hash aggregation with a
-//!   final merge phase, and parallel Q1/Q6 in every strategy, built on
+//!   final merge phase, partitioned-build/shared-probe hash joins (plus
+//!   the parallel adaptive join chain), and parallel Q1/Q3/Q6, built on
 //!   [`adaptvm_parallel`]'s work-stealing dispatcher and shared JIT cache.
 
 pub mod agg;

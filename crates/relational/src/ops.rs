@@ -16,6 +16,18 @@ use crate::ops;
 /// Errors from the operator layer.
 pub type OpResult<T> = Result<T, adaptvm_kernels::KernelError>;
 
+/// Extract a named column as `Vec<i64>` — the shared precondition
+/// plumbing of the join and aggregation pipelines.
+pub(crate) fn int_column(table: &Table, name: &str) -> OpResult<Vec<i64>> {
+    table
+        .column_by_name(name)
+        .map_err(adaptvm_kernels::KernelError::Storage)?
+        .to_i64_vec()
+        .ok_or_else(|| {
+            adaptvm_kernels::KernelError::Precondition(format!("{name} must be integer"))
+        })
+}
+
 /// Scan a dense table as a chunk iterator.
 pub struct DenseScan<'t> {
     table: &'t Table,

@@ -11,28 +11,54 @@
 //! the same per-chunk partials in the same order.
 //!
 //! Exactness ladder (strongest first):
-//! * [`q1_parallel_adaptive`] — integer fixed-point accumulators:
-//!   bit-identical to [`tpch::q1_adaptive`] for *any* split,
+//! * [`q1_parallel_adaptive`], [`q3_parallel`] — integer fixed-point
+//!   accumulators: bit-identical to their sequential counterparts
+//!   ([`tpch::q1_adaptive`], [`tpch::q3_hash`]) for *any* split,
 //! * [`q1_parallel_vectorized`], [`parallel_filter_project_sum`],
 //!   [`q6_parallel`] — bit-identical to their sequential counterparts via
 //!   per-chunk partials merged in global chunk order,
+//! * [`parallel_hash_join`], [`parallel_build_hash_table`] — the
+//!   partitioned build merges per-morsel [`JoinPartition`]s in morsel
+//!   order, so the shared table and the morsel-ordered probe output are
+//!   observably identical to a sequential build + probe (exact: integer
+//!   payloads only),
 //! * [`q1_parallel_fused`], [`parallel_hash_aggregate`] — deterministic
 //!   (worker-count independent) per-morsel merge; equal to the sequential
 //!   fold up to floating-point associativity.
+//!
+//! ## Parallel joins
+//!
+//! Joins follow the **partitioned build, shared probe** pattern of
+//! [`adaptvm_parallel::join`]: each worker hashes its build-side morsels
+//! into private [`JoinPartition`]s, the partitions merge (morsel order)
+//! into one read-only [`HashTable`], and probe-side morsels then probe it
+//! concurrently. [`ParallelJoinChain`] extends this to the §III-C adaptive
+//! join chain: every batch is probed morsel-parallel under one order
+//! snapshot, per-join selectivity observations are merged across morsels,
+//! and only then does the reorder controller see them — one coherent
+//! observation per join per batch, scheduling-independent results.
 
 use std::collections::HashMap;
 use std::convert::Infallible;
 
 use adaptvm_dsl::ast::ScalarOp;
 use adaptvm_kernels::{FilterFlavor, MapMode};
-use adaptvm_parallel::{run_morsels, Morsel, MorselPlan, ParallelRunReport, ParallelVm};
+use adaptvm_parallel::{
+    build_then_probe, run_morsels, BuildProbeStats, Morsel, MorselPlan, ParallelRunReport,
+    ParallelVm,
+};
 use adaptvm_storage::scalar::Scalar;
 use adaptvm_storage::schema::Table;
+use adaptvm_storage::Array;
+use adaptvm_vm::reorder::ReorderController;
 use adaptvm_vm::{VmConfig, VmError};
 
 use crate::agg::{AdaptiveAggregator, GroupState, PreAgg};
+use crate::join::{
+    probe_chunk_with_order, validate_key_columns, ChainResult, HashTable, JoinPartition,
+};
 use crate::ops::{self, DenseScan, OpResult};
-use crate::tpch::{self, CompactLineitem, Q1Row, Q1_GROUPS};
+use crate::tpch::{self, CompactLineitem, JoinStrategy, Q1Row, Q1_GROUPS};
 
 /// How to run a parallel pipeline: worker threads and morsel size.
 #[derive(Debug, Clone, Copy)]
@@ -170,6 +196,258 @@ fn never<T>(r: Result<T, Infallible>) -> T {
         Ok(v) => v,
         Err(e) => match e {},
     }
+}
+
+/// Extract equal-length integer build columns (the shared precondition of
+/// every partitioned build entry point).
+fn build_rows(keys: &Array, payloads: &Array) -> OpResult<(Vec<i64>, Vec<i64>)> {
+    let int_rows = |array: &Array, what: &str| {
+        array.to_i64_vec().ok_or_else(|| {
+            adaptvm_kernels::KernelError::Precondition(format!("{what} must be integer"))
+        })
+    };
+    let k = int_rows(keys, "join build keys")?;
+    let p = int_rows(payloads, "join build payloads")?;
+    if k.len() != p.len() {
+        return Err(adaptvm_kernels::KernelError::Precondition(format!(
+            "build keys and payloads must have equal lengths ({} vs {})",
+            k.len(),
+            p.len()
+        )));
+    }
+    Ok((k, p))
+}
+
+/// Morsel-parallel partitioned hash-table build: every worker hashes its
+/// build-side morsels into private [`JoinPartition`]s, merged — in morsel
+/// order — into one shared, read-only [`HashTable`]. Observably identical
+/// to a sequential [`HashTable::build`] over the same columns (duplicate
+/// keys keep every payload, in global build-row order), for any worker
+/// count and morsel size.
+pub fn parallel_build_hash_table(
+    keys: &Array,
+    payloads: &Array,
+    bloom: bool,
+    opts: ParallelOpts,
+) -> OpResult<HashTable> {
+    let (k, p) = build_rows(keys, payloads)?;
+    let plan = MorselPlan::new(k.len(), opts.morsel_rows);
+    let (partitions, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+        Ok(JoinPartition::from_rows(
+            &k[m.start..m.end()],
+            &p[m.start..m.end()],
+        ))
+    }));
+    let table = HashTable::from_partitions(partitions);
+    Ok(if bloom { table.with_bloom() } else { table })
+}
+
+/// A materialized morsel-parallel hash join: probe indices (global row
+/// numbers, one per build match) and the matching payloads, merged in
+/// morsel order — identical to [`HashTable::probe`] over the whole probe
+/// column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelJoinOutput {
+    /// Probe-side row numbers, one per build match, ascending.
+    pub indices: Vec<u32>,
+    /// The matching build payloads, in build-row order per probe row.
+    pub payloads: Vec<i64>,
+    /// Per-phase dispatch statistics.
+    pub stats: BuildProbeStats,
+}
+
+/// Full morsel-parallel hash join over integer key/payload columns:
+/// partitioned build (each worker over its build morsels, partitions
+/// merged in morsel order into one shared [`HashTable`]) followed by a
+/// shared probe over probe-side morsels, outputs merged in morsel order.
+/// Returns the shared table and the materialized join output —
+/// bit-identical across 1/2/4/8/… workers, and equal to the sequential
+/// build + [`HashTable::probe`].
+pub fn parallel_hash_join(
+    build_keys: &Array,
+    build_payloads: &Array,
+    probe_keys: &[i64],
+    bloom: bool,
+    opts: ParallelOpts,
+) -> OpResult<(HashTable, ParallelJoinOutput)> {
+    let (bk, bp) = build_rows(build_keys, build_payloads)?;
+    let build_plan = MorselPlan::new(bk.len(), opts.morsel_rows);
+    let probe_plan = MorselPlan::new(probe_keys.len(), opts.morsel_rows);
+    let (table, per_morsel, stats) = never(build_then_probe(
+        opts.workers,
+        &build_plan,
+        &probe_plan,
+        |_, m| {
+            Ok(JoinPartition::from_rows(
+                &bk[m.start..m.end()],
+                &bp[m.start..m.end()],
+            ))
+        },
+        |partitions| {
+            let t = HashTable::from_partitions(partitions);
+            if bloom {
+                t.with_bloom()
+            } else {
+                t
+            }
+        },
+        |_, m, table: &HashTable| {
+            let (idx, pay) = table.probe(&probe_keys[m.start..m.end()]);
+            Ok((m.start as u32, idx, pay))
+        },
+    ));
+    let mut indices = Vec::new();
+    let mut payloads = Vec::new();
+    for (base, idx, pay) in per_morsel {
+        indices.extend(idx.into_iter().map(|i| i + base));
+        payloads.extend(pay);
+    }
+    Ok((
+        table,
+        ParallelJoinOutput {
+            indices,
+            payloads,
+            stats,
+        },
+    ))
+}
+
+/// The §III-C adaptive join chain, probed morsel-parallel.
+///
+/// Each batch of key columns is sliced into morsels and probed on the
+/// work-stealing pool under **one snapshot** of the current order; every
+/// morsel records per-join `(input, output, ns)` observations. After the
+/// batch, the observations are **merged across morsels (in morsel order)
+/// before reordering** — the controller sees one coherent selectivity
+/// sample per join per batch, so its decisions are based on whole-batch
+/// pass rates, not on whichever morsel finished last.
+///
+/// Survivor indices and payload sums merge in morsel order: the result is
+/// identical to [`crate::join::AdaptiveJoinChain::probe_chunk`] over the
+/// same rows for any worker count (survivors of a conjunctive chain do
+/// not depend on probe order).
+pub struct ParallelJoinChain {
+    tables: Vec<HashTable>,
+    controller: ReorderController,
+}
+
+impl ParallelJoinChain {
+    /// Chain over the given build sides, re-evaluating order every
+    /// `every` batches.
+    pub fn new(tables: Vec<HashTable>, every: u64) -> ParallelJoinChain {
+        let n = tables.len();
+        ParallelJoinChain {
+            tables,
+            controller: ReorderController::new(n, every),
+        }
+    }
+
+    /// The current probe order.
+    pub fn order(&self) -> &[usize] {
+        self.controller.current_order()
+    }
+
+    /// Times the order changed so far.
+    pub fn reorders(&self) -> u64 {
+        self.controller.reorders()
+    }
+
+    /// Probe one batch of key columns (`keys[j]` is the probe key column
+    /// for join `j`; all columns must have equal length) morsel-parallel.
+    pub fn probe_batch(&mut self, keys: &[Vec<i64>], opts: ParallelOpts) -> ChainResult {
+        let n = validate_key_columns(keys, self.tables.len());
+        let order = self.controller.current_order().to_vec();
+        let plan = MorselPlan::new(n, opts.morsel_rows);
+        let tables = &self.tables;
+        let (per_morsel, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+            Ok(probe_chunk_with_order(
+                tables,
+                &order,
+                keys,
+                m.start..m.end(),
+            ))
+        }));
+        // Merge: survivors in morsel order; observations folded across
+        // morsels into one (input, output, ns) sample per join.
+        let mut indices = Vec::new();
+        let mut payload_sum = Vec::new();
+        let mut merged = vec![(0usize, 0usize, 0u64); self.tables.len()];
+        for (result, observations) in per_morsel {
+            indices.extend(result.indices);
+            payload_sum.extend(result.payload_sum);
+            for o in observations {
+                let slot = &mut merged[o.join];
+                slot.0 += o.input;
+                slot.1 += o.output;
+                slot.2 += o.ns;
+            }
+        }
+        for &j in &order {
+            let (input, output, ns) = merged[j];
+            self.controller.record(j, input, output, ns);
+        }
+        self.controller.next_order();
+        ChainResult {
+            indices,
+            payload_sum,
+        }
+    }
+}
+
+/// Morsel-parallel Q3-style join query (see [`tpch::q3_hash`]): the
+/// partitioned build filters and hashes orders morsels into partitions
+/// merged in morsel order; the shared probe then runs every lineitem
+/// morsel through the chosen [`JoinStrategy`], and the exact fixed-point
+/// morsel revenues fold in morsel order. Integer accumulators are
+/// associative, so the result is **bit-identical to the sequential
+/// [`tpch::q3_hash`]** for any worker count, morsel size, and strategy.
+pub fn q3_parallel(
+    lineitem: &Table,
+    orders: &Table,
+    date: i64,
+    strategy: JoinStrategy,
+    chunk_rows: usize,
+    bloom: bool,
+    opts: ParallelOpts,
+) -> OpResult<(f64, BuildProbeStats)> {
+    let chunk_rows = chunk_rows.max(1);
+    let okey = ops::int_column(orders, "o_orderkey")?;
+    let odate = ops::int_column(orders, "o_orderdate")?;
+    let cols = tpch::Q3Cols::from_table(lineitem)?;
+    let build_plan = MorselPlan::new(okey.len(), opts.morsel_rows);
+    let probe_plan = MorselPlan::chunk_aligned(lineitem.rows(), opts.morsel_rows, chunk_rows);
+    let (_, revenues, stats) = never(build_then_probe(
+        opts.workers,
+        &build_plan,
+        &probe_plan,
+        |_, m| {
+            // Build stage: filter this orders morsel by date, hash the
+            // survivors into a private partition.
+            let mut keys = Vec::new();
+            let mut payloads = Vec::new();
+            for i in m.start..m.end() {
+                if odate[i] < date {
+                    keys.push(okey[i]);
+                    payloads.push(odate[i]);
+                }
+            }
+            Ok(JoinPartition::from_rows(&keys, &payloads))
+        },
+        |partitions| {
+            let t = HashTable::from_partitions(partitions);
+            if bloom {
+                t.with_bloom()
+            } else {
+                t
+            }
+        },
+        |_, m, table: &HashTable| {
+            Ok(tpch::q3_probe_range(
+                &cols, table, date, strategy, m.start, m.len, chunk_rows,
+            ))
+        },
+    ));
+    Ok((tpch::q3_revenue_f64(revenues.into_iter().sum()), stats))
 }
 
 /// A morsel-sized table holding only the named columns.
@@ -484,6 +762,136 @@ mod tests {
                 "{strategy:?}: {rev} vs {expected}"
             );
             assert_eq!(report.morsels, 5, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build() {
+        // Heavy duplication: 20k rows over 500 distinct keys.
+        let keys = Array::from((0..20_000).map(|i| i % 500).collect::<Vec<i64>>());
+        let pays = Array::from((0..20_000).collect::<Vec<i64>>());
+        let sequential = HashTable::build(&keys, &pays).unwrap();
+        let probes: Vec<i64> = (-10..510).collect();
+        let expected = sequential.probe(&probes);
+        for workers in [1, 2, 4, 8] {
+            for bloom in [false, true] {
+                let par = parallel_build_hash_table(
+                    &keys,
+                    &pays,
+                    bloom,
+                    ParallelOpts {
+                        workers,
+                        morsel_rows: 3_000,
+                    },
+                )
+                .unwrap();
+                assert_eq!(par.len(), sequential.len());
+                assert_eq!(par.distinct_keys(), sequential.distinct_keys());
+                assert_eq!(
+                    par.probe(&probes),
+                    expected,
+                    "workers={workers} bloom={bloom}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_hash_join_matches_sequential_probe() {
+        let build_keys = Array::from((0..5_000).map(|i| i % 400).collect::<Vec<i64>>());
+        let build_pays = Array::from((0..5_000).map(|i| i * 3).collect::<Vec<i64>>());
+        let probe_keys: Vec<i64> = (0..30_000).map(|i| (i * 7) % 800).collect();
+        let table = HashTable::build(&build_keys, &build_pays).unwrap();
+        let (seq_idx, seq_pay) = table.probe(&probe_keys);
+        for workers in [1, 2, 4, 8] {
+            let (_, out) = parallel_hash_join(
+                &build_keys,
+                &build_pays,
+                &probe_keys,
+                workers % 2 == 0, // alternate bloom on/off across the sweep
+                ParallelOpts {
+                    workers,
+                    morsel_rows: 4_096,
+                },
+            )
+            .unwrap();
+            assert_eq!(out.indices, seq_idx, "workers={workers}");
+            assert_eq!(out.payloads, seq_pay, "workers={workers}");
+            assert_eq!(
+                out.stats.probe.executed.iter().sum::<u64>(),
+                30_000u64.div_ceil(4_096),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_join_chain_matches_sequential_chain() {
+        use crate::join::AdaptiveJoinChain;
+        let mk = |n: i64| {
+            let keys: Vec<i64> = (0..n).collect();
+            HashTable::build(
+                &Array::from(keys.clone()),
+                &Array::from(keys.iter().map(|k| k + 1).collect::<Vec<_>>()),
+            )
+            .unwrap()
+        };
+        let probes: Vec<i64> = (0..20_000).map(|i| i % 15_000).collect();
+        let keys = [probes.clone(), probes.clone()];
+        // Sequential reference over the same batches.
+        let mut seq = AdaptiveJoinChain::new(vec![mk(10_000), mk(1_000)], 2);
+        let seq_results: Vec<ChainResult> = (0..6).map(|_| seq.probe_chunk(&keys)).collect();
+        for workers in [1, 2, 4, 8] {
+            let mut par = ParallelJoinChain::new(vec![mk(10_000), mk(1_000)], 2);
+            for (batch, expected) in seq_results.iter().enumerate() {
+                let r = par.probe_batch(
+                    &keys,
+                    ParallelOpts {
+                        workers,
+                        morsel_rows: 3_000,
+                    },
+                );
+                assert_eq!(&r, expected, "workers={workers} batch={batch}");
+            }
+            assert_eq!(
+                par.order(),
+                &[1, 0],
+                "selective join leads after merged stats (workers={workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_q3_bit_identical_to_sequential_for_every_strategy() {
+        let li = tpch::lineitem_q3(25_000, 4_000, 23);
+        let ord = tpch::orders(4_000, 23);
+        let date = tpch::SHIPDATE_MAX / 2;
+        let reference = tpch::q3_reference(&li, &ord, date);
+        for strategy in JoinStrategy::ALL {
+            let seq = tpch::q3_hash(&li, &ord, date, strategy, 1024, true).unwrap();
+            assert!((seq - reference).abs() / reference.abs().max(1.0) < 1e-9);
+            for workers in [1, 2, 4, 8] {
+                let (rev, stats) = q3_parallel(
+                    &li,
+                    &ord,
+                    date,
+                    strategy,
+                    1024,
+                    true,
+                    ParallelOpts {
+                        workers,
+                        morsel_rows: 5_000,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    rev.to_bits(),
+                    seq.to_bits(),
+                    "{strategy:?} diverged at {workers} workers"
+                );
+                assert_eq!(stats.build_morsels, 4_000usize.div_ceil(5_000));
+                // Probe morsels are chunk-aligned: 5_000 → 5_120 rows.
+                assert_eq!(stats.probe_morsels, 25_000usize.div_ceil(5_120));
+            }
         }
     }
 

@@ -13,7 +13,12 @@
 //!   data types + adaptive pre-aggregation — the paper's "mix"),
 //! * Q6 as a *DSL program* ([`q6_program`]) so the full adaptive VM
 //!   (interpret / JIT / tuple-at-a-time) runs it end to end, plus
-//!   [`q6_reference`] for validation.
+//!   [`q6_reference`] for validation,
+//! * a Q3-style join query ([`q3_hash`]): `lineitem ⋈ orders` revenue
+//!   through the multimap [`HashTable`](crate::join::HashTable) in three
+//!   probe styles ([`JoinStrategy`]), with exact integer fixed-point
+//!   revenue — bit-identical across strategies, chunk sizes, and (via
+//!   `crate::parallel::q3_parallel`) worker counts.
 
 use adaptvm_dsl::ast::Program;
 use adaptvm_dsl::parser::parse_program;
@@ -636,6 +641,318 @@ pub fn q6_reference(table: &Table, date_lo: i64) -> f64 {
     rev
 }
 
+/// TPC-H-shaped `orders` for the Q3-style join: dense unique
+/// `o_orderkey` in `0..n` plus a uniform `o_orderdate` (days, same domain
+/// as `l_shipdate`).
+pub fn orders(n: usize, seed: u64) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("o_orderkey", ScalarType::I64),
+            Field::new("o_orderdate", ScalarType::I64),
+        ]),
+        vec![
+            Array::from((0..n as i64).collect::<Vec<i64>>()),
+            datagen::uniform_i64(n, 0, SHIPDATE_MAX, seed.wrapping_add(100)),
+        ],
+    )
+    .expect("generator produces consistent columns")
+}
+
+/// The lineitem slice the Q3-style join reads: `l_orderkey` drawn from
+/// twice the orders key domain (so roughly half the probes miss — the
+/// selective-join regime Bloom pre-filtering targets), plus price,
+/// discount, and shipdate as in [`lineitem`].
+pub fn lineitem_q3(n: usize, n_orders: usize, seed: u64) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("l_orderkey", ScalarType::I64),
+            Field::new("l_extendedprice", ScalarType::F64),
+            Field::new("l_discount", ScalarType::F64),
+            Field::new("l_shipdate", ScalarType::I64),
+        ]),
+        vec![
+            datagen::uniform_i64(n, 0, (2 * n_orders.max(1) - 1) as i64, seed),
+            scale_down(datagen::uniform_i64(
+                n,
+                90_000,
+                10_500_000,
+                seed.wrapping_add(1),
+            )),
+            scale_down(datagen::uniform_i64(n, 0, 10, seed.wrapping_add(2))),
+            datagen::uniform_i64(n, 0, SHIPDATE_MAX, seed.wrapping_add(5)),
+        ],
+    )
+    .expect("generator produces consistent columns")
+}
+
+/// How the Q3-style join probes the build side (§I's three engine
+/// styles, applied to a join pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// X100-style: per chunk, materialize the shipdate selection vector,
+    /// then probe the survivors.
+    Vectorized,
+    /// HyPer-style: one fused tuple-at-a-time loop, filter and probe
+    /// per row.
+    Fused,
+    /// The adaptive mix: per-chunk pass-rate tracking flips between the
+    /// inline (fused-style) and selection-vector regimes, §III-C style.
+    Adaptive,
+}
+
+impl JoinStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [JoinStrategy; 3] = [
+        JoinStrategy::Vectorized,
+        JoinStrategy::Fused,
+        JoinStrategy::Adaptive,
+    ];
+}
+
+/// The extracted, fixed-point probe-side columns of the Q3-style join:
+/// prices and discounts in whole cents so every revenue accumulator is
+/// exact 64-bit integer arithmetic (associative — the exactness anchor).
+pub(crate) struct Q3Cols {
+    pub(crate) key: Vec<i64>,
+    pub(crate) price_c: Vec<i64>,
+    pub(crate) disc_c: Vec<i64>,
+    pub(crate) ship: Vec<i64>,
+}
+
+impl Q3Cols {
+    pub(crate) fn from_table(lineitem: &Table) -> crate::ops::OpResult<Q3Cols> {
+        let cents_col = |name: &str| -> crate::ops::OpResult<Vec<i64>> {
+            Ok(lineitem
+                .column_by_name(name)
+                .map_err(adaptvm_kernels::KernelError::Storage)?
+                .as_f64()
+                .ok_or_else(|| {
+                    adaptvm_kernels::KernelError::Precondition(format!("{name} must be f64"))
+                })?
+                .iter()
+                .map(|&v| (v * 100.0).round() as i64)
+                .collect())
+        };
+        Ok(Q3Cols {
+            key: crate::ops::int_column(lineitem, "l_orderkey")?,
+            price_c: cents_col("l_extendedprice")?,
+            disc_c: cents_col("l_discount")?,
+            ship: crate::ops::int_column(lineitem, "l_shipdate")?,
+        })
+    }
+}
+
+/// Build the Q3 build side: orders with `o_orderdate < date`, keyed by
+/// `o_orderkey` with `o_orderdate` as payload.
+pub fn q3_build_orders(
+    orders: &Table,
+    date: i64,
+    bloom: bool,
+) -> crate::ops::OpResult<crate::join::HashTable> {
+    let keys = crate::ops::int_column(orders, "o_orderkey")?;
+    let dates = crate::ops::int_column(orders, "o_orderdate")?;
+    let mut bk = Vec::new();
+    let mut bp = Vec::new();
+    for (k, d) in keys.into_iter().zip(dates) {
+        if d < date {
+            bk.push(k);
+            bp.push(d);
+        }
+    }
+    let table = crate::join::HashTable::from_rows(&bk, &bp);
+    Ok(if bloom { table.with_bloom() } else { table })
+}
+
+/// Exact fixed-point Q3 revenue over probe rows `[start, start+len)`,
+/// chunk-at-a-time in the given probe style.
+///
+/// Per matched (lineitem, order) pair the revenue contribution is
+/// `price_c · (100 − disc_c)` — cents × 1e2, an exact `i64`. Integer
+/// addition is associative, so every strategy, chunk size, and range
+/// split produces the **same** total: the hook `q3_parallel` uses to be
+/// bit-identical to the sequential run for any worker count.
+pub(crate) fn q3_probe_range(
+    cols: &Q3Cols,
+    table: &crate::join::HashTable,
+    date: i64,
+    strategy: JoinStrategy,
+    start: usize,
+    len: usize,
+    chunk_rows: usize,
+) -> i64 {
+    let chunk_rows = chunk_rows.max(1);
+    let end = (start + len).min(cols.key.len());
+    let mut revenue = 0i64;
+    // One matched pair's contribution (multiplicity-aware: duplicate
+    // build keys contribute one term per match).
+    let pair = |i: usize| cols.price_c[i] * (100 - cols.disc_c[i]);
+    match strategy {
+        JoinStrategy::Fused => {
+            for i in start..end {
+                if cols.ship[i] > date {
+                    let matches = table.matches(cols.key[i]).len() as i64;
+                    if matches > 0 {
+                        revenue += matches * pair(i);
+                    }
+                }
+            }
+        }
+        JoinStrategy::Vectorized => {
+            let mut sel: Vec<u32> = Vec::with_capacity(chunk_rows);
+            let mut offset = start;
+            while offset < end {
+                let chunk_end = (offset + chunk_rows).min(end);
+                sel.clear();
+                for i in offset..chunk_end {
+                    if cols.ship[i] > date {
+                        sel.push(i as u32);
+                    }
+                }
+                for &i in &sel {
+                    let i = i as usize;
+                    let matches = table.matches(cols.key[i]).len() as i64;
+                    if matches > 0 {
+                        revenue += matches * pair(i);
+                    }
+                }
+                offset = chunk_end;
+            }
+        }
+        JoinStrategy::Adaptive => {
+            // §III-C regime switch on the date filter's pass rate: inline
+            // evaluation when nearly nothing is filtered out, selection
+            // vector when the filter is selective.
+            let mut sel: Vec<u32> = Vec::with_capacity(chunk_rows);
+            let mut pass_rate = 0.5f64;
+            let mut offset = start;
+            while offset < end {
+                let chunk_end = (offset + chunk_rows).min(end);
+                let chunk_len = chunk_end - offset;
+                let passed;
+                if pass_rate > 0.8 {
+                    let mut n = 0usize;
+                    for i in offset..chunk_end {
+                        if cols.ship[i] > date {
+                            n += 1;
+                            let matches = table.matches(cols.key[i]).len() as i64;
+                            if matches > 0 {
+                                revenue += matches * pair(i);
+                            }
+                        }
+                    }
+                    passed = n;
+                } else {
+                    sel.clear();
+                    for i in offset..chunk_end {
+                        if cols.ship[i] > date {
+                            sel.push(i as u32);
+                        }
+                    }
+                    passed = sel.len();
+                    for &i in &sel {
+                        let i = i as usize;
+                        let matches = table.matches(cols.key[i]).len() as i64;
+                        if matches > 0 {
+                            revenue += matches * pair(i);
+                        }
+                    }
+                }
+                pass_rate = 0.3 * (passed as f64 / chunk_len.max(1) as f64) + 0.7 * pass_rate;
+                offset = chunk_end;
+            }
+        }
+    }
+    revenue
+}
+
+/// Scale the exact fixed-point revenue (cents × 1e2) back to decimal.
+pub(crate) fn q3_revenue_f64(fixed: i64) -> f64 {
+    fixed as f64 / 1e4
+}
+
+/// The Q3-style join query, sequential:
+///
+/// ```sql
+/// SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+/// FROM lineitem JOIN orders ON l_orderkey = o_orderkey
+/// WHERE o_orderdate < :date AND l_shipdate > :date
+/// ```
+///
+/// All revenue arithmetic is exact integer fixed point, so the result is
+/// bit-identical across strategies, chunk sizes, and the morsel-parallel
+/// `crate::parallel::q3_parallel`.
+pub fn q3_hash(
+    lineitem: &Table,
+    orders: &Table,
+    date: i64,
+    strategy: JoinStrategy,
+    chunk_rows: usize,
+    bloom: bool,
+) -> crate::ops::OpResult<f64> {
+    let table = q3_build_orders(orders, date, bloom)?;
+    let cols = Q3Cols::from_table(lineitem)?;
+    Ok(q3_revenue_f64(q3_probe_range(
+        &cols,
+        &table,
+        date,
+        strategy,
+        0,
+        lineitem.rows(),
+        chunk_rows,
+    )))
+}
+
+/// Reference Q3 (independent nested-hash implementation in plain f64,
+/// for validation within float tolerance).
+pub fn q3_reference(lineitem: &Table, orders: &Table, date: i64) -> f64 {
+    use std::collections::HashMap;
+    let okey = orders
+        .column_by_name("o_orderkey")
+        .expect("schema")
+        .to_i64_vec()
+        .expect("i64");
+    let odate = orders
+        .column_by_name("o_orderdate")
+        .expect("schema")
+        .to_i64_vec()
+        .expect("i64");
+    let mut matching: HashMap<i64, usize> = HashMap::new();
+    for (k, d) in okey.into_iter().zip(odate) {
+        if d < date {
+            *matching.entry(k).or_default() += 1;
+        }
+    }
+    let lkey = lineitem
+        .column_by_name("l_orderkey")
+        .expect("schema")
+        .to_i64_vec()
+        .expect("i64");
+    let price = lineitem
+        .column_by_name("l_extendedprice")
+        .expect("schema")
+        .as_f64()
+        .expect("f64");
+    let disc = lineitem
+        .column_by_name("l_discount")
+        .expect("schema")
+        .as_f64()
+        .expect("f64");
+    let ship = lineitem
+        .column_by_name("l_shipdate")
+        .expect("schema")
+        .to_i64_vec()
+        .expect("i64");
+    let mut revenue = 0.0;
+    for i in 0..lkey.len() {
+        if ship[i] > date {
+            if let Some(&m) = matching.get(&lkey[i]) {
+                revenue += m as f64 * price[i] * (1.0 - disc[i]);
+            }
+        }
+    }
+    revenue
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,6 +1034,52 @@ mod tests {
                 assert_eq!(report.injected_traces, 1, "Q6 must fuse into one trace");
             }
         }
+    }
+
+    #[test]
+    fn q3_strategies_bit_identical_and_match_reference() {
+        let li = lineitem_q3(30_000, 5_000, 17);
+        let ord = orders(5_000, 17);
+        let date = SHIPDATE_MAX / 2;
+        let expected = q3_reference(&li, &ord, date);
+        assert!(expected > 0.0);
+        let mut bits: Option<u64> = None;
+        for strategy in JoinStrategy::ALL {
+            for bloom in [false, true] {
+                for chunk_rows in [256, 1024, 7777] {
+                    let rev = q3_hash(&li, &ord, date, strategy, chunk_rows, bloom).unwrap();
+                    assert!(
+                        (rev - expected).abs() / expected.abs().max(1.0) < 1e-9,
+                        "{strategy:?} bloom={bloom} chunk={chunk_rows}: {rev} vs {expected}"
+                    );
+                    // Exact fixed point: every strategy/chunking/bloom
+                    // combination returns the very same bits.
+                    match bits {
+                        None => bits = Some(rev.to_bits()),
+                        Some(b) => assert_eq!(
+                            rev.to_bits(),
+                            b,
+                            "{strategy:?} bloom={bloom} chunk={chunk_rows}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q3_build_side_filters_orders() {
+        let ord = orders(2_000, 3);
+        let date = SHIPDATE_MAX / 3;
+        let table = q3_build_orders(&ord, date, false).unwrap();
+        let odate = ord
+            .column_by_name("o_orderdate")
+            .unwrap()
+            .to_i64_vec()
+            .unwrap();
+        let expected = odate.iter().filter(|&&d| d < date).count();
+        assert_eq!(table.len(), expected);
+        assert_eq!(table.distinct_keys(), expected, "orderkeys are unique");
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Property tests of the hash-join layer: duplicate-key inner-join
+//! cardinality against a nested-loop oracle, Bloom/plain probe
+//! equivalence at adaptively-sized bitmasks, and parallel-vs-sequential
+//! bit-identity of the partitioned build + shared probe.
+
+use adaptvm::relational::join::{AdaptiveJoinChain, HashTable};
+use adaptvm::relational::parallel::{parallel_hash_join, ParallelOpts};
+use adaptvm::storage::Array;
+use proptest::prelude::*;
+
+/// The nested-loop inner-join oracle: for every probe row, one output row
+/// per matching build row, in (probe-row, build-row) order.
+fn nested_loop_join(
+    build_keys: &[i64],
+    build_payloads: &[i64],
+    probe_keys: &[i64],
+) -> (Vec<u32>, Vec<i64>) {
+    let mut idx = Vec::new();
+    let mut pay = Vec::new();
+    for (i, &pk) in probe_keys.iter().enumerate() {
+        for (j, &bk) in build_keys.iter().enumerate() {
+            if bk == pk {
+                idx.push(i as u32);
+                pay.push(build_payloads[j]);
+            }
+        }
+    }
+    (idx, pay)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Duplicate build keys emit one output row per build match, in
+    /// build-row order — exactly the nested-loop join's cardinality and
+    /// payloads.
+    #[test]
+    fn duplicate_key_join_matches_nested_loop_oracle(
+        build_keys in prop::collection::vec(0i64..12, 0..120),
+        payload_seed in prop::collection::vec(-1000i64..1000, 0..120),
+        probe_keys in prop::collection::vec(-2i64..16, 0..200),
+    ) {
+        // Equal-length build columns (the generators draw independently).
+        let n = build_keys.len().min(payload_seed.len());
+        let build_keys = &build_keys[..n];
+        let payloads = &payload_seed[..n];
+        let oracle = nested_loop_join(build_keys, payloads, &probe_keys);
+        let table = HashTable::from_rows(build_keys, payloads);
+        prop_assert_eq!(table.len(), n);
+        prop_assert_eq!(table.probe(&probe_keys), oracle.clone());
+        // The Bloom pre-filter never changes the join result.
+        let bloomed = HashTable::from_rows(build_keys, payloads).with_bloom();
+        prop_assert_eq!(bloomed.probe(&probe_keys), oracle);
+    }
+
+    /// Bloom-filtered and plain probes are equivalent at every build
+    /// cardinality (the mask is sized from the build side, so this holds
+    /// from tiny to large builds).
+    #[test]
+    fn bloom_probe_equivalent_to_plain(
+        distinct in 1i64..3000,
+        stride in 1i64..7,
+        probe_span in 100i64..4000,
+    ) {
+        let keys: Vec<i64> = (0..distinct).map(|i| i * stride).collect();
+        let pays: Vec<i64> = (0..distinct).collect();
+        let plain = HashTable::from_rows(&keys, &pays);
+        let bloomed = HashTable::from_rows(&keys, &pays).with_bloom();
+        prop_assert!(bloomed.bloom_bits() >= 64);
+        let probes: Vec<i64> = (-10..probe_span).collect();
+        prop_assert_eq!(plain.probe(&probes), bloomed.probe(&probes));
+        for &k in &keys {
+            prop_assert!(bloomed.contains(k), "bloom dropped build key {}", k);
+        }
+    }
+
+    /// The morsel-parallel partitioned build + shared probe is
+    /// bit-identical to the sequential build + probe for 1/2/4/8 workers,
+    /// whatever the data and morsel size.
+    #[test]
+    fn parallel_join_bit_identical_to_sequential(
+        build_keys in prop::collection::vec(0i64..200, 1..600),
+        probe_keys in prop::collection::vec(-50i64..400, 0..900),
+        morsel_rows in 1usize..300,
+    ) {
+        let payloads: Vec<i64> = (0..build_keys.len() as i64).collect();
+        let bk = Array::from(build_keys.clone());
+        let bp = Array::from(payloads.clone());
+        let sequential = HashTable::build(&bk, &bp).unwrap();
+        let expected = sequential.probe(&probe_keys);
+        for workers in [1usize, 2, 4, 8] {
+            let (table, out) = parallel_hash_join(
+                &bk,
+                &bp,
+                &probe_keys,
+                false,
+                ParallelOpts { workers, morsel_rows },
+            )
+            .unwrap();
+            prop_assert_eq!(table.len(), sequential.len());
+            prop_assert_eq!(
+                (out.indices, out.payloads),
+                expected.clone(),
+                "workers={} morsel_rows={}",
+                workers,
+                morsel_rows
+            );
+        }
+    }
+
+    /// Chain results (survivors and multimap payload sums) agree with a
+    /// direct per-row evaluation, independent of the adaptive order.
+    #[test]
+    fn chain_survivors_match_direct_evaluation(
+        keys0 in prop::collection::vec(0i64..40, 1..250),
+        domain1 in 1i64..60,
+    ) {
+        let n = keys0.len();
+        let keys1: Vec<i64> = (0..n as i64).map(|i| i % domain1).collect();
+        let t0 = HashTable::from_rows(
+            &(0..20).collect::<Vec<i64>>(),
+            &(0..20).map(|k| k * 2).collect::<Vec<i64>>(),
+        );
+        let t1 = HashTable::from_rows(
+            &(0..30).collect::<Vec<i64>>(),
+            &(0..30).map(|k| k + 7).collect::<Vec<i64>>(),
+        );
+        let expect_idx: Vec<u32> = (0..n as u32)
+            .filter(|&i| keys0[i as usize] < 20 && keys1[i as usize] < 30)
+            .collect();
+        let expect_pay: Vec<i64> = expect_idx
+            .iter()
+            .map(|&i| keys0[i as usize] * 2 + (keys1[i as usize] + 7))
+            .collect();
+        let mut chain = AdaptiveJoinChain::new(vec![t0, t1], 2);
+        for _ in 0..4 {
+            let r = chain.probe_chunk(&[keys0.clone(), keys1.clone()]);
+            prop_assert_eq!(&r.indices, &expect_idx);
+            prop_assert_eq!(&r.payload_sum, &expect_pay);
+        }
+    }
+}

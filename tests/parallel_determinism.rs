@@ -1,14 +1,16 @@
-//! Determinism of the morsel-parallel executor: parallel TPC-H Q1 and Q6
-//! must return results identical to the single-threaded engine for 1, 2,
-//! 4 and 8 workers — bit-identical wherever the merge reproduces the
+//! Determinism of the morsel-parallel executor: parallel TPC-H Q1, Q3 and
+//! Q6 must return results identical to the single-threaded engine for 1,
+//! 2, 4 and 8 workers — bit-identical wherever the merge reproduces the
 //! sequential addition tree (chunk-ordered merges, integer fixed point),
 //! and within the repo's established float tolerance elsewhere.
 
+use adaptvm::relational::join::{AdaptiveJoinChain, HashTable};
 use adaptvm::relational::parallel::{
-    q1_parallel_adaptive, q1_parallel_fused, q1_parallel_vectorized, q6_parallel, ParallelOpts,
+    parallel_build_hash_table, parallel_hash_join, q1_parallel_adaptive, q1_parallel_fused,
+    q1_parallel_vectorized, q3_parallel, q6_parallel, ParallelJoinChain, ParallelOpts,
 };
 use adaptvm::relational::tpch;
-use adaptvm::storage::DEFAULT_CHUNK;
+use adaptvm::storage::{Array, DEFAULT_CHUNK};
 use adaptvm::vm::{Strategy, Vm, VmConfig};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -148,6 +150,123 @@ fn q6_bit_identical_to_single_threaded_engine_every_strategy() {
                 report.morsels as u64
             );
         }
+    }
+}
+
+/// The Q3-style join: exact fixed-point revenue makes the morsel-parallel
+/// partitioned hash join bit-identical to the sequential one for every
+/// worker count, every probe strategy, and Bloom on/off.
+#[test]
+fn q3_join_bit_identical_for_all_worker_counts_and_strategies() {
+    let li = tpch::lineitem_q3(60_000, 10_000, 42);
+    let ord = tpch::orders(10_000, 42);
+    let date = tpch::SHIPDATE_MAX / 2;
+    let reference = tpch::q3_reference(&li, &ord, date);
+    let mut bits: Option<u64> = None;
+    for strategy in tpch::JoinStrategy::ALL {
+        for bloom in [false, true] {
+            let seq = tpch::q3_hash(&li, &ord, date, strategy, DEFAULT_CHUNK, bloom).unwrap();
+            assert!(
+                (seq - reference).abs() / reference.abs().max(1.0) < 1e-9,
+                "{strategy:?} bloom={bloom}: {seq} vs {reference}"
+            );
+            // One fixed-point total across every strategy/bloom variant.
+            match bits {
+                None => bits = Some(seq.to_bits()),
+                Some(b) => assert_eq!(seq.to_bits(), b, "{strategy:?} bloom={bloom}"),
+            }
+            for workers in WORKER_COUNTS {
+                let (rev, _) = q3_parallel(
+                    &li,
+                    &ord,
+                    date,
+                    strategy,
+                    DEFAULT_CHUNK,
+                    bloom,
+                    ParallelOpts {
+                        workers,
+                        morsel_rows: 7_000 + workers * 500,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    rev.to_bits(),
+                    seq.to_bits(),
+                    "{strategy:?} bloom={bloom} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// The materialized partitioned hash join (duplicate build keys included)
+/// returns exactly the sequential probe output for every worker count.
+#[test]
+fn partitioned_join_output_bit_identical_for_all_worker_counts() {
+    let build_keys = Array::from((0..40_000).map(|i| i % 3_000).collect::<Vec<i64>>());
+    let build_pays = Array::from((0..40_000).collect::<Vec<i64>>());
+    let probe_keys: Vec<i64> = (0..80_000).map(|i| (i * 13) % 6_000).collect();
+    let sequential = HashTable::build(&build_keys, &build_pays).unwrap();
+    let (seq_idx, seq_pay) = sequential.probe(&probe_keys);
+    for workers in WORKER_COUNTS {
+        let built = parallel_build_hash_table(
+            &build_keys,
+            &build_pays,
+            true,
+            ParallelOpts {
+                workers,
+                morsel_rows: 9_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(built.len(), sequential.len(), "workers={workers}");
+        let (_, out) = parallel_hash_join(
+            &build_keys,
+            &build_pays,
+            &probe_keys,
+            true,
+            ParallelOpts {
+                workers,
+                morsel_rows: 9_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.indices, seq_idx, "workers={workers}");
+        assert_eq!(out.payloads, seq_pay, "workers={workers}");
+    }
+}
+
+/// The parallel adaptive join chain returns the sequential chain's exact
+/// results batch by batch, for every worker count, while its merged
+/// selectivity stats still steer the order to the selective join.
+#[test]
+fn parallel_join_chain_bit_identical_and_still_adaptive() {
+    let build = |n: i64| {
+        let keys: Vec<i64> = (0..n).collect();
+        HashTable::build(
+            &Array::from(keys.clone()),
+            &Array::from(keys.iter().map(|k| k * 5).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    };
+    let probes: Vec<i64> = (0..40_000).map(|i| i % 25_000).collect();
+    let keys = [probes.clone(), probes.clone()];
+    let mut seq = AdaptiveJoinChain::new(vec![build(20_000), build(2_000)], 2);
+    let expected: Vec<_> = (0..8).map(|_| seq.probe_chunk(&keys)).collect();
+    assert_eq!(seq.order(), &[1, 0]);
+    for workers in WORKER_COUNTS {
+        let mut par = ParallelJoinChain::new(vec![build(20_000), build(2_000)], 2);
+        for (batch, want) in expected.iter().enumerate() {
+            let got = par.probe_batch(
+                &keys,
+                ParallelOpts {
+                    workers,
+                    morsel_rows: 6_000,
+                },
+            );
+            assert_eq!(&got, want, "workers={workers} batch={batch}");
+        }
+        assert_eq!(par.order(), &[1, 0], "workers={workers}");
     }
 }
 
