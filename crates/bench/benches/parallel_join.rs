@@ -43,6 +43,7 @@ fn bench(c: &mut Criterion) {
                         ParallelOpts {
                             workers: w,
                             morsel_rows,
+                            scheduler: None,
                         },
                     )
                     .unwrap()
@@ -72,6 +73,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
+                        scheduler: None,
                     },
                 )
                 .unwrap()
@@ -99,6 +101,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
+                        scheduler: None,
                     },
                 )
                 .unwrap();

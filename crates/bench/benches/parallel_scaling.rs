@@ -36,6 +36,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
+                        scheduler: None,
                     },
                 )
             })
@@ -54,6 +55,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
+                        scheduler: None,
                     },
                 )
             })
@@ -76,6 +78,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
+                        scheduler: None,
                     },
                 )
                 .unwrap()
@@ -97,6 +100,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
+                        scheduler: None,
                     },
                 );
                 t0.elapsed().as_secs_f64()

@@ -1,0 +1,162 @@
+//! B12 — long-lived scheduler throughput: concurrent mixed Q1/Q3/Q6 jobs
+//! over one shared worker pool.
+//!
+//! Two parts:
+//! * Criterion micro-benches of the submission path itself (scoped pool
+//!   run vs scheduler run of the same query — the spawn/park overhead
+//!   delta), and
+//! * a mixed-workload table: S submitter threads fire interleaved
+//!   Q1/Q3/Q6 at one scheduler; prints queries/sec plus a per-shape
+//!   latency table (mean / p50-ish mid / max).
+//!
+//! `ADAPTVM_BENCH_QUICK=1` shrinks everything to a CI smoke run. Real
+//! throughput numbers need multi-core hardware (the table prints the
+//! available cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use adaptvm_parallel::Scheduler;
+use adaptvm_relational::parallel::{
+    q1_parallel_adaptive, q1_parallel_vectorized, q3_parallel, q6_parallel, ParallelOpts,
+};
+use adaptvm_relational::tpch;
+use adaptvm_storage::DEFAULT_CHUNK;
+use adaptvm_vm::{Strategy, VmConfig};
+
+fn quick() -> bool {
+    std::env::var_os("ADAPTVM_BENCH_QUICK").is_some()
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = if quick() { 40_000 } else { 400_000 };
+    let table = tpch::lineitem(rows, 42);
+    let compact = tpch::CompactLineitem::from_table(&table);
+    let li = tpch::lineitem_q3(rows / 2, rows / 8, 42);
+    let ord = tpch::orders(rows / 8, 42);
+    let date = tpch::SHIPDATE_MAX / 2;
+    let morsel_rows = 8 * DEFAULT_CHUNK;
+    let workers = 4;
+    let scheduler = Scheduler::new(workers);
+
+    // Part 1: per-query executor overhead, scoped pool vs parked pool.
+    let mut g = c.benchmark_group("q1_adaptive_executor");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::from_parameter("scoped"), &(), |b, _| {
+        b.iter(|| {
+            q1_parallel_adaptive(
+                &compact,
+                DEFAULT_CHUNK,
+                ParallelOpts::new(workers, morsel_rows),
+            )
+        })
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("scheduler"), &(), |b, _| {
+        b.iter(|| {
+            q1_parallel_adaptive(
+                &compact,
+                DEFAULT_CHUNK,
+                ParallelOpts::new(workers, morsel_rows).with_scheduler(&scheduler),
+            )
+        })
+    });
+    g.finish();
+
+    // Part 2: mixed concurrent workload through one scheduler.
+    let submitters = if quick() { 2 } else { 8 };
+    let per_submitter = if quick() { 2 } else { 8 };
+    let shapes = ["q1_vectorized", "q1_adaptive", "q3_fused", "q6_adaptive"];
+    let latencies: Vec<Mutex<Vec<f64>>> = shapes.iter().map(|_| Mutex::new(Vec::new())).collect();
+
+    let wall = Instant::now();
+    std::thread::scope(|s| {
+        for submitter in 0..submitters {
+            let scheduler = &scheduler;
+            let (table, compact, li, ord) = (&table, &compact, &li, &ord);
+            let latencies = &latencies;
+            s.spawn(move || {
+                for round in 0..per_submitter {
+                    let shape = (submitter + round) % shapes.len();
+                    let opts = ParallelOpts::new(workers, morsel_rows).with_scheduler(scheduler);
+                    let t0 = Instant::now();
+                    match shape {
+                        0 => {
+                            let _ = q1_parallel_vectorized(table, DEFAULT_CHUNK, opts);
+                        }
+                        1 => {
+                            let _ = q1_parallel_adaptive(compact, DEFAULT_CHUNK, opts);
+                        }
+                        2 => {
+                            let _ = q3_parallel(
+                                li,
+                                ord,
+                                date,
+                                tpch::JoinStrategy::Fused,
+                                DEFAULT_CHUNK,
+                                true,
+                                opts,
+                            )
+                            .unwrap();
+                        }
+                        _ => {
+                            let config = VmConfig {
+                                strategy: Strategy::Adaptive,
+                                hot_threshold: 4,
+                                ..VmConfig::default()
+                            };
+                            let _ = q6_parallel(table, 1000, config, opts).unwrap();
+                        }
+                    }
+                    latencies[shape]
+                        .lock()
+                        .unwrap()
+                        .push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+            });
+        }
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let total_queries = submitters * per_submitter;
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n-- scheduler mixed-workload throughput");
+    println!(
+        "   {total_queries} queries ({submitters} submitters × {per_submitter}), {workers} pool workers, {cores} cores"
+    );
+    println!(
+        "   wall {:.2} s  →  {:.1} queries/sec",
+        elapsed,
+        total_queries as f64 / elapsed
+    );
+    println!("   latency per shape (ms):        mean      mid      max    n");
+    for (shape, lat) in shapes.iter().zip(&latencies) {
+        let mut v = lat.lock().unwrap().clone();
+        if v.is_empty() {
+            continue;
+        }
+        v.sort_by(f64::total_cmp);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "     {shape:<16} {mean:12.2} {:8.2} {:8.2} {:4}",
+            v[v.len() / 2],
+            v[v.len() - 1],
+            v.len()
+        );
+    }
+    let stats = scheduler.stats();
+    println!(
+        "   scheduler: {} queries finalized, {} morsels, {} cache entries, elastic morsel_rows {}",
+        stats.queries_completed,
+        stats.morsels_executed,
+        scheduler.cache().stats().entries,
+        scheduler.morsel_rows(),
+    );
+    assert_eq!(
+        stats.queries_submitted, stats.queries_completed,
+        "no lost queries under the benchmark load"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

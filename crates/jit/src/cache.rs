@@ -18,6 +18,13 @@ use parking_lot::RwLock;
 
 use crate::compiler::CompiledTrace;
 
+/// The situation key for unspecialized traces: what the engine uses when it
+/// did not specialize on compression scheme, selectivity class or device,
+/// and what a publishing [`crate::compiler::CompileServer`] inserts under.
+/// Sharing the constant keeps every producer and consumer of generic traces
+/// on the same cache entries.
+pub const GENERIC_SITUATION: &str = "generic";
+
 /// Cache key: fragment structure + specialization situation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TraceKey {
@@ -82,6 +89,14 @@ impl CodeCache {
                 None
             }
         }
+    }
+
+    /// Look up a trace **without** touching hit/miss statistics. This is
+    /// the polling path: an engine waiting for a background compile to land
+    /// may peek every iteration, and those probes must not drown the
+    /// stats that real dispatch decisions are based on.
+    pub fn peek(&self, key: &TraceKey) -> Option<Arc<CompiledTrace>> {
+        self.inner.read().map.get(key).cloned()
     }
 
     /// Insert a trace, evicting the oldest entry when full.

@@ -29,6 +29,11 @@ pub struct Dispatcher {
     queues: Vec<Mutex<VecDeque<Morsel>>>,
     executed: Vec<AtomicU64>,
     steals: AtomicU64,
+    /// Morsels not yet handed to any worker. Kept as an atomic so
+    /// [`Dispatcher::queued`] (polled per dispatch cycle by the scheduler's
+    /// worker loop) costs one load instead of locking every queue.
+    /// Decremented *after* a successful pop, so it never under-reports.
+    undispatched: AtomicU64,
 }
 
 impl Dispatcher {
@@ -47,6 +52,7 @@ impl Dispatcher {
         Dispatcher {
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             steals: AtomicU64::new(0),
+            undispatched: AtomicU64::new(morsels.len() as u64),
             queues,
         }
     }
@@ -63,6 +69,7 @@ impl Dispatcher {
         debug_assert!(worker < self.queues.len());
         if let Some(m) = self.lock(worker).pop_front() {
             self.executed[worker].fetch_add(1, Ordering::Relaxed);
+            self.undispatched.fetch_sub(1, Ordering::Relaxed);
             return Some(m);
         }
         // Steal: pick the victim with the most remaining work. The length
@@ -78,10 +85,19 @@ impl Dispatcher {
             if let Some(m) = self.lock(victim).pop_back() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 self.executed[worker].fetch_add(1, Ordering::Relaxed);
+                self.undispatched.fetch_sub(1, Ordering::Relaxed);
                 return Some(m);
             }
             // The victim drained between survey and steal; survey again.
         }
+    }
+
+    /// Morsels still queued (not yet handed to any worker). Zero means the
+    /// plan is fully dispatched — though handed-out morsels may still be
+    /// executing. One atomic load (may transiently over-report by in-flight
+    /// pops, never under-report).
+    pub fn queued(&self) -> usize {
+        self.undispatched.load(Ordering::Relaxed) as usize
     }
 
     /// Statistics so far.

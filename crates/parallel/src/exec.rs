@@ -20,11 +20,12 @@ use std::sync::Arc;
 
 use adaptvm_jit::cache::CacheStats;
 use adaptvm_jit::CodeCache;
-use adaptvm_vm::{Buffers, Profile, Vm, VmConfig, VmError};
+use adaptvm_vm::{Buffers, Profile, RunReport, Vm, VmConfig, VmError};
 
 use crate::dispatch::DispatchStats;
 use crate::morsel::{Morsel, MorselPlan};
 use crate::pool::run_morsels;
+use crate::scheduler::{ProfileWindow, Scheduler};
 
 /// Capacity of the auto-installed shared code cache. Generously sized:
 /// a query pipeline yields a handful of fragments; 256 holds many queries'
@@ -124,29 +125,118 @@ impl ParallelVm {
             let (program, buffers) = make(m);
             vm.run(&program, buffers)
         })?;
+        Ok(assemble_report(
+            outcomes,
+            dispatch,
+            self.workers,
+            plan.len(),
+            &self.cache,
+            wall,
+        ))
+    }
 
-        let mut report = ParallelRunReport {
-            workers: self.workers,
-            morsels: plan.len(),
-            ..ParallelRunReport::default()
-        };
-        let mut buffers = Vec::with_capacity(outcomes.len());
-        for (out, run) in outcomes {
-            buffers.push(out);
-            report.profile.merge(&run.profile);
-            report.iterations += run.iterations;
-            report.injected_traces += run.injected_traces;
-            report.trace_cache_hits += run.trace_cache_hits;
-            report.compile_ns_total += run.compile_ns_total;
-            report.trace_executions += run.trace_executions;
-            report.fallbacks += run.fallbacks;
+    /// Bind this VM to a long-lived [`Scheduler`]: the returned
+    /// [`ScheduledVm`] runs the same morsel pipelines on the scheduler's
+    /// parked workers instead of spawning scoped threads, and swaps the
+    /// VM's JIT world for the scheduler's — the shared code cache (traces
+    /// survive across queries) and, for `async_compile` configs, the
+    /// shared background [`adaptvm_jit::CompileServer`]. Results are
+    /// unchanged (same per-morsel programs, same morsel-ordered merge);
+    /// only where the work runs and where traces live differ.
+    pub fn on<'a>(&'a self, scheduler: &'a Scheduler) -> ScheduledVm<'a> {
+        ScheduledVm {
+            vm: self,
+            scheduler,
         }
-        report.steals = dispatch.steals;
-        report.per_worker_morsels = dispatch.executed;
-        report.cache_stats = self.cache.stats();
-        report.wall_ns = wall.elapsed().as_nanos() as u64;
+    }
+}
+
+/// A [`ParallelVm`] bound to a [`Scheduler`] (see [`ParallelVm::on`]).
+pub struct ScheduledVm<'a> {
+    vm: &'a ParallelVm,
+    scheduler: &'a Scheduler,
+}
+
+impl ScheduledVm<'_> {
+    /// The scheduler this VM runs on.
+    pub fn scheduler(&self) -> &Scheduler {
+        self.scheduler
+    }
+
+    /// The scheduler flavor of [`ParallelVm::run_morsels`]: identical
+    /// outputs, but executed by the long-lived pool, with traces compiled
+    /// into the scheduler's shared cache (repeated fragments — later
+    /// morsels, later queries — surface as `trace_cache_hits`). After the
+    /// run, the merged profile window feeds the scheduler's morsel
+    /// elasticity.
+    pub fn run_morsels<F>(
+        &self,
+        plan: &MorselPlan,
+        make: F,
+    ) -> Result<(Vec<Buffers>, ParallelRunReport), VmError>
+    where
+        F: Fn(&Morsel) -> (adaptvm_dsl::ast::Program, Buffers) + Send + Sync,
+    {
+        let wall = std::time::Instant::now();
+        let mut config = self.vm.config().clone();
+        config.code_cache = Some(self.scheduler.cache().clone());
+        if config.async_compile && config.compile_server.is_none() {
+            config.compile_server = Some(self.scheduler.compile_server().clone());
+        }
+        let vm = Vm::new(config);
+        let (outcomes, dispatch) = self.scheduler.run(plan, |_w, m| {
+            let (program, buffers) = make(m);
+            vm.run(&program, buffers)
+        })?;
+        let (buffers, report) = assemble_report(
+            outcomes,
+            dispatch,
+            self.scheduler.workers(),
+            plan.len(),
+            self.scheduler.cache(),
+            wall,
+        );
+        self.scheduler.observe_window(&ProfileWindow {
+            morsels: report.morsels,
+            steals: report.steals,
+            trace_executions: report.trace_executions,
+            fallbacks: report.fallbacks,
+        });
         Ok((buffers, report))
     }
+}
+
+/// Fold per-morsel `(Buffers, RunReport)` outcomes into the aggregate
+/// parallel report (shared by the scoped and scheduled paths).
+fn assemble_report(
+    outcomes: Vec<(Buffers, RunReport)>,
+    dispatch: DispatchStats,
+    workers: usize,
+    morsels: usize,
+    cache: &CodeCache,
+    wall: std::time::Instant,
+) -> (Vec<Buffers>, ParallelRunReport) {
+    let mut report = ParallelRunReport {
+        workers,
+        morsels,
+        ..ParallelRunReport::default()
+    };
+    let mut buffers = Vec::with_capacity(outcomes.len());
+    for (out, run) in outcomes {
+        buffers.push(out);
+        report.profile.merge(&run.profile);
+        report.iterations += run.iterations;
+        report.injected_traces += run.injected_traces;
+        report.trace_cache_hits += run.trace_cache_hits;
+        report.compile_ns_total += run.compile_ns_total;
+        report.trace_executions += run.trace_executions;
+        report.fallbacks += run.fallbacks;
+    }
+    report.steals = dispatch.steals;
+    report.per_worker_morsels = dispatch.executed;
+    report.cache_stats = cache.stats();
+    report.wall_ns = wall.elapsed().as_nanos() as u64;
+    (buffers, report)
 }
 
 impl ParallelRunReport {

@@ -28,7 +28,7 @@
 
 use crate::dispatch::DispatchStats;
 use crate::morsel::{Morsel, MorselPlan};
-use crate::pool::run_morsels;
+use crate::pool::Runner;
 
 /// Dispatch statistics for the two phases of a build/probe run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -67,13 +67,44 @@ where
     Shared: Sync,
     Out: Send,
     E: Send,
-    BF: Fn(usize, &Morsel) -> Result<Part, E> + Sync,
+    BF: Fn(usize, &Morsel) -> Result<Part, E> + Send + Sync,
     MF: FnOnce(Vec<Part>) -> Shared,
-    PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Sync,
+    PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Send + Sync,
 {
-    let (partitions, build) = run_morsels(workers, build_plan, &build_morsel)?;
+    build_then_probe_on(
+        Runner::Scoped { workers },
+        build_plan,
+        probe_plan,
+        build_morsel,
+        merge,
+        probe_morsel,
+    )
+}
+
+/// [`build_then_probe`] over an explicit [`Runner`]: the same two-phase
+/// driver, executing on either a scoped per-run pool or a long-lived
+/// [`crate::scheduler::Scheduler`]. Results are identical either way (both
+/// phases merge in morsel order).
+pub fn build_then_probe_on<Part, Shared, Out, E, BF, MF, PF>(
+    runner: Runner<'_>,
+    build_plan: &MorselPlan,
+    probe_plan: &MorselPlan,
+    build_morsel: BF,
+    merge: MF,
+    probe_morsel: PF,
+) -> Result<(Shared, Vec<Out>, BuildProbeStats), E>
+where
+    Part: Send,
+    Shared: Sync,
+    Out: Send,
+    E: Send,
+    BF: Fn(usize, &Morsel) -> Result<Part, E> + Send + Sync,
+    MF: FnOnce(Vec<Part>) -> Shared,
+    PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Send + Sync,
+{
+    let (partitions, build) = runner.run(build_plan, &build_morsel)?;
     let shared = merge(partitions);
-    let (outputs, probe) = run_morsels(workers, probe_plan, |w, m| probe_morsel(w, m, &shared))?;
+    let (outputs, probe) = runner.run(probe_plan, |w, m| probe_morsel(w, m, &shared))?;
     Ok((
         shared,
         outputs,

@@ -13,11 +13,18 @@
 //! * [`join`] — [`build_then_probe`]: the generic two-phase join driver
 //!   (partitioned build merged in morsel order, shared read-only probe),
 //! * [`pool`] — [`run_morsels`]: scoped worker threads, results assembled
-//!   in morsel order, first error aborts,
+//!   in morsel order, first error aborts; [`Runner`] abstracts over the
+//!   scoped pool and the long-lived scheduler,
+//! * [`scheduler`] — [`Scheduler`]: a **long-lived** worker pool (threads
+//!   created once, parked between queries) with a query submission queue,
+//!   concurrent multi-query execution, one shared JIT cache + background
+//!   [`adaptvm_jit::CompileServer`] across all queries, and profile-driven
+//!   morsel-size elasticity,
 //! * [`exec`] — [`ParallelVm`]: one program instance per morsel, each on a
 //!   private `Env`/interpreter, all sharing one JIT code cache (compile
 //!   once, inject everywhere) and merging their profiles into one run
-//!   profile.
+//!   profile; [`ParallelVm::on`] runs the same pipelines on a
+//!   [`Scheduler`] instead of scoped threads.
 //!
 //! ## Determinism
 //!
@@ -44,9 +51,13 @@ pub mod exec;
 pub mod join;
 pub mod morsel;
 pub mod pool;
+pub mod scheduler;
 
 pub use dispatch::{DispatchStats, Dispatcher};
-pub use exec::{ParallelRunReport, ParallelVm};
-pub use join::{build_then_probe, BuildProbeStats};
+pub use exec::{ParallelRunReport, ParallelVm, ScheduledVm};
+pub use join::{build_then_probe, build_then_probe_on, BuildProbeStats};
 pub use morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
-pub use pool::run_morsels;
+pub use pool::{run_morsels, Runner};
+pub use scheduler::{
+    ElasticityConfig, MorselElasticity, ProfileWindow, QueryHandle, Scheduler, SchedulerStats,
+};

@@ -10,6 +10,62 @@
 
 use crate::dispatch::{DispatchStats, Dispatcher};
 use crate::morsel::{Morsel, MorselPlan};
+use crate::scheduler::Scheduler;
+
+/// Where a morsel plan executes: a scoped per-run pool (threads spawned
+/// and joined inside the call) or a long-lived [`Scheduler`] (threads
+/// created once, queries queued). Both sides honor the same contract —
+/// results in morsel order, first error aborts — so pipelines written
+/// against [`Runner::run`] are executor-agnostic and their results are
+/// identical on either side.
+#[derive(Clone, Copy)]
+pub enum Runner<'a> {
+    /// Spawn `workers` scoped threads for this run only.
+    Scoped {
+        /// Worker threads (clamped to ≥1).
+        workers: usize,
+    },
+    /// Queue the run on a long-lived scheduler.
+    Scheduler(&'a Scheduler),
+}
+
+impl std::fmt::Debug for Runner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Runner::Scoped { workers } => {
+                f.debug_struct("Scoped").field("workers", workers).finish()
+            }
+            Runner::Scheduler(s) => f
+                .debug_struct("Scheduler")
+                .field("workers", &s.workers())
+                .finish(),
+        }
+    }
+}
+
+impl Runner<'_> {
+    /// Worker threads this runner executes on.
+    pub fn workers(&self) -> usize {
+        match self {
+            Runner::Scoped { workers } => (*workers).max(1),
+            Runner::Scheduler(s) => s.workers(),
+        }
+    }
+
+    /// Run `task` over every morsel of `plan`; results come back in morsel
+    /// order (see [`run_morsels`], whose contract both arms share).
+    pub fn run<T, E, F>(&self, plan: &MorselPlan, task: F) -> Result<(Vec<T>, DispatchStats), E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync,
+    {
+        match self {
+            Runner::Scoped { workers } => run_morsels(*workers, plan, task),
+            Runner::Scheduler(s) => s.run(plan, task),
+        }
+    }
+}
 
 /// Run `task` over every morsel using `workers` threads; results come back
 /// in morsel order. The first task error aborts the run (remaining morsels

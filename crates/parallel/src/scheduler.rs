@@ -1,0 +1,889 @@
+//! The long-lived worker pool and query scheduler.
+//!
+//! [`crate::pool::run_morsels`] spawns scoped threads per run — fine for a
+//! benchmark, wrong for serving: thread spawn/join on every query, no way
+//! to overlap two queries, and a fresh JIT world each time. A
+//! [`Scheduler`] instead creates its workers **once** and parks them
+//! between queries:
+//!
+//! * [`Scheduler::submit`] enqueues a query — a [`MorselPlan`] plus a task
+//!   closure plus a merge closure — and returns a [`QueryHandle`] that
+//!   joins on the morsel-ordered, merged result,
+//! * [`Scheduler::run`] is the borrowing (scoped) flavor of the same path:
+//!   it blocks the calling thread until the query drains, which is what
+//!   lets the task capture plain references (the relational pipelines and
+//!   [`crate::exec::ParallelVm::on`] use this),
+//! * multiple in-flight queries share the worker set morsel-by-morsel:
+//!   workers rotate across the active queries, so one long scan cannot
+//!   starve a short one,
+//! * one [`CodeCache`] + one *publishing* [`CompileServer`] are owned by
+//!   the scheduler and shared by every query that runs on it: hot
+//!   fragments are compiled once in the background and picked up by later
+//!   morsels — of the same query or of any other (see
+//!   `adaptvm_vm::VmConfig::compile_server`),
+//! * a [`MorselElasticity`] controller adapts the preferred morsel size
+//!   from merged profile windows: grow while compiled traces dominate and
+//!   stealing is rare (fewer per-morsel setups on the fast path), shrink
+//!   when steal counts indicate imbalance (finer stealing granularity).
+//!
+//! ## Determinism
+//!
+//! Scheduling changes nothing observable: a morsel's result depends only
+//! on its row range, results are stored at their morsel index and handed
+//! back **in morsel order**, and the merge closure runs once over that
+//! ordered vector. A query's output is therefore identical whatever the
+//! worker count, however many queries run beside it, and identical to the
+//! scoped pool (`run_morsels`) over the same plan.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptvm_parallel::{MorselPlan, Scheduler};
+//!
+//! let scheduler = Scheduler::new(4); // workers created once, parked when idle
+//! let data: Vec<i64> = (0..100_000).collect();
+//!
+//! // Async submission: handle joins on the morsel-ordered, merged result.
+//! let plan = MorselPlan::new(data.len(), 4096);
+//! let shared = std::sync::Arc::new(data);
+//! let d = shared.clone();
+//! let handle = scheduler.submit(
+//!     plan,
+//!     move |_worker, m| Ok::<i64, ()>(d[m.start..m.end()].iter().sum()),
+//!     |parts, _stats| parts.iter().sum::<i64>(),
+//! );
+//! assert_eq!(handle.join().unwrap(), (0..100_000).sum::<i64>());
+//!
+//! // Scoped flavor: borrows freely, blocks until the query completes.
+//! let plan = MorselPlan::new(shared.len(), 4096);
+//! let (parts, stats) = scheduler
+//!     .run(&plan, |_w, m| Ok::<i64, ()>(shared[m.start..m.end()].iter().sum()))
+//!     .unwrap();
+//! assert_eq!(parts.iter().sum::<i64>(), (0..100_000).sum::<i64>());
+//! assert_eq!(stats.executed.iter().sum::<u64>(), plan.len() as u64);
+//! ```
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use adaptvm_jit::cache::GENERIC_SITUATION;
+use adaptvm_jit::compiler::{CompileServer, CostModel};
+use adaptvm_jit::CodeCache;
+use adaptvm_storage::DEFAULT_CHUNK;
+
+use crate::dispatch::{DispatchStats, Dispatcher};
+use crate::morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
+
+/// Capacity of the scheduler's shared code cache (many queries' worth of
+/// specialized traces; mirrors `exec::SHARED_CACHE_CAPACITY`).
+const SCHEDULER_CACHE_CAPACITY: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Elasticity
+// ---------------------------------------------------------------------------
+
+/// Bounds and granularity for [`MorselElasticity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticityConfig {
+    /// Smallest morsel the controller will shrink to (floor: stealing
+    /// granularity).
+    pub min_rows: usize,
+    /// Largest morsel the controller will grow to (ceiling: merge latency
+    /// and steal-ability).
+    pub max_rows: usize,
+    /// Morsel sizes stay multiples of this (chunk alignment keeps parallel
+    /// chunk boundaries identical to sequential ones).
+    pub align_rows: usize,
+}
+
+impl Default for ElasticityConfig {
+    fn default() -> ElasticityConfig {
+        ElasticityConfig {
+            min_rows: DEFAULT_CHUNK,
+            max_rows: 64 * DEFAULT_CHUNK,
+            align_rows: DEFAULT_CHUNK,
+        }
+    }
+}
+
+/// One merged observation window: what a completed run (or batch) saw.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileWindow {
+    /// Morsels executed in the window.
+    pub morsels: usize,
+    /// Morsels obtained by stealing.
+    pub steals: u64,
+    /// Trace-step executions (compiled-code work).
+    pub trace_executions: u64,
+    /// Interpretation fallbacks.
+    pub fallbacks: u64,
+}
+
+/// Profile-driven morsel sizing (the §III adaptivity loop, applied to the
+/// scheduling granularity itself).
+///
+/// After each merged profile window:
+/// * **shrink** when steals cover ≥¼ of the window's morsels — heavy
+///   stealing means the initial partition was imbalanced, and smaller
+///   morsels redistribute more evenly;
+/// * **grow** when compiled traces dominate (`trace_executions` strictly
+///   positive and ≥ `fallbacks`) *and* stealing is rare (≤⅛ of morsels) —
+///   the per-morsel setup cost is pure overhead on a fast compiled path;
+/// * otherwise hold.
+///
+/// Sizes move by powers of two between `min_rows` and `max_rows`, aligned
+/// to `align_rows`. The controller only ever changes the size **between**
+/// plans, so any individual query still covers every row exactly once (see
+/// the `MorselPlan` proptests).
+#[derive(Debug)]
+pub struct MorselElasticity {
+    config: ElasticityConfig,
+    rows: AtomicUsize,
+}
+
+impl MorselElasticity {
+    /// A controller starting at `start_rows` (clamped/aligned to config).
+    pub fn new(config: ElasticityConfig, start_rows: usize) -> MorselElasticity {
+        let e = MorselElasticity {
+            config,
+            rows: AtomicUsize::new(0),
+        };
+        e.rows.store(e.clamp(start_rows), Ordering::Relaxed);
+        e
+    }
+
+    fn clamp(&self, rows: usize) -> usize {
+        let align = self.config.align_rows.max(1);
+        let aligned = rows.max(1).div_ceil(align) * align;
+        aligned.clamp(
+            self.config.min_rows.max(align),
+            self.config.max_rows.max(self.config.min_rows).max(align),
+        )
+    }
+
+    /// The current preferred morsel size.
+    pub fn rows(&self) -> usize {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Fold one window into the controller; returns the (possibly new)
+    /// preferred morsel size.
+    pub fn record(&self, window: &ProfileWindow) -> usize {
+        let current = self.rows();
+        if window.morsels == 0 {
+            return current;
+        }
+        let morsels = window.morsels as u64;
+        let next = if window.steals * 4 >= morsels {
+            // Imbalance: a quarter or more of the work moved queues.
+            self.clamp(current / 2)
+        } else if window.trace_executions > 0
+            && window.trace_executions >= window.fallbacks
+            && window.steals * 8 <= morsels
+        {
+            // Compiled traces dominate and the partition held: bigger
+            // morsels amortize per-morsel setup.
+            self.clamp(current.saturating_mul(2))
+        } else {
+            current
+        };
+        self.rows.store(next, Ordering::Relaxed);
+        next
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query plumbing
+// ---------------------------------------------------------------------------
+
+/// Why a query did not produce a result.
+enum Abort<E> {
+    /// The task returned an error (first error wins).
+    Error(E),
+    /// A task or merge panicked; the payload is re-raised on join.
+    Panic(Box<dyn Any + Send + 'static>),
+}
+
+type Outcome<R, E> = Result<R, Abort<E>>;
+
+/// Did `run_unit` find a morsel to account?
+enum Unit {
+    /// A morsel was executed (or skipped-after-stop) and accounted.
+    Ran,
+    /// This query's dispatcher is drained; nothing left to hand out.
+    Empty,
+}
+
+/// Object-safe face of a typed in-flight query.
+trait Job: Send + Sync {
+    /// Pop and account one morsel for `worker`.
+    fn run_unit(&self, worker: usize) -> Unit;
+    /// True when no morsel remains to hand out (in-flight ones may still
+    /// be executing).
+    fn drained(&self) -> bool;
+}
+
+/// A boxed per-morsel task (the `'env` lifetime is the borrow scope of
+/// whatever the closure captures).
+type TaskFn<'env, T, E> = Box<dyn Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'env>;
+
+/// A boxed once-only merge over the morsel-ordered results.
+type MergeFn<'env, T, R> = Box<dyn FnOnce(Vec<T>, DispatchStats) -> R + Send + 'env>;
+
+/// The merge + completion channel, taken exactly once by the finalizer.
+struct Finish<'env, T, E, R> {
+    merge: MergeFn<'env, T, R>,
+    tx: Sender<Outcome<R, E>>,
+}
+
+/// One in-flight query: its private dispatcher, its result slots, and the
+/// bookkeeping that triggers the single finalize. The `'env` lifetime is
+/// the task's borrow scope: `'static` for submitted queries, the caller's
+/// stack for [`Scheduler::run`].
+struct QueryCore<'env, T, E, R> {
+    dispatcher: Dispatcher,
+    task: TaskFn<'env, T, E>,
+    results: Mutex<Vec<Option<T>>>,
+    /// Morsels not yet accounted; the worker that takes it to zero
+    /// finalizes.
+    remaining: AtomicUsize,
+    stop: AtomicBool,
+    failure: Mutex<Option<Abort<E>>>,
+    finish: Mutex<Option<Finish<'env, T, E, R>>>,
+    counters: Arc<Counters>,
+}
+
+impl<T: Send, E: Send, R: Send> QueryCore<'_, T, E, R> {
+    fn finalize(&self) {
+        let Some(Finish { merge, tx }) =
+            self.finish.lock().unwrap_or_else(|e| e.into_inner()).take()
+        else {
+            return;
+        };
+        let failure = self
+            .failure
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        let outcome = match failure {
+            Some(abort) => Err(abort),
+            None => {
+                let values: Vec<T> = self
+                    .results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("all morsels stored on success"))
+                    .collect();
+                let stats = self.dispatcher.stats();
+                match catch_unwind(AssertUnwindSafe(move || merge(values, stats))) {
+                    Ok(r) => Ok(r),
+                    Err(p) => Err(Abort::Panic(p)),
+                }
+            }
+        };
+        self.counters
+            .queries_completed
+            .fetch_add(1, Ordering::Relaxed);
+        // A dropped handle is fine: the send just returns an error.
+        let _ = tx.send(outcome);
+    }
+}
+
+impl<T: Send, E: Send, R: Send> Job for QueryCore<'_, T, E, R> {
+    fn run_unit(&self, worker: usize) -> Unit {
+        let Some(m) = self.dispatcher.next(worker) else {
+            return Unit::Empty;
+        };
+        if !self.stop.load(Ordering::Acquire) {
+            match catch_unwind(AssertUnwindSafe(|| (self.task)(worker, &m))) {
+                Ok(Ok(value)) => {
+                    self.results.lock().unwrap_or_else(|e| e.into_inner())[m.index] = Some(value);
+                }
+                Ok(Err(e)) => {
+                    let mut failure = self.failure.lock().unwrap_or_else(|e| e.into_inner());
+                    if failure.is_none() {
+                        *failure = Some(Abort::Error(e));
+                    }
+                    self.stop.store(true, Ordering::Release);
+                }
+                Err(p) => {
+                    let mut failure = self.failure.lock().unwrap_or_else(|e| e.into_inner());
+                    if failure.is_none() {
+                        *failure = Some(Abort::Panic(p));
+                    }
+                    self.stop.store(true, Ordering::Release);
+                }
+            }
+        }
+        self.counters
+            .morsels_executed
+            .fetch_add(1, Ordering::Relaxed);
+        // Account the morsel last: `remaining == 0` must imply every task
+        // call has returned and stored its result.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.finalize();
+        }
+        Unit::Ran
+    }
+
+    fn drained(&self) -> bool {
+        self.dispatcher.queued() == 0
+    }
+}
+
+/// A handle to a submitted query. Join it to get the merged result; errors
+/// and panics from the query's task (or merge) surface here.
+pub struct QueryHandle<R, E> {
+    rx: Receiver<Outcome<R, E>>,
+    morsels: usize,
+}
+
+impl<R, E> QueryHandle<R, E> {
+    /// Morsels the query was planned into.
+    pub fn morsels(&self) -> usize {
+        self.morsels
+    }
+
+    /// Block until the query completes. A task panic resumes unwinding
+    /// here, on the joining thread.
+    pub fn join(self) -> Result<R, E> {
+        match self.rx.recv() {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(Abort::Error(e))) => Err(e),
+            Ok(Err(Abort::Panic(p))) => resume_unwind(p),
+            Err(_) => unreachable!("scheduler drains every accepted query before exiting"),
+        }
+    }
+
+    /// Like [`QueryHandle::join`], but give up after `timeout`. `None`
+    /// means the query had not completed in time (the handle is consumed;
+    /// stress tests use this as their deadlock bound).
+    pub fn join_deadline(self, timeout: Duration) -> Option<Result<R, E>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(r)) => Some(Ok(r)),
+            Ok(Err(Abort::Error(e))) => Some(Err(e)),
+            Ok(Err(Abort::Panic(p))) => resume_unwind(p),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                unreachable!("scheduler drains every accepted query before exiting")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler
+// ---------------------------------------------------------------------------
+
+/// Aggregate counters over the scheduler's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Queries accepted by `submit`/`run`.
+    pub queries_submitted: u64,
+    /// Queries finalized (result or error delivered).
+    pub queries_completed: u64,
+    /// Morsels accounted across all queries.
+    pub morsels_executed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries_submitted: AtomicU64,
+    queries_completed: AtomicU64,
+    morsels_executed: AtomicU64,
+}
+
+struct Registry {
+    /// Active queries, in submission order. Entries are removed once their
+    /// dispatcher drains (their in-flight morsels finish on the workers
+    /// that hold them).
+    active: Vec<Arc<dyn Job>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    registry: Mutex<Registry>,
+    work_ready: Condvar,
+    /// Round-robin cursor so concurrent queries share the workers.
+    rr: AtomicUsize,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A long-lived worker pool with a query submission queue. See the module
+/// docs for the full picture.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+    cache: Arc<CodeCache>,
+    compile_server: Arc<CompileServer>,
+    elasticity: MorselElasticity,
+    counters: Arc<Counters>,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` long-lived threads (clamped to ≥1), an
+    /// untimed compile-cost model, and default elasticity bounds.
+    pub fn new(workers: usize) -> Scheduler {
+        Scheduler::with_config(workers, CostModel::untimed(), ElasticityConfig::default())
+    }
+
+    /// Full-control constructor: compile-cost model for the background
+    /// compile server, and elasticity bounds for morsel sizing.
+    pub fn with_config(
+        workers: usize,
+        cost_model: CostModel,
+        elasticity: ElasticityConfig,
+    ) -> Scheduler {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(Registry {
+                active: Vec::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            rr: AtomicUsize::new(0),
+        });
+        let threads = (0..workers)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("adaptvm-worker-{w}"))
+                    .spawn(move || worker_loop(w, &shared))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        let cache = Arc::new(CodeCache::new(SCHEDULER_CACHE_CAPACITY));
+        let compile_server = Arc::new(CompileServer::with_cache(
+            cost_model,
+            cache.clone(),
+            GENERIC_SITUATION,
+        ));
+        Scheduler {
+            shared,
+            threads,
+            workers,
+            cache,
+            compile_server,
+            elasticity: MorselElasticity::new(elasticity, DEFAULT_MORSEL_ROWS),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared JIT code cache every query on this scheduler uses.
+    pub fn cache(&self) -> &Arc<CodeCache> {
+        &self.cache
+    }
+
+    /// The shared background compile server (publishing into
+    /// [`Scheduler::cache`]).
+    pub fn compile_server(&self) -> &Arc<CompileServer> {
+        &self.compile_server
+    }
+
+    /// The elasticity-preferred morsel size right now.
+    pub fn morsel_rows(&self) -> usize {
+        self.elasticity.rows()
+    }
+
+    /// Feed a merged profile window into the elasticity controller (done
+    /// automatically by `ParallelVm::on` runs; manual pipelines may report
+    /// their own windows).
+    pub fn observe_window(&self, window: &ProfileWindow) -> usize {
+        self.elasticity.record(window)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            queries_submitted: self.counters.queries_submitted.load(Ordering::Relaxed),
+            queries_completed: self.counters.queries_completed.load(Ordering::Relaxed),
+            morsels_executed: self.counters.morsels_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queries currently registered (drained in-flight ones may already be
+    /// removed).
+    pub fn active_queries(&self) -> usize {
+        self.shared.lock().active.len()
+    }
+
+    fn register(&self, job: Arc<dyn Job>) {
+        let mut reg = self.shared.lock();
+        reg.active.push(job);
+        drop(reg);
+        self.shared.work_ready.notify_all();
+    }
+
+    fn make_core<'env, T, E, R>(
+        &self,
+        plan: &MorselPlan,
+        task: TaskFn<'env, T, E>,
+        merge: MergeFn<'env, T, R>,
+    ) -> (QueryCore<'env, T, E, R>, Receiver<Outcome<R, E>>)
+    where
+        T: Send,
+        E: Send,
+        R: Send,
+    {
+        self.counters
+            .queries_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        let mut results = Vec::with_capacity(plan.len());
+        results.resize_with(plan.len(), || None);
+        let core = QueryCore {
+            dispatcher: Dispatcher::new(plan.morsels(), self.workers),
+            task,
+            results: Mutex::new(results),
+            remaining: AtomicUsize::new(plan.len()),
+            stop: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            finish: Mutex::new(Some(Finish { merge, tx })),
+            counters: self.counters.clone(),
+        };
+        (core, rx)
+    }
+
+    /// Enqueue a query: run `task` over every morsel of `plan` on the
+    /// shared workers, then `merge` the morsel-ordered results (on the
+    /// worker that completes the last morsel). Returns immediately;
+    /// multiple submitted queries execute concurrently.
+    pub fn submit<T, E, R, F, M>(&self, plan: MorselPlan, task: F, merge: M) -> QueryHandle<R, E>
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'static,
+        M: FnOnce(Vec<T>, DispatchStats) -> R + Send + 'static,
+    {
+        let morsels = plan.len();
+        let (core, rx) = self.make_core(&plan, Box::new(task), Box::new(merge));
+        if morsels == 0 {
+            // Nothing to dispatch: finalize inline (merge of an empty vec).
+            core.finalize();
+            return QueryHandle { rx, morsels };
+        }
+        self.register(Arc::new(core));
+        QueryHandle { rx, morsels }
+    }
+
+    /// Run a query to completion on the pool, **blocking the calling
+    /// thread**, with a task that may borrow from the caller's stack —
+    /// the drop-in scheduler replacement for [`crate::pool::run_morsels`]
+    /// (same result contract: morsel-ordered results + dispatch stats,
+    /// first error aborts, panics propagate).
+    ///
+    /// Do not call from inside a scheduler task: a worker blocking on its
+    /// own pool can deadlock once every worker does it.
+    pub fn run<'env, T, E, F>(
+        &self,
+        plan: &MorselPlan,
+        task: F,
+    ) -> Result<(Vec<T>, DispatchStats), E>
+    where
+        T: Send + 'env,
+        E: Send + 'env,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'env,
+    {
+        if plan.is_empty() {
+            return Ok((
+                Vec::new(),
+                DispatchStats {
+                    executed: vec![0; self.workers],
+                    steals: 0,
+                },
+            ));
+        }
+        type ScopedMerge<T> = fn(Vec<T>, DispatchStats) -> (Vec<T>, DispatchStats);
+        let merge: ScopedMerge<T> = |values, stats| (values, stats);
+        let (core, rx) = self.make_core(plan, Box::new(task), Box::new(merge));
+        let core = Arc::new(core);
+        // SAFETY: the registry requires `'static` jobs because workers
+        // outlive any particular caller, but this query's task/results only
+        // borrow from `'env`. Soundness is restored by the protocol below:
+        // (1) `rx.recv()` only returns once `remaining == 0`, i.e. after
+        //     every task invocation has returned — no worker calls into the
+        //     closure after that point (workers that still see the query
+        //     only probe its drained dispatcher);
+        // (2) before returning we spin until our `Arc` is the last strong
+        //     reference, so no worker even *holds* the erased job once
+        //     `'env` data can go out of scope. Workers drop their clone
+        //     after every unit, and drained queries leave the registry on
+        //     the next scan, so the wait is bounded by one morsel. The
+        //     uniqueness check is `Arc::get_mut`, not `strong_count`: the
+        //     former pairs an Acquire load with the workers' Release drops,
+        //     establishing happens-before between their final accesses to
+        //     the job and our return (a relaxed `strong_count` spin would
+        //     not).
+        let mut core = core;
+        let job: Arc<dyn Job + 'env> = core.clone();
+        let job: Arc<dyn Job> =
+            unsafe { std::mem::transmute::<Arc<dyn Job + 'env>, Arc<dyn Job + 'static>>(job) };
+        self.register(job);
+        let outcome = rx.recv().expect("query finalizes exactly once");
+        while Arc::get_mut(&mut core).is_none() {
+            std::thread::yield_now();
+        }
+        match outcome {
+            Ok(r) => Ok(r),
+            Err(Abort::Error(e)) => Err(e),
+            Err(Abort::Panic(p)) => resume_unwind(p),
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.workers)
+            .field("active_queries", &self.active_queries())
+            .field("morsel_rows", &self.morsel_rows())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut reg = self.shared.lock();
+            reg.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The worker main loop: pick an active query round-robin, execute one
+/// morsel, repeat; park when the registry is empty; exit on shutdown after
+/// the registry drains.
+fn worker_loop(worker: usize, shared: &Shared) {
+    loop {
+        let job: Arc<dyn Job> = {
+            let mut reg = shared.lock();
+            loop {
+                // Retire drained queries first (their in-flight morsels
+                // finish on whichever workers hold them).
+                reg.active.retain(|j| !j.drained());
+                if !reg.active.is_empty() {
+                    let idx = shared.rr.fetch_add(1, Ordering::Relaxed) % reg.active.len();
+                    break reg.active[idx].clone();
+                }
+                if reg.shutdown {
+                    return;
+                }
+                reg = shared
+                    .work_ready
+                    .wait(reg)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Run one unit then rescan: the rotation keeps concurrent queries
+        // progressing together instead of draining one before the next.
+        let _ = job.run_unit(worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_run_matches_scoped_pool() {
+        let data: Vec<i64> = (0..50_000).map(|i| (i * 17) % 1000 - 500).collect();
+        let plan = MorselPlan::new(data.len(), 1024);
+        let (seq, _) = crate::pool::run_morsels(1, &plan, |_, m| {
+            Ok::<i64, ()>(data[m.start..m.end()].iter().sum())
+        })
+        .unwrap();
+        for workers in [1, 2, 4, 8] {
+            let scheduler = Scheduler::new(workers);
+            let (parts, stats) = scheduler
+                .run(&plan, |_, m| {
+                    Ok::<i64, ()>(data[m.start..m.end()].iter().sum())
+                })
+                .unwrap();
+            assert_eq!(parts, seq, "workers={workers}");
+            assert_eq!(stats.executed.iter().sum::<u64>(), plan.len() as u64);
+        }
+    }
+
+    #[test]
+    fn submit_joins_merged_result() {
+        let scheduler = Scheduler::new(4);
+        let data: Arc<Vec<i64>> = Arc::new((0..10_000).collect());
+        let plan = MorselPlan::new(data.len(), 256);
+        let morsels = plan.len();
+        let d = data.clone();
+        let handle = scheduler.submit(
+            plan,
+            move |_, m| Ok::<i64, ()>(d[m.start..m.end()].iter().sum()),
+            |parts, stats| (parts.iter().sum::<i64>(), stats),
+        );
+        assert_eq!(handle.morsels(), morsels);
+        let (total, stats) = handle.join().unwrap();
+        assert_eq!(total, data.iter().sum::<i64>());
+        assert_eq!(stats.executed.iter().sum::<u64>(), morsels as u64);
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_pool() {
+        let scheduler = Scheduler::new(4);
+        let handles: Vec<_> = (0..6)
+            .map(|q| {
+                let base = q as i64 * 1000;
+                scheduler.submit(
+                    MorselPlan::new(5_000, 128),
+                    move |_, m| Ok::<i64, ()>(base + m.len as i64),
+                    |parts, _| parts.iter().sum::<i64>(),
+                )
+            })
+            .collect();
+        for (q, h) in handles.into_iter().enumerate() {
+            let morsels = 5_000usize.div_ceil(128) as i64;
+            let expect = q as i64 * 1000 * morsels + 5_000;
+            assert_eq!(h.join().unwrap(), expect, "query {q}");
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.queries_submitted, 6);
+        assert_eq!(stats.queries_completed, 6);
+        assert_eq!(stats.morsels_executed, 6 * 5_000u64.div_ceil(128));
+    }
+
+    #[test]
+    fn errors_abort_and_surface() {
+        let scheduler = Scheduler::new(4);
+        let plan = MorselPlan::new(64, 1);
+        let r = scheduler.run(&plan, |_, m| {
+            if m.index == 13 {
+                Err("boom")
+            } else {
+                Ok(m.index)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+        // The pool survives an aborted query.
+        let plan = MorselPlan::new(10, 2);
+        let (v, _) = scheduler
+            .run(&plan, |_, m| Ok::<usize, ()>(m.index))
+            .unwrap();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn task_panic_resumes_on_joiner() {
+        let scheduler = Scheduler::new(2);
+        let plan = MorselPlan::new(16, 1);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = scheduler.run(&plan, |_, m| {
+                if m.index == 7 {
+                    panic!("task exploded");
+                }
+                Ok::<usize, ()>(m.index)
+            });
+        }));
+        assert!(caught.is_err());
+        // Workers are intact afterwards.
+        let (v, _) = scheduler
+            .run(&MorselPlan::new(4, 1), |_, m| Ok::<usize, ()>(m.index))
+            .unwrap();
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn empty_plan_completes_immediately() {
+        let scheduler = Scheduler::new(2);
+        let handle = scheduler.submit(
+            MorselPlan::new(0, 8),
+            |_, _| Ok::<usize, ()>(0),
+            |parts, _| parts.len(),
+        );
+        assert_eq!(handle.join().unwrap(), 0);
+        let (v, stats) = scheduler
+            .run(&MorselPlan::new(0, 8), |_, _| Ok::<usize, ()>(0))
+            .unwrap();
+        assert!(v.is_empty());
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn join_deadline_bounds_the_wait() {
+        let scheduler = Scheduler::new(2);
+        let handle = scheduler.submit(
+            MorselPlan::new(1_000, 10),
+            |_, m| Ok::<usize, ()>(m.len),
+            |parts, _| parts.iter().sum::<usize>(),
+        );
+        let joined = handle.join_deadline(Duration::from_secs(30));
+        assert_eq!(joined, Some(Ok(1_000)));
+    }
+
+    #[test]
+    fn elasticity_grows_and_shrinks_within_bounds() {
+        let e = MorselElasticity::new(ElasticityConfig::default(), DEFAULT_MORSEL_ROWS);
+        let grow = ProfileWindow {
+            morsels: 64,
+            steals: 0,
+            trace_executions: 100,
+            fallbacks: 0,
+        };
+        let mut last = e.rows();
+        for _ in 0..10 {
+            let now = e.record(&grow);
+            assert!(now >= last);
+            assert!(now <= ElasticityConfig::default().max_rows);
+            last = now;
+        }
+        assert_eq!(e.rows(), ElasticityConfig::default().max_rows);
+        let shrink = ProfileWindow {
+            morsels: 16,
+            steals: 8,
+            trace_executions: 0,
+            fallbacks: 4,
+        };
+        for _ in 0..12 {
+            e.record(&shrink);
+        }
+        assert_eq!(e.rows(), ElasticityConfig::default().min_rows);
+        // Hold: interpreted, balanced window.
+        let hold = ProfileWindow {
+            morsels: 64,
+            steals: 1,
+            trace_executions: 0,
+            fallbacks: 10,
+        };
+        let before = e.rows();
+        e.record(&hold);
+        assert_eq!(e.rows(), before);
+    }
+
+    #[test]
+    fn scheduler_is_debuggable_and_counts() {
+        let scheduler = Scheduler::new(3);
+        assert_eq!(scheduler.workers(), 3);
+        let _ = format!("{scheduler:?}");
+        let (_, stats) = scheduler
+            .run(&MorselPlan::new(100, 10), |_, m| Ok::<usize, ()>(m.len))
+            .unwrap();
+        assert_eq!(stats.executed.len(), 3);
+        assert_eq!(scheduler.stats().morsels_executed, 10);
+    }
+}

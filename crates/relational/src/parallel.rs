@@ -44,8 +44,8 @@ use std::convert::Infallible;
 use adaptvm_dsl::ast::ScalarOp;
 use adaptvm_kernels::{FilterFlavor, MapMode};
 use adaptvm_parallel::{
-    build_then_probe, run_morsels, BuildProbeStats, Morsel, MorselPlan, ParallelRunReport,
-    ParallelVm,
+    build_then_probe_on, BuildProbeStats, Morsel, MorselPlan, ParallelRunReport, ParallelVm,
+    Runner, Scheduler,
 };
 use adaptvm_storage::scalar::Scalar;
 use adaptvm_storage::schema::Table;
@@ -60,20 +60,90 @@ use crate::join::{
 use crate::ops::{self, DenseScan, OpResult};
 use crate::tpch::{self, CompactLineitem, JoinStrategy, Q1Row, Q1_GROUPS};
 
-/// How to run a parallel pipeline: worker threads and morsel size.
+/// How to run a parallel pipeline: worker threads, morsel size, and an
+/// optional long-lived [`Scheduler`] to execute on.
+///
+/// With `scheduler: None` every pipeline spawns a scoped per-run pool of
+/// `workers` threads (the original behavior). With a scheduler attached
+/// (see [`ParallelOpts::on`]) the same pipeline is queued on the shared,
+/// parked worker set instead — `workers` is then ignored in favor of the
+/// pool's size — and results are **identical** either way (both executors
+/// merge in morsel order). `morsel_rows = 0` defers to the scheduler's
+/// elasticity-preferred size (or [`adaptvm_parallel::DEFAULT_MORSEL_ROWS`]
+/// without a scheduler).
 #[derive(Debug, Clone, Copy)]
-pub struct ParallelOpts {
+pub struct ParallelOpts<'a> {
     /// Worker threads (clamped to ≥ 1; 1 = inline sequential execution).
+    /// Ignored when `scheduler` is set (the pool's size wins).
     pub workers: usize,
-    /// Rows per morsel (aligned up to the chunk size where it matters).
+    /// Rows per morsel (aligned up to the chunk size where it matters);
+    /// 0 = let the scheduler's elasticity controller pick.
     pub morsel_rows: usize,
+    /// Execute on this long-lived scheduler instead of scoped threads.
+    pub scheduler: Option<&'a Scheduler>,
 }
 
-impl Default for ParallelOpts {
-    fn default() -> ParallelOpts {
+impl Default for ParallelOpts<'_> {
+    fn default() -> ParallelOpts<'static> {
         ParallelOpts {
             workers: 4,
             morsel_rows: adaptvm_parallel::DEFAULT_MORSEL_ROWS,
+            scheduler: None,
+        }
+    }
+}
+
+impl<'a> ParallelOpts<'a> {
+    /// Scoped-pool options: `workers` threads, `morsel_rows` per morsel.
+    pub fn new(workers: usize, morsel_rows: usize) -> ParallelOpts<'a> {
+        ParallelOpts {
+            workers,
+            morsel_rows,
+            scheduler: None,
+        }
+    }
+
+    /// Options for running on a long-lived scheduler, at its worker count
+    /// and its current elasticity-preferred morsel size.
+    pub fn on(scheduler: &'a Scheduler) -> ParallelOpts<'a> {
+        ParallelOpts {
+            workers: scheduler.workers(),
+            morsel_rows: 0,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Attach a scheduler to existing options (keeps `morsel_rows`).
+    pub fn with_scheduler(mut self, scheduler: &'a Scheduler) -> ParallelOpts<'a> {
+        self.workers = scheduler.workers();
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// The executor these options select.
+    pub fn runner(&self) -> Runner<'a> {
+        match self.scheduler {
+            Some(s) => Runner::Scheduler(s),
+            None => Runner::Scoped {
+                workers: self.workers,
+            },
+        }
+    }
+
+    /// Worker threads the selected executor actually runs on.
+    pub fn effective_workers(&self) -> usize {
+        self.runner().workers()
+    }
+
+    /// Morsel size with the `0 = elastic` sentinel resolved.
+    pub fn effective_morsel_rows(&self) -> usize {
+        if self.morsel_rows > 0 {
+            self.morsel_rows
+        } else {
+            match self.scheduler {
+                Some(s) => s.morsel_rows(),
+                None => adaptvm_parallel::DEFAULT_MORSEL_ROWS,
+            }
         }
     }
 }
@@ -81,13 +151,13 @@ impl Default for ParallelOpts {
 /// Run a per-morsel stage over a table and return the per-morsel results
 /// in morsel order — the generic scan→…→merge driver every concrete
 /// pipeline below builds on.
-pub fn parallel_pipeline<T, F>(table: &Table, opts: ParallelOpts, stage: F) -> OpResult<Vec<T>>
+pub fn parallel_pipeline<T, F>(table: &Table, opts: ParallelOpts<'_>, stage: F) -> OpResult<Vec<T>>
 where
     T: Send,
-    F: Fn(&Morsel) -> OpResult<T> + Sync,
+    F: Fn(&Morsel) -> OpResult<T> + Send + Sync,
 {
-    let plan = MorselPlan::new(table.rows(), opts.morsel_rows);
-    run_morsels(opts.workers, &plan, |_, m| stage(m)).map(|(v, _)| v)
+    let plan = MorselPlan::new(table.rows(), opts.effective_morsel_rows());
+    opts.runner().run(&plan, |_, m| stage(m)).map(|(v, _)| v)
 }
 
 /// Morsel-parallel select→project→sum (the parallel version of
@@ -104,11 +174,11 @@ pub fn parallel_filter_project_sum(
     chunk_rows: usize,
     flavor: FilterFlavor,
     mode: MapMode,
-    opts: ParallelOpts,
+    opts: ParallelOpts<'_>,
 ) -> OpResult<(f64, usize)> {
     let chunk_rows = chunk_rows.max(1);
-    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, chunk_rows);
-    let (per_morsel, _) = run_morsels(opts.workers, &plan, |_, m| {
+    let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
+    let (per_morsel, _) = opts.runner().run(&plan, |_, m| {
         // Slice only the columns the pipeline reads, not the whole table.
         let slice = project_slice(table, &[filter_col, value_col], m)?;
         let scan = DenseScan::new(&slice, &[filter_col, value_col], chunk_rows)?;
@@ -149,7 +219,7 @@ pub fn parallel_hash_aggregate(
     value_col: &str,
     mode: PreAgg,
     chunk_rows: usize,
-    opts: ParallelOpts,
+    opts: ParallelOpts<'_>,
 ) -> OpResult<Vec<(i64, GroupState)>> {
     let chunk_rows = chunk_rows.max(1);
     let keys = table
@@ -167,8 +237,8 @@ pub fn parallel_hash_aggregate(
             adaptvm_kernels::KernelError::Precondition(format!("{value_col} must be f64"))
         })?;
 
-    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, chunk_rows);
-    let (partials, _) = run_morsels(opts.workers, &plan, |_, m| {
+    let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
+    let (partials, _) = opts.runner().run(&plan, |_, m| {
         let mut agg = AdaptiveAggregator::new(mode);
         let mut off = m.start;
         while off < m.end() {
@@ -228,11 +298,11 @@ pub fn parallel_build_hash_table(
     keys: &Array,
     payloads: &Array,
     bloom: bool,
-    opts: ParallelOpts,
+    opts: ParallelOpts<'_>,
 ) -> OpResult<HashTable> {
     let (k, p) = build_rows(keys, payloads)?;
-    let plan = MorselPlan::new(k.len(), opts.morsel_rows);
-    let (partitions, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+    let plan = MorselPlan::new(k.len(), opts.effective_morsel_rows());
+    let (partitions, _) = never(opts.runner().run(&plan, |_, m| {
         Ok(JoinPartition::from_rows(
             &k[m.start..m.end()],
             &p[m.start..m.end()],
@@ -268,13 +338,13 @@ pub fn parallel_hash_join(
     build_payloads: &Array,
     probe_keys: &[i64],
     bloom: bool,
-    opts: ParallelOpts,
+    opts: ParallelOpts<'_>,
 ) -> OpResult<(HashTable, ParallelJoinOutput)> {
     let (bk, bp) = build_rows(build_keys, build_payloads)?;
-    let build_plan = MorselPlan::new(bk.len(), opts.morsel_rows);
-    let probe_plan = MorselPlan::new(probe_keys.len(), opts.morsel_rows);
-    let (table, per_morsel, stats) = never(build_then_probe(
-        opts.workers,
+    let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
+    let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
+    let (table, per_morsel, stats) = never(build_then_probe_on(
+        opts.runner(),
         &build_plan,
         &probe_plan,
         |_, m| {
@@ -354,12 +424,12 @@ impl ParallelJoinChain {
 
     /// Probe one batch of key columns (`keys[j]` is the probe key column
     /// for join `j`; all columns must have equal length) morsel-parallel.
-    pub fn probe_batch(&mut self, keys: &[Vec<i64>], opts: ParallelOpts) -> ChainResult {
+    pub fn probe_batch(&mut self, keys: &[Vec<i64>], opts: ParallelOpts<'_>) -> ChainResult {
         let n = validate_key_columns(keys, self.tables.len());
         let order = self.controller.current_order().to_vec();
-        let plan = MorselPlan::new(n, opts.morsel_rows);
+        let plan = MorselPlan::new(n, opts.effective_morsel_rows());
         let tables = &self.tables;
-        let (per_morsel, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+        let (per_morsel, _) = never(opts.runner().run(&plan, |_, m| {
             Ok(probe_chunk_with_order(
                 tables,
                 &order,
@@ -408,16 +478,17 @@ pub fn q3_parallel(
     strategy: JoinStrategy,
     chunk_rows: usize,
     bloom: bool,
-    opts: ParallelOpts,
+    opts: ParallelOpts<'_>,
 ) -> OpResult<(f64, BuildProbeStats)> {
     let chunk_rows = chunk_rows.max(1);
     let okey = ops::int_column(orders, "o_orderkey")?;
     let odate = ops::int_column(orders, "o_orderdate")?;
     let cols = tpch::Q3Cols::from_table(lineitem)?;
-    let build_plan = MorselPlan::new(okey.len(), opts.morsel_rows);
-    let probe_plan = MorselPlan::chunk_aligned(lineitem.rows(), opts.morsel_rows, chunk_rows);
-    let (_, revenues, stats) = never(build_then_probe(
-        opts.workers,
+    let build_plan = MorselPlan::new(okey.len(), opts.effective_morsel_rows());
+    let probe_plan =
+        MorselPlan::chunk_aligned(lineitem.rows(), opts.effective_morsel_rows(), chunk_rows);
+    let (_, revenues, stats) = never(build_then_probe_on(
+        opts.runner(),
         &build_plan,
         &probe_plan,
         |_, m| {
@@ -470,10 +541,14 @@ fn project_slice(table: &Table, columns: &[&str], m: &Morsel) -> OpResult<Table>
 /// accumulators merged in global chunk order: bit-identical to
 /// [`tpch::q1_vectorized`] at the same `chunk_rows`, for any worker
 /// count.
-pub fn q1_parallel_vectorized(table: &Table, chunk_rows: usize, opts: ParallelOpts) -> Vec<Q1Row> {
+pub fn q1_parallel_vectorized(
+    table: &Table,
+    chunk_rows: usize,
+    opts: ParallelOpts<'_>,
+) -> Vec<Q1Row> {
     let chunk_rows = chunk_rows.max(1);
-    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, chunk_rows);
-    let (per_morsel, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+    let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
+    let (per_morsel, _) = never(opts.runner().run(&plan, |_, m| {
         let mut parts = Vec::with_capacity(m.len.div_ceil(chunk_rows));
         let mut off = m.start;
         while off < m.end() {
@@ -498,9 +573,9 @@ pub fn q1_parallel_vectorized(table: &Table, chunk_rows: usize, opts: ParallelOp
 /// morsel order: deterministic for any worker count; equal to
 /// [`tpch::q1_fused`] up to floating-point associativity (counts and
 /// integer-valued sums are exact).
-pub fn q1_parallel_fused(table: &Table, opts: ParallelOpts) -> Vec<Q1Row> {
-    let plan = MorselPlan::new(table.rows(), opts.morsel_rows);
-    let (partials, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+pub fn q1_parallel_fused(table: &Table, opts: ParallelOpts<'_>) -> Vec<Q1Row> {
+    let plan = MorselPlan::new(table.rows(), opts.effective_morsel_rows());
+    let (partials, _) = never(opts.runner().run(&plan, |_, m| {
         Ok(tpch::q1_fused_range(table, m.start, m.len))
     }));
     let mut accs = tpch::new_accs();
@@ -519,11 +594,12 @@ pub fn q1_parallel_fused(table: &Table, opts: ParallelOpts) -> Vec<Q1Row> {
 pub fn q1_parallel_adaptive(
     compact: &CompactLineitem,
     chunk_rows: usize,
-    opts: ParallelOpts,
+    opts: ParallelOpts<'_>,
 ) -> Vec<Q1Row> {
     let chunk_rows = chunk_rows.max(1);
-    let plan = MorselPlan::chunk_aligned(compact.qty.len(), opts.morsel_rows, chunk_rows);
-    let (partials, _) = never(run_morsels(opts.workers, &plan, |_, m| {
+    let plan =
+        MorselPlan::chunk_aligned(compact.qty.len(), opts.effective_morsel_rows(), chunk_rows);
+    let (partials, _) = never(opts.runner().run(&plan, |_, m| {
         Ok(tpch::q1_adaptive_range(compact, m.start, m.len, chunk_rows))
     }));
     let mut iaccs = [[0i64; 5]; Q1_GROUPS as usize];
@@ -542,27 +618,40 @@ pub fn q1_parallel_adaptive(
 /// addition tree: the result is bit-identical to running
 /// [`tpch::q6_program`] on one thread with the same strategy. Larger
 /// (chunk-aligned) morsels remain deterministic for any worker count.
+///
+/// With a scheduler in `opts`, the run executes on the long-lived pool via
+/// [`ParallelVm::on`]: same revenue, but traces live in the scheduler's
+/// shared cache (repeat runs report `trace_cache_hits`) and the merged
+/// profile window feeds the scheduler's morsel elasticity.
 pub fn q6_parallel(
     table: &Table,
     date_lo: i64,
     config: VmConfig,
-    opts: ParallelOpts,
+    opts: ParallelOpts<'_>,
 ) -> Result<(f64, ParallelRunReport), VmError> {
-    let plan = MorselPlan::chunk_aligned(table.rows(), opts.morsel_rows, config.chunk_size);
-    let pvm = ParallelVm::new(opts.workers, config);
+    let plan = MorselPlan::chunk_aligned(
+        table.rows(),
+        opts.effective_morsel_rows(),
+        config.chunk_size,
+    );
+    let pvm = ParallelVm::new(opts.effective_workers(), config);
     // Resolve the four Q6 columns once; each morsel slices only these.
     let price = table.column_by_name("l_extendedprice").expect("schema");
     let disc = table.column_by_name("l_discount").expect("schema");
     let qty = table.column_by_name("l_quantity").expect("schema");
     let ship = table.column_by_name("l_shipdate").expect("schema");
-    let (outs, report) = pvm.run_morsels(&plan, |m| {
+    let make = |m: &Morsel| {
         let buffers = adaptvm_vm::Buffers::new()
             .with_input("l_price", m.slice_array(price))
             .with_input("l_disc", m.slice_array(disc))
             .with_input("l_qty", m.slice_array(qty))
             .with_input("l_ship", m.slice_array(ship));
         (tpch::q6_program(m.len as i64, date_lo), buffers)
-    })?;
+    };
+    let (outs, report) = match opts.scheduler {
+        Some(s) => pvm.on(s).run_morsels(&plan, make)?,
+        None => pvm.run_morsels(&plan, make)?,
+    };
     let mut revenue = 0.0;
     for (i, out) in outs.iter().enumerate() {
         let rev = out
@@ -604,6 +693,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 8 * 1024,
+                    scheduler: None,
                 },
             );
             assert!(exact_eq(&seq, &par), "workers={workers}");
@@ -622,6 +712,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: morsel,
+                    scheduler: None,
                 },
             );
             assert!(exact_eq(&seq, &par), "workers={workers} morsel={morsel}");
@@ -637,6 +728,7 @@ mod tests {
             ParallelOpts {
                 workers: 1,
                 morsel_rows: 4096,
+                scheduler: None,
             },
         );
         for workers in [2, 4, 8] {
@@ -645,6 +737,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 4096,
+                    scheduler: None,
                 },
             );
             // Same morsel decomposition ⇒ bit-identical across worker counts.
@@ -680,6 +773,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 2048,
+                    scheduler: None,
                 },
             )
             .unwrap();
@@ -701,6 +795,7 @@ mod tests {
             ParallelOpts {
                 workers: 1,
                 morsel_rows: 4096,
+                scheduler: None,
             },
         )
         .unwrap();
@@ -719,6 +814,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 4096,
+                    scheduler: None,
                 },
             )
             .unwrap();
@@ -754,6 +850,7 @@ mod tests {
                 ParallelOpts {
                     workers: 4,
                     morsel_rows: 4 * DEFAULT_CHUNK,
+                    scheduler: None,
                 },
             )
             .unwrap();
@@ -782,6 +879,7 @@ mod tests {
                     ParallelOpts {
                         workers,
                         morsel_rows: 3_000,
+                        scheduler: None,
                     },
                 )
                 .unwrap();
@@ -812,6 +910,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 4_096,
+                    scheduler: None,
                 },
             )
             .unwrap();
@@ -848,6 +947,7 @@ mod tests {
                     ParallelOpts {
                         workers,
                         morsel_rows: 3_000,
+                        scheduler: None,
                     },
                 );
                 assert_eq!(&r, expected, "workers={workers} batch={batch}");
@@ -880,6 +980,7 @@ mod tests {
                     ParallelOpts {
                         workers,
                         morsel_rows: 5_000,
+                        scheduler: None,
                     },
                 )
                 .unwrap();
@@ -892,6 +993,119 @@ mod tests {
                 // Probe morsels are chunk-aligned: 5_000 → 5_120 rows.
                 assert_eq!(stats.probe_morsels, 25_000usize.div_ceil(5_120));
             }
+        }
+    }
+
+    #[test]
+    fn scheduler_entry_points_bit_identical_to_scoped() {
+        // One long-lived scheduler serving Q1 (vectorized + adaptive), Q3
+        // and Q6: every result must be bit-identical to the scoped-pool
+        // path over the same plan.
+        let scheduler = Scheduler::new(4);
+        let t = tpch::lineitem(30_000, 19);
+        let compact = CompactLineitem::from_table(&t);
+        let scoped = ParallelOpts::new(4, 5_000);
+        let sched = scoped.with_scheduler(&scheduler);
+
+        let q1_scoped = q1_parallel_vectorized(&t, 1024, scoped);
+        let q1_sched = q1_parallel_vectorized(&t, 1024, sched);
+        assert!(exact_eq(&q1_scoped, &q1_sched), "vectorized Q1");
+
+        let q1a_scoped = q1_parallel_adaptive(&compact, 1024, scoped);
+        let q1a_sched = q1_parallel_adaptive(&compact, 1024, sched);
+        assert!(exact_eq(&q1a_scoped, &q1a_sched), "adaptive Q1");
+
+        let li = tpch::lineitem_q3(20_000, 3_000, 7);
+        let ord = tpch::orders(3_000, 7);
+        let date = tpch::SHIPDATE_MAX / 2;
+        for strategy in JoinStrategy::ALL {
+            let (seq, _) = q3_parallel(&li, &ord, date, strategy, 1024, true, scoped).unwrap();
+            let (par, stats) = q3_parallel(&li, &ord, date, strategy, 1024, true, sched).unwrap();
+            assert_eq!(seq.to_bits(), par.to_bits(), "{strategy:?}");
+            assert_eq!(
+                stats.probe.executed.len(),
+                scheduler.workers(),
+                "probe stats come from the scheduler pool"
+            );
+        }
+
+        let config = VmConfig {
+            strategy: Strategy::Adaptive,
+            hot_threshold: 3,
+            ..VmConfig::default()
+        };
+        let (rev_scoped, _) = q6_parallel(&t, 1000, config.clone(), scoped).unwrap();
+        let (rev_sched, report) = q6_parallel(&t, 1000, config, sched).unwrap();
+        assert_eq!(rev_scoped.to_bits(), rev_sched.to_bits(), "Q6");
+        assert_eq!(report.workers, scheduler.workers());
+    }
+
+    #[test]
+    fn scheduler_q6_hits_shared_cache_on_repeat_runs() {
+        // The repeated-fragment workload: the same Q6 program shape run
+        // twice on one scheduler. The second run's traces come from the
+        // scheduler's shared cache — zero additional compiles.
+        let scheduler = Scheduler::new(2);
+        let t = tpch::lineitem(20_480, 3);
+        let config = VmConfig {
+            strategy: Strategy::CompiledPipeline,
+            ..VmConfig::default()
+        };
+        let opts = ParallelOpts::new(2, 4 * DEFAULT_CHUNK).with_scheduler(&scheduler);
+        let (rev1, r1) = q6_parallel(&t, 1000, config.clone(), opts).unwrap();
+        assert!(
+            r1.trace_cache_hits >= (r1.morsels as u64) - 1,
+            "later morsels of the first run already share the cache: {r1:?}"
+        );
+        let (rev2, r2) = q6_parallel(&t, 1000, config, opts).unwrap();
+        assert_eq!(rev1.to_bits(), rev2.to_bits());
+        assert_eq!(
+            r2.trace_cache_hits, r2.morsels as u64,
+            "every morsel of the repeat run hits: {r2:?}"
+        );
+        assert_eq!(r2.compile_ns_total, 0, "{r2:?}");
+    }
+
+    #[test]
+    fn elastic_morsel_sentinel_resolves_and_stays_exact() {
+        // morsel_rows = 0 defers to the scheduler's elastic size; the
+        // adaptive Q1 fixed-point result is split-independent, so feeding
+        // windows that move the size between runs must not change results.
+        let scheduler = Scheduler::new(4);
+        let t = tpch::lineitem(30_000, 23);
+        let compact = CompactLineitem::from_table(&t);
+        let seq = tpch::q1_adaptive(&compact, 1024);
+        let opts = ParallelOpts::on(&scheduler);
+        assert_eq!(
+            opts.effective_morsel_rows(),
+            scheduler.morsel_rows(),
+            "sentinel resolves to the elastic size"
+        );
+        for round in 0..4 {
+            let par = q1_parallel_adaptive(&compact, 1024, opts);
+            assert!(
+                exact_eq(&tpch::q1_adaptive(&compact, 1024), &par),
+                "round {round} at morsel_rows={}",
+                scheduler.morsel_rows()
+            );
+            assert!(exact_eq(&seq, &par));
+            // Alternate grow/shrink pressure on the controller.
+            let window = if round % 2 == 0 {
+                adaptvm_parallel::ProfileWindow {
+                    morsels: 32,
+                    steals: 0,
+                    trace_executions: 64,
+                    fallbacks: 0,
+                }
+            } else {
+                adaptvm_parallel::ProfileWindow {
+                    morsels: 16,
+                    steals: 8,
+                    trace_executions: 0,
+                    fallbacks: 8,
+                }
+            };
+            scheduler.observe_window(&window);
         }
     }
 
@@ -909,6 +1123,7 @@ mod tests {
             ParallelOpts {
                 workers: 4,
                 morsel_rows: 8 * DEFAULT_CHUNK,
+                scheduler: None,
             },
         )
         .unwrap();

@@ -99,6 +99,26 @@ impl Strategy for Any<bool> {
     }
 }
 
+// Tuple strategies (real proptest implements these for tuples up to 10;
+// the workspace uses 2- and 3-tuples, e.g. vectors of event records).
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
 /// `prop::…` module tree (mirrors the proptest prelude's `prop` alias).
 pub mod prop {
     /// Collection strategies.

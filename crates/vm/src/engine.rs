@@ -35,7 +35,7 @@ use adaptvm_dsl::typecheck::{infer_expr, Type, TypeEnv};
 use adaptvm_dsl::value::{Value, Vector};
 use adaptvm_hetsim::exec::run_trace_on;
 use adaptvm_jit::builder::{build_fragment, Fragment};
-use adaptvm_jit::cache::{CodeCache, TraceKey};
+use adaptvm_jit::cache::{CodeCache, TraceKey, GENERIC_SITUATION};
 use adaptvm_jit::compiler::{compile, CompileServer, CompiledTrace, CostModel};
 use adaptvm_jit::JitError;
 use adaptvm_storage::array::Array;
@@ -108,6 +108,18 @@ pub struct VmConfig {
     /// worker to reach a fragment compiles it, everyone else injects the
     /// cached trace for free (§III-B's multi-trace store, shared).
     pub code_cache: Option<Arc<CodeCache>>,
+    /// Shared background compile server. When set (it must be a
+    /// *publishing* server, [`CompileServer::with_cache`], over the same
+    /// cache as `code_cache`), `async_compile` runs submit hot fragments
+    /// here instead of spawning a private server per run: the submit is
+    /// deduplicated by fragment fingerprint across every run sharing the
+    /// server, the finished trace lands in the shared cache, and each run
+    /// picks it up from there — the run that submitted counts the compile,
+    /// later runs count a `trace_cache_hits`. This is how a long-lived
+    /// scheduler overlaps one background compiler with many concurrent
+    /// morsel runs. A non-publishing server is ignored (the run falls back
+    /// to a private server), because unclaimed finishes would be lost.
+    pub compile_server: Option<Arc<CompileServer>>,
 }
 
 impl Default for VmConfig {
@@ -121,6 +133,7 @@ impl Default for VmConfig {
             async_compile: false,
             devices: Vec::new(),
             code_cache: None,
+            compile_server: None,
         }
     }
 }
@@ -186,19 +199,19 @@ enum Step {
     Trace(usize),
 }
 
-/// An injected compiled region.
+/// An injected compiled region. (No statement copies are kept: if the
+/// trace fails recoverably, the injection is simply removed and the plan
+/// rebuilt — the covered nodes reappear as ordinary steps.)
 struct Injection {
     anchor: NodeId,
     covered: HashSet<NodeId>,
-    /// Covered node statements in document order (the fallback path).
-    covered_stmts: Vec<Stmt>,
     trace: Arc<CompiledTrace>,
 }
 
-/// Situation key for unspecialized engine traces in the shared cache.
-/// (Specialized situations — compression scheme, selectivity class — keep
-/// their own entries beside it; see [`adaptvm_jit::cache`].)
-const GENERIC_SITUATION: &str = "generic";
+// Unspecialized engine traces use [`GENERIC_SITUATION`] (re-exported from
+// `adaptvm_jit::cache` so publishing compile servers key identically).
+// Specialized situations — compression scheme, selectivity class — keep
+// their own entries beside it; see [`adaptvm_jit::cache`].
 
 impl Vm {
     /// A VM with the given configuration.
@@ -317,6 +330,23 @@ impl Vm {
         let mut device_clocks: Vec<u64> = vec![0; self.config.devices.len()];
         let mut server: Option<CompileServer> = None;
         let mut pending: HashMap<u64, (NodeId, Vec<NodeId>)> = HashMap::new();
+        // The shared background path: fragments submitted to a *publishing*
+        // compile server, picked up from its cache when they land. Each
+        // entry is (publish key, covered nodes, whether this run enqueued
+        // the compile) — the key is built once, from the server's own
+        // situation string, so server and engine can never disagree and
+        // the per-iteration poll allocates nothing.
+        let shared_server: Option<Arc<CompileServer>> = self
+            .config
+            .compile_server
+            .as_ref()
+            .filter(|s| s.cache().is_some())
+            .cloned();
+        let shared_situation: Option<String> = shared_server
+            .as_ref()
+            .and_then(|s| s.situation())
+            .map(str::to_string);
+        let mut shared_pending: Vec<(TraceKey, Vec<NodeId>, bool)> = Vec::new();
         let mut optimized = false;
 
         // Strategy::CompiledPipeline compiles everything before iterating.
@@ -374,12 +404,17 @@ impl Vm {
                             if self.config.async_compile {
                                 // A cached trace needs no compile round-trip
                                 // even on the background path: inject now.
-                                let cached = self.config.code_cache.as_ref().and_then(|c| {
-                                    c.get(&TraceKey {
-                                        fingerprint: frag.ir.fingerprint(),
-                                        situation: GENERIC_SITUATION.to_string(),
-                                    })
-                                });
+                                // Key lookups by the server's own publish
+                                // situation when one is shared, else the
+                                // generic situation.
+                                let key = TraceKey {
+                                    fingerprint: frag.ir.fingerprint(),
+                                    situation: shared_situation
+                                        .clone()
+                                        .unwrap_or_else(|| GENERIC_SITUATION.to_string()),
+                                };
+                                let cached =
+                                    self.config.code_cache.as_ref().and_then(|c| c.get(&key));
                                 if let Some(trace) = cached {
                                     report.trace_cache_hits += 1;
                                     inject(
@@ -390,6 +425,20 @@ impl Vm {
                                         trace,
                                     );
                                     report.injected_traces += 1;
+                                    continue;
+                                }
+                                if let Some(shared) = &shared_server {
+                                    // Shared publishing server: dedup by
+                                    // fingerprint, pick the trace up from
+                                    // the publish cache once it lands.
+                                    match shared.submit_unique(frag) {
+                                        Ok(ours) => shared_pending.push((
+                                            key,
+                                            region.nodes.clone(),
+                                            ours.is_some(),
+                                        )),
+                                        Err(_) => report.fallbacks += 1,
+                                    }
                                     continue;
                                 }
                                 let srv = server.get_or_insert_with(|| {
@@ -408,6 +457,41 @@ impl Vm {
                     }
                 }
                 if !self.config.async_compile || report.injected_traces > injected_before {
+                    plan = build_plan(&flat, &injections);
+                    report.transitions.push(StateTransition {
+                        iteration: iterations,
+                        state: VmState::InjectFunctions,
+                    });
+                }
+            }
+
+            // Pick up shared-server compiles from the publish cache: the
+            // submitting run counts the compile cost, runs that found the
+            // fragment already in flight count a cache hit.
+            if !shared_pending.is_empty() {
+                let cache = shared_server
+                    .as_ref()
+                    .and_then(|s| s.cache())
+                    .expect("shared_pending implies a publishing server");
+                let mut landed_any = false;
+                let mut i = 0;
+                while i < shared_pending.len() {
+                    match cache.peek(&shared_pending[i].0) {
+                        Some(trace) => {
+                            let (_, nodes, ours) = shared_pending.remove(i);
+                            if ours {
+                                report.compile_ns_total += trace.cost_ns;
+                            } else {
+                                report.trace_cache_hits += 1;
+                            }
+                            inject(&mut injections, &graph, &flat, nodes, trace);
+                            report.injected_traces += 1;
+                            landed_any = true;
+                        }
+                        None => i += 1,
+                    }
+                }
+                if landed_any {
                     plan = build_plan(&flat, &injections);
                     report.transitions.push(StateTransition {
                         iteration: iterations,
@@ -472,21 +556,22 @@ impl Vm {
                         ) {
                             Ok(()) => report.trace_executions += 1,
                             Err(TraceFailure::Recoverable(_)) => {
-                                // Drop the injection for good; interpret the
-                                // covered statements this and every future
-                                // iteration.
+                                // Drop the injection for good and resume at
+                                // the same plan position. The rebuilt plan
+                                // agrees with the old one before `idx` (the
+                                // anchor is the region's first covered node,
+                                // so nothing covered precedes it), and at
+                                // `idx` the trace step expands back into the
+                                // anchor's node step — execution continues
+                                // in document order, interleaved scalar
+                                // statements (e.g. aliases between covered
+                                // nodes) included. Manually interpreting the
+                                // covered nodes back-to-back instead would
+                                // skip those scalars and feed stale values
+                                // to the nodes after them.
                                 report.fallbacks += 1;
-                                let stmts = inj.covered_stmts.clone();
                                 injections.remove(*k);
                                 plan = build_plan(&flat, &injections);
-                                for s in &stmts {
-                                    if interp.exec_stmt(s, &mut env)? == Flow::Broke {
-                                        break 'outer;
-                                    }
-                                }
-                                // Plan changed under us: restart indexing at
-                                // the next document position conservatively.
-                                idx += 1;
                                 continue;
                             }
                             Err(TraceFailure::Fatal(e)) => return Err(e),
@@ -788,14 +873,10 @@ fn inject(
 ) {
     let covered: HashSet<NodeId> = nodes.iter().copied().collect();
     let mut anchor = None;
-    let mut covered_stmts = Vec::new();
     for item in &flat.items {
-        if let FlatItem::Node { id, stmt } = item {
-            if covered.contains(id) {
-                if anchor.is_none() {
-                    anchor = Some(*id);
-                }
-                covered_stmts.push(stmt.clone());
+        if let FlatItem::Node { id, .. } = item {
+            if covered.contains(id) && anchor.is_none() {
+                anchor = Some(*id);
             }
         }
     }
@@ -803,7 +884,6 @@ fn inject(
     injections.push(Injection {
         anchor,
         covered,
-        covered_stmts,
         trace,
     });
 }
@@ -1108,6 +1188,63 @@ mod tests {
             r3.trace_cache_hits + (r3.injected_traces as u64) > 0,
             "{r3:?}"
         );
+    }
+
+    #[test]
+    fn shared_compile_server_publishes_across_runs() {
+        // A publishing server over a shared cache: the first async run
+        // submits the hot fragments; once the compiles land in the cache,
+        // later runs over the same program hit without compiling. Retry
+        // with growing inputs — background landing time is nondeterministic
+        // (that is the point) but the *cache* outlives each run, so the
+        // second run observes whatever the first one seeded.
+        let cache = Arc::new(CodeCache::new(16));
+        let server = Arc::new(CompileServer::with_cache(
+            CostModel::untimed(),
+            cache.clone(),
+            GENERIC_SITUATION,
+        ));
+        let config = VmConfig {
+            strategy: Strategy::Adaptive,
+            hot_threshold: 2,
+            async_compile: true,
+            code_cache: Some(cache.clone()),
+            compile_server: Some(server.clone()),
+            ..VmConfig::default()
+        };
+        let (out1, _) = run_fig2(config.clone(), 200_000, 150_000);
+        check_fig2(&out1, 200_000, 150_000);
+        // Give the background compiles time to publish.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while cache.stats().entries == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(cache.stats().entries > 0, "server must publish to cache");
+        let (out2, r2) = run_fig2(config, 200_000, 150_000);
+        check_fig2(&out2, 200_000, 150_000);
+        assert_eq!(out1.output("v"), out2.output("v"));
+        assert!(
+            r2.trace_cache_hits > 0,
+            "second run must hit the published traces: {r2:?}"
+        );
+        assert_eq!(r2.compile_ns_total, 0, "{r2:?}");
+    }
+
+    #[test]
+    fn non_publishing_shared_server_is_ignored() {
+        // A plain `start()` server cannot be shared safely (unclaimed
+        // finishes would be lost), so the engine falls back to its private
+        // background path and still completes correctly.
+        let server = Arc::new(CompileServer::start(CostModel::untimed()));
+        let config = VmConfig {
+            strategy: Strategy::Adaptive,
+            hot_threshold: 2,
+            async_compile: true,
+            compile_server: Some(server),
+            ..VmConfig::default()
+        };
+        let (out, _) = run_fig2(config, 50_000, 40_000);
+        check_fig2(&out, 50_000, 40_000);
     }
 
     #[test]

@@ -3,34 +3,70 @@
 //! swept over worker counts, plus the adaptive join chain probed
 //! morsel-parallel.
 //!
-//! Run with: `cargo run --release --example parallel_join [rows]`
+//! Run with: `cargo run --release --example parallel_join [rows] [--scheduler]`
+//!
+//! Default mode spawns a scoped thread pool per run; `--scheduler` routes
+//! every join through ONE long-lived worker pool per worker count.
 //!
 //! Prints per-strategy wall times and speedups, the two-phase
 //! (build/probe) dispatch stats, and verifies that every parallel result
 //! is bit-identical to the sequential engine (exact integer fixed-point
-//! revenue — the strongest rung of the exactness ladder).
+//! revenue — the strongest rung of the exactness ladder). Worker counts
+//! printed are the executing pool's own; real speedups additionally need
+//! that many hardware cores (see the `available cores` line — on a
+//! single-core container every sweep degenerates to ~1×).
 
 use std::time::Instant;
 
+use adaptvm::parallel::Scheduler;
 use adaptvm::relational::join::HashTable;
 use adaptvm::relational::parallel::{q3_parallel, ParallelJoinChain, ParallelOpts};
 use adaptvm::relational::tpch::{self, JoinStrategy};
 use adaptvm::storage::{Array, DEFAULT_CHUNK};
 
 fn main() {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scheduler_mode = args.iter().any(|a| a == "--scheduler");
+    let rows: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
         .unwrap_or(1_000_000);
     let n_orders = (rows / 4).max(1);
     let workers_sweep = [1usize, 2, 4, 8];
     let morsel_rows = 16 * DEFAULT_CHUNK;
     let date = tpch::SHIPDATE_MAX / 2;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("generating lineitem ({rows} rows) ⋈ orders ({n_orders} rows)…");
+    println!(
+        "mode: {}  ·  available cores: {cores}{}",
+        if scheduler_mode {
+            "long-lived scheduler"
+        } else {
+            "scoped pool per run"
+        },
+        if cores < 4 {
+            "  (too few for real speedups — timings verify overhead only)"
+        } else {
+            ""
+        }
+    );
     let lineitem = tpch::lineitem_q3(rows, n_orders, 42);
     let orders = tpch::orders(n_orders, 42);
     let reference = tpch::q3_reference(&lineitem, &orders, date);
+
+    let pools: Vec<Scheduler> = if scheduler_mode {
+        workers_sweep.iter().map(|&w| Scheduler::new(w)).collect()
+    } else {
+        Vec::new()
+    };
+    let opts_for = |i: usize, workers: usize| {
+        if scheduler_mode {
+            ParallelOpts::new(workers, morsel_rows).with_scheduler(&pools[i])
+        } else {
+            ParallelOpts::new(workers, morsel_rows)
+        }
+    };
 
     for (name, strategy) in [
         ("vectorized", JoinStrategy::Vectorized),
@@ -47,7 +83,9 @@ fn main() {
         );
         println!("\n== parallel Q3 ({name}), morsel = {morsel_rows} rows");
         println!("   sequential: {seq_ms:8.2} ms  (revenue {seq:.2})");
-        for workers in workers_sweep {
+        for (i, workers) in workers_sweep.into_iter().enumerate() {
+            let opts = opts_for(i, workers);
+            let pool_workers = opts.effective_workers();
             let t0 = Instant::now();
             let (rev, stats) = q3_parallel(
                 &lineitem,
@@ -56,16 +94,16 @@ fn main() {
                 strategy,
                 DEFAULT_CHUNK,
                 true,
-                ParallelOpts {
-                    workers,
-                    morsel_rows,
-                },
+                opts,
             )
             .expect("parallel q3");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             assert_eq!(rev.to_bits(), seq.to_bits(), "diverged!");
+            // `stats.probe.executed` has one slot per pool worker — the
+            // pool the probe actually ran on.
+            assert_eq!(stats.probe.executed.len(), pool_workers);
             println!(
-                "   {workers} worker(s): {ms:8.2} ms  (speedup {:.2}×)  build {}m/{}st  probe {}m/{}st",
+                "   {pool_workers} pool worker(s): {ms:8.2} ms  (speedup {:.2}×)  build {}m/{}st  probe {}m/{}st",
                 seq_ms / ms,
                 stats.build_morsels,
                 stats.build.steals,
@@ -91,29 +129,33 @@ fn main() {
     let span = rows.min(200_000);
     let probes: Vec<i64> = (0..span as i64).map(|i| i % (span as i64 / 2)).collect();
     let keys = [probes.clone(), probes.clone()];
-    for workers in workers_sweep {
+    for (i, workers) in workers_sweep.into_iter().enumerate() {
+        let opts = opts_for(i, workers);
+        let pool_workers = opts.effective_workers();
         let mut chain =
             ParallelJoinChain::new(vec![build(span as i64 / 2), build(span as i64 / 20)], 2);
         let t0 = Instant::now();
         let mut survivors = 0;
         for _ in 0..8 {
-            survivors = chain
-                .probe_batch(
-                    &keys,
-                    ParallelOpts {
-                        workers,
-                        morsel_rows,
-                    },
-                )
-                .indices
-                .len();
+            survivors = chain.probe_batch(&keys, opts).indices.len();
         }
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
-            "   {workers} worker(s): {ms:8.2} ms  order {:?}  reorders {}  survivors {survivors}",
+            "   {pool_workers} pool worker(s): {ms:8.2} ms  order {:?}  reorders {}  survivors {survivors}",
             chain.order(),
             chain.reorders(),
         );
+    }
+
+    if scheduler_mode {
+        println!("\n== scheduler lifetime stats");
+        for (pool, workers) in pools.iter().zip(workers_sweep) {
+            let stats = pool.stats();
+            println!(
+                "   {workers}-worker pool: {} queries, {} morsels",
+                stats.queries_completed, stats.morsels_executed
+            );
+        }
     }
 
     println!("\nall parallel joins agree with the single-threaded engine ✓");

@@ -1,14 +1,23 @@
 //! Morsel-driven parallel TPC-H: Q1 in all three engine styles and Q6
 //! through the full adaptive VM, swept over worker counts.
 //!
-//! Run with: `cargo run --release --example parallel_tpch [rows]`
+//! Run with: `cargo run --release --example parallel_tpch [rows] [--scheduler]`
+//!
+//! Default mode spawns a scoped thread pool per run; `--scheduler` routes
+//! every query through ONE long-lived worker pool (per worker count) with
+//! a shared JIT cache, so repeat queries report `jit-cache-hits`.
 //!
 //! Prints per-style wall times, parallel speedups, the work-stealing
 //! dispatch stats, and the shared-JIT cache hits — and verifies that
-//! every parallel result agrees with the single-threaded engine.
+//! every parallel result agrees with the single-threaded engine. Worker
+//! counts printed are the ones the executing pool actually has; real
+//! speedups additionally need that many hardware cores (see the
+//! `available cores` line — on a single-core container every sweep
+//! degenerates to ~1×).
 
 use std::time::Instant;
 
+use adaptvm::parallel::Scheduler;
 use adaptvm::relational::parallel::{
     q1_parallel_adaptive, q1_parallel_vectorized, q6_parallel, ParallelOpts,
 };
@@ -17,16 +26,46 @@ use adaptvm::storage::DEFAULT_CHUNK;
 use adaptvm::vm::{Strategy, VmConfig};
 
 fn main() {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scheduler_mode = args.iter().any(|a| a == "--scheduler");
+    let rows: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
         .unwrap_or(1_000_000);
     let workers_sweep = [1usize, 2, 4, 8];
     let morsel_rows = 16 * DEFAULT_CHUNK;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("generating lineitem with {rows} rows…");
+    println!(
+        "mode: {}  ·  available cores: {cores}{}",
+        if scheduler_mode {
+            "long-lived scheduler"
+        } else {
+            "scoped pool per run"
+        },
+        if cores < 4 {
+            "  (too few for real speedups — timings verify overhead only)"
+        } else {
+            ""
+        }
+    );
     let table = tpch::lineitem(rows, 42);
     let compact = tpch::CompactLineitem::from_table(&table);
+
+    // One long-lived pool per swept worker count (scheduler mode).
+    let pools: Vec<Scheduler> = if scheduler_mode {
+        workers_sweep.iter().map(|&w| Scheduler::new(w)).collect()
+    } else {
+        Vec::new()
+    };
+    let opts_for = |i: usize, workers: usize| {
+        if scheduler_mode {
+            ParallelOpts::new(workers, morsel_rows).with_scheduler(&pools[i])
+        } else {
+            ParallelOpts::new(workers, morsel_rows)
+        }
+    };
 
     // Single-threaded baselines.
     let t0 = Instant::now();
@@ -38,40 +77,30 @@ fn main() {
 
     println!("\n== parallel Q1 (vectorized), morsel = {morsel_rows} rows");
     println!("   sequential: {q1_seq_ms:8.2} ms");
-    for workers in workers_sweep {
+    for (i, workers) in workers_sweep.into_iter().enumerate() {
+        let opts = opts_for(i, workers);
+        let pool_workers = opts.effective_workers();
         let t0 = Instant::now();
-        let rows = q1_parallel_vectorized(
-            &table,
-            DEFAULT_CHUNK,
-            ParallelOpts {
-                workers,
-                morsel_rows,
-            },
-        );
+        let rows = q1_parallel_vectorized(&table, DEFAULT_CHUNK, opts);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(tpch::q1_results_match(&q1_seq, &rows), "diverged!");
         println!(
-            "   {workers} worker(s): {ms:8.2} ms  (speedup {:.2}×)",
+            "   {pool_workers} pool worker(s): {ms:8.2} ms  (speedup {:.2}×)",
             q1_seq_ms / ms
         );
     }
 
     println!("\n== parallel Q1 (compact types + adaptive mix)");
     println!("   sequential: {q1_adaptive_seq_ms:8.2} ms");
-    for workers in workers_sweep {
+    for (i, workers) in workers_sweep.into_iter().enumerate() {
+        let opts = opts_for(i, workers);
+        let pool_workers = opts.effective_workers();
         let t0 = Instant::now();
-        let rows = q1_parallel_adaptive(
-            &compact,
-            DEFAULT_CHUNK,
-            ParallelOpts {
-                workers,
-                morsel_rows,
-            },
-        );
+        let rows = q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(tpch::q1_results_match(&q1_adaptive_seq, &rows), "diverged!");
         println!(
-            "   {workers} worker(s): {ms:8.2} ms  (speedup {:.2}×)",
+            "   {pool_workers} pool worker(s): {ms:8.2} ms  (speedup {:.2}×)",
             q1_adaptive_seq_ms / ms
         );
     }
@@ -83,30 +112,37 @@ fn main() {
         ("adaptive", Strategy::Adaptive),
     ] {
         println!("\n== parallel Q6 through the VM ({name})");
-        for workers in workers_sweep {
+        for (i, workers) in workers_sweep.into_iter().enumerate() {
             let config = VmConfig {
                 strategy,
                 ..VmConfig::default()
             };
+            let opts = opts_for(i, workers);
             let t0 = Instant::now();
-            let (rev, report) = q6_parallel(
-                &table,
-                1000,
-                config,
-                ParallelOpts {
-                    workers,
-                    morsel_rows,
-                },
-            )
-            .expect("q6 runs");
+            let (rev, report) = q6_parallel(&table, 1000, config, opts).expect("q6 runs");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             assert!(
                 (rev - expected_q6).abs() / expected_q6.abs().max(1.0) < 1e-9,
                 "diverged: {rev} vs {expected_q6}"
             );
+            // `report.workers` is the pool the run actually executed on.
             println!(
-                "   {workers} worker(s): {ms:8.2} ms  morsels/worker {:?}  steals {}  jit-cache-hits {}",
-                report.per_worker_morsels, report.steals, report.trace_cache_hits
+                "   {} pool worker(s): {ms:8.2} ms  morsels/worker {:?}  steals {}  jit-cache-hits {}",
+                report.workers, report.per_worker_morsels, report.steals, report.trace_cache_hits
+            );
+        }
+    }
+
+    if scheduler_mode {
+        println!("\n== scheduler lifetime stats");
+        for (pool, workers) in pools.iter().zip(workers_sweep) {
+            let stats = pool.stats();
+            println!(
+                "   {workers}-worker pool: {} queries, {} morsels, cache entries {}, elastic morsel_rows {}",
+                stats.queries_completed,
+                stats.morsels_executed,
+                pool.cache().stats().entries,
+                pool.morsel_rows(),
             );
         }
     }

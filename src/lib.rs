@@ -24,7 +24,10 @@
 //! * [`parallel`] — morsel-driven parallel execution: work-stealing morsel
 //!   dispatch, per-worker interpreters sharing one JIT code cache and one
 //!   merged profile (HyPer-style intra-query parallelism over the
-//!   chunk-at-a-time engine),
+//!   chunk-at-a-time engine), plus a long-lived worker pool + query
+//!   scheduler (`parallel::scheduler`) that executes many queries
+//!   concurrently over one parked worker set, one shared JIT cache and one
+//!   background compile server,
 //! * [`relational`] — operators, adaptive aggregation/joins, compressed
 //!   scans and the TPC-H Q1/Q6 workloads the paper's motivation cites —
 //!   each with morsel-parallel variants in `relational::parallel`.
@@ -62,7 +65,7 @@ pub mod prelude {
     pub use adaptvm_hetsim::device::DeviceSpec;
     pub use adaptvm_jit::compiler::CostModel;
     pub use adaptvm_kernels::{FilterFlavor, MapMode};
-    pub use adaptvm_parallel::{Morsel, MorselPlan, ParallelVm};
+    pub use adaptvm_parallel::{Morsel, MorselPlan, ParallelVm, Scheduler};
     pub use adaptvm_storage::{Array, Scalar, ScalarType};
     pub use adaptvm_vm::{BanditPolicy, Buffers, RunReport, Strategy, Vm, VmConfig};
 }

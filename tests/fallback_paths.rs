@@ -177,3 +177,35 @@ fn ucb_policy_equivalent_results() {
         assert_eq!(out.output("kept").unwrap().to_i64_vec().unwrap(), expected);
     }
 }
+
+/// Regression: a trace that fails recoverably on a *partial final chunk*
+/// must resume through the rebuilt plan — including scalar alias
+/// statements interleaved between the region's nodes. (Previously the
+/// fallback interpreted the covered nodes back-to-back, skipping the
+/// aliases, so downstream nodes consumed stale full-chunk values and the
+/// run died with a length mismatch.)
+#[test]
+fn recoverable_trace_failure_on_partial_final_chunk() {
+    use adaptvm::relational::tpch;
+    // 1664 = 1024 + 640: the second (and last) chunk is partial, and with
+    // hot_threshold=2 injection lands exactly on it.
+    for n in [1664usize, 1700, 2048, 2600] {
+        let t = tpch::lineitem(n, 1);
+        let reference = tpch::q6_reference(&t, 1000);
+        for hot in [2u64, 3] {
+            let config = VmConfig {
+                strategy: Strategy::Adaptive,
+                hot_threshold: hot,
+                ..VmConfig::default()
+            };
+            let (out, _) = Vm::new(config)
+                .run(&tpch::q6_program(n as i64, 1000), tpch::q6_buffers(&t))
+                .unwrap_or_else(|e| panic!("n={n} hot={hot}: {e:?}"));
+            let rev = out.output("revenue").unwrap().as_f64().unwrap()[0];
+            assert!(
+                (rev - reference).abs() / reference.abs().max(1.0) < 1e-9,
+                "n={n} hot={hot}: {rev} vs {reference}"
+            );
+        }
+    }
+}

@@ -94,7 +94,7 @@ proptest! {
                 &bp,
                 &probe_keys,
                 false,
-                ParallelOpts { workers, morsel_rows },
+                ParallelOpts { workers, morsel_rows, scheduler: None, },
             )
             .unwrap();
             prop_assert_eq!(table.len(), sequential.len());

@@ -41,6 +41,7 @@ fn q1_vectorized_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 8 * DEFAULT_CHUNK,
+                scheduler: None,
             },
         );
         assert_eq!(
@@ -64,6 +65,7 @@ fn q1_adaptive_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 3000 + workers * 1000,
+                scheduler: None,
             },
         );
         assert_eq!(
@@ -82,6 +84,7 @@ fn q1_fused_deterministic_across_worker_counts() {
         ParallelOpts {
             workers: 1,
             morsel_rows: 8192,
+            scheduler: None,
         },
     ));
     for workers in WORKER_COUNTS {
@@ -90,6 +93,7 @@ fn q1_fused_deterministic_across_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 8192,
+                scheduler: None,
             },
         );
         // Bit-identical across worker counts (same morsel partials, same
@@ -137,6 +141,7 @@ fn q6_bit_identical_to_single_threaded_engine_every_strategy() {
                 ParallelOpts {
                     workers,
                     morsel_rows: config.chunk_size,
+                    scheduler: None,
                 },
             )
             .unwrap();
@@ -186,6 +191,7 @@ fn q3_join_bit_identical_for_all_worker_counts_and_strategies() {
                     ParallelOpts {
                         workers,
                         morsel_rows: 7_000 + workers * 500,
+                        scheduler: None,
                     },
                 )
                 .unwrap();
@@ -216,6 +222,7 @@ fn partitioned_join_output_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 9_000,
+                scheduler: None,
             },
         )
         .unwrap();
@@ -228,6 +235,7 @@ fn partitioned_join_output_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 9_000,
+                scheduler: None,
             },
         )
         .unwrap();
@@ -262,6 +270,7 @@ fn parallel_join_chain_bit_identical_and_still_adaptive() {
                 ParallelOpts {
                     workers,
                     morsel_rows: 6_000,
+                    scheduler: None,
                 },
             );
             assert_eq!(&got, want, "workers={workers} batch={batch}");
@@ -290,6 +299,7 @@ fn q6_worker_count_invariant_with_large_morsels() {
             ParallelOpts {
                 workers,
                 morsel_rows: 16 * DEFAULT_CHUNK,
+                scheduler: None,
             },
         )
         .unwrap();
@@ -302,4 +312,252 @@ fn q6_worker_count_invariant_with_large_morsels() {
             "workers={workers}: {rev} vs {expected}"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler determinism: every scheduler-based entry point must be
+// bit-identical across 1/2/4/8 workers, across interleaved concurrent
+// submission of multiple queries, and identical to the scoped-pool path.
+// ---------------------------------------------------------------------------
+
+use adaptvm::parallel::Scheduler;
+
+/// Every entry point, scheduler-backed, for every worker count: results
+/// bit-identical to the scoped pool over the same plan.
+#[test]
+fn scheduler_entry_points_bit_identical_across_worker_counts() {
+    let t = tpch::lineitem(40_000, 31);
+    let compact = tpch::CompactLineitem::from_table(&t);
+    let li = tpch::lineitem_q3(30_000, 5_000, 31);
+    let ord = tpch::orders(5_000, 31);
+    let date = tpch::SHIPDATE_MAX / 2;
+    let morsel_rows = 6_000;
+
+    let scoped = ParallelOpts::new(1, morsel_rows);
+    let q1v_ref = rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, scoped));
+    let q1a_ref = rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, scoped));
+    let q1f_ref = rows_bits(&q1_parallel_fused(&t, scoped));
+    let (q3_ref, _) = q3_parallel(
+        &li,
+        &ord,
+        date,
+        tpch::JoinStrategy::Adaptive,
+        DEFAULT_CHUNK,
+        true,
+        scoped,
+    )
+    .unwrap();
+
+    for workers in WORKER_COUNTS {
+        let scheduler = Scheduler::new(workers);
+        let opts = ParallelOpts::new(workers, morsel_rows).with_scheduler(&scheduler);
+        assert_eq!(
+            rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, opts)),
+            q1v_ref,
+            "vectorized Q1 diverged at {workers} scheduler workers"
+        );
+        assert_eq!(
+            rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts)),
+            q1a_ref,
+            "adaptive Q1 diverged at {workers} scheduler workers"
+        );
+        assert_eq!(
+            rows_bits(&q1_parallel_fused(&t, opts)),
+            q1f_ref,
+            "fused Q1 diverged at {workers} scheduler workers"
+        );
+        let (q3, _) = q3_parallel(
+            &li,
+            &ord,
+            date,
+            tpch::JoinStrategy::Adaptive,
+            DEFAULT_CHUNK,
+            true,
+            opts,
+        )
+        .unwrap();
+        assert_eq!(
+            q3.to_bits(),
+            q3_ref.to_bits(),
+            "Q3 diverged at {workers} scheduler workers"
+        );
+    }
+}
+
+/// Q6 through the VM on a scheduler, every strategy, every worker count:
+/// bit-identical to the single-threaded engine (one-chunk morsels make the
+/// revenue fold reproduce the sequential addition tree).
+#[test]
+fn scheduler_q6_bit_identical_to_single_threaded_engine() {
+    let t = tpch::lineitem(30_000, 7);
+    for strategy in [
+        Strategy::Interpret,
+        Strategy::CompiledPipeline,
+        Strategy::Adaptive,
+    ] {
+        let config = VmConfig {
+            strategy,
+            hot_threshold: 3,
+            ..VmConfig::default()
+        };
+        let vm = Vm::new(config.clone());
+        let (out, _) = vm
+            .run(
+                &tpch::q6_program(t.rows() as i64, 1000),
+                tpch::q6_buffers(&t),
+            )
+            .unwrap();
+        let sequential = out.output("revenue").unwrap().as_f64().unwrap()[0];
+        for workers in WORKER_COUNTS {
+            let scheduler = Scheduler::new(workers);
+            let opts = ParallelOpts::new(workers, config.chunk_size).with_scheduler(&scheduler);
+            let (rev, report) = q6_parallel(&t, 1000, config.clone(), opts).unwrap();
+            assert_eq!(
+                rev.to_bits(),
+                sequential.to_bits(),
+                "{strategy:?} Q6 diverged at {workers} scheduler workers"
+            );
+            assert_eq!(report.workers, workers);
+            assert_eq!(
+                report.per_worker_morsels.iter().sum::<u64>(),
+                report.morsels as u64
+            );
+        }
+    }
+}
+
+/// The materialized join and the adaptive join chain on a scheduler:
+/// bit-identical to the sequential probe, for every worker count.
+#[test]
+fn scheduler_joins_bit_identical_to_sequential() {
+    let build_keys = Array::from((0..30_000).map(|i| i % 2_000).collect::<Vec<i64>>());
+    let build_pays = Array::from((0..30_000).collect::<Vec<i64>>());
+    let probe_keys: Vec<i64> = (0..60_000).map(|i| (i * 13) % 4_000).collect();
+    let sequential = HashTable::build(&build_keys, &build_pays).unwrap();
+    let (seq_idx, seq_pay) = sequential.probe(&probe_keys);
+
+    let chain_build = |n: i64| {
+        let keys: Vec<i64> = (0..n).collect();
+        HashTable::build(
+            &Array::from(keys.clone()),
+            &Array::from(keys.iter().map(|k| k * 5).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    };
+    let probes: Vec<i64> = (0..30_000).map(|i| i % 20_000).collect();
+    let chain_keys = [probes.clone(), probes.clone()];
+    let mut seq_chain = AdaptiveJoinChain::new(vec![chain_build(15_000), chain_build(1_500)], 2);
+    let chain_expected: Vec<_> = (0..6).map(|_| seq_chain.probe_chunk(&chain_keys)).collect();
+
+    for workers in WORKER_COUNTS {
+        let scheduler = Scheduler::new(workers);
+        let opts = ParallelOpts::new(workers, 7_000).with_scheduler(&scheduler);
+        let built = parallel_build_hash_table(&build_keys, &build_pays, true, opts).unwrap();
+        assert_eq!(built.len(), sequential.len(), "workers={workers}");
+        let (_, out) =
+            parallel_hash_join(&build_keys, &build_pays, &probe_keys, true, opts).unwrap();
+        assert_eq!(out.indices, seq_idx, "workers={workers}");
+        assert_eq!(out.payloads, seq_pay, "workers={workers}");
+
+        let mut par = ParallelJoinChain::new(vec![chain_build(15_000), chain_build(1_500)], 2);
+        for (batch, want) in chain_expected.iter().enumerate() {
+            let got = par.probe_batch(&chain_keys, opts);
+            assert_eq!(&got, want, "workers={workers} batch={batch}");
+        }
+        assert_eq!(par.order(), seq_chain.order(), "workers={workers}");
+    }
+}
+
+/// Interleaved concurrent submission: six submitter threads fire Q1/Q3/Q6
+/// into ONE shared scheduler at once, twice each. Every concurrent result
+/// must be bit-identical to the quiet (single-query) scheduler result and
+/// to the scoped-pool result.
+#[test]
+fn interleaved_concurrent_queries_stay_bit_identical() {
+    let scheduler = Scheduler::new(4);
+    let t = tpch::lineitem(30_000, 77);
+    let compact = tpch::CompactLineitem::from_table(&t);
+    let li = tpch::lineitem_q3(25_000, 4_000, 77);
+    let ord = tpch::orders(4_000, 77);
+    let date = tpch::SHIPDATE_MAX / 2;
+    let morsel_rows = 4_000;
+
+    // Quiet references (same scheduler, one query at a time).
+    let opts = ParallelOpts::new(4, morsel_rows).with_scheduler(&scheduler);
+    let q1_ref = rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, opts));
+    let q1a_ref = rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts));
+    let (q3_ref, _) = q3_parallel(
+        &li,
+        &ord,
+        date,
+        tpch::JoinStrategy::Vectorized,
+        DEFAULT_CHUNK,
+        true,
+        opts,
+    )
+    .unwrap();
+    let q6_config = VmConfig {
+        strategy: Strategy::Adaptive,
+        hot_threshold: 3,
+        ..VmConfig::default()
+    };
+    let (q6_ref, _) = q6_parallel(&t, 1000, q6_config.clone(), opts).unwrap();
+
+    // Interleave: every submitter hammers a different query shape.
+    std::thread::scope(|s| {
+        for round in 0..2 {
+            let mut handles = Vec::new();
+            for submitter in 0..6 {
+                let scheduler = &scheduler;
+                let (t, compact, li, ord) = (&t, &compact, &li, &ord);
+                let (q1_ref, q1a_ref) = (&q1_ref, &q1a_ref);
+                let q6_config = q6_config.clone();
+                handles.push(s.spawn(move || {
+                    let opts = ParallelOpts::new(4, morsel_rows).with_scheduler(scheduler);
+                    match submitter % 4 {
+                        0 => assert_eq!(
+                            &rows_bits(&q1_parallel_vectorized(t, DEFAULT_CHUNK, opts)),
+                            q1_ref,
+                            "concurrent vectorized Q1 diverged (round {round})"
+                        ),
+                        1 => assert_eq!(
+                            &rows_bits(&q1_parallel_adaptive(compact, DEFAULT_CHUNK, opts)),
+                            q1a_ref,
+                            "concurrent adaptive Q1 diverged (round {round})"
+                        ),
+                        2 => {
+                            let (q3, _) = q3_parallel(
+                                li,
+                                ord,
+                                date,
+                                tpch::JoinStrategy::Vectorized,
+                                DEFAULT_CHUNK,
+                                true,
+                                opts,
+                            )
+                            .unwrap();
+                            assert_eq!(
+                                q3.to_bits(),
+                                q3_ref.to_bits(),
+                                "concurrent Q3 diverged (round {round})"
+                            );
+                        }
+                        _ => {
+                            let (q6, _) = q6_parallel(t, 1000, q6_config.clone(), opts).unwrap();
+                            assert_eq!(
+                                q6.to_bits(),
+                                q6_ref.to_bits(),
+                                "concurrent Q6 diverged (round {round})"
+                            );
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("submitter panicked");
+            }
+        }
+    });
+    let stats = scheduler.stats();
+    assert_eq!(stats.queries_submitted, stats.queries_completed);
 }
