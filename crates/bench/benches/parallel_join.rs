@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
                         ParallelOpts {
                             workers: w,
                             morsel_rows,
-                            scheduler: None,
+                            ..ParallelOpts::default()
                         },
                     )
                     .unwrap()
@@ -73,7 +73,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
                 .unwrap()
@@ -101,7 +101,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
                 .unwrap();

@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
             })
@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
             })
@@ -78,7 +78,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
                 .unwrap()
@@ -100,7 +100,7 @@ fn bench(c: &mut Criterion) {
                     ParallelOpts {
                         workers: w,
                         morsel_rows,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 );
                 t0.elapsed().as_secs_f64()

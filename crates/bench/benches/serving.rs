@@ -1,0 +1,187 @@
+//! B13 — the admission-controlled serving layer under mixed-priority
+//! open-loop load.
+//!
+//! Two parts:
+//! * Criterion micro-benches of the admission path itself: the same raw
+//!   morsel query submitted straight to a `Scheduler` vs through a
+//!   `QueryService` (bounded queue + fair dispatch + telemetry) — the
+//!   per-query cost of admission control,
+//! * a saturation table: a burst of heavy Batch queries followed by an
+//!   open-loop stream of light Interactive queries against one small
+//!   pool; prints per-priority admitted/completed/rejected counts, the
+//!   rejection rate, and queue-wait + end-to-end latency p50/p99 —
+//!   demonstrating that Interactive p99 stays below Batch p99 while
+//!   Batch keeps completing (fair share, no starvation).
+//!
+//! `ADAPTVM_BENCH_QUICK=1` shrinks everything to a CI smoke run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use adaptvm_parallel::serve::{Priority, QueryService, ServeConfig, SubmitOpts};
+use adaptvm_parallel::{MorselPlan, Scheduler};
+
+fn quick() -> bool {
+    std::env::var_os("ADAPTVM_BENCH_QUICK").is_some()
+}
+
+/// One raw morsel query: sum of a per-morsel arithmetic series.
+fn submit_direct(scheduler: &Scheduler, rows: usize) -> usize {
+    scheduler
+        .submit(
+            MorselPlan::new(rows, 2_048),
+            |_, m| Ok::<usize, ()>((m.start..m.end()).map(|i| i % 7).sum()),
+            |parts, _| parts.iter().sum::<usize>(),
+        )
+        .expect("scheduler accepting")
+        .join()
+        .unwrap()
+}
+
+fn submit_served(service: &QueryService, opts: SubmitOpts, rows: usize) -> Option<usize> {
+    service
+        .try_submit(
+            opts,
+            MorselPlan::new(rows, 2_048),
+            |_, m| Ok::<usize, ()>((m.start..m.end()).map(|i| i % 7).sum()),
+            |parts, _| parts.iter().sum::<usize>(),
+        )
+        .ok()
+        .map(|h| h.join().unwrap())
+}
+
+fn fmt_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:8.2}", d.as_secs_f64() * 1e3),
+        None => format!("{:>8}", "-"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = if quick() { 20_000 } else { 200_000 };
+
+    // Part 1: admission-layer overhead on an otherwise identical query.
+    let scheduler = Scheduler::new(2);
+    let service = QueryService::new(ServeConfig::default().with_workers(2));
+    let mut g = c.benchmark_group("submit_join_path");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::from_parameter("scheduler"), &(), |b, _| {
+        b.iter(|| submit_direct(&scheduler, rows))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("service"), &(), |b, _| {
+        b.iter(|| submit_served(&service, SubmitOpts::normal(), rows).unwrap())
+    });
+    g.finish();
+    service.shutdown();
+    drop(scheduler);
+
+    // Part 2: mixed-priority saturation.
+    let (batch_n, interactive_n, batch_rows, interactive_rows) = if quick() {
+        (6usize, 12usize, 400_000usize, 20_000usize)
+    } else {
+        (16, 48, 4_000_000, 100_000)
+    };
+    let service = QueryService::new(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(2)
+            .with_queue_capacity(usize::max(batch_n, 8)),
+    );
+
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    // Burst of heavy batch work saturates the pool and the batch lane…
+    for _ in 0..batch_n {
+        if let Ok(h) = service.try_submit(
+            SubmitOpts::batch(),
+            MorselPlan::new(batch_rows, 2_048),
+            |_, m| Ok::<usize, ()>((m.start..m.end()).map(|i| i % 7).sum()),
+            |parts, _| parts.iter().sum::<usize>(),
+        ) {
+            handles.push(h);
+        }
+    }
+    // …then light interactive queries arrive open-loop (fixed cadence,
+    // regardless of completions).
+    for _ in 0..interactive_n {
+        if let Ok(h) = service.try_submit(
+            SubmitOpts::interactive(),
+            MorselPlan::new(interactive_rows, 2_048),
+            |_, m| Ok::<usize, ()>((m.start..m.end()).map(|i| i % 7).sum()),
+            |parts, _| parts.iter().sum::<usize>(),
+        ) {
+            handles.push(h);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let stats = service.stats();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n-- serving: mixed-priority open-loop saturation");
+    println!(
+        "   {batch_n} batch × {batch_rows} rows + {interactive_n} interactive × {interactive_rows} rows, \
+         2 workers / 2 slots, {cores} cores, wall {elapsed:.2} s"
+    );
+    println!(
+        "   {:<12} {:>9} {:>9} {:>9} {:>7}  {:>8} {:>8}  {:>8} {:>8}",
+        "priority",
+        "admitted",
+        "complete",
+        "rejected",
+        "rate",
+        "wait p50",
+        "wait p99",
+        "lat p50",
+        "lat p99"
+    );
+    for p in Priority::ALL {
+        let ps = stats.priority(p);
+        if ps.submitted == 0 {
+            continue;
+        }
+        println!(
+            "   {:<12} {:>9} {:>9} {:>9} {:>6.1}%  {} {}  {} {} ms",
+            p.name(),
+            ps.admitted,
+            ps.completed,
+            ps.rejected(),
+            ps.rejection_rate() * 100.0,
+            fmt_ms(ps.queue_wait.p50()),
+            fmt_ms(ps.queue_wait.p99()),
+            fmt_ms(ps.latency.p50()),
+            fmt_ms(ps.latency.p99()),
+        );
+    }
+
+    let interactive = stats.priority(Priority::Interactive);
+    let batch = stats.priority(Priority::Batch);
+    assert!(
+        batch.completed > 0,
+        "batch must keep making progress under interactive load"
+    );
+    if let (Some(ip99), Some(bp99)) = (interactive.latency.p99(), batch.latency.p99()) {
+        println!(
+            "   interactive p99 {:.2} ms vs batch p99 {:.2} ms → {}",
+            ip99.as_secs_f64() * 1e3,
+            bp99.as_secs_f64() * 1e3,
+            if ip99 <= bp99 {
+                "interactive wins under load ✓"
+            } else {
+                "UNEXPECTED inversion"
+            }
+        );
+        assert!(
+            ip99 <= bp99,
+            "interactive p99 ({ip99:?}) must not exceed batch p99 ({bp99:?}) under saturation"
+        );
+    }
+    let report = service.drain(Duration::from_secs(60));
+    assert!(report.clean, "everything joined already: {report:?}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

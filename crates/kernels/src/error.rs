@@ -28,6 +28,10 @@ pub enum KernelError {
     Storage(StorageError),
     /// Input violates a kernel precondition (e.g. unsorted merge input).
     Precondition(String),
+    /// The pipeline did not complete on its executor: cancelled via a
+    /// cancel token, past its deadline, or refused admission by a
+    /// shut-down / draining scheduler or service.
+    Cancelled,
 }
 
 impl fmt::Display for KernelError {
@@ -42,6 +46,9 @@ impl fmt::Display for KernelError {
             KernelError::NoArrayOperand => write!(f, "map needs at least one array operand"),
             KernelError::Storage(e) => write!(f, "storage error: {e}"),
             KernelError::Precondition(m) => write!(f, "kernel precondition violated: {m}"),
+            KernelError::Cancelled => {
+                write!(f, "pipeline cancelled (token, deadline, or admission)")
+            }
         }
     }
 }

@@ -24,8 +24,19 @@ use adaptvm_vm::{Buffers, Profile, RunReport, Vm, VmConfig, VmError};
 
 use crate::dispatch::DispatchStats;
 use crate::morsel::{Morsel, MorselPlan};
-use crate::pool::run_morsels;
-use crate::scheduler::{ProfileWindow, Scheduler};
+use crate::pool::run_morsels_with;
+use crate::scheduler::{CancelToken, ProfileWindow, RunError, Scheduler};
+
+/// Fold the runner-level error into a [`VmError`]: task errors pass
+/// through, cancellation/deadline/rejection become [`VmError::Cancelled`].
+fn vm_run_err(e: RunError<VmError>) -> VmError {
+    match e {
+        RunError::Task(e) => e,
+        RunError::Cancelled | RunError::DeadlineExceeded | RunError::Rejected(_) => {
+            VmError::Cancelled
+        }
+    }
+}
 
 /// Capacity of the auto-installed shared code cache. Generously sized:
 /// a query pipeline yields a handful of fragments; 256 holds many queries'
@@ -119,12 +130,28 @@ impl ParallelVm {
     where
         F: Fn(&Morsel) -> (adaptvm_dsl::ast::Program, Buffers) + Sync,
     {
+        self.run_morsels_with(plan, None, make)
+    }
+
+    /// [`ParallelVm::run_morsels`] with a cooperative [`CancelToken`]
+    /// checked before every morsel: on cancellation/deadline the run
+    /// aborts with [`VmError::Cancelled`].
+    pub fn run_morsels_with<F>(
+        &self,
+        plan: &MorselPlan,
+        cancel: Option<&CancelToken>,
+        make: F,
+    ) -> Result<(Vec<Buffers>, ParallelRunReport), VmError>
+    where
+        F: Fn(&Morsel) -> (adaptvm_dsl::ast::Program, Buffers) + Sync,
+    {
         let wall = std::time::Instant::now();
         let vm = Vm::new(self.config.clone());
-        let (outcomes, dispatch) = run_morsels(self.workers, plan, |_w, m| {
+        let (outcomes, dispatch) = run_morsels_with(self.workers, plan, cancel, |_w, m| {
             let (program, buffers) = make(m);
             vm.run(&program, buffers)
-        })?;
+        })
+        .map_err(vm_run_err)?;
         Ok(assemble_report(
             outcomes,
             dispatch,
@@ -177,6 +204,23 @@ impl ScheduledVm<'_> {
     where
         F: Fn(&Morsel) -> (adaptvm_dsl::ast::Program, Buffers) + Send + Sync,
     {
+        self.run_morsels_with(plan, None, make)
+    }
+
+    /// [`ScheduledVm::run_morsels`] with a cooperative [`CancelToken`]
+    /// checked at every morsel boundary by the scheduler's workers:
+    /// cancellation, deadline, or a shut-down pool abort the run with
+    /// [`VmError::Cancelled`] — other queries on the scheduler are
+    /// untouched.
+    pub fn run_morsels_with<F>(
+        &self,
+        plan: &MorselPlan,
+        cancel: Option<&CancelToken>,
+        make: F,
+    ) -> Result<(Vec<Buffers>, ParallelRunReport), VmError>
+    where
+        F: Fn(&Morsel) -> (adaptvm_dsl::ast::Program, Buffers) + Send + Sync,
+    {
         let wall = std::time::Instant::now();
         let mut config = self.vm.config().clone();
         config.code_cache = Some(self.scheduler.cache().clone());
@@ -184,10 +228,13 @@ impl ScheduledVm<'_> {
             config.compile_server = Some(self.scheduler.compile_server().clone());
         }
         let vm = Vm::new(config);
-        let (outcomes, dispatch) = self.scheduler.run(plan, |_w, m| {
-            let (program, buffers) = make(m);
-            vm.run(&program, buffers)
-        })?;
+        let (outcomes, dispatch) = self
+            .scheduler
+            .run_with(plan, cancel, |_w, m| {
+                let (program, buffers) = make(m);
+                vm.run(&program, buffers)
+            })
+            .map_err(vm_run_err)?;
         let (buffers, report) = assemble_report(
             outcomes,
             dispatch,

@@ -29,6 +29,7 @@
 use crate::dispatch::DispatchStats;
 use crate::morsel::{Morsel, MorselPlan};
 use crate::pool::Runner;
+use crate::scheduler::{CancelToken, RunError};
 
 /// Dispatch statistics for the two phases of a build/probe run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -102,9 +103,56 @@ where
     MF: FnOnce(Vec<Part>) -> Shared,
     PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Send + Sync,
 {
-    let (partitions, build) = runner.run(build_plan, &build_morsel)?;
+    match build_then_probe_with(
+        runner,
+        None,
+        build_plan,
+        probe_plan,
+        build_morsel,
+        merge,
+        probe_morsel,
+    ) {
+        Ok(out) => Ok(out),
+        Err(RunError::Task(e)) => Err(e),
+        // Reachable without a caller token: a shut-down scheduler rejects
+        // the run, and a draining service can refuse/cancel a queued
+        // gated run. This legacy signature cannot express those.
+        Err(RunError::Rejected(why)) => {
+            panic!("build_then_probe cannot express an admission rejection ({why}); use build_then_probe_with")
+        }
+        Err(RunError::Cancelled | RunError::DeadlineExceeded) => {
+            panic!("build_then_probe cannot express a drain-time cancellation; use build_then_probe_with")
+        }
+    }
+}
+
+/// [`build_then_probe_on`] with a cooperative [`CancelToken`] checked at
+/// every morsel boundary of **both** phases: cancellation between the
+/// phases skips the probe entirely; cancellation, deadlines, and admission
+/// rejection surface as typed [`RunError`]s.
+#[allow(clippy::too_many_arguments)]
+pub fn build_then_probe_with<Part, Shared, Out, E, BF, MF, PF>(
+    runner: Runner<'_>,
+    cancel: Option<&CancelToken>,
+    build_plan: &MorselPlan,
+    probe_plan: &MorselPlan,
+    build_morsel: BF,
+    merge: MF,
+    probe_morsel: PF,
+) -> Result<(Shared, Vec<Out>, BuildProbeStats), RunError<E>>
+where
+    Part: Send,
+    Shared: Sync,
+    Out: Send,
+    E: Send,
+    BF: Fn(usize, &Morsel) -> Result<Part, E> + Send + Sync,
+    MF: FnOnce(Vec<Part>) -> Shared,
+    PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Send + Sync,
+{
+    let (partitions, build) = runner.run_with(build_plan, cancel, &build_morsel)?;
     let shared = merge(partitions);
-    let (outputs, probe) = runner.run(probe_plan, |w, m| probe_morsel(w, m, &shared))?;
+    let (outputs, probe) =
+        runner.run_with(probe_plan, cancel, |w, m| probe_morsel(w, m, &shared))?;
     Ok((
         shared,
         outputs,

@@ -17,9 +17,18 @@
 //!   scoped pool and the long-lived scheduler,
 //! * [`scheduler`] — [`Scheduler`]: a **long-lived** worker pool (threads
 //!   created once, parked between queries) with a query submission queue,
-//!   concurrent multi-query execution, one shared JIT cache + background
+//!   concurrent multi-query execution, per-query [`CancelToken`]s and
+//!   deadlines checked at morsel boundaries, explicit shutdown with typed
+//!   submission errors, one shared JIT cache + background
 //!   [`adaptvm_jit::CompileServer`] across all queries, and profile-driven
 //!   morsel-size elasticity,
+//! * [`serve`] — [`serve::QueryService`]: the **admission-controlled
+//!   serving layer** over a scheduler — bounded per-priority queues
+//!   (Interactive/Normal/Batch) with typed backpressure, weighted-fair
+//!   stride dispatch with aging (Batch never starves, Interactive wins
+//!   under load), cancellation and deadlines for queued *and* running
+//!   queries, graceful drain, and per-priority latency/rejection
+//!   telemetry,
 //! * [`exec`] — [`ParallelVm`]: one program instance per morsel, each on a
 //!   private `Env`/interpreter, all sharing one JIT code cache (compile
 //!   once, inject everywhere) and merging their profiles into one run
@@ -52,12 +61,18 @@ pub mod join;
 pub mod morsel;
 pub mod pool;
 pub mod scheduler;
+pub mod serve;
 
 pub use dispatch::{DispatchStats, Dispatcher};
 pub use exec::{ParallelRunReport, ParallelVm, ScheduledVm};
-pub use join::{build_then_probe, build_then_probe_on, BuildProbeStats};
+pub use join::{build_then_probe, build_then_probe_on, build_then_probe_with, BuildProbeStats};
 pub use morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
-pub use pool::{run_morsels, Runner};
+pub use pool::{run_morsels, run_morsels_with, Runner};
 pub use scheduler::{
-    ElasticityConfig, MorselElasticity, ProfileWindow, QueryHandle, Scheduler, SchedulerStats,
+    CancelReason, CancelToken, ElasticityConfig, MorselElasticity, ProfileWindow, QueryError,
+    QueryHandle, QueryOutcomeKind, RunError, Scheduler, SchedulerStats, SubmitError, SubmitOptions,
+};
+pub use serve::{
+    AdmissionError, DrainReport, GateError, Priority, PriorityStats, QueryService, ServeConfig,
+    ServeHandle, ServiceStats, SubmitOpts,
 };

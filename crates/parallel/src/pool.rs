@@ -10,14 +10,16 @@
 
 use crate::dispatch::{DispatchStats, Dispatcher};
 use crate::morsel::{Morsel, MorselPlan};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{CancelReason, CancelToken, QueryOutcomeKind, RunError, Scheduler};
+use crate::serve::{Priority, QueryService, SubmitOpts};
 
 /// Where a morsel plan executes: a scoped per-run pool (threads spawned
-/// and joined inside the call) or a long-lived [`Scheduler`] (threads
-/// created once, queries queued). Both sides honor the same contract —
-/// results in morsel order, first error aborts — so pipelines written
-/// against [`Runner::run`] are executor-agnostic and their results are
-/// identical on either side.
+/// and joined inside the call), a long-lived [`Scheduler`] (threads
+/// created once, queries queued), or an admission-controlled
+/// [`QueryService`] (a scheduler behind bounded priority queues). All
+/// sides honor the same contract — results in morsel order, first error
+/// aborts — so pipelines written against [`Runner::run`] are
+/// executor-agnostic and their results are identical on any of them.
 #[derive(Clone, Copy)]
 pub enum Runner<'a> {
     /// Spawn `workers` scoped threads for this run only.
@@ -27,6 +29,13 @@ pub enum Runner<'a> {
     },
     /// Queue the run on a long-lived scheduler.
     Scheduler(&'a Scheduler),
+    /// Pass admission control first, then run on the service's scheduler.
+    Service {
+        /// The serving layer (admission + fairness + telemetry).
+        service: &'a QueryService,
+        /// Priority class the run is admitted under.
+        priority: Priority,
+    },
 }
 
 impl std::fmt::Debug for Runner<'_> {
@@ -39,6 +48,11 @@ impl std::fmt::Debug for Runner<'_> {
                 .debug_struct("Scheduler")
                 .field("workers", &s.workers())
                 .finish(),
+            Runner::Service { service, priority } => f
+                .debug_struct("Service")
+                .field("workers", &service.scheduler().workers())
+                .field("priority", priority)
+                .finish(),
         }
     }
 }
@@ -49,11 +63,17 @@ impl Runner<'_> {
         match self {
             Runner::Scoped { workers } => (*workers).max(1),
             Runner::Scheduler(s) => s.workers(),
+            Runner::Service { service, .. } => service.scheduler().workers(),
         }
     }
 
     /// Run `task` over every morsel of `plan`; results come back in morsel
-    /// order (see [`run_morsels`], whose contract both arms share).
+    /// order (see [`run_morsels`], whose contract every arm shares).
+    ///
+    /// This is the legacy non-cancellable flavor: it cannot express
+    /// cancellation or admission rejection, so the `Service` arm is run
+    /// at its priority with an unbounded queue wait. Prefer
+    /// [`Runner::run_with`] in new code.
     pub fn run<T, E, F>(&self, plan: &MorselPlan, task: F) -> Result<(Vec<T>, DispatchStats), E>
     where
         T: Send,
@@ -63,6 +83,59 @@ impl Runner<'_> {
         match self {
             Runner::Scoped { workers } => run_morsels(*workers, plan, task),
             Runner::Scheduler(s) => s.run(plan, task),
+            Runner::Service { .. } => match self.run_with(plan, None, task) {
+                Ok(out) => Ok(out),
+                Err(RunError::Task(e)) => Err(e),
+                // Reachable during service drain/shutdown races: drain
+                // can refuse (or cancel) a queued gated run even though
+                // this caller attached no token.
+                Err(RunError::Rejected(why)) => {
+                    panic!("Runner::run cannot express an admission rejection ({why}); use Runner::run_with")
+                }
+                Err(RunError::Cancelled | RunError::DeadlineExceeded) => {
+                    panic!("Runner::run cannot express a drain-time cancellation; use Runner::run_with")
+                }
+            },
+        }
+    }
+
+    /// [`Runner::run`] with a cooperative [`CancelToken`] checked at every
+    /// morsel boundary. Cancellation, deadlines, and admission rejection
+    /// (scheduler shut down / service queue full or draining) surface as
+    /// typed [`RunError`]s.
+    pub fn run_with<T, E, F>(
+        &self,
+        plan: &MorselPlan,
+        cancel: Option<&CancelToken>,
+        task: F,
+    ) -> Result<(Vec<T>, DispatchStats), RunError<E>>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync,
+    {
+        match self {
+            Runner::Scoped { workers } => run_morsels_with(*workers, plan, cancel, task),
+            Runner::Scheduler(s) => s.run_with(plan, cancel, task),
+            Runner::Service { service, priority } => {
+                let mut opts = SubmitOpts::new(*priority);
+                if let Some(token) = cancel {
+                    opts = opts.with_cancel(token.clone());
+                }
+                // Classify the run's own result for the service
+                // telemetry (a plain run_gated would count task errors
+                // as completed).
+                let outcome = |r: &Result<(Vec<T>, DispatchStats), RunError<E>>| match r {
+                    Ok(_) => QueryOutcomeKind::Completed,
+                    Err(RunError::Task(_)) => QueryOutcomeKind::TaskError,
+                    Err(RunError::Cancelled | RunError::Rejected(_)) => QueryOutcomeKind::Cancelled,
+                    Err(RunError::DeadlineExceeded) => QueryOutcomeKind::DeadlineExceeded,
+                };
+                match service.run_gated_with(opts, |s| s.run_with(plan, cancel, task), outcome) {
+                    Ok(out) => out,
+                    Err(gate) => Err(gate.into_run_error()),
+                }
+            }
         }
     }
 }
@@ -80,34 +153,79 @@ where
     E: Send,
     F: Fn(usize, &Morsel) -> Result<T, E> + Sync,
 {
+    match run_morsels_with(workers, plan, None, task) {
+        Ok(out) => Ok(out),
+        Err(RunError::Task(e)) => Err(e),
+        Err(RunError::Cancelled | RunError::DeadlineExceeded | RunError::Rejected(_)) => {
+            unreachable!("no cancel token was attached and the scoped pool never rejects")
+        }
+    }
+}
+
+/// [`run_morsels`] with a cooperative [`CancelToken`] checked before every
+/// morsel: on cancellation the remaining morsels are skipped (in-flight
+/// ones finish) and [`RunError::Cancelled`]/[`RunError::DeadlineExceeded`]
+/// is returned. A task error still wins if it happened first.
+pub fn run_morsels_with<T, E, F>(
+    workers: usize,
+    plan: &MorselPlan,
+    cancel: Option<&CancelToken>,
+    task: F,
+) -> Result<(Vec<T>, DispatchStats), RunError<E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, &Morsel) -> Result<T, E> + Sync,
+{
     let workers = workers.max(1);
     let dispatcher = Dispatcher::new(plan.morsels(), workers);
+    let check = || -> Result<(), CancelReason> {
+        match cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
+    };
+    let cancel_err = |reason: CancelReason| -> RunError<E> {
+        match reason {
+            CancelReason::Cancelled => RunError::Cancelled,
+            CancelReason::DeadlineExceeded => RunError::DeadlineExceeded,
+        }
+    };
 
     if workers == 1 {
         // Inline sequential execution: the single-threaded reference path.
         let mut results = Vec::with_capacity(plan.len());
         while let Some(m) = dispatcher.next(0) {
-            results.push(task(0, &m)?);
+            check().map_err(cancel_err)?;
+            results.push(task(0, &m).map_err(RunError::Task)?);
         }
         return Ok((results, dispatcher.stats()));
     }
 
+    // What each scoped worker hands back: its indexed morsel results, or
+    // the first task/cancellation error it hit.
+    type WorkerOutput<T, E> = Result<Vec<(usize, T)>, RunError<E>>;
     let stop = std::sync::atomic::AtomicBool::new(false);
-    let worker_outputs: Vec<Result<Vec<(usize, T)>, E>> = std::thread::scope(|s| {
+    let worker_outputs: Vec<WorkerOutput<T, E>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let dispatcher = &dispatcher;
                 let task = &task;
                 let stop = &stop;
+                let check = &check;
                 s.spawn(move || {
                     let mut out: Vec<(usize, T)> = Vec::new();
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                         let Some(m) = dispatcher.next(w) else { break };
+                        if let Err(reason) = check() {
+                            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                            return Err(cancel_err(reason));
+                        }
                         match task(w, &m) {
                             Ok(v) => out.push((m.index, v)),
                             Err(e) => {
                                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
-                                return Err(e);
+                                return Err(RunError::Task(e));
                             }
                         }
                     }
@@ -122,9 +240,19 @@ where
     });
 
     // Assemble in morsel order (indices are unique and dense on success).
+    // A task error outranks a concurrent cancellation: the error happened
+    // first (it is what tripped `stop` for the others), so report it.
     let mut indexed: Vec<(usize, T)> = Vec::with_capacity(plan.len());
+    let mut cancelled: Option<RunError<E>> = None;
     for out in worker_outputs {
-        indexed.extend(out?);
+        match out {
+            Ok(pairs) => indexed.extend(pairs),
+            Err(e @ RunError::Task(_)) => return Err(e),
+            Err(e) => cancelled = Some(e),
+        }
+    }
+    if let Some(e) = cancelled {
+        return Err(e);
     }
     indexed.sort_by_key(|(i, _)| *i);
     Ok((
@@ -186,5 +314,37 @@ mod tests {
         let (results, stats) = run_morsels(4, &plan, |_, _| Ok::<(), ()>(())).unwrap();
         assert!(results.is_empty());
         assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_scoped_run() {
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1, 4] {
+            let plan = MorselPlan::new(1_000, 10);
+            let r = run_morsels_with(workers, &plan, Some(&token), |_, m| Ok::<usize, ()>(m.len));
+            assert_eq!(r.unwrap_err(), RunError::Cancelled, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_skips_the_tail() {
+        let token = CancelToken::new();
+        let plan = MorselPlan::new(200, 1);
+        let t = token.clone();
+        let executed = std::sync::atomic::AtomicUsize::new(0);
+        let r = run_morsels_with(2, &plan, Some(&token), |_, m| {
+            executed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if m.index == 5 {
+                t.cancel();
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            Ok::<usize, ()>(m.len)
+        });
+        assert_eq!(r.unwrap_err(), RunError::Cancelled);
+        assert!(
+            executed.load(std::sync::atomic::Ordering::Relaxed) < plan.len(),
+            "cancellation must skip part of the plan"
+        );
     }
 }

@@ -16,6 +16,15 @@
 //! * multiple in-flight queries share the worker set morsel-by-morsel:
 //!   workers rotate across the active queries, so one long scan cannot
 //!   starve a short one,
+//! * every query carries a [`CancelToken`] checked at **morsel
+//!   boundaries**: [`QueryHandle::cancel`] (or a per-query deadline via
+//!   [`SubmitOptions`]) aborts only that query — remaining morsels are
+//!   skipped, in-flight ones finish, accounting stays exact, and the
+//!   joiner sees [`QueryError::Cancelled`]/[`QueryError::DeadlineExceeded`],
+//! * [`Scheduler::shutdown`] is the explicit teardown: new submissions get
+//!   a typed [`SubmitError::ShutDown`], in-flight queries finish, workers
+//!   join. `Drop` calls the same path, so the silent-drop behavior and the
+//!   explicit one are identical,
 //! * one [`CodeCache`] + one *publishing* [`CompileServer`] are owned by
 //!   the scheduler and shared by every query that runs on it: hot
 //!   fragments are compiled once in the background and picked up by later
@@ -25,6 +34,10 @@
 //!   from merged profile windows: grow while compiled traces dominate and
 //!   stealing is rare (fewer per-morsel setups on the fast path), shrink
 //!   when steal counts indicate imbalance (finer stealing granularity).
+//!
+//! The admission-controlled serving front end — bounded priority queues,
+//! weighted-fair dispatch, graceful drain, telemetry — lives one layer up
+//! in [`crate::serve`].
 //!
 //! ## Determinism
 //!
@@ -47,11 +60,13 @@
 //! let plan = MorselPlan::new(data.len(), 4096);
 //! let shared = std::sync::Arc::new(data);
 //! let d = shared.clone();
-//! let handle = scheduler.submit(
-//!     plan,
-//!     move |_worker, m| Ok::<i64, ()>(d[m.start..m.end()].iter().sum()),
-//!     |parts, _stats| parts.iter().sum::<i64>(),
-//! );
+//! let handle = scheduler
+//!     .submit(
+//!         plan,
+//!         move |_worker, m| Ok::<i64, ()>(d[m.start..m.end()].iter().sum()),
+//!         |parts, _stats| parts.iter().sum::<i64>(),
+//!     )
+//!     .expect("scheduler is accepting");
 //! assert_eq!(handle.join().unwrap(), (0..100_000).sum::<i64>());
 //!
 //! // Scoped flavor: borrows freely, blocks until the query completes.
@@ -61,14 +76,25 @@
 //!     .unwrap();
 //! assert_eq!(parts.iter().sum::<i64>(), (0..100_000).sum::<i64>());
 //! assert_eq!(stats.executed.iter().sum::<u64>(), plan.len() as u64);
+//!
+//! // Explicit teardown: later submissions get a typed error.
+//! scheduler.shutdown();
+//! assert!(scheduler
+//!     .submit(
+//!         MorselPlan::new(8, 1),
+//!         |_, m| Ok::<usize, ()>(m.len),
+//!         |parts, _| parts.len(),
+//!     )
+//!     .is_err());
 //! ```
 
 use std::any::Any;
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use adaptvm_jit::cache::GENERIC_SITUATION;
 use adaptvm_jit::compiler::{CompileServer, CostModel};
@@ -81,6 +107,219 @@ use crate::morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
 /// Capacity of the scheduler's shared code cache (many queries' worth of
 /// specialized traces; mirrors `exec::SHARED_CACHE_CAPACITY`).
 const SCHEDULER_CACHE_CAPACITY: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// Why a query stopped before completing its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Someone called [`CancelToken::cancel`] / [`QueryHandle::cancel`].
+    Cancelled,
+    /// The query's deadline passed.
+    DeadlineExceeded,
+}
+
+const TOKEN_LIVE: u8 = 0;
+const TOKEN_CANCELLED: u8 = 1;
+const TOKEN_EXPIRED: u8 = 2;
+
+/// A shared, cloneable cancellation flag, checked **cooperatively at
+/// morsel boundaries**: a worker finishes the morsel it holds, then skips
+/// every remaining one of the cancelled query. Other queries on the same
+/// pool are untouched.
+///
+/// Tokens are cheap (`Arc<AtomicU8>`); every scheduler query gets one
+/// (yours via [`SubmitOptions::cancel`], or a fresh one otherwise) and the
+/// [`QueryHandle`] exposes it. The same token can be shared by several
+/// queries to cancel them as a group.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A live token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; a token that already expired by
+    /// deadline keeps reporting [`CancelReason::DeadlineExceeded`].
+    pub fn cancel(&self) {
+        let _ = self.state.compare_exchange(
+            TOKEN_LIVE,
+            TOKEN_CANCELLED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Mark the token expired by deadline (the scheduler does this when a
+    /// query's deadline trips, so every holder observes the same state).
+    pub(crate) fn expire(&self) {
+        let _ = self.state.compare_exchange(
+            TOKEN_LIVE,
+            TOKEN_EXPIRED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// `Err(reason)` once the token fired — the per-morsel checkpoint.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        match self.state.load(Ordering::Acquire) {
+            TOKEN_CANCELLED => Err(CancelReason::Cancelled),
+            TOKEN_EXPIRED => Err(CancelReason::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+
+    /// True once cancelled or expired.
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// The reason the token fired, if it has.
+    pub fn reason(&self) -> Option<CancelReason> {
+        self.check().err()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why the scheduler refused a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// [`Scheduler::shutdown`] ran (or `Drop` began): the pool no longer
+    /// accepts queries.
+    ShutDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::ShutDown => write!(f, "scheduler is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a joined query produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError<E> {
+    /// The query's task returned an error (first error wins).
+    Task(E),
+    /// The query was cancelled via its [`CancelToken`].
+    Cancelled,
+    /// The query's deadline passed before it completed.
+    DeadlineExceeded,
+}
+
+impl<E: fmt::Display> fmt::Display for QueryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Task(e) => write!(f, "query task failed: {e}"),
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+        }
+    }
+}
+
+/// Why a blocking [`Scheduler::run_with`] (or a [`crate::pool::Runner`]
+/// pipeline) returned no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError<E> {
+    /// The task returned an error (first error wins).
+    Task(E),
+    /// The run's [`CancelToken`] fired.
+    Cancelled,
+    /// The run's deadline passed.
+    DeadlineExceeded,
+    /// The executor refused the run (scheduler shut down, service
+    /// draining, queue full, or admission timed out) — the reason string
+    /// is human-readable; the *typed* admission errors live on the
+    /// submission APIs themselves ([`SubmitError`],
+    /// [`crate::serve::AdmissionError`]).
+    Rejected(String),
+}
+
+impl<E: fmt::Display> fmt::Display for RunError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Task(e) => write!(f, "task failed: {e}"),
+            RunError::Cancelled => write!(f, "run cancelled"),
+            RunError::DeadlineExceeded => write!(f, "run deadline exceeded"),
+            RunError::Rejected(why) => write!(f, "run rejected: {why}"),
+        }
+    }
+}
+
+/// How a finalized query ended (the argument of the completion hook the
+/// serving layer installs via [`SubmitOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcomeKind {
+    /// Merge ran, result delivered.
+    Completed,
+    /// The task errored.
+    TaskError,
+    /// A task or merge panicked (payload re-raised on the joiner).
+    Panicked,
+    /// Cancelled via token.
+    Cancelled,
+    /// Deadline passed mid-query.
+    DeadlineExceeded,
+}
+
+/// A completion hook: runs exactly once, on the worker that finalizes the
+/// query, right after the result is handed to the joiner.
+pub(crate) type DoneHook = Box<dyn FnOnce(QueryOutcomeKind) + Send + 'static>;
+
+/// Per-submission options for [`Scheduler::submit_opts`].
+#[derive(Default)]
+pub struct SubmitOptions {
+    /// Cancel this query through an externally held token (a fresh token
+    /// is created when absent; the handle exposes it either way).
+    pub cancel: Option<CancelToken>,
+    /// Abort the query once this much time passes after submission;
+    /// checked at morsel boundaries (cooperative, never mid-morsel).
+    pub deadline: Option<Duration>,
+    /// Completion hook for the serving layer (telemetry + slot release).
+    pub(crate) on_done: Option<DoneHook>,
+}
+
+impl SubmitOptions {
+    /// Attach an external cancel token.
+    pub fn with_cancel(mut self, token: CancelToken) -> SubmitOptions {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Set a relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub(crate) fn with_on_done(mut self, hook: DoneHook) -> SubmitOptions {
+        self.on_done = Some(hook);
+        self
+    }
+}
+
+impl fmt::Debug for SubmitOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubmitOptions")
+            .field("cancel", &self.cancel)
+            .field("deadline", &self.deadline)
+            .field("on_done", &self.on_done.is_some())
+            .finish()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Elasticity
@@ -206,6 +445,8 @@ enum Abort<E> {
     Error(E),
     /// A task or merge panicked; the payload is re-raised on join.
     Panic(Box<dyn Any + Send + 'static>),
+    /// The query's token fired (cancel or deadline).
+    Cancelled(CancelReason),
 }
 
 type Outcome<R, E> = Result<R, Abort<E>>;
@@ -234,10 +475,12 @@ type TaskFn<'env, T, E> = Box<dyn Fn(usize, &Morsel) -> Result<T, E> + Send + Sy
 /// A boxed once-only merge over the morsel-ordered results.
 type MergeFn<'env, T, R> = Box<dyn FnOnce(Vec<T>, DispatchStats) -> R + Send + 'env>;
 
-/// The merge + completion channel, taken exactly once by the finalizer.
+/// The merge + completion channel (+ optional completion hook), taken
+/// exactly once by the finalizer.
 struct Finish<'env, T, E, R> {
     merge: MergeFn<'env, T, R>,
     tx: Sender<Outcome<R, E>>,
+    on_done: Option<DoneHook>,
 }
 
 /// One in-flight query: its private dispatcher, its result slots, and the
@@ -252,14 +495,43 @@ struct QueryCore<'env, T, E, R> {
     /// finalizes.
     remaining: AtomicUsize,
     stop: AtomicBool,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    /// Morsels whose task actually ran to completion for this query.
+    executed: Arc<AtomicU64>,
     failure: Mutex<Option<Abort<E>>>,
     finish: Mutex<Option<Finish<'env, T, E, R>>>,
     counters: Arc<Counters>,
 }
 
 impl<T: Send, E: Send, R: Send> QueryCore<'_, T, E, R> {
+    /// Record the first failure and stop handing work to the task.
+    fn abort_with(&self, abort: Abort<E>) {
+        let mut failure = self.failure.lock().unwrap_or_else(|e| e.into_inner());
+        if failure.is_none() {
+            *failure = Some(abort);
+        }
+        drop(failure);
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// The morsel-boundary cancellation checkpoint.
+    fn cancelled_now(&self) -> Option<CancelReason> {
+        if let Err(reason) = self.cancel.check() {
+            return Some(reason);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                // Propagate to every token holder (handle, serving layer).
+                self.cancel.expire();
+                return Some(CancelReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
     fn finalize(&self) {
-        let Some(Finish { merge, tx }) =
+        let Some(Finish { merge, tx, on_done }) =
             self.finish.lock().unwrap_or_else(|e| e.into_inner()).take()
         else {
             return;
@@ -269,8 +541,16 @@ impl<T: Send, E: Send, R: Send> QueryCore<'_, T, E, R> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .take();
-        let outcome = match failure {
-            Some(abort) => Err(abort),
+        let (outcome, kind) = match failure {
+            Some(Abort::Error(e)) => (Err(Abort::Error(e)), QueryOutcomeKind::TaskError),
+            Some(Abort::Panic(p)) => (Err(Abort::Panic(p)), QueryOutcomeKind::Panicked),
+            Some(Abort::Cancelled(reason)) => (
+                Err(Abort::Cancelled(reason)),
+                match reason {
+                    CancelReason::Cancelled => QueryOutcomeKind::Cancelled,
+                    CancelReason::DeadlineExceeded => QueryOutcomeKind::DeadlineExceeded,
+                },
+            ),
             None => {
                 let values: Vec<T> = self
                     .results
@@ -281,14 +561,20 @@ impl<T: Send, E: Send, R: Send> QueryCore<'_, T, E, R> {
                     .collect();
                 let stats = self.dispatcher.stats();
                 match catch_unwind(AssertUnwindSafe(move || merge(values, stats))) {
-                    Ok(r) => Ok(r),
-                    Err(p) => Err(Abort::Panic(p)),
+                    Ok(r) => (Ok(r), QueryOutcomeKind::Completed),
+                    Err(p) => (Err(Abort::Panic(p)), QueryOutcomeKind::Panicked),
                 }
             }
         };
         self.counters
             .queries_completed
             .fetch_add(1, Ordering::Relaxed);
+        // Fire the completion hook *before* unblocking the joiner, so a
+        // joiner that immediately reads service telemetry sees this query
+        // already accounted.
+        if let Some(hook) = on_done {
+            hook(kind);
+        }
         // A dropped handle is fine: the send just returns an error.
         let _ = tx.send(outcome);
     }
@@ -300,29 +586,23 @@ impl<T: Send, E: Send, R: Send> Job for QueryCore<'_, T, E, R> {
             return Unit::Empty;
         };
         if !self.stop.load(Ordering::Acquire) {
-            match catch_unwind(AssertUnwindSafe(|| (self.task)(worker, &m))) {
-                Ok(Ok(value)) => {
-                    self.results.lock().unwrap_or_else(|e| e.into_inner())[m.index] = Some(value);
-                }
-                Ok(Err(e)) => {
-                    let mut failure = self.failure.lock().unwrap_or_else(|e| e.into_inner());
-                    if failure.is_none() {
-                        *failure = Some(Abort::Error(e));
+            if let Some(reason) = self.cancelled_now() {
+                self.abort_with(Abort::Cancelled(reason));
+            } else {
+                match catch_unwind(AssertUnwindSafe(|| (self.task)(worker, &m))) {
+                    Ok(Ok(value)) => {
+                        self.results.lock().unwrap_or_else(|e| e.into_inner())[m.index] =
+                            Some(value);
+                        self.executed.fetch_add(1, Ordering::Relaxed);
+                        self.counters
+                            .morsels_executed
+                            .fetch_add(1, Ordering::Relaxed);
                     }
-                    self.stop.store(true, Ordering::Release);
-                }
-                Err(p) => {
-                    let mut failure = self.failure.lock().unwrap_or_else(|e| e.into_inner());
-                    if failure.is_none() {
-                        *failure = Some(Abort::Panic(p));
-                    }
-                    self.stop.store(true, Ordering::Release);
+                    Ok(Err(e)) => self.abort_with(Abort::Error(e)),
+                    Err(p) => self.abort_with(Abort::Panic(p)),
                 }
             }
         }
-        self.counters
-            .morsels_executed
-            .fetch_add(1, Ordering::Relaxed);
         // Account the morsel last: `remaining == 0` must imply every task
         // call has returned and stored its result.
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -336,11 +616,14 @@ impl<T: Send, E: Send, R: Send> Job for QueryCore<'_, T, E, R> {
     }
 }
 
-/// A handle to a submitted query. Join it to get the merged result; errors
-/// and panics from the query's task (or merge) surface here.
+/// A handle to a submitted query. Join it to get the merged result; task
+/// errors, cancellation and deadlines surface as [`QueryError`]; task or
+/// merge panics resume on the joiner.
 pub struct QueryHandle<R, E> {
     rx: Receiver<Outcome<R, E>>,
     morsels: usize,
+    cancel: CancelToken,
+    executed: Arc<AtomicU64>,
 }
 
 impl<R, E> QueryHandle<R, E> {
@@ -349,13 +632,41 @@ impl<R, E> QueryHandle<R, E> {
         self.morsels
     }
 
+    /// Morsels whose task actually ran so far (`≤` [`Self::morsels`];
+    /// strictly less when the query was cancelled mid-flight).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Request cancellation: workers finish the morsels they hold and skip
+    /// the rest; the join returns [`QueryError::Cancelled`] (unless the
+    /// query had already finished).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The query's cancel token (shareable; see [`CancelToken`]).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    fn map(outcome: Outcome<R, E>) -> Result<R, QueryError<E>> {
+        match outcome {
+            Ok(r) => Ok(r),
+            Err(Abort::Error(e)) => Err(QueryError::Task(e)),
+            Err(Abort::Cancelled(CancelReason::Cancelled)) => Err(QueryError::Cancelled),
+            Err(Abort::Cancelled(CancelReason::DeadlineExceeded)) => {
+                Err(QueryError::DeadlineExceeded)
+            }
+            Err(Abort::Panic(p)) => resume_unwind(p),
+        }
+    }
+
     /// Block until the query completes. A task panic resumes unwinding
     /// here, on the joining thread.
-    pub fn join(self) -> Result<R, E> {
+    pub fn join(self) -> Result<R, QueryError<E>> {
         match self.rx.recv() {
-            Ok(Ok(r)) => Ok(r),
-            Ok(Err(Abort::Error(e))) => Err(e),
-            Ok(Err(Abort::Panic(p))) => resume_unwind(p),
+            Ok(outcome) => Self::map(outcome),
             Err(_) => unreachable!("scheduler drains every accepted query before exiting"),
         }
     }
@@ -363,14 +674,26 @@ impl<R, E> QueryHandle<R, E> {
     /// Like [`QueryHandle::join`], but give up after `timeout`. `None`
     /// means the query had not completed in time (the handle is consumed;
     /// stress tests use this as their deadlock bound).
-    pub fn join_deadline(self, timeout: Duration) -> Option<Result<R, E>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(Ok(r)) => Some(Ok(r)),
-            Ok(Err(Abort::Error(e))) => Some(Err(e)),
-            Ok(Err(Abort::Panic(p))) => resume_unwind(p),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => {
-                unreachable!("scheduler drains every accepted query before exiting")
+    ///
+    /// The wait is anchored to an absolute deadline and the remaining time
+    /// is recomputed on every retry, so a `recv_timeout` that returns
+    /// early (spurious wakeup) neither fires the deadline early nor
+    /// extends it.
+    pub fn join_deadline(self, timeout: Duration) -> Option<Result<R, QueryError<E>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(outcome) => return Some(Self::map(outcome)),
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    // Woke before the deadline: recompute and wait again.
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("scheduler drains every accepted query before exiting")
+                }
             }
         }
     }
@@ -385,9 +708,11 @@ impl<R, E> QueryHandle<R, E> {
 pub struct SchedulerStats {
     /// Queries accepted by `submit`/`run`.
     pub queries_submitted: u64,
-    /// Queries finalized (result or error delivered).
+    /// Queries finalized (result, error, or cancellation delivered).
     pub queries_completed: u64,
-    /// Morsels accounted across all queries.
+    /// Morsels whose task ran to completion, across all queries (skipped
+    /// morsels of aborted/cancelled queries are *not* counted, so this is
+    /// always ≤ the morsels planned).
     pub morsels_executed: u64,
 }
 
@@ -423,7 +748,7 @@ impl Shared {
 /// docs for the full picture.
 pub struct Scheduler {
     shared: Arc<Shared>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     workers: usize,
     cache: Arc<CodeCache>,
     compile_server: Arc<CompileServer>,
@@ -471,7 +796,7 @@ impl Scheduler {
         ));
         Scheduler {
             shared,
-            threads,
+            threads: Mutex::new(threads),
             workers,
             cache,
             compile_server,
@@ -523,16 +848,58 @@ impl Scheduler {
         self.shared.lock().active.len()
     }
 
-    fn register(&self, job: Arc<dyn Job>) {
-        let mut reg = self.shared.lock();
-        reg.active.push(job);
-        drop(reg);
+    /// True once [`Scheduler::shutdown`] ran (or `Drop` began).
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.lock().shutdown
+    }
+
+    /// Tear the pool down explicitly: new submissions are refused with
+    /// [`SubmitError::ShutDown`], every already-accepted query runs to its
+    /// finalize (no lost or leaked queries), and the worker threads are
+    /// joined before this returns. Idempotent; `Drop` calls the same path,
+    /// so dropping without an explicit shutdown behaves identically.
+    ///
+    /// Must not be called from a scheduler worker (a worker joining its
+    /// own pool would deadlock).
+    pub fn shutdown(&self) {
+        {
+            let mut reg = self.shared.lock();
+            reg.shutdown = true;
+        }
         self.shared.work_ready.notify_all();
+        let threads: Vec<_> = {
+            let mut guard = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Admission check + registration under one lock: a query is either
+    /// counted *and* visible to workers, or refused — never half-admitted.
+    fn admit(&self, job: Option<Arc<dyn Job>>) -> Result<(), SubmitError> {
+        let mut reg = self.shared.lock();
+        if reg.shutdown {
+            return Err(SubmitError::ShutDown);
+        }
+        self.counters
+            .queries_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(job) = job {
+            reg.active.push(job);
+            drop(reg);
+            self.shared.work_ready.notify_all();
+        }
+        Ok(())
     }
 
     fn make_core<'env, T, E, R>(
         &self,
         plan: &MorselPlan,
+        cancel: CancelToken,
+        deadline: Option<Instant>,
+        on_done: Option<DoneHook>,
         task: TaskFn<'env, T, E>,
         merge: MergeFn<'env, T, R>,
     ) -> (QueryCore<'env, T, E, R>, Receiver<Outcome<R, E>>)
@@ -541,9 +908,6 @@ impl Scheduler {
         E: Send,
         R: Send,
     {
-        self.counters
-            .queries_submitted
-            .fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel();
         let mut results = Vec::with_capacity(plan.len());
         results.resize_with(plan.len(), || None);
@@ -553,8 +917,11 @@ impl Scheduler {
             results: Mutex::new(results),
             remaining: AtomicUsize::new(plan.len()),
             stop: AtomicBool::new(false),
+            cancel,
+            deadline,
+            executed: Arc::new(AtomicU64::new(0)),
             failure: Mutex::new(None),
-            finish: Mutex::new(Some(Finish { merge, tx })),
+            finish: Mutex::new(Some(Finish { merge, tx, on_done })),
             counters: self.counters.clone(),
         };
         (core, rx)
@@ -563,8 +930,33 @@ impl Scheduler {
     /// Enqueue a query: run `task` over every morsel of `plan` on the
     /// shared workers, then `merge` the morsel-ordered results (on the
     /// worker that completes the last morsel). Returns immediately;
-    /// multiple submitted queries execute concurrently.
-    pub fn submit<T, E, R, F, M>(&self, plan: MorselPlan, task: F, merge: M) -> QueryHandle<R, E>
+    /// multiple submitted queries execute concurrently. Refused with
+    /// [`SubmitError::ShutDown`] after [`Scheduler::shutdown`].
+    pub fn submit<T, E, R, F, M>(
+        &self,
+        plan: MorselPlan,
+        task: F,
+        merge: M,
+    ) -> Result<QueryHandle<R, E>, SubmitError>
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'static,
+        M: FnOnce(Vec<T>, DispatchStats) -> R + Send + 'static,
+    {
+        self.submit_opts(plan, SubmitOptions::default(), task, merge)
+    }
+
+    /// [`Scheduler::submit`] with per-query [`SubmitOptions`]: an external
+    /// cancel token, a deadline, and (internally) a completion hook.
+    pub fn submit_opts<T, E, R, F, M>(
+        &self,
+        plan: MorselPlan,
+        opts: SubmitOptions,
+        task: F,
+        merge: M,
+    ) -> Result<QueryHandle<R, E>, SubmitError>
     where
         T: Send + 'static,
         E: Send + 'static,
@@ -573,14 +965,35 @@ impl Scheduler {
         M: FnOnce(Vec<T>, DispatchStats) -> R + Send + 'static,
     {
         let morsels = plan.len();
-        let (core, rx) = self.make_core(&plan, Box::new(task), Box::new(merge));
+        let SubmitOptions {
+            cancel,
+            deadline,
+            on_done,
+        } = opts;
+        let token = cancel.unwrap_or_default();
+        let deadline = deadline.map(|d| Instant::now() + d);
+        let (core, rx) = self.make_core(
+            &plan,
+            token.clone(),
+            deadline,
+            on_done,
+            Box::new(task),
+            Box::new(merge),
+        );
+        let executed = core.executed.clone();
         if morsels == 0 {
             // Nothing to dispatch: finalize inline (merge of an empty vec).
+            self.admit(None)?;
             core.finalize();
-            return QueryHandle { rx, morsels };
+        } else {
+            self.admit(Some(Arc::new(core)))?;
         }
-        self.register(Arc::new(core));
-        QueryHandle { rx, morsels }
+        Ok(QueryHandle {
+            rx,
+            morsels,
+            cancel: token,
+            executed,
+        })
     }
 
     /// Run a query to completion on the pool, **blocking the calling
@@ -589,6 +1002,12 @@ impl Scheduler {
     /// (same result contract: morsel-ordered results + dispatch stats,
     /// first error aborts, panics propagate).
     ///
+    /// After [`Scheduler::shutdown`] the pool is gone, and this falls back
+    /// to inline sequential execution on the calling thread — same results
+    /// (the single-threaded loop is the determinism anchor), no lost
+    /// queries. Use [`Scheduler::run_with`] to observe the rejection
+    /// instead.
+    ///
     /// Do not call from inside a scheduler task: a worker blocking on its
     /// own pool can deadlock once every worker does it.
     pub fn run<'env, T, E, F>(
@@ -596,6 +1015,30 @@ impl Scheduler {
         plan: &MorselPlan,
         task: F,
     ) -> Result<(Vec<T>, DispatchStats), E>
+    where
+        T: Send + 'env,
+        E: Send + 'env,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'env,
+    {
+        match self.run_with(plan, None, &task) {
+            Ok(out) => Ok(out),
+            Err(RunError::Task(e)) => Err(e),
+            Err(RunError::Rejected(_)) => crate::pool::run_morsels(1, plan, task),
+            Err(RunError::Cancelled | RunError::DeadlineExceeded) => {
+                unreachable!("no cancel token was attached")
+            }
+        }
+    }
+
+    /// The cancellable flavor of [`Scheduler::run`]: the token is checked
+    /// at every morsel boundary, and cancellation/deadline/rejection
+    /// surface as typed [`RunError`]s instead of panics or fallbacks.
+    pub fn run_with<'env, T, E, F>(
+        &self,
+        plan: &MorselPlan,
+        cancel: Option<&CancelToken>,
+        task: F,
+    ) -> Result<(Vec<T>, DispatchStats), RunError<E>>
     where
         T: Send + 'env,
         E: Send + 'env,
@@ -610,9 +1053,10 @@ impl Scheduler {
                 },
             ));
         }
+        let token = cancel.cloned().unwrap_or_default();
         type ScopedMerge<T> = fn(Vec<T>, DispatchStats) -> (Vec<T>, DispatchStats);
         let merge: ScopedMerge<T> = |values, stats| (values, stats);
-        let (core, rx) = self.make_core(plan, Box::new(task), Box::new(merge));
+        let (core, rx) = self.make_core(plan, token, None, None, Box::new(task), Box::new(merge));
         let core = Arc::new(core);
         // SAFETY: the registry requires `'static` jobs because workers
         // outlive any particular caller, but this query's task/results only
@@ -631,18 +1075,29 @@ impl Scheduler {
         //     establishing happens-before between their final accesses to
         //     the job and our return (a relaxed `strong_count` spin would
         //     not).
+        // A rejected admission never registers the job, so the transmuted
+        // clone drops right here, before `'env` can end.
         let mut core = core;
         let job: Arc<dyn Job + 'env> = core.clone();
         let job: Arc<dyn Job> =
             unsafe { std::mem::transmute::<Arc<dyn Job + 'env>, Arc<dyn Job + 'static>>(job) };
-        self.register(job);
+        if self.admit(Some(job)).is_err() {
+            while Arc::get_mut(&mut core).is_none() {
+                std::thread::yield_now();
+            }
+            return Err(RunError::Rejected("scheduler is shut down".into()));
+        }
         let outcome = rx.recv().expect("query finalizes exactly once");
         while Arc::get_mut(&mut core).is_none() {
             std::thread::yield_now();
         }
         match outcome {
             Ok(r) => Ok(r),
-            Err(Abort::Error(e)) => Err(e),
+            Err(Abort::Error(e)) => Err(RunError::Task(e)),
+            Err(Abort::Cancelled(CancelReason::Cancelled)) => Err(RunError::Cancelled),
+            Err(Abort::Cancelled(CancelReason::DeadlineExceeded)) => {
+                Err(RunError::DeadlineExceeded)
+            }
             Err(Abort::Panic(p)) => resume_unwind(p),
         }
     }
@@ -661,14 +1116,7 @@ impl std::fmt::Debug for Scheduler {
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        {
-            let mut reg = self.shared.lock();
-            reg.shutdown = true;
-        }
-        self.shared.work_ready.notify_all();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -733,11 +1181,13 @@ mod tests {
         let plan = MorselPlan::new(data.len(), 256);
         let morsels = plan.len();
         let d = data.clone();
-        let handle = scheduler.submit(
-            plan,
-            move |_, m| Ok::<i64, ()>(d[m.start..m.end()].iter().sum()),
-            |parts, stats| (parts.iter().sum::<i64>(), stats),
-        );
+        let handle = scheduler
+            .submit(
+                plan,
+                move |_, m| Ok::<i64, ()>(d[m.start..m.end()].iter().sum()),
+                |parts, stats| (parts.iter().sum::<i64>(), stats),
+            )
+            .unwrap();
         assert_eq!(handle.morsels(), morsels);
         let (total, stats) = handle.join().unwrap();
         assert_eq!(total, data.iter().sum::<i64>());
@@ -750,11 +1200,13 @@ mod tests {
         let handles: Vec<_> = (0..6)
             .map(|q| {
                 let base = q as i64 * 1000;
-                scheduler.submit(
-                    MorselPlan::new(5_000, 128),
-                    move |_, m| Ok::<i64, ()>(base + m.len as i64),
-                    |parts, _| parts.iter().sum::<i64>(),
-                )
+                scheduler
+                    .submit(
+                        MorselPlan::new(5_000, 128),
+                        move |_, m| Ok::<i64, ()>(base + m.len as i64),
+                        |parts, _| parts.iter().sum::<i64>(),
+                    )
+                    .unwrap()
             })
             .collect();
         for (q, h) in handles.into_iter().enumerate() {
@@ -811,11 +1263,13 @@ mod tests {
     #[test]
     fn empty_plan_completes_immediately() {
         let scheduler = Scheduler::new(2);
-        let handle = scheduler.submit(
-            MorselPlan::new(0, 8),
-            |_, _| Ok::<usize, ()>(0),
-            |parts, _| parts.len(),
-        );
+        let handle = scheduler
+            .submit(
+                MorselPlan::new(0, 8),
+                |_, _| Ok::<usize, ()>(0),
+                |parts, _| parts.len(),
+            )
+            .unwrap();
         assert_eq!(handle.join().unwrap(), 0);
         let (v, stats) = scheduler
             .run(&MorselPlan::new(0, 8), |_, _| Ok::<usize, ()>(0))
@@ -827,13 +1281,117 @@ mod tests {
     #[test]
     fn join_deadline_bounds_the_wait() {
         let scheduler = Scheduler::new(2);
-        let handle = scheduler.submit(
-            MorselPlan::new(1_000, 10),
-            |_, m| Ok::<usize, ()>(m.len),
-            |parts, _| parts.iter().sum::<usize>(),
-        );
+        let handle = scheduler
+            .submit(
+                MorselPlan::new(1_000, 10),
+                |_, m| Ok::<usize, ()>(m.len),
+                |parts, _| parts.iter().sum::<usize>(),
+            )
+            .unwrap();
         let joined = handle.join_deadline(Duration::from_secs(30));
         assert_eq!(joined, Some(Ok(1_000)));
+    }
+
+    #[test]
+    fn cancel_skips_remaining_morsels_and_surfaces() {
+        let scheduler = Scheduler::new(2);
+        // A slow query: each morsel sleeps, so cancellation lands while
+        // most of the plan is still queued.
+        let plan = MorselPlan::new(400, 1);
+        let planned = plan.len() as u64;
+        let handle = scheduler
+            .submit(
+                plan,
+                |_, m| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok::<usize, ()>(m.len)
+                },
+                |parts, _| parts.len(),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        handle.cancel();
+        assert!(handle.cancel_token().is_cancelled());
+        let executed_view = handle.executed.clone();
+        match handle.join() {
+            Err(QueryError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(
+            executed_view.load(Ordering::Relaxed) < planned,
+            "cancellation must skip some of the {planned} morsels"
+        );
+        // The pool is intact: a follow-up query completes exactly.
+        let (v, _) = scheduler
+            .run(&MorselPlan::new(10, 2), |_, m| Ok::<usize, ()>(m.index))
+            .unwrap();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deadline_aborts_only_the_slow_query() {
+        let scheduler = Scheduler::new(2);
+        let slow = scheduler
+            .submit_opts(
+                MorselPlan::new(200, 1),
+                SubmitOptions::default().with_deadline(Duration::from_millis(20)),
+                |_, m| {
+                    std::thread::sleep(Duration::from_millis(3));
+                    Ok::<usize, ()>(m.len)
+                },
+                |parts, _| parts.len(),
+            )
+            .unwrap();
+        let quick = scheduler
+            .submit(
+                MorselPlan::new(100, 10),
+                |_, m| Ok::<usize, ()>(m.len),
+                |parts, _| parts.iter().sum::<usize>(),
+            )
+            .unwrap();
+        assert_eq!(quick.join().unwrap(), 100, "concurrent query unaffected");
+        match slow.join() {
+            Err(QueryError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_error() {
+        let scheduler = Scheduler::new(2);
+        let before = scheduler
+            .submit(
+                MorselPlan::new(1_000, 50),
+                |_, m| Ok::<usize, ()>(m.len),
+                |parts, _| parts.iter().sum::<usize>(),
+            )
+            .unwrap();
+        scheduler.shutdown();
+        assert!(scheduler.is_shut_down());
+        // In-flight work finished (no lost queries), new work is refused.
+        assert_eq!(before.join().unwrap(), 1_000);
+        let refused = scheduler.submit(
+            MorselPlan::new(10, 1),
+            |_, m| Ok::<usize, ()>(m.len),
+            |parts, _| parts.len(),
+        );
+        assert_eq!(refused.err(), Some(SubmitError::ShutDown));
+        let stats = scheduler.stats();
+        assert_eq!(stats.queries_submitted, stats.queries_completed);
+        // run() degrades to inline execution rather than losing the query…
+        let (v, _) = scheduler
+            .run(&MorselPlan::new(6, 2), |_, m| Ok::<usize, ()>(m.index))
+            .unwrap();
+        assert_eq!(v, vec![0, 1, 2]);
+        // …while run_with reports the rejection.
+        match scheduler.run_with(&MorselPlan::new(6, 2), None, |_, m| {
+            Ok::<usize, ()>(m.index)
+        }) {
+            Err(RunError::Rejected(_)) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Shutdown is idempotent and Drop after shutdown is a no-op.
+        scheduler.shutdown();
     }
 
     #[test]

@@ -1,0 +1,1303 @@
+//! The admission-controlled query serving layer.
+//!
+//! [`crate::scheduler::Scheduler`] executes whatever it is given —
+//! `submit` accepts unboundedly and every active query shares the workers
+//! round-robin. That is the right *execution* substrate and the wrong
+//! *serving* front end: a multi-tenant service needs backpressure, tiers
+//! of urgency, a way to shed or cancel work, and numbers to watch. A
+//! [`QueryService`] wraps one scheduler with exactly that:
+//!
+//! * **admission control** — one bounded FIFO per [`Priority`] class
+//!   ([`Priority::Interactive`], [`Priority::Normal`],
+//!   [`Priority::Batch`]); [`QueryService::try_submit`] refuses with a
+//!   typed [`AdmissionError::QueueFull`] when the class queue is full
+//!   (backpressure), and the blocking [`QueryService::submit`] waits for
+//!   space up to [`SubmitOpts::queue_timeout`],
+//! * **weighted-fair dispatch with aging** — a stride scheduler over the
+//!   three queues (weights 16 / 4 / 1) gives Interactive the pool under
+//!   load while *guaranteeing* Batch its proportional share, and an aging
+//!   rule promotes any head that waited ≥ `age_rounds` dispatches and is
+//!   strictly the oldest, bounding stragglers behind fresh
+//!   higher-priority streams (see [`queue`] for the full argument),
+//! * **cancellation & deadlines** — every accepted query carries a
+//!   [`crate::CancelToken`] checked at morsel boundaries;
+//!   [`ServeHandle::cancel`] (or a [`SubmitOpts::deadline`]) aborts that
+//!   query alone, whether it is still queued or already running, with
+//!   morsel accounting exact either way,
+//! * **graceful drain** — [`QueryService::drain`] rejects new work,
+//!   finishes what it can inside the timeout, cancels the rest, then
+//!   shuts the scheduler down; [`QueryService::shutdown`] is the
+//!   immediate flavor and `Drop` runs the same path,
+//! * **telemetry** — per-priority counters, queue-depth gauges, and
+//!   queue-wait/latency histograms in one [`ServiceStats`] snapshot.
+//!
+//! Execution semantics are entirely inherited from the scheduler:
+//! results are merged in morsel order, so a query's output through the
+//! service is **bit-identical** to direct scheduler submission — the
+//! service only decides *when* a query starts, never how it runs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptvm_parallel::serve::{Priority, QueryService, ServeConfig, SubmitOpts};
+//! use adaptvm_parallel::MorselPlan;
+//!
+//! let service = QueryService::new(ServeConfig::default());
+//! let handle = service
+//!     .try_submit(
+//!         SubmitOpts::interactive(),
+//!         MorselPlan::new(10_000, 512),
+//!         |_worker, m| Ok::<usize, ()>(m.len),
+//!         |parts, _stats| parts.iter().sum::<usize>(),
+//!     )
+//!     .expect("queue has room");
+//! assert_eq!(handle.join().unwrap(), 10_000);
+//!
+//! let stats = service.stats();
+//! assert_eq!(stats.priority(Priority::Interactive).completed, 1);
+//! assert_eq!(stats.priority(Priority::Interactive).rejected(), 0);
+//!
+//! let report = service.shutdown();
+//! assert!(report.clean);
+//! ```
+
+mod queue;
+mod telemetry;
+
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::dispatch::DispatchStats;
+use crate::morsel::{Morsel, MorselPlan};
+use crate::scheduler::{
+    CancelReason, CancelToken, DoneHook, QueryError, QueryHandle, QueryOutcomeKind, RunError,
+    Scheduler, SubmitOptions,
+};
+
+use queue::FairQueues;
+use telemetry::Telemetry;
+pub use telemetry::{
+    LatencyHistogram, LatencySnapshot, PriorityStats, ServiceStats, HISTOGRAM_BUCKETS,
+};
+
+// ---------------------------------------------------------------------------
+// Priorities, configuration, errors
+// ---------------------------------------------------------------------------
+
+/// The three service classes. Dispatch weight (stride share under load)
+/// is 16 : 4 : 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground queries.
+    Interactive,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Throughput-oriented background work.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, in lane order (highest priority first).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Batch];
+
+    /// Stride-scheduler weight (dispatch share under saturation).
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Interactive => 16,
+            Priority::Normal => 4,
+            Priority::Batch => 1,
+        }
+    }
+
+    /// Lane index (also the index into [`ServiceStats::per_priority`]).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads in the underlying scheduler (clamped to ≥ 1).
+    pub workers: usize,
+    /// Capacity of each priority class's queue (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// Queries allowed on the scheduler simultaneously (clamped to ≥ 1).
+    /// The scheduler round-robins morsels across them; this bounds how
+    /// thin each query's share can get.
+    pub max_concurrent: usize,
+    /// Aging threshold in dispatches (see [`queue`]).
+    pub age_rounds: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_concurrent: 4,
+            age_rounds: 32,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the worker count.
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the per-class queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the concurrent-query bound.
+    pub fn with_max_concurrent(mut self, max: usize) -> ServeConfig {
+        self.max_concurrent = max;
+        self
+    }
+
+    /// Set the aging threshold.
+    pub fn with_age_rounds(mut self, rounds: u64) -> ServeConfig {
+        self.age_rounds = rounds;
+        self
+    }
+}
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The class queue is at capacity — backpressure; retry, degrade, or
+    /// shed.
+    QueueFull(Priority),
+    /// The service is draining or shut down.
+    ShuttingDown,
+    /// A blocking submission waited `queue_timeout` without space opening.
+    Timeout,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull(p) => write!(f, "{p} queue is full"),
+            AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
+            AdmissionError::Timeout => write!(f, "timed out waiting for queue space"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Why a gated (borrowing) run produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateError {
+    /// Refused at admission.
+    Rejected(AdmissionError),
+    /// Cancelled while queued.
+    Cancelled,
+    /// Deadline passed while queued.
+    DeadlineExceeded,
+}
+
+impl GateError {
+    /// Fold into the pipeline-level [`RunError`].
+    pub fn into_run_error<E>(self) -> RunError<E> {
+        match self {
+            GateError::Rejected(a) => RunError::Rejected(a.to_string()),
+            GateError::Cancelled => RunError::Cancelled,
+            GateError::DeadlineExceeded => RunError::DeadlineExceeded,
+        }
+    }
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Rejected(a) => write!(f, "admission rejected: {a}"),
+            GateError::Cancelled => write!(f, "cancelled while queued"),
+            GateError::DeadlineExceeded => write!(f, "deadline passed while queued"),
+        }
+    }
+}
+
+/// Per-submission options: priority class, deadline, external cancel
+/// token, and how long a *blocking* submission may wait for queue space.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOpts {
+    /// The priority class.
+    pub priority: Priority,
+    /// Total deadline from admission: expiring in the queue refuses the
+    /// query; expiring mid-run aborts it at the next morsel boundary.
+    pub deadline: Option<Duration>,
+    /// Cancel through an externally held token (a fresh one is created
+    /// when absent; [`ServeHandle::cancel_token`] exposes it either way).
+    pub cancel: Option<CancelToken>,
+    /// For [`QueryService::submit`] and [`QueryService::run_gated`]: the
+    /// longest wait for queue space (`None` = wait indefinitely).
+    /// [`QueryService::try_submit`] never waits.
+    pub queue_timeout: Option<Duration>,
+}
+
+impl SubmitOpts {
+    /// Options for the given class.
+    pub fn new(priority: Priority) -> SubmitOpts {
+        SubmitOpts {
+            priority,
+            ..SubmitOpts::default()
+        }
+    }
+
+    /// [`Priority::Interactive`] options.
+    pub fn interactive() -> SubmitOpts {
+        SubmitOpts::new(Priority::Interactive)
+    }
+
+    /// [`Priority::Normal`] options.
+    pub fn normal() -> SubmitOpts {
+        SubmitOpts::new(Priority::Normal)
+    }
+
+    /// [`Priority::Batch`] options.
+    pub fn batch() -> SubmitOpts {
+        SubmitOpts::new(Priority::Batch)
+    }
+
+    /// Set the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOpts {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach an external cancel token.
+    pub fn with_cancel(mut self, token: CancelToken) -> SubmitOpts {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bound the blocking wait for queue space.
+    pub fn with_queue_timeout(mut self, timeout: Duration) -> SubmitOpts {
+        self.queue_timeout = Some(timeout);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pending queries and the dispatcher
+// ---------------------------------------------------------------------------
+
+/// What the dispatcher hands a pending query when its turn comes.
+enum Launch<'a> {
+    /// Dispatched: submit onto the scheduler (or release the gated
+    /// caller). The hook must be invoked exactly once at completion.
+    Run {
+        scheduler: &'a Scheduler,
+        on_done: DoneHook,
+    },
+    /// Refused while queued (cancelled, deadline passed, or drained).
+    Refuse(CancelReason),
+}
+
+/// One queued query: the fairness metadata plus a type-erased launcher.
+struct PendingQuery {
+    priority: Priority,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    launch: Box<dyn FnOnce(Launch<'_>) + Send>,
+}
+
+struct ServeState {
+    queues: FairQueues<PendingQuery>,
+    /// Dispatched-but-unfinished queries: `(id, token)` so drain can
+    /// cancel them.
+    running: Vec<(u64, CancelToken)>,
+    next_id: u64,
+    draining: bool,
+    stopped: bool,
+}
+
+struct Inner {
+    scheduler: Scheduler,
+    state: Mutex<ServeState>,
+    /// One condvar for every edge: queue space freed, work queued, a
+    /// query finished, drain began. Broadcast; waiters re-check their own
+    /// predicate.
+    cv: Condvar,
+    telemetry: Telemetry,
+    max_concurrent: usize,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, ServeState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Completion path for a dispatched query (the scheduler's `on_done`
+    /// hook, or the gated caller's permit).
+    fn complete(&self, id: u64, priority: Priority, admitted: Instant, kind: QueryOutcomeKind) {
+        {
+            let mut st = self.lock();
+            st.running.retain(|(rid, _)| *rid != id);
+        }
+        self.telemetry
+            .record_outcome(priority, kind, admitted.elapsed());
+        self.cv.notify_all();
+    }
+
+    /// Account a query refused while still queued.
+    fn record_refusal(&self, priority: Priority, reason: CancelReason, admitted: Instant) {
+        let kind = match reason {
+            CancelReason::Cancelled => QueryOutcomeKind::Cancelled,
+            CancelReason::DeadlineExceeded => QueryOutcomeKind::DeadlineExceeded,
+        };
+        self.telemetry
+            .record_outcome(priority, kind, admitted.elapsed());
+    }
+}
+
+/// How long the dispatcher sleeps between sweeps while queries are
+/// queued without deadlines: bounds how late a *queued* cancellation is
+/// observed when no other event (completion, submission, deadline) wakes
+/// the dispatcher. Running queries observe cancellation at morsel
+/// boundaries regardless.
+const QUEUED_CANCEL_SWEEP: Duration = Duration::from_millis(25);
+
+/// The dispatcher thread: evict dead queued entries, pop fairly, check
+/// cancel/deadline, launch.
+fn dispatch_loop(inner: &Arc<Inner>) {
+    let mut st = inner.lock();
+    loop {
+        if st.stopped {
+            return;
+        }
+        // Evict queued entries whose token fired or whose deadline
+        // passed — from any queue position, even while every running
+        // slot is taken — so a queued query's cancellation/deadline
+        // resolves promptly instead of at its (possibly distant)
+        // dispatch turn.
+        let now = Instant::now();
+        let dead = st.queues.take_dead(|p: &PendingQuery| {
+            p.cancel.is_cancelled() || p.deadline.is_some_and(|dl| now >= dl)
+        });
+        if !dead.is_empty() {
+            let mut refusals = Vec::with_capacity(dead.len());
+            for (_, aged) in dead {
+                let PendingQuery {
+                    priority,
+                    cancel,
+                    launch,
+                    ..
+                } = aged.item;
+                let reason = match cancel.check() {
+                    Err(reason) => reason,
+                    Ok(()) => {
+                        cancel.expire();
+                        CancelReason::DeadlineExceeded
+                    }
+                };
+                inner.record_refusal(priority, reason, aged.enqueued);
+                refusals.push((launch, reason));
+            }
+            drop(st);
+            for (launch, reason) in refusals {
+                launch(Launch::Refuse(reason));
+            }
+            inner.cv.notify_all();
+            st = inner.lock();
+            continue;
+        }
+        if st.running.len() < inner.max_concurrent {
+            if let Some((_, aged)) = st.queues.pop() {
+                let PendingQuery {
+                    priority,
+                    cancel,
+                    deadline,
+                    launch,
+                } = aged.item;
+                let admitted = aged.enqueued;
+                // Pre-dispatch checkpoint: a query that died in the queue
+                // never reaches the scheduler.
+                let refuse = cancel.check().err().or_else(|| {
+                    deadline.filter(|dl| Instant::now() >= *dl).map(|_| {
+                        cancel.expire();
+                        CancelReason::DeadlineExceeded
+                    })
+                });
+                match refuse {
+                    Some(reason) => {
+                        inner.record_refusal(priority, reason, admitted);
+                        drop(st);
+                        launch(Launch::Refuse(reason));
+                    }
+                    None => {
+                        let id = st.next_id;
+                        st.next_id += 1;
+                        st.running.push((id, cancel.clone()));
+                        inner
+                            .telemetry
+                            .counters(priority)
+                            .queue_wait
+                            .record(admitted.elapsed());
+                        let hook_inner = inner.clone();
+                        let on_done: DoneHook = Box::new(move |kind| {
+                            hook_inner.complete(id, priority, admitted, kind);
+                        });
+                        drop(st);
+                        launch(Launch::Run {
+                            scheduler: &inner.scheduler,
+                            on_done,
+                        });
+                    }
+                }
+                // Queue space freed and/or running set changed.
+                inner.cv.notify_all();
+                st = inner.lock();
+                continue;
+            }
+        }
+        // Wait for the next event, bounded by the earliest queued
+        // deadline (so expirations are refused on time) or by the sweep
+        // interval while anything at all is queued (so queued
+        // cancellations are observed promptly).
+        let now = Instant::now();
+        let next_deadline = st
+            .queues
+            .iter()
+            .filter_map(|p| p.deadline)
+            .min()
+            .map(|dl| dl.saturating_duration_since(now));
+        let wait = match next_deadline {
+            Some(d) => Some(d.min(QUEUED_CANCEL_SWEEP)),
+            None if !st.queues.is_empty() => Some(QUEUED_CANCEL_SWEEP),
+            None => None,
+        };
+        st = match wait {
+            Some(d) => {
+                inner
+                    .cv
+                    .wait_timeout(st, d.max(Duration::from_millis(1)))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+            None => inner.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+        };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A handle to a query submitted through the service. Resolves in two
+/// stages — dispatch (leaving the admission queue), then execution — both
+/// folded into one [`join`](ServeHandle::join).
+pub struct ServeHandle<R, E> {
+    stage: Receiver<Result<QueryHandle<R, E>, CancelReason>>,
+    cancel: CancelToken,
+    priority: Priority,
+}
+
+impl<R, E> ServeHandle<R, E> {
+    /// The class the query was admitted under.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Request cancellation — effective both while queued (the dispatcher
+    /// refuses it) and while running (workers abort at the next morsel
+    /// boundary).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The query's cancel token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    fn map_stage(
+        stage: Result<QueryHandle<R, E>, CancelReason>,
+    ) -> Result<QueryHandle<R, E>, QueryError<E>> {
+        match stage {
+            Ok(handle) => Ok(handle),
+            Err(CancelReason::Cancelled) => Err(QueryError::Cancelled),
+            Err(CancelReason::DeadlineExceeded) => Err(QueryError::DeadlineExceeded),
+        }
+    }
+
+    /// Block until the query completes (or is refused from the queue).
+    pub fn join(self) -> Result<R, QueryError<E>> {
+        match self.stage.recv() {
+            Ok(stage) => Self::map_stage(stage)?.join(),
+            Err(_) => unreachable!("the service resolves every accepted submission"),
+        }
+    }
+
+    /// [`ServeHandle::join`] with a bounded wait spanning both stages;
+    /// `None` when the query had not completed in time. Remaining time is
+    /// recomputed across retries (spurious-wakeup safe).
+    pub fn join_deadline(self, timeout: Duration) -> Option<Result<R, QueryError<E>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.stage.recv_timeout(remaining) {
+                Ok(stage) => {
+                    return match Self::map_stage(stage) {
+                        Ok(handle) => {
+                            handle.join_deadline(deadline.saturating_duration_since(Instant::now()))
+                        }
+                        Err(e) => Some(Err(e)),
+                    };
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("the service resolves every accepted submission")
+                }
+            }
+        }
+    }
+}
+
+/// Invokes a gated query's completion hook exactly once — with
+/// [`QueryOutcomeKind::Panicked`] when the gated pipeline unwinds before
+/// reporting — so the running slot is always released.
+struct GateGuard {
+    on_done: Option<DoneHook>,
+}
+
+impl GateGuard {
+    fn finish(mut self, kind: QueryOutcomeKind) {
+        if let Some(hook) = self.on_done.take() {
+            hook(kind);
+        }
+    }
+}
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        if let Some(hook) = self.on_done.take() {
+            hook(QueryOutcomeKind::Panicked);
+        }
+    }
+}
+
+/// What [`QueryService::drain`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Every queued and running query finished inside the timeout.
+    pub clean: bool,
+    /// Queued queries refused when the timeout expired.
+    pub refused_queued: usize,
+    /// Running queries cancelled when the timeout expired.
+    pub cancelled_running: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// How long a blocking admission may wait.
+enum Wait {
+    No,
+    Unbounded,
+    Until(Instant),
+}
+
+/// The admission-controlled query service. See the [module docs](self)
+/// for the full picture and a quickstart.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Build a service (and its scheduler) from `config`.
+    pub fn new(config: ServeConfig) -> QueryService {
+        QueryService::with_scheduler(Scheduler::new(config.workers), config)
+    }
+
+    /// Build a service over an explicitly configured scheduler (the
+    /// service takes ownership; it shuts the scheduler down on drain).
+    pub fn with_scheduler(scheduler: Scheduler, config: ServeConfig) -> QueryService {
+        let inner = Arc::new(Inner {
+            scheduler,
+            state: Mutex::new(ServeState {
+                queues: FairQueues::new(config.queue_capacity, config.age_rounds),
+                running: Vec::new(),
+                next_id: 0,
+                draining: false,
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+            telemetry: Telemetry::default(),
+            max_concurrent: config.max_concurrent.max(1),
+        });
+        let dispatcher = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("adaptvm-serve-dispatch".into())
+                .spawn(move || dispatch_loop(&inner))
+                .expect("spawn serve dispatcher")
+        };
+        QueryService {
+            inner,
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// The underlying scheduler (for worker count, JIT cache, or direct
+    /// non-admitted submission).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.inner.scheduler
+    }
+
+    /// One coherent telemetry snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let (queue_depths, running, draining) = {
+            let st = self.inner.lock();
+            (
+                [
+                    st.queues.depth(Priority::Interactive),
+                    st.queues.depth(Priority::Normal),
+                    st.queues.depth(Priority::Batch),
+                ],
+                st.running.len(),
+                st.draining,
+            )
+        };
+        ServiceStats {
+            per_priority: [
+                self.inner
+                    .telemetry
+                    .snapshot_priority(Priority::Interactive),
+                self.inner.telemetry.snapshot_priority(Priority::Normal),
+                self.inner.telemetry.snapshot_priority(Priority::Batch),
+            ],
+            queue_depths,
+            running,
+            draining,
+            scheduler: self.inner.scheduler.stats(),
+        }
+    }
+
+    /// Enqueue under admission control; `wait` decides what happens when
+    /// the class queue is full.
+    fn enqueue(&self, mut pending: PendingQuery, wait: Wait) -> Result<(), AdmissionError> {
+        let inner = &self.inner;
+        let p = pending.priority;
+        inner
+            .telemetry
+            .counters(p)
+            .submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut st = inner.lock();
+        loop {
+            if st.draining || st.stopped {
+                inner
+                    .telemetry
+                    .counters(p)
+                    .rejected_shutdown
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Err(AdmissionError::ShuttingDown);
+            }
+            match st.queues.push(p, pending) {
+                Ok(()) => {
+                    inner
+                        .telemetry
+                        .counters(p)
+                        .admitted
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    drop(st);
+                    inner.cv.notify_all();
+                    return Ok(());
+                }
+                Err(back) => {
+                    pending = back;
+                    match wait {
+                        Wait::No => {
+                            inner
+                                .telemetry
+                                .counters(p)
+                                .rejected_full
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            return Err(AdmissionError::QueueFull(p));
+                        }
+                        Wait::Unbounded => {
+                            st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                        Wait::Until(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                inner
+                                    .telemetry
+                                    .counters(p)
+                                    .admission_timeouts
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                return Err(AdmissionError::Timeout);
+                            }
+                            let (guard, _) = inner
+                                .cv
+                                .wait_timeout(st, deadline - now)
+                                .unwrap_or_else(|e| e.into_inner());
+                            st = guard;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn make_pending<T, E, R, F, M>(
+        &self,
+        opts: &SubmitOpts,
+        plan: MorselPlan,
+        task: F,
+        merge: M,
+    ) -> (PendingQuery, ServeHandle<R, E>)
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'static,
+        M: FnOnce(Vec<T>, DispatchStats) -> R + Send + 'static,
+    {
+        let token = opts.cancel.clone().unwrap_or_default();
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
+        let (stx, srx) = channel();
+        let launch_token = token.clone();
+        let launch = Box::new(move |launch: Launch<'_>| match launch {
+            Launch::Run { scheduler, on_done } => {
+                let mut sopts = SubmitOptions::default()
+                    .with_cancel(launch_token)
+                    .with_on_done(on_done);
+                if let Some(dl) = deadline {
+                    sopts = sopts.with_deadline(dl.saturating_duration_since(Instant::now()));
+                }
+                let handle = scheduler
+                    .submit_opts(plan, sopts, task, merge)
+                    .expect("the service scheduler outlives its dispatcher");
+                let _ = stx.send(Ok(handle));
+            }
+            Launch::Refuse(reason) => {
+                let _ = stx.send(Err(reason));
+            }
+        });
+        let pending = PendingQuery {
+            priority: opts.priority,
+            cancel: token.clone(),
+            deadline,
+            launch,
+        };
+        let handle = ServeHandle {
+            stage: srx,
+            cancel: token,
+            priority: opts.priority,
+        };
+        (pending, handle)
+    }
+
+    /// Submit without waiting: refused immediately with a typed
+    /// [`AdmissionError`] when the class queue is full or the service is
+    /// draining — the backpressure edge.
+    pub fn try_submit<T, E, R, F, M>(
+        &self,
+        opts: SubmitOpts,
+        plan: MorselPlan,
+        task: F,
+        merge: M,
+    ) -> Result<ServeHandle<R, E>, AdmissionError>
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'static,
+        M: FnOnce(Vec<T>, DispatchStats) -> R + Send + 'static,
+    {
+        let (pending, handle) = self.make_pending(&opts, plan, task, merge);
+        self.enqueue(pending, Wait::No)?;
+        Ok(handle)
+    }
+
+    /// Submit, blocking while the class queue is full: up to
+    /// [`SubmitOpts::queue_timeout`] (then [`AdmissionError::Timeout`]),
+    /// or indefinitely when no timeout is set.
+    pub fn submit<T, E, R, F, M>(
+        &self,
+        opts: SubmitOpts,
+        plan: MorselPlan,
+        task: F,
+        merge: M,
+    ) -> Result<ServeHandle<R, E>, AdmissionError>
+    where
+        T: Send + 'static,
+        E: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &Morsel) -> Result<T, E> + Send + Sync + 'static,
+        M: FnOnce(Vec<T>, DispatchStats) -> R + Send + 'static,
+    {
+        let wait = match opts.queue_timeout {
+            Some(t) => Wait::Until(Instant::now() + t),
+            None => Wait::Unbounded,
+        };
+        let (pending, handle) = self.make_pending(&opts, plan, task, merge);
+        self.enqueue(pending, wait)?;
+        Ok(handle)
+    }
+
+    /// Admission-gate a **borrowing** run: wait (fairly, by priority) for
+    /// a dispatch slot, then execute `f` on the calling thread against
+    /// the service's scheduler, releasing the slot when `f` returns.
+    ///
+    /// This is how the relational pipelines — whose tasks borrow tables
+    /// from the caller's stack — run through the service: see
+    /// `Runner::Service` in [`crate::pool`]. The query's *results* are
+    /// whatever `f` produces; the service only delays its start and
+    /// counts its outcome. A deadline in `opts` bounds the queue wait;
+    /// mid-run aborts are driven by the cancel token (checked at morsel
+    /// boundaries inside `f`'s pipeline).
+    pub fn run_gated<R>(
+        &self,
+        opts: SubmitOpts,
+        f: impl FnOnce(&Scheduler) -> R,
+    ) -> Result<R, GateError> {
+        // Without visibility into `R`, the outcome is derived from the
+        // cancel token: fired → cancelled/expired, otherwise completed.
+        // Callers whose `R` distinguishes success from failure should use
+        // [`QueryService::run_gated_with`] so task errors are counted as
+        // such.
+        let token = opts.cancel.clone().unwrap_or_default();
+        let opts = SubmitOpts {
+            cancel: Some(token.clone()),
+            ..opts
+        };
+        self.run_gated_with(opts, f, move |_| match token.reason() {
+            None => QueryOutcomeKind::Completed,
+            Some(CancelReason::Cancelled) => QueryOutcomeKind::Cancelled,
+            Some(CancelReason::DeadlineExceeded) => QueryOutcomeKind::DeadlineExceeded,
+        })
+    }
+
+    /// [`QueryService::run_gated`] with an explicit outcome classifier:
+    /// `outcome_of` inspects `f`'s return value and decides what the
+    /// telemetry records (completed / task error / cancelled / …). If `f`
+    /// panics, the dispatch slot is still released and the query is
+    /// counted [`QueryOutcomeKind::Panicked`] before the panic resumes.
+    pub fn run_gated_with<R>(
+        &self,
+        opts: SubmitOpts,
+        f: impl FnOnce(&Scheduler) -> R,
+        outcome_of: impl FnOnce(&R) -> QueryOutcomeKind,
+    ) -> Result<R, GateError> {
+        let token = opts.cancel.clone().unwrap_or_default();
+        let (gtx, grx) = channel::<Result<DoneHook, CancelReason>>();
+        let pending = PendingQuery {
+            priority: opts.priority,
+            cancel: token.clone(),
+            deadline: opts.deadline.map(|d| Instant::now() + d),
+            launch: Box::new(move |launch| match launch {
+                Launch::Run { on_done, .. } => {
+                    let _ = gtx.send(Ok(on_done));
+                }
+                Launch::Refuse(reason) => {
+                    let _ = gtx.send(Err(reason));
+                }
+            }),
+        };
+        let wait = match opts.queue_timeout {
+            Some(t) => Wait::Until(Instant::now() + t),
+            None => Wait::Unbounded,
+        };
+        self.enqueue(pending, wait).map_err(GateError::Rejected)?;
+        match grx.recv() {
+            Ok(Ok(on_done)) => {
+                // The guard releases the running slot even if `f`
+                // unwinds — a panicking gated pipeline must not wedge
+                // drain() by leaking its slot.
+                let guard = GateGuard {
+                    on_done: Some(on_done),
+                };
+                let r = f(self.scheduler());
+                guard.finish(outcome_of(&r));
+                Ok(r)
+            }
+            Ok(Err(CancelReason::Cancelled)) => Err(GateError::Cancelled),
+            Ok(Err(CancelReason::DeadlineExceeded)) => Err(GateError::DeadlineExceeded),
+            Err(_) => Err(GateError::Rejected(AdmissionError::ShuttingDown)),
+        }
+    }
+
+    /// Graceful drain: reject new work immediately, keep dispatching and
+    /// finishing what was already accepted for up to `timeout`, then
+    /// refuse whatever is still queued, cancel whatever is still running
+    /// (cooperative — at morsel boundaries), wait for those to finalize,
+    /// stop the dispatcher, and shut the scheduler down. Idempotent.
+    pub fn drain(&self, timeout: Duration) -> DrainReport {
+        let inner = &self.inner;
+        {
+            let mut st = inner.lock();
+            st.draining = true;
+        }
+        inner.cv.notify_all();
+        let deadline = Instant::now() + timeout;
+        let mut st = inner.lock();
+        while !(st.queues.is_empty() && st.running.is_empty()) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = inner
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        let clean = st.queues.is_empty() && st.running.is_empty();
+        let mut refused_queued = 0;
+        let mut cancelled_running = 0;
+        if !clean {
+            let leftovers = st.queues.drain();
+            refused_queued = leftovers.len();
+            for (_, token) in &st.running {
+                token.cancel();
+            }
+            cancelled_running = st.running.len();
+            drop(st);
+            for (priority, aged) in leftovers {
+                // Cancel the token too, so handles and shared group
+                // tokens observe the same state the refusal reports.
+                aged.item.cancel.cancel();
+                inner.record_refusal(priority, CancelReason::Cancelled, aged.enqueued);
+                (aged.item.launch)(Launch::Refuse(CancelReason::Cancelled));
+            }
+            inner.cv.notify_all();
+            st = inner.lock();
+            // Cancelled queries abort at their next morsel boundary; wait
+            // them out (gated runs finish their pipeline normally).
+            while !st.running.is_empty() {
+                let (guard, _) = inner
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(20))
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+        st.stopped = true;
+        drop(st);
+        inner.cv.notify_all();
+        if let Some(h) = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            let _ = h.join();
+        }
+        inner.scheduler.shutdown();
+        DrainReport {
+            clean,
+            refused_queued,
+            cancelled_running,
+        }
+    }
+
+    /// [`QueryService::drain`] with a zero timeout: refuse the queue,
+    /// cancel the running set, tear down.
+    pub fn shutdown(&self) -> DrainReport {
+        self.drain(Duration::ZERO)
+    }
+}
+
+impl fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.lock();
+        f.debug_struct("QueryService")
+            .field("workers", &self.inner.scheduler.workers())
+            .field("max_concurrent", &self.inner.max_concurrent)
+            .field("queued", &st.queues.total())
+            .field("running", &st.running.len())
+            .field("draining", &st.draining)
+            .finish()
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        let live = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some();
+        if live {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_query(
+        service: &QueryService,
+        opts: SubmitOpts,
+        rows: usize,
+    ) -> Result<ServeHandle<usize, ()>, AdmissionError> {
+        service.try_submit(
+            opts,
+            MorselPlan::new(rows, 128),
+            |_, m| Ok::<usize, ()>(m.len),
+            |parts, _| parts.iter().sum::<usize>(),
+        )
+    }
+
+    #[test]
+    fn submit_runs_and_counts() {
+        let service = QueryService::new(ServeConfig::default().with_workers(2));
+        let handle = sum_query(&service, SubmitOpts::normal(), 10_000).unwrap();
+        assert_eq!(handle.join().unwrap(), 10_000);
+        let stats = service.stats();
+        let p = stats.priority(Priority::Normal);
+        assert_eq!(p.submitted, 1);
+        assert_eq!(p.admitted, 1);
+        assert_eq!(p.completed, 1);
+        assert_eq!(p.latency.count, 1);
+        assert_eq!(p.queue_wait.count, 1);
+        assert_eq!(stats.running, 0);
+        let report = service.shutdown();
+        assert!(report.clean);
+    }
+
+    #[test]
+    fn queue_full_is_counted_exactly() {
+        // One slot running, one queued: every further try_submit must be
+        // a counted QueueFull.
+        let service = QueryService::new(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_concurrent(1)
+                .with_queue_capacity(1),
+        );
+        // Plug the single running slot with a slow query.
+        let plug = service
+            .try_submit(
+                SubmitOpts::normal(),
+                MorselPlan::new(64, 1),
+                |_, m| {
+                    std::thread::sleep(Duration::from_millis(3));
+                    Ok::<usize, ()>(m.len)
+                },
+                |parts, _| parts.len(),
+            )
+            .unwrap();
+        // Fill the queue (dispatch may have already moved one into the
+        // running slot, so push until a rejection appears).
+        let mut queued = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..12 {
+            match sum_query(&service, SubmitOpts::normal(), 1_000) {
+                Ok(h) => queued.push(h),
+                Err(AdmissionError::QueueFull(Priority::Normal)) => rejected += 1,
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        }
+        assert!(rejected > 0, "bounded queue must reject under overload");
+        let stats = service.stats();
+        assert_eq!(
+            stats.priority(Priority::Normal).rejected_full,
+            rejected,
+            "every QueueFull must be counted exactly once"
+        );
+        // Everything admitted still completes.
+        assert_eq!(plug.join().unwrap(), 64);
+        for h in queued {
+            assert_eq!(h.join().unwrap(), 1_000);
+        }
+        let stats = service.stats();
+        assert_eq!(
+            stats.priority(Priority::Normal).finished(),
+            stats.priority(Priority::Normal).admitted
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_submit_after_drain_is_rejected() {
+        let service = QueryService::new(ServeConfig::default().with_workers(1));
+        let report = service.drain(Duration::from_secs(5));
+        assert!(report.clean);
+        match sum_query(&service, SubmitOpts::interactive(), 100) {
+            Err(AdmissionError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {:?}", other.err()),
+        }
+        assert_eq!(
+            service
+                .stats()
+                .priority(Priority::Interactive)
+                .rejected_shutdown,
+            1
+        );
+    }
+
+    #[test]
+    fn gated_run_admits_and_completes() {
+        let service = QueryService::new(ServeConfig::default().with_workers(2));
+        let data: Vec<i64> = (0..10_000).collect();
+        let plan = MorselPlan::new(data.len(), 512);
+        let out = service
+            .run_gated(SubmitOpts::interactive(), |s| {
+                s.run(&plan, |_, m| {
+                    Ok::<i64, ()>(data[m.start..m.end()].iter().sum())
+                })
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.0.iter().sum::<i64>(), data.iter().sum::<i64>());
+        let stats = service.stats();
+        assert_eq!(stats.priority(Priority::Interactive).completed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queued_cancellation_never_reaches_the_scheduler() {
+        let service = QueryService::new(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_concurrent(1),
+        );
+        // Plug the slot so the next submission stays queued.
+        let plug = service
+            .try_submit(
+                SubmitOpts::normal(),
+                MorselPlan::new(200, 1),
+                |_, m| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok::<usize, ()>(m.len)
+                },
+                |parts, _| parts.len(),
+            )
+            .unwrap();
+        let scheduler_queries_before = service.scheduler().stats().queries_submitted;
+        let queued = sum_query(&service, SubmitOpts::batch(), 5_000).unwrap();
+        queued.cancel();
+        match queued.join() {
+            Err(QueryError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        plug.join().unwrap();
+        // Give the dispatcher a beat, then confirm the cancelled query
+        // never consumed a scheduler slot.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.stats().running > 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            service.scheduler().stats().queries_submitted,
+            scheduler_queries_before + 1,
+            "only the plug reached the scheduler"
+        );
+        assert_eq!(service.stats().priority(Priority::Batch).cancelled, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn drain_timeout_cancels_stragglers() {
+        let service = QueryService::new(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_concurrent(1),
+        );
+        let slow = service
+            .try_submit(
+                SubmitOpts::normal(),
+                MorselPlan::new(100_000, 1),
+                |_, m| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    Ok::<usize, ()>(m.len)
+                },
+                |parts, _| parts.len(),
+            )
+            .unwrap();
+        let queued = sum_query(&service, SubmitOpts::batch(), 1_000).unwrap();
+        let report = service.drain(Duration::from_millis(30));
+        assert!(!report.clean);
+        assert!(report.cancelled_running >= 1 || report.refused_queued >= 1);
+        // Both handles resolve — nothing hangs, nothing is lost.
+        for outcome in [slow.join(), queued.join()] {
+            match outcome {
+                Ok(_) | Err(QueryError::Cancelled) | Err(QueryError::DeadlineExceeded) => {}
+                Err(QueryError::Task(())) => panic!("unexpected task error"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(
+            stats.scheduler.queries_submitted,
+            stats.scheduler.queries_completed
+        );
+    }
+
+    #[test]
+    fn deadline_in_queue_expires_typed() {
+        let service = QueryService::new(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_concurrent(1),
+        );
+        let plug = service
+            .try_submit(
+                SubmitOpts::normal(),
+                MorselPlan::new(200, 1),
+                |_, m| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok::<usize, ()>(m.len)
+                },
+                |parts, _| parts.len(),
+            )
+            .unwrap();
+        let doomed = service
+            .try_submit(
+                SubmitOpts::batch().with_deadline(Duration::from_millis(1)),
+                MorselPlan::new(1_000, 100),
+                |_, m| Ok::<usize, ()>(m.len),
+                |parts, _| parts.iter().sum::<usize>(),
+            )
+            .unwrap();
+        match doomed.join() {
+            Err(QueryError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        plug.join().unwrap();
+        assert_eq!(
+            service.stats().priority(Priority::Batch).deadline_expired,
+            1
+        );
+        service.shutdown();
+    }
+}

@@ -1,0 +1,327 @@
+//! Serving-layer telemetry: per-priority counters, queue-depth gauges,
+//! and log-bucketed latency histograms, all lock-free on the record path.
+//!
+//! Everything here is written by workers/dispatchers with relaxed atomics
+//! and read through [`ServiceStats`] snapshots — a snapshot taken while
+//! queries are in flight is internally *approximately* consistent (each
+//! counter is exact, cross-counter invariants may lag by in-flight
+//! updates), and exactly consistent once the service is idle or drained.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::scheduler::{QueryOutcomeKind, SchedulerStats};
+
+use super::Priority;
+
+/// Histogram buckets: bucket `i` counts latencies in `[2^(i-1), 2^i)`
+/// microseconds (bucket 0: `< 1 µs`); the last bucket is open-ended.
+/// 28 buckets reach past 2^27 µs ≈ 134 s — beyond any sane query.
+pub const HISTOGRAM_BUCKETS: usize = 28;
+
+/// A concurrent log₂-bucketed latency histogram.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn bucket_of(d: Duration) -> usize {
+        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        if micros == 0 {
+            return 0;
+        }
+        // 1 µs → bucket 1, 2-3 µs → bucket 2, …
+        ((64 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// An owned, immutable copy of the current state.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned histogram snapshot with quantile extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Largest observation, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencySnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// where the cumulative count crosses `q · count` — an over-estimate
+    /// by at most 2× (the bucket width). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i upper bound: 2^i µs (bucket 0: 1 µs). The open
+                // last bucket reports the observed max instead.
+                if i == HISTOGRAM_BUCKETS - 1 {
+                    return Some(Duration::from_nanos(self.max_ns));
+                }
+                return Some(Duration::from_micros(1u64 << i));
+            }
+        }
+        Some(Duration::from_nanos(self.max_ns))
+    }
+
+    /// Median (see [`LatencySnapshot::quantile`]).
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (see [`LatencySnapshot::quantile`]).
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean. `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.sum_ns / self.count))
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+}
+
+/// The atomic per-priority counter block.
+#[derive(Default)]
+pub(crate) struct PriorityCounters {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub rejected_full: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
+    pub admission_timeouts: AtomicU64,
+    pub completed: AtomicU64,
+    pub task_errors: AtomicU64,
+    pub panicked: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub queue_wait: LatencyHistogram,
+    pub latency: LatencyHistogram,
+}
+
+/// A snapshot of one priority class's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PriorityStats {
+    /// Submissions attempted (accepted or not).
+    pub submitted: u64,
+    /// Submissions that entered the queue.
+    pub admitted: u64,
+    /// Submissions refused because the class queue was full.
+    pub rejected_full: u64,
+    /// Submissions refused because the service was draining/stopped.
+    pub rejected_shutdown: u64,
+    /// Blocking submissions that timed out waiting for queue space.
+    pub admission_timeouts: u64,
+    /// Queries that ran to a merged result.
+    pub completed: u64,
+    /// Queries whose task errored.
+    pub task_errors: u64,
+    /// Queries whose task or merge panicked.
+    pub panicked: u64,
+    /// Queries cancelled (queued or running).
+    pub cancelled: u64,
+    /// Queries whose deadline passed (queued or running).
+    pub deadline_expired: u64,
+    /// Time from admission to dispatch.
+    pub queue_wait: LatencySnapshot,
+    /// Time from admission to completion (any outcome).
+    pub latency: LatencySnapshot,
+}
+
+impl PriorityStats {
+    /// Every terminal outcome recorded so far.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.task_errors + self.panicked + self.cancelled + self.deadline_expired
+    }
+
+    /// Rejections of either kind.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_full + self.rejected_shutdown
+    }
+
+    /// Rejected fraction of all submissions (0 when none were attempted).
+    pub fn rejection_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / self.submitted as f64
+        }
+    }
+}
+
+/// The whole telemetry block (one counter set per priority).
+#[derive(Default)]
+pub(crate) struct Telemetry {
+    per: [PriorityCounters; 3],
+}
+
+impl Telemetry {
+    pub fn counters(&self, p: Priority) -> &PriorityCounters {
+        &self.per[p.index()]
+    }
+
+    pub fn record_outcome(&self, p: Priority, kind: QueryOutcomeKind, latency: Duration) {
+        let c = self.counters(p);
+        match kind {
+            QueryOutcomeKind::Completed => c.completed.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::TaskError => c.task_errors.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::Panicked => c.panicked.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::Cancelled => c.cancelled.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::DeadlineExceeded => {
+                c.deadline_expired.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        c.latency.record(latency);
+    }
+
+    pub fn snapshot_priority(&self, p: Priority) -> PriorityStats {
+        let c = self.counters(p);
+        PriorityStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected_full: c.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            admission_timeouts: c.admission_timeouts.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            task_errors: c.task_errors.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            queue_wait: c.queue_wait.snapshot(),
+            latency: c.latency.snapshot(),
+        }
+    }
+}
+
+/// One coherent view of the service: per-priority counters and
+/// histograms, live gauges, and the underlying scheduler's counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Counter snapshots indexed by [`Priority::index`].
+    pub per_priority: [PriorityStats; 3],
+    /// Live queue depth per priority (gauge).
+    pub queue_depths: [usize; 3],
+    /// Queries currently dispatched onto the scheduler (gauge).
+    pub running: usize,
+    /// True once `drain`/`shutdown` began.
+    pub draining: bool,
+    /// The scheduler's own lifetime counters.
+    pub scheduler: SchedulerStats,
+}
+
+impl ServiceStats {
+    /// The counter block for one priority class.
+    pub fn priority(&self, p: Priority) -> &PriorityStats {
+        &self.per_priority[p.index()]
+    }
+
+    /// Live queue depth for one priority class.
+    pub fn queue_depth(&self, p: Priority) -> usize {
+        self.queue_depths[p.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.snapshot().p50(), None);
+        // 90 fast observations (~4 µs), 10 slow (~1000 µs).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(4));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(1000));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50 lands in the 4 µs bucket (upper bound 8 µs); p99 in the
+        // 1000 µs bucket (upper bound 1024 µs).
+        assert_eq!(s.p50(), Some(Duration::from_micros(8)));
+        assert_eq!(s.p99(), Some(Duration::from_micros(1024)));
+        assert!(s.mean().unwrap() >= Duration::from_micros(4));
+        assert!(s.max() >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(500)); // beyond the last bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        // The open-ended bucket reports the observed max.
+        assert_eq!(s.quantile(1.0), Some(Duration::from_secs(500)));
+    }
+
+    #[test]
+    fn outcome_counters_split_by_kind() {
+        let t = Telemetry::default();
+        let p = Priority::Batch;
+        t.record_outcome(p, QueryOutcomeKind::Completed, Duration::from_micros(5));
+        t.record_outcome(p, QueryOutcomeKind::Cancelled, Duration::from_micros(5));
+        t.record_outcome(
+            p,
+            QueryOutcomeKind::DeadlineExceeded,
+            Duration::from_micros(5),
+        );
+        let s = t.snapshot_priority(p);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.deadline_expired, 1);
+        assert_eq!(s.finished(), 3);
+        assert_eq!(s.latency.count, 3);
+        // Other priorities untouched.
+        assert_eq!(t.snapshot_priority(Priority::Interactive).finished(), 0);
+    }
+}

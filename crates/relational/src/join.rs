@@ -118,6 +118,10 @@ impl HashTable {
             }
         }
         let total: usize = merged.values().map(Vec::len).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "hash-table payload arena exceeds u32 addressing ({total} rows)"
+        );
         let mut map = HashMap::with_capacity(merged.len());
         let mut arena = Vec::with_capacity(total);
         for (key, payloads) in merged {
@@ -208,6 +212,219 @@ impl HashTable {
     /// Semi-join: which probe keys match at all.
     pub fn semi(&self, keys: &[i64]) -> Vec<bool> {
         keys.iter().map(|&k| self.contains(k)).collect()
+    }
+}
+
+/// A hash table over **byte/string keys**: the Utf8 sibling of
+/// [`HashTable`], with the same multimap semantics (duplicate build keys
+/// keep every payload in build-row order; probing emits one output row
+/// per build match).
+///
+/// Layout: keys live contiguously in one byte **arena** (no per-key
+/// allocation in the built table) and payloads in another; the map goes
+/// from the 64-bit string hash ([`adaptvm_kernels::map::hash_str`]) to
+/// the entries sharing that hash, and a probe confirms a candidate by
+/// comparing key bytes — hash collisions cost an extra memcmp, never a
+/// wrong join result. The same Bloom pre-filter as the integer table sits
+/// in front (fed with the string hash).
+#[derive(Debug, Clone)]
+pub struct StrHashTable {
+    /// `hash_str(key)` → entries whose key has that hash.
+    map: HashMap<i64, Vec<StrEntry>>,
+    /// The key-bytes arena.
+    keys: Vec<u8>,
+    /// The payload arena.
+    payloads: Vec<i64>,
+    /// Optional Bloom-style pre-filter over the key hashes.
+    bloom: Option<Bloom>,
+}
+
+/// One distinct key's slot: where its bytes and payloads live.
+#[derive(Debug, Clone, Copy)]
+struct StrEntry {
+    key_start: u32,
+    key_len: u32,
+    pay_start: u32,
+    pay_len: u32,
+}
+
+impl StrHashTable {
+    /// Build from a Utf8 key column and an integer payload column.
+    /// Returns `None` on non-string keys, non-integer payloads, or a
+    /// length mismatch.
+    pub fn build(keys: &Array, payloads: &Array) -> Option<StrHashTable> {
+        let k = keys.as_str()?;
+        let p = payloads.to_i64_vec()?;
+        if k.len() != p.len() {
+            return None;
+        }
+        Some(StrHashTable::from_rows(k, &p))
+    }
+
+    /// Build from key/payload slices (infallible form of [`Self::build`]).
+    /// Panics if the slices differ in length.
+    pub fn from_rows(keys: &[String], payloads: &[i64]) -> StrHashTable {
+        StrHashTable::from_partitions([StrJoinPartition::from_rows(keys, payloads)])
+    }
+
+    /// Merge per-morsel partitions (in iteration order) into one table —
+    /// the same morsel-order contract as [`HashTable::from_partitions`]:
+    /// feeding partitions in morsel order concatenates each key's payload
+    /// list in global build-row order.
+    pub fn from_partitions<I>(partitions: I) -> StrHashTable
+    where
+        I: IntoIterator<Item = StrJoinPartition>,
+    {
+        let mut merged: HashMap<String, Vec<i64>> = HashMap::new();
+        for partition in partitions {
+            for (key, payloads) in partition.map {
+                merged.entry(key).or_default().extend(payloads);
+            }
+        }
+        let total_pay: usize = merged.values().map(Vec::len).sum();
+        let total_key: usize = merged.keys().map(String::len).sum();
+        assert!(
+            total_pay <= u32::MAX as usize && total_key <= u32::MAX as usize,
+            "string hash-table arenas exceed u32 addressing \
+             ({total_pay} payload rows, {total_key} key bytes)"
+        );
+        let mut map: HashMap<i64, Vec<StrEntry>> = HashMap::with_capacity(merged.len());
+        let mut key_arena = Vec::with_capacity(total_key);
+        let mut pay_arena = Vec::with_capacity(total_pay);
+        for (key, payloads) in merged {
+            let entry = StrEntry {
+                key_start: key_arena.len() as u32,
+                key_len: key.len() as u32,
+                pay_start: pay_arena.len() as u32,
+                pay_len: payloads.len() as u32,
+            };
+            key_arena.extend_from_slice(key.as_bytes());
+            pay_arena.extend(payloads);
+            map.entry(adaptvm_kernels::map::hash_str(&key))
+                .or_default()
+                .push(entry);
+        }
+        StrHashTable {
+            map,
+            keys: key_arena,
+            payloads: pay_arena,
+            bloom: None,
+        }
+    }
+
+    /// Attach a Bloom pre-filter over the key hashes (sized from build
+    /// cardinality, like the integer table's).
+    pub fn with_bloom(mut self) -> StrHashTable {
+        let mut bloom = Bloom::sized_for(self.distinct_keys());
+        for &h in self.map.keys() {
+            bloom.insert(h);
+        }
+        self.bloom = Some(bloom);
+        self
+    }
+
+    /// Number of build-side rows (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Number of distinct build-side keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Bits in the attached Bloom filter (0 when none is attached).
+    pub fn bloom_bits(&self) -> usize {
+        self.bloom.as_ref().map_or(0, |b| (b.mask + 1) as usize)
+    }
+
+    fn entry_key(&self, e: &StrEntry) -> &[u8] {
+        &self.keys[e.key_start as usize..(e.key_start + e.key_len) as usize]
+    }
+
+    /// All build payloads matching `key`, in build-row order (empty when
+    /// the key misses).
+    #[inline]
+    pub fn matches(&self, key: &str) -> &[i64] {
+        let h = adaptvm_kernels::map::hash_str(key);
+        if let Some(bloom) = &self.bloom {
+            if !bloom.maybe_contains(h) {
+                return &[];
+            }
+        }
+        let Some(entries) = self.map.get(&h) else {
+            return &[];
+        };
+        for e in entries {
+            if self.entry_key(e) == key.as_bytes() {
+                return &self.payloads[e.pay_start as usize..(e.pay_start + e.pay_len) as usize];
+            }
+        }
+        &[]
+    }
+
+    /// Probe with a key column: one output row **per build match**, probe
+    /// indices ascending, payloads in build-row order per probe row —
+    /// exactly [`HashTable::probe`]'s contract over strings.
+    pub fn probe<S: AsRef<str>>(&self, keys: &[S]) -> (Vec<u32>, Vec<i64>) {
+        let mut idx = Vec::new();
+        let mut payload = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            for &p in self.matches(k.as_ref()) {
+                idx.push(i as u32);
+                payload.push(p);
+            }
+        }
+        (idx, payload)
+    }
+
+    /// Membership check for one key.
+    pub fn contains(&self, key: &str) -> bool {
+        !self.matches(key).is_empty()
+    }
+
+    /// Semi-join: which probe keys match at all.
+    pub fn semi<S: AsRef<str>>(&self, keys: &[S]) -> Vec<bool> {
+        keys.iter().map(|k| self.contains(k.as_ref())).collect()
+    }
+}
+
+/// A build-side partition over one morsel's **string-keyed** rows — the
+/// Utf8 sibling of [`JoinPartition`], merged in morsel order by
+/// [`StrHashTable::from_partitions`].
+#[derive(Debug, Clone, Default)]
+pub struct StrJoinPartition {
+    map: HashMap<String, Vec<i64>>,
+    rows: usize,
+}
+
+impl StrJoinPartition {
+    /// Hash one morsel's key/payload rows into a local multimap. Panics
+    /// if the slices differ in length.
+    pub fn from_rows(keys: &[String], payloads: &[i64]) -> StrJoinPartition {
+        assert_eq!(
+            keys.len(),
+            payloads.len(),
+            "build keys and payloads must have equal lengths"
+        );
+        let mut map: HashMap<String, Vec<i64>> = HashMap::new();
+        for (k, &p) in keys.iter().zip(payloads) {
+            map.entry(k.clone()).or_default().push(p);
+        }
+        StrJoinPartition {
+            map,
+            rows: keys.len(),
+        }
+    }
+
+    /// Build rows hashed into this partition.
+    pub fn rows(&self) -> usize {
+        self.rows
     }
 }
 
@@ -472,6 +689,69 @@ mod tests {
         assert!(t.is_empty());
         let (idx, _) = t.probe(&[1, 2]);
         assert!(idx.is_empty());
+    }
+
+    fn str_keys(vals: &[i64]) -> Vec<String> {
+        vals.iter().map(|v| format!("key-{v}")).collect()
+    }
+
+    #[test]
+    fn str_table_matches_int_table_semantics() {
+        // Same key structure as the integer duplicate test, via strings.
+        let keys = str_keys(&[7, 8, 7, 7]);
+        let pays = [70i64, 80, 71, 72];
+        let t = StrHashTable::from_rows(&keys, &pays);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.distinct_keys(), 2);
+        assert_eq!(t.matches("key-7"), &[70, 71, 72], "build-row order");
+        assert_eq!(t.matches("key-9"), &[] as &[i64]);
+        let probes = str_keys(&[8, 7, 9]);
+        let (idx, pay) = t.probe(&probes);
+        assert_eq!(idx, vec![0, 1, 1, 1]);
+        assert_eq!(pay, vec![80, 70, 71, 72]);
+        assert_eq!(t.semi(&probes), vec![true, true, false]);
+    }
+
+    #[test]
+    fn str_partitioned_build_matches_sequential_build() {
+        let key_ids: Vec<i64> = (0..500).map(|i| i % 37).collect();
+        let keys = str_keys(&key_ids);
+        let pays: Vec<i64> = (0..500).collect();
+        let whole = StrHashTable::from_rows(&keys, &pays);
+        let parts = [0..123, 123..200, 200..500]
+            .map(|r: Range<usize>| StrJoinPartition::from_rows(&keys[r.clone()], &pays[r.clone()]));
+        assert_eq!(parts.iter().map(StrJoinPartition::rows).sum::<usize>(), 500);
+        let merged = StrHashTable::from_partitions(parts);
+        let probes = str_keys(&(-5..45).collect::<Vec<_>>());
+        assert_eq!(whole.probe(&probes), merged.probe(&probes));
+        assert_eq!(whole.len(), merged.len());
+        assert_eq!(whole.distinct_keys(), merged.distinct_keys());
+    }
+
+    #[test]
+    fn str_bloom_never_drops_matches_and_scales() {
+        let key_ids: Vec<i64> = (0..2_000).map(|i| i * 3).collect();
+        let keys = str_keys(&key_ids);
+        let pays: Vec<i64> = (0..2_000).collect();
+        let plain = StrHashTable::from_rows(&keys, &pays);
+        let bloomed = StrHashTable::from_rows(&keys, &pays).with_bloom();
+        assert_eq!(
+            bloomed.bloom_bits(),
+            (2_000usize * 8).next_power_of_two(),
+            "mask sized from build cardinality"
+        );
+        let probes = str_keys(&(0..6_000).collect::<Vec<_>>());
+        assert_eq!(plain.probe(&probes), bloomed.probe(&probes));
+    }
+
+    #[test]
+    fn str_build_rejects_mismatch() {
+        let two_keys = Array::from(vec!["a".to_string(), "b".to_string()]);
+        assert!(StrHashTable::build(&two_keys, &Array::from(vec![1i64])).is_none());
+        assert!(StrHashTable::build(&Array::from(vec![1i64]), &Array::from(vec![1i64])).is_none());
+        let t = StrHashTable::build(&two_keys, &Array::from(vec![10i64, 20])).unwrap();
+        assert_eq!(t.matches("b"), &[20]);
+        assert!(StrHashTable::from_rows(&[], &[]).is_empty());
     }
 
     #[test]

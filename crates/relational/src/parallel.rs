@@ -44,8 +44,8 @@ use std::convert::Infallible;
 use adaptvm_dsl::ast::ScalarOp;
 use adaptvm_kernels::{FilterFlavor, MapMode};
 use adaptvm_parallel::{
-    build_then_probe_on, BuildProbeStats, Morsel, MorselPlan, ParallelRunReport, ParallelVm,
-    Runner, Scheduler,
+    build_then_probe_with, BuildProbeStats, CancelToken, Morsel, MorselPlan, ParallelRunReport,
+    ParallelVm, Priority, QueryService, RunError, Runner, Scheduler, SubmitOpts,
 };
 use adaptvm_storage::scalar::Scalar;
 use adaptvm_storage::schema::Table;
@@ -56,31 +56,51 @@ use adaptvm_vm::{VmConfig, VmError};
 use crate::agg::{AdaptiveAggregator, GroupState, PreAgg};
 use crate::join::{
     probe_chunk_with_order, validate_key_columns, ChainResult, HashTable, JoinPartition,
+    StrHashTable, StrJoinPartition,
 };
 use crate::ops::{self, DenseScan, OpResult};
 use crate::tpch::{self, CompactLineitem, JoinStrategy, Q1Row, Q1_GROUPS};
 
 /// How to run a parallel pipeline: worker threads, morsel size, and an
-/// optional long-lived [`Scheduler`] to execute on.
+/// optional executor — a long-lived [`Scheduler`], or an
+/// admission-controlled [`QueryService`] with a [`Priority`] class.
 ///
-/// With `scheduler: None` every pipeline spawns a scoped per-run pool of
+/// With neither attached every pipeline spawns a scoped per-run pool of
 /// `workers` threads (the original behavior). With a scheduler attached
 /// (see [`ParallelOpts::on`]) the same pipeline is queued on the shared,
 /// parked worker set instead — `workers` is then ignored in favor of the
-/// pool's size — and results are **identical** either way (both executors
-/// merge in morsel order). `morsel_rows = 0` defers to the scheduler's
+/// pool's size. With a *service* attached (see [`ParallelOpts::served`])
+/// the pipeline additionally passes admission control (bounded priority
+/// queues, weighted-fair dispatch) before running on the service's
+/// scheduler. Results are **identical** on every executor (all of them
+/// merge in morsel order) — the executor only decides where and when the
+/// work runs. `morsel_rows = 0` defers to the scheduler's
 /// elasticity-preferred size (or [`adaptvm_parallel::DEFAULT_MORSEL_ROWS`]
-/// without a scheduler).
+/// without one).
+///
+/// An attached [`CancelToken`] (see [`ParallelOpts::with_cancel`]) is
+/// checked at every morsel boundary on any executor: cancellation or a
+/// deadline surfaces as [`adaptvm_kernels::KernelError::Cancelled`] (or
+/// [`VmError::Cancelled`] from the VM pipelines), aborting only this
+/// pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelOpts<'a> {
     /// Worker threads (clamped to ≥ 1; 1 = inline sequential execution).
-    /// Ignored when `scheduler` is set (the pool's size wins).
+    /// Ignored when `scheduler` or `service` is set (the pool's size
+    /// wins).
     pub workers: usize,
     /// Rows per morsel (aligned up to the chunk size where it matters);
     /// 0 = let the scheduler's elasticity controller pick.
     pub morsel_rows: usize,
     /// Execute on this long-lived scheduler instead of scoped threads.
     pub scheduler: Option<&'a Scheduler>,
+    /// Execute through this admission-controlled service (wins over
+    /// `scheduler` when both are set).
+    pub service: Option<&'a QueryService>,
+    /// Priority class for service admission (ignored without `service`).
+    pub priority: Priority,
+    /// Cooperative cancellation, checked at morsel boundaries.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 impl Default for ParallelOpts<'_> {
@@ -89,6 +109,9 @@ impl Default for ParallelOpts<'_> {
             workers: 4,
             morsel_rows: adaptvm_parallel::DEFAULT_MORSEL_ROWS,
             scheduler: None,
+            service: None,
+            priority: Priority::Normal,
+            cancel: None,
         }
     }
 }
@@ -99,7 +122,7 @@ impl<'a> ParallelOpts<'a> {
         ParallelOpts {
             workers,
             morsel_rows,
-            scheduler: None,
+            ..ParallelOpts::default()
         }
     }
 
@@ -110,6 +133,20 @@ impl<'a> ParallelOpts<'a> {
             workers: scheduler.workers(),
             morsel_rows: 0,
             scheduler: Some(scheduler),
+            ..ParallelOpts::default()
+        }
+    }
+
+    /// Options for running through an admission-controlled service at
+    /// `priority`, at the service scheduler's worker count and elastic
+    /// morsel size.
+    pub fn served(service: &'a QueryService, priority: Priority) -> ParallelOpts<'a> {
+        ParallelOpts {
+            workers: service.scheduler().workers(),
+            morsel_rows: 0,
+            service: Some(service),
+            priority,
+            ..ParallelOpts::default()
         }
     }
 
@@ -120,11 +157,33 @@ impl<'a> ParallelOpts<'a> {
         self
     }
 
+    /// Attach a service to existing options (keeps `morsel_rows`).
+    pub fn with_service(
+        mut self,
+        service: &'a QueryService,
+        priority: Priority,
+    ) -> ParallelOpts<'a> {
+        self.workers = service.scheduler().workers();
+        self.service = Some(service);
+        self.priority = priority;
+        self
+    }
+
+    /// Attach a cancel token to existing options.
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> ParallelOpts<'a> {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// The executor these options select.
     pub fn runner(&self) -> Runner<'a> {
-        match self.scheduler {
-            Some(s) => Runner::Scheduler(s),
-            None => Runner::Scoped {
+        match (self.service, self.scheduler) {
+            (Some(service), _) => Runner::Service {
+                service,
+                priority: self.priority,
+            },
+            (None, Some(s)) => Runner::Scheduler(s),
+            (None, None) => Runner::Scoped {
                 workers: self.workers,
             },
         }
@@ -139,11 +198,34 @@ impl<'a> ParallelOpts<'a> {
     pub fn effective_morsel_rows(&self) -> usize {
         if self.morsel_rows > 0 {
             self.morsel_rows
+        } else if let Some(service) = self.service {
+            service.scheduler().morsel_rows()
+        } else if let Some(s) = self.scheduler {
+            s.morsel_rows()
         } else {
-            match self.scheduler {
-                Some(s) => s.morsel_rows(),
-                None => adaptvm_parallel::DEFAULT_MORSEL_ROWS,
-            }
+            adaptvm_parallel::DEFAULT_MORSEL_ROWS
+        }
+    }
+}
+
+/// Fold a runner-level error into the kernel error the pipelines speak:
+/// task errors pass through; cancellation, deadline, and admission
+/// rejection become [`adaptvm_kernels::KernelError::Cancelled`].
+fn kernel_run_err(e: RunError<adaptvm_kernels::KernelError>) -> adaptvm_kernels::KernelError {
+    match e {
+        RunError::Task(e) => e,
+        RunError::Cancelled | RunError::DeadlineExceeded | RunError::Rejected(_) => {
+            adaptvm_kernels::KernelError::Cancelled
+        }
+    }
+}
+
+/// Same fold for pipelines whose per-morsel stage cannot fail.
+fn infallible_run_err(e: RunError<Infallible>) -> adaptvm_kernels::KernelError {
+    match e {
+        RunError::Task(e) => match e {},
+        RunError::Cancelled | RunError::DeadlineExceeded | RunError::Rejected(_) => {
+            adaptvm_kernels::KernelError::Cancelled
         }
     }
 }
@@ -157,7 +239,10 @@ where
     F: Fn(&Morsel) -> OpResult<T> + Send + Sync,
 {
     let plan = MorselPlan::new(table.rows(), opts.effective_morsel_rows());
-    opts.runner().run(&plan, |_, m| stage(m)).map(|(v, _)| v)
+    opts.runner()
+        .run_with(&plan, opts.cancel, |_, m| stage(m))
+        .map(|(v, _)| v)
+        .map_err(kernel_run_err)
 }
 
 /// Morsel-parallel select→project→sum (the parallel version of
@@ -178,7 +263,7 @@ pub fn parallel_filter_project_sum(
 ) -> OpResult<(f64, usize)> {
     let chunk_rows = chunk_rows.max(1);
     let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
-    let (per_morsel, _) = opts.runner().run(&plan, |_, m| {
+    let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
         // Slice only the columns the pipeline reads, not the whole table.
         let slice = project_slice(table, &[filter_col, value_col], m)?;
         let scan = DenseScan::new(&slice, &[filter_col, value_col], chunk_rows)?;
@@ -196,7 +281,8 @@ pub fn parallel_filter_project_sum(
             parts.push((ops::sum_f64(&chunk, doubled)?, ops::count(&chunk)));
         }
         Ok::<_, adaptvm_kernels::KernelError>(parts)
-    })?;
+    });
+    let (per_morsel, _) = run.map_err(kernel_run_err)?;
     // Final merge: fold per-chunk sums in global chunk order.
     let mut total = 0.0;
     let mut rows = 0;
@@ -238,7 +324,7 @@ pub fn parallel_hash_aggregate(
         })?;
 
     let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
-    let (partials, _) = opts.runner().run(&plan, |_, m| {
+    let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
         let mut agg = AdaptiveAggregator::new(mode);
         let mut off = m.start;
         while off < m.end() {
@@ -247,7 +333,8 @@ pub fn parallel_hash_aggregate(
             off += n;
         }
         Ok::<_, adaptvm_kernels::KernelError>(agg.finish())
-    })?;
+    });
+    let (partials, _) = run.map_err(kernel_run_err)?;
 
     // Merge phase: morsel order, then key order for the final answer.
     let mut global: HashMap<i64, GroupState> = HashMap::new();
@@ -259,13 +346,6 @@ pub fn parallel_hash_aggregate(
     let mut out: Vec<(i64, GroupState)> = global.into_iter().collect();
     out.sort_by_key(|(k, _)| *k);
     Ok(out)
-}
-
-fn never<T>(r: Result<T, Infallible>) -> T {
-    match r {
-        Ok(v) => v,
-        Err(e) => match e {},
-    }
 }
 
 /// Extract equal-length integer build columns (the shared precondition of
@@ -302,12 +382,13 @@ pub fn parallel_build_hash_table(
 ) -> OpResult<HashTable> {
     let (k, p) = build_rows(keys, payloads)?;
     let plan = MorselPlan::new(k.len(), opts.effective_morsel_rows());
-    let (partitions, _) = never(opts.runner().run(&plan, |_, m| {
-        Ok(JoinPartition::from_rows(
+    let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
+        Ok::<_, Infallible>(JoinPartition::from_rows(
             &k[m.start..m.end()],
             &p[m.start..m.end()],
         ))
-    }));
+    });
+    let (partitions, _) = run.map_err(infallible_run_err)?;
     let table = HashTable::from_partitions(partitions);
     Ok(if bloom { table.with_bloom() } else { table })
 }
@@ -343,12 +424,13 @@ pub fn parallel_hash_join(
     let (bk, bp) = build_rows(build_keys, build_payloads)?;
     let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
     let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
-    let (table, per_morsel, stats) = never(build_then_probe_on(
+    let (table, per_morsel, stats) = build_then_probe_with(
         opts.runner(),
+        opts.cancel,
         &build_plan,
         &probe_plan,
         |_, m| {
-            Ok(JoinPartition::from_rows(
+            Ok::<_, Infallible>(JoinPartition::from_rows(
                 &bk[m.start..m.end()],
                 &bp[m.start..m.end()],
             ))
@@ -365,7 +447,78 @@ pub fn parallel_hash_join(
             let (idx, pay) = table.probe(&probe_keys[m.start..m.end()]);
             Ok((m.start as u32, idx, pay))
         },
-    ));
+    )
+    .map_err(infallible_run_err)?;
+    let mut indices = Vec::new();
+    let mut payloads = Vec::new();
+    for (base, idx, pay) in per_morsel {
+        indices.extend(idx.into_iter().map(|i| i + base));
+        payloads.extend(pay);
+    }
+    Ok((
+        table,
+        ParallelJoinOutput {
+            indices,
+            payloads,
+            stats,
+        },
+    ))
+}
+
+/// Full morsel-parallel hash join over a **Utf8 key column** (string
+/// keys, integer payloads): the same partitioned-build / shared-probe
+/// shape as [`parallel_hash_join`], with per-morsel
+/// [`StrJoinPartition`]s merged — in morsel order — into one arena-backed
+/// [`StrHashTable`] (keys hashed via `adaptvm_kernels` string hashing).
+/// Bit-identical across 1/2/4/8/… workers and equal to the sequential
+/// [`StrHashTable::build`] + [`StrHashTable::probe`].
+pub fn parallel_hash_join_str(
+    build_keys: &Array,
+    build_payloads: &Array,
+    probe_keys: &[String],
+    bloom: bool,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(StrHashTable, ParallelJoinOutput)> {
+    let bk = build_keys.as_str().ok_or_else(|| {
+        adaptvm_kernels::KernelError::Precondition("join build keys must be strings".into())
+    })?;
+    let bp = build_payloads.to_i64_vec().ok_or_else(|| {
+        adaptvm_kernels::KernelError::Precondition("join build payloads must be integer".into())
+    })?;
+    if bk.len() != bp.len() {
+        return Err(adaptvm_kernels::KernelError::Precondition(format!(
+            "build keys and payloads must have equal lengths ({} vs {})",
+            bk.len(),
+            bp.len()
+        )));
+    }
+    let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
+    let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
+    let (table, per_morsel, stats) = build_then_probe_with(
+        opts.runner(),
+        opts.cancel,
+        &build_plan,
+        &probe_plan,
+        |_, m| {
+            Ok::<_, Infallible>(StrJoinPartition::from_rows(
+                &bk[m.start..m.end()],
+                &bp[m.start..m.end()],
+            ))
+        },
+        |partitions| {
+            let t = StrHashTable::from_partitions(partitions);
+            if bloom {
+                t.with_bloom()
+            } else {
+                t
+            }
+        },
+        |_, m, table: &StrHashTable| {
+            let (idx, pay) = table.probe(&probe_keys[m.start..m.end()]);
+            Ok((m.start as u32, idx, pay))
+        },
+    )
+    .map_err(infallible_run_err)?;
     let mut indices = Vec::new();
     let mut payloads = Vec::new();
     for (base, idx, pay) in per_morsel {
@@ -424,19 +577,26 @@ impl ParallelJoinChain {
 
     /// Probe one batch of key columns (`keys[j]` is the probe key column
     /// for join `j`; all columns must have equal length) morsel-parallel.
-    pub fn probe_batch(&mut self, keys: &[Vec<i64>], opts: ParallelOpts<'_>) -> ChainResult {
+    /// Fails only when the batch was cancelled or refused by its executor
+    /// (in which case no observation reaches the reorder controller).
+    pub fn probe_batch(
+        &mut self,
+        keys: &[Vec<i64>],
+        opts: ParallelOpts<'_>,
+    ) -> OpResult<ChainResult> {
         let n = validate_key_columns(keys, self.tables.len());
         let order = self.controller.current_order().to_vec();
         let plan = MorselPlan::new(n, opts.effective_morsel_rows());
         let tables = &self.tables;
-        let (per_morsel, _) = never(opts.runner().run(&plan, |_, m| {
-            Ok(probe_chunk_with_order(
+        let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
+            Ok::<_, Infallible>(probe_chunk_with_order(
                 tables,
                 &order,
                 keys,
                 m.start..m.end(),
             ))
-        }));
+        });
+        let (per_morsel, _) = run.map_err(infallible_run_err)?;
         // Merge: survivors in morsel order; observations folded across
         // morsels into one (input, output, ns) sample per join.
         let mut indices = Vec::new();
@@ -457,10 +617,10 @@ impl ParallelJoinChain {
             self.controller.record(j, input, output, ns);
         }
         self.controller.next_order();
-        ChainResult {
+        Ok(ChainResult {
             indices,
             payload_sum,
-        }
+        })
     }
 }
 
@@ -487,8 +647,9 @@ pub fn q3_parallel(
     let build_plan = MorselPlan::new(okey.len(), opts.effective_morsel_rows());
     let probe_plan =
         MorselPlan::chunk_aligned(lineitem.rows(), opts.effective_morsel_rows(), chunk_rows);
-    let (_, revenues, stats) = never(build_then_probe_on(
+    let (_, revenues, stats) = build_then_probe_with(
         opts.runner(),
+        opts.cancel,
         &build_plan,
         &probe_plan,
         |_, m| {
@@ -502,7 +663,7 @@ pub fn q3_parallel(
                     payloads.push(odate[i]);
                 }
             }
-            Ok(JoinPartition::from_rows(&keys, &payloads))
+            Ok::<_, Infallible>(JoinPartition::from_rows(&keys, &payloads))
         },
         |partitions| {
             let t = HashTable::from_partitions(partitions);
@@ -517,7 +678,8 @@ pub fn q3_parallel(
                 &cols, table, date, strategy, m.start, m.len, chunk_rows,
             ))
         },
-    ));
+    )
+    .map_err(infallible_run_err)?;
     Ok((tpch::q3_revenue_f64(revenues.into_iter().sum()), stats))
 }
 
@@ -540,15 +702,15 @@ fn project_slice(table: &Table, columns: &[&str], m: &Morsel) -> OpResult<Table>
 /// Parallel TPC-H Q1, X100-style vectorized. Per-chunk partial
 /// accumulators merged in global chunk order: bit-identical to
 /// [`tpch::q1_vectorized`] at the same `chunk_rows`, for any worker
-/// count.
+/// count. Fails only on cancellation/rejection by the executor.
 pub fn q1_parallel_vectorized(
     table: &Table,
     chunk_rows: usize,
     opts: ParallelOpts<'_>,
-) -> Vec<Q1Row> {
+) -> OpResult<Vec<Q1Row>> {
     let chunk_rows = chunk_rows.max(1);
     let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
-    let (per_morsel, _) = never(opts.runner().run(&plan, |_, m| {
+    let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
         let mut parts = Vec::with_capacity(m.len.div_ceil(chunk_rows));
         let mut off = m.start;
         while off < m.end() {
@@ -556,8 +718,9 @@ pub fn q1_parallel_vectorized(
             parts.push(tpch::q1_vectorized_chunk(table, off, n));
             off += n;
         }
-        Ok(parts)
-    }));
+        Ok::<_, Infallible>(parts)
+    });
+    let (per_morsel, _) = run.map_err(infallible_run_err)?;
     let mut accs = tpch::new_accs();
     for parts in per_morsel {
         for partial in parts {
@@ -566,47 +729,50 @@ pub fn q1_parallel_vectorized(
             }
         }
     }
-    tpch::q1_rows(accs)
+    Ok(tpch::q1_rows(accs))
 }
 
 /// Parallel TPC-H Q1, HyPer-style fused. Per-morsel partials merged in
 /// morsel order: deterministic for any worker count; equal to
 /// [`tpch::q1_fused`] up to floating-point associativity (counts and
-/// integer-valued sums are exact).
-pub fn q1_parallel_fused(table: &Table, opts: ParallelOpts<'_>) -> Vec<Q1Row> {
+/// integer-valued sums are exact). Fails only on cancellation/rejection.
+pub fn q1_parallel_fused(table: &Table, opts: ParallelOpts<'_>) -> OpResult<Vec<Q1Row>> {
     let plan = MorselPlan::new(table.rows(), opts.effective_morsel_rows());
-    let (partials, _) = never(opts.runner().run(&plan, |_, m| {
-        Ok(tpch::q1_fused_range(table, m.start, m.len))
-    }));
+    let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
+        Ok::<_, Infallible>(tpch::q1_fused_range(table, m.start, m.len))
+    });
+    let (partials, _) = run.map_err(infallible_run_err)?;
     let mut accs = tpch::new_accs();
     for partial in partials {
         for (a, p) in accs.iter_mut().zip(&partial) {
             a.merge(p);
         }
     }
-    tpch::q1_rows(accs)
+    Ok(tpch::q1_rows(accs))
 }
 
 /// Parallel TPC-H Q1 with the paper's compact-types + adaptive mix. The
 /// accumulators are exact 64-bit integer fixed point — associative — so
 /// the result is **bit-identical to [`tpch::q1_adaptive`]** for any
-/// worker count and any morsel size.
+/// worker count and any morsel size. Fails only on
+/// cancellation/rejection.
 pub fn q1_parallel_adaptive(
     compact: &CompactLineitem,
     chunk_rows: usize,
     opts: ParallelOpts<'_>,
-) -> Vec<Q1Row> {
+) -> OpResult<Vec<Q1Row>> {
     let chunk_rows = chunk_rows.max(1);
     let plan =
         MorselPlan::chunk_aligned(compact.qty.len(), opts.effective_morsel_rows(), chunk_rows);
-    let (partials, _) = never(opts.runner().run(&plan, |_, m| {
-        Ok(tpch::q1_adaptive_range(compact, m.start, m.len, chunk_rows))
-    }));
+    let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
+        Ok::<_, Infallible>(tpch::q1_adaptive_range(compact, m.start, m.len, chunk_rows))
+    });
+    let (partials, _) = run.map_err(infallible_run_err)?;
     let mut iaccs = [[0i64; 5]; Q1_GROUPS as usize];
     for p in &partials {
         tpch::q1_adaptive_merge(&mut iaccs, p);
     }
-    tpch::q1_adaptive_rows(&iaccs)
+    Ok(tpch::q1_adaptive_rows(&iaccs))
 }
 
 /// Parallel TPC-H Q6 through the full adaptive VM: one VM program per
@@ -622,7 +788,10 @@ pub fn q1_parallel_adaptive(
 /// With a scheduler in `opts`, the run executes on the long-lived pool via
 /// [`ParallelVm::on`]: same revenue, but traces live in the scheduler's
 /// shared cache (repeat runs report `trace_cache_hits`) and the merged
-/// profile window feeds the scheduler's morsel elasticity.
+/// profile window feeds the scheduler's morsel elasticity. With a
+/// *service* in `opts` the run additionally passes admission control at
+/// `opts.priority` first; cancellation (token or queued-deadline)
+/// surfaces as [`VmError::Cancelled`].
 pub fn q6_parallel(
     table: &Table,
     date_lo: i64,
@@ -648,9 +817,26 @@ pub fn q6_parallel(
             .with_input("l_ship", m.slice_array(ship));
         (tpch::q6_program(m.len as i64, date_lo), buffers)
     };
-    let (outs, report) = match opts.scheduler {
-        Some(s) => pvm.on(s).run_morsels(&plan, make)?,
-        None => pvm.run_morsels(&plan, make)?,
+    let (outs, report) = if let Some(service) = opts.service {
+        let mut sopts = SubmitOpts::new(opts.priority);
+        if let Some(token) = opts.cancel {
+            sopts = sopts.with_cancel(token.clone());
+        }
+        service
+            .run_gated_with(
+                sopts,
+                |s| pvm.on(s).run_morsels_with(&plan, opts.cancel, make),
+                |r| match r {
+                    Ok(_) => adaptvm_parallel::QueryOutcomeKind::Completed,
+                    Err(VmError::Cancelled) => adaptvm_parallel::QueryOutcomeKind::Cancelled,
+                    Err(_) => adaptvm_parallel::QueryOutcomeKind::TaskError,
+                },
+            )
+            .map_err(|_| VmError::Cancelled)??
+    } else if let Some(s) = opts.scheduler {
+        pvm.on(s).run_morsels_with(&plan, opts.cancel, make)?
+    } else {
+        pvm.run_morsels_with(&plan, opts.cancel, make)?
     };
     let mut revenue = 0.0;
     for (i, out) in outs.iter().enumerate() {
@@ -693,9 +879,10 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 8 * 1024,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
-            );
+            )
+            .unwrap();
             assert!(exact_eq(&seq, &par), "workers={workers}");
         }
     }
@@ -712,9 +899,10 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: morsel,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
-            );
+            )
+            .unwrap();
             assert!(exact_eq(&seq, &par), "workers={workers} morsel={morsel}");
         }
     }
@@ -728,18 +916,20 @@ mod tests {
             ParallelOpts {
                 workers: 1,
                 morsel_rows: 4096,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
-        );
+        )
+        .unwrap();
         for workers in [2, 4, 8] {
             let par = q1_parallel_fused(
                 &t,
                 ParallelOpts {
                     workers,
                     morsel_rows: 4096,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
-            );
+            )
+            .unwrap();
             // Same morsel decomposition ⇒ bit-identical across worker counts.
             assert!(exact_eq(&one_worker, &par), "workers={workers}");
             // And equal to the sequential fused loop within fp tolerance.
@@ -773,7 +963,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 2048,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
             )
             .unwrap();
@@ -795,7 +985,7 @@ mod tests {
             ParallelOpts {
                 workers: 1,
                 morsel_rows: 4096,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
         )
         .unwrap();
@@ -814,7 +1004,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 4096,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
             )
             .unwrap();
@@ -850,7 +1040,7 @@ mod tests {
                 ParallelOpts {
                     workers: 4,
                     morsel_rows: 4 * DEFAULT_CHUNK,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
             )
             .unwrap();
@@ -879,7 +1069,7 @@ mod tests {
                     ParallelOpts {
                         workers,
                         morsel_rows: 3_000,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
                 .unwrap();
@@ -910,7 +1100,7 @@ mod tests {
                 ParallelOpts {
                     workers,
                     morsel_rows: 4_096,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
             )
             .unwrap();
@@ -942,14 +1132,16 @@ mod tests {
         for workers in [1, 2, 4, 8] {
             let mut par = ParallelJoinChain::new(vec![mk(10_000), mk(1_000)], 2);
             for (batch, expected) in seq_results.iter().enumerate() {
-                let r = par.probe_batch(
-                    &keys,
-                    ParallelOpts {
-                        workers,
-                        morsel_rows: 3_000,
-                        scheduler: None,
-                    },
-                );
+                let r = par
+                    .probe_batch(
+                        &keys,
+                        ParallelOpts {
+                            workers,
+                            morsel_rows: 3_000,
+                            ..ParallelOpts::default()
+                        },
+                    )
+                    .unwrap();
                 assert_eq!(&r, expected, "workers={workers} batch={batch}");
             }
             assert_eq!(
@@ -980,7 +1172,7 @@ mod tests {
                     ParallelOpts {
                         workers,
                         morsel_rows: 5_000,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
                 .unwrap();
@@ -1007,12 +1199,12 @@ mod tests {
         let scoped = ParallelOpts::new(4, 5_000);
         let sched = scoped.with_scheduler(&scheduler);
 
-        let q1_scoped = q1_parallel_vectorized(&t, 1024, scoped);
-        let q1_sched = q1_parallel_vectorized(&t, 1024, sched);
+        let q1_scoped = q1_parallel_vectorized(&t, 1024, scoped).unwrap();
+        let q1_sched = q1_parallel_vectorized(&t, 1024, sched).unwrap();
         assert!(exact_eq(&q1_scoped, &q1_sched), "vectorized Q1");
 
-        let q1a_scoped = q1_parallel_adaptive(&compact, 1024, scoped);
-        let q1a_sched = q1_parallel_adaptive(&compact, 1024, sched);
+        let q1a_scoped = q1_parallel_adaptive(&compact, 1024, scoped).unwrap();
+        let q1a_sched = q1_parallel_adaptive(&compact, 1024, sched).unwrap();
         assert!(exact_eq(&q1a_scoped, &q1a_sched), "adaptive Q1");
 
         let li = tpch::lineitem_q3(20_000, 3_000, 7);
@@ -1082,7 +1274,7 @@ mod tests {
             "sentinel resolves to the elastic size"
         );
         for round in 0..4 {
-            let par = q1_parallel_adaptive(&compact, 1024, opts);
+            let par = q1_parallel_adaptive(&compact, 1024, opts).unwrap();
             assert!(
                 exact_eq(&tpch::q1_adaptive(&compact, 1024), &par),
                 "round {round} at morsel_rows={}",
@@ -1123,7 +1315,7 @@ mod tests {
             ParallelOpts {
                 workers: 4,
                 morsel_rows: 8 * DEFAULT_CHUNK,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
         )
         .unwrap();

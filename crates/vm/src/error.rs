@@ -27,6 +27,10 @@ pub enum VmError {
     Shape(String),
     /// The iteration safety limit was exceeded (runaway loop).
     IterationLimit(u64),
+    /// The run did not complete on its executor: cancelled via a cancel
+    /// token, past its deadline, or refused admission by a shut-down /
+    /// draining scheduler or service.
+    Cancelled,
 }
 
 impl fmt::Display for VmError {
@@ -40,6 +44,7 @@ impl fmt::Display for VmError {
             VmError::UnknownBuffer(b) => write!(f, "unknown buffer {b}"),
             VmError::Shape(m) => write!(f, "shape error: {m}"),
             VmError::IterationLimit(n) => write!(f, "loop exceeded {n} iterations"),
+            VmError::Cancelled => write!(f, "run cancelled (token, deadline, or admission)"),
         }
     }
 }

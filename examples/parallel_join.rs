@@ -137,7 +137,7 @@ fn main() {
         let t0 = Instant::now();
         let mut survivors = 0;
         for _ in 0..8 {
-            survivors = chain.probe_batch(&keys, opts).indices.len();
+            survivors = chain.probe_batch(&keys, opts).unwrap().indices.len();
         }
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(

@@ -81,7 +81,7 @@ fn main() {
         let opts = opts_for(i, workers);
         let pool_workers = opts.effective_workers();
         let t0 = Instant::now();
-        let rows = q1_parallel_vectorized(&table, DEFAULT_CHUNK, opts);
+        let rows = q1_parallel_vectorized(&table, DEFAULT_CHUNK, opts).unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(tpch::q1_results_match(&q1_seq, &rows), "diverged!");
         println!(
@@ -96,7 +96,7 @@ fn main() {
         let opts = opts_for(i, workers);
         let pool_workers = opts.effective_workers();
         let t0 = Instant::now();
-        let rows = q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts);
+        let rows = q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts).unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(tpch::q1_results_match(&q1_adaptive_seq, &rows), "diverged!");
         println!(

@@ -27,7 +27,19 @@
 //!   chunk-at-a-time engine), plus a long-lived worker pool + query
 //!   scheduler (`parallel::scheduler`) that executes many queries
 //!   concurrently over one parked worker set, one shared JIT cache and one
-//!   background compile server,
+//!   background compile server — with per-query cancel tokens and
+//!   deadlines checked at morsel boundaries and an explicit, typed
+//!   shutdown path,
+//! * [`parallel::serve`] — the **admission-controlled serving layer**:
+//!   `QueryService` fronts a scheduler with bounded per-priority queues
+//!   (Interactive / Normal / Batch) and typed backpressure
+//!   (`AdmissionError::QueueFull`), weighted-fair stride dispatch with
+//!   aging (Interactive wins under load, Batch never starves),
+//!   cancellation/deadlines for queued *and* running queries, graceful
+//!   `drain`, and per-priority latency/rejection telemetry
+//!   (`ServiceStats`) — every `relational::parallel` entry point runs
+//!   through it unchanged (`ParallelOpts::with_service`), bit-identical
+//!   to direct scheduler submission,
 //! * [`relational`] — operators, adaptive aggregation/joins, compressed
 //!   scans and the TPC-H Q1/Q6 workloads the paper's motivation cites —
 //!   each with morsel-parallel variants in `relational::parallel`.
@@ -65,7 +77,9 @@ pub mod prelude {
     pub use adaptvm_hetsim::device::DeviceSpec;
     pub use adaptvm_jit::compiler::CostModel;
     pub use adaptvm_kernels::{FilterFlavor, MapMode};
-    pub use adaptvm_parallel::{Morsel, MorselPlan, ParallelVm, Scheduler};
+    pub use adaptvm_parallel::{
+        CancelToken, Morsel, MorselPlan, ParallelVm, Priority, QueryService, Scheduler, ServeConfig,
+    };
     pub use adaptvm_storage::{Array, Scalar, ScalarType};
     pub use adaptvm_vm::{BanditPolicy, Buffers, RunReport, Strategy, Vm, VmConfig};
 }

@@ -1,10 +1,11 @@
 //! Property tests of the hash-join layer: duplicate-key inner-join
-//! cardinality against a nested-loop oracle, Bloom/plain probe
-//! equivalence at adaptively-sized bitmasks, and parallel-vs-sequential
-//! bit-identity of the partitioned build + shared probe.
+//! cardinality against a nested-loop oracle (integer *and* string keys),
+//! Bloom/plain probe equivalence at adaptively-sized bitmasks, and
+//! parallel-vs-sequential bit-identity of the partitioned build + shared
+//! probe on both key types.
 
-use adaptvm::relational::join::{AdaptiveJoinChain, HashTable};
-use adaptvm::relational::parallel::{parallel_hash_join, ParallelOpts};
+use adaptvm::relational::join::{AdaptiveJoinChain, HashTable, StrHashTable};
+use adaptvm::relational::parallel::{parallel_hash_join, parallel_hash_join_str, ParallelOpts};
 use adaptvm::storage::Array;
 use proptest::prelude::*;
 
@@ -94,7 +95,11 @@ proptest! {
                 &bp,
                 &probe_keys,
                 false,
-                ParallelOpts { workers, morsel_rows, scheduler: None, },
+                ParallelOpts {
+                    workers,
+                    morsel_rows,
+                    ..ParallelOpts::default()
+                },
             )
             .unwrap();
             prop_assert_eq!(table.len(), sequential.len());
@@ -104,6 +109,74 @@ proptest! {
                 "workers={} morsel_rows={}",
                 workers,
                 morsel_rows
+            );
+        }
+    }
+
+    /// String-key joins: the arena-backed [`StrHashTable`] reproduces the
+    /// nested-loop oracle exactly — one output row per build match, in
+    /// build-row order — with and without the Bloom pre-filter. Key ids
+    /// are drawn from a small domain so duplicates are common, and every
+    /// id maps to a distinct string.
+    #[test]
+    fn str_join_matches_nested_loop_oracle(
+        build_ids in prop::collection::vec(0i64..12, 0..120),
+        payload_seed in prop::collection::vec(-1000i64..1000, 0..120),
+        probe_ids in prop::collection::vec(-2i64..16, 0..200),
+    ) {
+        let n = build_ids.len().min(payload_seed.len());
+        let build_keys: Vec<String> = build_ids[..n].iter().map(|v| format!("k{v}")).collect();
+        let payloads = &payload_seed[..n];
+        let probe_keys: Vec<String> = probe_ids.iter().map(|v| format!("k{v}")).collect();
+        // Oracle over the ids (string mapping is injective).
+        let oracle = nested_loop_join(&build_ids[..n], payloads, &probe_ids);
+        let table = StrHashTable::from_rows(&build_keys, payloads);
+        prop_assert_eq!(table.len(), n);
+        prop_assert_eq!(table.probe(&probe_keys), oracle.clone());
+        let bloomed = StrHashTable::from_rows(&build_keys, payloads).with_bloom();
+        prop_assert_eq!(bloomed.probe(&probe_keys), oracle);
+    }
+
+    /// The morsel-parallel string join (partitioned build over a Utf8
+    /// column, shared arena-backed probe table) is bit-identical to the
+    /// sequential build + probe for 1/2/4/8 workers.
+    #[test]
+    fn parallel_str_join_bit_identical_to_sequential(
+        build_ids in prop::collection::vec(0i64..150, 1..500),
+        probe_ids in prop::collection::vec(-30i64..300, 0..700),
+        morsel_rows in 1usize..250,
+        bloom_sel in 0usize..2,
+    ) {
+        let bloom = bloom_sel == 1;
+        let build_keys: Vec<String> = build_ids.iter().map(|v| format!("name-{v}")).collect();
+        let payloads: Vec<i64> = (0..build_ids.len() as i64).collect();
+        let probe_keys: Vec<String> = probe_ids.iter().map(|v| format!("name-{v}")).collect();
+        let bk = Array::from(build_keys.clone());
+        let bp = Array::from(payloads.clone());
+        let sequential = StrHashTable::build(&bk, &bp).unwrap();
+        let expected = sequential.probe(&probe_keys);
+        for workers in [1usize, 2, 4, 8] {
+            let (table, out) = parallel_hash_join_str(
+                &bk,
+                &bp,
+                &probe_keys,
+                bloom,
+                ParallelOpts {
+                    workers,
+                    morsel_rows,
+                    ..ParallelOpts::default()
+                },
+            )
+            .unwrap();
+            prop_assert_eq!(table.len(), sequential.len());
+            prop_assert_eq!(table.distinct_keys(), sequential.distinct_keys());
+            prop_assert_eq!(
+                (out.indices, out.payloads),
+                expected.clone(),
+                "workers={} morsel_rows={} bloom={}",
+                workers,
+                morsel_rows,
+                bloom
             );
         }
     }

@@ -41,9 +41,10 @@ fn q1_vectorized_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 8 * DEFAULT_CHUNK,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
             rows_bits(&par),
             sequential,
@@ -65,9 +66,10 @@ fn q1_adaptive_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 3000 + workers * 1000,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
             rows_bits(&par),
             sequential,
@@ -79,23 +81,27 @@ fn q1_adaptive_bit_identical_for_all_worker_counts() {
 #[test]
 fn q1_fused_deterministic_across_worker_counts() {
     let t = tpch::lineitem(60_000, 42);
-    let reference_bits = rows_bits(&q1_parallel_fused(
-        &t,
-        ParallelOpts {
-            workers: 1,
-            morsel_rows: 8192,
-            scheduler: None,
-        },
-    ));
+    let reference_bits = rows_bits(
+        &q1_parallel_fused(
+            &t,
+            ParallelOpts {
+                workers: 1,
+                morsel_rows: 8192,
+                ..ParallelOpts::default()
+            },
+        )
+        .unwrap(),
+    );
     for workers in WORKER_COUNTS {
         let par = q1_parallel_fused(
             &t,
             ParallelOpts {
                 workers,
                 morsel_rows: 8192,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
-        );
+        )
+        .unwrap();
         // Bit-identical across worker counts (same morsel partials, same
         // ordered merge)…
         assert_eq!(rows_bits(&par), reference_bits, "workers={workers}");
@@ -141,7 +147,7 @@ fn q6_bit_identical_to_single_threaded_engine_every_strategy() {
                 ParallelOpts {
                     workers,
                     morsel_rows: config.chunk_size,
-                    scheduler: None,
+                    ..ParallelOpts::default()
                 },
             )
             .unwrap();
@@ -191,7 +197,7 @@ fn q3_join_bit_identical_for_all_worker_counts_and_strategies() {
                     ParallelOpts {
                         workers,
                         morsel_rows: 7_000 + workers * 500,
-                        scheduler: None,
+                        ..ParallelOpts::default()
                     },
                 )
                 .unwrap();
@@ -222,7 +228,7 @@ fn partitioned_join_output_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 9_000,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
         )
         .unwrap();
@@ -235,7 +241,7 @@ fn partitioned_join_output_bit_identical_for_all_worker_counts() {
             ParallelOpts {
                 workers,
                 morsel_rows: 9_000,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
         )
         .unwrap();
@@ -265,14 +271,16 @@ fn parallel_join_chain_bit_identical_and_still_adaptive() {
     for workers in WORKER_COUNTS {
         let mut par = ParallelJoinChain::new(vec![build(20_000), build(2_000)], 2);
         for (batch, want) in expected.iter().enumerate() {
-            let got = par.probe_batch(
-                &keys,
-                ParallelOpts {
-                    workers,
-                    morsel_rows: 6_000,
-                    scheduler: None,
-                },
-            );
+            let got = par
+                .probe_batch(
+                    &keys,
+                    ParallelOpts {
+                        workers,
+                        morsel_rows: 6_000,
+                        ..ParallelOpts::default()
+                    },
+                )
+                .unwrap();
             assert_eq!(&got, want, "workers={workers} batch={batch}");
         }
         assert_eq!(par.order(), &[1, 0], "workers={workers}");
@@ -299,7 +307,7 @@ fn q6_worker_count_invariant_with_large_morsels() {
             ParallelOpts {
                 workers,
                 morsel_rows: 16 * DEFAULT_CHUNK,
-                scheduler: None,
+                ..ParallelOpts::default()
             },
         )
         .unwrap();
@@ -334,9 +342,9 @@ fn scheduler_entry_points_bit_identical_across_worker_counts() {
     let morsel_rows = 6_000;
 
     let scoped = ParallelOpts::new(1, morsel_rows);
-    let q1v_ref = rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, scoped));
-    let q1a_ref = rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, scoped));
-    let q1f_ref = rows_bits(&q1_parallel_fused(&t, scoped));
+    let q1v_ref = rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, scoped).unwrap());
+    let q1a_ref = rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, scoped).unwrap());
+    let q1f_ref = rows_bits(&q1_parallel_fused(&t, scoped).unwrap());
     let (q3_ref, _) = q3_parallel(
         &li,
         &ord,
@@ -352,17 +360,17 @@ fn scheduler_entry_points_bit_identical_across_worker_counts() {
         let scheduler = Scheduler::new(workers);
         let opts = ParallelOpts::new(workers, morsel_rows).with_scheduler(&scheduler);
         assert_eq!(
-            rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, opts)),
+            rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, opts).unwrap()),
             q1v_ref,
             "vectorized Q1 diverged at {workers} scheduler workers"
         );
         assert_eq!(
-            rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts)),
+            rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts).unwrap()),
             q1a_ref,
             "adaptive Q1 diverged at {workers} scheduler workers"
         );
         assert_eq!(
-            rows_bits(&q1_parallel_fused(&t, opts)),
+            rows_bits(&q1_parallel_fused(&t, opts).unwrap()),
             q1f_ref,
             "fused Q1 diverged at {workers} scheduler workers"
         );
@@ -461,7 +469,7 @@ fn scheduler_joins_bit_identical_to_sequential() {
 
         let mut par = ParallelJoinChain::new(vec![chain_build(15_000), chain_build(1_500)], 2);
         for (batch, want) in chain_expected.iter().enumerate() {
-            let got = par.probe_batch(&chain_keys, opts);
+            let got = par.probe_batch(&chain_keys, opts).unwrap();
             assert_eq!(&got, want, "workers={workers} batch={batch}");
         }
         assert_eq!(par.order(), seq_chain.order(), "workers={workers}");
@@ -484,8 +492,8 @@ fn interleaved_concurrent_queries_stay_bit_identical() {
 
     // Quiet references (same scheduler, one query at a time).
     let opts = ParallelOpts::new(4, morsel_rows).with_scheduler(&scheduler);
-    let q1_ref = rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, opts));
-    let q1a_ref = rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts));
+    let q1_ref = rows_bits(&q1_parallel_vectorized(&t, DEFAULT_CHUNK, opts).unwrap());
+    let q1a_ref = rows_bits(&q1_parallel_adaptive(&compact, DEFAULT_CHUNK, opts).unwrap());
     let (q3_ref, _) = q3_parallel(
         &li,
         &ord,
@@ -516,12 +524,14 @@ fn interleaved_concurrent_queries_stay_bit_identical() {
                     let opts = ParallelOpts::new(4, morsel_rows).with_scheduler(scheduler);
                     match submitter % 4 {
                         0 => assert_eq!(
-                            &rows_bits(&q1_parallel_vectorized(t, DEFAULT_CHUNK, opts)),
+                            &rows_bits(&q1_parallel_vectorized(t, DEFAULT_CHUNK, opts).unwrap()),
                             q1_ref,
                             "concurrent vectorized Q1 diverged (round {round})"
                         ),
                         1 => assert_eq!(
-                            &rows_bits(&q1_parallel_adaptive(compact, DEFAULT_CHUNK, opts)),
+                            &rows_bits(
+                                &q1_parallel_adaptive(compact, DEFAULT_CHUNK, opts).unwrap()
+                            ),
                             q1a_ref,
                             "concurrent adaptive Q1 diverged (round {round})"
                         ),

@@ -67,11 +67,13 @@ fn eight_submitters_mixed_queries_no_deadlock_no_lost_jobs() {
                             let plan = MorselPlan::new(rows, 256);
                             planned.fetch_add(plan.len() as u64, Ordering::Relaxed);
                             let expected_morsels = plan.len();
-                            let handle = scheduler.submit(
-                                plan,
-                                move |_, m| Ok::<usize, ()>(m.len),
-                                |parts, stats| (parts.iter().sum::<usize>(), stats),
-                            );
+                            let handle = scheduler
+                                .submit(
+                                    plan,
+                                    move |_, m| Ok::<usize, ()>(m.len),
+                                    |parts, stats| (parts.iter().sum::<usize>(), stats),
+                                )
+                                .expect("scheduler accepts while alive");
                             let (total, stats) = handle
                                 .join_deadline(JOIN_BOUND)
                                 .expect("submit join exceeded its deadline (deadlock?)")
@@ -92,7 +94,7 @@ fn eight_submitters_mixed_queries_no_deadlock_no_lost_jobs() {
                             )
                             .len();
                             planned.fetch_add(plan_len as u64, Ordering::Relaxed);
-                            let rows = q1_parallel_adaptive(compact, DEFAULT_CHUNK, opts);
+                            let rows = q1_parallel_adaptive(compact, DEFAULT_CHUNK, opts).unwrap();
                             for (a, b) in rows.iter().zip(q1_ref.iter()) {
                                 assert_eq!(
                                     a.sum_disc_price.to_bits(),
