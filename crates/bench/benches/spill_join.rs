@@ -1,0 +1,120 @@
+//! B13 — out-of-core joins: in-memory vs. grace-hash spill overhead.
+//!
+//! Sweeps the memory budget from "everything fits" to "every partition
+//! spills and recurses", printing an overhead table (median-of-3 wall
+//! times, spill stats, slowdown vs. the in-memory join) plus a criterion
+//! group over the two extremes.
+//!
+//! `ADAPTVM_BENCH_QUICK=1` shrinks everything to a CI smoke run that
+//! still exercises the spill path (tiny budget ⇒ real run files).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use adaptvm_parallel::MemoryBudget;
+use adaptvm_relational::parallel::{parallel_hash_join, ParallelOpts};
+use adaptvm_relational::spill::{parallel_hash_join_spill, INT_BUILD_ROW_BYTES};
+use adaptvm_storage::Array;
+
+fn quick() -> bool {
+    std::env::var_os("ADAPTVM_BENCH_QUICK").is_some()
+}
+
+fn bench(c: &mut Criterion) {
+    let rows: usize = if quick() { 40_000 } else { 800_000 };
+    let workers = 4;
+    let morsel_rows = 16 * 1024;
+    let distinct = (rows / 4) as i64;
+    let build_keys = Array::from(
+        (0..rows as i64)
+            .map(|i| (i * 7) % distinct)
+            .collect::<Vec<_>>(),
+    );
+    let build_pays = Array::from((0..rows as i64).collect::<Vec<_>>());
+    let probe_keys: Vec<i64> = (0..rows as i64)
+        .map(|i| (i * 13) % (2 * distinct))
+        .collect();
+    let footprint = rows * INT_BUILD_ROW_BYTES;
+
+    // Criterion group over the two extremes: unconstrained vs. a budget
+    // that spills most of the build side.
+    let mut g = c.benchmark_group("spill_join");
+    g.sample_size(10);
+    for (label, limit) in [("in_memory", usize::MAX), ("spill_87pct", footprint / 8)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &limit, |b, &limit| {
+            b.iter(|| {
+                let budget = MemoryBudget::bytes(limit);
+                parallel_hash_join_spill(
+                    &build_keys,
+                    &build_pays,
+                    &probe_keys,
+                    false,
+                    ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Overhead table: median-of-3, sweeping the budget, verifying
+    // bit-identity against the in-memory join at every step.
+    let (_, reference) = parallel_hash_join(
+        &build_keys,
+        &build_pays,
+        &probe_keys,
+        false,
+        ParallelOpts::new(workers, morsel_rows),
+    )
+    .unwrap();
+    println!(
+        "\n-- spill overhead table ({rows} build rows, footprint ≈ {:.1} MiB)",
+        footprint as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "   {:>10} {:>10} {:>8} {:>11} {:>6} {:>8}",
+        "budget", "median", "spills", "written", "depth", "vs mem"
+    );
+    let mut base = None;
+    for (label, limit) in [
+        ("unlimited", usize::MAX),
+        ("50%", footprint / 2),
+        ("12.5%", footprint / 8),
+        ("1%", footprint / 100),
+    ] {
+        let mut runs: Vec<(f64, _)> = (0..3)
+            .map(|_| {
+                let budget = MemoryBudget::bytes(limit);
+                let t0 = Instant::now();
+                let (out, spill) = parallel_hash_join_spill(
+                    &build_keys,
+                    &build_pays,
+                    &probe_keys,
+                    false,
+                    ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
+                )
+                .unwrap();
+                assert_eq!(out.indices, reference.indices, "budget {label} diverged");
+                assert_eq!(out.payloads, reference.payloads, "budget {label} diverged");
+                assert_eq!(budget.used(), 0);
+                (t0.elapsed().as_secs_f64(), spill)
+            })
+            .collect();
+        runs.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+        let (t, spill) = &runs[1];
+        let base_t = *base.get_or_insert(*t);
+        println!(
+            "   {:>10} {:>8.2}ms {:>8} {:>10.1}K {:>6} {:>7.2}x",
+            label,
+            t * 1e3,
+            spill.partitions_spilled,
+            spill.bytes_written as f64 / 1024.0,
+            spill.max_recursion_depth,
+            t / base_t,
+        );
+    }
+    println!("   every budgeted run bit-identical to the in-memory join ✓");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Byte-accounted memory budgets for out-of-core execution.
+//!
+//! A [`MemoryBudget`] is the contract between an operator that wants to
+//! materialize state — a hash-join build side, an aggregation table —
+//! and the memory the system is willing to grant it. Operators **charge**
+//! the budget before materializing and **release** when done; a charge
+//! that would overshoot the limit fails with a typed [`BudgetExceeded`],
+//! and the operator reacts by *spilling* instead (see
+//! `adaptvm_relational::spill` for the grace-hash join built on this).
+//!
+//! The budget is interior-mutable (atomics), so one instance can be
+//! shared by reference across worker threads or wrapped in an
+//! [`std::sync::Arc`] and shared across concurrent queries — all charges
+//! land in the same byte account either way.
+//!
+//! ```
+//! use adaptvm_parallel::MemoryBudget;
+//!
+//! let budget = MemoryBudget::bytes(1024);
+//! assert_eq!(budget.remaining(), 1024);
+//!
+//! // Charges are byte-accounted and fail typed once the limit would be
+//! // overshot — the caller spills instead of allocating.
+//! budget.try_charge(1000).unwrap();
+//! let err = budget.try_charge(100).unwrap_err();
+//! assert_eq!(err.requested, 100);
+//! assert_eq!(err.in_use, 1000);
+//! assert_eq!(err.limit, 1024);
+//!
+//! budget.release(1000);
+//! assert_eq!(budget.used(), 0);
+//!
+//! // The RAII flavor releases on drop.
+//! {
+//!     let lease = budget.lease(512).unwrap();
+//!     assert_eq!(lease.bytes(), 512);
+//!     assert_eq!(budget.used(), 512);
+//! }
+//! assert_eq!(budget.used(), 0);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A charge would overshoot the budget's limit. The operator should spill
+/// (or shed) instead of materializing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Bytes the failed charge asked for.
+    pub requested: usize,
+    /// Bytes already charged when the request was made.
+    pub in_use: usize,
+    /// The budget's limit.
+    pub limit: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory budget exceeded: requested {} bytes with {} of {} in use",
+            self.requested, self.in_use, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A byte-accounted memory budget shared by the operators of one query
+/// (or, via [`std::sync::Arc`], by many queries): charges either fit
+/// under the limit atomically or fail with [`BudgetExceeded`].
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: usize,
+    in_use: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// A budget of `limit` bytes.
+    pub const fn bytes(limit: usize) -> MemoryBudget {
+        MemoryBudget {
+            limit,
+            in_use: AtomicUsize::new(0),
+        }
+    }
+
+    /// A budget that never rejects a charge (limit = `usize::MAX`).
+    /// Charging is still accounted, so [`MemoryBudget::used`] reports the
+    /// would-be footprint.
+    pub const fn unlimited() -> MemoryBudget {
+        MemoryBudget::bytes(usize::MAX)
+    }
+
+    /// The limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> usize {
+        self.in_use.load(Ordering::Acquire)
+    }
+
+    /// Bytes still chargeable before the limit.
+    pub fn remaining(&self) -> usize {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// Charge `bytes` against the budget, or fail typed if the charge
+    /// would overshoot the limit. Success must be paired with a
+    /// [`MemoryBudget::release`] of the same amount (or use
+    /// [`MemoryBudget::lease`] for the RAII form).
+    pub fn try_charge(&self, bytes: usize) -> Result<(), BudgetExceeded> {
+        let mut current = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(bytes);
+            if next > self.limit {
+                return Err(BudgetExceeded {
+                    requested: bytes,
+                    in_use: current,
+                    limit: self.limit,
+                });
+            }
+            match self.in_use.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Return `bytes` to the budget. Releasing more than is in use clamps
+    /// to zero (a double-release bug should not poison the account).
+    pub fn release(&self, bytes: usize) {
+        let mut current = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.in_use.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The RAII form of [`MemoryBudget::try_charge`]: the returned lease
+    /// releases its bytes when dropped.
+    pub fn lease(&self, bytes: usize) -> Result<BudgetLease<'_>, BudgetExceeded> {
+        self.try_charge(bytes)?;
+        Ok(BudgetLease {
+            budget: self,
+            bytes,
+        })
+    }
+}
+
+/// A held charge against a [`MemoryBudget`], released on drop.
+#[derive(Debug)]
+pub struct BudgetLease<'a> {
+    budget: &'a MemoryBudget,
+    bytes: usize,
+}
+
+impl BudgetLease<'_> {
+    /// Bytes this lease holds.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for BudgetLease<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn charge_release_roundtrip() {
+        let b = MemoryBudget::bytes(100);
+        assert_eq!(b.limit(), 100);
+        b.try_charge(60).unwrap();
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.remaining(), 40);
+        let err = b.try_charge(41).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetExceeded {
+                requested: 41,
+                in_use: 60,
+                limit: 100
+            }
+        );
+        assert!(err.to_string().contains("41"));
+        b.try_charge(40).unwrap();
+        b.release(100);
+        assert_eq!(b.used(), 0);
+        // Over-release clamps instead of wrapping.
+        b.release(7);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn unlimited_accounts_without_rejecting() {
+        let b = MemoryBudget::unlimited();
+        b.try_charge(usize::MAX / 2).unwrap();
+        b.try_charge(usize::MAX / 2).unwrap();
+        assert!(b.used() > 0);
+    }
+
+    #[test]
+    fn lease_releases_on_drop_and_shares_across_threads() {
+        let b = Arc::new(MemoryBudget::bytes(1_000_000));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let lease = b.lease(13).unwrap();
+                        assert!(b.used() >= lease.bytes());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(b.used(), 0);
+    }
+}

@@ -13,7 +13,7 @@
 //!
 //! ## Exactness
 //!
-//! Because both phases run on [`run_morsels`], the same guarantees hold as
+//! Because both phases run on [`crate::pool::run_morsels`], the same guarantees hold as
 //! for every pipeline in this crate: a morsel's result depends only on its
 //! row range, and both the partition merge and the output assembly happen
 //! in morsel order. Hence the merged build structure and the probe outputs
@@ -26,10 +26,67 @@
 //! multimap, but any two-phase build/probe shape (e.g. a Bloom filter
 //! build + filtered scan) fits.
 
+use crate::budget::MemoryBudget;
 use crate::dispatch::DispatchStats;
 use crate::morsel::{Morsel, MorselPlan};
 use crate::pool::Runner;
-use crate::scheduler::{CancelToken, RunError};
+use crate::scheduler::{CancelReason, CancelToken, RunError};
+
+/// What the out-of-core path of a budgeted join did: how much spilled,
+/// how much disk traffic it cost, and how deep the grace-hash recursion
+/// went. All zero when the build side fit in memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Partitions whose build rows went to disk instead of a resident
+    /// hash table (counting recursive sub-partitions).
+    pub partitions_spilled: usize,
+    /// Run files written.
+    pub runs_written: usize,
+    /// Bytes appended to run files.
+    pub bytes_written: u64,
+    /// Bytes read back from run files.
+    pub bytes_read: u64,
+    /// Deepest grace-hash recursion level reached (0 = no recursion: every
+    /// spilled partition fit on its first rebuild).
+    pub max_recursion_depth: usize,
+    /// Partitions built despite a failing budget charge because they could
+    /// not be split further (all rows share one hash) or the recursion
+    /// bottomed out.
+    pub forced_builds: usize,
+}
+
+impl SpillStats {
+    /// True when any partition spilled.
+    pub fn spilled(&self) -> bool {
+        self.partitions_spilled > 0
+    }
+}
+
+/// The cooperative interruption check a settle phase runs **between spill
+/// runs**: out-of-core settling happens after the morsel-parallel phases,
+/// so the per-morsel cancellation checks no longer fire — this is their
+/// sequential counterpart, keeping serve-layer deadlines binding while a
+/// join grinds through spilled partitions.
+#[derive(Debug, Clone, Copy)]
+pub struct SpillCheckpoint<'a> {
+    cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> SpillCheckpoint<'a> {
+    /// A checkpoint over an optional token (no token = never fires).
+    pub fn new(cancel: Option<&'a CancelToken>) -> SpillCheckpoint<'a> {
+        SpillCheckpoint { cancel }
+    }
+
+    /// Fail typed once the token fired.
+    pub fn check<E>(&self) -> Result<(), RunError<E>> {
+        match self.cancel.map(CancelToken::check) {
+            Some(Err(CancelReason::Cancelled)) => Err(RunError::Cancelled),
+            Some(Err(CancelReason::DeadlineExceeded)) => Err(RunError::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+}
 
 /// Dispatch statistics for the two phases of a build/probe run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -165,6 +222,78 @@ where
     ))
 }
 
+/// The **budget-aware** two-phase driver: [`build_then_probe_with`] grown
+/// an out-of-core third act.
+///
+/// The morsel-parallel build and probe phases run exactly as in the
+/// in-memory driver; what changes is around them:
+///
+/// * `merge` receives the [`MemoryBudget`] (and the [`SpillStats`] to
+///   update) — it charges the budget for whatever it keeps resident and
+///   **spills** the partitions that do not fit instead of materializing
+///   them,
+/// * `probe_morsel` probes the resident part and *defers* rows whose
+///   partition spilled,
+/// * `settle` runs once, sequentially, after the probe: it takes the
+///   shared structure **by value** (so it can drop resident state and
+///   return its budget charge), resolves every spilled partition —
+///   recursively re-partitioning ones that still do not fit — and folds
+///   the deferred rows into the final output. The [`SpillCheckpoint`]
+///   must be consulted between spill runs so cancellation and deadlines
+///   keep binding during long out-of-core tails.
+///
+/// With a budget that everything fits under, `merge` spills nothing,
+/// `settle` has no deferred work, and the result is the in-memory
+/// driver's — the grace-hash joins in `adaptvm_relational::spill` rely on
+/// this to stay bit-identical to their in-memory counterparts whatever
+/// the budget.
+#[allow(clippy::too_many_arguments)]
+pub fn build_then_probe_spilling<Part, Shared, Out, Settled, E, BF, MF, PF, SF>(
+    runner: Runner<'_>,
+    cancel: Option<&CancelToken>,
+    budget: &MemoryBudget,
+    build_plan: &MorselPlan,
+    probe_plan: &MorselPlan,
+    build_morsel: BF,
+    merge: MF,
+    probe_morsel: PF,
+    settle: SF,
+) -> Result<(Settled, BuildProbeStats, SpillStats), RunError<E>>
+where
+    Part: Send,
+    Shared: Sync,
+    Out: Send,
+    E: Send,
+    BF: Fn(usize, &Morsel) -> Result<Part, E> + Send + Sync,
+    MF: FnOnce(Vec<Part>, &MemoryBudget, &mut SpillStats) -> Result<Shared, E>,
+    PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Send + Sync,
+    SF: FnOnce(
+        Shared,
+        Vec<Out>,
+        &MemoryBudget,
+        &mut SpillStats,
+        &SpillCheckpoint<'_>,
+    ) -> Result<Settled, RunError<E>>,
+{
+    let mut spill = SpillStats::default();
+    let (partitions, build) = runner.run_with(build_plan, cancel, &build_morsel)?;
+    let shared = merge(partitions, budget, &mut spill).map_err(RunError::Task)?;
+    let (outputs, probe) =
+        runner.run_with(probe_plan, cancel, |w, m| probe_morsel(w, m, &shared))?;
+    let checkpoint = SpillCheckpoint::new(cancel);
+    let settled = settle(shared, outputs, budget, &mut spill, &checkpoint)?;
+    Ok((
+        settled,
+        BuildProbeStats {
+            build,
+            probe,
+            build_morsels: build_plan.len(),
+            probe_morsels: probe_plan.len(),
+        },
+        spill,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +360,103 @@ mod tests {
             outs1.iter().sum::<usize>(),
             (0..2000).filter(|i| i % 250 < 100).count() * 10
         );
+    }
+
+    #[test]
+    fn spill_checkpoint_reports_token_state_typed() {
+        let quiet = SpillCheckpoint::new(None);
+        assert!(quiet.check::<()>().is_ok());
+        let token = CancelToken::new();
+        let live = SpillCheckpoint::new(Some(&token));
+        assert!(live.check::<()>().is_ok());
+        token.cancel();
+        assert!(matches!(live.check::<()>(), Err(RunError::Cancelled)));
+    }
+
+    #[test]
+    fn spilling_driver_threads_budget_and_stats() {
+        // A merge that "spills" everything over a 2-entry budget and a
+        // settle that folds the deferred half back in: the driver must
+        // hand the same budget and stats through all three hooks and
+        // return the in-memory-equivalent result.
+        let budget = MemoryBudget::bytes(2 * 8);
+        let data: Vec<i64> = (0..100).collect();
+        let plan = MorselPlan::new(data.len(), 16);
+        let ((resident, settled), stats, spill) = build_then_probe_spilling(
+            Runner::Scoped { workers: 4 },
+            None,
+            &budget,
+            &plan,
+            &plan,
+            |_, m| Ok::<_, ()>(data[m.start..m.end()].to_vec()),
+            |parts, budget, stats| {
+                // Keep what fits (2 rows), spill the rest.
+                let all: Vec<i64> = parts.into_iter().flatten().collect();
+                let mut kept = Vec::new();
+                let mut spilled = Vec::new();
+                for v in all {
+                    if budget.try_charge(8).is_ok() {
+                        kept.push(v);
+                    } else {
+                        stats.partitions_spilled += 1;
+                        spilled.push(v);
+                    }
+                }
+                Ok((kept, spilled))
+            },
+            |_, m, shared| Ok(shared.0.iter().take(m.len).sum::<i64>()),
+            |shared, outs, budget, stats, checkpoint| {
+                checkpoint.check()?;
+                budget.release(8 * shared.0.len());
+                stats.bytes_read += 1;
+                Ok((outs.iter().sum::<i64>(), shared.1.len()))
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            resident, 7,
+            "per morsel the 2 resident rows sum to 1, × 7 morsels"
+        );
+        assert_eq!(settled, 98, "98 rows deferred past the budget");
+        assert_eq!(spill.partitions_spilled, 98);
+        assert_eq!(spill.bytes_read, 1);
+        assert_eq!(stats.build_morsels, 7);
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn probe_phase_error_releases_lease_held_by_shared_state() {
+        // The RAII contract the out-of-core joins rely on: when the probe
+        // phase aborts, the driver drops the merged Shared structure —
+        // any BudgetLease it holds must return its charge.
+        let budget = MemoryBudget::bytes(1_000);
+        let plan = MorselPlan::new(64, 8);
+        struct Sides<'a> {
+            _lease: crate::budget::BudgetLease<'a>,
+        }
+        let r = build_then_probe_spilling(
+            Runner::Scoped { workers: 2 },
+            None,
+            &budget,
+            &plan,
+            &plan,
+            |_, _| Ok::<_, &str>(()),
+            |_, _, _| {
+                Ok(Sides {
+                    _lease: budget.lease(600).expect("fits"),
+                })
+            },
+            |_, m, _shared: &Sides<'_>| {
+                if m.index == 3 {
+                    Err("probe blew up")
+                } else {
+                    Ok(())
+                }
+            },
+            |_, _, _, _, _| Ok(()),
+        );
+        assert!(matches!(r, Err(RunError::Task("probe blew up"))));
+        assert_eq!(budget.used(), 0, "dropped Shared must release its lease");
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! crate adds the missing intra-query parallelism in the style of HyPer's
 //! morsel-driven parallelism (Leis et al., SIGMOD 2014):
 //!
+//! * [`budget`] — [`MemoryBudget`]: the byte-accounted, shareable memory
+//!   budget out-of-core operators charge before materializing state (and
+//!   spill against when the charge fails typed),
 //! * [`morsel`] — [`Morsel`]/[`MorselPlan`]: fixed-size, order-indexed
 //!   horizontal slices of tables/columns/selections,
 //! * [`dispatch`] — [`Dispatcher`]: contiguous per-worker runs with
@@ -12,6 +15,10 @@
 //!   skew),
 //! * [`join`] — [`build_then_probe`]: the generic two-phase join driver
 //!   (partitioned build merged in morsel order, shared read-only probe),
+//!   and its budget-aware sibling [`build_then_probe_spilling`] whose
+//!   merge phase may spill partitions to disk and whose sequential settle
+//!   phase resolves them afterwards ([`SpillStats`], with cancellation
+//!   checked between spill runs via [`join::SpillCheckpoint`]),
 //! * [`pool`] — [`run_morsels`]: scoped worker threads, results assembled
 //!   in morsel order, first error aborts; [`Runner`] abstracts over the
 //!   scoped pool and the long-lived scheduler,
@@ -55,6 +62,7 @@
 //! contention-free profiling with a single combined signal for the
 //! adaptive machinery.
 
+pub mod budget;
 pub mod dispatch;
 pub mod exec;
 pub mod join;
@@ -63,9 +71,13 @@ pub mod pool;
 pub mod scheduler;
 pub mod serve;
 
+pub use budget::{BudgetExceeded, BudgetLease, MemoryBudget};
 pub use dispatch::{DispatchStats, Dispatcher};
 pub use exec::{ParallelRunReport, ParallelVm, ScheduledVm};
-pub use join::{build_then_probe, build_then_probe_on, build_then_probe_with, BuildProbeStats};
+pub use join::{
+    build_then_probe, build_then_probe_on, build_then_probe_spilling, build_then_probe_with,
+    BuildProbeStats, SpillStats,
+};
 pub use morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
 pub use pool::{run_morsels, run_morsels_with, Runner};
 pub use scheduler::{

@@ -18,7 +18,7 @@
 //!   load while *guaranteeing* Batch its proportional share, and an aging
 //!   rule promotes any head that waited ≥ `age_rounds` dispatches and is
 //!   strictly the oldest, bounding stragglers behind fresh
-//!   higher-priority streams (see [`queue`] for the full argument),
+//!   higher-priority streams (see the `queue` module source for the full argument),
 //! * **cancellation & deadlines** — every accepted query carries a
 //!   [`crate::CancelToken`] checked at morsel boundaries;
 //!   [`ServeHandle::cancel`] (or a [`SubmitOpts::deadline`]) aborts that
@@ -148,7 +148,7 @@ pub struct ServeConfig {
     /// The scheduler round-robins morsels across them; this bounds how
     /// thin each query's share can get.
     pub max_concurrent: usize,
-    /// Aging threshold in dispatches (see [`queue`]).
+    /// Aging threshold in dispatches (see the `queue` module source).
     pub age_rounds: u64,
 }
 

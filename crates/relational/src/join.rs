@@ -267,6 +267,28 @@ impl StrHashTable {
         StrHashTable::from_partitions([StrJoinPartition::from_rows(keys, payloads)])
     }
 
+    /// Build from `(key, payload)` row pairs with **borrowed** keys (the
+    /// table copies the bytes into its arena) — the allocation-light path
+    /// the out-of-core join uses when rebuilding a spilled partition from
+    /// an arena-backed run batch. Same multimap semantics as
+    /// [`Self::from_rows`]: duplicate keys keep every payload in row
+    /// order.
+    pub fn from_pairs<'a, I>(rows: I) -> StrHashTable
+    where
+        I: IntoIterator<Item = (&'a str, i64)>,
+    {
+        let mut merged: HashMap<String, Vec<i64>> = HashMap::new();
+        for (k, p) in rows {
+            match merged.get_mut(k) {
+                Some(v) => v.push(p),
+                None => {
+                    merged.insert(k.to_owned(), vec![p]);
+                }
+            }
+        }
+        StrHashTable::from_merged(merged)
+    }
+
     /// Merge per-morsel partitions (in iteration order) into one table —
     /// the same morsel-order contract as [`HashTable::from_partitions`]:
     /// feeding partitions in morsel order concatenates each key's payload
@@ -281,6 +303,11 @@ impl StrHashTable {
                 merged.entry(key).or_default().extend(payloads);
             }
         }
+        StrHashTable::from_merged(merged)
+    }
+
+    /// Lay a merged key → payloads multimap out into the arena form.
+    fn from_merged(merged: HashMap<String, Vec<i64>>) -> StrHashTable {
         let total_pay: usize = merged.values().map(Vec::len).sum();
         let total_key: usize = merged.keys().map(String::len).sum();
         assert!(
@@ -478,37 +505,108 @@ pub struct JoinObservation {
     pub ns: u64,
 }
 
-/// Probe rows `range` of the key columns through `tables` in the fixed
-/// `order`, with no controller interaction: the morsel-level worker step
-/// the parallel join chain runs, and the core of
-/// [`AdaptiveJoinChain::probe_chunk`]. Returns the survivors (indices are
-/// **global** row numbers into `keys`) and one [`JoinObservation`] per
-/// join, in probe order.
+/// One build side of a (possibly mixed-key) join chain: integer-keyed or
+/// Utf8-keyed. A Q3-style plan can chain an orders⋈lineitem join on
+/// `i64 o_orderkey` with a customer⋈orders join on a Utf8 market-segment
+/// key — the adaptive reorder controller treats both uniformly.
+#[derive(Debug, Clone)]
+pub enum JoinSide {
+    /// An integer-keyed build side.
+    Int(HashTable),
+    /// A Utf8-keyed build side.
+    Str(StrHashTable),
+}
+
+impl JoinSide {
+    /// Build-side rows (counting duplicates).
+    pub fn len(&self) -> usize {
+        match self {
+            JoinSide::Int(t) => t.len(),
+            JoinSide::Str(t) => t.len(),
+        }
+    }
+
+    /// True when the build side is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            JoinSide::Int(_) => "i64",
+            JoinSide::Str(_) => "utf8",
+        }
+    }
+}
+
+/// A borrowed probe key column for one join of a mixed chain; its kind
+/// must match the [`JoinSide`] it probes.
+#[derive(Debug, Clone, Copy)]
+pub enum KeyColumn<'a> {
+    /// Integer probe keys.
+    Int(&'a [i64]),
+    /// Utf8 probe keys.
+    Str(&'a [String]),
+}
+
+impl KeyColumn<'_> {
+    /// Rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            KeyColumn::Int(k) => k.len(),
+            KeyColumn::Str(k) => k.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            KeyColumn::Int(_) => "i64",
+            KeyColumn::Str(_) => "utf8",
+        }
+    }
+}
+
+/// Probe rows `range` of the (possibly mixed-key) columns through
+/// `sides` in the fixed `order`, with no controller interaction: the
+/// morsel-level worker step the parallel join chain runs, and the core
+/// of [`AdaptiveJoinChain::probe_chunk_mixed`]. Returns the survivors
+/// (indices are **global** row numbers into the columns) and one
+/// [`JoinObservation`] per join, in probe order.
 ///
-/// Panics (with a clear message, validated up front) on unequal key
-/// columns, an out-of-range probe `range`, or an `order` that is not a
-/// permutation-subset of the joins.
-pub fn probe_chunk_with_order(
-    tables: &[HashTable],
+/// `keys[j]`'s kind must match `sides[j]` (validated up front, clear
+/// panic on mismatch, like unequal column lengths or an out-of-range
+/// `order`). The kind dispatch is hoisted out of the row loops — each
+/// join's probe
+/// runs the same monomorphic inner loop as the integer-only path.
+pub fn probe_chunk_with_order_mixed(
+    sides: &[JoinSide],
     order: &[usize],
-    keys: &[Vec<i64>],
+    keys: &[KeyColumn<'_>],
     range: Range<usize>,
 ) -> (ChainResult, Vec<JoinObservation>) {
-    let n = validate_key_columns(keys, tables.len());
+    let n = validate_mixed_columns(sides, keys);
     assert!(
         range.end <= n,
         "probe range {range:?} exceeds the key columns' {n} rows"
     );
     for &j in order {
-        assert!(j < tables.len(), "order names join {j} of {}", tables.len());
+        assert!(j < sides.len(), "order names join {j} of {}", sides.len());
     }
     let mut alive: Vec<u32> = (range.start as u32..range.end as u32).collect();
     let mut observations = Vec::with_capacity(order.len());
     for &j in order {
         let t0 = Instant::now();
         let input = alive.len();
-        let table = &tables[j];
-        alive.retain(|&i| table.contains(keys[j][i as usize]));
+        match (&sides[j], keys[j]) {
+            (JoinSide::Int(t), KeyColumn::Int(k)) => alive.retain(|&i| t.contains(k[i as usize])),
+            (JoinSide::Str(t), KeyColumn::Str(k)) => alive.retain(|&i| t.contains(&k[i as usize])),
+            _ => unreachable!("kinds validated up front"),
+        }
         observations.push(JoinObservation {
             join: j,
             input,
@@ -516,19 +614,24 @@ pub fn probe_chunk_with_order(
             ns: t0.elapsed().as_nanos() as u64,
         });
     }
-    // Project payloads for the survivors: per surviving row, the sum of
-    // every matching build payload across the chain (duplicate build keys
-    // contribute every match).
-    let payload_sum: Vec<i64> = alive
-        .iter()
-        .map(|&i| {
-            tables
-                .iter()
-                .enumerate()
-                .map(|(j, t)| t.matches(keys[j][i as usize]).iter().sum::<i64>())
-                .sum()
-        })
-        .collect();
+    // Payload projection, one monomorphic pass per join over the
+    // survivors (duplicate build keys contribute every match).
+    let mut payload_sum = vec![0i64; alive.len()];
+    for (side, col) in sides.iter().zip(keys) {
+        match (side, *col) {
+            (JoinSide::Int(t), KeyColumn::Int(k)) => {
+                for (slot, &i) in payload_sum.iter_mut().zip(&alive) {
+                    *slot += t.matches(k[i as usize]).iter().sum::<i64>();
+                }
+            }
+            (JoinSide::Str(t), KeyColumn::Str(k)) => {
+                for (slot, &i) in payload_sum.iter_mut().zip(&alive) {
+                    *slot += t.matches(&k[i as usize]).iter().sum::<i64>();
+                }
+            }
+            _ => unreachable!("kinds validated up front"),
+        }
+    }
     (
         ChainResult {
             indices: alive,
@@ -538,16 +641,25 @@ pub fn probe_chunk_with_order(
     )
 }
 
-/// Panic with a clear message unless every key column has the same length.
-pub(crate) fn validate_key_columns(keys: &[Vec<i64>], joins: usize) -> usize {
-    assert_eq!(keys.len(), joins, "one key column per join");
-    let n = keys.first().map_or(0, Vec::len);
-    for (j, column) in keys.iter().enumerate() {
+/// Panic with a clear message unless every mixed key column matches its
+/// side's kind and all columns have the same length. Returns the row
+/// count.
+pub(crate) fn validate_mixed_columns(sides: &[JoinSide], keys: &[KeyColumn<'_>]) -> usize {
+    assert_eq!(keys.len(), sides.len(), "one key column per join");
+    let n = keys.first().map_or(0, KeyColumn::len);
+    for (j, (side, column)) in sides.iter().zip(keys).enumerate() {
         assert_eq!(
             column.len(),
             n,
             "join key columns must have equal lengths: column {j} has {} rows, column 0 has {n}",
             column.len(),
+        );
+        assert_eq!(
+            side.kind(),
+            column.kind(),
+            "join {j} is {}-keyed but its probe column is {}",
+            side.kind(),
+            column.kind(),
         );
     }
     n
@@ -555,8 +667,10 @@ pub(crate) fn validate_key_columns(keys: &[Vec<i64>], joins: usize) -> usize {
 
 /// A chain of hash joins probed in adaptive order: the semi-join of the
 /// most selective table runs first, shrinking the flow for the rest.
+/// Sides may mix integer and Utf8 keys (see [`JoinSide`]); the historical
+/// integer-only constructors and probes still work unchanged.
 pub struct AdaptiveJoinChain {
-    tables: Vec<HashTable>,
+    sides: Vec<JoinSide>,
     controller: ReorderController,
 }
 
@@ -571,12 +685,18 @@ pub struct ChainResult {
 }
 
 impl AdaptiveJoinChain {
-    /// Chain over the given build sides, re-evaluating order every
+    /// Chain over integer-keyed build sides, re-evaluating order every
     /// `every` chunks.
     pub fn new(tables: Vec<HashTable>, every: u64) -> AdaptiveJoinChain {
-        let n = tables.len();
+        AdaptiveJoinChain::new_mixed(tables.into_iter().map(JoinSide::Int).collect(), every)
+    }
+
+    /// Chain over possibly mixed-key build sides (integer and Utf8), re-
+    /// evaluating order every `every` chunks.
+    pub fn new_mixed(sides: Vec<JoinSide>, every: u64) -> AdaptiveJoinChain {
+        let n = sides.len();
         AdaptiveJoinChain {
-            tables,
+            sides,
             controller: ReorderController::new(n, every),
         }
     }
@@ -591,13 +711,25 @@ impl AdaptiveJoinChain {
         self.controller.reorders()
     }
 
-    /// Probe one chunk of key columns (`keys[j]` is the probe key column
-    /// for join `j`). All key columns must have equal length (validated up
-    /// front, with a clear panic message on mismatch).
+    /// Probe one chunk of integer key columns (`keys[j]` is the probe key
+    /// column for join `j`). All key columns must have equal length
+    /// (validated up front, with a clear panic message on mismatch).
+    /// Panics if a side is Utf8-keyed — mixed chains probe through
+    /// [`Self::probe_chunk_mixed`].
     pub fn probe_chunk(&mut self, keys: &[Vec<i64>]) -> ChainResult {
-        let n = validate_key_columns(keys, self.tables.len());
+        let columns: Vec<KeyColumn<'_>> = keys.iter().map(|k| KeyColumn::Int(k)).collect();
+        self.probe_chunk_mixed(&columns)
+    }
+
+    /// Probe one chunk of mixed key columns: `keys[j]`'s kind must match
+    /// side `j` (validated up front). Selectivity observations feed the
+    /// same reorder controller whatever the key types, so a selective
+    /// string join learns to lead an unselective integer one and vice
+    /// versa.
+    pub fn probe_chunk_mixed(&mut self, keys: &[KeyColumn<'_>]) -> ChainResult {
+        let n = validate_mixed_columns(&self.sides, keys);
         let order = self.controller.current_order().to_vec();
-        let (result, observations) = probe_chunk_with_order(&self.tables, &order, keys, 0..n);
+        let (result, observations) = probe_chunk_with_order_mixed(&self.sides, &order, keys, 0..n);
         for o in observations {
             self.controller.record(o.join, o.input, o.output, o.ns);
         }
@@ -829,6 +961,62 @@ mod tests {
             );
         }
         let _ = (t0, t1);
+    }
+
+    #[test]
+    fn str_from_pairs_matches_from_rows() {
+        let keys = str_keys(&[7, 8, 7, 7]);
+        let pays = [70i64, 80, 71, 72];
+        let by_rows = StrHashTable::from_rows(&keys, &pays);
+        let by_pairs =
+            StrHashTable::from_pairs(keys.iter().map(String::as_str).zip(pays.iter().copied()));
+        let probes = str_keys(&(0..12).collect::<Vec<_>>());
+        assert_eq!(by_pairs.probe(&probes), by_rows.probe(&probes));
+        assert_eq!(by_pairs.len(), by_rows.len());
+        assert_eq!(by_pairs.distinct_keys(), by_rows.distinct_keys());
+    }
+
+    #[test]
+    fn mixed_chain_learns_selective_string_join_first() {
+        // Join 0: integer, matches everything. Join 1: string, matches 10%.
+        let t0 = JoinSide::Int(table_with_keys(&(0..1000).collect::<Vec<_>>()));
+        let str_build = str_keys(&(0..100).collect::<Vec<_>>());
+        let str_pays: Vec<i64> = (0..100).map(|i| i * 7).collect();
+        let t1 = JoinSide::Str(StrHashTable::from_rows(&str_build, &str_pays));
+        assert_eq!(t1.len(), 100);
+        assert!(!t1.is_empty());
+        let mut chain = AdaptiveJoinChain::new_mixed(vec![t0, t1], 2);
+        let int_probe: Vec<i64> = (0..1000).collect();
+        let str_probe = str_keys(&(0..1000).collect::<Vec<_>>());
+        for _ in 0..20 {
+            let r =
+                chain.probe_chunk_mixed(&[KeyColumn::Int(&int_probe), KeyColumn::Str(&str_probe)]);
+            assert_eq!(r.indices.len(), 100, "only str keys < 100 survive");
+            // Payload projection counts both sides: int side pays key*100,
+            // str side pays key*7.
+            assert_eq!(r.payload_sum[3], 3 * 100 + 3 * 7);
+        }
+        assert_eq!(chain.order(), &[1, 0], "selective string join leads");
+    }
+
+    #[test]
+    #[should_panic(expected = "join 1 is utf8-keyed but its probe column is i64")]
+    fn mixed_chain_rejects_kind_mismatch() {
+        let t0 = JoinSide::Int(table_with_keys(&[1]));
+        let t1 = JoinSide::Str(StrHashTable::from_rows(&str_keys(&[1]), &[1]));
+        let mut chain = AdaptiveJoinChain::new_mixed(vec![t0, t1], 2);
+        let probe = vec![1i64];
+        chain.probe_chunk_mixed(&[KeyColumn::Int(&probe), KeyColumn::Int(&probe)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "join 0 is utf8-keyed but its probe column is i64")]
+    fn int_probe_of_str_side_panics_clearly() {
+        // probe_chunk (the integer-only entry) on a chain holding a str
+        // side must fail the up-front validation.
+        let t1 = JoinSide::Str(StrHashTable::from_rows(&str_keys(&[1]), &[1]));
+        let mut chain = AdaptiveJoinChain::new_mixed(vec![t1], 2);
+        chain.probe_chunk(&[vec![1i64]]);
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //!
 //! * [`ops`] — chunk-level physical operators: scans, selections (flavored,
 //!   micro-adaptive), projections, in-chunk arithmetic,
-//! * [`join`] — multimap hash joins (one output row per build match) with
-//!   cardinality-sized Bloom pre-filtering, the §III-C adaptive
-//!   join-order chain, and per-morsel build partitions for the parallel
-//!   partitioned build,
+//! * [`join`] — multimap hash joins (one output row per build match, on
+//!   integer *and* arena-backed Utf8 keys) with cardinality-sized Bloom
+//!   pre-filtering, the §III-C adaptive join-order chain — including
+//!   mixed-key chains ([`join::JoinSide`]) — and per-morsel build
+//!   partitions for the parallel partitioned build,
 //! * [`agg`] — hash aggregation with adaptively-triggered pre-aggregation
 //!   (the TPC-H Q1 optimization of the paper's \[12\]),
 //! * [`compressed_exec`] — scan strategies over per-block compressed
@@ -24,11 +25,18 @@
 //!   parallel scan/filter/projection, partitioned hash aggregation with a
 //!   final merge phase, partitioned-build/shared-probe hash joins (plus
 //!   the parallel adaptive join chain), and parallel Q1/Q3/Q6, built on
-//!   [`adaptvm_parallel`]'s work-stealing dispatcher and shared JIT cache.
+//!   [`adaptvm_parallel`]'s work-stealing dispatcher and shared JIT cache,
+//! * [`spill`] — the **out-of-core** join regime: memory-governed
+//!   grace-hash joins whose build partitions charge a shared
+//!   [`adaptvm_parallel::MemoryBudget`] and spill to disk runs when it is
+//!   exhausted, recursively re-partitioned until they fit —
+//!   bit-identical to the in-memory joins at every budget and worker
+//!   count.
 
 pub mod agg;
 pub mod compressed_exec;
 pub mod join;
 pub mod ops;
 pub mod parallel;
+pub mod spill;
 pub mod tpch;

@@ -44,8 +44,8 @@ use std::convert::Infallible;
 use adaptvm_dsl::ast::ScalarOp;
 use adaptvm_kernels::{FilterFlavor, MapMode};
 use adaptvm_parallel::{
-    build_then_probe_with, BuildProbeStats, CancelToken, Morsel, MorselPlan, ParallelRunReport,
-    ParallelVm, Priority, QueryService, RunError, Runner, Scheduler, SubmitOpts,
+    build_then_probe_with, BuildProbeStats, CancelToken, MemoryBudget, Morsel, MorselPlan,
+    ParallelRunReport, ParallelVm, Priority, QueryService, RunError, Runner, Scheduler, SubmitOpts,
 };
 use adaptvm_storage::scalar::Scalar;
 use adaptvm_storage::schema::Table;
@@ -55,8 +55,8 @@ use adaptvm_vm::{VmConfig, VmError};
 
 use crate::agg::{AdaptiveAggregator, GroupState, PreAgg};
 use crate::join::{
-    probe_chunk_with_order, validate_key_columns, ChainResult, HashTable, JoinPartition,
-    StrHashTable, StrJoinPartition,
+    probe_chunk_with_order_mixed, validate_mixed_columns, ChainResult, HashTable, JoinPartition,
+    JoinSide, KeyColumn, StrHashTable, StrJoinPartition,
 };
 use crate::ops::{self, DenseScan, OpResult};
 use crate::tpch::{self, CompactLineitem, JoinStrategy, Q1Row, Q1_GROUPS};
@@ -101,6 +101,11 @@ pub struct ParallelOpts<'a> {
     pub priority: Priority,
     /// Cooperative cancellation, checked at morsel boundaries.
     pub cancel: Option<&'a CancelToken>,
+    /// Byte budget the out-of-core joins ([`crate::spill`]) charge for
+    /// resident build partitions — partitions that do not fit spill to
+    /// disk. `None` = unlimited (nothing spills). Ignored by the purely
+    /// in-memory pipelines.
+    pub memory_budget: Option<&'a MemoryBudget>,
 }
 
 impl Default for ParallelOpts<'_> {
@@ -112,6 +117,7 @@ impl Default for ParallelOpts<'_> {
             service: None,
             priority: Priority::Normal,
             cancel: None,
+            memory_budget: None,
         }
     }
 }
@@ -175,6 +181,12 @@ impl<'a> ParallelOpts<'a> {
         self
     }
 
+    /// Attach a memory budget governing the out-of-core joins.
+    pub fn with_budget(mut self, budget: &'a MemoryBudget) -> ParallelOpts<'a> {
+        self.memory_budget = Some(budget);
+        self
+    }
+
     /// The executor these options select.
     pub fn runner(&self) -> Runner<'a> {
         match (self.service, self.scheduler) {
@@ -211,7 +223,9 @@ impl<'a> ParallelOpts<'a> {
 /// Fold a runner-level error into the kernel error the pipelines speak:
 /// task errors pass through; cancellation, deadline, and admission
 /// rejection become [`adaptvm_kernels::KernelError::Cancelled`].
-fn kernel_run_err(e: RunError<adaptvm_kernels::KernelError>) -> adaptvm_kernels::KernelError {
+pub(crate) fn kernel_run_err(
+    e: RunError<adaptvm_kernels::KernelError>,
+) -> adaptvm_kernels::KernelError {
     match e {
         RunError::Task(e) => e,
         RunError::Cancelled | RunError::DeadlineExceeded | RunError::Rejected(_) => {
@@ -350,7 +364,7 @@ pub fn parallel_hash_aggregate(
 
 /// Extract equal-length integer build columns (the shared precondition of
 /// every partitioned build entry point).
-fn build_rows(keys: &Array, payloads: &Array) -> OpResult<(Vec<i64>, Vec<i64>)> {
+pub(crate) fn build_rows(keys: &Array, payloads: &Array) -> OpResult<(Vec<i64>, Vec<i64>)> {
     let int_rows = |array: &Array, what: &str| {
         array.to_i64_vec().ok_or_else(|| {
             adaptvm_kernels::KernelError::Precondition(format!("{what} must be integer"))
@@ -550,17 +564,24 @@ pub fn parallel_hash_join_str(
 /// same rows for any worker count (survivors of a conjunctive chain do
 /// not depend on probe order).
 pub struct ParallelJoinChain {
-    tables: Vec<HashTable>,
+    sides: Vec<JoinSide>,
     controller: ReorderController,
 }
 
 impl ParallelJoinChain {
-    /// Chain over the given build sides, re-evaluating order every
+    /// Chain over integer-keyed build sides, re-evaluating order every
     /// `every` batches.
     pub fn new(tables: Vec<HashTable>, every: u64) -> ParallelJoinChain {
-        let n = tables.len();
+        ParallelJoinChain::new_mixed(tables.into_iter().map(JoinSide::Int).collect(), every)
+    }
+
+    /// Chain over possibly mixed-key build sides (integer and Utf8 — a
+    /// Q3-style plan can chain an `i64 o_orderkey` join with a Utf8
+    /// segment-key join), re-evaluating order every `every` batches.
+    pub fn new_mixed(sides: Vec<JoinSide>, every: u64) -> ParallelJoinChain {
+        let n = sides.len();
         ParallelJoinChain {
-            tables,
+            sides,
             controller: ReorderController::new(n, every),
         }
     }
@@ -575,22 +596,38 @@ impl ParallelJoinChain {
         self.controller.reorders()
     }
 
-    /// Probe one batch of key columns (`keys[j]` is the probe key column
-    /// for join `j`; all columns must have equal length) morsel-parallel.
-    /// Fails only when the batch was cancelled or refused by its executor
-    /// (in which case no observation reaches the reorder controller).
+    /// Probe one batch of integer key columns (`keys[j]` is the probe key
+    /// column for join `j`; all columns must have equal length)
+    /// morsel-parallel. Fails only when the batch was cancelled or refused
+    /// by its executor (in which case no observation reaches the reorder
+    /// controller). Panics if a side is Utf8-keyed — mixed chains probe
+    /// through [`Self::probe_batch_mixed`].
     pub fn probe_batch(
         &mut self,
         keys: &[Vec<i64>],
         opts: ParallelOpts<'_>,
     ) -> OpResult<ChainResult> {
-        let n = validate_key_columns(keys, self.tables.len());
+        let columns: Vec<KeyColumn<'_>> = keys.iter().map(|k| KeyColumn::Int(k)).collect();
+        self.probe_batch_mixed(&columns, opts)
+    }
+
+    /// Probe one batch of **mixed** key columns morsel-parallel:
+    /// `keys[j]`'s kind must match side `j` (validated up front). The
+    /// merge discipline is identical to the integer chain — survivors in
+    /// morsel order, one folded observation per join per batch — so
+    /// results and learned orders are worker-count independent.
+    pub fn probe_batch_mixed(
+        &mut self,
+        keys: &[KeyColumn<'_>],
+        opts: ParallelOpts<'_>,
+    ) -> OpResult<ChainResult> {
+        let n = validate_mixed_columns(&self.sides, keys);
         let order = self.controller.current_order().to_vec();
         let plan = MorselPlan::new(n, opts.effective_morsel_rows());
-        let tables = &self.tables;
+        let sides = &self.sides;
         let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
-            Ok::<_, Infallible>(probe_chunk_with_order(
-                tables,
+            Ok::<_, Infallible>(probe_chunk_with_order_mixed(
+                sides,
                 &order,
                 keys,
                 m.start..m.end(),
@@ -601,7 +638,7 @@ impl ParallelJoinChain {
         // morsels into one (input, output, ns) sample per join.
         let mut indices = Vec::new();
         let mut payload_sum = Vec::new();
-        let mut merged = vec![(0usize, 0usize, 0u64); self.tables.len()];
+        let mut merged = vec![(0usize, 0usize, 0u64); self.sides.len()];
         for (result, observations) in per_morsel {
             indices.extend(result.indices);
             payload_sum.extend(result.payload_sum);

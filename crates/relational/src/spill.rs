@@ -1,0 +1,792 @@
+//! Memory-governed out-of-core hash joins: **grace-hash spill
+//! partitions**.
+//!
+//! The in-memory joins of [`crate::parallel`] materialize the whole build
+//! side as one hash table — fine until the build side outgrows memory.
+//! This module adds the out-of-core regime. The build side is
+//! hash-partitioned into [`SPILL_FANOUT`] partitions; each partition
+//! charges a shared [`MemoryBudget`] before building its table, and a
+//! partition whose charge fails **spills** its rows to an append-only run
+//! file ([`adaptvm_storage::spill`]) instead. Probe rows for spilled
+//! partitions are deferred; after the morsel-parallel probe, a sequential
+//! settle phase resolves each spilled partition in deterministic
+//! partition order — re-partitioning on the next four hash bits
+//! (a rehash per recursion level) when a partition *still* does not fit,
+//! and force-building only when a partition cannot be split further (all
+//! rows share one hash) or the hash bits run out.
+//!
+//! ## Exactness
+//!
+//! The output is **bit-identical to the in-memory join** for any budget
+//! and any worker count: every probe row's matches come from exactly one
+//! (resident or spilled) partition with its build rows in global
+//! build-row order, and the final assembly merges the resident stream and
+//! the settled stream by ascending probe index. The worker-sweep and
+//! proptest suites in `tests/spill_join.rs` pin this down across budgets
+//! forcing zero, some, and all partitions to spill.
+//!
+//! ## Cancellation
+//!
+//! The morsel-parallel phases check the [`ParallelOpts::cancel`] token at
+//! morsel boundaries as always; the settle phase checks it **between
+//! spill runs** (every partition and every recursion level), so serve-
+//! layer deadlines keep binding through long out-of-core tails.
+//!
+//! ```
+//! use adaptvm_parallel::MemoryBudget;
+//! use adaptvm_relational::parallel::{parallel_hash_join, ParallelOpts};
+//! use adaptvm_relational::spill::parallel_hash_join_spill;
+//! use adaptvm_storage::Array;
+//!
+//! let build_keys = Array::from((0..4_000).map(|i| i % 512).collect::<Vec<i64>>());
+//! let build_pays = Array::from((0..4_000).collect::<Vec<i64>>());
+//! let probe_keys: Vec<i64> = (0..2_000).map(|i| i % 700).collect();
+//!
+//! // A budget far below the build side's footprint: partitions spill to
+//! // disk and are settled out-of-core...
+//! let budget = MemoryBudget::bytes(16 * 1024);
+//! let opts = ParallelOpts::new(2, 1_000).with_budget(&budget);
+//! let (out, spill) =
+//!     parallel_hash_join_spill(&build_keys, &build_pays, &probe_keys, false, opts).unwrap();
+//! assert!(spill.spilled());
+//! assert!(spill.bytes_written > 0);
+//!
+//! // ...and the result is bit-identical to the in-memory join.
+//! let (_, reference) = parallel_hash_join(
+//!     &build_keys, &build_pays, &probe_keys, false, ParallelOpts::new(2, 1_000),
+//! ).unwrap();
+//! assert_eq!(out.indices, reference.indices);
+//! assert_eq!(out.payloads, reference.payloads);
+//! assert_eq!(budget.used(), 0, "all charges released");
+//! ```
+
+use adaptvm_kernels::map::{hash_i64, hash_str};
+use adaptvm_kernels::KernelError;
+use adaptvm_parallel::join::SpillCheckpoint;
+use adaptvm_parallel::{
+    build_then_probe_spilling, BudgetLease, MemoryBudget, MorselPlan, RunError, SpillStats,
+};
+use adaptvm_storage::spill::{IntRun, IntRunWriter, SpillDir, StrBatch, StrRun, StrRunWriter};
+use adaptvm_storage::Array;
+
+use crate::join::{HashTable, StrHashTable};
+use crate::ops::OpResult;
+use crate::parallel::{kernel_run_err, ParallelJoinOutput, ParallelOpts};
+
+/// Grace-hash fan-out: partitions per level, consuming four hash bits.
+/// 16 partitions × 4 bits nest up to [`MAX_SPILL_DEPTH`] levels into a
+/// 64-bit hash.
+pub const SPILL_FANOUT: usize = 16;
+const FANOUT_BITS: usize = 4;
+/// Deepest recursion level: level `d` consumes hash bits
+/// `[60 − 4d, 64 − 4d)` — top bits first, because the multiplicative
+/// hash mixes high bits best (structured keys would collapse a low-bit
+/// window onto few partitions) — so a 64-bit hash supports levels
+/// 0..=15.
+pub const MAX_SPILL_DEPTH: usize = 15;
+/// Rows per run-file frame: the granularity at which recursion streams a
+/// spilled partition (so re-partitioning never holds a partition whole).
+const SPILL_FRAME_ROWS: usize = 4096;
+
+/// Estimated resident bytes per build row of an integer hash table
+/// (16 data bytes plus map/arena overhead) — what a partition charges
+/// against the [`MemoryBudget`] before building.
+pub const INT_BUILD_ROW_BYTES: usize = 48;
+/// Per-row overhead estimate for a Utf8 hash table; the key bytes are
+/// charged on top.
+pub const STR_BUILD_ROW_BYTES: usize = 56;
+
+/// The partition a hash lands in at recursion level `depth` (the 4-bit
+/// window at bits `[60 − 4·depth, 64 − 4·depth)`).
+#[inline]
+fn bucket_of(hash: i64, depth: usize) -> usize {
+    debug_assert!(depth <= MAX_SPILL_DEPTH);
+    ((hash as u64) >> (u64::BITS as usize - FANOUT_BITS * (depth + 1))) as usize
+        & (SPILL_FANOUT - 1)
+}
+
+fn storage_err(e: adaptvm_storage::StorageError) -> RunError<KernelError> {
+    RunError::Task(KernelError::Storage(e))
+}
+
+static UNLIMITED: MemoryBudget = MemoryBudget::unlimited();
+
+/// Merge the ascending resident stream with the (sorted) settled spill
+/// pairs into one ascending output. The index sets are disjoint — a probe
+/// row is either resident or deferred to exactly one spilled partition —
+/// so `<=` never ties across streams and within-row payload order is
+/// preserved.
+fn merge_output_streams(
+    res_idx: Vec<u32>,
+    res_pay: Vec<i64>,
+    spilled: Vec<(u32, i64)>,
+) -> (Vec<u32>, Vec<i64>) {
+    if spilled.is_empty() {
+        return (res_idx, res_pay);
+    }
+    let mut idx = Vec::with_capacity(res_idx.len() + spilled.len());
+    let mut pay = Vec::with_capacity(res_pay.len() + spilled.len());
+    let (mut i, mut j) = (0, 0);
+    while i < res_idx.len() || j < spilled.len() {
+        let take_resident = match (res_idx.get(i), spilled.get(j)) {
+            (Some(&a), Some(&(b, _))) => a <= b,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_resident {
+            idx.push(res_idx[i]);
+            pay.push(res_pay[i]);
+            i += 1;
+        } else {
+            idx.push(spilled[j].0);
+            pay.push(spilled[j].1);
+            j += 1;
+        }
+    }
+    (idx, pay)
+}
+
+// ---------------------------------------------------------------------------
+// Integer keys
+// ---------------------------------------------------------------------------
+
+/// The shared probe structure of a budgeted integer join: per partition,
+/// either a resident table or a spilled run. Resident charges are held
+/// as RAII [`BudgetLease`]s so an aborted probe phase (cancellation,
+/// deadline, rejection) returns them on drop; `dir` exists only once a
+/// partition actually spilled.
+struct IntSpillSides<'a> {
+    tables: Vec<Option<HashTable>>,
+    runs: Vec<Option<IntRun>>,
+    leases: Vec<BudgetLease<'a>>,
+    dir: Option<SpillDir>,
+}
+
+/// Memory-governed morsel-parallel hash join over integer keys: the
+/// grace-hash sibling of [`crate::parallel::parallel_hash_join`], charging
+/// [`ParallelOpts::memory_budget`] (unlimited when unset) for every
+/// resident build partition and spilling the rest to disk. Output is
+/// bit-identical to the in-memory join for any budget, worker count, and
+/// morsel size; [`SpillStats`] reports what the out-of-core path did.
+pub fn parallel_hash_join_spill(
+    build_keys: &Array,
+    build_payloads: &Array,
+    probe_keys: &[i64],
+    bloom: bool,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(ParallelJoinOutput, SpillStats)> {
+    let (bk, bp) = crate::parallel::build_rows(build_keys, build_payloads)?;
+    let budget = opts.memory_budget.unwrap_or(&UNLIMITED);
+    let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
+    let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
+    let with_bloom = |t: HashTable| if bloom { t.with_bloom() } else { t };
+
+    let ((indices, payloads), stats, spill) = build_then_probe_spilling(
+        opts.runner(),
+        opts.cancel,
+        budget,
+        &build_plan,
+        &probe_plan,
+        // Build: partition this morsel's rows on the level-0 hash bits.
+        |_, m| {
+            let mut parts: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
+            for i in m.start..m.end() {
+                let b = bucket_of(hash_i64(bk[i]), 0);
+                parts[b].0.push(bk[i]);
+                parts[b].1.push(bp[i]);
+            }
+            Ok::<_, KernelError>(parts)
+        },
+        // Merge: concatenate per-morsel partitions in morsel order (global
+        // build-row order per partition), then charge the budget partition
+        // by partition — what fits becomes a resident table, what does not
+        // spills to a run file.
+        |parts, _, stats| {
+            let mut buckets: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
+            for part in parts {
+                for (b, (k, p)) in part.into_iter().enumerate() {
+                    buckets[b].0.extend(k);
+                    buckets[b].1.extend(p);
+                }
+            }
+            let mut dir: Option<SpillDir> = None;
+            let mut tables = Vec::with_capacity(SPILL_FANOUT);
+            let mut runs = Vec::with_capacity(SPILL_FANOUT);
+            let mut leases = Vec::new();
+            for (b, (keys, pays)) in buckets.into_iter().enumerate() {
+                let cost = keys.len() * INT_BUILD_ROW_BYTES;
+                // Leases come from the captured `budget` (not the closure
+                // parameter) so the sides can hold them across the probe
+                // phase and release on any exit path.
+                if let Ok(lease) = budget.lease(cost) {
+                    tables.push(Some(with_bloom(HashTable::from_rows(&keys, &pays))));
+                    runs.push(None);
+                    leases.push(lease);
+                } else {
+                    if dir.is_none() {
+                        dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
+                    }
+                    let d = dir.as_ref().expect("just created");
+                    let mut w = IntRunWriter::create(d.run_path(&format!("int-d0-b{b}")))
+                        .map_err(KernelError::Storage)?;
+                    for lo in (0..keys.len()).step_by(SPILL_FRAME_ROWS) {
+                        let hi = (lo + SPILL_FRAME_ROWS).min(keys.len());
+                        w.append(&keys[lo..hi], &pays[lo..hi])
+                            .map_err(KernelError::Storage)?;
+                    }
+                    let run = w.finish().map_err(KernelError::Storage)?;
+                    stats.partitions_spilled += 1;
+                    stats.runs_written += 1;
+                    stats.bytes_written += run.bytes();
+                    tables.push(None);
+                    runs.push(Some(run));
+                }
+            }
+            Ok(IntSpillSides {
+                tables,
+                runs,
+                leases,
+                dir,
+            })
+        },
+        // Probe: resident partitions answer immediately; rows of spilled
+        // partitions are deferred by (global) probe index.
+        |_, m, shared: &IntSpillSides<'_>| {
+            let mut idx = Vec::new();
+            let mut pay = Vec::new();
+            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+            for (i, &k) in probe_keys.iter().enumerate().take(m.end()).skip(m.start) {
+                let b = bucket_of(hash_i64(k), 0);
+                match &shared.tables[b] {
+                    Some(t) => {
+                        for &p in t.matches(k) {
+                            idx.push(i as u32);
+                            pay.push(p);
+                        }
+                    }
+                    None => deferred[b].push(i as u32),
+                }
+            }
+            Ok((idx, pay, deferred))
+        },
+        // Settle: drop the resident tables and their leases (returning
+        // the charge), then resolve spilled partitions sequentially in
+        // partition order.
+        |shared, outs, budget, stats, checkpoint| {
+            let IntSpillSides {
+                tables,
+                runs,
+                leases,
+                dir,
+            } = shared;
+            drop(tables);
+            drop(leases);
+            let mut res_idx = Vec::new();
+            let mut res_pay = Vec::new();
+            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+            for (idx, pay, defs) in outs {
+                res_idx.extend(idx);
+                res_pay.extend(pay);
+                for (b, d) in defs.into_iter().enumerate() {
+                    deferred[b].extend(d);
+                }
+            }
+            let mut pairs: Vec<(u32, i64)> = Vec::new();
+            for (b, run) in runs.into_iter().enumerate() {
+                if let Some(run) = run {
+                    settle_int_run(
+                        run,
+                        std::mem::take(&mut deferred[b]),
+                        probe_keys,
+                        0,
+                        u64::MAX,
+                        dir.as_ref().expect("spilled partitions imply a spill dir"),
+                        budget,
+                        bloom,
+                        stats,
+                        checkpoint,
+                        &mut pairs,
+                    )?;
+                }
+            }
+            // Stable by probe index: payload order within a row is the
+            // settled partition's build-row order.
+            pairs.sort_by_key(|&(i, _)| i);
+            Ok(merge_output_streams(res_idx, res_pay, pairs))
+        },
+    )
+    .map_err(kernel_run_err)?;
+    Ok((
+        ParallelJoinOutput {
+            indices,
+            payloads,
+            stats,
+        },
+        spill,
+    ))
+}
+
+/// Resolve one spilled integer partition: rebuild it if it now fits (or
+/// cannot be split further), else re-partition on the next hash level and
+/// recurse. Matches are appended to `out` as `(probe index, payload)`
+/// pairs in build-row order per probe row.
+#[allow(clippy::too_many_arguments)]
+fn settle_int_run(
+    run: IntRun,
+    probe_rows: Vec<u32>,
+    probe_keys: &[i64],
+    depth: usize,
+    parent_rows: u64,
+    dir: &SpillDir,
+    budget: &MemoryBudget,
+    bloom: bool,
+    stats: &mut SpillStats,
+    checkpoint: &SpillCheckpoint<'_>,
+    out: &mut Vec<(u32, i64)>,
+) -> Result<(), RunError<KernelError>> {
+    checkpoint.check()?;
+    stats.max_recursion_depth = stats.max_recursion_depth.max(depth);
+    if probe_rows.is_empty() {
+        run.delete();
+        return Ok(());
+    }
+    let rows = run.rows();
+    let cost = rows as usize * INT_BUILD_ROW_BYTES;
+    // A further split must both have hash bits left and be able to make
+    // progress (a partition of one repeated hash never shrinks).
+    let splittable = depth < MAX_SPILL_DEPTH && rows < parent_rows;
+    // The RAII lease releases the charge on every exit path, including
+    // an I/O error while re-reading the run.
+    let lease = budget.lease(cost).ok();
+    if lease.is_some() || !splittable {
+        if lease.is_none() {
+            stats.forced_builds += 1;
+        }
+        let (keys, pays) = run.read_all().map_err(storage_err)?;
+        stats.bytes_read += run.bytes();
+        run.delete();
+        let table = HashTable::from_rows(&keys, &pays);
+        let table = if bloom { table.with_bloom() } else { table };
+        drop((keys, pays));
+        for &pi in &probe_rows {
+            for &p in table.matches(probe_keys[pi as usize]) {
+                out.push((pi, p));
+            }
+        }
+        return Ok(());
+    }
+    // Re-partition (grace hash, next 4 bits), streaming frame-by-frame so
+    // the partition is never resident whole. Sub-partitions without any
+    // probe row cannot produce output — their build rows are dropped.
+    let mut sub_probe: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+    for pi in probe_rows {
+        sub_probe[bucket_of(hash_i64(probe_keys[pi as usize]), depth + 1)].push(pi);
+    }
+    let mut writers: Vec<Option<IntRunWriter>> = Vec::with_capacity(SPILL_FANOUT);
+    for (s, probes) in sub_probe.iter().enumerate() {
+        writers.push(if probes.is_empty() {
+            None
+        } else {
+            Some(
+                IntRunWriter::create(dir.run_path(&format!("int-d{}-b{s}", depth + 1)))
+                    .map_err(storage_err)?,
+            )
+        });
+    }
+    let mut reader = run.reader().map_err(storage_err)?;
+    while let Some((keys, pays)) = reader.next_frame().map_err(storage_err)? {
+        let mut sub: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
+        for (k, p) in keys.into_iter().zip(pays) {
+            let s = bucket_of(hash_i64(k), depth + 1);
+            if writers[s].is_some() {
+                sub[s].0.push(k);
+                sub[s].1.push(p);
+            }
+        }
+        for (s, (k, p)) in sub.into_iter().enumerate() {
+            if let Some(w) = writers[s].as_mut() {
+                w.append(&k, &p).map_err(storage_err)?;
+            }
+        }
+    }
+    stats.bytes_read += run.bytes();
+    run.delete();
+    for (s, writer) in writers.into_iter().enumerate() {
+        let Some(writer) = writer else { continue };
+        let sub_run = writer.finish().map_err(storage_err)?;
+        if sub_run.rows() == 0 {
+            // Probe rows but no build rows: nothing can match.
+            sub_run.delete();
+            continue;
+        }
+        stats.partitions_spilled += 1;
+        stats.runs_written += 1;
+        stats.bytes_written += sub_run.bytes();
+        settle_int_run(
+            sub_run,
+            std::mem::take(&mut sub_probe[s]),
+            probe_keys,
+            depth + 1,
+            rows,
+            dir,
+            budget,
+            bloom,
+            stats,
+            checkpoint,
+            out,
+        )?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Utf8 keys
+// ---------------------------------------------------------------------------
+
+/// The shared probe structure of a budgeted string join; same lease and
+/// lazy-dir discipline as [`IntSpillSides`].
+struct StrSpillSides<'a> {
+    tables: Vec<Option<StrHashTable>>,
+    runs: Vec<Option<StrRun>>,
+    leases: Vec<BudgetLease<'a>>,
+    dir: Option<SpillDir>,
+}
+
+fn str_batch_cost(batch: &StrBatch) -> usize {
+    batch.arena.len() + batch.len() * STR_BUILD_ROW_BYTES
+}
+
+fn str_table_of(batch: &StrBatch, bloom: bool) -> StrHashTable {
+    let t = StrHashTable::from_pairs((0..batch.len()).map(|i| (batch.key(i), batch.values[i])));
+    if bloom {
+        t.with_bloom()
+    } else {
+        t
+    }
+}
+
+fn append_str_chunked(w: &mut StrRunWriter, batch: &StrBatch) -> Result<(), KernelError> {
+    let mut frame = StrBatch::default();
+    for i in 0..batch.len() {
+        frame.push(batch.key(i), batch.values[i]);
+        if frame.len() == SPILL_FRAME_ROWS {
+            w.append(&frame).map_err(KernelError::Storage)?;
+            frame = StrBatch::default();
+        }
+    }
+    w.append(&frame).map_err(KernelError::Storage)
+}
+
+/// Memory-governed morsel-parallel hash join over a **Utf8 key column**:
+/// the grace-hash sibling of
+/// [`crate::parallel::parallel_hash_join_str`], with spilled partitions
+/// kept arena-backed end to end (run frames store one contiguous key
+/// arena; rebuilding a partition goes through
+/// [`StrHashTable::from_pairs`] without per-key allocation of the spilled
+/// rows). Output is bit-identical to the in-memory string join for any
+/// budget, worker count, and morsel size.
+pub fn parallel_hash_join_str_spill(
+    build_keys: &Array,
+    build_payloads: &Array,
+    probe_keys: &[String],
+    bloom: bool,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(ParallelJoinOutput, SpillStats)> {
+    let bk = build_keys
+        .as_str()
+        .ok_or_else(|| KernelError::Precondition("join build keys must be strings".to_string()))?;
+    let bp = build_payloads
+        .to_i64_vec()
+        .ok_or_else(|| KernelError::Precondition("join build payloads must be integer".into()))?;
+    if bk.len() != bp.len() {
+        return Err(KernelError::Precondition(format!(
+            "build keys and payloads must have equal lengths ({} vs {})",
+            bk.len(),
+            bp.len()
+        )));
+    }
+    let budget = opts.memory_budget.unwrap_or(&UNLIMITED);
+    let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
+    let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
+
+    let ((indices, payloads), stats, spill) = build_then_probe_spilling(
+        opts.runner(),
+        opts.cancel,
+        budget,
+        &build_plan,
+        &probe_plan,
+        |_, m| {
+            let mut parts: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
+            for i in m.start..m.end() {
+                let b = bucket_of(hash_str(&bk[i]), 0);
+                parts[b].push(&bk[i], bp[i]);
+            }
+            Ok::<_, KernelError>(parts)
+        },
+        |parts, _, stats| {
+            let mut buckets: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
+            for part in parts {
+                for (b, batch) in part.into_iter().enumerate() {
+                    for i in 0..batch.len() {
+                        buckets[b].push(batch.key(i), batch.values[i]);
+                    }
+                }
+            }
+            let mut dir: Option<SpillDir> = None;
+            let mut tables = Vec::with_capacity(SPILL_FANOUT);
+            let mut runs = Vec::with_capacity(SPILL_FANOUT);
+            let mut leases = Vec::new();
+            for (b, batch) in buckets.into_iter().enumerate() {
+                let cost = str_batch_cost(&batch);
+                // Leases come from the captured `budget` so the sides can
+                // hold them across the probe phase (released on any exit).
+                if let Ok(lease) = budget.lease(cost) {
+                    tables.push(Some(str_table_of(&batch, bloom)));
+                    runs.push(None);
+                    leases.push(lease);
+                } else {
+                    if dir.is_none() {
+                        dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
+                    }
+                    let d = dir.as_ref().expect("just created");
+                    let mut w = StrRunWriter::create(d.run_path(&format!("str-d0-b{b}")))
+                        .map_err(KernelError::Storage)?;
+                    append_str_chunked(&mut w, &batch)?;
+                    let run = w.finish().map_err(KernelError::Storage)?;
+                    stats.partitions_spilled += 1;
+                    stats.runs_written += 1;
+                    stats.bytes_written += run.bytes();
+                    tables.push(None);
+                    runs.push(Some(run));
+                }
+            }
+            Ok(StrSpillSides {
+                tables,
+                runs,
+                leases,
+                dir,
+            })
+        },
+        |_, m, shared: &StrSpillSides<'_>| {
+            let mut idx = Vec::new();
+            let mut pay = Vec::new();
+            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+            for (i, k) in probe_keys.iter().enumerate().take(m.end()).skip(m.start) {
+                let b = bucket_of(hash_str(k), 0);
+                match &shared.tables[b] {
+                    Some(t) => {
+                        for &p in t.matches(k) {
+                            idx.push(i as u32);
+                            pay.push(p);
+                        }
+                    }
+                    None => deferred[b].push(i as u32),
+                }
+            }
+            Ok((idx, pay, deferred))
+        },
+        |shared, outs, budget, stats, checkpoint| {
+            let StrSpillSides {
+                tables,
+                runs,
+                leases,
+                dir,
+            } = shared;
+            drop(tables);
+            drop(leases);
+            let mut res_idx = Vec::new();
+            let mut res_pay = Vec::new();
+            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+            for (idx, pay, defs) in outs {
+                res_idx.extend(idx);
+                res_pay.extend(pay);
+                for (b, d) in defs.into_iter().enumerate() {
+                    deferred[b].extend(d);
+                }
+            }
+            let mut pairs: Vec<(u32, i64)> = Vec::new();
+            for (b, run) in runs.into_iter().enumerate() {
+                if let Some(run) = run {
+                    settle_str_run(
+                        run,
+                        std::mem::take(&mut deferred[b]),
+                        probe_keys,
+                        0,
+                        u64::MAX,
+                        dir.as_ref().expect("spilled partitions imply a spill dir"),
+                        budget,
+                        bloom,
+                        stats,
+                        checkpoint,
+                        &mut pairs,
+                    )?;
+                }
+            }
+            pairs.sort_by_key(|&(i, _)| i);
+            Ok(merge_output_streams(res_idx, res_pay, pairs))
+        },
+    )
+    .map_err(kernel_run_err)?;
+    Ok((
+        ParallelJoinOutput {
+            indices,
+            payloads,
+            stats,
+        },
+        spill,
+    ))
+}
+
+/// The string sibling of [`settle_int_run`].
+#[allow(clippy::too_many_arguments)]
+fn settle_str_run(
+    run: StrRun,
+    probe_rows: Vec<u32>,
+    probe_keys: &[String],
+    depth: usize,
+    parent_rows: u64,
+    dir: &SpillDir,
+    budget: &MemoryBudget,
+    bloom: bool,
+    stats: &mut SpillStats,
+    checkpoint: &SpillCheckpoint<'_>,
+    out: &mut Vec<(u32, i64)>,
+) -> Result<(), RunError<KernelError>> {
+    checkpoint.check()?;
+    stats.max_recursion_depth = stats.max_recursion_depth.max(depth);
+    if probe_rows.is_empty() {
+        run.delete();
+        return Ok(());
+    }
+    let rows = run.rows();
+    let splittable = depth < MAX_SPILL_DEPTH && rows < parent_rows;
+    // Charge by the run's actual footprint: key bytes are inside the
+    // frames, so approximate with the encoded size plus per-row overhead.
+    let cost = run.bytes() as usize + rows as usize * STR_BUILD_ROW_BYTES;
+    // The RAII lease releases the charge on every exit path, including
+    // an I/O error while re-reading the run.
+    let lease = budget.lease(cost).ok();
+    if lease.is_some() || !splittable {
+        if lease.is_none() {
+            stats.forced_builds += 1;
+        }
+        let batch = run.read_all().map_err(storage_err)?;
+        stats.bytes_read += run.bytes();
+        run.delete();
+        let table = str_table_of(&batch, bloom);
+        drop(batch);
+        for &pi in &probe_rows {
+            for &p in table.matches(&probe_keys[pi as usize]) {
+                out.push((pi, p));
+            }
+        }
+        return Ok(());
+    }
+    let mut sub_probe: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+    for pi in probe_rows {
+        sub_probe[bucket_of(hash_str(&probe_keys[pi as usize]), depth + 1)].push(pi);
+    }
+    let mut writers: Vec<Option<StrRunWriter>> = Vec::with_capacity(SPILL_FANOUT);
+    for (s, probes) in sub_probe.iter().enumerate() {
+        writers.push(if probes.is_empty() {
+            None
+        } else {
+            Some(
+                StrRunWriter::create(dir.run_path(&format!("str-d{}-b{s}", depth + 1)))
+                    .map_err(storage_err)?,
+            )
+        });
+    }
+    let mut reader = run.reader().map_err(storage_err)?;
+    while let Some(batch) = reader.next_frame().map_err(storage_err)? {
+        let mut sub: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
+        for i in 0..batch.len() {
+            let key = batch.key(i);
+            let s = bucket_of(hash_str(key), depth + 1);
+            if writers[s].is_some() {
+                sub[s].push(key, batch.values[i]);
+            }
+        }
+        for (s, frame) in sub.into_iter().enumerate() {
+            if let Some(w) = writers[s].as_mut() {
+                w.append(&frame).map_err(storage_err)?;
+            }
+        }
+    }
+    stats.bytes_read += run.bytes();
+    run.delete();
+    for (s, writer) in writers.into_iter().enumerate() {
+        let Some(writer) = writer else { continue };
+        let sub_run = writer.finish().map_err(storage_err)?;
+        if sub_run.rows() == 0 {
+            sub_run.delete();
+            continue;
+        }
+        stats.partitions_spilled += 1;
+        stats.runs_written += 1;
+        stats.bytes_written += sub_run.bytes();
+        settle_str_run(
+            sub_run,
+            std::mem::take(&mut sub_probe[s]),
+            probe_keys,
+            depth + 1,
+            rows,
+            dir,
+            budget,
+            bloom,
+            stats,
+            checkpoint,
+            out,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_uses_disjoint_bit_windows() {
+        // Two keys whose hashes differ only above the level-0 window must
+        // collide at level 0 and (generically) separate later; the
+        // function must never shift past the hash width.
+        for depth in 0..=MAX_SPILL_DEPTH {
+            let b = bucket_of(i64::MIN, depth);
+            assert!(b < SPILL_FANOUT);
+        }
+        assert_eq!(bucket_of(0, 0), bucket_of(0, MAX_SPILL_DEPTH));
+    }
+
+    #[test]
+    fn bucket_of_spreads_low_bit_strided_keys() {
+        // Keys that share their low bits (all multiples of 16) must still
+        // fan out over many level-0 partitions: the window is drawn from
+        // the hash's high bits, where multiplicative hashing mixes best.
+        let used: std::collections::HashSet<usize> = (0..1000i64)
+            .map(|i| bucket_of(hash_i64(i * 16), 0))
+            .collect();
+        assert!(
+            used.len() >= SPILL_FANOUT / 2,
+            "structured keys collapsed to {} partitions",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn merge_streams_interleaves_by_index() {
+        let (idx, pay) =
+            merge_output_streams(vec![0, 2, 2], vec![10, 20, 21], vec![(1, 15), (3, 30)]);
+        assert_eq!(idx, vec![0, 1, 2, 2, 3]);
+        assert_eq!(pay, vec![10, 15, 20, 21, 30]);
+        // Either stream alone passes through unchanged.
+        assert_eq!(
+            merge_output_streams(vec![5], vec![50], vec![]),
+            (vec![5], vec![50])
+        );
+        assert_eq!(
+            merge_output_streams(vec![], vec![], vec![(7, 70)]),
+            (vec![7], vec![70])
+        );
+    }
+}

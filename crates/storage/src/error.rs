@@ -34,6 +34,9 @@ pub enum StorageError {
     CodecUnsupported(String),
     /// A column name was not found in a schema.
     UnknownColumn(String),
+    /// A spill-run file operation failed (the message carries the OS
+    /// error; kept as a string so the error stays `Clone + Eq`).
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -51,6 +54,7 @@ impl fmt::Display for StorageError {
             StorageError::CorruptBlock(msg) => write!(f, "corrupt block: {msg}"),
             StorageError::CodecUnsupported(msg) => write!(f, "codec unsupported: {msg}"),
             StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            StorageError::Io(msg) => write!(f, "spill i/o: {msg}"),
         }
     }
 }

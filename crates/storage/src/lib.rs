@@ -18,6 +18,9 @@
 //! * [`compress`] — the compression codecs (RLE, dictionary,
 //!   frame-of-reference with bit-packing, delta) and automatic per-block
 //!   scheme selection,
+//! * [`spill`] — append-only on-disk spill runs (columnar `(key, value)`
+//!   frame codec for `i64` and arena-backed Utf8 keys) backing the
+//!   out-of-core grace-hash join,
 //! * [`stats`] — lightweight statistics used for codec selection and
 //!   compact-type inference,
 //! * [`gen`] — deterministic data generators, including a TPC-H-style
@@ -32,6 +35,7 @@ pub mod gen;
 pub mod scalar;
 pub mod schema;
 pub mod sel;
+pub mod spill;
 pub mod stats;
 
 pub use array::Array;

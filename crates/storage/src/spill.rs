@@ -1,0 +1,664 @@
+//! Spill runs: append-only on-disk row files for out-of-core operators.
+//!
+//! When a build side outgrows its [`memory budget`], the grace-hash join
+//! (see `adaptvm_relational::spill`) writes the overflowing partition to a
+//! **run**: an append-only file of `(key, value)` rows in a simple
+//! columnar frame codec, read back either whole or frame-by-frame (the
+//! streaming path recursion uses to re-partition a run without
+//! materializing it).
+//!
+//! Two codecs cover the engine's join key types:
+//!
+//! * [`IntRunWriter`]/[`IntRun`] — `i64` keys and `i64` values. Frame:
+//!   `[u32 rows][rows×8 key bytes][rows×8 value bytes]`, little-endian.
+//! * [`StrRunWriter`]/[`StrRun`] — Utf8 keys and `i64` values, with the
+//!   key bytes kept **arena-backed** on both sides: a frame is
+//!   `[u32 rows][u32 key bytes][rows×4 key lengths][key arena][rows×8
+//!   values]`, and [`StrBatch`] hands keys back as slices into one
+//!   contiguous buffer — no per-key allocation on either side of the
+//!   disk.
+//!
+//! Runs live in a [`SpillDir`], a process-unique temporary directory
+//! removed (best-effort) on drop. All I/O errors surface as
+//! [`StorageError::Io`].
+//!
+//! [`memory budget`]: https://docs.rs/adaptvm-parallel
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::StorageError;
+
+/// Process-wide counter making [`SpillDir`] names unique.
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Sanity ceiling on rows per frame, enforced by the writers and trusted
+/// by the readers: a corrupt frame header can then never trigger an
+/// unbounded allocation (readers fail typed instead).
+pub const MAX_FRAME_ROWS: usize = 1 << 22;
+/// Sanity ceiling on one frame's key-arena bytes (same contract).
+pub const MAX_FRAME_KEY_BYTES: usize = 1 << 30;
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+/// A temporary directory holding spill runs, removed (best-effort) when
+/// dropped.
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+    seq: AtomicU64,
+}
+
+impl SpillDir {
+    /// Create a fresh spill directory under the system temp dir.
+    pub fn new() -> Result<SpillDir, StorageError> {
+        SpillDir::under(&std::env::temp_dir())
+    }
+
+    /// Create a fresh spill directory under `parent`.
+    pub fn under(parent: &Path) -> Result<SpillDir, StorageError> {
+        let name = format!(
+            "adaptvm-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = parent.join(name);
+        fs::create_dir_all(&path).map_err(|e| io_err("creating spill dir", &path, e))?;
+        Ok(SpillDir {
+            path,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A fresh, unique run-file path inside the directory, tagged with
+    /// `label` for debuggability.
+    pub fn run_path(&self, label: &str) -> PathBuf {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.path.join(format!("{label}-{n}.run"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared low-level helpers
+// ---------------------------------------------------------------------------
+
+fn write_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_i64s(buf: &mut Vec<u8>, vals: &[i64]) {
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Read exactly `buf.len()` bytes, or report a clean EOF (`Ok(false)`)
+/// when the reader is exhausted *before the first byte*.
+fn read_exact_or_eof(
+    reader: &mut BufReader<File>,
+    path: &Path,
+    buf: &mut [u8],
+) -> Result<bool, StorageError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(StorageError::Io(format!(
+                    "truncated spill run {}: unexpected EOF",
+                    path.display()
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("reading spill run", path, e)),
+        }
+    }
+    Ok(true)
+}
+
+fn read_u32(reader: &mut BufReader<File>, path: &Path) -> Result<u32, StorageError> {
+    let mut b = [0u8; 4];
+    if !read_exact_or_eof(reader, path, &mut b)? {
+        return Err(StorageError::Io(format!(
+            "truncated spill run {}: missing frame field",
+            path.display()
+        )));
+    }
+    Ok(u32::from_le_bytes(b))
+}
+
+fn decode_i64s(bytes: &[u8]) -> Vec<i64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect()
+}
+
+fn delete_file(path: &Path) {
+    let _ = fs::remove_file(path);
+}
+
+// ---------------------------------------------------------------------------
+// i64 runs
+// ---------------------------------------------------------------------------
+
+/// Appends frames of `(i64 key, i64 value)` rows to a run file.
+#[derive(Debug)]
+pub struct IntRunWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    rows: u64,
+    bytes: u64,
+}
+
+impl IntRunWriter {
+    /// Create (truncating) the run file at `path`.
+    pub fn create(path: PathBuf) -> Result<IntRunWriter, StorageError> {
+        let file = File::create(&path).map_err(|e| io_err("creating spill run", &path, e))?;
+        Ok(IntRunWriter {
+            file: BufWriter::new(file),
+            path,
+            rows: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Append one frame. Empty frames are skipped; unequal column lengths
+    /// are a [`StorageError::LengthMismatch`]; more than
+    /// [`MAX_FRAME_ROWS`] rows must be split into several appends.
+    pub fn append(&mut self, keys: &[i64], values: &[i64]) -> Result<(), StorageError> {
+        if keys.len() != values.len() {
+            return Err(StorageError::LengthMismatch {
+                left: keys.len(),
+                right: values.len(),
+            });
+        }
+        if keys.len() > MAX_FRAME_ROWS {
+            return Err(StorageError::Io(format!(
+                "spill frame of {} rows exceeds MAX_FRAME_ROWS ({MAX_FRAME_ROWS}); \
+                 split into smaller appends",
+                keys.len()
+            )));
+        }
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let mut frame = Vec::with_capacity(4 + keys.len() * 16);
+        write_u32(&mut frame, keys.len() as u32);
+        write_i64s(&mut frame, keys);
+        write_i64s(&mut frame, values);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("writing spill run", &self.path, e))?;
+        self.rows += keys.len() as u64;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flush and seal the run.
+    pub fn finish(mut self) -> Result<IntRun, StorageError> {
+        self.file
+            .flush()
+            .map_err(|e| io_err("flushing spill run", &self.path, e))?;
+        Ok(IntRun {
+            path: self.path,
+            rows: self.rows,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// A sealed `(i64, i64)` run on disk.
+#[derive(Debug)]
+pub struct IntRun {
+    path: PathBuf,
+    rows: u64,
+    bytes: u64,
+}
+
+impl IntRun {
+    /// Rows in the run.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Encoded bytes on disk.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Open the run for frame-by-frame streaming.
+    pub fn reader(&self) -> Result<IntRunReader, StorageError> {
+        let file =
+            File::open(&self.path).map_err(|e| io_err("opening spill run", &self.path, e))?;
+        Ok(IntRunReader {
+            file: BufReader::new(file),
+            path: self.path.clone(),
+        })
+    }
+
+    /// Read the whole run back as two columns (keys, values), in append
+    /// order.
+    pub fn read_all(&self) -> Result<(Vec<i64>, Vec<i64>), StorageError> {
+        let mut keys = Vec::with_capacity(self.rows as usize);
+        let mut values = Vec::with_capacity(self.rows as usize);
+        let mut reader = self.reader()?;
+        while let Some((k, v)) = reader.next_frame()? {
+            keys.extend(k);
+            values.extend(v);
+        }
+        Ok((keys, values))
+    }
+
+    /// Delete the file early (the owning [`SpillDir`] would otherwise
+    /// clean it up on drop). Best-effort.
+    pub fn delete(self) {
+        delete_file(&self.path);
+    }
+}
+
+/// Streams the frames of an [`IntRun`] in append order.
+#[derive(Debug)]
+pub struct IntRunReader {
+    file: BufReader<File>,
+    path: PathBuf,
+}
+
+impl IntRunReader {
+    /// The next frame as (keys, values), or `None` at end of run.
+    #[allow(clippy::type_complexity)]
+    pub fn next_frame(&mut self) -> Result<Option<(Vec<i64>, Vec<i64>)>, StorageError> {
+        let mut header = [0u8; 4];
+        if !read_exact_or_eof(&mut self.file, &self.path, &mut header)? {
+            return Ok(None);
+        }
+        let rows = u32::from_le_bytes(header) as usize;
+        if rows > MAX_FRAME_ROWS {
+            return Err(StorageError::Io(format!(
+                "corrupt spill run {}: frame header claims {rows} rows (max {MAX_FRAME_ROWS})",
+                self.path.display()
+            )));
+        }
+        let mut body = vec![0u8; rows * 16];
+        if !read_exact_or_eof(&mut self.file, &self.path, &mut body)? && rows > 0 {
+            return Err(StorageError::Io(format!(
+                "truncated spill run {}: missing frame body",
+                self.path.display()
+            )));
+        }
+        let keys = decode_i64s(&body[..rows * 8]);
+        let values = decode_i64s(&body[rows * 8..]);
+        Ok(Some((keys, values)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Utf8 runs
+// ---------------------------------------------------------------------------
+
+/// One decoded frame of a [`StrRun`]: keys as slices into one contiguous
+/// arena (offsets are cumulative, `offsets[0] == 0`), values columnar.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrBatch {
+    /// `rows + 1` cumulative key-byte offsets into [`StrBatch::arena`].
+    pub offsets: Vec<u32>,
+    /// The key-bytes arena.
+    pub arena: Vec<u8>,
+    /// The value column.
+    pub values: Vec<i64>,
+}
+
+impl StrBatch {
+    /// Rows in the batch.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Key `i` as a string slice into the arena.
+    pub fn key(&self, i: usize) -> &str {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        std::str::from_utf8(&self.arena[lo..hi]).expect("validated on decode")
+    }
+
+    /// Append one row. Panics if the key arena would exceed u32
+    /// addressing (the codec's offset width) — the same bound the writer
+    /// and the hash tables enforce, checked here before offsets could
+    /// silently wrap.
+    pub fn push(&mut self, key: &str, value: i64) {
+        assert!(
+            self.arena.len() + key.len() <= u32::MAX as usize,
+            "StrBatch key arena exceeds u32 addressing ({} + {} bytes)",
+            self.arena.len(),
+            key.len()
+        );
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.arena.extend_from_slice(key.as_bytes());
+        self.offsets.push(self.arena.len() as u32);
+        self.values.push(value);
+    }
+}
+
+/// Appends frames of `(Utf8 key, i64 value)` rows to a run file.
+#[derive(Debug)]
+pub struct StrRunWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    rows: u64,
+    bytes: u64,
+}
+
+impl StrRunWriter {
+    /// Create (truncating) the run file at `path`.
+    pub fn create(path: PathBuf) -> Result<StrRunWriter, StorageError> {
+        let file = File::create(&path).map_err(|e| io_err("creating spill run", &path, e))?;
+        Ok(StrRunWriter {
+            file: BufWriter::new(file),
+            path,
+            rows: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Append one arena-backed frame. Empty frames are skipped; frames
+    /// over [`MAX_FRAME_ROWS`] rows or [`MAX_FRAME_KEY_BYTES`] key bytes
+    /// must be split into several appends.
+    pub fn append(&mut self, batch: &StrBatch) -> Result<(), StorageError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let rows = batch.len();
+        let key_bytes = batch.arena.len();
+        if rows > MAX_FRAME_ROWS || key_bytes > MAX_FRAME_KEY_BYTES {
+            return Err(StorageError::Io(format!(
+                "spill frame of {rows} rows / {key_bytes} key bytes exceeds the frame \
+                 ceilings ({MAX_FRAME_ROWS} rows, {MAX_FRAME_KEY_BYTES} bytes); \
+                 split into smaller appends"
+            )));
+        }
+        let mut frame = Vec::with_capacity(12 + rows * 12 + key_bytes);
+        write_u32(&mut frame, rows as u32);
+        write_u32(&mut frame, key_bytes as u32);
+        for i in 0..rows {
+            write_u32(&mut frame, batch.offsets[i + 1] - batch.offsets[i]);
+        }
+        frame.extend_from_slice(&batch.arena);
+        write_i64s(&mut frame, &batch.values);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("writing spill run", &self.path, e))?;
+        self.rows += rows as u64;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flush and seal the run.
+    pub fn finish(mut self) -> Result<StrRun, StorageError> {
+        self.file
+            .flush()
+            .map_err(|e| io_err("flushing spill run", &self.path, e))?;
+        Ok(StrRun {
+            path: self.path,
+            rows: self.rows,
+            bytes: self.bytes,
+        })
+    }
+}
+
+/// A sealed `(Utf8, i64)` run on disk.
+#[derive(Debug)]
+pub struct StrRun {
+    path: PathBuf,
+    rows: u64,
+    bytes: u64,
+}
+
+impl StrRun {
+    /// Rows in the run.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Encoded bytes on disk.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Open the run for frame-by-frame streaming.
+    pub fn reader(&self) -> Result<StrRunReader, StorageError> {
+        let file =
+            File::open(&self.path).map_err(|e| io_err("opening spill run", &self.path, e))?;
+        Ok(StrRunReader {
+            file: BufReader::new(file),
+            path: self.path.clone(),
+        })
+    }
+
+    /// Read the whole run back as one arena-backed batch, in append
+    /// order.
+    pub fn read_all(&self) -> Result<StrBatch, StorageError> {
+        let mut all = StrBatch::default();
+        let mut reader = self.reader()?;
+        while let Some(batch) = reader.next_frame()? {
+            for i in 0..batch.len() {
+                all.push(batch.key(i), batch.values[i]);
+            }
+        }
+        Ok(all)
+    }
+
+    /// Delete the file early. Best-effort.
+    pub fn delete(self) {
+        delete_file(&self.path);
+    }
+}
+
+/// Streams the frames of a [`StrRun`] in append order.
+#[derive(Debug)]
+pub struct StrRunReader {
+    file: BufReader<File>,
+    path: PathBuf,
+}
+
+impl StrRunReader {
+    /// The next frame, or `None` at end of run. Key bytes are validated
+    /// as Utf8 here, so [`StrBatch::key`] is infallible.
+    pub fn next_frame(&mut self) -> Result<Option<StrBatch>, StorageError> {
+        let mut header = [0u8; 4];
+        if !read_exact_or_eof(&mut self.file, &self.path, &mut header)? {
+            return Ok(None);
+        }
+        let rows = u32::from_le_bytes(header) as usize;
+        let key_bytes = read_u32(&mut self.file, &self.path)? as usize;
+        if rows > MAX_FRAME_ROWS || key_bytes > MAX_FRAME_KEY_BYTES {
+            return Err(StorageError::Io(format!(
+                "corrupt spill run {}: frame header claims {rows} rows / {key_bytes} key \
+                 bytes (max {MAX_FRAME_ROWS} / {MAX_FRAME_KEY_BYTES})",
+                self.path.display()
+            )));
+        }
+        let mut body = vec![0u8; rows * 4 + key_bytes + rows * 8];
+        if !read_exact_or_eof(&mut self.file, &self.path, &mut body)? && !body.is_empty() {
+            return Err(StorageError::Io(format!(
+                "truncated spill run {}: missing frame body",
+                self.path.display()
+            )));
+        }
+        let (lens, rest) = body.split_at(rows * 4);
+        let (arena, vals) = rest.split_at(key_bytes);
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0u32);
+        let mut at = 0u32;
+        for len in lens.chunks_exact(4) {
+            at += u32::from_le_bytes(len.try_into().expect("chunks_exact(4)"));
+            offsets.push(at);
+        }
+        if at as usize != key_bytes {
+            return Err(StorageError::Io(format!(
+                "corrupt spill run {}: key lengths sum to {at}, arena holds {key_bytes}",
+                self.path.display()
+            )));
+        }
+        let batch = StrBatch {
+            offsets,
+            arena: arena.to_vec(),
+            values: decode_i64s(vals),
+        };
+        for i in 0..batch.len() {
+            let lo = batch.offsets[i] as usize;
+            let hi = batch.offsets[i + 1] as usize;
+            std::str::from_utf8(&batch.arena[lo..hi]).map_err(|e| {
+                StorageError::Io(format!(
+                    "corrupt spill run {}: key {i} is not Utf8 ({e})",
+                    self.path.display()
+                ))
+            })?;
+        }
+        Ok(Some(batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_run_roundtrips_in_append_order() {
+        let dir = SpillDir::new().unwrap();
+        let mut w = IntRunWriter::create(dir.run_path("t")).unwrap();
+        w.append(&[1, 2, 3], &[10, 20, 30]).unwrap();
+        w.append(&[], &[]).unwrap(); // skipped
+        w.append(&[-4], &[i64::MIN]).unwrap();
+        assert_eq!(w.rows(), 4);
+        let run = w.finish().unwrap();
+        assert_eq!(run.rows(), 4);
+        assert!(run.bytes() > 0);
+        let (k, v) = run.read_all().unwrap();
+        assert_eq!(k, vec![1, 2, 3, -4]);
+        assert_eq!(v, vec![10, 20, 30, i64::MIN]);
+        // Streaming sees the two non-empty frames.
+        let mut r = run.reader().unwrap();
+        assert_eq!(r.next_frame().unwrap().unwrap().0, vec![1, 2, 3]);
+        assert_eq!(r.next_frame().unwrap().unwrap().0, vec![-4]);
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn int_writer_rejects_unequal_columns() {
+        let dir = SpillDir::new().unwrap();
+        let mut w = IntRunWriter::create(dir.run_path("t")).unwrap();
+        assert_eq!(
+            w.append(&[1], &[1, 2]).unwrap_err(),
+            StorageError::LengthMismatch { left: 1, right: 2 }
+        );
+    }
+
+    #[test]
+    fn str_run_roundtrips_arena_backed() {
+        let dir = SpillDir::new().unwrap();
+        let mut batch = StrBatch::default();
+        batch.push("alpha", 1);
+        batch.push("", 2); // empty key is legal
+        batch.push("βeta", 3); // multi-byte Utf8
+        let mut w = StrRunWriter::create(dir.run_path("s")).unwrap();
+        w.append(&batch).unwrap();
+        w.append(&StrBatch::default()).unwrap(); // skipped
+        let mut second = StrBatch::default();
+        second.push("tail", -9);
+        w.append(&second).unwrap();
+        let run = w.finish().unwrap();
+        assert_eq!(run.rows(), 4);
+        let all = run.read_all().unwrap();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all.key(0), "alpha");
+        assert_eq!(all.key(1), "");
+        assert_eq!(all.key(2), "βeta");
+        assert_eq!(all.key(3), "tail");
+        assert_eq!(all.values, vec![1, 2, 3, -9]);
+    }
+
+    #[test]
+    fn spill_dir_removes_itself() {
+        let path = {
+            let dir = SpillDir::new().unwrap();
+            let mut w = IntRunWriter::create(dir.run_path("x")).unwrap();
+            w.append(&[1], &[1]).unwrap();
+            w.finish().unwrap();
+            assert!(dir.path().exists());
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists(), "drop removes the spill dir");
+    }
+
+    #[test]
+    fn oversized_frame_header_fails_typed_instead_of_allocating() {
+        let dir = SpillDir::new().unwrap();
+        let path = dir.run_path("bogus");
+        let mut w = IntRunWriter::create(path.clone()).unwrap();
+        w.append(&[1], &[1]).unwrap();
+        let run = w.finish().unwrap();
+        // Corrupt the header to claim u32::MAX rows: the reader must fail
+        // typed, not attempt a ~64 GiB allocation.
+        let mut data = fs::read(&path).unwrap();
+        data[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &data).unwrap();
+        let err = run.read_all().unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err:?}");
+        // And the writers enforce the same ceiling symmetrically.
+        let mut w = IntRunWriter::create(dir.run_path("big")).unwrap();
+        let too_many = vec![0i64; MAX_FRAME_ROWS + 1];
+        assert!(matches!(
+            w.append(&too_many, &too_many).unwrap_err(),
+            StorageError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_run_reports_io_error() {
+        let dir = SpillDir::new().unwrap();
+        let path = dir.run_path("trunc");
+        let mut w = IntRunWriter::create(path.clone()).unwrap();
+        w.append(&[1, 2, 3, 4], &[1, 2, 3, 4]).unwrap();
+        let run = w.finish().unwrap();
+        // Chop the file mid-frame.
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let err = run.read_all().unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err:?}");
+    }
+}

@@ -7,7 +7,9 @@
 //! The system, bottom to top:
 //!
 //! * [`storage`] — columnar arrays, selection vectors/bitmaps, per-block
-//!   compression (RLE/dictionary/frame-of-reference/delta), data generators,
+//!   compression (RLE/dictionary/frame-of-reference/delta), data
+//!   generators, and on-disk spill runs (`storage::spill`) for the
+//!   out-of-core operators,
 //! * [`dsl`] — the data-parallel skeleton language of §II (Table I) with
 //!   control flow, a parser/printer, a type checker, normalization,
 //!   deforestation/fusion, chunk-size manipulation and the §III-B greedy
@@ -40,9 +42,16 @@
 //!   (`ServiceStats`) — every `relational::parallel` entry point runs
 //!   through it unchanged (`ParallelOpts::with_service`), bit-identical
 //!   to direct scheduler submission,
-//! * [`relational`] — operators, adaptive aggregation/joins, compressed
-//!   scans and the TPC-H Q1/Q6 workloads the paper's motivation cites —
-//!   each with morsel-parallel variants in `relational::parallel`.
+//! * [`relational`] — operators, adaptive aggregation/joins (integer and
+//!   Utf8 keys, including mixed-key adaptive chains), compressed scans
+//!   and the TPC-H Q1/Q3/Q6 workloads the paper's motivation cites —
+//!   each with morsel-parallel variants in `relational::parallel`,
+//! * [`relational::spill`] — the **out-of-core** join regime: grace-hash
+//!   joins governed by a byte-accounted `parallel::MemoryBudget`, build
+//!   partitions spilling to disk runs and recursively re-partitioning
+//!   until they fit — bit-identical to the in-memory joins at every
+//!   budget and worker count, with cancellation honored between spill
+//!   runs.
 //!
 //! ## Quickstart
 //!
@@ -78,7 +87,8 @@ pub mod prelude {
     pub use adaptvm_jit::compiler::CostModel;
     pub use adaptvm_kernels::{FilterFlavor, MapMode};
     pub use adaptvm_parallel::{
-        CancelToken, Morsel, MorselPlan, ParallelVm, Priority, QueryService, Scheduler, ServeConfig,
+        CancelToken, MemoryBudget, Morsel, MorselPlan, ParallelVm, Priority, QueryService,
+        Scheduler, ServeConfig,
     };
     pub use adaptvm_storage::{Array, Scalar, ScalarType};
     pub use adaptvm_vm::{BanditPolicy, Buffers, RunReport, Strategy, Vm, VmConfig};

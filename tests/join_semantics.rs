@@ -4,8 +4,10 @@
 //! parallel-vs-sequential bit-identity of the partitioned build + shared
 //! probe on both key types.
 
-use adaptvm::relational::join::{AdaptiveJoinChain, HashTable, StrHashTable};
-use adaptvm::relational::parallel::{parallel_hash_join, parallel_hash_join_str, ParallelOpts};
+use adaptvm::relational::join::{AdaptiveJoinChain, HashTable, JoinSide, KeyColumn, StrHashTable};
+use adaptvm::relational::parallel::{
+    parallel_hash_join, parallel_hash_join_str, ParallelJoinChain, ParallelOpts,
+};
 use adaptvm::storage::Array;
 use proptest::prelude::*;
 
@@ -178,6 +180,51 @@ proptest! {
                 morsel_rows,
                 bloom
             );
+        }
+    }
+
+    /// A **mixed-key** parallel chain (an i64 side and a Utf8 side) is
+    /// bit-identical to the sequential mixed chain over the same batches
+    /// for 1/2/4/8 workers. (The *learned order* may legitimately differ
+    /// between executors — the controller also weighs wall-clock timings
+    /// — but survivors of a conjunctive chain are order-independent.)
+    #[test]
+    fn parallel_mixed_chain_bit_identical_to_sequential(
+        int_ids in prop::collection::vec(0i64..2_000, 50..400),
+        morsel_rows in 1usize..150,
+    ) {
+        let n = int_ids.len();
+        let str_probe: Vec<String> = (0..n as i64).map(|i| format!("seg-{}", i % 40)).collect();
+        let mk_sides = || {
+            let int_build: Vec<i64> = (0..1_500).collect();
+            let int_pays: Vec<i64> = (0..1_500).map(|k| k + 1).collect();
+            let str_build: Vec<String> = (0..10).map(|i| format!("seg-{i}")).collect();
+            let str_pays: Vec<i64> = (0..10).map(|i| i * 5).collect();
+            vec![
+                JoinSide::Int(HashTable::from_rows(&int_build, &int_pays)),
+                JoinSide::Str(StrHashTable::from_rows(&str_build, &str_pays)),
+            ]
+        };
+        let mut seq = AdaptiveJoinChain::new_mixed(mk_sides(), 2);
+        let columns = [KeyColumn::Int(&int_ids), KeyColumn::Str(&str_probe)];
+        let seq_results: Vec<_> = (0..5).map(|_| seq.probe_chunk_mixed(&columns)).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let mut par = ParallelJoinChain::new_mixed(mk_sides(), 2);
+            for (batch, expected) in seq_results.iter().enumerate() {
+                let r = par
+                    .probe_batch_mixed(
+                        &columns,
+                        ParallelOpts {
+                            workers,
+                            morsel_rows,
+                            ..ParallelOpts::default()
+                        },
+                    )
+                    .unwrap();
+                prop_assert_eq!(&r.indices, &expected.indices, "workers={} batch={}", workers, batch);
+                prop_assert_eq!(&r.payload_sum, &expected.payload_sum);
+            }
+            prop_assert_eq!(par.order().len(), 2, "workers={}", workers);
         }
     }
 
