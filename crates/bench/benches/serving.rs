@@ -1,7 +1,7 @@
 //! B13 — the admission-controlled serving layer under mixed-priority
 //! open-loop load.
 //!
-//! Two parts:
+//! Three parts:
 //! * Criterion micro-benches of the admission path itself: the same raw
 //!   morsel query submitted straight to a `Scheduler` vs through a
 //!   `QueryService` (bounded queue + fair dispatch + telemetry) — the
@@ -13,12 +13,23 @@
 //!   demonstrating that Interactive p99 stays below Batch p99 while
 //!   Batch keeps completing (fair share, no starvation).
 //!
+//! * a multi-tenant saturation run: a flooding tenant (weight 1, open
+//!   loop, ignored refusals) against a gold tenant (weight 8) and a
+//!   silver tenant (weight 2) on one small pool; prints per-tenant
+//!   admitted/rejected/latency rows and writes the whole run —
+//!   queries/sec, per-priority and per-tenant p50/p99, rejection rates —
+//!   to `BENCH_serving.json` at the workspace root for machine
+//!   consumption.
+//!
 //! `ADAPTVM_BENCH_QUICK=1` shrinks everything to a CI smoke run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use adaptvm_parallel::serve::{Priority, QueryService, ServeConfig, SubmitOpts};
+use adaptvm_parallel::serve::{
+    Priority, QueryService, ServeConfig, SubmitOpts, TenantQuota, TenantRegistry,
+};
 use adaptvm_parallel::{MorselPlan, Scheduler};
 
 fn quick() -> bool {
@@ -55,6 +66,55 @@ fn fmt_ms(d: Option<Duration>) -> String {
         Some(d) => format!("{:8.2}", d.as_secs_f64() * 1e3),
         None => format!("{:>8}", "-"),
     }
+}
+
+/// Milliseconds as a JSON number, or `null` when the histogram is empty.
+fn json_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.3}", d.as_secs_f64() * 1e3),
+        None => "null".into(),
+    }
+}
+
+/// The admission/latency figures shared by the per-priority and
+/// per-tenant rows in `BENCH_serving.json`.
+struct JsonRow {
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    rejected: u64,
+    shed: u64,
+    rate: f64,
+    queue_wait_p50: Option<Duration>,
+    queue_wait_p99: Option<Duration>,
+    latency_p50: Option<Duration>,
+    latency_p99: Option<Duration>,
+}
+
+/// One JSON object of admission/latency figures.
+fn json_row(name: &str, weight: Option<u64>, r: &JsonRow) -> String {
+    let mut s = format!("{{\"name\":\"{name}\"");
+    if let Some(w) = weight {
+        let _ = write!(s, ",\"weight\":{w}");
+    }
+    let _ = write!(
+        s,
+        ",\"submitted\":{},\"admitted\":{},\"completed\":{},\
+         \"rejected\":{},\"shed\":{},\"rejection_rate\":{:.4},\
+         \"queue_wait_p50_ms\":{},\"queue_wait_p99_ms\":{},\
+         \"latency_p50_ms\":{},\"latency_p99_ms\":{}}}",
+        r.submitted,
+        r.admitted,
+        r.completed,
+        r.rejected,
+        r.shed,
+        r.rate,
+        json_ms(r.queue_wait_p50),
+        json_ms(r.queue_wait_p99),
+        json_ms(r.latency_p50),
+        json_ms(r.latency_p99),
+    );
+    s
 }
 
 fn bench(c: &mut Criterion) {
@@ -179,6 +239,165 @@ fn bench(c: &mut Criterion) {
             "interactive p99 ({ip99:?}) must not exceed batch p99 ({bp99:?}) under saturation"
         );
     }
+    let report = service.drain(Duration::from_secs(60));
+    assert!(report.clean, "everything joined already: {report:?}");
+
+    // Part 3: multi-tenant saturation — one flooder vs two paying tiers.
+    let (rounds, query_rows) = if quick() {
+        (60usize, 20_000usize)
+    } else {
+        (400, 100_000)
+    };
+    let mut reg = TenantRegistry::new();
+    let gold = reg.register("gold", TenantQuota::new().with_weight(8));
+    let silver = reg.register("silver", TenantQuota::new().with_weight(2));
+    let flood = reg.register(
+        "flood",
+        TenantQuota::new().with_weight(1).with_max_in_flight(1),
+    );
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(2)
+            .with_queue_capacity(8)
+            .with_elastic_concurrency(4),
+        reg,
+    );
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..rounds {
+        // The flooder fires four Batch queries a round, open loop,
+        // shrugging off refusals; the paying tiers run closed-loop (one
+        // query in flight each), which is the shape the isolation claim
+        // is about: their backpressure is their own, not the flood's.
+        for _ in 0..4 {
+            if let Ok(h) = service.try_submit(
+                SubmitOpts::batch().with_tenant(flood),
+                MorselPlan::new(query_rows, 2_048),
+                |_, m| Ok::<usize, ()>((m.start..m.end()).map(|i| i % 7).sum()),
+                |parts, _| parts.iter().sum::<usize>(),
+            ) {
+                handles.push(h);
+            }
+        }
+        for (id, opts) in [
+            (gold, SubmitOpts::interactive()),
+            (silver, SubmitOpts::normal()),
+        ] {
+            let h = service
+                .try_submit(
+                    opts.with_tenant(id),
+                    MorselPlan::new(query_rows / 4, 2_048),
+                    |_, m| Ok::<usize, ()>((m.start..m.end()).map(|i| i % 7).sum()),
+                    |parts, _| parts.iter().sum::<usize>(),
+                )
+                .expect("closed-loop tier queries are never refused");
+            let _ = h.join();
+        }
+        if handles.len() > 64 {
+            for h in handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let tenant_wall = wall.elapsed().as_secs_f64();
+    let stats = service.stats();
+
+    println!("\n-- serving: multi-tenant saturation (gold w8 / silver w2 / flood w1×4)");
+    println!(
+        "   {:<8} {:>7} {:>9} {:>9} {:>9} {:>7}  {:>8} {:>8}",
+        "tenant", "weight", "admitted", "complete", "rejected", "rate", "lat p50", "lat p99"
+    );
+    for t in &stats.tenants {
+        println!(
+            "   {:<8} {:>7} {:>9} {:>9} {:>9} {:>6.1}%  {} {} ms",
+            t.name,
+            t.weight,
+            t.admitted,
+            t.completed,
+            t.rejected() + t.shed,
+            t.rejection_rate() * 100.0,
+            fmt_ms(t.latency.p50()),
+            fmt_ms(t.latency.p99()),
+        );
+    }
+    let completed: u64 = stats.tenants.iter().map(|t| t.completed).sum();
+    let qps = completed as f64 / tenant_wall.max(1e-9);
+    println!(
+        "   {completed} queries in {tenant_wall:.2} s → {qps:.1} queries/s; \
+         elastic limit grew {}×, shrank {}×",
+        stats.grow_events, stats.shrink_events
+    );
+    let gold_stats = stats.tenant("gold").expect("gold registered");
+    assert_eq!(
+        gold_stats.rejected() + gold_stats.shed,
+        0,
+        "the weighted gold tenant must never be refused: {gold_stats:?}"
+    );
+
+    // Machine-readable dump for trend tracking.
+    let mut json = String::from("{\n  \"bench\": \"serving\",\n");
+    let _ = writeln!(json, "  \"quick\": {},", quick());
+    let _ = writeln!(json, "  \"wall_seconds\": {tenant_wall:.3},");
+    let _ = writeln!(json, "  \"queries_per_second\": {qps:.2},");
+    json.push_str("  \"priorities\": [\n");
+    let rows: Vec<String> = Priority::ALL
+        .iter()
+        .map(|&p| {
+            let ps = stats.priority(p);
+            json_row(
+                p.name(),
+                None,
+                &JsonRow {
+                    submitted: ps.submitted,
+                    admitted: ps.admitted,
+                    completed: ps.completed,
+                    rejected: ps.rejected(),
+                    shed: ps.shed,
+                    rate: ps.rejection_rate(),
+                    queue_wait_p50: ps.queue_wait.p50(),
+                    queue_wait_p99: ps.queue_wait.p99(),
+                    latency_p50: ps.latency.p50(),
+                    latency_p99: ps.latency.p99(),
+                },
+            )
+        })
+        .collect();
+    let _ = writeln!(json, "    {}", rows.join(",\n    "));
+    json.push_str("  ],\n  \"tenants\": [\n");
+    let rows: Vec<String> = stats
+        .tenants
+        .iter()
+        .map(|t| {
+            json_row(
+                &t.name,
+                Some(t.weight),
+                &JsonRow {
+                    submitted: t.submitted,
+                    admitted: t.admitted,
+                    completed: t.completed,
+                    rejected: t.rejected(),
+                    shed: t.shed,
+                    rate: t.rejection_rate(),
+                    queue_wait_p50: t.queue_wait.p50(),
+                    queue_wait_p99: t.queue_wait.p99(),
+                    latency_p50: t.latency.p50(),
+                    latency_p99: t.latency.p99(),
+                },
+            )
+        })
+        .collect();
+    let _ = writeln!(json, "    {}", rows.join(",\n    "));
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("   wrote {path}"),
+        Err(e) => println!("   could not write {path}: {e}"),
+    }
+
     let report = service.drain(Duration::from_secs(60));
     assert!(report.clean, "everything joined already: {report:?}");
 }

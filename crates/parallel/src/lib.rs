@@ -34,8 +34,12 @@
 //!   (Interactive/Normal/Batch) with typed backpressure, weighted-fair
 //!   stride dispatch with aging (Batch never starves, Interactive wins
 //!   under load), cancellation and deadlines for queued *and* running
-//!   queries, graceful drain, and per-priority latency/rejection
-//!   telemetry,
+//!   queries, graceful drain, per-priority latency/rejection telemetry —
+//!   and **multi-tenancy** ([`serve::tenant`]): per-tenant quotas
+//!   (weighted admission share, in-flight and queue-depth caps, shared
+//!   [`MemoryBudget`]s), overload shedding (Batch before Normal before
+//!   Interactive), elastic concurrency, and a plain-text metrics
+//!   exposition ([`serve::telemetry::render_text`]),
 //! * [`exec`] — [`ParallelVm`]: one program instance per morsel, each on a
 //!   private `Env`/interpreter, all sharing one JIT code cache (compile
 //!   once, inject everywhere) and merging their profiles into one run
@@ -85,6 +89,7 @@ pub use scheduler::{
     QueryHandle, QueryOutcomeKind, RunError, Scheduler, SchedulerStats, SubmitError, SubmitOptions,
 };
 pub use serve::{
-    AdmissionError, DrainReport, GateError, Priority, PriorityStats, QueryService, ServeConfig,
-    ServeHandle, ServiceStats, SubmitOpts,
+    render_text, AdmissionError, DrainReport, GateError, Priority, PriorityStats, QueryService,
+    ServeConfig, ServeHandle, ServiceStats, SubmitOpts, TenantId, TenantQuota, TenantRegistry,
+    TenantStats,
 };

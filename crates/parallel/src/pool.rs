@@ -11,7 +11,7 @@
 use crate::dispatch::{DispatchStats, Dispatcher};
 use crate::morsel::{Morsel, MorselPlan};
 use crate::scheduler::{CancelReason, CancelToken, QueryOutcomeKind, RunError, Scheduler};
-use crate::serve::{Priority, QueryService, SubmitOpts};
+use crate::serve::{Priority, QueryService, SubmitOpts, TenantId};
 
 /// Where a morsel plan executes: a scoped per-run pool (threads spawned
 /// and joined inside the call), a long-lived [`Scheduler`] (threads
@@ -35,6 +35,10 @@ pub enum Runner<'a> {
         service: &'a QueryService,
         /// Priority class the run is admitted under.
         priority: Priority,
+        /// Tenant the run is attributed to (`None` = anonymous). Tenancy
+        /// only gates admission and dispatch order — results are
+        /// bit-identical either way.
+        tenant: Option<TenantId>,
     },
 }
 
@@ -48,10 +52,15 @@ impl std::fmt::Debug for Runner<'_> {
                 .debug_struct("Scheduler")
                 .field("workers", &s.workers())
                 .finish(),
-            Runner::Service { service, priority } => f
+            Runner::Service {
+                service,
+                priority,
+                tenant,
+            } => f
                 .debug_struct("Service")
                 .field("workers", &service.scheduler().workers())
                 .field("priority", priority)
+                .field("tenant", tenant)
                 .finish(),
         }
     }
@@ -117,8 +126,15 @@ impl Runner<'_> {
         match self {
             Runner::Scoped { workers } => run_morsels_with(*workers, plan, cancel, task),
             Runner::Scheduler(s) => s.run_with(plan, cancel, task),
-            Runner::Service { service, priority } => {
+            Runner::Service {
+                service,
+                priority,
+                tenant,
+            } => {
                 let mut opts = SubmitOpts::new(*priority);
+                if let Some(id) = tenant {
+                    opts = opts.with_tenant(*id);
+                }
                 if let Some(token) = cancel {
                     opts = opts.with_cancel(token.clone());
                 }

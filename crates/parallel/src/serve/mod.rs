@@ -62,7 +62,8 @@
 //! ```
 
 mod queue;
-mod telemetry;
+pub mod telemetry;
+pub mod tenant;
 
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
@@ -79,8 +80,11 @@ use crate::scheduler::{
 use queue::FairQueues;
 use telemetry::Telemetry;
 pub use telemetry::{
-    LatencyHistogram, LatencySnapshot, PriorityStats, ServiceStats, HISTOGRAM_BUCKETS,
+    render_text, LatencyHistogram, LatencySnapshot, PriorityStats, ServiceStats, TenantStats,
+    HISTOGRAM_BUCKETS,
 };
+use tenant::TenantSched;
+pub use tenant::{TenantId, TenantQuota, TenantRegistry};
 
 // ---------------------------------------------------------------------------
 // Priorities, configuration, errors
@@ -146,8 +150,17 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Queries allowed on the scheduler simultaneously (clamped to ≥ 1).
     /// The scheduler round-robins morsels across them; this bounds how
-    /// thin each query's share can get.
+    /// thin each query's share can get. With elasticity enabled (see
+    /// [`ServeConfig::max_concurrent_ceiling`]) this is the *floor* the
+    /// limit shrinks back to.
     pub max_concurrent: usize,
+    /// Elasticity ceiling for the concurrent-query limit. When above
+    /// `max_concurrent`, the dispatcher grows the live limit (doubling,
+    /// up to this ceiling) while the backlog is deep and every slot is
+    /// busy, and shrinks it (halving, down to `max_concurrent`) once the
+    /// queues drain — see `ELASTIC_GROW_BACKLOG_FACTOR`. Values ≤
+    /// `max_concurrent` disable elasticity (the default).
+    pub max_concurrent_ceiling: usize,
     /// Aging threshold in dispatches (see the `queue` module source).
     pub age_rounds: u64,
 }
@@ -158,6 +171,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 64,
             max_concurrent: 4,
+            max_concurrent_ceiling: 0,
             age_rounds: 32,
         }
     }
@@ -182,6 +196,13 @@ impl ServeConfig {
         self
     }
 
+    /// Enable concurrency elasticity up to `ceiling` (see
+    /// [`ServeConfig::max_concurrent_ceiling`]).
+    pub fn with_elastic_concurrency(mut self, ceiling: usize) -> ServeConfig {
+        self.max_concurrent_ceiling = ceiling;
+        self
+    }
+
     /// Set the aging threshold.
     pub fn with_age_rounds(mut self, rounds: u64) -> ServeConfig {
         self.age_rounds = rounds;
@@ -189,12 +210,23 @@ impl ServeConfig {
     }
 }
 
-/// Why a submission was refused at the door.
+/// Why a submission was refused at the door. The variants distinguish
+/// "the service is overloaded" ([`AdmissionError::QueueFull`],
+/// [`AdmissionError::Shed`]) from "*you* exceeded your quota"
+/// ([`AdmissionError::TenantQuota`]) — callers back off differently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionError {
     /// The class queue is at capacity — backpressure; retry, degrade, or
     /// shed.
     QueueFull(Priority),
+    /// Refused by the overload-shedding policy: sustained `QueueFull`
+    /// pressure sheds Batch before Normal before Interactive (Interactive
+    /// is never shed — it only sees its own queue's `QueueFull`).
+    Shed(Priority),
+    /// The submitting tenant is at its queue-depth quota
+    /// ([`TenantQuota::max_queued`]) — the *tenant's* problem, not the
+    /// service's.
+    TenantQuota(TenantId),
     /// The service is draining or shut down.
     ShuttingDown,
     /// A blocking submission waited `queue_timeout` without space opening.
@@ -205,6 +237,8 @@ impl fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdmissionError::QueueFull(p) => write!(f, "{p} queue is full"),
+            AdmissionError::Shed(p) => write!(f, "{p} query shed under overload"),
+            AdmissionError::TenantQuota(t) => write!(f, "{t} is at its queued-query quota"),
             AdmissionError::ShuttingDown => write!(f, "service is shutting down"),
             AdmissionError::Timeout => write!(f, "timed out waiting for queue space"),
         }
@@ -261,6 +295,11 @@ pub struct SubmitOpts {
     /// longest wait for queue space (`None` = wait indefinitely).
     /// [`QueryService::try_submit`] never waits.
     pub queue_timeout: Option<Duration>,
+    /// The tenant this query is attributed to (`None` = anonymous:
+    /// exempt from tenant quotas, dispatched under the weight-1
+    /// anonymous pseudo-tenant). Must come from the registry the service
+    /// was built with.
+    pub tenant: Option<TenantId>,
 }
 
 impl SubmitOpts {
@@ -304,6 +343,12 @@ impl SubmitOpts {
         self.queue_timeout = Some(timeout);
         self
     }
+
+    /// Attribute the query to a registered tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> SubmitOpts {
+        self.tenant = Some(tenant);
+        self
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +370,8 @@ enum Launch<'a> {
 /// One queued query: the fairness metadata plus a type-erased launcher.
 struct PendingQuery {
     priority: Priority,
+    /// Tenant scheduling slot (`registry.len()` = anonymous).
+    slot: usize,
     cancel: CancelToken,
     deadline: Option<Instant>,
     launch: Box<dyn FnOnce(Launch<'_>) + Send>,
@@ -332,9 +379,25 @@ struct PendingQuery {
 
 struct ServeState {
     queues: FairQueues<PendingQuery>,
-    /// Dispatched-but-unfinished queries: `(id, token)` so drain can
-    /// cancel them.
-    running: Vec<(u64, CancelToken)>,
+    /// Dispatched-but-unfinished queries: `(id, tenant slot, token)` so
+    /// drain can cancel them and completion can release the tenant slot.
+    running: Vec<(u64, usize, CancelToken)>,
+    /// Per-tenant scheduling state, indexed by slot (last = anonymous).
+    tenant_sched: Vec<TenantSched>,
+    /// Largest tenant pass dispatched so far (no-banked-credit sync).
+    tenant_global_pass: u64,
+    /// The live concurrent-query limit (elastic between the config's
+    /// `max_concurrent` floor and `max_concurrent_ceiling`).
+    concurrent_limit: usize,
+    /// Times the elastic limit grew / shrank (telemetry).
+    grow_events: u64,
+    shrink_events: u64,
+    /// Consecutive terminal `QueueFull` rejections since the last
+    /// escalation or recovery — the overload-shedding trigger.
+    full_streak: u64,
+    /// Current shed level: 0 = none, 1 = shed Batch, 2 = shed Batch and
+    /// Normal. Interactive is never shed.
+    shed_level: u8,
     next_id: u64,
     draining: bool,
     stopped: bool,
@@ -348,7 +411,13 @@ struct Inner {
     /// predicate.
     cv: Condvar,
     telemetry: Telemetry,
-    max_concurrent: usize,
+    tenants: TenantRegistry,
+    /// Elasticity floor (the config's `max_concurrent`).
+    concurrent_base: usize,
+    /// Elasticity ceiling (≥ base; == base disables elasticity).
+    concurrent_ceiling: usize,
+    /// Sum of the three lanes' capacities (shed-recovery threshold).
+    queue_capacity_total: usize,
 }
 
 impl Inner {
@@ -358,24 +427,51 @@ impl Inner {
 
     /// Completion path for a dispatched query (the scheduler's `on_done`
     /// hook, or the gated caller's permit).
-    fn complete(&self, id: u64, priority: Priority, admitted: Instant, kind: QueryOutcomeKind) {
+    fn complete(
+        &self,
+        id: u64,
+        priority: Priority,
+        slot: usize,
+        admitted: Instant,
+        kind: QueryOutcomeKind,
+    ) {
         {
             let mut st = self.lock();
-            st.running.retain(|(rid, _)| *rid != id);
+            if let Some(pos) = st.running.iter().position(|(rid, _, _)| *rid == id) {
+                st.running.remove(pos);
+                st.tenant_sched[slot].in_flight -= 1;
+            }
         }
-        self.telemetry
-            .record_outcome(priority, kind, admitted.elapsed());
+        let latency = admitted.elapsed();
+        self.telemetry.record_outcome(priority, kind, latency);
+        if let Some(c) = self.tenant_counters(slot) {
+            c.record_outcome(kind, latency);
+        }
         self.cv.notify_all();
     }
 
+    /// Tenant counter block for a scheduling slot (`None` = anonymous).
+    fn tenant_counters(&self, slot: usize) -> Option<&tenant::TenantCounters> {
+        self.tenants.counters(slot)
+    }
+
     /// Account a query refused while still queued.
-    fn record_refusal(&self, priority: Priority, reason: CancelReason, admitted: Instant) {
+    fn record_refusal(
+        &self,
+        priority: Priority,
+        slot: usize,
+        reason: CancelReason,
+        admitted: Instant,
+    ) {
         let kind = match reason {
             CancelReason::Cancelled => QueryOutcomeKind::Cancelled,
             CancelReason::DeadlineExceeded => QueryOutcomeKind::DeadlineExceeded,
         };
-        self.telemetry
-            .record_outcome(priority, kind, admitted.elapsed());
+        let latency = admitted.elapsed();
+        self.telemetry.record_outcome(priority, kind, latency);
+        if let Some(c) = self.tenant_counters(slot) {
+            c.record_outcome(kind, latency);
+        }
     }
 }
 
@@ -386,13 +482,50 @@ impl Inner {
 /// boundaries regardless.
 const QUEUED_CANCEL_SWEEP: Duration = Duration::from_millis(25);
 
-/// The dispatcher thread: evict dead queued entries, pop fairly, check
-/// cancel/deadline, launch.
+/// Concurrency-elasticity heuristic (see `ServeConfig::max_concurrent_ceiling`):
+/// the live limit **doubles** (up to the ceiling) when the backlog is at
+/// least this many times the current limit while every slot is busy, and
+/// **halves** (down to the floor) once the queues are empty and at most
+/// half the slots are in use. Deep backlog + saturated slots means the
+/// admission gate, not the worker pool, is the bottleneck — letting more
+/// queries share the workers raises utilization without unbounding
+/// memory; draining back keeps each query's share fat when load subsides.
+const ELASTIC_GROW_BACKLOG_FACTOR: usize = 2;
+
+/// Overload shedding: this many consecutive terminal `QueueFull`
+/// rejections (without an intervening recovery) escalate the shed level
+/// one step — level 1 sheds Batch, level 2 sheds Normal too. Interactive
+/// is never shed. The level resets to 0 once a submission arrives with
+/// the total backlog at or below ¼ of aggregate queue capacity.
+const SHED_ESCALATE_AFTER: u64 = 8;
+
+/// Shed-recovery threshold divisor: backlog ≤ capacity / this ⇒ pressure
+/// is gone, shedding stops.
+const SHED_RECOVER_DIV: usize = 4;
+
+/// The dispatcher thread: adapt the concurrency limit, evict dead queued
+/// entries, pop fairly (priority stride × tenant stride, skipping
+/// tenants at their in-flight cap), check cancel/deadline, launch.
 fn dispatch_loop(inner: &Arc<Inner>) {
     let mut st = inner.lock();
     loop {
         if st.stopped {
             return;
+        }
+        // Concurrency elasticity (no-op when ceiling == base).
+        let backlog = st.queues.total();
+        if st.concurrent_limit < inner.concurrent_ceiling
+            && st.running.len() >= st.concurrent_limit
+            && backlog >= ELASTIC_GROW_BACKLOG_FACTOR * st.concurrent_limit
+        {
+            st.concurrent_limit = (st.concurrent_limit * 2).min(inner.concurrent_ceiling);
+            st.grow_events += 1;
+        } else if st.concurrent_limit > inner.concurrent_base
+            && backlog == 0
+            && st.running.len() * 2 <= st.concurrent_limit
+        {
+            st.concurrent_limit = (st.concurrent_limit / 2).max(inner.concurrent_base);
+            st.shrink_events += 1;
         }
         // Evict queued entries whose token fired or whose deadline
         // passed — from any queue position, even while every running
@@ -408,10 +541,12 @@ fn dispatch_loop(inner: &Arc<Inner>) {
             for (_, aged) in dead {
                 let PendingQuery {
                     priority,
+                    slot,
                     cancel,
                     launch,
                     ..
                 } = aged.item;
+                st.tenant_sched[slot].queued -= 1;
                 let reason = match cancel.check() {
                     Err(reason) => reason,
                     Ok(()) => {
@@ -419,7 +554,7 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                         CancelReason::DeadlineExceeded
                     }
                 };
-                inner.record_refusal(priority, reason, aged.enqueued);
+                inner.record_refusal(priority, slot, reason, aged.enqueued);
                 refusals.push((launch, reason));
             }
             drop(st);
@@ -430,14 +565,44 @@ fn dispatch_loop(inner: &Arc<Inner>) {
             st = inner.lock();
             continue;
         }
-        if st.running.len() < inner.max_concurrent {
-            if let Some((_, aged)) = st.queues.pop() {
+        if st.running.len() < st.concurrent_limit {
+            // Two-level fair pop: the priority stride picks the lane (see
+            // `queue`), and inside it the entry whose tenant has the
+            // smallest tenant-pass wins (ties: FIFO). Entries of tenants
+            // at their in-flight cap are skipped — they keep their place,
+            // other tenants flow past them.
+            let popped = {
+                let ServeState {
+                    queues,
+                    tenant_sched,
+                    ..
+                } = &mut *st;
+                queues.pop_where(|_, items| {
+                    let mut best: Option<(u64, usize)> = None;
+                    for (i, e) in items.iter().enumerate() {
+                        let ts = &tenant_sched[e.item.slot];
+                        if ts.in_flight >= ts.in_flight_cap {
+                            continue;
+                        }
+                        if best.is_none_or(|(pass, _)| ts.pass < pass) {
+                            best = Some((ts.pass, i));
+                        }
+                    }
+                    best.map(|(_, i)| i)
+                })
+            };
+            if let Some((_, aged)) = popped {
                 let PendingQuery {
                     priority,
+                    slot,
                     cancel,
                     deadline,
                     launch,
                 } = aged.item;
+                let ts = &mut st.tenant_sched[slot];
+                ts.queued -= 1;
+                ts.pass += ts.stride;
+                st.tenant_global_pass = st.tenant_global_pass.max(st.tenant_sched[slot].pass);
                 let admitted = aged.enqueued;
                 // Pre-dispatch checkpoint: a query that died in the queue
                 // never reaches the scheduler.
@@ -449,22 +614,23 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                 });
                 match refuse {
                     Some(reason) => {
-                        inner.record_refusal(priority, reason, admitted);
+                        inner.record_refusal(priority, slot, reason, admitted);
                         drop(st);
                         launch(Launch::Refuse(reason));
                     }
                     None => {
                         let id = st.next_id;
                         st.next_id += 1;
-                        st.running.push((id, cancel.clone()));
-                        inner
-                            .telemetry
-                            .counters(priority)
-                            .queue_wait
-                            .record(admitted.elapsed());
+                        st.running.push((id, slot, cancel.clone()));
+                        st.tenant_sched[slot].in_flight += 1;
+                        let wait = admitted.elapsed();
+                        inner.telemetry.counters(priority).queue_wait.record(wait);
+                        if let Some(c) = inner.tenant_counters(slot) {
+                            c.queue_wait.record(wait);
+                        }
                         let hook_inner = inner.clone();
                         let on_done: DoneHook = Box::new(move |kind| {
-                            hook_inner.complete(id, priority, admitted, kind);
+                            hook_inner.complete(id, priority, slot, admitted, kind);
                         });
                         drop(st);
                         launch(Launch::Run {
@@ -639,26 +805,65 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Build a service (and its scheduler) from `config`.
+    /// Build a service (and its scheduler) from `config`, with no
+    /// registered tenants (every submission is anonymous).
     pub fn new(config: ServeConfig) -> QueryService {
         QueryService::with_scheduler(Scheduler::new(config.workers), config)
+    }
+
+    /// Build a multi-tenant service: quotas, per-tenant fairness, and
+    /// telemetry come from `tenants` (see [`TenantRegistry`]; the
+    /// registry is immutable once the service owns it).
+    pub fn with_tenants(config: ServeConfig, tenants: TenantRegistry) -> QueryService {
+        QueryService::build(Scheduler::new(config.workers), config, tenants)
     }
 
     /// Build a service over an explicitly configured scheduler (the
     /// service takes ownership; it shuts the scheduler down on drain).
     pub fn with_scheduler(scheduler: Scheduler, config: ServeConfig) -> QueryService {
+        QueryService::build(scheduler, config, TenantRegistry::new())
+    }
+
+    /// [`QueryService::with_scheduler`] plus a tenant registry.
+    pub fn with_scheduler_and_tenants(
+        scheduler: Scheduler,
+        config: ServeConfig,
+        tenants: TenantRegistry,
+    ) -> QueryService {
+        QueryService::build(scheduler, config, tenants)
+    }
+
+    fn build(scheduler: Scheduler, config: ServeConfig, tenants: TenantRegistry) -> QueryService {
+        let base = config.max_concurrent.max(1);
+        let ceiling = config.max_concurrent_ceiling.max(base);
+        // One scheduling slot per tenant plus the anonymous pseudo-tenant.
+        let tenant_sched: Vec<TenantSched> = tenants
+            .ids()
+            .map(|id| TenantSched::from_quota(tenants.quota(id)))
+            .chain(std::iter::once(TenantSched::anonymous()))
+            .collect();
         let inner = Arc::new(Inner {
             scheduler,
             state: Mutex::new(ServeState {
                 queues: FairQueues::new(config.queue_capacity, config.age_rounds),
                 running: Vec::new(),
+                tenant_sched,
+                tenant_global_pass: 0,
+                concurrent_limit: base,
+                grow_events: 0,
+                shrink_events: 0,
+                full_streak: 0,
+                shed_level: 0,
                 next_id: 0,
                 draining: false,
                 stopped: false,
             }),
             cv: Condvar::new(),
             telemetry: Telemetry::default(),
-            max_concurrent: config.max_concurrent.max(1),
+            tenants,
+            concurrent_base: base,
+            concurrent_ceiling: ceiling,
+            queue_capacity_total: config.queue_capacity.max(1) * Priority::ALL.len(),
         });
         let dispatcher = {
             let inner = inner.clone();
@@ -679,9 +884,31 @@ impl QueryService {
         &self.inner.scheduler
     }
 
+    /// The tenant registry this service was built with (empty when the
+    /// service is single-tenant).
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.inner.tenants
+    }
+
+    /// Resolve a tenant to its scheduling slot, panicking on a foreign id
+    /// (a `TenantId` only ever comes from a registry; using it against a
+    /// different service is a caller bug worth failing loudly on).
+    fn slot_of(&self, tenant: Option<TenantId>) -> usize {
+        match tenant {
+            Some(id) => {
+                assert!(
+                    id.0 < self.inner.tenants.len(),
+                    "{id} is not registered with this service's TenantRegistry"
+                );
+                id.0
+            }
+            None => self.inner.tenants.len(),
+        }
+    }
+
     /// One coherent telemetry snapshot.
     pub fn stats(&self) -> ServiceStats {
-        let (queue_depths, running, draining) = {
+        let (queue_depths, running, draining, gauges, limit, grow, shrink, shed) = {
             let st = self.inner.lock();
             (
                 [
@@ -691,8 +918,26 @@ impl QueryService {
                 ],
                 st.running.len(),
                 st.draining,
+                st.tenant_sched
+                    .iter()
+                    .map(|t| (t.queued, t.in_flight))
+                    .collect::<Vec<_>>(),
+                st.concurrent_limit,
+                st.grow_events,
+                st.shrink_events,
+                st.shed_level,
             )
         };
+        let tenants = self
+            .inner
+            .tenants
+            .ids()
+            .map(|id| {
+                let mut t = self.inner.tenants.snapshot(id);
+                (t.queued, t.in_flight) = gauges[id.0];
+                t
+            })
+            .collect();
         ServiceStats {
             per_priority: [
                 self.inner
@@ -704,20 +949,30 @@ impl QueryService {
             queue_depths,
             running,
             draining,
+            tenants,
+            concurrent_limit: limit,
+            grow_events: grow,
+            shrink_events: shrink,
+            shed_level: shed,
             scheduler: self.inner.scheduler.stats(),
         }
     }
 
     /// Enqueue under admission control; `wait` decides what happens when
-    /// the class queue is full.
+    /// the class queue (or the tenant's queue quota) is full. Exactly one
+    /// terminal counter fires per submission — admitted, rejected
+    /// (full/quota/shutdown), shed, or timeout — so per-priority and
+    /// per-tenant accounting always balances.
     fn enqueue(&self, mut pending: PendingQuery, wait: Wait) -> Result<(), AdmissionError> {
+        use std::sync::atomic::Ordering::Relaxed;
         let inner = &self.inner;
         let p = pending.priority;
-        inner
-            .telemetry
-            .counters(p)
-            .submitted
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let slot = pending.slot;
+        let tc = inner.tenant_counters(slot);
+        inner.telemetry.counters(p).submitted.fetch_add(1, Relaxed);
+        if let Some(c) = tc {
+            c.submitted.fetch_add(1, Relaxed);
+        }
         let mut st = inner.lock();
         loop {
             if st.draining || st.stopped {
@@ -725,51 +980,115 @@ impl QueryService {
                     .telemetry
                     .counters(p)
                     .rejected_shutdown
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(1, Relaxed);
+                if let Some(c) = tc {
+                    c.rejected_shutdown.fetch_add(1, Relaxed);
+                }
                 return Err(AdmissionError::ShuttingDown);
             }
-            match st.queues.push(p, pending) {
-                Ok(()) => {
-                    inner
-                        .telemetry
-                        .counters(p)
-                        .admitted
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    drop(st);
-                    inner.cv.notify_all();
-                    return Ok(());
+            // Shed recovery: once the backlog has drained to ≤ ¼ of
+            // aggregate capacity, the overload is over.
+            if st.shed_level > 0
+                && st.queues.total() <= inner.queue_capacity_total / SHED_RECOVER_DIV
+            {
+                st.shed_level = 0;
+                st.full_streak = 0;
+            }
+            // Overload shedding: Batch first (level ≥ 1), then Normal
+            // (level ≥ 2). Interactive only ever sees its own QueueFull.
+            let shed_at = match p {
+                Priority::Batch => 1,
+                Priority::Normal => 2,
+                Priority::Interactive => u8::MAX,
+            };
+            if st.shed_level >= shed_at {
+                inner.telemetry.counters(p).shed.fetch_add(1, Relaxed);
+                if let Some(c) = tc {
+                    c.shed.fetch_add(1, Relaxed);
                 }
-                Err(back) => {
-                    pending = back;
-                    match wait {
-                        Wait::No => {
-                            inner
-                                .telemetry
-                                .counters(p)
-                                .rejected_full
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            return Err(AdmissionError::QueueFull(p));
+                return Err(AdmissionError::Shed(p));
+            }
+            // Tenant queue-depth quota (anonymous slot is uncapped).
+            let over_quota = {
+                let ts = &st.tenant_sched[slot];
+                ts.queued >= ts.queued_cap
+            };
+            if !over_quota {
+                match st.queues.push(p, pending) {
+                    Ok(()) => {
+                        let global_pass = st.tenant_global_pass;
+                        let ts = &mut st.tenant_sched[slot];
+                        if ts.queued == 0 {
+                            // Re-entry after idleness: no banked credit,
+                            // same rule as the priority lanes.
+                            ts.pass = ts.pass.max(global_pass);
                         }
-                        Wait::Unbounded => {
-                            st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        ts.queued += 1;
+                        inner.telemetry.counters(p).admitted.fetch_add(1, Relaxed);
+                        if let Some(c) = tc {
+                            c.admitted.fetch_add(1, Relaxed);
                         }
-                        Wait::Until(deadline) => {
-                            let now = Instant::now();
-                            if now >= deadline {
-                                inner
-                                    .telemetry
-                                    .counters(p)
-                                    .admission_timeouts
-                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                return Err(AdmissionError::Timeout);
-                            }
-                            let (guard, _) = inner
-                                .cv
-                                .wait_timeout(st, deadline - now)
-                                .unwrap_or_else(|e| e.into_inner());
-                            st = guard;
-                        }
+                        drop(st);
+                        inner.cv.notify_all();
+                        return Ok(());
                     }
+                    Err(back) => pending = back,
+                }
+            }
+            // No room — either the class queue is full or the tenant is
+            // at its quota. Wait (blocking flavors) or refuse typed.
+            match wait {
+                Wait::No => {
+                    return if over_quota {
+                        inner
+                            .telemetry
+                            .counters(p)
+                            .rejected_quota
+                            .fetch_add(1, Relaxed);
+                        if let Some(c) = tc {
+                            c.rejected_quota.fetch_add(1, Relaxed);
+                        }
+                        Err(AdmissionError::TenantQuota(TenantId(slot)))
+                    } else {
+                        // Sustained class-queue pressure escalates the
+                        // shed level (see SHED_ESCALATE_AFTER).
+                        st.full_streak += 1;
+                        if st.full_streak >= SHED_ESCALATE_AFTER {
+                            st.shed_level = (st.shed_level + 1).min(2);
+                            st.full_streak = 0;
+                        }
+                        inner
+                            .telemetry
+                            .counters(p)
+                            .rejected_full
+                            .fetch_add(1, Relaxed);
+                        if let Some(c) = tc {
+                            c.rejected_full.fetch_add(1, Relaxed);
+                        }
+                        Err(AdmissionError::QueueFull(p))
+                    };
+                }
+                Wait::Unbounded => {
+                    st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Wait::Until(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        inner
+                            .telemetry
+                            .counters(p)
+                            .admission_timeouts
+                            .fetch_add(1, Relaxed);
+                        if let Some(c) = tc {
+                            c.admission_timeouts.fetch_add(1, Relaxed);
+                        }
+                        return Err(AdmissionError::Timeout);
+                    }
+                    let (guard, _) = inner
+                        .cv
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
                 }
             }
         }
@@ -812,6 +1131,7 @@ impl QueryService {
         });
         let pending = PendingQuery {
             priority: opts.priority,
+            slot: self.slot_of(opts.tenant),
             cancel: token.clone(),
             deadline,
             launch,
@@ -920,6 +1240,7 @@ impl QueryService {
         let (gtx, grx) = channel::<Result<DoneHook, CancelReason>>();
         let pending = PendingQuery {
             priority: opts.priority,
+            slot: self.slot_of(opts.tenant),
             cancel: token.clone(),
             deadline: opts.deadline.map(|d| Instant::now() + d),
             launch: Box::new(move |launch| match launch {
@@ -985,7 +1306,10 @@ impl QueryService {
         if !clean {
             let leftovers = st.queues.drain();
             refused_queued = leftovers.len();
-            for (_, token) in &st.running {
+            for (_, aged) in &leftovers {
+                st.tenant_sched[aged.item.slot].queued -= 1;
+            }
+            for (_, _, token) in &st.running {
                 token.cancel();
             }
             cancelled_running = st.running.len();
@@ -994,7 +1318,12 @@ impl QueryService {
                 // Cancel the token too, so handles and shared group
                 // tokens observe the same state the refusal reports.
                 aged.item.cancel.cancel();
-                inner.record_refusal(priority, CancelReason::Cancelled, aged.enqueued);
+                inner.record_refusal(
+                    priority,
+                    aged.item.slot,
+                    CancelReason::Cancelled,
+                    aged.enqueued,
+                );
                 (aged.item.launch)(Launch::Refuse(CancelReason::Cancelled));
             }
             inner.cv.notify_all();
@@ -1040,7 +1369,8 @@ impl fmt::Debug for QueryService {
         let st = self.inner.lock();
         f.debug_struct("QueryService")
             .field("workers", &self.inner.scheduler.workers())
-            .field("max_concurrent", &self.inner.max_concurrent)
+            .field("concurrent_limit", &st.concurrent_limit)
+            .field("tenants", &self.inner.tenants.len())
             .field("queued", &st.queues.total())
             .field("running", &st.running.len())
             .field("draining", &st.draining)

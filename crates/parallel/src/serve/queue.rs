@@ -101,14 +101,53 @@ impl<T> FairQueues<T> {
 
     /// Dispatch the next item: an overdue head first (aging), else the
     /// smallest-pass lane (stride). `None` when every lane is empty.
+    /// (The dispatcher itself uses [`FairQueues::pop_where`]; this is the
+    /// no-filter form the fairness unit tests exercise.)
+    #[cfg(test)]
     pub fn pop(&mut self) -> Option<(Priority, Aged<T>)> {
-        let pick = self.pick_lane()?;
-        let lane = &mut self.lanes[pick];
-        let entry = lane.items.pop_front().expect("picked lane is non-empty");
-        lane.pass += lane.stride;
-        self.global_pass = self.global_pass.max(lane.pass);
-        self.rounds += 1;
-        Some((Priority::ALL[pick], entry))
+        self.pop_where(|_, items| (!items.is_empty()).then_some(0))
+    }
+
+    /// [`FairQueues::pop`] with a second selection level: lanes are tried
+    /// in fairness order (aging candidate first, then ascending pass),
+    /// and for each lane `select` names the index of the entry to
+    /// dispatch — or `None` to skip the lane (e.g. every entry's tenant
+    /// is at its in-flight cap). Only the lane that actually dispatches
+    /// advances its pass, so skipped lanes keep their place in the stride
+    /// order. `None` when no lane yields an entry.
+    pub fn pop_where(
+        &mut self,
+        mut select: impl FnMut(Priority, &VecDeque<Aged<T>>) -> Option<usize>,
+    ) -> Option<(Priority, Aged<T>)> {
+        for pick in self.lane_preference() {
+            let lane = &mut self.lanes[pick];
+            let Some(i) = select(Priority::ALL[pick], &lane.items) else {
+                continue;
+            };
+            let entry = lane.items.remove(i).expect("select returned a valid index");
+            lane.pass += lane.stride;
+            self.global_pass = self.global_pass.max(lane.pass);
+            self.rounds += 1;
+            return Some((Priority::ALL[pick], entry));
+        }
+        None
+    }
+
+    /// Non-empty lanes in dispatch-preference order: the aging candidate
+    /// (if any) first, then ascending `(pass, index)` — the same order
+    /// [`FairQueues::pop`] would try them in.
+    fn lane_preference(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.lanes.len())
+            .filter(|&i| !self.lanes[i].items.is_empty())
+            .collect();
+        order.sort_by_key(|&i| (self.lanes[i].pass, i));
+        if let Some(aged) = self.pick_lane() {
+            if order.first() != Some(&aged) {
+                order.retain(|&i| i != aged);
+                order.insert(0, aged);
+            }
+        }
+        order
     }
 
     fn pick_lane(&self) -> Option<usize> {

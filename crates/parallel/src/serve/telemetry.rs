@@ -1,12 +1,38 @@
-//! Serving-layer telemetry: per-priority counters, queue-depth gauges,
-//! and log-bucketed latency histograms, all lock-free on the record path.
+//! Serving-layer telemetry: per-priority **and per-tenant** counters,
+//! queue-depth gauges, log-bucketed latency histograms — all lock-free on
+//! the record path — plus [`render_text`], the plain-text metrics
+//! exposition.
 //!
 //! Everything here is written by workers/dispatchers with relaxed atomics
 //! and read through [`ServiceStats`] snapshots — a snapshot taken while
 //! queries are in flight is internally *approximately* consistent (each
 //! counter is exact, cross-counter invariants may lag by in-flight
 //! updates), and exactly consistent once the service is idle or drained.
+//!
+//! ## The text exposition format
+//!
+//! [`render_text`] renders one snapshot as a Prometheus-inspired plain
+//! text document with a **stable, versioned line format** (golden-tested
+//! so it cannot silently drift):
+//!
+//! * The first line is exactly `# adaptvm-serve-metrics v1`. No other
+//!   comment, `HELP`, or `TYPE` lines are emitted.
+//! * Every other line is `name value` or `name{key="value"} escaped`,
+//!   with **exactly one** label (`priority="…"` or `tenant="…"`), plus
+//!   `le`/`quantile` on histogram lines. Label values escape `\` as
+//!   `\\`, `"` as `\"`, and newline as `\n`.
+//! * Counters end in `_total`; gauges are bare names; histograms emit
+//!   cumulative `name_bucket{…,le="…"}` lines (upper bounds are the
+//!   log₂-µs bucket edges rendered in seconds, last bucket `+Inf`),
+//!   `quantile="0.5"`/`"0.99"` summary lines (omitted while the
+//!   histogram is empty), then `name_sum` (seconds) and `name_count`.
+//! * Families appear in a fixed order: service-level gauges, scheduler
+//!   counters, per-priority families (lane order: interactive, normal,
+//!   batch), then per-tenant families in registration order.
+//! * Integer values print in decimal; seconds print as Rust's shortest
+//!   round-trip `f64` (e.g. `0.000128`, `1.048576`).
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -134,8 +160,10 @@ pub(crate) struct PriorityCounters {
     pub submitted: AtomicU64,
     pub admitted: AtomicU64,
     pub rejected_full: AtomicU64,
+    pub rejected_quota: AtomicU64,
     pub rejected_shutdown: AtomicU64,
     pub admission_timeouts: AtomicU64,
+    pub shed: AtomicU64,
     pub completed: AtomicU64,
     pub task_errors: AtomicU64,
     pub panicked: AtomicU64,
@@ -154,10 +182,16 @@ pub struct PriorityStats {
     pub admitted: u64,
     /// Submissions refused because the class queue was full.
     pub rejected_full: u64,
+    /// Submissions refused because the submitting tenant was at its
+    /// queue-depth quota.
+    pub rejected_quota: u64,
     /// Submissions refused because the service was draining/stopped.
     pub rejected_shutdown: u64,
     /// Blocking submissions that timed out waiting for queue space.
     pub admission_timeouts: u64,
+    /// Submissions refused by the overload-shedding policy (Batch before
+    /// Normal before Interactive under sustained `QueueFull`).
+    pub shed: u64,
     /// Queries that ran to a merged result.
     pub completed: u64,
     /// Queries whose task errored.
@@ -180,17 +214,19 @@ impl PriorityStats {
         self.completed + self.task_errors + self.panicked + self.cancelled + self.deadline_expired
     }
 
-    /// Rejections of either kind.
+    /// Rejections of any kind (full / tenant quota / shutdown). Shed
+    /// queries are counted separately — see [`PriorityStats::shed`].
     pub fn rejected(&self) -> u64 {
-        self.rejected_full + self.rejected_shutdown
+        self.rejected_full + self.rejected_quota + self.rejected_shutdown
     }
 
-    /// Rejected fraction of all submissions (0 when none were attempted).
+    /// Refused fraction of all submissions — rejections plus sheds (0
+    /// when none were attempted).
     pub fn rejection_rate(&self) -> f64 {
         if self.submitted == 0 {
             0.0
         } else {
-            self.rejected() as f64 / self.submitted as f64
+            (self.rejected() + self.shed) as f64 / self.submitted as f64
         }
     }
 }
@@ -226,8 +262,10 @@ impl Telemetry {
             submitted: c.submitted.load(Ordering::Relaxed),
             admitted: c.admitted.load(Ordering::Relaxed),
             rejected_full: c.rejected_full.load(Ordering::Relaxed),
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
             rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
             admission_timeouts: c.admission_timeouts.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             task_errors: c.task_errors.load(Ordering::Relaxed),
             panicked: c.panicked.load(Ordering::Relaxed),
@@ -239,8 +277,75 @@ impl Telemetry {
     }
 }
 
+/// A snapshot of one tenant's counters, gauges, and latency histograms.
+/// Same counter vocabulary as [`PriorityStats`], sliced by *who asked*
+/// instead of *how urgent*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's registered display name (metrics label).
+    pub name: String,
+    /// Effective stride weight (≥ 1).
+    pub weight: u64,
+    /// Submissions attempted (accepted or not).
+    pub submitted: u64,
+    /// Submissions that entered the queue.
+    pub admitted: u64,
+    /// Submissions refused because the class queue was full.
+    pub rejected_full: u64,
+    /// Submissions refused by this tenant's own queue-depth quota.
+    pub rejected_quota: u64,
+    /// Submissions refused because the service was draining/stopped.
+    pub rejected_shutdown: u64,
+    /// Blocking submissions that timed out waiting for queue space.
+    pub admission_timeouts: u64,
+    /// Submissions refused by the overload-shedding policy.
+    pub shed: u64,
+    /// Queries that ran to a merged result.
+    pub completed: u64,
+    /// Queries whose task errored.
+    pub task_errors: u64,
+    /// Queries whose task or merge panicked.
+    pub panicked: u64,
+    /// Queries cancelled (queued or running).
+    pub cancelled: u64,
+    /// Queries whose deadline passed (queued or running).
+    pub deadline_expired: u64,
+    /// Live queued submissions across priorities (gauge).
+    pub queued: usize,
+    /// Live dispatched-but-unfinished queries (gauge).
+    pub in_flight: usize,
+    /// Time from admission to dispatch.
+    pub queue_wait: LatencySnapshot,
+    /// Time from admission to completion (any outcome).
+    pub latency: LatencySnapshot,
+}
+
+impl TenantStats {
+    /// Every terminal outcome recorded so far.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.task_errors + self.panicked + self.cancelled + self.deadline_expired
+    }
+
+    /// Rejections of any kind (full / tenant quota / shutdown); sheds are
+    /// counted separately in [`TenantStats::shed`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected_full + self.rejected_quota + self.rejected_shutdown
+    }
+
+    /// Refused fraction of all submissions — rejections plus sheds (0
+    /// when none were attempted).
+    pub fn rejection_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.rejected() + self.shed) as f64 / self.submitted as f64
+        }
+    }
+}
+
 /// One coherent view of the service: per-priority counters and
-/// histograms, live gauges, and the underlying scheduler's counters.
+/// histograms, per-tenant counters, live gauges, and the underlying
+/// scheduler's counters.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Counter snapshots indexed by [`Priority::index`].
@@ -253,6 +358,20 @@ pub struct ServiceStats {
     pub draining: bool,
     /// The scheduler's own lifetime counters.
     pub scheduler: SchedulerStats,
+    /// Per-tenant snapshots in registration order (empty when the service
+    /// was built without a registry). Anonymous traffic appears only in
+    /// the per-priority counters.
+    pub tenants: Vec<TenantStats>,
+    /// The live elastic concurrency gate (gauge; between the configured
+    /// base and ceiling).
+    pub concurrent_limit: usize,
+    /// Times the elastic gate doubled under backlog.
+    pub grow_events: u64,
+    /// Times the elastic gate halved after draining.
+    pub shrink_events: u64,
+    /// Current shedding escalation: 0 none, 1 Batch shed, 2 Batch and
+    /// Normal shed (gauge).
+    pub shed_level: u8,
 }
 
 impl ServiceStats {
@@ -265,6 +384,221 @@ impl ServiceStats {
     pub fn queue_depth(&self, p: Priority) -> usize {
         self.queue_depths[p.index()]
     }
+
+    /// The tenant snapshot with the given registered name (first match).
+    pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
+/// A named counter family: exposition name plus field accessor.
+type CounterFamily<T, V> = (&'static str, fn(&T) -> V);
+
+/// Escape a label value per the exposition format: `\` → `\\`, `"` →
+/// `\"`, newline → `\n`.
+fn escape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            c => s.push(c),
+        }
+    }
+    s
+}
+
+/// Emit one labelled histogram family: cumulative `_bucket` lines (upper
+/// bounds in seconds, final `+Inf`), `quantile` summary lines when
+/// non-empty, then `_sum` and `_count`.
+fn render_histogram(out: &mut String, name: &str, key: &str, value: &str, h: &LatencySnapshot) {
+    let v = escape_label(value);
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        cumulative += c;
+        if i == HISTOGRAM_BUCKETS - 1 {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{key}=\"{v}\",le=\"+Inf\"}} {cumulative}"
+            );
+        } else {
+            let le = (1u64 << i) as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{key}=\"{v}\",le=\"{le}\"}} {cumulative}"
+            );
+        }
+    }
+    for (q, qlabel) in [(0.50, "0.5"), (0.99, "0.99")] {
+        if let Some(d) = h.quantile(q) {
+            let _ = writeln!(
+                out,
+                "{name}{{{key}=\"{v}\",quantile=\"{qlabel}\"}} {}",
+                d.as_secs_f64()
+            );
+        }
+    }
+    let sum = Duration::from_nanos(h.sum_ns).as_secs_f64();
+    let _ = writeln!(out, "{name}_sum{{{key}=\"{v}\"}} {sum}");
+    let _ = writeln!(out, "{name}_count{{{key}=\"{v}\"}} {}", h.count);
+}
+
+/// Render a [`ServiceStats`] snapshot as the versioned plain-text metrics
+/// exposition (see the module docs for the format contract). The output
+/// is deterministic for a given snapshot — golden-testable byte for byte.
+pub fn render_text(stats: &ServiceStats) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("# adaptvm-serve-metrics v1\n");
+
+    // Service-level gauges.
+    let _ = writeln!(out, "serve_running {}", stats.running);
+    let _ = writeln!(out, "serve_draining {}", u8::from(stats.draining));
+    let _ = writeln!(out, "serve_concurrent_limit {}", stats.concurrent_limit);
+    let _ = writeln!(out, "serve_shed_level {}", stats.shed_level);
+    for p in Priority::ALL {
+        let _ = writeln!(
+            out,
+            "serve_queue_depth{{priority=\"{}\"}} {}",
+            p.name(),
+            stats.queue_depth(p)
+        );
+    }
+
+    // Scheduler / service-wide counters.
+    let _ = writeln!(out, "serve_concurrency_grow_total {}", stats.grow_events);
+    let _ = writeln!(
+        out,
+        "serve_concurrency_shrink_total {}",
+        stats.shrink_events
+    );
+    let _ = writeln!(
+        out,
+        "scheduler_queries_submitted_total {}",
+        stats.scheduler.queries_submitted
+    );
+    let _ = writeln!(
+        out,
+        "scheduler_queries_completed_total {}",
+        stats.scheduler.queries_completed
+    );
+    let _ = writeln!(
+        out,
+        "scheduler_morsels_executed_total {}",
+        stats.scheduler.morsels_executed
+    );
+
+    // Per-priority counter families, family-major, lanes in order.
+    let priority_counters: [CounterFamily<PriorityStats, u64>; 12] = [
+        ("serve_submitted_total", |s| s.submitted),
+        ("serve_admitted_total", |s| s.admitted),
+        ("serve_rejected_full_total", |s| s.rejected_full),
+        ("serve_rejected_quota_total", |s| s.rejected_quota),
+        ("serve_rejected_shutdown_total", |s| s.rejected_shutdown),
+        ("serve_admission_timeouts_total", |s| s.admission_timeouts),
+        ("serve_shed_total", |s| s.shed),
+        ("serve_completed_total", |s| s.completed),
+        ("serve_task_errors_total", |s| s.task_errors),
+        ("serve_panicked_total", |s| s.panicked),
+        ("serve_cancelled_total", |s| s.cancelled),
+        ("serve_deadline_expired_total", |s| s.deadline_expired),
+    ];
+    for (name, get) in priority_counters {
+        for p in Priority::ALL {
+            let _ = writeln!(
+                out,
+                "{name}{{priority=\"{}\"}} {}",
+                p.name(),
+                get(stats.priority(p))
+            );
+        }
+    }
+    for p in Priority::ALL {
+        render_histogram(
+            &mut out,
+            "serve_queue_wait_seconds",
+            "priority",
+            p.name(),
+            &stats.priority(p).queue_wait,
+        );
+    }
+    for p in Priority::ALL {
+        render_histogram(
+            &mut out,
+            "serve_latency_seconds",
+            "priority",
+            p.name(),
+            &stats.priority(p).latency,
+        );
+    }
+
+    // Per-tenant families, family-major, tenants in registration order.
+    for t in &stats.tenants {
+        let _ = writeln!(
+            out,
+            "tenant_weight{{tenant=\"{}\"}} {}",
+            escape_label(&t.name),
+            t.weight
+        );
+    }
+    let tenant_counters: [CounterFamily<TenantStats, u64>; 12] = [
+        ("tenant_submitted_total", |s| s.submitted),
+        ("tenant_admitted_total", |s| s.admitted),
+        ("tenant_rejected_full_total", |s| s.rejected_full),
+        ("tenant_rejected_quota_total", |s| s.rejected_quota),
+        ("tenant_rejected_shutdown_total", |s| s.rejected_shutdown),
+        ("tenant_admission_timeouts_total", |s| s.admission_timeouts),
+        ("tenant_shed_total", |s| s.shed),
+        ("tenant_completed_total", |s| s.completed),
+        ("tenant_task_errors_total", |s| s.task_errors),
+        ("tenant_panicked_total", |s| s.panicked),
+        ("tenant_cancelled_total", |s| s.cancelled),
+        ("tenant_deadline_expired_total", |s| s.deadline_expired),
+    ];
+    for (name, get) in tenant_counters {
+        for t in &stats.tenants {
+            let _ = writeln!(
+                out,
+                "{name}{{tenant=\"{}\"}} {}",
+                escape_label(&t.name),
+                get(t)
+            );
+        }
+    }
+    let tenant_gauges: [CounterFamily<TenantStats, usize>; 2] = [
+        ("tenant_queued", |s| s.queued),
+        ("tenant_in_flight", |s| s.in_flight),
+    ];
+    for (name, get) in tenant_gauges {
+        for t in &stats.tenants {
+            let _ = writeln!(
+                out,
+                "{name}{{tenant=\"{}\"}} {}",
+                escape_label(&t.name),
+                get(t)
+            );
+        }
+    }
+    for t in &stats.tenants {
+        render_histogram(
+            &mut out,
+            "tenant_queue_wait_seconds",
+            "tenant",
+            &t.name,
+            &t.queue_wait,
+        );
+    }
+    for t in &stats.tenants {
+        render_histogram(
+            &mut out,
+            "tenant_latency_seconds",
+            "tenant",
+            &t.name,
+            &t.latency,
+        );
+    }
+
+    out
 }
 
 #[cfg(test)]
@@ -302,6 +636,48 @@ mod tests {
         assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
         // The open-ended bucket reports the observed max.
         assert_eq!(s.quantile(1.0), Some(Duration::from_secs(500)));
+    }
+
+    #[test]
+    fn render_text_header_and_label_escaping() {
+        let mut stats = ServiceStats::default();
+        stats.tenants.push(TenantStats {
+            name: "we\"ird\\te\nnant".to_string(),
+            weight: 3,
+            submitted: 7,
+            ..TenantStats::default()
+        });
+        let text = render_text(&stats);
+        assert!(text.starts_with("# adaptvm-serve-metrics v1\n"));
+        assert!(text.contains("tenant_weight{tenant=\"we\\\"ird\\\\te\\nnant\"} 3"));
+        assert!(text.contains("tenant_submitted_total{tenant=\"we\\\"ird\\\\te\\nnant\"} 7"));
+        // Empty histograms emit no quantile lines, but do emit sum/count.
+        assert!(!text.contains("quantile"));
+        assert!(text.contains("serve_latency_seconds_count{priority=\"interactive\"} 0"));
+        // Exactly one header comment line.
+        assert_eq!(text.lines().filter(|l| l.starts_with('#')).count(), 1);
+    }
+
+    #[test]
+    fn render_text_histogram_lines() {
+        let mut stats = ServiceStats::default();
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        stats.per_priority[Priority::Normal.index()].latency = h.snapshot();
+        let text = render_text(&stats);
+        // 100 µs lands in the (64, 128] bucket: cumulative 1 from le=128 µs on.
+        assert!(
+            text.contains("serve_latency_seconds_bucket{priority=\"normal\",le=\"0.000064\"} 0")
+        );
+        assert!(
+            text.contains("serve_latency_seconds_bucket{priority=\"normal\",le=\"0.000128\"} 1")
+        );
+        assert!(text.contains("serve_latency_seconds_bucket{priority=\"normal\",le=\"+Inf\"} 1"));
+        assert!(
+            text.contains("serve_latency_seconds{priority=\"normal\",quantile=\"0.5\"} 0.000128")
+        );
+        assert!(text.contains("serve_latency_seconds_sum{priority=\"normal\"} 0.0001"));
+        assert!(text.contains("serve_latency_seconds_count{priority=\"normal\"} 1"));
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Multi-tenant quotas and accounting for the serving layer.
+//!
+//! The serving layer's priority classes decide *how urgent* a query is;
+//! tenants decide *who is asking*. A [`TenantRegistry`] — built before
+//! the service and immutable afterwards — gives every registered tenant a
+//! [`TenantQuota`]:
+//!
+//! * **`weight`** — the tenant's admission share. The dispatcher runs a
+//!   second stride scheduler *inside* each priority lane: among the
+//!   queued entries of the lane chosen by the priority stride, the
+//!   dispatchable entry whose tenant has the smallest tenant-pass goes
+//!   next, and that tenant's pass advances by `TENANT_STRIDE_ONE /
+//!   weight`. Two tenants flooding the same lane therefore split its
+//!   dispatches by weight, and an idle tenant re-enters at the global
+//!   tenant pass (no banked credit) — the same scheme, one level down.
+//! * **`max_in_flight`** — how many of the tenant's queries may occupy
+//!   the service's concurrent-query slots at once. A tenant at its cap is
+//!   simply skipped by the dispatcher (its entries stay queued, FIFO
+//!   order preserved) until one of its queries finishes, so a flood from
+//!   one tenant cannot occupy every slot.
+//! * **`max_queued`** — how many of the tenant's queries may wait in the
+//!   admission queues (across all priorities). Beyond it, submissions are
+//!   refused with the typed [`AdmissionError::TenantQuota`] — "you
+//!   exceeded *your* quota", distinct from a service-wide
+//!   [`AdmissionError::QueueFull`] or [`AdmissionError::Shed`].
+//! * **`memory_budget`** — an optional [`MemoryBudget`] shared by all of
+//!   the tenant's queries. `relational::ParallelOpts` picks it up when a
+//!   query is tenant-attributed and no explicit budget is set, so one
+//!   tenant's spilling joins are governed by *its* byte account.
+//!
+//! Queries submitted without a tenant are *anonymous*: they bypass every
+//! tenant quota and dispatch under a built-in pseudo-tenant of weight 1.
+//! Tenancy only ever decides *when* a query starts — never how it runs —
+//! so a tenant-attributed result is bit-identical to the same query
+//! submitted anonymously.
+//!
+//! [`AdmissionError::TenantQuota`]: super::AdmissionError::TenantQuota
+//! [`AdmissionError::QueueFull`]: super::AdmissionError::QueueFull
+//! [`AdmissionError::Shed`]: super::AdmissionError::Shed
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::budget::MemoryBudget;
+use crate::scheduler::QueryOutcomeKind;
+
+use super::telemetry::{LatencyHistogram, TenantStats};
+
+/// One tenant-pass unit: the stride of a weight-`2^20` tenant. Large so
+/// integer division keeps distinct strides for any sane weight.
+pub(crate) const TENANT_STRIDE_ONE: u64 = 1 << 20;
+
+/// A handle to a registered tenant — obtained from
+/// [`TenantRegistry::register`] and attached to submissions via
+/// `SubmitOpts::with_tenant` (or `ParallelOpts::with_tenant` one level
+/// up). Only valid with the registry it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+impl TenantId {
+    /// The registry slot this id names.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Per-tenant resource limits. The default is deliberately permissive —
+/// weight 1, no in-flight/queue caps, no budget — so registering a tenant
+/// buys accounting first and constraints only where asked for.
+#[derive(Debug, Clone, Default)]
+pub struct TenantQuota {
+    /// Admission share inside a priority lane (clamped to ≥ 1). A
+    /// weight-4 tenant gets 4 dispatches for every 1 a weight-1 tenant
+    /// gets when both are backlogged in the same lane.
+    pub weight: u64,
+    /// Concurrent-query slots this tenant may hold at once
+    /// (`0` = unlimited).
+    pub max_in_flight: usize,
+    /// Queued submissions this tenant may have waiting, summed across
+    /// priorities (`0` = unlimited).
+    pub max_queued: usize,
+    /// Byte budget shared by the tenant's spilling operators.
+    pub memory_budget: Option<Arc<MemoryBudget>>,
+}
+
+impl TenantQuota {
+    /// The permissive default quota.
+    pub fn new() -> TenantQuota {
+        TenantQuota::default()
+    }
+
+    /// Set the admission-share weight.
+    pub fn with_weight(mut self, weight: u64) -> TenantQuota {
+        self.weight = weight;
+        self
+    }
+
+    /// Cap concurrent dispatched queries.
+    pub fn with_max_in_flight(mut self, max: usize) -> TenantQuota {
+        self.max_in_flight = max;
+        self
+    }
+
+    /// Cap queued submissions (across all priorities).
+    pub fn with_max_queued(mut self, max: usize) -> TenantQuota {
+        self.max_queued = max;
+        self
+    }
+
+    /// Attach a shared memory budget.
+    pub fn with_budget(mut self, budget: Arc<MemoryBudget>) -> TenantQuota {
+        self.memory_budget = Some(budget);
+        self
+    }
+
+    /// The stride weight, clamped to ≥ 1.
+    pub(crate) fn effective_weight(&self) -> u64 {
+        self.weight.max(1)
+    }
+
+    /// In-flight cap with `0` meaning unlimited.
+    pub(crate) fn in_flight_cap(&self) -> usize {
+        if self.max_in_flight == 0 {
+            usize::MAX
+        } else {
+            self.max_in_flight
+        }
+    }
+
+    /// Queue cap with `0` meaning unlimited.
+    pub(crate) fn queued_cap(&self) -> usize {
+        if self.max_queued == 0 {
+            usize::MAX
+        } else {
+            self.max_queued
+        }
+    }
+}
+
+/// The atomic per-tenant counter block (telemetry; exact counts, written
+/// lock-free).
+#[derive(Default)]
+pub(crate) struct TenantCounters {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub rejected_full: AtomicU64,
+    pub rejected_quota: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
+    pub admission_timeouts: AtomicU64,
+    pub shed: AtomicU64,
+    pub completed: AtomicU64,
+    pub task_errors: AtomicU64,
+    pub panicked: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub queue_wait: LatencyHistogram,
+    pub latency: LatencyHistogram,
+}
+
+impl TenantCounters {
+    pub fn record_outcome(&self, kind: QueryOutcomeKind, latency: Duration) {
+        match kind {
+            QueryOutcomeKind::Completed => self.completed.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::TaskError => self.task_errors.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::Panicked => self.panicked.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::Cancelled => self.cancelled.fetch_add(1, Ordering::Relaxed),
+            QueryOutcomeKind::DeadlineExceeded => {
+                self.deadline_expired.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        self.latency.record(latency);
+    }
+}
+
+struct TenantEntry {
+    name: String,
+    quota: TenantQuota,
+    counters: TenantCounters,
+}
+
+/// The fixed set of tenants a service knows about. Register every tenant
+/// **before** building the `QueryService` — the registry is immutable
+/// once the service owns it (no interior registration), which keeps the
+/// dispatcher's per-tenant scheduling state a plain indexed vector.
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: Vec<TenantEntry>,
+}
+
+impl TenantRegistry {
+    /// An empty registry (every submission is anonymous).
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Register a tenant; the returned [`TenantId`] is how submissions
+    /// name it. Names are labels for telemetry — duplicates are allowed
+    /// and simply share a label.
+    pub fn register(&mut self, name: impl Into<String>, quota: TenantQuota) -> TenantId {
+        self.tenants.push(TenantEntry {
+            name: name.into(),
+            quota,
+            counters: TenantCounters::default(),
+        });
+        TenantId(self.tenants.len() - 1)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Look a tenant up by name (first match).
+    pub fn lookup(&self, name: &str) -> Option<TenantId> {
+        self.tenants
+            .iter()
+            .position(|t| t.name == name)
+            .map(TenantId)
+    }
+
+    /// The tenant's display name.
+    pub fn name(&self, id: TenantId) -> &str {
+        &self.tenants[id.0].name
+    }
+
+    /// The tenant's quota.
+    pub fn quota(&self, id: TenantId) -> &TenantQuota {
+        &self.tenants[id.0].quota
+    }
+
+    /// The tenant's memory budget, if one was configured — what
+    /// `ParallelOpts::effective_budget` resolves for tenant-attributed
+    /// queries.
+    pub fn budget(&self, id: TenantId) -> Option<&MemoryBudget> {
+        self.tenants[id.0].quota.memory_budget.as_deref()
+    }
+
+    /// The tenant's shared budget handle (for holding it elsewhere).
+    pub fn budget_arc(&self, id: TenantId) -> Option<Arc<MemoryBudget>> {
+        self.tenants[id.0].quota.memory_budget.clone()
+    }
+
+    /// All tenant ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = TenantId> + '_ {
+        (0..self.tenants.len()).map(TenantId)
+    }
+
+    pub(crate) fn counters(&self, slot: usize) -> Option<&TenantCounters> {
+        self.tenants.get(slot).map(|t| &t.counters)
+    }
+
+    /// Counter snapshot for one tenant; the live `queued`/`in_flight`
+    /// gauges are filled in by the service (they live under its lock).
+    pub(crate) fn snapshot(&self, id: TenantId) -> TenantStats {
+        let t = &self.tenants[id.0];
+        let c = &t.counters;
+        TenantStats {
+            name: t.name.clone(),
+            weight: t.quota.effective_weight(),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected_full: c.rejected_full.load(Ordering::Relaxed),
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            admission_timeouts: c.admission_timeouts.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            task_errors: c.task_errors.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            queued: 0,
+            in_flight: 0,
+            queue_wait: c.queue_wait.snapshot(),
+            latency: c.latency.snapshot(),
+        }
+    }
+}
+
+impl fmt::Debug for TenantRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.tenants.iter().map(|t| (&t.name, &t.quota)))
+            .finish()
+    }
+}
+
+/// Per-tenant *scheduling* state, one slot per registered tenant plus a
+/// trailing slot for anonymous traffic. Lives inside the service's state
+/// mutex — gauges and stride passes are only ever touched under it.
+pub(crate) struct TenantSched {
+    /// Queued submissions (gauge; the quota's `max_queued` bound).
+    pub queued: usize,
+    /// Dispatched-but-unfinished queries (gauge; `max_in_flight` bound).
+    pub in_flight: usize,
+    /// Tenant stride pass (see the module docs).
+    pub pass: u64,
+    /// `TENANT_STRIDE_ONE / weight`, precomputed.
+    pub stride: u64,
+    /// `max_in_flight` with 0 mapped to unlimited.
+    pub in_flight_cap: usize,
+    /// `max_queued` with 0 mapped to unlimited.
+    pub queued_cap: usize,
+}
+
+impl TenantSched {
+    pub fn from_quota(quota: &TenantQuota) -> TenantSched {
+        TenantSched {
+            queued: 0,
+            in_flight: 0,
+            pass: 0,
+            stride: TENANT_STRIDE_ONE / quota.effective_weight(),
+            in_flight_cap: quota.in_flight_cap(),
+            queued_cap: quota.queued_cap(),
+        }
+    }
+
+    /// The anonymous pseudo-tenant: weight 1, no caps.
+    pub fn anonymous() -> TenantSched {
+        TenantSched::from_quota(&TenantQuota::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = TenantRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.register("acme", TenantQuota::new().with_weight(4));
+        let b = reg.register(
+            "burst",
+            TenantQuota::new()
+                .with_max_in_flight(2)
+                .with_max_queued(8)
+                .with_budget(Arc::new(MemoryBudget::bytes(1 << 20))),
+        );
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.lookup("acme"), Some(a));
+        assert_eq!(reg.lookup("burst"), Some(b));
+        assert_eq!(reg.lookup("nobody"), None);
+        assert_eq!(reg.name(a), "acme");
+        assert_eq!(reg.quota(a).effective_weight(), 4);
+        assert!(reg.budget(a).is_none());
+        assert_eq!(reg.budget(b).unwrap().limit(), 1 << 20);
+        assert_eq!(reg.ids().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(a.index(), 0);
+        assert_eq!(format!("{b}"), "tenant#1");
+    }
+
+    #[test]
+    fn quota_caps_map_zero_to_unlimited() {
+        let q = TenantQuota::default();
+        assert_eq!(q.effective_weight(), 1);
+        assert_eq!(q.in_flight_cap(), usize::MAX);
+        assert_eq!(q.queued_cap(), usize::MAX);
+        let q = TenantQuota::new()
+            .with_weight(0)
+            .with_max_in_flight(3)
+            .with_max_queued(5);
+        assert_eq!(q.effective_weight(), 1, "weight 0 clamps to 1");
+        assert_eq!(q.in_flight_cap(), 3);
+        assert_eq!(q.queued_cap(), 5);
+    }
+
+    #[test]
+    fn sched_state_precomputes_strides() {
+        let s = TenantSched::from_quota(&TenantQuota::new().with_weight(4));
+        assert_eq!(s.stride, TENANT_STRIDE_ONE / 4);
+        let anon = TenantSched::anonymous();
+        assert_eq!(anon.stride, TENANT_STRIDE_ONE);
+        assert_eq!(anon.in_flight_cap, usize::MAX);
+    }
+
+    #[test]
+    fn counters_record_outcomes() {
+        let c = TenantCounters::default();
+        c.record_outcome(QueryOutcomeKind::Completed, Duration::from_micros(3));
+        c.record_outcome(QueryOutcomeKind::Cancelled, Duration::from_micros(3));
+        assert_eq!(c.completed.load(Ordering::Relaxed), 1);
+        assert_eq!(c.cancelled.load(Ordering::Relaxed), 1);
+        assert_eq!(c.latency.snapshot().count, 2);
+    }
+}

@@ -46,6 +46,7 @@ use adaptvm_kernels::{FilterFlavor, MapMode};
 use adaptvm_parallel::{
     build_then_probe_with, BuildProbeStats, CancelToken, MemoryBudget, Morsel, MorselPlan,
     ParallelRunReport, ParallelVm, Priority, QueryService, RunError, Runner, Scheduler, SubmitOpts,
+    TenantId,
 };
 use adaptvm_storage::scalar::Scalar;
 use adaptvm_storage::schema::Table;
@@ -99,12 +100,19 @@ pub struct ParallelOpts<'a> {
     pub service: Option<&'a QueryService>,
     /// Priority class for service admission (ignored without `service`).
     pub priority: Priority,
+    /// Tenant the pipeline is attributed to (ignored without `service`;
+    /// `None` = anonymous). Tenancy gates *when* the pipeline is admitted
+    /// and dispatched, never how it runs — results are bit-identical to
+    /// an anonymous submission.
+    pub tenant: Option<TenantId>,
     /// Cooperative cancellation, checked at morsel boundaries.
     pub cancel: Option<&'a CancelToken>,
     /// Byte budget the out-of-core joins ([`crate::spill`]) charge for
     /// resident build partitions — partitions that do not fit spill to
     /// disk. `None` = unlimited (nothing spills). Ignored by the purely
-    /// in-memory pipelines.
+    /// in-memory pipelines. When unset and `tenant` is set, the spill
+    /// pipelines fall back to the tenant's registered budget — see
+    /// [`ParallelOpts::effective_budget`].
     pub memory_budget: Option<&'a MemoryBudget>,
 }
 
@@ -116,6 +124,7 @@ impl Default for ParallelOpts<'_> {
             scheduler: None,
             service: None,
             priority: Priority::Normal,
+            tenant: None,
             cancel: None,
             memory_budget: None,
         }
@@ -187,12 +196,36 @@ impl<'a> ParallelOpts<'a> {
         self
     }
 
+    /// Attribute the pipeline to a tenant registered with the attached
+    /// service. Admission then counts against the tenant's quotas, and
+    /// the spill pipelines pick up the tenant's memory budget when no
+    /// explicit one is set.
+    pub fn with_tenant(mut self, tenant: TenantId) -> ParallelOpts<'a> {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// The memory budget the out-of-core pipelines actually charge: an
+    /// explicit [`ParallelOpts::with_budget`] wins; otherwise a
+    /// tenant-attributed pipeline uses the tenant's registered budget;
+    /// otherwise `None` (unlimited).
+    pub fn effective_budget(&self) -> Option<&'a MemoryBudget> {
+        if self.memory_budget.is_some() {
+            return self.memory_budget;
+        }
+        match (self.service, self.tenant) {
+            (Some(service), Some(id)) => service.tenants().budget(id),
+            _ => None,
+        }
+    }
+
     /// The executor these options select.
     pub fn runner(&self) -> Runner<'a> {
         match (self.service, self.scheduler) {
             (Some(service), _) => Runner::Service {
                 service,
                 priority: self.priority,
+                tenant: self.tenant,
             },
             (None, Some(s)) => Runner::Scheduler(s),
             (None, None) => Runner::Scoped {
@@ -856,6 +889,9 @@ pub fn q6_parallel(
     };
     let (outs, report) = if let Some(service) = opts.service {
         let mut sopts = SubmitOpts::new(opts.priority);
+        if let Some(id) = opts.tenant {
+            sopts = sopts.with_tenant(id);
+        }
         if let Some(token) = opts.cancel {
             sopts = sopts.with_cancel(token.clone());
         }

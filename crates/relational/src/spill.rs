@@ -164,7 +164,8 @@ struct IntSpillSides<'a> {
 
 /// Memory-governed morsel-parallel hash join over integer keys: the
 /// grace-hash sibling of [`crate::parallel::parallel_hash_join`], charging
-/// [`ParallelOpts::memory_budget`] (unlimited when unset) for every
+/// [`ParallelOpts::effective_budget`] — an explicit budget, else the
+/// submitting tenant's registered budget, else unlimited — for every
 /// resident build partition and spilling the rest to disk. Output is
 /// bit-identical to the in-memory join for any budget, worker count, and
 /// morsel size; [`SpillStats`] reports what the out-of-core path did.
@@ -176,7 +177,7 @@ pub fn parallel_hash_join_spill(
     opts: ParallelOpts<'_>,
 ) -> OpResult<(ParallelJoinOutput, SpillStats)> {
     let (bk, bp) = crate::parallel::build_rows(build_keys, build_payloads)?;
-    let budget = opts.memory_budget.unwrap_or(&UNLIMITED);
+    let budget = opts.effective_budget().unwrap_or(&UNLIMITED);
     let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
     let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
     let with_bloom = |t: HashTable| if bloom { t.with_bloom() } else { t };
@@ -505,7 +506,7 @@ pub fn parallel_hash_join_str_spill(
             bp.len()
         )));
     }
-    let budget = opts.memory_budget.unwrap_or(&UNLIMITED);
+    let budget = opts.effective_budget().unwrap_or(&UNLIMITED);
     let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
     let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
 

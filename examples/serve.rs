@@ -10,21 +10,161 @@
 //! dispatch. One query is cancelled mid-flight and one carries a deadline
 //! on purpose, to show both abort paths. At the end the per-priority
 //! telemetry table prints and the service drains gracefully.
+//!
+//! Multi-tenant mode: `cargo run --release --example serve -- --tenants N
+//! [workers]` registers N tenants, makes the last one flood the service
+//! open-loop while the others run closed-loop TPC-H Q1, then prints the
+//! full `/metrics`-style exposition (`render_text`) and the isolation
+//! outcome: the flooder absorbs every rejection, the paying tenants none.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use adaptvm::parallel::serve::{Priority, QueryService, ServeConfig, SubmitOpts};
+use adaptvm::parallel::serve::{
+    render_text, Priority, QueryService, ServeConfig, SubmitOpts, TenantQuota, TenantRegistry,
+};
 use adaptvm::parallel::{MorselPlan, QueryError};
 use adaptvm::relational::parallel::{q1_parallel_adaptive, q3_parallel, q6_parallel, ParallelOpts};
 use adaptvm::relational::tpch;
 use adaptvm::storage::DEFAULT_CHUNK;
 use adaptvm::vm::{Strategy, VmConfig};
 
+/// `--tenants N` mode: N tenants on one service, the last one flooding.
+fn tenants_demo(workers: usize, n: usize) {
+    let n = n.max(2);
+    println!(
+        "multi-tenant serving demo: {n} tenants ({} paying + 1 flooder), {workers} workers",
+        n - 1
+    );
+
+    println!("generating TPC-H inputs…");
+    let lineitem = tpch::lineitem(100_000, 42);
+    let compact = tpch::CompactLineitem::from_table(&lineitem);
+    let q1_ref = tpch::q1_adaptive(&compact, DEFAULT_CHUNK);
+
+    let mut reg = TenantRegistry::new();
+    let paying: Vec<_> = (1..n)
+        .map(|i| reg.register(format!("tenant-{i}"), TenantQuota::new().with_weight(8)))
+        .collect();
+    let flood = reg.register(
+        "flood",
+        TenantQuota::new().with_weight(1).with_max_in_flight(1),
+    );
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_max_concurrent(workers.max(2))
+            .with_queue_capacity(8)
+            .with_elastic_concurrency(2 * workers.max(2)),
+        reg,
+    );
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // The flooder: open-loop trivial Batch queries, refusals ignored.
+        {
+            let (service, stop) = (&service, &stop);
+            s.spawn(move || {
+                let mut handles = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(h) = service.try_submit(
+                        SubmitOpts::batch().with_tenant(flood),
+                        MorselPlan::new(50_000, 2_048),
+                        |_, m| Ok::<usize, ()>(m.len),
+                        |parts, _| parts.iter().sum::<usize>(),
+                    ) {
+                        handles.push(h);
+                    }
+                    if handles.len() > 64 {
+                        for h in handles.drain(..) {
+                            let _ = h.join();
+                        }
+                    }
+                }
+                for h in handles {
+                    let _ = h.join();
+                }
+            });
+        }
+        // Paying tenants: closed-loop exact Q1, verified every time.
+        for (i, &id) in paying.iter().enumerate() {
+            let (service, stop) = (&service, &stop);
+            let (compact, q1_ref) = (&compact, &q1_ref);
+            let last = i == paying.len() - 1;
+            s.spawn(move || {
+                for _ in 0..6 {
+                    let opts = ParallelOpts::new(0, 8 * DEFAULT_CHUNK)
+                        .with_service(service, Priority::Interactive)
+                        .with_tenant(id);
+                    let rows = q1_parallel_adaptive(compact, DEFAULT_CHUNK, opts)
+                        .expect("paying tenants are never refused");
+                    assert_eq!(rows.len(), q1_ref.len());
+                }
+                if last {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    // The exposition endpoint's payload, verbatim.
+    println!("\n── rendered metrics (serve::render_text) ──────────────────");
+    print!("{}", render_text(&service.stats()));
+    println!("────────────────────────────────────────────────────────────");
+
+    // Isolation outcome.
+    let stats = service.stats();
+    let flood_stats = stats.tenant("flood").expect("registered");
+    let flood_refused = flood_stats.rejected() + flood_stats.shed;
+    let paying_refused: u64 = stats
+        .tenants
+        .iter()
+        .filter(|t| t.name != "flood")
+        .map(|t| t.rejected() + t.shed)
+        .sum();
+    println!(
+        "\nisolation outcome: flooder submitted {}, refused {} ({:.1}%); \
+         paying tenants refused {}",
+        flood_stats.submitted,
+        flood_refused,
+        flood_stats.rejection_rate() * 100.0,
+        paying_refused,
+    );
+    assert_eq!(paying_refused, 0, "paying tenants absorbed refusals");
+    println!(
+        "the flood absorbed every refusal, paying tenants none ✓ \
+         (elastic limit grew {}×, shed level now {})",
+        stats.grow_events, stats.shed_level,
+    );
+
+    let report = service.drain(Duration::from_secs(30));
+    println!(
+        "graceful drain: clean={} refused_queued={} cancelled_running={}",
+        report.clean, report.refused_queued, report.cancelled_running
+    );
+}
+
 fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tenants = None;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tenants" {
+            tenants = it.next().and_then(|v| v.parse::<usize>().ok());
+            if tenants.is_none() {
+                eprintln!("usage: serve [--tenants N] [workers]");
+                std::process::exit(2);
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let workers: usize = positional.first().and_then(|a| a.parse().ok()).unwrap_or(4);
+    if let Some(n) = tenants {
+        tenants_demo(workers, n);
+        return;
+    }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("serving layer demo: {workers} pool workers, {cores} cores available");
 

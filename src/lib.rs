@@ -41,7 +41,12 @@
 //!   `drain`, and per-priority latency/rejection telemetry
 //!   (`ServiceStats`) — every `relational::parallel` entry point runs
 //!   through it unchanged (`ParallelOpts::with_service`), bit-identical
-//!   to direct scheduler submission,
+//!   to direct scheduler submission. The **multi-tenant layer**
+//!   (`parallel::serve::tenant`) adds per-tenant quotas (weighted
+//!   admission share, in-flight/queue-depth caps, shared memory
+//!   budgets), overload shedding (Batch → Normal, never Interactive),
+//!   elastic concurrency, and a plain-text metrics exposition
+//!   (`parallel::serve::render_text`),
 //! * [`relational`] — operators, adaptive aggregation/joins (integer and
 //!   Utf8 keys, including mixed-key adaptive chains), compressed scans
 //!   and the TPC-H Q1/Q3/Q6 workloads the paper's motivation cites —
@@ -88,7 +93,7 @@ pub mod prelude {
     pub use adaptvm_kernels::{FilterFlavor, MapMode};
     pub use adaptvm_parallel::{
         CancelToken, MemoryBudget, Morsel, MorselPlan, ParallelVm, Priority, QueryService,
-        Scheduler, ServeConfig,
+        Scheduler, ServeConfig, TenantQuota, TenantRegistry,
     };
     pub use adaptvm_storage::{Array, Scalar, ScalarType};
     pub use adaptvm_vm::{BanditPolicy, Buffers, RunReport, Strategy, Vm, VmConfig};

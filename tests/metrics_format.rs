@@ -1,0 +1,425 @@
+//! Golden tests for the plain-text metrics exposition
+//! (`adaptvm::parallel::serve::render_text`).
+//!
+//! The format is a documented, versioned contract (see
+//! `serve::telemetry`): these tests pin it byte-for-byte — family names,
+//! family order, label ordering, bucket edges, escaping — so any change
+//! to the exposition is a deliberate, reviewed format bump, not drift.
+//! A round-trip test then parses the rendered output of a *live* service
+//! back into numbers and reconciles them against `ServiceStats`.
+
+use std::time::Duration;
+
+use adaptvm::parallel::serve::{
+    render_text, LatencySnapshot, QueryService, ServeConfig, ServiceStats, SubmitOpts as ServeOpts,
+    TenantQuota, TenantRegistry, TenantStats, HISTOGRAM_BUCKETS,
+};
+use adaptvm::parallel::MorselPlan;
+
+const JOIN_BOUND: Duration = Duration::from_secs(120);
+
+/// The 28 histogram bucket upper bounds, in seconds, exactly as rendered:
+/// `2^i` microseconds for bucket `i`, final bucket open (`+Inf`). These
+/// literals ARE the golden — if the edges or their formatting move, this
+/// array is the reviewed place to move them.
+const LE: [&str; HISTOGRAM_BUCKETS] = [
+    "0.000001",
+    "0.000002",
+    "0.000004",
+    "0.000008",
+    "0.000016",
+    "0.000032",
+    "0.000064",
+    "0.000128",
+    "0.000256",
+    "0.000512",
+    "0.001024",
+    "0.002048",
+    "0.004096",
+    "0.008192",
+    "0.016384",
+    "0.032768",
+    "0.065536",
+    "0.131072",
+    "0.262144",
+    "0.524288",
+    "1.048576",
+    "2.097152",
+    "4.194304",
+    "8.388608",
+    "16.777216",
+    "33.554432",
+    "67.108864",
+    "+Inf",
+];
+
+const LANES: [&str; 3] = ["interactive", "normal", "batch"];
+
+/// Expected rendering of an empty histogram family member: 28 zero
+/// cumulative buckets, no quantile lines, zero sum and count.
+fn empty_hist(name: &str, key: &str, value: &str) -> String {
+    let mut s = String::new();
+    for le in LE {
+        s.push_str(&format!(
+            "{name}_bucket{{{key}=\"{value}\",le=\"{le}\"}} 0\n"
+        ));
+    }
+    s.push_str(&format!("{name}_sum{{{key}=\"{value}\"}} 0\n"));
+    s.push_str(&format!("{name}_count{{{key}=\"{value}\"}} 0\n"));
+    s
+}
+
+/// The full exposition of a hand-built snapshot, byte for byte. Pins the
+/// header, every family name, the family-major order (service gauges →
+/// scheduler counters → per-priority → per-tenant), the lane order, and
+/// zero-value formatting.
+#[test]
+fn golden_full_exposition() {
+    let mut stats = ServiceStats {
+        running: 1,
+        concurrent_limit: 4,
+        shed_level: 1,
+        queue_depths: [2, 0, 5],
+        grow_events: 3,
+        shrink_events: 2,
+        ..ServiceStats::default()
+    };
+    stats.scheduler.queries_submitted = 7;
+    stats.scheduler.queries_completed = 6;
+    stats.scheduler.morsels_executed = 123;
+    stats.per_priority[0].submitted = 10;
+    stats.per_priority[0].admitted = 9;
+    stats.per_priority[0].rejected_full = 1;
+    stats.per_priority[0].completed = 8;
+    stats.tenants.push(TenantStats {
+        name: "acme".into(),
+        weight: 3,
+        submitted: 5,
+        admitted: 4,
+        rejected_quota: 1,
+        completed: 4,
+        ..TenantStats::default()
+    });
+
+    let mut want = String::from("# adaptvm-serve-metrics v1\n");
+    want.push_str("serve_running 1\n");
+    want.push_str("serve_draining 0\n");
+    want.push_str("serve_concurrent_limit 4\n");
+    want.push_str("serve_shed_level 1\n");
+    want.push_str("serve_queue_depth{priority=\"interactive\"} 2\n");
+    want.push_str("serve_queue_depth{priority=\"normal\"} 0\n");
+    want.push_str("serve_queue_depth{priority=\"batch\"} 5\n");
+    want.push_str("serve_concurrency_grow_total 3\n");
+    want.push_str("serve_concurrency_shrink_total 2\n");
+    want.push_str("scheduler_queries_submitted_total 7\n");
+    want.push_str("scheduler_queries_completed_total 6\n");
+    want.push_str("scheduler_morsels_executed_total 123\n");
+    // Per-priority counters, family-major; only interactive is non-zero.
+    let families: [(&str, [u64; 3]); 12] = [
+        ("serve_submitted_total", [10, 0, 0]),
+        ("serve_admitted_total", [9, 0, 0]),
+        ("serve_rejected_full_total", [1, 0, 0]),
+        ("serve_rejected_quota_total", [0, 0, 0]),
+        ("serve_rejected_shutdown_total", [0, 0, 0]),
+        ("serve_admission_timeouts_total", [0, 0, 0]),
+        ("serve_shed_total", [0, 0, 0]),
+        ("serve_completed_total", [8, 0, 0]),
+        ("serve_task_errors_total", [0, 0, 0]),
+        ("serve_panicked_total", [0, 0, 0]),
+        ("serve_cancelled_total", [0, 0, 0]),
+        ("serve_deadline_expired_total", [0, 0, 0]),
+    ];
+    for (family, values) in families {
+        for (lane, v) in LANES.iter().zip(values) {
+            want.push_str(&format!("{family}{{priority=\"{lane}\"}} {v}\n"));
+        }
+    }
+    for lane in LANES {
+        want.push_str(&empty_hist("serve_queue_wait_seconds", "priority", lane));
+    }
+    for lane in LANES {
+        want.push_str(&empty_hist("serve_latency_seconds", "priority", lane));
+    }
+    // Per-tenant families for the single registered tenant.
+    want.push_str("tenant_weight{tenant=\"acme\"} 3\n");
+    let tenant_families: [(&str, u64); 12] = [
+        ("tenant_submitted_total", 5),
+        ("tenant_admitted_total", 4),
+        ("tenant_rejected_full_total", 0),
+        ("tenant_rejected_quota_total", 1),
+        ("tenant_rejected_shutdown_total", 0),
+        ("tenant_admission_timeouts_total", 0),
+        ("tenant_shed_total", 0),
+        ("tenant_completed_total", 4),
+        ("tenant_task_errors_total", 0),
+        ("tenant_panicked_total", 0),
+        ("tenant_cancelled_total", 0),
+        ("tenant_deadline_expired_total", 0),
+    ];
+    for (family, v) in tenant_families {
+        want.push_str(&format!("{family}{{tenant=\"acme\"}} {v}\n"));
+    }
+    want.push_str("tenant_queued{tenant=\"acme\"} 0\n");
+    want.push_str("tenant_in_flight{tenant=\"acme\"} 0\n");
+    want.push_str(&empty_hist("tenant_queue_wait_seconds", "tenant", "acme"));
+    want.push_str(&empty_hist("tenant_latency_seconds", "tenant", "acme"));
+
+    let got = render_text(&stats);
+    // Compare line-by-line first for a readable failure, then the whole.
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(g, w, "exposition line {}", i + 1);
+    }
+    assert_eq!(got, want);
+}
+
+/// Non-empty histograms render cumulative buckets, the two quantile
+/// summary lines, and an exact shortest-round-trip `_sum`.
+#[test]
+fn golden_histogram_with_observations() {
+    let mut stats = ServiceStats::default();
+    // Bucket 7 (≤ 128 µs): 2 observations; bucket 10 (≤ 1024 µs): 1.
+    let mut h = LatencySnapshot::default();
+    h.buckets[7] = 2;
+    h.buckets[10] = 1;
+    h.count = 3;
+    h.sum_ns = 3_456_789;
+    h.max_ns = 1_000_000;
+    stats.per_priority[2].latency = h; // batch lane
+    let text = render_text(&stats);
+
+    let expect = [
+        // Cumulative counts cross at buckets 7 and 10.
+        "serve_latency_seconds_bucket{priority=\"batch\",le=\"0.000064\"} 0",
+        "serve_latency_seconds_bucket{priority=\"batch\",le=\"0.000128\"} 2",
+        "serve_latency_seconds_bucket{priority=\"batch\",le=\"0.000512\"} 2",
+        "serve_latency_seconds_bucket{priority=\"batch\",le=\"0.001024\"} 3",
+        "serve_latency_seconds_bucket{priority=\"batch\",le=\"+Inf\"} 3",
+        // p50 rank 2 lands in bucket 7, p99 rank 3 in bucket 10.
+        "serve_latency_seconds{priority=\"batch\",quantile=\"0.5\"} 0.000128",
+        "serve_latency_seconds{priority=\"batch\",quantile=\"0.99\"} 0.001024",
+        "serve_latency_seconds_sum{priority=\"batch\"} 0.003456789",
+        "serve_latency_seconds_count{priority=\"batch\"} 3",
+    ];
+    for line in expect {
+        assert!(text.lines().any(|l| l == line), "missing line: {line}");
+    }
+    // Empty lanes emit no quantile lines at all.
+    assert!(!text.contains("priority=\"normal\",quantile"));
+}
+
+/// Label escaping: `\` → `\\`, `"` → `\"`, newline → `\n`; tenant names
+/// survive verbatim otherwise, and the output stays one-line-per-metric.
+#[test]
+fn golden_label_escaping() {
+    let mut stats = ServiceStats::default();
+    stats.tenants.push(TenantStats {
+        name: "a\"b\\c\nd".into(),
+        weight: 1,
+        ..TenantStats::default()
+    });
+    let text = render_text(&stats);
+    assert!(
+        text.contains("tenant_weight{tenant=\"a\\\"b\\\\c\\nd\"} 1"),
+        "escaped label missing:\n{text}"
+    );
+    // Exactly one comment line (the header), and no raw newline leaked
+    // into a label: every line still has the `name… value` shape.
+    assert_eq!(text.lines().filter(|l| l.starts_with('#')).count(), 1);
+    for line in text.lines().skip(1) {
+        assert!(
+            line.rsplit_once(' ').is_some(),
+            "malformed metric line: {line:?}"
+        );
+    }
+}
+
+/// Un-escape a label value (the inverse of the renderer's escaping).
+fn unescape(v: &str) -> String {
+    let mut out = String::new();
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                other => panic!("bad escape \\{other:?} in {v:?}"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parse one metric line into (name, labels, value). Escape-aware.
+fn parse_line(line: &str) -> (String, Vec<(String, String)>, f64) {
+    let (head, value) = line.rsplit_once(' ').expect("line has a value");
+    let value: f64 = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value in {line:?}"))
+    };
+    let Some((name, rest)) = head.split_once('{') else {
+        return (head.to_string(), Vec::new(), value);
+    };
+    let body = rest.strip_suffix('}').expect("labels close");
+    let mut labels = Vec::new();
+    let mut it = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in it.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        assert_eq!(it.next(), Some('"'), "label value opens with a quote");
+        let mut raw = String::new();
+        let mut escaped = false;
+        for c in it.by_ref() {
+            if escaped {
+                raw.push('\\');
+                raw.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                break;
+            } else {
+                raw.push(c);
+            }
+        }
+        labels.push((key, unescape(&raw)));
+        match it.next() {
+            None => break,
+            Some(',') => continue,
+            other => panic!("unexpected {other:?} after label in {line:?}"),
+        }
+    }
+    (name.to_string(), labels, value)
+}
+
+/// Round-trip: render a *live* service's snapshot, parse every line back,
+/// and reconcile the parsed numbers against `ServiceStats` — including a
+/// tenant whose name needs escaping. Also pins the documented family
+/// order on real output and that rendering is deterministic per snapshot.
+#[test]
+fn round_trip_parse_of_live_service() {
+    let mut reg = TenantRegistry::new();
+    let acme = reg.register("acme", TenantQuota::new().with_weight(2));
+    let weird = reg.register("we\"ird\\ten\nant", TenantQuota::new());
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(2),
+        reg,
+    );
+    let mut handles = Vec::new();
+    for (id, n) in [(acme, 3), (weird, 2)] {
+        for _ in 0..n {
+            handles.push(
+                service
+                    .try_submit(
+                        ServeOpts::normal().with_tenant(id),
+                        MorselPlan::new(500, 50),
+                        |_, m| Ok::<usize, ()>(m.len),
+                        |parts, _| parts.iter().sum::<usize>(),
+                    )
+                    .unwrap(),
+            );
+        }
+    }
+    handles.push(
+        service
+            .try_submit(
+                ServeOpts::interactive(),
+                MorselPlan::new(500, 50),
+                |_, m| Ok::<usize, ()>(m.len),
+                |parts, _| parts.iter().sum::<usize>(),
+            )
+            .unwrap(),
+    );
+    for h in handles {
+        assert_eq!(
+            h.join_deadline(JOIN_BOUND).expect("query hung").unwrap(),
+            500
+        );
+    }
+    let stats = service.stats();
+    let text = render_text(&stats);
+    assert_eq!(text, render_text(&stats), "rendering is deterministic");
+
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("# adaptvm-serve-metrics v1"));
+    // Every line parses; collect (name, labels) → value.
+    let mut metrics = Vec::new();
+    for line in lines {
+        metrics.push(parse_line(line));
+    }
+    let lookup = |name: &str, key: &str, value: &str| -> f64 {
+        metrics
+            .iter()
+            .find(|(n, l, _)| n == name && l.iter().any(|(k, v)| k == key && v == value))
+            .unwrap_or_else(|| panic!("missing {name}{{{key}={value:?}}}"))
+            .2
+    };
+    // Parsed numbers reconcile with the snapshot, across both dimensions
+    // and through the escaped tenant name.
+    assert_eq!(lookup("tenant_submitted_total", "tenant", "acme"), 3.0);
+    assert_eq!(lookup("tenant_completed_total", "tenant", "acme"), 3.0);
+    assert_eq!(
+        lookup("tenant_submitted_total", "tenant", "we\"ird\\ten\nant"),
+        2.0
+    );
+    assert_eq!(lookup("serve_submitted_total", "priority", "normal"), 5.0);
+    assert_eq!(
+        lookup("serve_completed_total", "priority", "interactive"),
+        1.0
+    );
+    assert_eq!(
+        lookup("tenant_latency_seconds_count", "tenant", "acme"),
+        stats.tenant("acme").unwrap().latency.count as f64
+    );
+    // `le` is always the last label on bucket lines; `quantile` likewise.
+    for (name, labels, _) in &metrics {
+        if name.ends_with("_bucket") {
+            assert_eq!(labels.len(), 2, "{name}");
+            assert_eq!(labels[1].0, "le", "{name}");
+        }
+        if let Some((_, v)) = labels.iter().find(|(k, _)| k == "quantile") {
+            assert!(v == "0.5" || v == "0.99");
+        }
+    }
+    // Family order on live output follows the documented sequence.
+    let order = [
+        "serve_running",
+        "serve_queue_depth",
+        "scheduler_queries_submitted_total",
+        "serve_submitted_total",
+        "serve_queue_wait_seconds_count",
+        "serve_latency_seconds_count",
+        "tenant_weight",
+        "tenant_submitted_total",
+        "tenant_queued",
+        "tenant_queue_wait_seconds_count",
+        "tenant_latency_seconds_count",
+    ];
+    let first = |name: &str| {
+        metrics
+            .iter()
+            .position(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("family {name} absent"))
+    };
+    for pair in order.windows(2) {
+        assert!(
+            first(pair[0]) < first(pair[1]),
+            "family order: {} before {}",
+            pair[0],
+            pair[1]
+        );
+    }
+    service.shutdown();
+}

@@ -300,7 +300,8 @@ fn cancelled_handle_reports_partial_morsel_accounting() {
 }
 
 /// Backpressure: under concurrent hammering from many threads, every
-/// QueueFull is counted exactly once and admitted == finished.
+/// QueueFull — and every overload shed the sustained QueueFull pressure
+/// escalates into — is counted exactly once, and admitted == finished.
 #[test]
 fn rejections_counted_exactly_under_concurrent_hammering() {
     let service = QueryService::new(
@@ -310,11 +311,12 @@ fn rejections_counted_exactly_under_concurrent_hammering() {
             .with_queue_capacity(4),
     );
     let rejected = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
     let submitted = AtomicU64::new(0);
     std::thread::scope(|s| {
         for _ in 0..6 {
             let service = &service;
-            let rejected = &rejected;
+            let (rejected, shed) = (&rejected, &shed);
             let submitted = &submitted;
             s.spawn(move || {
                 for _ in 0..25 {
@@ -336,6 +338,9 @@ fn rejections_counted_exactly_under_concurrent_hammering() {
                         Err(AdmissionError::QueueFull(Priority::Normal)) => {
                             rejected.fetch_add(1, Ordering::Relaxed);
                         }
+                        Err(AdmissionError::Shed(Priority::Normal)) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
                         Err(other) => panic!("unexpected admission error: {other}"),
                     }
                 }
@@ -350,7 +355,15 @@ fn rejections_counted_exactly_under_concurrent_hammering() {
         rejected.load(Ordering::Relaxed),
         "every QueueFull counted exactly once: {normal:?}"
     );
-    assert_eq!(normal.admitted, normal.submitted - normal.rejected_full);
+    assert_eq!(
+        normal.shed,
+        shed.load(Ordering::Relaxed),
+        "every shed counted exactly once: {normal:?}"
+    );
+    assert_eq!(
+        normal.admitted,
+        normal.submitted - normal.rejected_full - normal.shed
+    );
     assert_eq!(normal.finished(), normal.admitted, "{normal:?}");
     assert_eq!(normal.completed, normal.admitted, "all admitted complete");
     let report = service.drain(JOIN_BOUND);

@@ -1,0 +1,729 @@
+//! Multi-tenant serving: isolation, quotas, shedding, elasticity.
+//!
+//! The properties ISSUE 6 demands of `adaptvm_parallel::serve::tenant`:
+//!
+//! * **Accounting is exact**: per tenant and per priority,
+//!   `admitted + rejected + shed (+ timeouts) == submitted`, and at drain
+//!   `finished == admitted` — no submission is double- or un-counted,
+//!   even under concurrent hammering.
+//! * **Isolation**: one tenant flooding the service at saturation cannot
+//!   move a well-behaved tenant's p99 beyond the documented bound
+//!   ([`GOLD_P99_BOUND`]), and cannot reject a single one of its queries.
+//! * **Shed order** is Batch → Normal → Interactive, driven by sustained
+//!   `QueueFull` pressure, with recovery once the backlog drains.
+//! * **Determinism**: a tenant-attributed query returns results
+//!   bit-identical to the same query submitted anonymously, at 1/2/4/8
+//!   workers.
+//! * **Quota mechanics**: per-tenant in-flight caps serialize a tenant's
+//!   queries without idling the service; queue-depth quotas reject typed
+//!   (`TenantQuota`, not `QueueFull`); weights split a contended lane's
+//!   dispatches proportionally.
+//! * **Elasticity**: the live concurrent-query limit grows under deep
+//!   backlog with saturated slots and shrinks back once drained.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use adaptvm::parallel::serve::{
+    AdmissionError, Priority, QueryService, ServeConfig, SubmitOpts as ServeOpts, TenantQuota,
+    TenantRegistry,
+};
+use adaptvm::parallel::MorselPlan;
+use adaptvm::relational::parallel::{q1_parallel_adaptive, q3_parallel, ParallelOpts};
+use adaptvm::relational::tpch;
+use adaptvm::storage::DEFAULT_CHUNK;
+
+/// Liveness bound: generous (CI containers are slow, possibly
+/// single-core) but finite — a deadlock fails instead of hanging.
+const JOIN_BOUND: Duration = Duration::from_secs(120);
+
+/// The documented isolation bound (see ARCHITECTURE.md): with one tenant
+/// flooding the service at saturation, a well-behaved tenant submitting
+/// short Interactive queries keeps its p99 end-to-end latency under this.
+/// Typical observed values are single-digit milliseconds; the bound is
+/// generous for slow CI hardware while still far below the unisolated
+/// alternative (queue-depth × query-duration behind the flood).
+const GOLD_P99_BOUND: Duration = Duration::from_secs(5);
+
+/// Trivial short query: ~`rows` rows in `rows / 10` morsels.
+fn short_query(
+    service: &QueryService,
+    opts: ServeOpts,
+    rows: usize,
+) -> Result<adaptvm::parallel::serve::ServeHandle<usize, ()>, AdmissionError> {
+    service.try_submit(
+        opts,
+        MorselPlan::new(rows, (rows / 10).max(1)),
+        |_, m| Ok::<usize, ()>(m.len),
+        |parts, _| parts.iter().sum::<usize>(),
+    )
+}
+
+/// `unwrap_err` needs `Debug` on the success side; handles are opaque.
+#[track_caller]
+fn refusal<T, E>(r: Result<T, E>) -> E {
+    match r {
+        Ok(_) => panic!("expected the submission to be refused"),
+        Err(e) => e,
+    }
+}
+
+/// Exact per-tenant accounting under concurrent mixed-priority hammering:
+/// for every tenant (and every priority class),
+/// `admitted + rejected + shed == submitted`, and once the service is
+/// idle `finished == admitted`.
+#[test]
+fn per_tenant_accounting_is_exact_under_hammering() {
+    let mut reg = TenantRegistry::new();
+    let ids = [
+        reg.register("acme", TenantQuota::new().with_weight(4)),
+        reg.register("burst", TenantQuota::new().with_max_queued(6)),
+        reg.register("probe", TenantQuota::new().with_max_in_flight(1)),
+    ];
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(2)
+            .with_queue_capacity(8),
+        reg,
+    );
+    let locally_submitted: [AtomicU64; 3] = Default::default();
+    std::thread::scope(|s| {
+        for (t, &id) in ids.iter().enumerate() {
+            for part in 0..2 {
+                let service = &service;
+                let locally_submitted = &locally_submitted;
+                s.spawn(move || {
+                    let mut handles = Vec::new();
+                    for round in 0..40 {
+                        let p = Priority::ALL[(t + part + round) % 3];
+                        locally_submitted[t].fetch_add(1, Ordering::Relaxed);
+                        match short_query(service, ServeOpts::new(p).with_tenant(id), 1_000) {
+                            Ok(h) => handles.push(h),
+                            // Any typed refusal is fine — the point is the
+                            // counting, not the outcome mix.
+                            Err(
+                                AdmissionError::QueueFull(_)
+                                | AdmissionError::Shed(_)
+                                | AdmissionError::TenantQuota(_),
+                            ) => {}
+                            Err(other) => panic!("unexpected refusal: {other}"),
+                        }
+                        if handles.len() >= 4 {
+                            for h in handles.drain(..) {
+                                assert_eq!(
+                                    h.join_deadline(JOIN_BOUND).expect("query hung").unwrap(),
+                                    1_000
+                                );
+                            }
+                        }
+                    }
+                    for h in handles {
+                        assert_eq!(
+                            h.join_deadline(JOIN_BOUND).expect("query hung").unwrap(),
+                            1_000
+                        );
+                    }
+                });
+            }
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.tenants.len(), 3);
+    for (t, ts) in stats.tenants.iter().enumerate() {
+        assert_eq!(
+            ts.submitted,
+            locally_submitted[t].load(Ordering::Relaxed),
+            "{}: every submission counted",
+            ts.name
+        );
+        assert_eq!(
+            ts.admitted + ts.rejected() + ts.shed,
+            ts.submitted,
+            "{}: admitted + rejected + shed == submitted: {ts:?}",
+            ts.name
+        );
+        assert_eq!(
+            ts.finished(),
+            ts.admitted,
+            "{}: all admitted queries reached a terminal outcome: {ts:?}",
+            ts.name
+        );
+        assert_eq!(ts.queued, 0, "{}: idle service has empty queues", ts.name);
+        assert_eq!(ts.in_flight, 0, "{}: idle service runs nothing", ts.name);
+        assert_eq!(ts.latency.count, ts.finished(), "{}", ts.name);
+    }
+    // The priority dimension balances too (it additionally saw nothing
+    // anonymous here).
+    let mut submitted = 0;
+    for p in Priority::ALL {
+        let ps = stats.priority(p);
+        assert_eq!(ps.admitted + ps.rejected() + ps.shed, ps.submitted, "{p}");
+        submitted += ps.submitted;
+    }
+    assert_eq!(
+        submitted,
+        locally_submitted
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum::<u64>()
+    );
+    let report = service.drain(JOIN_BOUND);
+    assert!(report.clean, "{report:?}");
+}
+
+/// The headline isolation property: a flooding tenant saturating the
+/// service (to the point of mass rejection) cannot push a well-behaved
+/// tenant's p99 past [`GOLD_P99_BOUND`], and cannot cause it a single
+/// rejection. The gold tenant outweighs the flooder 16:1 and the flooder
+/// is capped to one concurrent query, so gold queries overtake the flood
+/// in the queues and only ever wait behind at most a few short queries.
+#[test]
+fn flooding_tenant_cannot_move_neighbor_p99() {
+    let mut reg = TenantRegistry::new();
+    let gold = reg.register("gold", TenantQuota::new().with_weight(16));
+    let flood = reg.register(
+        "flood",
+        TenantQuota::new().with_weight(1).with_max_in_flight(1),
+    );
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(2)
+            .with_queue_capacity(16),
+        reg,
+    );
+    let stop = AtomicBool::new(false);
+    let gold_latencies = Mutex::new(Vec::<Duration>::new());
+    std::thread::scope(|s| {
+        // Two open-loop flooders hammering Batch and Normal as fast as
+        // try_submit returns, ignoring every refusal.
+        for _ in 0..2 {
+            let service = &service;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut handles = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    for p in [Priority::Batch, Priority::Normal] {
+                        if let Ok(h) =
+                            short_query(service, ServeOpts::new(p).with_tenant(flood), 2_000)
+                        {
+                            handles.push(h);
+                        }
+                    }
+                    // Reap occasionally so handles don't pile up unbounded.
+                    if handles.len() > 64 {
+                        for h in handles.drain(..) {
+                            let _ = h.join_deadline(JOIN_BOUND).expect("flood query hung");
+                        }
+                    }
+                }
+                for h in handles {
+                    let _ = h.join_deadline(JOIN_BOUND).expect("flood query hung");
+                }
+            });
+        }
+        // The well-behaved tenant: 40 closed-loop Interactive queries.
+        let service = &service;
+        let gold_latencies = &gold_latencies;
+        let stop = &stop;
+        s.spawn(move || {
+            for _ in 0..40 {
+                let t0 = Instant::now();
+                let h = service
+                    .submit(
+                        ServeOpts::interactive().with_tenant(gold),
+                        MorselPlan::new(1_000, 100),
+                        |_, m| Ok::<usize, ()>(m.len),
+                        |parts, _| parts.iter().sum::<usize>(),
+                    )
+                    .expect("the well-behaved tenant is never refused");
+                assert_eq!(
+                    h.join_deadline(JOIN_BOUND)
+                        .expect("gold query hung")
+                        .unwrap(),
+                    1_000
+                );
+                gold_latencies.lock().unwrap().push(t0.elapsed());
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let mut lat = gold_latencies.into_inner().unwrap();
+    lat.sort();
+    let p99 = lat[lat.len() * 99 / 100];
+    assert!(
+        p99 <= GOLD_P99_BOUND,
+        "gold p99 {p99:?} exceeded the documented bound {GOLD_P99_BOUND:?}"
+    );
+
+    let stats = service.stats();
+    let gold_stats = stats.tenant("gold").unwrap();
+    let flood_stats = stats.tenant("flood").unwrap();
+    assert_eq!(gold_stats.submitted, 40);
+    assert_eq!(gold_stats.admitted, 40, "gold is never refused");
+    assert_eq!(gold_stats.completed, 40);
+    assert_eq!(gold_stats.rejected() + gold_stats.shed, 0);
+    // The flood genuinely saturated the service: it was refused (or shed)
+    // many times, so the isolation above was earned, not vacuous.
+    assert!(
+        flood_stats.rejected() + flood_stats.shed > 0,
+        "the flood must actually hit the service's limits: {flood_stats:?}"
+    );
+    assert!(flood_stats.submitted > flood_stats.admitted);
+    let report = service.drain(JOIN_BOUND);
+    assert!(report.clean, "{report:?}");
+}
+
+/// Shed escalation and order, deterministically: with the only slot
+/// plugged and every lane full, sustained `QueueFull` rejections shed
+/// Batch first, then Normal; Interactive is never shed (it only sees its
+/// own `QueueFull`). Once the backlog drains, shedding recovers.
+#[test]
+fn shed_order_is_batch_then_normal_never_interactive() {
+    let service = QueryService::new(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_concurrent(1)
+            .with_queue_capacity(1),
+    );
+    // Plug the single slot until released.
+    static RELEASE: AtomicBool = AtomicBool::new(false);
+    let plug = service
+        .try_submit(
+            ServeOpts::interactive(),
+            MorselPlan::new(1, 1),
+            |_, m| {
+                while !RELEASE.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok::<usize, ()>(m.len)
+            },
+            |parts, _| parts.len(),
+        )
+        .unwrap();
+    // Wait until the plug holds the slot (its queue entry dispatched).
+    let t0 = Instant::now();
+    while service.stats().running < 1 {
+        assert!(t0.elapsed() < JOIN_BOUND, "plug never dispatched");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Fill each lane to its capacity of 1.
+    let queued: Vec<_> = Priority::ALL
+        .iter()
+        .map(|&p| short_query(&service, ServeOpts::new(p), 100).unwrap())
+        .collect();
+
+    // 8 consecutive Batch QueueFulls escalate to level 1 …
+    for i in 0..8 {
+        assert_eq!(
+            refusal(short_query(&service, ServeOpts::batch(), 100)),
+            AdmissionError::QueueFull(Priority::Batch),
+            "rejection {i} still pre-shed"
+        );
+    }
+    // … so Batch is now shed (typed), while Normal still sees QueueFull.
+    assert_eq!(
+        refusal(short_query(&service, ServeOpts::batch(), 100)),
+        AdmissionError::Shed(Priority::Batch)
+    );
+    assert_eq!(service.stats().shed_level, 1);
+    for i in 0..8 {
+        assert_eq!(
+            refusal(short_query(&service, ServeOpts::normal(), 100)),
+            AdmissionError::QueueFull(Priority::Normal),
+            "rejection {i} at level 1"
+        );
+    }
+    // Level 2: Normal is shed too; Interactive is still only QueueFull.
+    assert_eq!(
+        refusal(short_query(&service, ServeOpts::normal(), 100)),
+        AdmissionError::Shed(Priority::Normal)
+    );
+    assert_eq!(service.stats().shed_level, 2);
+    assert_eq!(
+        refusal(short_query(&service, ServeOpts::interactive(), 100)),
+        AdmissionError::QueueFull(Priority::Interactive),
+        "interactive is never shed"
+    );
+    let shed_stats = service.stats();
+    assert_eq!(shed_stats.priority(Priority::Batch).shed, 1);
+    assert_eq!(shed_stats.priority(Priority::Normal).shed, 1);
+    assert_eq!(shed_stats.priority(Priority::Interactive).shed, 0);
+
+    // Recovery: release the plug, let the backlog drain to zero, and the
+    // next submission resets the shed level and is admitted.
+    RELEASE.store(true, Ordering::Relaxed);
+    plug.join_deadline(JOIN_BOUND).expect("plug hung").unwrap();
+    for h in queued {
+        h.join_deadline(JOIN_BOUND)
+            .expect("queued query hung")
+            .unwrap();
+    }
+    let h = short_query(&service, ServeOpts::batch(), 100).expect("shedding must recover");
+    h.join_deadline(JOIN_BOUND).expect("query hung").unwrap();
+    assert_eq!(service.stats().shed_level, 0);
+    service.shutdown();
+}
+
+/// Determinism: tenant-attributed pipelines return bit-identical results
+/// to anonymous submission of the same query, at 1/2/4/8 workers —
+/// tenancy decides when a query starts, never what it computes.
+#[test]
+fn tenant_attributed_results_bit_identical_to_anonymous() {
+    let t = tpch::lineitem(24_000, 41);
+    let compact = tpch::CompactLineitem::from_table(&t);
+    let li = tpch::lineitem_q3(18_000, 2_500, 41);
+    let ord = tpch::orders(2_500, 41);
+    let date = tpch::SHIPDATE_MAX / 2;
+    for workers in [1usize, 2, 4, 8] {
+        let mut reg = TenantRegistry::new();
+        let id = reg.register(
+            "det",
+            TenantQuota::new()
+                .with_weight(7)
+                .with_max_in_flight(2)
+                .with_max_queued(32),
+        );
+        let service = QueryService::with_tenants(ServeConfig::default().with_workers(workers), reg);
+        let anon = ParallelOpts::new(workers, 5_000).with_service(&service, Priority::Normal);
+        let tenanted = anon.with_tenant(id);
+
+        let a = q1_parallel_adaptive(&compact, DEFAULT_CHUNK, anon).unwrap();
+        let b = q1_parallel_adaptive(&compact, DEFAULT_CHUNK, tenanted).unwrap();
+        let bits = |rows: &[tpch::Q1Row]| {
+            rows.iter()
+                .map(|r| (r.group, r.count, r.sum_disc_price.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a), bits(&b), "Q1 at {workers} workers");
+
+        let (ra, _) = q3_parallel(
+            &li,
+            &ord,
+            date,
+            tpch::JoinStrategy::Fused,
+            DEFAULT_CHUNK,
+            true,
+            anon,
+        )
+        .unwrap();
+        let (rb, _) = q3_parallel(
+            &li,
+            &ord,
+            date,
+            tpch::JoinStrategy::Fused,
+            DEFAULT_CHUNK,
+            true,
+            tenanted,
+        )
+        .unwrap();
+        assert_eq!(ra.to_bits(), rb.to_bits(), "Q3 at {workers} workers");
+
+        // Attribution is visible in the right dimensions: the tenant saw
+        // exactly the tenanted submissions (Q1 is one service query, Q3
+        // is two — join build + probe), the lane saw both runs, and the
+        // anonymous half mirrors the tenanted half exactly.
+        let stats = service.stats();
+        let ts = stats.tenant("det").unwrap();
+        assert!(ts.admitted >= 2, "{ts:?}");
+        assert_eq!(ts.completed, ts.admitted, "{ts:?}");
+        assert_eq!(ts.rejected() + ts.shed, 0, "{ts:?}");
+        assert_eq!(stats.priority(Priority::Normal).completed, 2 * ts.completed);
+        service.shutdown();
+    }
+}
+
+/// A tenant's `max_in_flight = 1` serializes *its* queries (their
+/// execution windows never overlap) without idling the rest of the
+/// service: an uncapped tenant's queries run concurrently with them.
+#[test]
+fn in_flight_cap_serializes_one_tenant_without_idling_the_service() {
+    let mut reg = TenantRegistry::new();
+    let capped = reg.register("capped", TenantQuota::new().with_max_in_flight(1));
+    let free = reg.register("free", TenantQuota::new());
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(4)
+            .with_queue_capacity(32),
+        reg,
+    );
+    // (start, end) execution windows of the capped tenant's queries:
+    // start is stamped by the first morsel task, end by the merge.
+    let windows: &'static Mutex<Vec<(Instant, Option<Instant>)>> =
+        Box::leak(Box::new(Mutex::new(Vec::new())));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        handles.push(
+            service
+                .submit(
+                    ServeOpts::normal().with_tenant(capped),
+                    MorselPlan::new(20, 1),
+                    move |_, m| {
+                        if m.index == 0 {
+                            windows.lock().unwrap().push((Instant::now(), None));
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                        Ok::<usize, ()>(m.len)
+                    },
+                    move |parts, _| {
+                        windows.lock().unwrap().last_mut().unwrap().1 = Some(Instant::now());
+                        parts.iter().sum::<usize>()
+                    },
+                )
+                .unwrap(),
+        );
+    }
+    for _ in 0..4 {
+        handles.push(
+            service
+                .submit(
+                    ServeOpts::normal().with_tenant(free),
+                    MorselPlan::new(20, 1),
+                    |_, m| {
+                        std::thread::sleep(Duration::from_millis(2));
+                        Ok::<usize, ()>(m.len)
+                    },
+                    |parts, _| parts.iter().sum::<usize>(),
+                )
+                .unwrap(),
+        );
+    }
+    for h in handles {
+        assert_eq!(
+            h.join_deadline(JOIN_BOUND).expect("query hung").unwrap(),
+            20
+        );
+    }
+    let windows = windows.lock().unwrap();
+    assert_eq!(windows.len(), 4, "all capped queries ran");
+    // The windows are pushed in start order (the cap serializes starts);
+    // each must end before the next begins.
+    for pair in windows.windows(2) {
+        let end = pair[0].1.expect("window closed");
+        assert!(
+            end <= pair[1].0,
+            "capped tenant's queries overlapped: {windows:?}"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.tenant("capped").unwrap().completed, 4);
+    assert_eq!(stats.tenant("free").unwrap().completed, 4);
+    service.shutdown();
+}
+
+/// A tenant at its queue-depth quota is refused with the *typed*
+/// `TenantQuota` error — not `QueueFull` — and the refusal neither feeds
+/// the shed escalation nor touches other tenants.
+#[test]
+fn queue_quota_rejects_typed_without_escalating_shed() {
+    let mut reg = TenantRegistry::new();
+    let small = reg.register("small", TenantQuota::new().with_max_queued(2));
+    let other = reg.register("other", TenantQuota::new());
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_concurrent(1)
+            .with_queue_capacity(16),
+        reg,
+    );
+    static RELEASE: AtomicBool = AtomicBool::new(false);
+    let plug = service
+        .try_submit(
+            ServeOpts::interactive(),
+            MorselPlan::new(1, 1),
+            |_, m| {
+                while !RELEASE.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok::<usize, ()>(m.len)
+            },
+            |parts, _| parts.len(),
+        )
+        .unwrap();
+    let t0 = Instant::now();
+    while service.stats().running < 1 {
+        assert!(t0.elapsed() < JOIN_BOUND, "plug never dispatched");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Two queued submissions fill the tenant's quota (across lanes).
+    let q1 = short_query(&service, ServeOpts::normal().with_tenant(small), 100).unwrap();
+    let q2 = short_query(&service, ServeOpts::batch().with_tenant(small), 100).unwrap();
+    // The third is the tenant's problem, typed as such.
+    for _ in 0..20 {
+        assert_eq!(
+            refusal(short_query(
+                &service,
+                ServeOpts::normal().with_tenant(small),
+                100
+            )),
+            AdmissionError::TenantQuota(small),
+        );
+    }
+    // Even 20 consecutive quota refusals shed nothing…
+    assert_eq!(service.stats().shed_level, 0);
+    // …and the other tenant (and anonymous traffic) is untouched.
+    let q3 = short_query(&service, ServeOpts::normal().with_tenant(other), 100).unwrap();
+    let q4 = short_query(&service, ServeOpts::normal(), 100).unwrap();
+    RELEASE.store(true, Ordering::Relaxed);
+    plug.join_deadline(JOIN_BOUND).expect("plug hung").unwrap();
+    for h in [q1, q2, q3, q4] {
+        h.join_deadline(JOIN_BOUND).expect("query hung").unwrap();
+    }
+    let stats = service.stats();
+    let ts = stats.tenant("small").unwrap();
+    assert_eq!(ts.rejected_quota, 20, "{ts:?}");
+    assert_eq!(ts.rejected_full, 0, "quota refusals are not QueueFull");
+    assert_eq!(ts.admitted, 2);
+    assert_eq!(stats.tenant("other").unwrap().rejected(), 0);
+    service.shutdown();
+}
+
+/// Stride weights split a contended lane: with tenants of weight 4 and 1
+/// backlogged in the same Batch lane behind a plug, the first 10
+/// dispatches go ~4:1 to the heavier tenant.
+#[test]
+fn tenant_weights_split_a_contended_lane() {
+    let mut reg = TenantRegistry::new();
+    let heavy = reg.register("heavy", TenantQuota::new().with_weight(4));
+    let light = reg.register("light", TenantQuota::new().with_weight(1));
+    let service = QueryService::with_tenants(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_concurrent(1)
+            .with_queue_capacity(32)
+            // Keep lane-level aging out of the picture: one lane only.
+            .with_age_rounds(10_000),
+        reg,
+    );
+    static RELEASE: AtomicBool = AtomicBool::new(false);
+    let plug = service
+        .try_submit(
+            ServeOpts::batch(),
+            MorselPlan::new(1, 1),
+            |_, m| {
+                while !RELEASE.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok::<usize, ()>(m.len)
+            },
+            |parts, _| parts.len(),
+        )
+        .unwrap();
+    let t0 = Instant::now();
+    while service.stats().running < 1 {
+        assert!(t0.elapsed() < JOIN_BOUND, "plug never dispatched");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let order: &'static Mutex<Vec<&'static str>> = Box::leak(Box::new(Mutex::new(Vec::new())));
+    let mut handles = Vec::new();
+    for (id, tag, n) in [(heavy, "heavy", 10), (light, "light", 10)] {
+        for _ in 0..n {
+            handles.push(
+                service
+                    .try_submit(
+                        ServeOpts::batch().with_tenant(id),
+                        MorselPlan::new(10, 10),
+                        |_, m| Ok::<usize, ()>(m.len),
+                        move |parts, _| {
+                            order.lock().unwrap().push(tag);
+                            parts.iter().sum::<usize>()
+                        },
+                    )
+                    .unwrap(),
+            );
+        }
+    }
+    RELEASE.store(true, Ordering::Relaxed);
+    plug.join_deadline(JOIN_BOUND).expect("plug hung").unwrap();
+    for h in handles {
+        h.join_deadline(JOIN_BOUND).expect("query hung").unwrap();
+    }
+    let order = order.lock().unwrap().clone();
+    assert_eq!(order.len(), 20);
+    let heavy_in_first_10 = order[..10].iter().filter(|t| **t == "heavy").count();
+    assert!(
+        (7..=9).contains(&heavy_in_first_10),
+        "weight 4 tenant should take ~8 of the first 10 dispatches, got \
+         {heavy_in_first_10}: {order:?}"
+    );
+    // Everyone finishes — weights share, they don't starve.
+    assert_eq!(service.stats().tenant("light").unwrap().completed, 10);
+    service.shutdown();
+}
+
+/// Concurrency elasticity: deep backlog with saturated slots grows the
+/// live limit toward the ceiling; a drained service shrinks it back to
+/// the configured floor.
+#[test]
+fn concurrency_limit_grows_under_backlog_and_shrinks_when_drained() {
+    let service = QueryService::new(
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_concurrent(1)
+            .with_elastic_concurrency(4)
+            .with_queue_capacity(32),
+    );
+    assert_eq!(service.stats().concurrent_limit, 1);
+    // Saturate: enough slow-ish queries to hold a deep backlog.
+    let handles: Vec<_> = (0..24)
+        .map(|_| {
+            service
+                .try_submit(
+                    ServeOpts::normal(),
+                    MorselPlan::new(40, 1),
+                    |_, m| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        Ok::<usize, ()>(m.len)
+                    },
+                    |parts, _| parts.iter().sum::<usize>(),
+                )
+                .unwrap()
+        })
+        .collect();
+    // The dispatcher must observe (backlog ≥ 2 × limit, all slots busy)
+    // and double the limit at least once while the backlog lasts.
+    let t0 = Instant::now();
+    let mut grew = false;
+    while t0.elapsed() < JOIN_BOUND {
+        let stats = service.stats();
+        if stats.grow_events >= 1 && stats.concurrent_limit > 1 {
+            grew = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(grew, "elastic limit never grew: {:?}", service.stats());
+    for h in handles {
+        assert_eq!(
+            h.join_deadline(JOIN_BOUND).expect("query hung").unwrap(),
+            40
+        );
+    }
+    // Drained: the limit must come back down to the floor.
+    let t0 = Instant::now();
+    loop {
+        let stats = service.stats();
+        if stats.concurrent_limit == 1 && stats.shrink_events >= 1 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < JOIN_BOUND,
+            "elastic limit never shrank: {stats:?}"
+        );
+        // Nudge the dispatcher awake with a trivial query.
+        short_query(&service, ServeOpts::normal(), 10)
+            .unwrap()
+            .join_deadline(JOIN_BOUND)
+            .expect("nudge query hung")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = service.stats();
+    assert!(stats.grow_events >= 1, "{stats:?}");
+    assert!(stats.shrink_events >= 1, "{stats:?}");
+    service.shutdown();
+}
