@@ -1,23 +1,72 @@
-//! B13 — out-of-core joins: in-memory vs. grace-hash spill overhead.
+//! B13 — out-of-core operators: in-memory vs. grace-hash spill overhead.
 //!
 //! Sweeps the memory budget from "everything fits" to "every partition
-//! spills and recurses", printing an overhead table (median-of-3 wall
-//! times, spill stats, slowdown vs. the in-memory join) plus a criterion
-//! group over the two extremes.
+//! spills and recurses" for all three [`SpillableOp`] operators — join,
+//! group-by, and external sort — printing an overhead table
+//! (median-of-3 wall times, spill stats, slowdown vs. in-memory) plus a
+//! criterion group over the two join extremes. A counting global
+//! allocator reports heap allocations cold (first spilled query, scratch
+//! arenas freshly created) vs. warm (arenas reused from the pool).
 //!
 //! `ADAPTVM_BENCH_QUICK=1` shrinks everything to a CI smoke run that
 //! still exercises the spill path (tiny budget ⇒ real run files).
+//!
+//! [`SpillableOp`]: adaptvm_parallel::SpillableOp
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use adaptvm_parallel::MemoryBudget;
+use adaptvm_parallel::{scratch_stats, MemoryBudget, SpillStats};
 use adaptvm_relational::parallel::{parallel_hash_join, ParallelOpts};
-use adaptvm_relational::spill::{parallel_hash_join_spill, INT_BUILD_ROW_BYTES};
-use adaptvm_storage::Array;
+use adaptvm_relational::sort::{external_sort, SORT_ROW_BYTES};
+use adaptvm_relational::spill::{
+    parallel_hash_aggregate_spill, parallel_hash_join_spill, AGG_ROW_BYTES, INT_BUILD_ROW_BYTES,
+};
+use adaptvm_storage::{gen, Array};
+
+/// Counts every heap allocation so the spill paths' cold-vs-warm scratch
+/// reuse shows up as a concrete number, not just pool statistics.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn quick() -> bool {
     std::env::var_os("ADAPTVM_BENCH_QUICK").is_some()
+}
+
+fn median3<T>(mut runs: Vec<(f64, T)>) -> (f64, T) {
+    runs.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+    runs.swap_remove(1)
+}
+
+fn print_stats_row(op: &str, label: &str, t: f64, spill: &SpillStats, base: f64) {
+    println!(
+        "   {op:>9} {label:>10} {:>8.2}ms {:>8} {:>10.1}K {:>6} {:>7.2}x",
+        t * 1e3,
+        spill.partitions_spilled,
+        spill.bytes_written as f64 / 1024.0,
+        spill.max_recursion_depth,
+        t / base,
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -35,6 +84,48 @@ fn bench(c: &mut Criterion) {
         .map(|i| (i * 13) % (2 * distinct))
         .collect();
     let footprint = rows * INT_BUILD_ROW_BYTES;
+
+    // Cold vs. warm scratch arenas: the first spilled query creates its
+    // partition scratch buffers, every later one leases them back from
+    // the pool. The allocation counter makes the saving concrete. This
+    // runs first so the pool really is cold.
+    {
+        let budget_limit = footprint / 8;
+        let scratch0 = scratch_stats();
+        let a0 = allocations();
+        let budget = MemoryBudget::bytes(budget_limit);
+        parallel_hash_join_spill(
+            &build_keys,
+            &build_pays,
+            &probe_keys,
+            false,
+            ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
+        )
+        .unwrap();
+        let cold = allocations() - a0;
+        let a1 = allocations();
+        let budget = MemoryBudget::bytes(budget_limit);
+        parallel_hash_join_spill(
+            &build_keys,
+            &build_pays,
+            &probe_keys,
+            false,
+            ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
+        )
+        .unwrap();
+        let warm = allocations() - a1;
+        let scratch1 = scratch_stats();
+        println!(
+            "\n-- scratch arena reuse (budget 12.5%): {cold} allocations cold, {warm} warm \
+             ({:+.1}%)",
+            (warm as f64 - cold as f64) / cold as f64 * 100.0
+        );
+        println!(
+            "   scratch pool: {} arenas created, {} leased back",
+            scratch1.created - scratch0.created,
+            scratch1.reused - scratch0.reused,
+        );
+    }
 
     // Criterion group over the two extremes: unconstrained vs. a budget
     // that spills most of the build side.
@@ -57,8 +148,8 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
-    // Overhead table: median-of-3, sweeping the budget, verifying
-    // bit-identity against the in-memory join at every step.
+    // Overhead table: median-of-3, sweeping the budget across all three
+    // spillable operators, verifying each against its in-memory oracle.
     let (_, reference) = parallel_hash_join(
         &build_keys,
         &build_pays,
@@ -67,53 +158,115 @@ fn bench(c: &mut Criterion) {
         ParallelOpts::new(workers, morsel_rows),
     )
     .unwrap();
+    let table = gen::measurements(rows, (rows / 16).max(1), 42);
+    let sort_keys: Vec<i64> = (0..rows as i64)
+        .map(|i| (i * 2_654_435_761) % 1_000_003)
+        .collect();
+    let sort_pays: Vec<i64> = (0..rows as i64).collect();
+
     println!(
-        "\n-- spill overhead table ({rows} build rows, footprint ≈ {:.1} MiB)",
+        "\n-- spill overhead table ({rows} rows/operator, join footprint ≈ {:.1} MiB)",
         footprint as f64 / (1024.0 * 1024.0)
     );
     println!(
-        "   {:>10} {:>10} {:>8} {:>11} {:>6} {:>8}",
-        "budget", "median", "spills", "written", "depth", "vs mem"
+        "   {:>9} {:>10} {:>10} {:>8} {:>11} {:>6} {:>8}",
+        "operator", "budget", "median", "spills", "written", "depth", "vs mem"
     );
-    let mut base = None;
-    for (label, limit) in [
+    let budgets = [
         ("unlimited", usize::MAX),
-        ("50%", footprint / 2),
-        ("12.5%", footprint / 8),
-        ("1%", footprint / 100),
-    ] {
-        let mut runs: Vec<(f64, _)> = (0..3)
-            .map(|_| {
-                let budget = MemoryBudget::bytes(limit);
-                let t0 = Instant::now();
-                let (out, spill) = parallel_hash_join_spill(
-                    &build_keys,
-                    &build_pays,
-                    &probe_keys,
-                    false,
-                    ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
-                )
-                .unwrap();
-                assert_eq!(out.indices, reference.indices, "budget {label} diverged");
-                assert_eq!(out.payloads, reference.payloads, "budget {label} diverged");
-                assert_eq!(budget.used(), 0);
-                (t0.elapsed().as_secs_f64(), spill)
-            })
-            .collect();
-        runs.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
-        let (t, spill) = &runs[1];
-        let base_t = *base.get_or_insert(*t);
-        println!(
-            "   {:>10} {:>8.2}ms {:>8} {:>10.1}K {:>6} {:>7.2}x",
-            label,
-            t * 1e3,
-            spill.partitions_spilled,
-            spill.bytes_written as f64 / 1024.0,
-            spill.max_recursion_depth,
-            t / base_t,
+        ("50%", 2),
+        ("12.5%", 8),
+        ("1%", 100),
+    ];
+
+    let mut base = None;
+    for (label, div) in budgets {
+        let limit = if div == usize::MAX {
+            div
+        } else {
+            footprint / div
+        };
+        let (t, spill) = median3(
+            (0..3)
+                .map(|_| {
+                    let budget = MemoryBudget::bytes(limit);
+                    let t0 = Instant::now();
+                    let (out, spill) = parallel_hash_join_spill(
+                        &build_keys,
+                        &build_pays,
+                        &probe_keys,
+                        false,
+                        ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
+                    )
+                    .unwrap();
+                    assert_eq!(out.indices, reference.indices, "budget {label} diverged");
+                    assert_eq!(out.payloads, reference.payloads, "budget {label} diverged");
+                    assert_eq!(budget.used(), 0);
+                    (t0.elapsed().as_secs_f64(), spill)
+                })
+                .collect(),
         );
+        let base_t = *base.get_or_insert(t);
+        print_stats_row("join", label, t, &spill, base_t);
     }
-    println!("   every budgeted run bit-identical to the in-memory join ✓");
+
+    let agg_footprint = rows * AGG_ROW_BYTES;
+    let mut base = None;
+    for (label, div) in budgets {
+        let limit = if div == usize::MAX {
+            div
+        } else {
+            agg_footprint / div
+        };
+        let (t, spill) = median3(
+            (0..3)
+                .map(|_| {
+                    let budget = MemoryBudget::bytes(limit);
+                    let t0 = Instant::now();
+                    let (_, spill) = parallel_hash_aggregate_spill(
+                        &table,
+                        "group",
+                        "value",
+                        ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
+                    )
+                    .unwrap();
+                    assert_eq!(budget.used(), 0);
+                    (t0.elapsed().as_secs_f64(), spill)
+                })
+                .collect(),
+        );
+        let base_t = *base.get_or_insert(t);
+        print_stats_row("group-by", label, t, &spill, base_t);
+    }
+
+    let sort_footprint = rows * SORT_ROW_BYTES;
+    let mut base = None;
+    for (label, div) in budgets {
+        let limit = if div == usize::MAX {
+            div
+        } else {
+            sort_footprint / div
+        };
+        let (t, spill) = median3(
+            (0..3)
+                .map(|_| {
+                    let budget = MemoryBudget::bytes(limit);
+                    let t0 = Instant::now();
+                    let (_, spill) = external_sort(
+                        &sort_keys,
+                        &sort_pays,
+                        ParallelOpts::new(workers, morsel_rows).with_budget(&budget),
+                    )
+                    .unwrap();
+                    assert_eq!(budget.used(), 0);
+                    (t0.elapsed().as_secs_f64(), spill)
+                })
+                .collect(),
+        );
+        let base_t = *base.get_or_insert(t);
+        print_stats_row("sort", label, t, &spill, base_t);
+    }
+    println!("   every budgeted run bit-identical to its in-memory oracle ✓");
 }
 
 criterion_group!(benches, bench);

@@ -26,67 +26,16 @@
 //! multimap, but any two-phase build/probe shape (e.g. a Bloom filter
 //! build + filtered scan) fits.
 
+use std::marker::PhantomData;
+
 use crate::budget::MemoryBudget;
 use crate::dispatch::DispatchStats;
 use crate::morsel::{Morsel, MorselPlan};
 use crate::pool::Runner;
-use crate::scheduler::{CancelReason, CancelToken, RunError};
+use crate::scheduler::{CancelToken, RunError};
+use crate::spillable::{run_spillable, SpillableOp};
 
-/// What the out-of-core path of a budgeted join did: how much spilled,
-/// how much disk traffic it cost, and how deep the grace-hash recursion
-/// went. All zero when the build side fit in memory.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SpillStats {
-    /// Partitions whose build rows went to disk instead of a resident
-    /// hash table (counting recursive sub-partitions).
-    pub partitions_spilled: usize,
-    /// Run files written.
-    pub runs_written: usize,
-    /// Bytes appended to run files.
-    pub bytes_written: u64,
-    /// Bytes read back from run files.
-    pub bytes_read: u64,
-    /// Deepest grace-hash recursion level reached (0 = no recursion: every
-    /// spilled partition fit on its first rebuild).
-    pub max_recursion_depth: usize,
-    /// Partitions built despite a failing budget charge because they could
-    /// not be split further (all rows share one hash) or the recursion
-    /// bottomed out.
-    pub forced_builds: usize,
-}
-
-impl SpillStats {
-    /// True when any partition spilled.
-    pub fn spilled(&self) -> bool {
-        self.partitions_spilled > 0
-    }
-}
-
-/// The cooperative interruption check a settle phase runs **between spill
-/// runs**: out-of-core settling happens after the morsel-parallel phases,
-/// so the per-morsel cancellation checks no longer fire — this is their
-/// sequential counterpart, keeping serve-layer deadlines binding while a
-/// join grinds through spilled partitions.
-#[derive(Debug, Clone, Copy)]
-pub struct SpillCheckpoint<'a> {
-    cancel: Option<&'a CancelToken>,
-}
-
-impl<'a> SpillCheckpoint<'a> {
-    /// A checkpoint over an optional token (no token = never fires).
-    pub fn new(cancel: Option<&'a CancelToken>) -> SpillCheckpoint<'a> {
-        SpillCheckpoint { cancel }
-    }
-
-    /// Fail typed once the token fired.
-    pub fn check<E>(&self) -> Result<(), RunError<E>> {
-        match self.cancel.map(CancelToken::check) {
-            Some(Err(CancelReason::Cancelled)) => Err(RunError::Cancelled),
-            Some(Err(CancelReason::DeadlineExceeded)) => Err(RunError::DeadlineExceeded),
-            _ => Ok(()),
-        }
-    }
-}
+pub use crate::spillable::{SpillCheckpoint, SpillStats};
 
 /// Dispatch statistics for the two phases of a build/probe run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -247,6 +196,13 @@ where
 /// driver's — the grace-hash joins in `adaptvm_relational::spill` rely on
 /// this to stay bit-identical to their in-memory counterparts whatever
 /// the budget.
+///
+/// Since the out-of-core layer was unified behind
+/// [`crate::spillable::SpillableOp`], this function is a thin adapter:
+/// the four closures become the four protocol hooks of an anonymous
+/// operator driven by [`run_spillable`] — the closure-based signature
+/// stays for build/probe shapes that do not warrant a named operator
+/// type.
 #[allow(clippy::too_many_arguments)]
 pub fn build_then_probe_spilling<Part, Shared, Out, Settled, E, BF, MF, PF, SF>(
     runner: Runner<'_>,
@@ -265,33 +221,106 @@ where
     Out: Send,
     E: Send,
     BF: Fn(usize, &Morsel) -> Result<Part, E> + Send + Sync,
-    MF: FnOnce(Vec<Part>, &MemoryBudget, &mut SpillStats) -> Result<Shared, E>,
+    MF: FnOnce(Vec<Part>, &MemoryBudget, &mut SpillStats) -> Result<Shared, E> + Sync,
     PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Send + Sync,
     SF: FnOnce(
-        Shared,
-        Vec<Out>,
-        &MemoryBudget,
-        &mut SpillStats,
-        &SpillCheckpoint<'_>,
-    ) -> Result<Settled, RunError<E>>,
+            Shared,
+            Vec<Out>,
+            &MemoryBudget,
+            &mut SpillStats,
+            &SpillCheckpoint<'_>,
+        ) -> Result<Settled, RunError<E>>
+        + Sync,
 {
-    let mut spill = SpillStats::default();
-    let (partitions, build) = runner.run_with(build_plan, cancel, &build_morsel)?;
-    let shared = merge(partitions, budget, &mut spill).map_err(RunError::Task)?;
-    let (outputs, probe) =
-        runner.run_with(probe_plan, cancel, |w, m| probe_morsel(w, m, &shared))?;
-    let checkpoint = SpillCheckpoint::new(cancel);
-    let settled = settle(shared, outputs, budget, &mut spill, &checkpoint)?;
-    Ok((
-        settled,
-        BuildProbeStats {
-            build,
-            probe,
-            build_morsels: build_plan.len(),
-            probe_morsels: probe_plan.len(),
-        },
-        spill,
-    ))
+    let mut op = ClosureSpillOp {
+        build_plan,
+        probe_plan,
+        build_morsel,
+        merge: Some(merge),
+        probe_morsel,
+        settle: Some(settle),
+        _types: PhantomData,
+    };
+    run_spillable(&mut op, runner, cancel, budget)
+}
+
+/// The adapter behind [`build_then_probe_spilling`]: a [`SpillableOp`]
+/// whose hooks are caller-supplied closures. The one-shot `merge` and
+/// `settle` closures sit in `Option`s because the trait takes `&mut
+/// self` where the legacy signature took `FnOnce` by value.
+struct ClosureSpillOp<'p, Part, Shared, Out, Settled, E, BF, MF, PF, SF> {
+    build_plan: &'p MorselPlan,
+    probe_plan: &'p MorselPlan,
+    build_morsel: BF,
+    merge: Option<MF>,
+    probe_morsel: PF,
+    settle: Option<SF>,
+    #[allow(clippy::type_complexity)]
+    _types: PhantomData<fn() -> (Part, Shared, Out, Settled, E)>,
+}
+
+impl<Part, Shared, Out, Settled, E, BF, MF, PF, SF> SpillableOp
+    for ClosureSpillOp<'_, Part, Shared, Out, Settled, E, BF, MF, PF, SF>
+where
+    Part: Send,
+    Shared: Sync,
+    Out: Send,
+    E: Send,
+    BF: Fn(usize, &Morsel) -> Result<Part, E> + Send + Sync,
+    MF: FnOnce(Vec<Part>, &MemoryBudget, &mut SpillStats) -> Result<Shared, E> + Sync,
+    PF: Fn(usize, &Morsel, &Shared) -> Result<Out, E> + Send + Sync,
+    SF: FnOnce(
+            Shared,
+            Vec<Out>,
+            &MemoryBudget,
+            &mut SpillStats,
+            &SpillCheckpoint<'_>,
+        ) -> Result<Settled, RunError<E>>
+        + Sync,
+{
+    type Partition = Part;
+    type Shared = Shared;
+    type Out = Out;
+    type Settled = Settled;
+    type Error = E;
+
+    fn input_plan(&self) -> &MorselPlan {
+        self.build_plan
+    }
+
+    fn consume_plan(&self) -> Option<&MorselPlan> {
+        Some(self.probe_plan)
+    }
+
+    fn partition_morsel(&self, worker: usize, morsel: &Morsel) -> Result<Part, E> {
+        (self.build_morsel)(worker, morsel)
+    }
+
+    fn charge(
+        &mut self,
+        partitions: Vec<Part>,
+        budget: &MemoryBudget,
+        stats: &mut SpillStats,
+    ) -> Result<Shared, E> {
+        let merge = self.merge.take().expect("charge runs once");
+        merge(partitions, budget, stats)
+    }
+
+    fn consume_morsel(&self, worker: usize, morsel: &Morsel, shared: &Shared) -> Result<Out, E> {
+        (self.probe_morsel)(worker, morsel, shared)
+    }
+
+    fn settle(
+        &mut self,
+        shared: Shared,
+        outs: Vec<Out>,
+        budget: &MemoryBudget,
+        stats: &mut SpillStats,
+        checkpoint: &SpillCheckpoint<'_>,
+    ) -> Result<Settled, RunError<E>> {
+        let settle = self.settle.take().expect("settle runs once");
+        settle(shared, outs, budget, stats, checkpoint)
+    }
 }
 
 #[cfg(test)]

@@ -17,8 +17,18 @@
 //!   (partitioned build merged in morsel order, shared read-only probe),
 //!   and its budget-aware sibling [`build_then_probe_spilling`] whose
 //!   merge phase may spill partitions to disk and whose sequential settle
-//!   phase resolves them afterwards ([`SpillStats`], with cancellation
-//!   checked between spill runs via [`join::SpillCheckpoint`]),
+//!   phase resolves them afterwards,
+//! * [`spillable`] — [`SpillableOp`]/[`run_spillable`]: the
+//!   **operator-generic out-of-core driver** behind every budgeted
+//!   operator (grace-hash joins with probe-side spill, out-of-core
+//!   aggregation, external merge sort): morsel-parallel partitioning,
+//!   a sequential charge phase that spills what the budget refuses, an
+//!   optional consume phase, and a sequential settle phase resolving
+//!   spilled runs ([`SpillStats`], with cancellation checked between
+//!   spill runs via [`spillable::SpillCheckpoint`]),
+//! * [`scratch`] — pooled partition scratch arenas with touched-only
+//!   reset (steady-state serving re-partitions spilled runs without
+//!   per-frame allocation),
 //! * [`pool`] — [`run_morsels`]: scoped worker threads, results assembled
 //!   in morsel order, first error aborts; [`Runner`] abstracts over the
 //!   scoped pool and the long-lived scheduler,
@@ -73,14 +83,16 @@ pub mod join;
 pub mod morsel;
 pub mod pool;
 pub mod scheduler;
+pub mod scratch;
 pub mod serve;
+pub mod spillable;
 
 pub use budget::{BudgetExceeded, BudgetLease, MemoryBudget};
 pub use dispatch::{DispatchStats, Dispatcher};
 pub use exec::{ParallelRunReport, ParallelVm, ScheduledVm};
 pub use join::{
     build_then_probe, build_then_probe_on, build_then_probe_spilling, build_then_probe_with,
-    BuildProbeStats, SpillStats,
+    BuildProbeStats,
 };
 pub use morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
 pub use pool::{run_morsels, run_morsels_with, Runner};
@@ -88,8 +100,13 @@ pub use scheduler::{
     CancelReason, CancelToken, ElasticityConfig, MorselElasticity, ProfileWindow, QueryError,
     QueryHandle, QueryOutcomeKind, RunError, Scheduler, SchedulerStats, SubmitError, SubmitOptions,
 };
+pub use scratch::{
+    acquire_partition, acquire_str, scratch_stats, PartitionScratch, PartitionScratchLease,
+    ScratchStats, StrScratch, StrScratchLease,
+};
 pub use serve::{
     render_text, AdmissionError, DrainReport, GateError, Priority, PriorityStats, QueryService,
     ServeConfig, ServeHandle, ServiceStats, SubmitOpts, TenantId, TenantQuota, TenantRegistry,
     TenantStats,
 };
+pub use spillable::{run_spillable, SpillCheckpoint, SpillStats, SpillableOp};

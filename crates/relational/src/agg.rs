@@ -53,6 +53,16 @@ impl GroupState {
         self.max = self.max.max(other.max);
     }
 
+    /// Fold one value stored as raw `f64` bits in an `i64` column — the
+    /// encoding the out-of-core aggregation's spill runs use
+    /// (`f64::to_bits` roundtrips NaNs and signed zeros exactly, so a
+    /// spilled group observes bit-identical values in the same order as
+    /// a resident one).
+    #[inline]
+    pub fn observe_bits(&mut self, bits: i64) {
+        self.observe(f64::from_bits(bits as u64));
+    }
+
     /// Average value.
     pub fn avg(&self) -> f64 {
         if self.count == 0 {
@@ -61,6 +71,23 @@ impl GroupState {
             self.sum / self.count as f64
         }
     }
+}
+
+/// The sequential **row-order aggregation oracle**: every row observed in
+/// input order into its group's [`GroupState`], results sorted by key.
+/// The out-of-core aggregation (`crate::spill`) is bit-identical to this
+/// fold at any budget, worker count, and morsel size, because each group's
+/// rows are observed one by one in global row order no matter which
+/// partition they land in or whether that partition spilled.
+pub fn aggregate_rows(keys: &[i64], values: &[f64]) -> Vec<(i64, GroupState)> {
+    assert_eq!(keys.len(), values.len());
+    let mut global: HashMap<i64, GroupState> = HashMap::new();
+    for (&k, &v) in keys.iter().zip(values) {
+        global.entry(k).or_default().observe(v);
+    }
+    let mut out: Vec<(i64, GroupState)> = global.into_iter().collect();
+    out.sort_by_key(|&(k, _)| k);
+    out
 }
 
 /// Pre-aggregation decision modes.

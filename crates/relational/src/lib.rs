@@ -26,17 +26,24 @@
 //!   final merge phase, partitioned-build/shared-probe hash joins (plus
 //!   the parallel adaptive join chain), and parallel Q1/Q3/Q6, built on
 //!   [`adaptvm_parallel`]'s work-stealing dispatcher and shared JIT cache,
-//! * [`spill`] — the **out-of-core** join regime: memory-governed
-//!   grace-hash joins whose build partitions charge a shared
+//! * [`spill`] — the **out-of-core** regime on the operator-generic
+//!   [`adaptvm_parallel::SpillableOp`] protocol: memory-governed
+//!   grace-hash joins (with probe-side spill) and out-of-core hash
+//!   aggregation, whose partitions charge a shared
 //!   [`adaptvm_parallel::MemoryBudget`] and spill to disk runs when it is
 //!   exhausted, recursively re-partitioned until they fit —
-//!   bit-identical to the in-memory joins at every budget and worker
-//!   count.
+//!   bit-identical to the in-memory operators at every budget and worker
+//!   count,
+//! * [`sort`] — external merge sort on the same protocol: morsel-parallel
+//!   sorted-run generation, budget-charged resident runs, spilled runs
+//!   streamed through a k-way merge that reproduces the stable in-memory
+//!   sort bit for bit (plus budgeted top-k).
 
 pub mod agg;
 pub mod compressed_exec;
 pub mod join;
 pub mod ops;
 pub mod parallel;
+pub mod sort;
 pub mod spill;
 pub mod tpch;

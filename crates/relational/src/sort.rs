@@ -1,0 +1,346 @@
+//! External merge sort: **sorted run generation + k-way merge** on the
+//! [`SpillableOp`] protocol.
+//!
+//! Order-by and top-k need the whole input ordered, which the in-memory
+//! engine does with one big sort — fine until the input outgrows memory.
+//! This module sorts out-of-core under the same [`MemoryBudget`] regime
+//! as the grace-hash joins and the spilled aggregation
+//! ([`crate::spill`]):
+//!
+//! 1. **Run generation** (morsel-parallel) — every input morsel sorts
+//!    its `(key, payload)` rows stably by key, independently of all
+//!    others.
+//! 2. **Charge** (sequential, in morsel order) — each sorted run charges
+//!    [`SORT_ROW_BYTES`] per row; runs that fit stay resident, runs that
+//!    do not **spill** to run files ([`adaptvm_storage::spill`]), frame
+//!    by frame.
+//! 3. **K-way merge** (sequential) — a binary heap merges all runs,
+//!    streaming spilled ones row by row through [`RunCursor`]s. Ties
+//!    break on run index, and runs are ordered by morsel: the output is
+//!    exactly the **stable sort** of the input ([`sort_rows`]), bit for
+//!    bit, at any budget, worker count, and morsel size. The
+//!    cancellation token is re-checked every [few thousand][spill] output
+//!    rows, so serve-layer deadlines keep binding through long merges.
+//!
+//! [`external_top_k`] is the same machinery stopping after `k` rows —
+//! the heap never materializes more than one row per run, so top-k over
+//! a spilled input reads only what it needs from the run prefixes.
+//!
+//! [spill]: crate::spill
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use adaptvm_kernels::KernelError;
+use adaptvm_parallel::{
+    run_spillable, BudgetLease, MemoryBudget, Morsel, MorselPlan, RunError, SpillCheckpoint,
+    SpillStats, SpillableOp,
+};
+use adaptvm_storage::spill::{IntRun, IntRunWriter, RunCursor, SpillDir};
+
+use crate::ops::OpResult;
+use crate::parallel::{kernel_run_err, ParallelOpts};
+use crate::spill::{storage_err, UNLIMITED};
+
+/// Estimated resident bytes per row of a sorted run (16 data bytes plus
+/// buffer slack) — what a run charges against the [`MemoryBudget`] to
+/// stay in memory.
+pub const SORT_ROW_BYTES: usize = 32;
+
+/// Rows between cancellation checks during the k-way merge.
+const MERGE_CHECK_ROWS: usize = 4096;
+
+/// Sorted output: the key column and its parallel payload column.
+pub type SortedRows = (Vec<i64>, Vec<i64>);
+
+/// The sequential **stable-sort oracle**: `(key, payload)` rows sorted
+/// stably by key (equal keys keep their input order). The external sort
+/// is bit-identical to this at any budget, worker count, and morsel
+/// size.
+pub fn sort_rows(keys: &[i64], payloads: &[i64]) -> (Vec<i64>, Vec<i64>) {
+    assert_eq!(keys.len(), payloads.len());
+    let mut rows: Vec<(i64, i64)> = keys.iter().copied().zip(payloads.iter().copied()).collect();
+    rows.sort_by_key(|&(k, _)| k);
+    rows.into_iter().unzip()
+}
+
+/// One sorted run feeding the k-way merge: resident (under a budget
+/// lease) or streamed from disk one frame at a time.
+enum SortSource<'a> {
+    Mem {
+        keys: Vec<i64>,
+        payloads: Vec<i64>,
+        pos: usize,
+        _lease: Option<BudgetLease<'a>>,
+    },
+    Disk(RunCursor),
+}
+
+impl SortSource<'_> {
+    fn next_row(&mut self) -> Result<Option<(i64, i64)>, RunError<KernelError>> {
+        match self {
+            SortSource::Mem {
+                keys,
+                payloads,
+                pos,
+                ..
+            } => {
+                if *pos < keys.len() {
+                    let row = (keys[*pos], payloads[*pos]);
+                    *pos += 1;
+                    Ok(Some(row))
+                } else {
+                    Ok(None)
+                }
+            }
+            SortSource::Disk(cursor) => cursor.next_row().map_err(storage_err),
+        }
+    }
+}
+
+/// The shared state between charge and settle: one source per input
+/// morsel, in morsel order.
+struct SortSides<'a> {
+    sources: Vec<SortSource<'a>>,
+    _dir: Option<SpillDir>,
+}
+
+/// External merge sort as a consume-less [`SpillableOp`].
+struct SortOp<'a> {
+    keys: &'a [i64],
+    payloads: &'a [i64],
+    limit: Option<usize>,
+    budget: &'a MemoryBudget,
+    plan: MorselPlan,
+}
+
+impl<'a> SpillableOp for SortOp<'a> {
+    type Partition = (Vec<i64>, Vec<i64>);
+    type Shared = SortSides<'a>;
+    type Out = ();
+    type Settled = (Vec<i64>, Vec<i64>);
+    type Error = KernelError;
+
+    fn input_plan(&self) -> &MorselPlan {
+        &self.plan
+    }
+
+    // Run generation: stable-sort this morsel's rows by key.
+    fn partition_morsel(&self, _w: usize, m: &Morsel) -> Result<Self::Partition, KernelError> {
+        let mut rows: Vec<(i64, i64)> = (m.start..m.end())
+            .map(|i| (self.keys[i], self.payloads[i]))
+            .collect();
+        rows.sort_by_key(|&(k, _)| k);
+        Ok(rows.into_iter().unzip())
+    }
+
+    // Charge: each run stays resident under a lease or spills whole, in
+    // morsel order (which fixes the merge's tie-break order).
+    fn charge(
+        &mut self,
+        parts: Vec<Self::Partition>,
+        _budget: &MemoryBudget,
+        stats: &mut SpillStats,
+    ) -> Result<SortSides<'a>, KernelError> {
+        let mut dir: Option<SpillDir> = None;
+        let mut sources = Vec::with_capacity(parts.len());
+        for (r, (keys, payloads)) in parts.into_iter().enumerate() {
+            if keys.is_empty() {
+                continue;
+            }
+            match self.budget.lease(keys.len() * SORT_ROW_BYTES) {
+                Ok(lease) => sources.push(SortSource::Mem {
+                    keys,
+                    payloads,
+                    pos: 0,
+                    _lease: Some(lease),
+                }),
+                Err(_) => {
+                    if dir.is_none() {
+                        dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
+                    }
+                    let d = dir.as_ref().expect("just created");
+                    let mut w = IntRunWriter::create(d.run_path(&format!("sort-r{r}")))
+                        .map_err(KernelError::Storage)?;
+                    for lo in (0..keys.len()).step_by(crate::spill::SPILL_FRAME_ROWS) {
+                        let hi = (lo + crate::spill::SPILL_FRAME_ROWS).min(keys.len());
+                        w.append(&keys[lo..hi], &payloads[lo..hi])
+                            .map_err(KernelError::Storage)?;
+                    }
+                    let run: IntRun = w.finish().map_err(KernelError::Storage)?;
+                    stats.partitions_spilled += 1;
+                    stats.runs_written += 1;
+                    stats.bytes_written += run.bytes();
+                    // The merge streams the whole run (or, for top-k, a
+                    // prefix); count it as read when opened.
+                    stats.bytes_read += run.bytes();
+                    sources.push(SortSource::Disk(
+                        run.cursor().map_err(KernelError::Storage)?,
+                    ));
+                }
+            }
+        }
+        Ok(SortSides { sources, _dir: dir })
+    }
+
+    // K-way merge: pop the least (key, run index) row until the input is
+    // drained (or `limit` rows are out).
+    fn settle(
+        &mut self,
+        shared: SortSides<'a>,
+        outs: Vec<()>,
+        _budget: &MemoryBudget,
+        _stats: &mut SpillStats,
+        checkpoint: &SpillCheckpoint<'_>,
+    ) -> Result<Self::Settled, RunError<KernelError>> {
+        debug_assert!(outs.is_empty(), "sort has no consume phase");
+        checkpoint.check()?;
+        let SortSides { mut sources, _dir } = shared;
+        let total = self.keys.len();
+        let cap = self.limit.map_or(total, |k| k.min(total));
+        let mut out_keys = Vec::with_capacity(cap);
+        let mut out_pays = Vec::with_capacity(cap);
+        // Ties break on the run index: runs are in morsel order and each
+        // run is internally stable, so the merge reproduces the global
+        // stable sort. (At most one row per run is in the heap, so the
+        // payload component never decides.)
+        let mut heap: BinaryHeap<Reverse<(i64, usize, i64)>> = BinaryHeap::new();
+        for (s, source) in sources.iter_mut().enumerate() {
+            if let Some((k, p)) = source.next_row()? {
+                heap.push(Reverse((k, s, p)));
+            }
+        }
+        while out_keys.len() < cap {
+            let Some(Reverse((k, s, p))) = heap.pop() else {
+                break;
+            };
+            out_keys.push(k);
+            out_pays.push(p);
+            if out_keys.len() % MERGE_CHECK_ROWS == 0 {
+                checkpoint.check()?;
+            }
+            if let Some((k2, p2)) = sources[s].next_row()? {
+                heap.push(Reverse((k2, s, p2)));
+            }
+        }
+        Ok((out_keys, out_pays))
+    }
+}
+
+fn run_sort(
+    keys: &[i64],
+    payloads: &[i64],
+    limit: Option<usize>,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(SortedRows, SpillStats)> {
+    if keys.len() != payloads.len() {
+        return Err(KernelError::Precondition(format!(
+            "sort keys and payloads must have equal lengths ({} vs {})",
+            keys.len(),
+            payloads.len()
+        )));
+    }
+    let budget = opts.effective_budget().unwrap_or(&UNLIMITED);
+    let mut op = SortOp {
+        keys,
+        payloads,
+        limit,
+        budget,
+        plan: MorselPlan::new(keys.len(), opts.effective_morsel_rows()),
+    };
+    let (sorted, _stats, spill) =
+        run_spillable(&mut op, opts.runner(), opts.cancel, budget).map_err(kernel_run_err)?;
+    Ok((sorted, spill))
+}
+
+/// Memory-governed external merge sort of `(key, payload)` rows,
+/// ascending and **stable** by key: sorted run generation is
+/// morsel-parallel, runs charge [`ParallelOpts::effective_budget`] — an
+/// explicit budget, else the submitting tenant's registered budget, else
+/// unlimited — at [`SORT_ROW_BYTES`] a row to stay resident and spill to
+/// disk otherwise, and a sequential k-way merge streams them back
+/// together. The output is bit-identical to [`sort_rows`] for any
+/// budget, worker count, and morsel size; [`SpillStats`] reports what
+/// the out-of-core path did.
+///
+/// ```
+/// use adaptvm_parallel::MemoryBudget;
+/// use adaptvm_relational::parallel::ParallelOpts;
+/// use adaptvm_relational::sort::{external_sort, sort_rows};
+///
+/// let keys: Vec<i64> = (0..10_000).map(|i| (i * 37) % 1_000).collect();
+/// let payloads: Vec<i64> = (0..10_000).collect();
+///
+/// // A budget far below the input's footprint: runs spill to disk...
+/// let budget = MemoryBudget::bytes(8 * 1024);
+/// let opts = ParallelOpts::new(2, 1_000).with_budget(&budget);
+/// let ((k, p), spill) = external_sort(&keys, &payloads, opts).unwrap();
+/// assert!(spill.spilled());
+///
+/// // ...and the merge reproduces the stable in-memory sort exactly.
+/// assert_eq!((k, p), sort_rows(&keys, &payloads));
+/// assert_eq!(budget.used(), 0, "all charges released");
+/// ```
+pub fn external_sort(
+    keys: &[i64],
+    payloads: &[i64],
+    opts: ParallelOpts<'_>,
+) -> OpResult<(SortedRows, SpillStats)> {
+    run_sort(keys, payloads, None, opts)
+}
+
+/// The first `k` rows of [`external_sort`]'s output (the `k` smallest
+/// keys, stable): the merge stops after `k` rows, so a spilled input
+/// only streams the run prefixes the answer needs.
+pub fn external_top_k(
+    keys: &[i64],
+    payloads: &[i64],
+    k: usize,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(SortedRows, SpillStats)> {
+    run_sort(keys, payloads, Some(k), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_is_stable() {
+        let keys = vec![3, 1, 3, 1, 2];
+        let pays = vec![10, 11, 12, 13, 14];
+        let (k, p) = sort_rows(&keys, &pays);
+        assert_eq!(k, vec![1, 1, 2, 3, 3]);
+        // Equal keys keep input order.
+        assert_eq!(p, vec![11, 13, 14, 10, 12]);
+    }
+
+    #[test]
+    fn in_memory_sort_matches_oracle() {
+        let keys: Vec<i64> = (0..5_000).map(|i| (i * 131) % 997).collect();
+        let pays: Vec<i64> = (0..5_000).collect();
+        let (got, spill) = external_sort(&keys, &pays, ParallelOpts::new(4, 512)).unwrap();
+        assert!(!spill.spilled(), "unlimited budget must not spill");
+        assert_eq!(got, sort_rows(&keys, &pays));
+    }
+
+    #[test]
+    fn length_mismatch_fails_typed() {
+        let r = external_sort(&[1, 2], &[1], ParallelOpts::new(1, 64));
+        assert!(matches!(r, Err(KernelError::Precondition(_))));
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_the_full_sort() {
+        let keys: Vec<i64> = (0..2_000).map(|i| (i * 7919) % 503).collect();
+        let pays: Vec<i64> = (0..2_000).collect();
+        let (full, _) = external_sort(&keys, &pays, ParallelOpts::new(2, 256)).unwrap();
+        let ((tk, tp), _) = external_top_k(&keys, &pays, 100, ParallelOpts::new(2, 256)).unwrap();
+        assert_eq!(tk.as_slice(), &full.0[..100]);
+        assert_eq!(tp.as_slice(), &full.1[..100]);
+        // k larger than the input degrades to the full sort.
+        let ((ak, ap), _) =
+            external_top_k(&keys, &pays, 10_000, ParallelOpts::new(2, 256)).unwrap();
+        assert_eq!((ak, ap), full);
+    }
+}

@@ -1,29 +1,48 @@
-//! Memory-governed out-of-core hash joins: **grace-hash spill
-//! partitions**.
+//! Memory-governed out-of-core operators: **grace-hash spill
+//! partitions** for joins and aggregation.
 //!
 //! The in-memory joins of [`crate::parallel`] materialize the whole build
 //! side as one hash table — fine until the build side outgrows memory.
-//! This module adds the out-of-core regime. The build side is
+//! This module adds the out-of-core regime on top of the operator-generic
+//! [`SpillableOp`] driver (`adaptvm_parallel::spillable`). The input is
 //! hash-partitioned into [`SPILL_FANOUT`] partitions; each partition
-//! charges a shared [`MemoryBudget`] before building its table, and a
-//! partition whose charge fails **spills** its rows to an append-only run
-//! file ([`adaptvm_storage::spill`]) instead. Probe rows for spilled
-//! partitions are deferred; after the morsel-parallel probe, a sequential
-//! settle phase resolves each spilled partition in deterministic
-//! partition order — re-partitioning on the next four hash bits
-//! (a rehash per recursion level) when a partition *still* does not fit,
-//! and force-building only when a partition cannot be split further (all
-//! rows share one hash) or the hash bits run out.
+//! charges a shared [`MemoryBudget`] before building its resident
+//! structure, and a partition whose charge fails **spills** its rows to an
+//! append-only run file ([`adaptvm_storage::spill`]) instead. A sequential
+//! settle phase resolves each spilled partition in deterministic partition
+//! order — re-partitioning on the next four hash bits (a rehash per
+//! recursion level) when a partition *still* does not fit, and
+//! force-building only when a partition cannot be split further (all rows
+//! share one hash) or the hash bits run out.
+//!
+//! Three operators live here:
+//!
+//! * [`parallel_hash_join_spill`] / [`parallel_hash_join_str_spill`] —
+//!   grace-hash joins with **probe-side spill**: probe rows of a spilled
+//!   partition are deferred as row indices, and when even that index list
+//!   does not fit the budget ([`PROBE_ROW_BYTES`] per row), the deferred
+//!   rows themselves spill to `(key, probe index)` runs that are streamed
+//!   (never resident whole) through recursion and the final probe.
+//! * [`parallel_hash_aggregate_spill`] — **out-of-core hash aggregation**
+//!   (the TPC-H Q1 family): rows partition by group key, resident
+//!   partitions aggregate immediately, spilled partitions aggregate
+//!   during settle — always observing each group's rows in global row
+//!   order, so the result is bit-identical to the sequential fold
+//!   ([`crate::agg::aggregate_rows`]).
+//!
+//! The external merge sort built on the same driver lives in
+//! [`crate::sort`].
 //!
 //! ## Exactness
 //!
-//! The output is **bit-identical to the in-memory join** for any budget
-//! and any worker count: every probe row's matches come from exactly one
-//! (resident or spilled) partition with its build rows in global
-//! build-row order, and the final assembly merges the resident stream and
-//! the settled stream by ascending probe index. The worker-sweep and
-//! proptest suites in `tests/spill_join.rs` pin this down across budgets
-//! forcing zero, some, and all partitions to spill.
+//! Every operator's output is **bit-identical to its in-memory oracle**
+//! for any budget and any worker count: each row's contribution comes
+//! from exactly one (resident or spilled) partition with rows in global
+//! row order, and final assembly merges streams deterministically
+//! (ascending probe index for joins, key order for aggregation). The
+//! worker-sweep and proptest suites in `tests/spill_join.rs` and
+//! `tests/spill_query.rs` pin this down across budgets forcing zero,
+//! some, and all partitions to spill.
 //!
 //! ## Cancellation
 //!
@@ -60,15 +79,18 @@
 //! assert_eq!(budget.used(), 0, "all charges released");
 //! ```
 
+use std::collections::HashMap;
+
 use adaptvm_kernels::map::{hash_i64, hash_str};
 use adaptvm_kernels::KernelError;
-use adaptvm_parallel::join::SpillCheckpoint;
 use adaptvm_parallel::{
-    build_then_probe_spilling, BudgetLease, MemoryBudget, MorselPlan, RunError, SpillStats,
+    acquire_partition, acquire_str, run_spillable, BudgetLease, MemoryBudget, Morsel, MorselPlan,
+    PartitionScratch, RunError, SpillCheckpoint, SpillStats, SpillableOp, StrScratch,
 };
 use adaptvm_storage::spill::{IntRun, IntRunWriter, SpillDir, StrBatch, StrRun, StrRunWriter};
-use adaptvm_storage::Array;
+use adaptvm_storage::{Array, Table};
 
+use crate::agg::GroupState;
 use crate::join::{HashTable, StrHashTable};
 use crate::ops::OpResult;
 use crate::parallel::{kernel_run_err, ParallelJoinOutput, ParallelOpts};
@@ -86,7 +108,7 @@ const FANOUT_BITS: usize = 4;
 pub const MAX_SPILL_DEPTH: usize = 15;
 /// Rows per run-file frame: the granularity at which recursion streams a
 /// spilled partition (so re-partitioning never holds a partition whole).
-const SPILL_FRAME_ROWS: usize = 4096;
+pub(crate) const SPILL_FRAME_ROWS: usize = 4096;
 
 /// Estimated resident bytes per build row of an integer hash table
 /// (16 data bytes plus map/arena overhead) — what a partition charges
@@ -95,6 +117,13 @@ pub const INT_BUILD_ROW_BYTES: usize = 48;
 /// Per-row overhead estimate for a Utf8 hash table; the key bytes are
 /// charged on top.
 pub const STR_BUILD_ROW_BYTES: usize = 56;
+/// Bytes charged per deferred probe-row index a spilled join partition
+/// keeps resident; when even this fails, the probe side spills too.
+pub const PROBE_ROW_BYTES: usize = 8;
+/// Estimated resident bytes per input row of a hash-aggregation
+/// partition (16 data bytes plus hash-map overhead for the worst case of
+/// all-distinct keys).
+pub const AGG_ROW_BYTES: usize = 56;
 
 /// The partition a hash lands in at recursion level `depth` (the 4-bit
 /// window at bits `[60 − 4·depth, 64 − 4·depth)`).
@@ -105,11 +134,11 @@ fn bucket_of(hash: i64, depth: usize) -> usize {
         & (SPILL_FANOUT - 1)
 }
 
-fn storage_err(e: adaptvm_storage::StorageError) -> RunError<KernelError> {
+pub(crate) fn storage_err(e: adaptvm_storage::StorageError) -> RunError<KernelError> {
     RunError::Task(KernelError::Storage(e))
 }
 
-static UNLIMITED: MemoryBudget = MemoryBudget::unlimited();
+pub(crate) static UNLIMITED: MemoryBudget = MemoryBudget::unlimited();
 
 /// Merge the ascending resident stream with the (sorted) settled spill
 /// pairs into one ascending output. The index sets are disjoint — a probe
@@ -162,13 +191,279 @@ struct IntSpillSides<'a> {
     dir: Option<SpillDir>,
 }
 
+/// The deferred probe rows of one spilled join partition: resident as a
+/// charged index list when [`PROBE_ROW_BYTES`] per row fits the budget,
+/// else spilled to a `(key, probe index)` run that is only ever streamed.
+/// Both forms keep rows in ascending probe-index order, so the settled
+/// output is identical either way.
+enum IntProbe<'a> {
+    Resident(Vec<u32>, Option<BudgetLease<'a>>),
+    Spilled(IntRun),
+}
+
+impl IntProbe<'_> {
+    fn is_empty(&self) -> bool {
+        match self {
+            IntProbe::Resident(rows, _) => rows.is_empty(),
+            IntProbe::Spilled(run) => run.rows() == 0,
+        }
+    }
+
+    fn delete(self) {
+        if let IntProbe::Spilled(run) = self {
+            run.delete();
+        }
+    }
+}
+
+/// Keep a deferred probe-index list resident under a
+/// [`PROBE_ROW_BYTES`]-per-row lease, or spill it to a
+/// `(key, probe index)` run when the charge fails.
+fn int_probe_of<'a>(
+    rows: Vec<u32>,
+    probe_keys: &[i64],
+    dir: &SpillDir,
+    budget: &'a MemoryBudget,
+    depth: usize,
+    stats: &mut SpillStats,
+) -> Result<IntProbe<'a>, RunError<KernelError>> {
+    if rows.is_empty() {
+        return Ok(IntProbe::Resident(rows, None));
+    }
+    match budget.lease(rows.len() * PROBE_ROW_BYTES) {
+        Ok(lease) => Ok(IntProbe::Resident(rows, Some(lease))),
+        Err(_) => {
+            let mut w = IntRunWriter::create(dir.run_path(&format!("int-probe-d{depth}")))
+                .map_err(storage_err)?;
+            let mut keys = Vec::with_capacity(SPILL_FRAME_ROWS.min(rows.len()));
+            let mut idxs = Vec::with_capacity(SPILL_FRAME_ROWS.min(rows.len()));
+            for chunk in rows.chunks(SPILL_FRAME_ROWS) {
+                keys.clear();
+                idxs.clear();
+                for &pi in chunk {
+                    keys.push(probe_keys[pi as usize]);
+                    idxs.push(pi as i64);
+                }
+                w.append(&keys, &idxs).map_err(storage_err)?;
+            }
+            let run = w.finish().map_err(storage_err)?;
+            stats.probe_partitions_spilled += 1;
+            stats.runs_written += 1;
+            stats.bytes_written += run.bytes();
+            Ok(IntProbe::Spilled(run))
+        }
+    }
+}
+
+/// The integer grace-hash join as a [`SpillableOp`]: partition the build
+/// rows morsel-parallel, charge-or-spill per partition, probe resident
+/// partitions morsel-parallel (deferring the rest), settle spilled
+/// partitions sequentially with probe-side spill.
+struct IntJoinSpillOp<'a> {
+    bk: Vec<i64>,
+    bp: Vec<i64>,
+    probe_keys: &'a [i64],
+    bloom: bool,
+    budget: &'a MemoryBudget,
+    build_plan: MorselPlan,
+    probe_plan: MorselPlan,
+}
+
+impl<'a> SpillableOp for IntJoinSpillOp<'a> {
+    type Partition = Vec<(Vec<i64>, Vec<i64>)>;
+    type Shared = IntSpillSides<'a>;
+    type Out = (Vec<u32>, Vec<i64>, Vec<Vec<u32>>);
+    type Settled = (Vec<u32>, Vec<i64>);
+    type Error = KernelError;
+
+    fn input_plan(&self) -> &MorselPlan {
+        &self.build_plan
+    }
+
+    fn consume_plan(&self) -> Option<&MorselPlan> {
+        Some(&self.probe_plan)
+    }
+
+    // Build: partition this morsel's rows on the level-0 hash bits.
+    fn partition_morsel(&self, _w: usize, m: &Morsel) -> Result<Self::Partition, KernelError> {
+        let mut parts: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
+        for i in m.start..m.end() {
+            let b = bucket_of(hash_i64(self.bk[i]), 0);
+            parts[b].0.push(self.bk[i]);
+            parts[b].1.push(self.bp[i]);
+        }
+        Ok(parts)
+    }
+
+    // Merge: concatenate per-morsel partitions in morsel order (global
+    // build-row order per partition), then charge the budget partition by
+    // partition — what fits becomes a resident table, what does not
+    // spills to a run file.
+    fn charge(
+        &mut self,
+        parts: Vec<Self::Partition>,
+        _budget: &MemoryBudget,
+        stats: &mut SpillStats,
+    ) -> Result<IntSpillSides<'a>, KernelError> {
+        let mut buckets: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
+        for part in parts {
+            for (b, (k, p)) in part.into_iter().enumerate() {
+                buckets[b].0.extend(k);
+                buckets[b].1.extend(p);
+            }
+        }
+        let mut dir: Option<SpillDir> = None;
+        let mut tables = Vec::with_capacity(SPILL_FANOUT);
+        let mut runs = Vec::with_capacity(SPILL_FANOUT);
+        let mut leases = Vec::new();
+        for (b, (keys, pays)) in buckets.into_iter().enumerate() {
+            let cost = keys.len() * INT_BUILD_ROW_BYTES;
+            // Leases come from the operator's own budget reference (not
+            // the driver parameter, whose lifetime is too short) so the
+            // sides can hold them across the probe phase and release on
+            // any exit path.
+            if let Ok(lease) = self.budget.lease(cost) {
+                let table = HashTable::from_rows(&keys, &pays);
+                tables.push(Some(if self.bloom {
+                    table.with_bloom()
+                } else {
+                    table
+                }));
+                runs.push(None);
+                leases.push(lease);
+            } else {
+                if dir.is_none() {
+                    dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
+                }
+                let d = dir.as_ref().expect("just created");
+                let mut w = IntRunWriter::create(d.run_path(&format!("int-d0-b{b}")))
+                    .map_err(KernelError::Storage)?;
+                for lo in (0..keys.len()).step_by(SPILL_FRAME_ROWS) {
+                    let hi = (lo + SPILL_FRAME_ROWS).min(keys.len());
+                    w.append(&keys[lo..hi], &pays[lo..hi])
+                        .map_err(KernelError::Storage)?;
+                }
+                let run = w.finish().map_err(KernelError::Storage)?;
+                stats.partitions_spilled += 1;
+                stats.runs_written += 1;
+                stats.bytes_written += run.bytes();
+                tables.push(None);
+                runs.push(Some(run));
+            }
+        }
+        Ok(IntSpillSides {
+            tables,
+            runs,
+            leases,
+            dir,
+        })
+    }
+
+    // Probe: resident partitions answer immediately; rows of spilled
+    // partitions are deferred by (global) probe index.
+    fn consume_morsel(
+        &self,
+        _w: usize,
+        m: &Morsel,
+        shared: &IntSpillSides<'a>,
+    ) -> Result<Self::Out, KernelError> {
+        let mut idx = Vec::new();
+        let mut pay = Vec::new();
+        let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+        for (i, &k) in self
+            .probe_keys
+            .iter()
+            .enumerate()
+            .take(m.end())
+            .skip(m.start)
+        {
+            let b = bucket_of(hash_i64(k), 0);
+            match &shared.tables[b] {
+                Some(t) => {
+                    for &p in t.matches(k) {
+                        idx.push(i as u32);
+                        pay.push(p);
+                    }
+                }
+                None => deferred[b].push(i as u32),
+            }
+        }
+        Ok((idx, pay, deferred))
+    }
+
+    // Settle: drop the resident tables and their leases (returning the
+    // charge), then resolve spilled partitions sequentially in partition
+    // order — charging each partition's deferred probe rows and spilling
+    // them too when they do not fit.
+    fn settle(
+        &mut self,
+        shared: IntSpillSides<'a>,
+        outs: Vec<Self::Out>,
+        _budget: &MemoryBudget,
+        stats: &mut SpillStats,
+        checkpoint: &SpillCheckpoint<'_>,
+    ) -> Result<Self::Settled, RunError<KernelError>> {
+        let IntSpillSides {
+            tables,
+            runs,
+            leases,
+            dir,
+        } = shared;
+        drop(tables);
+        drop(leases);
+        let mut res_idx = Vec::new();
+        let mut res_pay = Vec::new();
+        let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+        for (idx, pay, defs) in outs {
+            res_idx.extend(idx);
+            res_pay.extend(pay);
+            for (b, d) in defs.into_iter().enumerate() {
+                deferred[b].extend(d);
+            }
+        }
+        let mut pairs: Vec<(u32, i64)> = Vec::new();
+        let mut scratch = acquire_partition(SPILL_FANOUT);
+        for (b, run) in runs.into_iter().enumerate() {
+            let Some(run) = run else { continue };
+            let dir = dir.as_ref().expect("spilled partitions imply a spill dir");
+            let probe = int_probe_of(
+                std::mem::take(&mut deferred[b]),
+                self.probe_keys,
+                dir,
+                self.budget,
+                0,
+                stats,
+            )?;
+            settle_int_run(
+                run,
+                probe,
+                self.probe_keys,
+                0,
+                u64::MAX,
+                dir,
+                self.budget,
+                self.bloom,
+                stats,
+                checkpoint,
+                &mut scratch,
+                &mut pairs,
+            )?;
+        }
+        // Stable by probe index: payload order within a row is the
+        // settled partition's build-row order.
+        pairs.sort_by_key(|&(i, _)| i);
+        Ok(merge_output_streams(res_idx, res_pay, pairs))
+    }
+}
+
 /// Memory-governed morsel-parallel hash join over integer keys: the
 /// grace-hash sibling of [`crate::parallel::parallel_hash_join`], charging
 /// [`ParallelOpts::effective_budget`] — an explicit budget, else the
 /// submitting tenant's registered budget, else unlimited — for every
-/// resident build partition and spilling the rest to disk. Output is
-/// bit-identical to the in-memory join for any budget, worker count, and
-/// morsel size; [`SpillStats`] reports what the out-of-core path did.
+/// resident build partition, every deferred probe-index list, and
+/// spilling whatever does not fit to disk. Output is bit-identical to the
+/// in-memory join for any budget, worker count, and morsel size;
+/// [`SpillStats`] reports what the out-of-core path did.
 pub fn parallel_hash_join_spill(
     build_keys: &Array,
     build_payloads: &Array,
@@ -178,145 +473,17 @@ pub fn parallel_hash_join_spill(
 ) -> OpResult<(ParallelJoinOutput, SpillStats)> {
     let (bk, bp) = crate::parallel::build_rows(build_keys, build_payloads)?;
     let budget = opts.effective_budget().unwrap_or(&UNLIMITED);
-    let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
-    let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
-    let with_bloom = |t: HashTable| if bloom { t.with_bloom() } else { t };
-
-    let ((indices, payloads), stats, spill) = build_then_probe_spilling(
-        opts.runner(),
-        opts.cancel,
+    let mut op = IntJoinSpillOp {
+        build_plan: MorselPlan::new(bk.len(), opts.effective_morsel_rows()),
+        probe_plan: MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows()),
+        bk,
+        bp,
+        probe_keys,
+        bloom,
         budget,
-        &build_plan,
-        &probe_plan,
-        // Build: partition this morsel's rows on the level-0 hash bits.
-        |_, m| {
-            let mut parts: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
-            for i in m.start..m.end() {
-                let b = bucket_of(hash_i64(bk[i]), 0);
-                parts[b].0.push(bk[i]);
-                parts[b].1.push(bp[i]);
-            }
-            Ok::<_, KernelError>(parts)
-        },
-        // Merge: concatenate per-morsel partitions in morsel order (global
-        // build-row order per partition), then charge the budget partition
-        // by partition — what fits becomes a resident table, what does not
-        // spills to a run file.
-        |parts, _, stats| {
-            let mut buckets: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
-            for part in parts {
-                for (b, (k, p)) in part.into_iter().enumerate() {
-                    buckets[b].0.extend(k);
-                    buckets[b].1.extend(p);
-                }
-            }
-            let mut dir: Option<SpillDir> = None;
-            let mut tables = Vec::with_capacity(SPILL_FANOUT);
-            let mut runs = Vec::with_capacity(SPILL_FANOUT);
-            let mut leases = Vec::new();
-            for (b, (keys, pays)) in buckets.into_iter().enumerate() {
-                let cost = keys.len() * INT_BUILD_ROW_BYTES;
-                // Leases come from the captured `budget` (not the closure
-                // parameter) so the sides can hold them across the probe
-                // phase and release on any exit path.
-                if let Ok(lease) = budget.lease(cost) {
-                    tables.push(Some(with_bloom(HashTable::from_rows(&keys, &pays))));
-                    runs.push(None);
-                    leases.push(lease);
-                } else {
-                    if dir.is_none() {
-                        dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
-                    }
-                    let d = dir.as_ref().expect("just created");
-                    let mut w = IntRunWriter::create(d.run_path(&format!("int-d0-b{b}")))
-                        .map_err(KernelError::Storage)?;
-                    for lo in (0..keys.len()).step_by(SPILL_FRAME_ROWS) {
-                        let hi = (lo + SPILL_FRAME_ROWS).min(keys.len());
-                        w.append(&keys[lo..hi], &pays[lo..hi])
-                            .map_err(KernelError::Storage)?;
-                    }
-                    let run = w.finish().map_err(KernelError::Storage)?;
-                    stats.partitions_spilled += 1;
-                    stats.runs_written += 1;
-                    stats.bytes_written += run.bytes();
-                    tables.push(None);
-                    runs.push(Some(run));
-                }
-            }
-            Ok(IntSpillSides {
-                tables,
-                runs,
-                leases,
-                dir,
-            })
-        },
-        // Probe: resident partitions answer immediately; rows of spilled
-        // partitions are deferred by (global) probe index.
-        |_, m, shared: &IntSpillSides<'_>| {
-            let mut idx = Vec::new();
-            let mut pay = Vec::new();
-            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
-            for (i, &k) in probe_keys.iter().enumerate().take(m.end()).skip(m.start) {
-                let b = bucket_of(hash_i64(k), 0);
-                match &shared.tables[b] {
-                    Some(t) => {
-                        for &p in t.matches(k) {
-                            idx.push(i as u32);
-                            pay.push(p);
-                        }
-                    }
-                    None => deferred[b].push(i as u32),
-                }
-            }
-            Ok((idx, pay, deferred))
-        },
-        // Settle: drop the resident tables and their leases (returning
-        // the charge), then resolve spilled partitions sequentially in
-        // partition order.
-        |shared, outs, budget, stats, checkpoint| {
-            let IntSpillSides {
-                tables,
-                runs,
-                leases,
-                dir,
-            } = shared;
-            drop(tables);
-            drop(leases);
-            let mut res_idx = Vec::new();
-            let mut res_pay = Vec::new();
-            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
-            for (idx, pay, defs) in outs {
-                res_idx.extend(idx);
-                res_pay.extend(pay);
-                for (b, d) in defs.into_iter().enumerate() {
-                    deferred[b].extend(d);
-                }
-            }
-            let mut pairs: Vec<(u32, i64)> = Vec::new();
-            for (b, run) in runs.into_iter().enumerate() {
-                if let Some(run) = run {
-                    settle_int_run(
-                        run,
-                        std::mem::take(&mut deferred[b]),
-                        probe_keys,
-                        0,
-                        u64::MAX,
-                        dir.as_ref().expect("spilled partitions imply a spill dir"),
-                        budget,
-                        bloom,
-                        stats,
-                        checkpoint,
-                        &mut pairs,
-                    )?;
-                }
-            }
-            // Stable by probe index: payload order within a row is the
-            // settled partition's build-row order.
-            pairs.sort_by_key(|&(i, _)| i);
-            Ok(merge_output_streams(res_idx, res_pay, pairs))
-        },
-    )
-    .map_err(kernel_run_err)?;
+    };
+    let ((indices, payloads), stats, spill) =
+        run_spillable(&mut op, opts.runner(), opts.cancel, budget).map_err(kernel_run_err)?;
     Ok((
         ParallelJoinOutput {
             indices,
@@ -329,12 +496,13 @@ pub fn parallel_hash_join_spill(
 
 /// Resolve one spilled integer partition: rebuild it if it now fits (or
 /// cannot be split further), else re-partition on the next hash level and
-/// recurse. Matches are appended to `out` as `(probe index, payload)`
-/// pairs in build-row order per probe row.
+/// recurse — streaming the probe side too when it spilled. Matches are
+/// appended to `out` as `(probe index, payload)` pairs in build-row order
+/// per probe row.
 #[allow(clippy::too_many_arguments)]
 fn settle_int_run(
     run: IntRun,
-    probe_rows: Vec<u32>,
+    probe: IntProbe<'_>,
     probe_keys: &[i64],
     depth: usize,
     parent_rows: u64,
@@ -343,12 +511,14 @@ fn settle_int_run(
     bloom: bool,
     stats: &mut SpillStats,
     checkpoint: &SpillCheckpoint<'_>,
+    scratch: &mut PartitionScratch,
     out: &mut Vec<(u32, i64)>,
 ) -> Result<(), RunError<KernelError>> {
     checkpoint.check()?;
     stats.max_recursion_depth = stats.max_recursion_depth.max(depth);
-    if probe_rows.is_empty() {
+    if probe.is_empty() {
         run.delete();
+        probe.delete();
         return Ok(());
     }
     let rows = run.rows();
@@ -369,55 +539,141 @@ fn settle_int_run(
         let table = HashTable::from_rows(&keys, &pays);
         let table = if bloom { table.with_bloom() } else { table };
         drop((keys, pays));
-        for &pi in &probe_rows {
-            for &p in table.matches(probe_keys[pi as usize]) {
-                out.push((pi, p));
+        match probe {
+            IntProbe::Resident(rows_idx, _lease) => {
+                for &pi in &rows_idx {
+                    for &p in table.matches(probe_keys[pi as usize]) {
+                        out.push((pi, p));
+                    }
+                }
+            }
+            IntProbe::Spilled(prun) => {
+                // Stream the spilled probe rows (ascending probe index)
+                // against the rebuilt table — the run carries the keys,
+                // so nothing is ever resident beyond one frame.
+                let mut reader = prun.reader().map_err(storage_err)?;
+                while let Some((pk, pidx)) = reader.next_frame().map_err(storage_err)? {
+                    for (k, pi) in pk.into_iter().zip(pidx) {
+                        for &p in table.matches(k) {
+                            out.push((pi as u32, p));
+                        }
+                    }
+                }
+                stats.bytes_read += prun.bytes();
+                prun.delete();
             }
         }
         return Ok(());
     }
-    // Re-partition (grace hash, next 4 bits), streaming frame-by-frame so
-    // the partition is never resident whole. Sub-partitions without any
-    // probe row cannot produce output — their build rows are dropped.
-    let mut sub_probe: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
-    for pi in probe_rows {
-        sub_probe[bucket_of(hash_i64(probe_keys[pi as usize]), depth + 1)].push(pi);
+    // Re-partition (grace hash, next 4 bits). The probe side splits
+    // first: its occupancy decides which build sub-partitions can match
+    // at all (build rows without any probe row are dropped).
+    let mut sub_probe: Vec<Option<IntProbe>> = (0..SPILL_FANOUT).map(|_| None).collect();
+    match probe {
+        IntProbe::Resident(rows_idx, lease) => {
+            let mut subs: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+            for pi in rows_idx {
+                subs[bucket_of(hash_i64(probe_keys[pi as usize]), depth + 1)].push(pi);
+            }
+            // The parent's charge returns before the children charge
+            // their own shares.
+            drop(lease);
+            for (s, rows_s) in subs.into_iter().enumerate() {
+                if rows_s.is_empty() {
+                    continue;
+                }
+                sub_probe[s] = Some(int_probe_of(
+                    rows_s,
+                    probe_keys,
+                    dir,
+                    budget,
+                    depth + 1,
+                    stats,
+                )?);
+            }
+        }
+        IntProbe::Spilled(prun) => {
+            // The list did not fit at the parent level, so children stay
+            // spilled: stream the run into per-bucket sub-runs, frame by
+            // frame through the pooled scratch arena.
+            let mut probe_writers: Vec<Option<IntRunWriter>> =
+                (0..SPILL_FANOUT).map(|_| None).collect();
+            let mut reader = prun.reader().map_err(storage_err)?;
+            while let Some((pk, pidx)) = reader.next_frame().map_err(storage_err)? {
+                for (k, pi) in pk.into_iter().zip(pidx) {
+                    scratch.push(bucket_of(hash_i64(k), depth + 1), k, pi);
+                }
+                for &s in scratch.touched() {
+                    let s = s as usize;
+                    if probe_writers[s].is_none() {
+                        probe_writers[s] = Some(
+                            IntRunWriter::create(
+                                dir.run_path(&format!("int-probe-d{}-b{s}", depth + 1)),
+                            )
+                            .map_err(storage_err)?,
+                        );
+                    }
+                    let (k, v) = scratch.bucket(s);
+                    probe_writers[s]
+                        .as_mut()
+                        .expect("just created")
+                        .append(k, v)
+                        .map_err(storage_err)?;
+                }
+                scratch.reset();
+            }
+            stats.bytes_read += prun.bytes();
+            prun.delete();
+            for (s, w) in probe_writers.into_iter().enumerate() {
+                let Some(w) = w else { continue };
+                let sub = w.finish().map_err(storage_err)?;
+                stats.probe_partitions_spilled += 1;
+                stats.runs_written += 1;
+                stats.bytes_written += sub.bytes();
+                sub_probe[s] = Some(IntProbe::Spilled(sub));
+            }
+        }
     }
+    // Build side: stream into sub-runs, only for buckets with probe rows.
     let mut writers: Vec<Option<IntRunWriter>> = Vec::with_capacity(SPILL_FANOUT);
-    for (s, probes) in sub_probe.iter().enumerate() {
-        writers.push(if probes.is_empty() {
-            None
-        } else {
-            Some(
+    for (s, probe_s) in sub_probe.iter().enumerate() {
+        writers.push(match probe_s {
+            Some(_) => Some(
                 IntRunWriter::create(dir.run_path(&format!("int-d{}-b{s}", depth + 1)))
                     .map_err(storage_err)?,
-            )
+            ),
+            None => None,
         });
     }
     let mut reader = run.reader().map_err(storage_err)?;
     while let Some((keys, pays)) = reader.next_frame().map_err(storage_err)? {
-        let mut sub: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
         for (k, p) in keys.into_iter().zip(pays) {
             let s = bucket_of(hash_i64(k), depth + 1);
             if writers[s].is_some() {
-                sub[s].0.push(k);
-                sub[s].1.push(p);
+                scratch.push(s, k, p);
             }
         }
-        for (s, (k, p)) in sub.into_iter().enumerate() {
-            if let Some(w) = writers[s].as_mut() {
-                w.append(&k, &p).map_err(storage_err)?;
-            }
+        for &s in scratch.touched() {
+            let s = s as usize;
+            let (k, p) = scratch.bucket(s);
+            writers[s]
+                .as_mut()
+                .expect("writers cover all touched buckets")
+                .append(k, p)
+                .map_err(storage_err)?;
         }
+        scratch.reset();
     }
     stats.bytes_read += run.bytes();
     run.delete();
     for (s, writer) in writers.into_iter().enumerate() {
         let Some(writer) = writer else { continue };
         let sub_run = writer.finish().map_err(storage_err)?;
+        let probe_s = sub_probe[s].take().expect("writer implies probe rows");
         if sub_run.rows() == 0 {
             // Probe rows but no build rows: nothing can match.
             sub_run.delete();
+            probe_s.delete();
             continue;
         }
         stats.partitions_spilled += 1;
@@ -425,7 +681,7 @@ fn settle_int_run(
         stats.bytes_written += sub_run.bytes();
         settle_int_run(
             sub_run,
-            std::mem::take(&mut sub_probe[s]),
+            probe_s,
             probe_keys,
             depth + 1,
             rows,
@@ -434,6 +690,7 @@ fn settle_int_run(
             bloom,
             stats,
             checkpoint,
+            scratch,
             out,
         )?;
     }
@@ -472,10 +729,243 @@ fn append_str_chunked(w: &mut StrRunWriter, batch: &StrBatch) -> Result<(), Kern
         frame.push(batch.key(i), batch.values[i]);
         if frame.len() == SPILL_FRAME_ROWS {
             w.append(&frame).map_err(KernelError::Storage)?;
-            frame = StrBatch::default();
+            frame.clear();
         }
     }
     w.append(&frame).map_err(KernelError::Storage)
+}
+
+/// The string sibling of [`IntProbe`]: spilled probe rows go to a
+/// `(key, probe index)` [`StrRun`] whose frames carry one contiguous key
+/// arena.
+enum StrProbe<'a> {
+    Resident(Vec<u32>, Option<BudgetLease<'a>>),
+    Spilled(StrRun),
+}
+
+impl StrProbe<'_> {
+    fn is_empty(&self) -> bool {
+        match self {
+            StrProbe::Resident(rows, _) => rows.is_empty(),
+            StrProbe::Spilled(run) => run.rows() == 0,
+        }
+    }
+
+    fn delete(self) {
+        if let StrProbe::Spilled(run) = self {
+            run.delete();
+        }
+    }
+}
+
+fn str_probe_of<'a>(
+    rows: Vec<u32>,
+    probe_keys: &[String],
+    dir: &SpillDir,
+    budget: &'a MemoryBudget,
+    depth: usize,
+    stats: &mut SpillStats,
+) -> Result<StrProbe<'a>, RunError<KernelError>> {
+    if rows.is_empty() {
+        return Ok(StrProbe::Resident(rows, None));
+    }
+    match budget.lease(rows.len() * PROBE_ROW_BYTES) {
+        Ok(lease) => Ok(StrProbe::Resident(rows, Some(lease))),
+        Err(_) => {
+            let mut w = StrRunWriter::create(dir.run_path(&format!("str-probe-d{depth}")))
+                .map_err(storage_err)?;
+            let mut frame = StrBatch::default();
+            for &pi in &rows {
+                frame.push(&probe_keys[pi as usize], pi as i64);
+                if frame.len() == SPILL_FRAME_ROWS {
+                    w.append(&frame).map_err(storage_err)?;
+                    frame.clear();
+                }
+            }
+            w.append(&frame).map_err(storage_err)?;
+            let run = w.finish().map_err(storage_err)?;
+            stats.probe_partitions_spilled += 1;
+            stats.runs_written += 1;
+            stats.bytes_written += run.bytes();
+            Ok(StrProbe::Spilled(run))
+        }
+    }
+}
+
+/// The Utf8 grace-hash join as a [`SpillableOp`]; mirrors
+/// [`IntJoinSpillOp`] with arena-backed run frames.
+struct StrJoinSpillOp<'a> {
+    bk: &'a [String],
+    bp: Vec<i64>,
+    probe_keys: &'a [String],
+    bloom: bool,
+    budget: &'a MemoryBudget,
+    build_plan: MorselPlan,
+    probe_plan: MorselPlan,
+}
+
+impl<'a> SpillableOp for StrJoinSpillOp<'a> {
+    type Partition = Vec<StrBatch>;
+    type Shared = StrSpillSides<'a>;
+    type Out = (Vec<u32>, Vec<i64>, Vec<Vec<u32>>);
+    type Settled = (Vec<u32>, Vec<i64>);
+    type Error = KernelError;
+
+    fn input_plan(&self) -> &MorselPlan {
+        &self.build_plan
+    }
+
+    fn consume_plan(&self) -> Option<&MorselPlan> {
+        Some(&self.probe_plan)
+    }
+
+    fn partition_morsel(&self, _w: usize, m: &Morsel) -> Result<Self::Partition, KernelError> {
+        let mut parts: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
+        for i in m.start..m.end() {
+            let b = bucket_of(hash_str(&self.bk[i]), 0);
+            parts[b].push(&self.bk[i], self.bp[i]);
+        }
+        Ok(parts)
+    }
+
+    fn charge(
+        &mut self,
+        parts: Vec<Self::Partition>,
+        _budget: &MemoryBudget,
+        stats: &mut SpillStats,
+    ) -> Result<StrSpillSides<'a>, KernelError> {
+        let mut buckets: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
+        for part in parts {
+            for (b, batch) in part.into_iter().enumerate() {
+                for i in 0..batch.len() {
+                    buckets[b].push(batch.key(i), batch.values[i]);
+                }
+            }
+        }
+        let mut dir: Option<SpillDir> = None;
+        let mut tables = Vec::with_capacity(SPILL_FANOUT);
+        let mut runs = Vec::with_capacity(SPILL_FANOUT);
+        let mut leases = Vec::new();
+        for (b, batch) in buckets.into_iter().enumerate() {
+            let cost = str_batch_cost(&batch);
+            // Leases come from the operator's own budget reference so the
+            // sides can hold them across the probe phase (released on any
+            // exit).
+            if let Ok(lease) = self.budget.lease(cost) {
+                tables.push(Some(str_table_of(&batch, self.bloom)));
+                runs.push(None);
+                leases.push(lease);
+            } else {
+                if dir.is_none() {
+                    dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
+                }
+                let d = dir.as_ref().expect("just created");
+                let mut w = StrRunWriter::create(d.run_path(&format!("str-d0-b{b}")))
+                    .map_err(KernelError::Storage)?;
+                append_str_chunked(&mut w, &batch)?;
+                let run = w.finish().map_err(KernelError::Storage)?;
+                stats.partitions_spilled += 1;
+                stats.runs_written += 1;
+                stats.bytes_written += run.bytes();
+                tables.push(None);
+                runs.push(Some(run));
+            }
+        }
+        Ok(StrSpillSides {
+            tables,
+            runs,
+            leases,
+            dir,
+        })
+    }
+
+    fn consume_morsel(
+        &self,
+        _w: usize,
+        m: &Morsel,
+        shared: &StrSpillSides<'a>,
+    ) -> Result<Self::Out, KernelError> {
+        let mut idx = Vec::new();
+        let mut pay = Vec::new();
+        let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+        for (i, k) in self
+            .probe_keys
+            .iter()
+            .enumerate()
+            .take(m.end())
+            .skip(m.start)
+        {
+            let b = bucket_of(hash_str(k), 0);
+            match &shared.tables[b] {
+                Some(t) => {
+                    for &p in t.matches(k) {
+                        idx.push(i as u32);
+                        pay.push(p);
+                    }
+                }
+                None => deferred[b].push(i as u32),
+            }
+        }
+        Ok((idx, pay, deferred))
+    }
+
+    fn settle(
+        &mut self,
+        shared: StrSpillSides<'a>,
+        outs: Vec<Self::Out>,
+        _budget: &MemoryBudget,
+        stats: &mut SpillStats,
+        checkpoint: &SpillCheckpoint<'_>,
+    ) -> Result<Self::Settled, RunError<KernelError>> {
+        let StrSpillSides {
+            tables,
+            runs,
+            leases,
+            dir,
+        } = shared;
+        drop(tables);
+        drop(leases);
+        let mut res_idx = Vec::new();
+        let mut res_pay = Vec::new();
+        let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+        for (idx, pay, defs) in outs {
+            res_idx.extend(idx);
+            res_pay.extend(pay);
+            for (b, d) in defs.into_iter().enumerate() {
+                deferred[b].extend(d);
+            }
+        }
+        let mut pairs: Vec<(u32, i64)> = Vec::new();
+        let mut scratch = acquire_str(SPILL_FANOUT);
+        for (b, run) in runs.into_iter().enumerate() {
+            let Some(run) = run else { continue };
+            let dir = dir.as_ref().expect("spilled partitions imply a spill dir");
+            let probe = str_probe_of(
+                std::mem::take(&mut deferred[b]),
+                self.probe_keys,
+                dir,
+                self.budget,
+                0,
+                stats,
+            )?;
+            settle_str_run(
+                run,
+                probe,
+                self.probe_keys,
+                0,
+                u64::MAX,
+                dir,
+                self.budget,
+                self.bloom,
+                stats,
+                checkpoint,
+                &mut scratch,
+                &mut pairs,
+            )?;
+        }
+        pairs.sort_by_key(|&(i, _)| i);
+        Ok(merge_output_streams(res_idx, res_pay, pairs))
+    }
 }
 
 /// Memory-governed morsel-parallel hash join over a **Utf8 key column**:
@@ -484,8 +974,9 @@ fn append_str_chunked(w: &mut StrRunWriter, batch: &StrBatch) -> Result<(), Kern
 /// kept arena-backed end to end (run frames store one contiguous key
 /// arena; rebuilding a partition goes through
 /// [`StrHashTable::from_pairs`] without per-key allocation of the spilled
-/// rows). Output is bit-identical to the in-memory string join for any
-/// budget, worker count, and morsel size.
+/// rows) and the same probe-side spill as the integer join. Output is
+/// bit-identical to the in-memory string join for any budget, worker
+/// count, and morsel size.
 pub fn parallel_hash_join_str_spill(
     build_keys: &Array,
     build_payloads: &Array,
@@ -507,127 +998,17 @@ pub fn parallel_hash_join_str_spill(
         )));
     }
     let budget = opts.effective_budget().unwrap_or(&UNLIMITED);
-    let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
-    let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
-
-    let ((indices, payloads), stats, spill) = build_then_probe_spilling(
-        opts.runner(),
-        opts.cancel,
+    let mut op = StrJoinSpillOp {
+        build_plan: MorselPlan::new(bk.len(), opts.effective_morsel_rows()),
+        probe_plan: MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows()),
+        bk,
+        bp,
+        probe_keys,
+        bloom,
         budget,
-        &build_plan,
-        &probe_plan,
-        |_, m| {
-            let mut parts: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
-            for i in m.start..m.end() {
-                let b = bucket_of(hash_str(&bk[i]), 0);
-                parts[b].push(&bk[i], bp[i]);
-            }
-            Ok::<_, KernelError>(parts)
-        },
-        |parts, _, stats| {
-            let mut buckets: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
-            for part in parts {
-                for (b, batch) in part.into_iter().enumerate() {
-                    for i in 0..batch.len() {
-                        buckets[b].push(batch.key(i), batch.values[i]);
-                    }
-                }
-            }
-            let mut dir: Option<SpillDir> = None;
-            let mut tables = Vec::with_capacity(SPILL_FANOUT);
-            let mut runs = Vec::with_capacity(SPILL_FANOUT);
-            let mut leases = Vec::new();
-            for (b, batch) in buckets.into_iter().enumerate() {
-                let cost = str_batch_cost(&batch);
-                // Leases come from the captured `budget` so the sides can
-                // hold them across the probe phase (released on any exit).
-                if let Ok(lease) = budget.lease(cost) {
-                    tables.push(Some(str_table_of(&batch, bloom)));
-                    runs.push(None);
-                    leases.push(lease);
-                } else {
-                    if dir.is_none() {
-                        dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
-                    }
-                    let d = dir.as_ref().expect("just created");
-                    let mut w = StrRunWriter::create(d.run_path(&format!("str-d0-b{b}")))
-                        .map_err(KernelError::Storage)?;
-                    append_str_chunked(&mut w, &batch)?;
-                    let run = w.finish().map_err(KernelError::Storage)?;
-                    stats.partitions_spilled += 1;
-                    stats.runs_written += 1;
-                    stats.bytes_written += run.bytes();
-                    tables.push(None);
-                    runs.push(Some(run));
-                }
-            }
-            Ok(StrSpillSides {
-                tables,
-                runs,
-                leases,
-                dir,
-            })
-        },
-        |_, m, shared: &StrSpillSides<'_>| {
-            let mut idx = Vec::new();
-            let mut pay = Vec::new();
-            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
-            for (i, k) in probe_keys.iter().enumerate().take(m.end()).skip(m.start) {
-                let b = bucket_of(hash_str(k), 0);
-                match &shared.tables[b] {
-                    Some(t) => {
-                        for &p in t.matches(k) {
-                            idx.push(i as u32);
-                            pay.push(p);
-                        }
-                    }
-                    None => deferred[b].push(i as u32),
-                }
-            }
-            Ok((idx, pay, deferred))
-        },
-        |shared, outs, budget, stats, checkpoint| {
-            let StrSpillSides {
-                tables,
-                runs,
-                leases,
-                dir,
-            } = shared;
-            drop(tables);
-            drop(leases);
-            let mut res_idx = Vec::new();
-            let mut res_pay = Vec::new();
-            let mut deferred: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
-            for (idx, pay, defs) in outs {
-                res_idx.extend(idx);
-                res_pay.extend(pay);
-                for (b, d) in defs.into_iter().enumerate() {
-                    deferred[b].extend(d);
-                }
-            }
-            let mut pairs: Vec<(u32, i64)> = Vec::new();
-            for (b, run) in runs.into_iter().enumerate() {
-                if let Some(run) = run {
-                    settle_str_run(
-                        run,
-                        std::mem::take(&mut deferred[b]),
-                        probe_keys,
-                        0,
-                        u64::MAX,
-                        dir.as_ref().expect("spilled partitions imply a spill dir"),
-                        budget,
-                        bloom,
-                        stats,
-                        checkpoint,
-                        &mut pairs,
-                    )?;
-                }
-            }
-            pairs.sort_by_key(|&(i, _)| i);
-            Ok(merge_output_streams(res_idx, res_pay, pairs))
-        },
-    )
-    .map_err(kernel_run_err)?;
+    };
+    let ((indices, payloads), stats, spill) =
+        run_spillable(&mut op, opts.runner(), opts.cancel, budget).map_err(kernel_run_err)?;
     Ok((
         ParallelJoinOutput {
             indices,
@@ -642,7 +1023,7 @@ pub fn parallel_hash_join_str_spill(
 #[allow(clippy::too_many_arguments)]
 fn settle_str_run(
     run: StrRun,
-    probe_rows: Vec<u32>,
+    probe: StrProbe<'_>,
     probe_keys: &[String],
     depth: usize,
     parent_rows: u64,
@@ -651,12 +1032,14 @@ fn settle_str_run(
     bloom: bool,
     stats: &mut SpillStats,
     checkpoint: &SpillCheckpoint<'_>,
+    scratch: &mut StrScratch,
     out: &mut Vec<(u32, i64)>,
 ) -> Result<(), RunError<KernelError>> {
     checkpoint.check()?;
     stats.max_recursion_depth = stats.max_recursion_depth.max(depth);
-    if probe_rows.is_empty() {
+    if probe.is_empty() {
         run.delete();
+        probe.delete();
         return Ok(());
     }
     let rows = run.rows();
@@ -676,51 +1059,128 @@ fn settle_str_run(
         run.delete();
         let table = str_table_of(&batch, bloom);
         drop(batch);
-        for &pi in &probe_rows {
-            for &p in table.matches(&probe_keys[pi as usize]) {
-                out.push((pi, p));
+        match probe {
+            StrProbe::Resident(rows_idx, _lease) => {
+                for &pi in &rows_idx {
+                    for &p in table.matches(&probe_keys[pi as usize]) {
+                        out.push((pi, p));
+                    }
+                }
+            }
+            StrProbe::Spilled(prun) => {
+                let mut reader = prun.reader().map_err(storage_err)?;
+                while let Some(frame) = reader.next_frame().map_err(storage_err)? {
+                    for i in 0..frame.len() {
+                        for &p in table.matches(frame.key(i)) {
+                            out.push((frame.values[i] as u32, p));
+                        }
+                    }
+                }
+                stats.bytes_read += prun.bytes();
+                prun.delete();
             }
         }
         return Ok(());
     }
-    let mut sub_probe: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
-    for pi in probe_rows {
-        sub_probe[bucket_of(hash_str(&probe_keys[pi as usize]), depth + 1)].push(pi);
+    let mut sub_probe: Vec<Option<StrProbe>> = (0..SPILL_FANOUT).map(|_| None).collect();
+    match probe {
+        StrProbe::Resident(rows_idx, lease) => {
+            let mut subs: Vec<Vec<u32>> = vec![Vec::new(); SPILL_FANOUT];
+            for pi in rows_idx {
+                subs[bucket_of(hash_str(&probe_keys[pi as usize]), depth + 1)].push(pi);
+            }
+            drop(lease);
+            for (s, rows_s) in subs.into_iter().enumerate() {
+                if rows_s.is_empty() {
+                    continue;
+                }
+                sub_probe[s] = Some(str_probe_of(
+                    rows_s,
+                    probe_keys,
+                    dir,
+                    budget,
+                    depth + 1,
+                    stats,
+                )?);
+            }
+        }
+        StrProbe::Spilled(prun) => {
+            let mut probe_writers: Vec<Option<StrRunWriter>> =
+                (0..SPILL_FANOUT).map(|_| None).collect();
+            let mut reader = prun.reader().map_err(storage_err)?;
+            while let Some(frame) = reader.next_frame().map_err(storage_err)? {
+                for i in 0..frame.len() {
+                    let key = frame.key(i);
+                    scratch.push(bucket_of(hash_str(key), depth + 1), key, frame.values[i]);
+                }
+                for &s in scratch.touched() {
+                    let s = s as usize;
+                    if probe_writers[s].is_none() {
+                        probe_writers[s] = Some(
+                            StrRunWriter::create(
+                                dir.run_path(&format!("str-probe-d{}-b{s}", depth + 1)),
+                            )
+                            .map_err(storage_err)?,
+                        );
+                    }
+                    probe_writers[s]
+                        .as_mut()
+                        .expect("just created")
+                        .append(scratch.bucket(s))
+                        .map_err(storage_err)?;
+                }
+                scratch.reset();
+            }
+            stats.bytes_read += prun.bytes();
+            prun.delete();
+            for (s, w) in probe_writers.into_iter().enumerate() {
+                let Some(w) = w else { continue };
+                let sub = w.finish().map_err(storage_err)?;
+                stats.probe_partitions_spilled += 1;
+                stats.runs_written += 1;
+                stats.bytes_written += sub.bytes();
+                sub_probe[s] = Some(StrProbe::Spilled(sub));
+            }
+        }
     }
     let mut writers: Vec<Option<StrRunWriter>> = Vec::with_capacity(SPILL_FANOUT);
-    for (s, probes) in sub_probe.iter().enumerate() {
-        writers.push(if probes.is_empty() {
-            None
-        } else {
-            Some(
+    for (s, probe_s) in sub_probe.iter().enumerate() {
+        writers.push(match probe_s {
+            Some(_) => Some(
                 StrRunWriter::create(dir.run_path(&format!("str-d{}-b{s}", depth + 1)))
                     .map_err(storage_err)?,
-            )
+            ),
+            None => None,
         });
     }
     let mut reader = run.reader().map_err(storage_err)?;
-    while let Some(batch) = reader.next_frame().map_err(storage_err)? {
-        let mut sub: Vec<StrBatch> = vec![StrBatch::default(); SPILL_FANOUT];
-        for i in 0..batch.len() {
-            let key = batch.key(i);
+    while let Some(frame) = reader.next_frame().map_err(storage_err)? {
+        for i in 0..frame.len() {
+            let key = frame.key(i);
             let s = bucket_of(hash_str(key), depth + 1);
             if writers[s].is_some() {
-                sub[s].push(key, batch.values[i]);
+                scratch.push(s, key, frame.values[i]);
             }
         }
-        for (s, frame) in sub.into_iter().enumerate() {
-            if let Some(w) = writers[s].as_mut() {
-                w.append(&frame).map_err(storage_err)?;
-            }
+        for &s in scratch.touched() {
+            let s = s as usize;
+            writers[s]
+                .as_mut()
+                .expect("writers cover all touched buckets")
+                .append(scratch.bucket(s))
+                .map_err(storage_err)?;
         }
+        scratch.reset();
     }
     stats.bytes_read += run.bytes();
     run.delete();
     for (s, writer) in writers.into_iter().enumerate() {
         let Some(writer) = writer else { continue };
         let sub_run = writer.finish().map_err(storage_err)?;
+        let probe_s = sub_probe[s].take().expect("writer implies probe rows");
         if sub_run.rows() == 0 {
             sub_run.delete();
+            probe_s.delete();
             continue;
         }
         stats.partitions_spilled += 1;
@@ -728,7 +1188,7 @@ fn settle_str_run(
         stats.bytes_written += sub_run.bytes();
         settle_str_run(
             sub_run,
-            std::mem::take(&mut sub_probe[s]),
+            probe_s,
             probe_keys,
             depth + 1,
             rows,
@@ -737,10 +1197,297 @@ fn settle_str_run(
             bloom,
             stats,
             checkpoint,
+            scratch,
             out,
         )?;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core hash aggregation
+// ---------------------------------------------------------------------------
+
+/// The shared state of a budgeted aggregation: per partition, either a
+/// resident group table (rows already folded in global row order) or a
+/// spilled run of raw `(key, f64 bits)` rows.
+struct AggSides<'a> {
+    groups: Vec<Option<HashMap<i64, GroupState>>>,
+    runs: Vec<Option<IntRun>>,
+    leases: Vec<BudgetLease<'a>>,
+    dir: Option<SpillDir>,
+}
+
+/// Out-of-core hash aggregation as a consume-less [`SpillableOp`]: the
+/// input partitions by group key, resident partitions fold immediately,
+/// spilled partitions fold during settle — each group's rows always in
+/// global row order, which makes the result bit-identical to the
+/// sequential fold regardless of what spilled.
+struct AggSpillOp<'a> {
+    keys: Vec<i64>,
+    value_bits: Vec<i64>,
+    budget: &'a MemoryBudget,
+    plan: MorselPlan,
+}
+
+impl<'a> SpillableOp for AggSpillOp<'a> {
+    type Partition = Vec<(Vec<i64>, Vec<i64>)>;
+    type Shared = AggSides<'a>;
+    type Out = ();
+    type Settled = Vec<(i64, GroupState)>;
+    type Error = KernelError;
+
+    fn input_plan(&self) -> &MorselPlan {
+        &self.plan
+    }
+
+    fn partition_morsel(&self, _w: usize, m: &Morsel) -> Result<Self::Partition, KernelError> {
+        let mut parts: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
+        for i in m.start..m.end() {
+            let b = bucket_of(hash_i64(self.keys[i]), 0);
+            parts[b].0.push(self.keys[i]);
+            parts[b].1.push(self.value_bits[i]);
+        }
+        Ok(parts)
+    }
+
+    fn charge(
+        &mut self,
+        parts: Vec<Self::Partition>,
+        _budget: &MemoryBudget,
+        stats: &mut SpillStats,
+    ) -> Result<AggSides<'a>, KernelError> {
+        let mut buckets: Vec<(Vec<i64>, Vec<i64>)> = vec![Default::default(); SPILL_FANOUT];
+        for part in parts {
+            for (b, (k, v)) in part.into_iter().enumerate() {
+                buckets[b].0.extend(k);
+                buckets[b].1.extend(v);
+            }
+        }
+        let mut dir: Option<SpillDir> = None;
+        let mut groups = Vec::with_capacity(SPILL_FANOUT);
+        let mut runs = Vec::with_capacity(SPILL_FANOUT);
+        let mut leases = Vec::new();
+        for (b, (keys, bits)) in buckets.into_iter().enumerate() {
+            let cost = keys.len() * AGG_ROW_BYTES;
+            if let Ok(lease) = self.budget.lease(cost) {
+                let mut map: HashMap<i64, GroupState> = HashMap::new();
+                for (&k, &v) in keys.iter().zip(&bits) {
+                    map.entry(k).or_default().observe_bits(v);
+                }
+                groups.push(Some(map));
+                runs.push(None);
+                leases.push(lease);
+            } else {
+                if dir.is_none() {
+                    dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
+                }
+                let d = dir.as_ref().expect("just created");
+                let mut w = IntRunWriter::create(d.run_path(&format!("agg-d0-b{b}")))
+                    .map_err(KernelError::Storage)?;
+                for lo in (0..keys.len()).step_by(SPILL_FRAME_ROWS) {
+                    let hi = (lo + SPILL_FRAME_ROWS).min(keys.len());
+                    w.append(&keys[lo..hi], &bits[lo..hi])
+                        .map_err(KernelError::Storage)?;
+                }
+                let run = w.finish().map_err(KernelError::Storage)?;
+                stats.partitions_spilled += 1;
+                stats.runs_written += 1;
+                stats.bytes_written += run.bytes();
+                groups.push(None);
+                runs.push(Some(run));
+            }
+        }
+        Ok(AggSides {
+            groups,
+            runs,
+            leases,
+            dir,
+        })
+    }
+
+    fn settle(
+        &mut self,
+        shared: AggSides<'a>,
+        outs: Vec<()>,
+        _budget: &MemoryBudget,
+        stats: &mut SpillStats,
+        checkpoint: &SpillCheckpoint<'_>,
+    ) -> Result<Self::Settled, RunError<KernelError>> {
+        debug_assert!(outs.is_empty(), "aggregation has no consume phase");
+        let AggSides {
+            groups,
+            runs,
+            leases,
+            dir,
+        } = shared;
+        // A key lives in exactly one level-0 partition, so collecting all
+        // partitions' groups and sorting by key is a disjoint union.
+        let mut out: Vec<(i64, GroupState)> = Vec::new();
+        for map in groups.into_iter().flatten() {
+            out.extend(map);
+        }
+        drop(leases);
+        let mut scratch = acquire_partition(SPILL_FANOUT);
+        for run in runs.into_iter().flatten() {
+            settle_agg_run(
+                run,
+                0,
+                u64::MAX,
+                dir.as_ref().expect("spilled partitions imply a spill dir"),
+                self.budget,
+                stats,
+                checkpoint,
+                &mut scratch,
+                &mut out,
+            )?;
+        }
+        out.sort_by_key(|&(k, _)| k);
+        Ok(out)
+    }
+}
+
+/// Resolve one spilled aggregation partition: fold it if its worst-case
+/// group table now fits (or it cannot be split further), else
+/// re-partition on the next hash level and recurse. Rows stay in global
+/// row order throughout, so every group's fold is bit-identical to the
+/// sequential one.
+#[allow(clippy::too_many_arguments)]
+fn settle_agg_run(
+    run: IntRun,
+    depth: usize,
+    parent_rows: u64,
+    dir: &SpillDir,
+    budget: &MemoryBudget,
+    stats: &mut SpillStats,
+    checkpoint: &SpillCheckpoint<'_>,
+    scratch: &mut PartitionScratch,
+    out: &mut Vec<(i64, GroupState)>,
+) -> Result<(), RunError<KernelError>> {
+    checkpoint.check()?;
+    stats.max_recursion_depth = stats.max_recursion_depth.max(depth);
+    let rows = run.rows();
+    let splittable = depth < MAX_SPILL_DEPTH && rows < parent_rows;
+    let lease = budget.lease(rows as usize * AGG_ROW_BYTES).ok();
+    if lease.is_some() || !splittable {
+        if lease.is_none() {
+            stats.forced_builds += 1;
+        }
+        let mut map: HashMap<i64, GroupState> = HashMap::new();
+        let mut reader = run.reader().map_err(storage_err)?;
+        while let Some((keys, bits)) = reader.next_frame().map_err(storage_err)? {
+            for (k, v) in keys.into_iter().zip(bits) {
+                map.entry(k).or_default().observe_bits(v);
+            }
+        }
+        stats.bytes_read += run.bytes();
+        run.delete();
+        out.extend(map);
+        return Ok(());
+    }
+    let mut writers: Vec<Option<IntRunWriter>> = (0..SPILL_FANOUT).map(|_| None).collect();
+    let mut reader = run.reader().map_err(storage_err)?;
+    while let Some((keys, bits)) = reader.next_frame().map_err(storage_err)? {
+        for (k, v) in keys.into_iter().zip(bits) {
+            scratch.push(bucket_of(hash_i64(k), depth + 1), k, v);
+        }
+        for &s in scratch.touched() {
+            let s = s as usize;
+            if writers[s].is_none() {
+                writers[s] = Some(
+                    IntRunWriter::create(dir.run_path(&format!("agg-d{}-b{s}", depth + 1)))
+                        .map_err(storage_err)?,
+                );
+            }
+            let (k, v) = scratch.bucket(s);
+            writers[s]
+                .as_mut()
+                .expect("just created")
+                .append(k, v)
+                .map_err(storage_err)?;
+        }
+        scratch.reset();
+    }
+    stats.bytes_read += run.bytes();
+    run.delete();
+    for writer in writers.into_iter().flatten() {
+        let sub_run = writer.finish().map_err(storage_err)?;
+        stats.partitions_spilled += 1;
+        stats.runs_written += 1;
+        stats.bytes_written += sub_run.bytes();
+        settle_agg_run(
+            sub_run, // non-empty by construction: writers are lazy
+            depth + 1,
+            rows,
+            dir,
+            budget,
+            stats,
+            checkpoint,
+            scratch,
+            out,
+        )?;
+    }
+    Ok(())
+}
+
+/// Memory-governed morsel-parallel hash aggregation (count/sum/min/max
+/// per integer group key over an `f64` value column — the TPC-H Q1
+/// family): the out-of-core sibling of
+/// [`crate::parallel::parallel_hash_aggregate`], charging
+/// [`ParallelOpts::effective_budget`] per partition ([`AGG_ROW_BYTES`] a
+/// row) and spilling raw rows to disk when the charge fails. The result
+/// is **bit-identical** to the sequential row-order fold
+/// [`crate::agg::aggregate_rows`] for any budget, worker count, and
+/// morsel size, because each group's rows are observed in global row
+/// order whether its partition spilled or not.
+///
+/// ```
+/// use adaptvm_parallel::MemoryBudget;
+/// use adaptvm_relational::agg::aggregate_rows;
+/// use adaptvm_relational::parallel::ParallelOpts;
+/// use adaptvm_relational::spill::parallel_hash_aggregate_spill;
+/// use adaptvm_storage::gen;
+///
+/// let table = gen::measurements(10_000, 64, 7);
+/// let budget = MemoryBudget::bytes(8 * 1024);
+/// let opts = ParallelOpts::new(2, 1_000).with_budget(&budget);
+/// let (groups, spill) =
+///     parallel_hash_aggregate_spill(&table, "group", "value", opts).unwrap();
+/// assert!(spill.spilled());
+/// let keys = table.column_by_name("group").unwrap().to_i64_vec().unwrap();
+/// let values = table.column_by_name("value").unwrap().as_f64().unwrap().to_vec();
+/// assert_eq!(groups, aggregate_rows(&keys, &values));
+/// assert_eq!(budget.used(), 0, "all charges released");
+/// ```
+pub fn parallel_hash_aggregate_spill(
+    table: &Table,
+    key_col: &str,
+    value_col: &str,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(Vec<(i64, GroupState)>, SpillStats)> {
+    let keys = table
+        .column_by_name(key_col)
+        .map_err(KernelError::Storage)?
+        .to_i64_vec()
+        .ok_or_else(|| KernelError::Precondition(format!("{key_col} must be integer")))?;
+    let value_bits: Vec<i64> = table
+        .column_by_name(value_col)
+        .map_err(KernelError::Storage)?
+        .as_f64()
+        .ok_or_else(|| KernelError::Precondition(format!("{value_col} must be f64")))?
+        .iter()
+        .map(|v| v.to_bits() as i64)
+        .collect();
+    let budget = opts.effective_budget().unwrap_or(&UNLIMITED);
+    let mut op = AggSpillOp {
+        plan: MorselPlan::new(keys.len(), opts.effective_morsel_rows()),
+        keys,
+        value_bits,
+        budget,
+    };
+    let (groups, _stats, spill) =
+        run_spillable(&mut op, opts.runner(), opts.cancel, budget).map_err(kernel_run_err)?;
+    Ok((groups, spill))
 }
 
 #[cfg(test)]

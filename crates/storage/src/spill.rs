@@ -1,22 +1,41 @@
 //! Spill runs: append-only on-disk row files for out-of-core operators.
 //!
-//! When a build side outgrows its [`memory budget`], the grace-hash join
-//! (see `adaptvm_relational::spill`) writes the overflowing partition to a
-//! **run**: an append-only file of `(key, value)` rows in a simple
-//! columnar frame codec, read back either whole or frame-by-frame (the
-//! streaming path recursion uses to re-partition a run without
-//! materializing it).
+//! When an operator's working set outgrows its [`memory budget`], the
+//! out-of-core layer (see `adaptvm_relational::spill` and
+//! `adaptvm_relational::sort`) writes the overflowing partition to a
+//! **run**: an append-only file of rows in a simple columnar frame codec,
+//! read back either whole, frame-by-frame (the streaming path recursion
+//! uses to re-partition a run without materializing it), or — for sorted
+//! runs feeding a k-way merge — row-by-row through a [`RunCursor`].
 //!
-//! Two codecs cover the engine's join key types:
+//! ## One codec, schema-described
 //!
-//! * [`IntRunWriter`]/[`IntRun`] — `i64` keys and `i64` values. Frame:
-//!   `[u32 rows][rows×8 key bytes][rows×8 value bytes]`, little-endian.
-//! * [`StrRunWriter`]/[`StrRun`] — Utf8 keys and `i64` values, with the
-//!   key bytes kept **arena-backed** on both sides: a frame is
-//!   `[u32 rows][u32 key bytes][rows×4 key lengths][key arena][rows×8
-//!   values]`, and [`StrBatch`] hands keys back as slices into one
-//!   contiguous buffer — no per-key allocation on either side of the
-//!   disk.
+//! Every run is described by a [`RunSchema`]: an optional arena-backed
+//! Utf8 key column followed by `int_cols` columnar `i64` columns. One
+//! frame is
+//!
+//! ```text
+//! [u32 rows]
+//! [u32 key bytes][rows×4 key lengths][key arena]   (only with a Utf8 key)
+//! [rows×8 col 0][rows×8 col 1]…                    (int_cols times)
+//! ```
+//!
+//! little-endian throughout. The generic [`RunWriter`]/[`RunReader`] pair
+//! owns **all** header, ceiling, and truncation handling — the frame-row
+//! and key-byte ceilings are enforced symmetrically on write and on read,
+//! so a corrupt header can never trigger an unbounded allocation (readers
+//! fail typed instead), and Utf8 key bytes are validated once, on decode.
+//!
+//! Two thin typed wrappers cover the engine's row shapes (their on-disk
+//! format is exactly the generic codec's):
+//!
+//! * [`IntRunWriter`]/[`IntRun`] — `(i64 key, i64 value)` rows
+//!   (`RunSchema::ints(2)`).
+//! * [`StrRunWriter`]/[`StrRun`] — `(Utf8 key, i64 value)` rows
+//!   (`RunSchema::utf8_plus_ints(1)`), with the key bytes kept
+//!   **arena-backed** on both sides: [`StrBatch`] hands keys back as
+//!   slices into one contiguous buffer — no per-key allocation on either
+//!   side of the disk.
 //!
 //! Runs live in a [`SpillDir`], a process-unique temporary directory
 //! removed (best-effort) on drop. All I/O errors surface as
@@ -157,60 +176,195 @@ fn delete_file(path: &Path) {
 }
 
 // ---------------------------------------------------------------------------
-// i64 runs
+// The schema-described generic codec
 // ---------------------------------------------------------------------------
 
-/// Appends frames of `(i64 key, i64 value)` rows to a run file.
-#[derive(Debug)]
-pub struct IntRunWriter {
-    file: BufWriter<File>,
-    path: PathBuf,
-    rows: u64,
-    bytes: u64,
+/// The row shape of a run: an optional arena-backed Utf8 key column
+/// followed by `int_cols` columnar `i64` columns. The schema fixes the
+/// frame layout, so a reader opened with the writer's schema decodes the
+/// same frames — the typed wrappers ([`IntRun`], [`StrRun`]) are nothing
+/// but fixed schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSchema {
+    int_cols: usize,
+    utf8_key: bool,
 }
 
-impl IntRunWriter {
+impl RunSchema {
+    /// A schema of `int_cols` columnar `i64` columns, no Utf8 key.
+    pub const fn ints(int_cols: usize) -> RunSchema {
+        RunSchema {
+            int_cols,
+            utf8_key: false,
+        }
+    }
+
+    /// A schema of one arena-backed Utf8 key column plus `int_cols`
+    /// columnar `i64` columns.
+    pub const fn utf8_plus_ints(int_cols: usize) -> RunSchema {
+        RunSchema {
+            int_cols,
+            utf8_key: true,
+        }
+    }
+
+    /// Number of `i64` columns.
+    pub fn int_cols(&self) -> usize {
+        self.int_cols
+    }
+
+    /// Whether rows carry a Utf8 key column.
+    pub fn utf8_key(&self) -> bool {
+        self.utf8_key
+    }
+}
+
+/// One decoded frame of a generic [`Run`]: the Utf8 key column (when the
+/// schema has one) as cumulative offsets into one contiguous arena, plus
+/// the `i64` columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunBatch {
+    /// `rows + 1` cumulative key-byte offsets into [`RunBatch::arena`]
+    /// (empty when the schema has no Utf8 key, or the batch no rows).
+    pub offsets: Vec<u32>,
+    /// The key-bytes arena.
+    pub arena: Vec<u8>,
+    /// The `i64` columns, each of `rows` entries.
+    pub cols: Vec<Vec<i64>>,
+}
+
+impl RunBatch {
+    /// Rows in the batch.
+    pub fn rows(&self) -> usize {
+        if self.offsets.is_empty() {
+            self.cols.first().map_or(0, Vec::len)
+        } else {
+            self.offsets.len() - 1
+        }
+    }
+
+    /// Key `i` as a string slice into the arena (requires a Utf8 schema;
+    /// validated on decode).
+    pub fn key(&self, i: usize) -> &str {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        std::str::from_utf8(&self.arena[lo..hi]).expect("validated on decode")
+    }
+}
+
+/// Appends frames of schema-described rows to a run file. All header and
+/// ceiling handling lives here, shared by every run type.
+#[derive(Debug)]
+pub struct RunWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    schema: RunSchema,
+    rows: u64,
+    bytes: u64,
+    /// Reusable frame-encoding buffer (no per-append allocation in
+    /// steady state).
+    frame: Vec<u8>,
+}
+
+impl RunWriter {
     /// Create (truncating) the run file at `path`.
-    pub fn create(path: PathBuf) -> Result<IntRunWriter, StorageError> {
+    pub fn create(path: PathBuf, schema: RunSchema) -> Result<RunWriter, StorageError> {
         let file = File::create(&path).map_err(|e| io_err("creating spill run", &path, e))?;
-        Ok(IntRunWriter {
+        Ok(RunWriter {
             file: BufWriter::new(file),
             path,
+            schema,
             rows: 0,
             bytes: 0,
+            frame: Vec::new(),
         })
     }
 
-    /// Append one frame. Empty frames are skipped; unequal column lengths
-    /// are a [`StorageError::LengthMismatch`]; more than
-    /// [`MAX_FRAME_ROWS`] rows must be split into several appends.
-    pub fn append(&mut self, keys: &[i64], values: &[i64]) -> Result<(), StorageError> {
-        if keys.len() != values.len() {
-            return Err(StorageError::LengthMismatch {
-                left: keys.len(),
-                right: values.len(),
-            });
-        }
-        if keys.len() > MAX_FRAME_ROWS {
+    /// The schema frames are encoded under.
+    pub fn schema(&self) -> RunSchema {
+        self.schema
+    }
+
+    /// Append one frame from borrowed columns: the Utf8 key column as
+    /// `(cumulative offsets, arena)` when the schema has one, plus the
+    /// `i64` columns in schema order. Empty frames are skipped; unequal
+    /// column lengths are a [`StorageError::LengthMismatch`]; frames over
+    /// [`MAX_FRAME_ROWS`] rows or [`MAX_FRAME_KEY_BYTES`] key bytes must
+    /// be split into several appends.
+    pub fn append_cols(
+        &mut self,
+        utf8: Option<(&[u32], &[u8])>,
+        cols: &[&[i64]],
+    ) -> Result<(), StorageError> {
+        if cols.len() != self.schema.int_cols || utf8.is_some() != self.schema.utf8_key {
             return Err(StorageError::Io(format!(
-                "spill frame of {} rows exceeds MAX_FRAME_ROWS ({MAX_FRAME_ROWS}); \
-                 split into smaller appends",
-                keys.len()
+                "spill frame shape ({} int cols, utf8 {}) does not match the run schema \
+                 ({} int cols, utf8 {})",
+                cols.len(),
+                utf8.is_some(),
+                self.schema.int_cols,
+                self.schema.utf8_key
             )));
         }
-        if keys.is_empty() {
+        let rows = match (utf8, cols.first()) {
+            (Some((offsets, _)), _) => offsets.len().saturating_sub(1),
+            (None, Some(c)) => c.len(),
+            (None, None) => 0,
+        };
+        for c in cols {
+            if c.len() != rows {
+                return Err(StorageError::LengthMismatch {
+                    left: rows,
+                    right: c.len(),
+                });
+            }
+        }
+        let key_bytes = utf8.map_or(0, |(_, arena)| arena.len());
+        if rows > MAX_FRAME_ROWS || key_bytes > MAX_FRAME_KEY_BYTES {
+            return Err(StorageError::Io(format!(
+                "spill frame of {rows} rows / {key_bytes} key bytes exceeds the frame \
+                 ceilings ({MAX_FRAME_ROWS} rows, {MAX_FRAME_KEY_BYTES} bytes); \
+                 split into smaller appends"
+            )));
+        }
+        if rows == 0 {
             return Ok(());
         }
-        let mut frame = Vec::with_capacity(4 + keys.len() * 16);
-        write_u32(&mut frame, keys.len() as u32);
-        write_i64s(&mut frame, keys);
-        write_i64s(&mut frame, values);
+        self.frame.clear();
+        write_u32(&mut self.frame, rows as u32);
+        if let Some((offsets, arena)) = utf8 {
+            if offsets[rows] as usize != arena.len() {
+                return Err(StorageError::Io(format!(
+                    "spill frame offsets end at {}, arena holds {} bytes",
+                    offsets[rows],
+                    arena.len()
+                )));
+            }
+            write_u32(&mut self.frame, arena.len() as u32);
+            for i in 0..rows {
+                write_u32(&mut self.frame, offsets[i + 1] - offsets[i]);
+            }
+            self.frame.extend_from_slice(arena);
+        }
+        for c in cols {
+            write_i64s(&mut self.frame, c);
+        }
         self.file
-            .write_all(&frame)
+            .write_all(&self.frame)
             .map_err(|e| io_err("writing spill run", &self.path, e))?;
-        self.rows += keys.len() as u64;
-        self.bytes += frame.len() as u64;
+        self.rows += rows as u64;
+        self.bytes += self.frame.len() as u64;
         Ok(())
+    }
+
+    /// [`RunWriter::append_cols`] from an owned [`RunBatch`].
+    pub fn append(&mut self, batch: &RunBatch) -> Result<(), StorageError> {
+        let cols: Vec<&[i64]> = batch.cols.iter().map(Vec::as_slice).collect();
+        let utf8 = self
+            .schema
+            .utf8_key
+            .then_some((batch.offsets.as_slice(), batch.arena.as_slice()));
+        self.append_cols(utf8, &cols)
     }
 
     /// Rows appended so far.
@@ -219,27 +373,34 @@ impl IntRunWriter {
     }
 
     /// Flush and seal the run.
-    pub fn finish(mut self) -> Result<IntRun, StorageError> {
+    pub fn finish(mut self) -> Result<Run, StorageError> {
         self.file
             .flush()
             .map_err(|e| io_err("flushing spill run", &self.path, e))?;
-        Ok(IntRun {
+        Ok(Run {
             path: self.path,
+            schema: self.schema,
             rows: self.rows,
             bytes: self.bytes,
         })
     }
 }
 
-/// A sealed `(i64, i64)` run on disk.
+/// A sealed schema-described run on disk.
 #[derive(Debug)]
-pub struct IntRun {
+pub struct Run {
     path: PathBuf,
+    schema: RunSchema,
     rows: u64,
     bytes: u64,
 }
 
-impl IntRun {
+impl Run {
+    /// The schema frames were encoded under.
+    pub fn schema(&self) -> RunSchema {
+        self.schema
+    }
+
     /// Rows in the run.
     pub fn rows(&self) -> u64 {
         self.rows
@@ -251,20 +412,223 @@ impl IntRun {
     }
 
     /// Open the run for frame-by-frame streaming.
-    pub fn reader(&self) -> Result<IntRunReader, StorageError> {
+    pub fn reader(&self) -> Result<RunReader, StorageError> {
         let file =
             File::open(&self.path).map_err(|e| io_err("opening spill run", &self.path, e))?;
-        Ok(IntRunReader {
+        Ok(RunReader {
             file: BufReader::new(file),
             path: self.path.clone(),
+            schema: self.schema,
+            body: Vec::new(),
+        })
+    }
+
+    /// Delete the file early (the owning [`SpillDir`] would otherwise
+    /// clean it up on drop). Best-effort.
+    pub fn delete(self) {
+        delete_file(&self.path);
+    }
+}
+
+/// Streams the frames of a [`Run`] in append order. All ceiling,
+/// truncation, and Utf8 validation lives here, shared by every run type.
+#[derive(Debug)]
+pub struct RunReader {
+    file: BufReader<File>,
+    path: PathBuf,
+    schema: RunSchema,
+    /// Reusable frame-body buffer.
+    body: Vec<u8>,
+}
+
+impl RunReader {
+    /// The next frame, or `None` at end of run. Key bytes (when the
+    /// schema has a Utf8 column) are validated here, so
+    /// [`RunBatch::key`] is infallible.
+    pub fn next_frame(&mut self) -> Result<Option<RunBatch>, StorageError> {
+        let mut header = [0u8; 4];
+        if !read_exact_or_eof(&mut self.file, &self.path, &mut header)? {
+            return Ok(None);
+        }
+        let rows = u32::from_le_bytes(header) as usize;
+        let key_bytes = if self.schema.utf8_key {
+            read_u32(&mut self.file, &self.path)? as usize
+        } else {
+            0
+        };
+        if rows > MAX_FRAME_ROWS || key_bytes > MAX_FRAME_KEY_BYTES {
+            return Err(StorageError::Io(format!(
+                "corrupt spill run {}: frame header claims {rows} rows / {key_bytes} key \
+                 bytes (max {MAX_FRAME_ROWS} / {MAX_FRAME_KEY_BYTES})",
+                self.path.display()
+            )));
+        }
+        let utf8_bytes = if self.schema.utf8_key {
+            rows * 4 + key_bytes
+        } else {
+            0
+        };
+        let body_len = utf8_bytes + rows * 8 * self.schema.int_cols;
+        self.body.resize(body_len, 0);
+        if !read_exact_or_eof(&mut self.file, &self.path, &mut self.body)? && body_len > 0 {
+            return Err(StorageError::Io(format!(
+                "truncated spill run {}: missing frame body",
+                self.path.display()
+            )));
+        }
+        let (offsets, arena) = if self.schema.utf8_key {
+            let (lens, arena) = self.body[..utf8_bytes].split_at(rows * 4);
+            let mut offsets = Vec::with_capacity(rows + 1);
+            offsets.push(0u32);
+            let mut at = 0u32;
+            for len in lens.chunks_exact(4) {
+                at += u32::from_le_bytes(len.try_into().expect("chunks_exact(4)"));
+                offsets.push(at);
+            }
+            if at as usize != key_bytes {
+                return Err(StorageError::Io(format!(
+                    "corrupt spill run {}: key lengths sum to {at}, arena holds {key_bytes}",
+                    self.path.display()
+                )));
+            }
+            (offsets, arena.to_vec())
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut cols = Vec::with_capacity(self.schema.int_cols);
+        for c in 0..self.schema.int_cols {
+            let lo = utf8_bytes + c * rows * 8;
+            cols.push(decode_i64s(&self.body[lo..lo + rows * 8]));
+        }
+        if self.schema.utf8_key {
+            for i in 0..rows {
+                let lo = offsets[i] as usize;
+                let hi = offsets[i + 1] as usize;
+                std::str::from_utf8(&arena[lo..hi]).map_err(|e| {
+                    StorageError::Io(format!(
+                        "corrupt spill run {}: key {i} is not Utf8 ({e})",
+                        self.path.display()
+                    ))
+                })?;
+            }
+        }
+        Ok(Some(RunBatch {
+            offsets,
+            arena,
+            cols,
+        }))
+    }
+}
+
+/// Streams the rows of a two-int-column [`Run`] one at a time, refilling
+/// frame-by-frame — the cursor a k-way merge over sorted runs holds per
+/// run (bounded memory: one frame per open run).
+#[derive(Debug)]
+pub struct RunCursor {
+    reader: RunReader,
+    keys: Vec<i64>,
+    values: Vec<i64>,
+    pos: usize,
+}
+
+impl RunCursor {
+    /// The next `(col0, col1)` row in append order, or `None` at end of
+    /// run.
+    pub fn next_row(&mut self) -> Result<Option<(i64, i64)>, StorageError> {
+        while self.pos >= self.keys.len() {
+            match self.reader.next_frame()? {
+                Some(mut batch) => {
+                    self.values = batch.cols.pop().expect("ints(2) schema");
+                    self.keys = batch.cols.pop().expect("ints(2) schema");
+                    self.pos = 0;
+                }
+                None => return Ok(None),
+            }
+        }
+        let row = (self.keys[self.pos], self.values[self.pos]);
+        self.pos += 1;
+        Ok(Some(row))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// i64 runs (`RunSchema::ints(2)`)
+// ---------------------------------------------------------------------------
+
+/// Appends frames of `(i64 key, i64 value)` rows to a run file. A typed
+/// wrapper over the generic codec with `RunSchema::ints(2)`.
+#[derive(Debug)]
+pub struct IntRunWriter {
+    inner: RunWriter,
+}
+
+impl IntRunWriter {
+    /// Create (truncating) the run file at `path`.
+    pub fn create(path: PathBuf) -> Result<IntRunWriter, StorageError> {
+        Ok(IntRunWriter {
+            inner: RunWriter::create(path, RunSchema::ints(2))?,
+        })
+    }
+
+    /// Append one frame. Empty frames are skipped; unequal column lengths
+    /// are a [`StorageError::LengthMismatch`]; more than
+    /// [`MAX_FRAME_ROWS`] rows must be split into several appends.
+    pub fn append(&mut self, keys: &[i64], values: &[i64]) -> Result<(), StorageError> {
+        self.inner.append_cols(None, &[keys, values])
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> u64 {
+        self.inner.rows()
+    }
+
+    /// Flush and seal the run.
+    pub fn finish(self) -> Result<IntRun, StorageError> {
+        Ok(IntRun {
+            inner: self.inner.finish()?,
+        })
+    }
+}
+
+/// A sealed `(i64, i64)` run on disk.
+#[derive(Debug)]
+pub struct IntRun {
+    inner: Run,
+}
+
+impl IntRun {
+    /// Rows in the run.
+    pub fn rows(&self) -> u64 {
+        self.inner.rows()
+    }
+
+    /// Encoded bytes on disk.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    /// Open the run for frame-by-frame streaming.
+    pub fn reader(&self) -> Result<IntRunReader, StorageError> {
+        Ok(IntRunReader {
+            inner: self.inner.reader()?,
+        })
+    }
+
+    /// Open the run for row-by-row streaming (one resident frame).
+    pub fn cursor(&self) -> Result<RunCursor, StorageError> {
+        Ok(RunCursor {
+            reader: self.inner.reader()?,
+            keys: Vec::new(),
+            values: Vec::new(),
+            pos: 0,
         })
     }
 
     /// Read the whole run back as two columns (keys, values), in append
     /// order.
     pub fn read_all(&self) -> Result<(Vec<i64>, Vec<i64>), StorageError> {
-        let mut keys = Vec::with_capacity(self.rows as usize);
-        let mut values = Vec::with_capacity(self.rows as usize);
+        let mut keys = Vec::with_capacity(self.rows() as usize);
+        let mut values = Vec::with_capacity(self.rows() as usize);
         let mut reader = self.reader()?;
         while let Some((k, v)) = reader.next_frame()? {
             keys.extend(k);
@@ -276,47 +640,30 @@ impl IntRun {
     /// Delete the file early (the owning [`SpillDir`] would otherwise
     /// clean it up on drop). Best-effort.
     pub fn delete(self) {
-        delete_file(&self.path);
+        self.inner.delete();
     }
 }
 
 /// Streams the frames of an [`IntRun`] in append order.
 #[derive(Debug)]
 pub struct IntRunReader {
-    file: BufReader<File>,
-    path: PathBuf,
+    inner: RunReader,
 }
 
 impl IntRunReader {
     /// The next frame as (keys, values), or `None` at end of run.
     #[allow(clippy::type_complexity)]
     pub fn next_frame(&mut self) -> Result<Option<(Vec<i64>, Vec<i64>)>, StorageError> {
-        let mut header = [0u8; 4];
-        if !read_exact_or_eof(&mut self.file, &self.path, &mut header)? {
-            return Ok(None);
-        }
-        let rows = u32::from_le_bytes(header) as usize;
-        if rows > MAX_FRAME_ROWS {
-            return Err(StorageError::Io(format!(
-                "corrupt spill run {}: frame header claims {rows} rows (max {MAX_FRAME_ROWS})",
-                self.path.display()
-            )));
-        }
-        let mut body = vec![0u8; rows * 16];
-        if !read_exact_or_eof(&mut self.file, &self.path, &mut body)? && rows > 0 {
-            return Err(StorageError::Io(format!(
-                "truncated spill run {}: missing frame body",
-                self.path.display()
-            )));
-        }
-        let keys = decode_i64s(&body[..rows * 8]);
-        let values = decode_i64s(&body[rows * 8..]);
-        Ok(Some((keys, values)))
+        Ok(self.inner.next_frame()?.map(|mut batch| {
+            let values = batch.cols.pop().expect("ints(2) schema");
+            let keys = batch.cols.pop().expect("ints(2) schema");
+            (keys, values)
+        }))
     }
 }
 
 // ---------------------------------------------------------------------------
-// Utf8 runs
+// Utf8 runs (`RunSchema::utf8_plus_ints(1)`)
 // ---------------------------------------------------------------------------
 
 /// One decoded frame of a [`StrRun`]: keys as slices into one contiguous
@@ -367,26 +714,28 @@ impl StrBatch {
         self.offsets.push(self.arena.len() as u32);
         self.values.push(value);
     }
+
+    /// Reset to the empty batch, retaining the buffers' capacity (the
+    /// scratch-arena reuse path).
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.arena.clear();
+        self.values.clear();
+    }
 }
 
-/// Appends frames of `(Utf8 key, i64 value)` rows to a run file.
+/// Appends frames of `(Utf8 key, i64 value)` rows to a run file. A typed
+/// wrapper over the generic codec with `RunSchema::utf8_plus_ints(1)`.
 #[derive(Debug)]
 pub struct StrRunWriter {
-    file: BufWriter<File>,
-    path: PathBuf,
-    rows: u64,
-    bytes: u64,
+    inner: RunWriter,
 }
 
 impl StrRunWriter {
     /// Create (truncating) the run file at `path`.
     pub fn create(path: PathBuf) -> Result<StrRunWriter, StorageError> {
-        let file = File::create(&path).map_err(|e| io_err("creating spill run", &path, e))?;
         Ok(StrRunWriter {
-            file: BufWriter::new(file),
-            path,
-            rows: 0,
-            bytes: 0,
+            inner: RunWriter::create(path, RunSchema::utf8_plus_ints(1))?,
         })
     }
 
@@ -397,45 +746,19 @@ impl StrRunWriter {
         if batch.is_empty() {
             return Ok(());
         }
-        let rows = batch.len();
-        let key_bytes = batch.arena.len();
-        if rows > MAX_FRAME_ROWS || key_bytes > MAX_FRAME_KEY_BYTES {
-            return Err(StorageError::Io(format!(
-                "spill frame of {rows} rows / {key_bytes} key bytes exceeds the frame \
-                 ceilings ({MAX_FRAME_ROWS} rows, {MAX_FRAME_KEY_BYTES} bytes); \
-                 split into smaller appends"
-            )));
-        }
-        let mut frame = Vec::with_capacity(12 + rows * 12 + key_bytes);
-        write_u32(&mut frame, rows as u32);
-        write_u32(&mut frame, key_bytes as u32);
-        for i in 0..rows {
-            write_u32(&mut frame, batch.offsets[i + 1] - batch.offsets[i]);
-        }
-        frame.extend_from_slice(&batch.arena);
-        write_i64s(&mut frame, &batch.values);
-        self.file
-            .write_all(&frame)
-            .map_err(|e| io_err("writing spill run", &self.path, e))?;
-        self.rows += rows as u64;
-        self.bytes += frame.len() as u64;
-        Ok(())
+        self.inner
+            .append_cols(Some((&batch.offsets, &batch.arena)), &[&batch.values])
     }
 
     /// Rows appended so far.
     pub fn rows(&self) -> u64 {
-        self.rows
+        self.inner.rows()
     }
 
     /// Flush and seal the run.
-    pub fn finish(mut self) -> Result<StrRun, StorageError> {
-        self.file
-            .flush()
-            .map_err(|e| io_err("flushing spill run", &self.path, e))?;
+    pub fn finish(self) -> Result<StrRun, StorageError> {
         Ok(StrRun {
-            path: self.path,
-            rows: self.rows,
-            bytes: self.bytes,
+            inner: self.inner.finish()?,
         })
     }
 }
@@ -443,29 +766,24 @@ impl StrRunWriter {
 /// A sealed `(Utf8, i64)` run on disk.
 #[derive(Debug)]
 pub struct StrRun {
-    path: PathBuf,
-    rows: u64,
-    bytes: u64,
+    inner: Run,
 }
 
 impl StrRun {
     /// Rows in the run.
     pub fn rows(&self) -> u64 {
-        self.rows
+        self.inner.rows()
     }
 
     /// Encoded bytes on disk.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.inner.bytes()
     }
 
     /// Open the run for frame-by-frame streaming.
     pub fn reader(&self) -> Result<StrRunReader, StorageError> {
-        let file =
-            File::open(&self.path).map_err(|e| io_err("opening spill run", &self.path, e))?;
         Ok(StrRunReader {
-            file: BufReader::new(file),
-            path: self.path.clone(),
+            inner: self.inner.reader()?,
         })
     }
 
@@ -484,72 +802,25 @@ impl StrRun {
 
     /// Delete the file early. Best-effort.
     pub fn delete(self) {
-        delete_file(&self.path);
+        self.inner.delete();
     }
 }
 
 /// Streams the frames of a [`StrRun`] in append order.
 #[derive(Debug)]
 pub struct StrRunReader {
-    file: BufReader<File>,
-    path: PathBuf,
+    inner: RunReader,
 }
 
 impl StrRunReader {
     /// The next frame, or `None` at end of run. Key bytes are validated
-    /// as Utf8 here, so [`StrBatch::key`] is infallible.
+    /// as Utf8 on decode, so [`StrBatch::key`] is infallible.
     pub fn next_frame(&mut self) -> Result<Option<StrBatch>, StorageError> {
-        let mut header = [0u8; 4];
-        if !read_exact_or_eof(&mut self.file, &self.path, &mut header)? {
-            return Ok(None);
-        }
-        let rows = u32::from_le_bytes(header) as usize;
-        let key_bytes = read_u32(&mut self.file, &self.path)? as usize;
-        if rows > MAX_FRAME_ROWS || key_bytes > MAX_FRAME_KEY_BYTES {
-            return Err(StorageError::Io(format!(
-                "corrupt spill run {}: frame header claims {rows} rows / {key_bytes} key \
-                 bytes (max {MAX_FRAME_ROWS} / {MAX_FRAME_KEY_BYTES})",
-                self.path.display()
-            )));
-        }
-        let mut body = vec![0u8; rows * 4 + key_bytes + rows * 8];
-        if !read_exact_or_eof(&mut self.file, &self.path, &mut body)? && !body.is_empty() {
-            return Err(StorageError::Io(format!(
-                "truncated spill run {}: missing frame body",
-                self.path.display()
-            )));
-        }
-        let (lens, rest) = body.split_at(rows * 4);
-        let (arena, vals) = rest.split_at(key_bytes);
-        let mut offsets = Vec::with_capacity(rows + 1);
-        offsets.push(0u32);
-        let mut at = 0u32;
-        for len in lens.chunks_exact(4) {
-            at += u32::from_le_bytes(len.try_into().expect("chunks_exact(4)"));
-            offsets.push(at);
-        }
-        if at as usize != key_bytes {
-            return Err(StorageError::Io(format!(
-                "corrupt spill run {}: key lengths sum to {at}, arena holds {key_bytes}",
-                self.path.display()
-            )));
-        }
-        let batch = StrBatch {
-            offsets,
-            arena: arena.to_vec(),
-            values: decode_i64s(vals),
-        };
-        for i in 0..batch.len() {
-            let lo = batch.offsets[i] as usize;
-            let hi = batch.offsets[i + 1] as usize;
-            std::str::from_utf8(&batch.arena[lo..hi]).map_err(|e| {
-                StorageError::Io(format!(
-                    "corrupt spill run {}: key {i} is not Utf8 ({e})",
-                    self.path.display()
-                ))
-            })?;
-        }
-        Ok(Some(batch))
+        Ok(self.inner.next_frame()?.map(|mut batch| StrBatch {
+            offsets: std::mem::take(&mut batch.offsets),
+            arena: std::mem::take(&mut batch.arena),
+            values: batch.cols.pop().expect("utf8_plus_ints(1) schema"),
+        }))
     }
 }
 
@@ -586,6 +857,67 @@ mod tests {
             w.append(&[1], &[1, 2]).unwrap_err(),
             StorageError::LengthMismatch { left: 1, right: 2 }
         );
+    }
+
+    #[test]
+    fn run_cursor_streams_rows_across_frames() {
+        let dir = SpillDir::new().unwrap();
+        let mut w = IntRunWriter::create(dir.run_path("c")).unwrap();
+        w.append(&[1, 2], &[10, 20]).unwrap();
+        w.append(&[3], &[30]).unwrap();
+        let run = w.finish().unwrap();
+        let mut cur = run.cursor().unwrap();
+        assert_eq!(cur.next_row().unwrap(), Some((1, 10)));
+        assert_eq!(cur.next_row().unwrap(), Some((2, 20)));
+        assert_eq!(cur.next_row().unwrap(), Some((3, 30)));
+        assert_eq!(cur.next_row().unwrap(), None);
+        assert_eq!(cur.next_row().unwrap(), None, "EOF is sticky");
+    }
+
+    #[test]
+    fn generic_run_roundtrips_wide_schema() {
+        // Three int columns plus a Utf8 key: a shape no typed wrapper
+        // covers — the generic codec must handle it end to end.
+        let dir = SpillDir::new().unwrap();
+        let schema = RunSchema::utf8_plus_ints(3);
+        let mut w = RunWriter::create(dir.run_path("wide"), schema).unwrap();
+        assert_eq!(w.schema(), schema);
+        w.append_cols(
+            Some((&[0, 2, 2, 5], b"abcde")),
+            &[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]],
+        )
+        .unwrap();
+        let run = w.finish().unwrap();
+        assert_eq!(run.rows(), 3);
+        assert_eq!(run.schema(), schema);
+        let mut r = run.reader().unwrap();
+        let batch = r.next_frame().unwrap().unwrap();
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.key(0), "ab");
+        assert_eq!(batch.key(1), "");
+        assert_eq!(batch.key(2), "cde");
+        assert_eq!(
+            batch.cols,
+            vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]
+        );
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn generic_writer_rejects_schema_shape_mismatch() {
+        let dir = SpillDir::new().unwrap();
+        let mut w = RunWriter::create(dir.run_path("shape"), RunSchema::ints(2)).unwrap();
+        // Wrong column count.
+        assert!(matches!(
+            w.append_cols(None, &[&[1]]).unwrap_err(),
+            StorageError::Io(_)
+        ));
+        // Utf8 column against an ints-only schema.
+        assert!(matches!(
+            w.append_cols(Some((&[0, 1], b"x")), &[&[1], &[2]])
+                .unwrap_err(),
+            StorageError::Io(_)
+        ));
     }
 
     #[test]

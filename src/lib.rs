@@ -51,12 +51,15 @@
 //!   Utf8 keys, including mixed-key adaptive chains), compressed scans
 //!   and the TPC-H Q1/Q3/Q6 workloads the paper's motivation cites —
 //!   each with morsel-parallel variants in `relational::parallel`,
-//! * [`relational::spill`] — the **out-of-core** join regime: grace-hash
-//!   joins governed by a byte-accounted `parallel::MemoryBudget`, build
-//!   partitions spilling to disk runs and recursively re-partitioning
-//!   until they fit — bit-identical to the in-memory joins at every
-//!   budget and worker count, with cancellation honored between spill
-//!   runs.
+//! * [`relational::spill`] + [`relational::sort`] — the **out-of-core**
+//!   regime on the operator-generic `parallel::SpillableOp` protocol:
+//!   grace-hash joins (build *and* probe side spilled), out-of-core
+//!   hash aggregation, and an external merge sort with budgeted top-k,
+//!   all governed by a byte-accounted `parallel::MemoryBudget` (a
+//!   tenant's registered budget reaches every operator), partitions
+//!   spilling to disk runs and recursively re-partitioning until they
+//!   fit — bit-identical to the in-memory operators at every budget
+//!   and worker count, with cancellation honored between spill runs.
 //!
 //! ## Quickstart
 //!

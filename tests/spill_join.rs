@@ -192,6 +192,60 @@ fn zero_budget_forces_unsplittable_partitions() {
 }
 
 #[test]
+fn probe_side_spills_and_stays_exact() {
+    // A modest build side but a huge probe side, with a budget that holds
+    // neither the build partitions nor the deferred probe-index lists
+    // (8 bytes a row): the probe side must spill to (key, index) runs —
+    // streamed through recursion and the final probe — and the join must
+    // stay bit-identical.
+    let build_keys = Array::from((0..4_000).map(|i| i % 1_000).collect::<Vec<i64>>());
+    let build_pays = Array::from((0..4_000).collect::<Vec<i64>>());
+    let probe_keys: Vec<i64> = (0..80_000).map(|i| (i * 3) % 2_000).collect();
+    let reference = HashTable::build(&build_keys, &build_pays).unwrap();
+    let expected = reference.probe(&probe_keys);
+    let budget = MemoryBudget::bytes(2_000);
+    let (out, spill) = parallel_hash_join_spill(
+        &build_keys,
+        &build_pays,
+        &probe_keys,
+        false,
+        ParallelOpts::new(4, 4_096).with_budget(&budget),
+    )
+    .unwrap();
+    assert_eq!((out.indices, out.payloads), expected);
+    assert!(
+        spill.probe_partitions_spilled >= 1,
+        "a 2kB budget cannot hold 5k deferred probe rows per partition: {spill:?}"
+    );
+    assert!(spill.spilled());
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
+fn str_probe_side_spills_and_stays_exact() {
+    let key_ids: Vec<i64> = (0..2_000).map(|i| i % 300).collect();
+    let keys = str_keys(&key_ids);
+    let pays: Vec<i64> = (0..2_000).collect();
+    let build_keys = Array::from(keys.clone());
+    let build_pays = Array::from(pays);
+    let probe_keys = str_keys(&(0..30_000).map(|i| (i * 7) % 600).collect::<Vec<_>>());
+    let reference = StrHashTable::build(&build_keys, &build_pays).unwrap();
+    let expected = reference.probe(&probe_keys);
+    let budget = MemoryBudget::bytes(1_000);
+    let (out, spill) = parallel_hash_join_str_spill(
+        &build_keys,
+        &build_pays,
+        &probe_keys,
+        false,
+        ParallelOpts::new(2, 4_096).with_budget(&budget),
+    )
+    .unwrap();
+    assert_eq!((out.indices, out.payloads), expected);
+    assert!(spill.probe_partitions_spilled >= 1, "{spill:?}");
+    assert_eq!(budget.used(), 0);
+}
+
+#[test]
 fn empty_sides_are_handled() {
     let empty = Array::from(Vec::<i64>::new());
     let budget = MemoryBudget::bytes(64);
