@@ -31,6 +31,7 @@
 pub mod ast;
 pub mod depgraph;
 pub mod normalize;
+pub mod oracle;
 pub mod parser;
 pub mod partition;
 pub mod printer;

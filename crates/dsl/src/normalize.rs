@@ -99,6 +99,20 @@ fn expr_normalized(e: &Expr) -> bool {
     }
 }
 
+/// True when a lambda body is pure per-lane scalar computation — the only
+/// shape `flatten_body` can rewrite. A nested skeleton referencing a
+/// parameter would leak that parameter out of the lambda's scope if
+/// hoisted, so such lambdas stay composite (the type checker rejects
+/// them; see `check_lambda_body_shape`).
+fn body_flattenable(e: &Expr) -> bool {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => true,
+        Expr::Apply(_, args) => args.iter().all(body_flattenable),
+        Expr::Len(inner) => body_flattenable(inner),
+        _ => false,
+    }
+}
+
 fn normalize_stmts(stmts: &[Stmt], fresh: &mut Fresh) -> Vec<Stmt> {
     stmts.iter().map(|s| normalize_stmt(s, fresh)).collect()
 }
@@ -210,7 +224,11 @@ fn normalize_expr(e: &Expr, binds: &mut Vec<(String, Expr)>, fresh: &mut Fresh) 
         Expr::Len(inner) => Expr::Len(Box::new(atomize(inner, binds, fresh))),
         Expr::Map { f, inputs } => {
             let inputs: Vec<Expr> = inputs.iter().map(|i| atomize(i, binds, fresh)).collect();
-            if f.is_normalized() {
+            // Arity-mismatched lambdas can't be flattened (parameters
+            // without inputs); leave them composite so the type checker /
+            // interpreter reports the mismatch instead of a panic here.
+            // Same for skeleton-carrying bodies, which the checker rejects.
+            if f.is_normalized() || f.params.len() != inputs.len() || !body_flattenable(&f.body) {
                 Expr::Map {
                     f: f.clone(),
                     inputs,
@@ -221,7 +239,13 @@ fn normalize_expr(e: &Expr, binds: &mut Vec<(String, Expr)>, fresh: &mut Fresh) 
         }
         Expr::Filter { p, inputs } => {
             let inputs: Vec<Expr> = inputs.iter().map(|i| atomize(i, binds, fresh)).collect();
-            if p.is_normalized() {
+            // Same guard as Map, plus: a filter with no inputs has no flow
+            // carrier to attach a selection to — leave it for the checker.
+            if p.is_normalized()
+                || p.params.len() != inputs.len()
+                || inputs.is_empty()
+                || !body_flattenable(&p.body)
+            {
                 Expr::Filter {
                     p: p.clone(),
                     inputs,
@@ -248,7 +272,10 @@ fn normalize_expr(e: &Expr, binds: &mut Vec<(String, Expr)>, fresh: &mut Fresh) 
         },
         Expr::Gen { f, len } => {
             let len_e = normalize_scalar(len, binds, fresh);
-            if f.is_normalized() {
+            // A gen lambda takes exactly the index; flattening a
+            // wrong-arity lambda would index parameters past the single
+            // input — leave it for the checker (same policy as Map).
+            if f.is_normalized() || f.params.len() != 1 || !body_flattenable(&f.body) {
                 Expr::Gen {
                     f: f.clone(),
                     len: Box::new(len_e),
@@ -349,15 +376,22 @@ fn flatten_lambda(
             }
         }
         Operand::Const(c) => {
-            // Constant body: broadcast via identity-style map over the first
-            // input to preserve length.
-            let src = inputs
-                .first()
-                .cloned()
-                .unwrap_or(Expr::Const(adaptvm_storage::scalar::Scalar::I64(0)));
+            // Constant body: keep every input so the broadcast length stays
+            // that of the first *array* input — dropping inputs here used to
+            // shrink `map (\a b -> c) scalar arr` from len(arr) lanes to 1.
+            if inputs.is_empty() {
+                return Expr::Map {
+                    f: Lambda::new(vec!["_x"], c),
+                    inputs: vec![Expr::Const(adaptvm_storage::scalar::Scalar::I64(0))],
+                };
+            }
+            let params: Vec<String> = (0..inputs.len()).map(|i| format!("_x{i}")).collect();
             Expr::Map {
-                f: Lambda::new(vec!["_x"], c),
-                inputs: vec![src],
+                f: Lambda {
+                    params: params.clone(),
+                    body: Box::new(c),
+                },
+                inputs: inputs.to_vec(),
             }
         }
     }
@@ -391,9 +425,9 @@ fn flatten_body(
                 .collect();
             emit_single_op_map(*op, &operands, binds, fresh)
         }
-        // Nested skeletons inside lambda bodies are not expressible (the
-        // type checker rejects array-typed lambda bodies), so anything else
-        // is a constant-like scalar.
+        // Only `len(...)` reaches here: `body_flattenable` filters out
+        // skeleton-carrying bodies before flattening starts, and `len` of
+        // an outer array is lane-invariant — safe to embed as a constant.
         other => Operand::Const(other.clone()),
     }
 }
@@ -642,6 +676,147 @@ mod tests {
             let twice = normalize_program(&once);
             assert_eq!(once, twice);
         }
+    }
+
+    #[test]
+    fn arity_mismatched_map_lambda_stays_composite() {
+        // Regression: flattening a 2-param lambda over 1 input used to
+        // index past the input list and panic; it must stay composite so
+        // the type checker reports the mismatch.
+        use crate::ast::build::*;
+        use crate::ast::ScalarOp::{Add, Mul};
+        let bad = Program::new(vec![let_in(
+            "r",
+            map(
+                lam2("a", "b", bin(Add, bin(Mul, var("a"), var("a")), var("b"))),
+                vec![read(int(0), "xs")],
+            ),
+            vec![write("out", int(0), var("r"))],
+        )]);
+        let n = normalize_program(&bad);
+        let env = TypeEnv::new()
+            .with_buffer("xs", ScalarType::I64)
+            .with_buffer("out", ScalarType::I64);
+        assert!(matches!(
+            check_program(&n, &env),
+            Err(crate::DslError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_filter_stays_composite() {
+        // Regression: a composite no-input filter predicate used to panic
+        // on `inputs[0]` while hunting for the flow carrier.
+        use crate::ast::build::*;
+        use crate::ast::ScalarOp::{Add, Gt};
+        let bad = Program::new(vec![let_in(
+            "t",
+            filter_multi(
+                lam1("x", bin(Gt, bin(Add, var("x"), int(1)), int(3))),
+                vec![],
+            ),
+            vec![write("out", int(0), var("t"))],
+        )]);
+        let n = normalize_program(&bad);
+        let env = TypeEnv::new().with_buffer("out", ScalarType::I64);
+        assert!(matches!(
+            check_program(&n, &env),
+            Err(crate::DslError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatched_gen_lambda_stays_composite() {
+        // Regression: gen's flattening rewrites over a single index array,
+        // so a 2-param lambda used to index past it.
+        use crate::ast::build::*;
+        use crate::ast::ScalarOp::{Add, Mul};
+        let bad = Program::new(vec![let_in(
+            "g",
+            gen(
+                lam2("a", "b", bin(Add, bin(Mul, var("a"), var("a")), var("b"))),
+                int(4),
+            ),
+            vec![write("out", int(0), var("g"))],
+        )]);
+        let n = normalize_program(&bad);
+        let env = TypeEnv::new().with_buffer("out", ScalarType::I64);
+        assert!(matches!(
+            check_program(&n, &env),
+            Err(crate::DslError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn constant_body_map_keeps_all_inputs() {
+        // Regression (found by the query fuzzer): a constant-body map used
+        // to be rewritten over only its first input — if that input was a
+        // broadcast scalar, the result length collapsed from len(array)
+        // to 1.
+        use crate::ast::build::*;
+        let p = Program::new(vec![write(
+            "ob",
+            int(2),
+            map(
+                lam2("p0", "p1", bin(ScalarOp::Gt, int(-38), int(-23))),
+                vec![int(0), read(int(0), "ss")],
+            ),
+        )]);
+        let n = normalize_program(&p);
+        let env = TypeEnv::new()
+            .with_buffer("ss", ScalarType::Str)
+            .with_buffer("ob", ScalarType::Bool);
+        check_program(&n, &env).unwrap();
+        // Both original inputs (the scalar and the read temp) must survive.
+        fn find_map_input_count(stmts: &[Stmt]) -> Option<usize> {
+            for s in stmts {
+                match s {
+                    Stmt::Write {
+                        value: Expr::Map { inputs, .. },
+                        ..
+                    } => {
+                        return Some(inputs.len());
+                    }
+                    Stmt::Let { expr, body, .. } => {
+                        if let Expr::Map { inputs, .. } = expr {
+                            return Some(inputs.len());
+                        }
+                        if let Some(n) = find_map_input_count(body) {
+                            return Some(n);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        assert_eq!(
+            find_map_input_count(&n.stmts),
+            Some(2),
+            "{}",
+            print_program(&n)
+        );
+    }
+
+    #[test]
+    fn skeleton_lambda_bodies_stay_composite() {
+        // Regression (found by the query fuzzer): flattening a lambda
+        // whose body folds over a buffer used to hoist the fold out of
+        // the lambda, leaking the parameter (`x`) out of scope — the
+        // re-check after normalization failed with `Unbound("x")`. Such
+        // lambdas now stay composite; the checker reports a Type error
+        // on both the original and the normalized program.
+        let p = normalize_src(
+            "let r = map (\\x -> (fold min x (read 0 sa))) (read 0 xs) in { write out 0 r }",
+        );
+        let env = TypeEnv::new()
+            .with_buffer("xs", ScalarType::I64)
+            .with_buffer("sa", ScalarType::I64)
+            .with_buffer("out", ScalarType::I64);
+        assert!(matches!(
+            check_program(&p, &env),
+            Err(crate::DslError::Type(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,1502 @@
+//! A naive tree-walking reference interpreter — the query fuzzer's oracle.
+//!
+//! This is an *independent* implementation of the DSL's dynamic semantics:
+//! it shares only `adaptvm-storage` (the value representation) with the
+//! engine, never the vectorized kernels, the JIT, or the VM's interpreter.
+//! Everything is evaluated scalar-at-a-time with plain loops, the way one
+//! would write the semantics on a whiteboard.
+//!
+//! ## Contract with the engine
+//!
+//! For every program the engine runs successfully — under any strategy
+//! (vectorized / fused / adaptive), any executor, any worker count, any
+//! memory budget — the oracle produces **bit-identical outputs**. When the
+//! engine reports an error, the oracle reports an error too (the error
+//! *variants* need not match across the two implementations; ok-ness must).
+//! `tests/query_fuzz.rs` property-tests this contract with random
+//! well-typed programs.
+//!
+//! Two semantic corners are mirrored deliberately rather than "fixed":
+//!
+//! * **Flat environments.** `let` does not restore shadowed bindings and a
+//!   lambda parameter that was unbound before a `map` stays bound after it,
+//!   exactly like the VM's interpreter (normalized programs use fresh
+//!   names, so neither is observable there — but raw programs can see
+//!   both).
+//! * **Integer arithmetic at `i64`.** The kernels compute narrow integer
+//!   ops at their promoted width with wrapping semantics; the oracle
+//!   computes at `i64` and truncates the result to the promoted width
+//!   ([`Scalar::int_of_type`]). For add/sub/mul/div/rem/neg/abs this is
+//!   bit-identical: inputs are widened losslessly, `i64` is exact for all
+//!   narrow-width intermediates, and truncation mod 2ʷ equals wrapping at
+//!   width *w*. Comparisons and min/max are order-preserving under
+//!   widening.
+
+use std::collections::HashMap;
+
+use adaptvm_storage::array::Array;
+use adaptvm_storage::scalar::{Scalar, ScalarType};
+use adaptvm_storage::sel::SelVec;
+use adaptvm_storage::{StorageError, DEFAULT_CHUNK};
+
+use crate::ast::{ConflictFn, Expr, FoldFn, Lambda, MergeKind, Program, ScalarOp, Stmt};
+use crate::value::{Value, Vector};
+
+/// Default loop-iteration guard, matching the VM interpreter's.
+pub const DEFAULT_MAX_ITERATIONS: u64 = 1 << 32;
+
+/// An error from the reference interpreter.
+///
+/// Variants classify failures the same way the engine stack does, but the
+/// oracle contract only requires ok-ness to match — comparisons between
+/// engine and oracle errors are by presence, not by variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleError {
+    /// An unbound variable was referenced.
+    Unbound(String),
+    /// An unknown buffer was referenced.
+    UnknownBuffer(String),
+    /// A value had the wrong shape (vector vs scalar, arity, selections).
+    Shape(String),
+    /// No semantics exist for the requested (op, types) combination.
+    NoKernel(String),
+    /// Operand lengths disagree.
+    LengthMismatch {
+        /// First length.
+        left: usize,
+        /// Second length.
+        right: usize,
+    },
+    /// All operands were constants (an element-wise op needs an array).
+    NoArrayOperand,
+    /// Input violates a precondition (unsorted merge input, NaN keys,
+    /// negative scatter indices…).
+    Precondition(String),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// The loop-iteration guard fired.
+    IterationLimit(u64),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Unbound(n) => write!(f, "unbound variable {n}"),
+            OracleError::UnknownBuffer(n) => write!(f, "unknown buffer {n}"),
+            OracleError::Shape(m) => write!(f, "shape error: {m}"),
+            OracleError::NoKernel(m) => write!(f, "no semantics: {m}"),
+            OracleError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            OracleError::NoArrayOperand => write!(f, "no array operand"),
+            OracleError::Precondition(m) => write!(f, "precondition violated: {m}"),
+            OracleError::Storage(e) => write!(f, "storage error: {e}"),
+            OracleError::IterationLimit(n) => write!(f, "iteration limit {n} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<StorageError> for OracleError {
+    fn from(e: StorageError) -> OracleError {
+        OracleError::Storage(e)
+    }
+}
+
+/// Named data buffers for an oracle run: read-only inputs and growable
+/// output sinks, mirroring the engine's buffer rules (`read` falls back to
+/// outputs; `write` always targets an output, creating it on first write).
+#[derive(Debug, Clone, Default)]
+pub struct OracleBuffers {
+    inputs: HashMap<String, Array>,
+    outputs: HashMap<String, Array>,
+}
+
+impl OracleBuffers {
+    /// Empty buffer set.
+    pub fn new() -> OracleBuffers {
+        OracleBuffers::default()
+    }
+
+    /// Add (replace) an input buffer.
+    pub fn with_input(mut self, name: &str, data: Array) -> OracleBuffers {
+        self.inputs.insert(name.to_string(), data);
+        self
+    }
+
+    /// Look up an input (or previously written output) buffer.
+    pub fn buffer(&self, name: &str) -> Result<&Array, OracleError> {
+        self.inputs
+            .get(name)
+            .or_else(|| self.outputs.get(name))
+            .ok_or_else(|| OracleError::UnknownBuffer(name.to_string()))
+    }
+
+    /// Read up to `len` elements at `pos`; short/empty tail reads are
+    /// normal (loop exits depend on them).
+    pub fn read(&self, name: &str, pos: usize, len: usize) -> Result<Array, OracleError> {
+        Ok(self.buffer(name)?.slice(pos, len))
+    }
+
+    /// Write `values` into output `name` at `pos`, growing as needed.
+    pub fn write(&mut self, name: &str, pos: usize, values: &Array) -> Result<(), OracleError> {
+        let out = self
+            .outputs
+            .entry(name.to_string())
+            .or_insert_with(|| Array::empty(values.scalar_type()));
+        out.write_at(pos, values)?;
+        Ok(())
+    }
+
+    /// Mutable output (scatter target), created with `ty` when absent.
+    pub fn output_mut(&mut self, name: &str, ty: ScalarType) -> &mut Array {
+        self.outputs
+            .entry(name.to_string())
+            .or_insert_with(|| Array::empty(ty))
+    }
+
+    /// An output buffer by name, when present.
+    pub fn output(&self, name: &str) -> Option<&Array> {
+        self.outputs.get(name)
+    }
+
+    /// All outputs, by name.
+    pub fn outputs(&self) -> &HashMap<String, Array> {
+        &self.outputs
+    }
+
+    /// Consume into the output map.
+    pub fn into_outputs(self) -> HashMap<String, Array> {
+        self.outputs
+    }
+}
+
+/// The reference interpreter: configuration + entry point.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Chunk length used by `read` without an explicit length.
+    pub chunk_size: usize,
+    /// Loop-iteration guard ([`DEFAULT_MAX_ITERATIONS`] by default; tests
+    /// lower it to make runaway programs fail fast).
+    pub max_iterations: u64,
+}
+
+impl Default for Oracle {
+    fn default() -> Oracle {
+        Oracle::new(DEFAULT_CHUNK)
+    }
+}
+
+impl Oracle {
+    /// An oracle reading `chunk_size` elements per un-lengthed `read`.
+    pub fn new(chunk_size: usize) -> Oracle {
+        Oracle {
+            chunk_size: if chunk_size == 0 {
+                DEFAULT_CHUNK
+            } else {
+                chunk_size
+            },
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+
+    /// Lower the loop-iteration guard.
+    pub fn with_max_iterations(mut self, n: u64) -> Oracle {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Run a program over the given buffers; returns the final buffers.
+    pub fn run(&self, p: &Program, buffers: OracleBuffers) -> Result<OracleBuffers, OracleError> {
+        let mut w = Walker {
+            vars: HashMap::new(),
+            buffers,
+            chunk: self.chunk_size,
+            max_iterations: self.max_iterations,
+        };
+        w.exec_stmts(&p.stmts)?;
+        Ok(w.buffers)
+    }
+}
+
+/// Control flow of statement execution.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Flow {
+    Normal,
+    Broke,
+}
+
+struct Walker {
+    vars: HashMap<String, Value>,
+    buffers: OracleBuffers,
+    chunk: usize,
+    max_iterations: u64,
+}
+
+impl Walker {
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> Result<Flow, OracleError> {
+        for s in stmts {
+            if self.exec_stmt(s)? == Flow::Broke {
+                return Ok(Flow::Broke);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, OracleError> {
+        match s {
+            Stmt::DeclareMut { .. } => Ok(Flow::Normal),
+            Stmt::Assign { name, expr } => {
+                let v = self.eval(expr)?;
+                self.vars.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Let { name, expr, body } => {
+                let v = self.eval(expr)?;
+                self.vars.insert(name.clone(), v);
+                self.exec_stmts(body)
+            }
+            Stmt::Write { target, pos, value } => {
+                let pos = self.eval_scalar_int(pos)?;
+                if pos < 0 {
+                    return Err(OracleError::Shape(
+                        "write position must be non-negative".into(),
+                    ));
+                }
+                let data = match self.eval(value)? {
+                    Value::Vector(v) => v.condense()?.data,
+                    Value::Scalar(s) => Array::splat(&s, 1),
+                };
+                self.buffers
+                    .write(target, pos as usize, &data)
+                    .map(|()| Flow::Normal)
+            }
+            Stmt::Scatter {
+                target,
+                indices,
+                value,
+                conflict,
+            } => {
+                let idx = self.eval_vector(indices)?.condense()?.data;
+                let vals = self.eval_vector(value)?.condense()?.data;
+                let out = self.buffers.output_mut(target, vals.scalar_type());
+                scatter(out, &idx, &vals, *conflict)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Loop(body) => {
+                let mut iterations: u64 = 0;
+                loop {
+                    iterations += 1;
+                    if iterations > self.max_iterations {
+                        return Err(OracleError::IterationLimit(self.max_iterations));
+                    }
+                    if self.exec_stmts(body)? == Flow::Broke {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Broke),
+            Stmt::If { cond, then, els } => {
+                let c = self.eval(cond)?;
+                let b = c.as_scalar().and_then(Scalar::as_bool).ok_or_else(|| {
+                    OracleError::Shape("if condition must be a scalar bool".into())
+                })?;
+                if b {
+                    self.exec_stmts(then)
+                } else {
+                    self.exec_stmts(els)
+                }
+            }
+            Stmt::ExprStmt(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value, OracleError> {
+        match e {
+            Expr::Const(s) => Ok(Value::Scalar(s.clone())),
+            Expr::Var(name) => self
+                .vars
+                .get(name)
+                .cloned()
+                .ok_or_else(|| OracleError::Unbound(name.clone())),
+            Expr::Len(inner) => {
+                let v = self.eval(inner)?;
+                Ok(Value::Scalar(Scalar::I64(v.logical_len() as i64)))
+            }
+            Expr::Apply(op, args) => {
+                let values = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.eval_apply(*op, &values)
+            }
+            Expr::Read { pos, data, len } => {
+                let pos = self.eval_scalar_int(pos)?;
+                if pos < 0 {
+                    return Err(OracleError::Shape(
+                        "read position must be non-negative".into(),
+                    ));
+                }
+                let len = match len {
+                    Some(l) => {
+                        let l = self.eval_scalar_int(l)?;
+                        if l < 0 {
+                            return Err(OracleError::Shape(
+                                "read length must be non-negative".into(),
+                            ));
+                        }
+                        l as usize
+                    }
+                    None => self.chunk,
+                };
+                let chunk = self.buffers.read(data, pos as usize, len)?;
+                Ok(Value::dense(chunk))
+            }
+            Expr::Map { f, inputs } => {
+                let values = inputs
+                    .iter()
+                    .map(|i| self.eval(i))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.eval_map(f, &values)
+            }
+            Expr::Filter { p, inputs } => {
+                let values = inputs
+                    .iter()
+                    .map(|i| self.eval(i))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.eval_filter(p, &values)
+            }
+            Expr::Fold { r, init, input } => {
+                let init = self
+                    .eval(init)?
+                    .as_scalar()
+                    .cloned()
+                    .ok_or_else(|| OracleError::Shape("fold init must be scalar".into()))?;
+                let v = self.eval_vector(input)?;
+                Ok(Value::Scalar(fold(*r, &init, &v.data, v.sel.as_ref())?))
+            }
+            Expr::Gather { indices, data } => {
+                let idx = self.eval_vector(indices)?.condense()?.data;
+                let buffer = self.buffers.buffer(data)?.clone();
+                Ok(Value::dense(gather(&buffer, &idx)?))
+            }
+            Expr::Gen { f, len } => {
+                let n = self.eval_scalar_int(len)?;
+                if n < 0 {
+                    return Err(OracleError::Shape("gen length must be non-negative".into()));
+                }
+                let index = Value::dense(Array::I64((0..n).collect()));
+                if f.params.len() == 1
+                    && matches!(f.body.as_ref(), Expr::Var(v) if *v == f.params[0])
+                {
+                    return Ok(index);
+                }
+                self.eval_map(f, &[index])
+            }
+            Expr::Condense(inner) => {
+                let v = self.eval_vector(inner)?;
+                Ok(Value::Vector(v.condense()?))
+            }
+            Expr::Merge { kind, left, right } => {
+                let l = self.eval_vector(left)?.condense()?.data;
+                let r = self.eval_vector(right)?.condense()?.data;
+                Ok(Value::dense(merge(*kind, &l, &r)?))
+            }
+        }
+    }
+
+    fn eval_vector(&mut self, e: &Expr) -> Result<Vector, OracleError> {
+        match self.eval(e)? {
+            Value::Vector(v) => Ok(v),
+            Value::Scalar(s) => Ok(Vector::dense(Array::splat(&s, 1))),
+        }
+    }
+
+    fn eval_scalar_int(&mut self, e: &Expr) -> Result<i64, OracleError> {
+        self.eval(e)?
+            .as_i64()
+            .ok_or_else(|| OracleError::Shape("expected a scalar integer".into()))
+    }
+
+    /// Scalar ops over mixed scalar/vector operands: pure-scalar operands
+    /// compute as a one-lane column; any vector lifts element-wise.
+    fn eval_apply(&mut self, op: ScalarOp, values: &[Value]) -> Result<Value, OracleError> {
+        let any_vector = values.iter().any(|v| matches!(v, Value::Vector(_)));
+        if !any_vector {
+            // One-lane evaluation: the first scalar becomes a column so the
+            // common-length rule sees an array operand.
+            let first = values
+                .first()
+                .and_then(Value::as_scalar)
+                .cloned()
+                .map(|s| Array::splat(&s, 1));
+            let mut operands = Vec::with_capacity(values.len());
+            if let Some(a) = first {
+                operands.push(OOperand::Col(a));
+            }
+            for v in &values[1.min(values.len())..] {
+                operands.push(OOperand::Const(v.as_scalar().cloned().expect("checked")));
+            }
+            let result = map_op(op, &operands)?;
+            return Ok(Value::Scalar(result.get(0)?));
+        }
+        let sel = common_sel(values)?;
+        let operands: Vec<OOperand> = values
+            .iter()
+            .map(|v| match v {
+                Value::Vector(vec) => OOperand::Col(vec.data.clone()),
+                Value::Scalar(s) => OOperand::Const(s.clone()),
+            })
+            .collect();
+        let data = map_op(op, &operands)?;
+        Ok(Value::Vector(Vector { data, sel }))
+    }
+
+    /// Bind parameters, evaluate the lambda body with lifted scalar ops.
+    fn eval_map(&mut self, f: &Lambda, inputs: &[Value]) -> Result<Value, OracleError> {
+        if f.params.len() != inputs.len() {
+            return Err(OracleError::Shape(format!(
+                "map arity mismatch: {} params, {} inputs",
+                f.params.len(),
+                inputs.len()
+            )));
+        }
+        let sel = common_sel(inputs)?;
+        let shadowed: Vec<Option<Value>> = f
+            .params
+            .iter()
+            .zip(inputs)
+            .map(|(p, v)| {
+                let old = self.vars.get(p).cloned();
+                self.vars.insert(p.clone(), v.clone());
+                old
+            })
+            .collect();
+        let result = self.eval(&f.body);
+        for (p, old) in f.params.iter().zip(shadowed) {
+            if let Some(v) = old {
+                self.vars.insert(p.clone(), v);
+            }
+            // Previously-unbound parameters stay bound — the engine's flat
+            // environment does the same.
+        }
+        match result? {
+            Value::Vector(v) => Ok(Value::Vector(v)),
+            Value::Scalar(s) => {
+                let n = inputs
+                    .iter()
+                    .find_map(|v| v.as_vector().map(Vector::len))
+                    .unwrap_or(1);
+                Ok(Value::Vector(Vector {
+                    data: Array::splat(&s, n),
+                    sel,
+                }))
+            }
+        }
+    }
+
+    /// Filters compute a new selection over the flow carrier (`inputs[0]`)
+    /// without moving data. The engine has two paths (a comparison fast
+    /// path and a generic predicate path) whose error behavior differs
+    /// slightly; the oracle branches on the same condition.
+    fn eval_filter(&mut self, p: &Lambda, inputs: &[Value]) -> Result<Value, OracleError> {
+        let flow = inputs
+            .first()
+            .and_then(Value::as_vector)
+            .ok_or_else(|| OracleError::Shape("filter flow must be a vector".into()))?
+            .clone();
+        let fast = if let Expr::Apply(op, args) = p.body.as_ref() {
+            if op.is_comparison()
+                && args
+                    .iter()
+                    .all(|a| matches!(a, Expr::Var(_) | Expr::Const(_)))
+            {
+                let mut operands = Vec::with_capacity(args.len());
+                for a in args {
+                    operands.push(match a {
+                        Expr::Const(s) => OOperand::Const(s.clone()),
+                        Expr::Var(name) => match p.params.iter().position(|x| x == name) {
+                            Some(i) => match &inputs[i] {
+                                Value::Vector(v) => OOperand::Col(v.data.clone()),
+                                Value::Scalar(s) => OOperand::Const(s.clone()),
+                            },
+                            None => {
+                                return Err(OracleError::Unbound(format!(
+                                    "predicate variable {name}"
+                                )))
+                            }
+                        },
+                        _ => unreachable!("atomic args checked"),
+                    });
+                }
+                let bools = map_op(*op, &operands)?;
+                Some(filter_bools(&bools, flow.sel.as_ref())?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let sel = match fast {
+            Some(s) => s,
+            None => {
+                let bools = self.eval_map(p, inputs)?;
+                let bools = bools
+                    .as_vector()
+                    .ok_or_else(|| OracleError::Shape("predicate must be vectorized".into()))?;
+                filter_bools(&bools.data, flow.sel.as_ref())?
+            }
+        };
+        Ok(Value::Vector(Vector::selected(flow.data, sel)))
+    }
+}
+
+/// The common pending selection of vector operands (scalars have none).
+fn common_sel(values: &[Value]) -> Result<Option<SelVec>, OracleError> {
+    let mut sel: Option<&SelVec> = None;
+    for v in values {
+        if let Value::Vector(vec) = v {
+            match (&sel, &vec.sel) {
+                (None, Some(s)) => sel = Some(s),
+                (Some(a), Some(b)) if *a != b => {
+                    return Err(OracleError::Shape(
+                        "operands carry different selections".into(),
+                    ))
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(sel.cloned())
+}
+
+/// One operand of an element-wise op: a column or a broadcast constant.
+enum OOperand {
+    Col(Array),
+    Const(Scalar),
+}
+
+impl OOperand {
+    fn scalar_type(&self) -> ScalarType {
+        match self {
+            OOperand::Col(a) => a.scalar_type(),
+            OOperand::Const(s) => s.scalar_type(),
+        }
+    }
+
+    fn len(&self) -> Option<usize> {
+        match self {
+            OOperand::Col(a) => Some(a.len()),
+            OOperand::Const(_) => None,
+        }
+    }
+}
+
+/// The common lane count: columns must agree, and one must exist.
+fn common_len(operands: &[OOperand]) -> Result<usize, OracleError> {
+    let mut len = None;
+    for o in operands {
+        if let Some(n) = o.len() {
+            match len {
+                None => len = Some(n),
+                Some(m) if m != n => return Err(OracleError::LengthMismatch { left: m, right: n }),
+                _ => {}
+            }
+        }
+    }
+    len.ok_or(OracleError::NoArrayOperand)
+}
+
+fn promoted(operands: &[OOperand], op: ScalarOp) -> Result<ScalarType, OracleError> {
+    let mut ty = operands[0].scalar_type();
+    for o in &operands[1..] {
+        ty = ty
+            .promote(o.scalar_type())
+            .ok_or_else(|| OracleError::NoKernel(format!("{} on mixed types", op.name())))?;
+    }
+    Ok(ty)
+}
+
+fn no_kernel(op: ScalarOp, ty: ScalarType) -> OracleError {
+    OracleError::NoKernel(format!("{} over {ty:?}", op.name()))
+}
+
+/// Widened integer lane; errors on non-integer columns and non-integer
+/// constants (the engine's coercion is widening-only).
+fn int_lane(o: &OOperand, i: usize) -> Result<i64, OracleError> {
+    match o {
+        OOperand::Col(a) => match a {
+            Array::I8(v) => Ok(v[i] as i64),
+            Array::I16(v) => Ok(v[i] as i64),
+            Array::I32(v) => Ok(v[i] as i64),
+            Array::I64(v) => Ok(v[i]),
+            other => Err(OracleError::NoKernel(format!(
+                "integer coercion of {:?}",
+                other.scalar_type()
+            ))),
+        },
+        OOperand::Const(s) => s
+            .as_i64()
+            .ok_or_else(|| OracleError::NoKernel("integer coercion of constant".into())),
+    }
+}
+
+fn f64_lane(o: &OOperand, i: usize) -> Result<f64, OracleError> {
+    match o {
+        OOperand::Col(a) => a
+            .get(i)?
+            .as_f64()
+            .ok_or_else(|| OracleError::NoKernel("float coercion".into())),
+        OOperand::Const(s) => s
+            .as_f64()
+            .ok_or_else(|| OracleError::NoKernel("float coercion of constant".into())),
+    }
+}
+
+fn bool_lane(o: &OOperand, i: usize) -> Result<bool, OracleError> {
+    match o {
+        OOperand::Col(Array::Bool(v)) => Ok(v[i]),
+        OOperand::Const(Scalar::Bool(b)) => Ok(*b),
+        other => Err(OracleError::NoKernel(format!(
+            "bool coercion of {:?}",
+            other.scalar_type()
+        ))),
+    }
+}
+
+fn str_lane(o: &OOperand, i: usize) -> Result<String, OracleError> {
+    match o {
+        OOperand::Col(Array::Str(v)) => Ok(v[i].clone()),
+        OOperand::Const(Scalar::Str(s)) => Ok(s.clone()),
+        other => Err(OracleError::NoKernel(format!(
+            "string coercion of {:?}",
+            other.scalar_type()
+        ))),
+    }
+}
+
+/// Lane-level validation done up front, the way the engine's columnar
+/// coercion fails before any lane is touched (so zero-length columns still
+/// report type errors).
+fn check_lanes(
+    operands: &[OOperand],
+    check: impl Fn(&OOperand) -> Result<(), OracleError>,
+) -> Result<(), OracleError> {
+    operands.iter().try_for_each(check)
+}
+
+fn is_int(o: &OOperand) -> Result<(), OracleError> {
+    if o.scalar_type().is_integer() {
+        Ok(())
+    } else {
+        Err(OracleError::NoKernel(format!(
+            "integer coercion of {:?}",
+            o.scalar_type()
+        )))
+    }
+}
+
+fn is_numeric(o: &OOperand) -> Result<(), OracleError> {
+    if o.scalar_type().is_numeric() {
+        Ok(())
+    } else {
+        Err(OracleError::NoKernel(format!(
+            "float coercion of {:?}",
+            o.scalar_type()
+        )))
+    }
+}
+
+fn is_bool(o: &OOperand) -> Result<(), OracleError> {
+    if o.scalar_type() == ScalarType::Bool {
+        Ok(())
+    } else {
+        Err(OracleError::NoKernel(format!(
+            "bool coercion of {:?}",
+            o.scalar_type()
+        )))
+    }
+}
+
+fn is_str(o: &OOperand) -> Result<(), OracleError> {
+    if o.scalar_type() == ScalarType::Str {
+        Ok(())
+    } else {
+        Err(OracleError::NoKernel(format!(
+            "string coercion of {:?}",
+            o.scalar_type()
+        )))
+    }
+}
+
+/// Fibonacci-hash an `i64` (must match the kernels' multiplier).
+fn hash_i64(v: i64) -> i64 {
+    (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as i64
+}
+
+/// FNV-1a over bytes (must match the kernels' basis and prime).
+fn hash_str(s: &str) -> i64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h as i64
+}
+
+/// Apply one scalar op element-wise over the operands — the oracle's
+/// counterpart of the vectorized `map` kernels, written lane-at-a-time.
+fn map_op(op: ScalarOp, operands: &[OOperand]) -> Result<Array, OracleError> {
+    let n = common_len(operands)?;
+    if operands.len() != op.arity() {
+        return Err(OracleError::NoKernel(format!(
+            "{} arity {} applied to {} operands",
+            op.name(),
+            op.arity(),
+            operands.len()
+        )));
+    }
+
+    let int_arith = |f: fn(i64, i64) -> i64| -> Result<Array, OracleError> {
+        let p = promoted(operands, op)?;
+        match p {
+            t if t.is_integer() => {
+                check_lanes(operands, is_int)?;
+                let mut out = Array::empty(t);
+                for i in 0..n {
+                    let a = int_lane(&operands[0], i)?;
+                    let b = int_lane(&operands[1], i)?;
+                    out.push(Scalar::int_of_type(f(a, b), t))?;
+                }
+                Ok(out)
+            }
+            ScalarType::F64 => Err(no_kernel(op, p)), // handled by caller
+            other => Err(no_kernel(op, other)),
+        }
+    };
+    let arith =
+        |f_int: fn(i64, i64) -> i64, f_f64: fn(f64, f64) -> f64| -> Result<Array, OracleError> {
+            let p = promoted(operands, op)?;
+            if p == ScalarType::F64 {
+                check_lanes(operands, is_numeric)?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(f_f64(
+                        f64_lane(&operands[0], i)?,
+                        f64_lane(&operands[1], i)?,
+                    ));
+                }
+                Ok(Array::F64(out))
+            } else {
+                int_arith(f_int)
+            }
+        };
+    let compare = |f: fn(std::cmp::Ordering) -> bool,
+                   f_eq_bool: Option<fn(bool, bool) -> bool>|
+     -> Result<Array, OracleError> {
+        let p = promoted(operands, op)?;
+        let mut out = Vec::with_capacity(n);
+        match p {
+            t if t.is_integer() => {
+                check_lanes(operands, is_int)?;
+                for i in 0..n {
+                    let a = int_lane(&operands[0], i)?;
+                    let b = int_lane(&operands[1], i)?;
+                    out.push(f(a.cmp(&b)));
+                }
+            }
+            ScalarType::F64 => {
+                check_lanes(operands, is_numeric)?;
+                for i in 0..n {
+                    let a = f64_lane(&operands[0], i)?;
+                    let b = f64_lane(&operands[1], i)?;
+                    // IEEE semantics: unordered (NaN) lanes satisfy only Ne.
+                    out.push(match a.partial_cmp(&b) {
+                        Some(ord) => f(ord),
+                        None => op == ScalarOp::Ne,
+                    });
+                }
+            }
+            ScalarType::Bool => {
+                check_lanes(operands, is_bool)?;
+                let g = f_eq_bool.ok_or_else(|| no_kernel(op, p))?;
+                for i in 0..n {
+                    out.push(g(bool_lane(&operands[0], i)?, bool_lane(&operands[1], i)?));
+                }
+            }
+            // Integers are covered by the guard above; Str is all that's
+            // left, but exhaustiveness can't see through the guard.
+            _ => {
+                check_lanes(operands, is_str)?;
+                for i in 0..n {
+                    let a = str_lane(&operands[0], i)?;
+                    let b = str_lane(&operands[1], i)?;
+                    out.push(f(a.cmp(&b)));
+                }
+            }
+        }
+        Ok(Array::Bool(out))
+    };
+
+    use std::cmp::Ordering;
+    match op {
+        ScalarOp::Add => arith(|a, b| a.wrapping_add(b), |a, b| a + b),
+        ScalarOp::Sub => arith(|a, b| a.wrapping_sub(b), |a, b| a - b),
+        ScalarOp::Mul => arith(|a, b| a.wrapping_mul(b), |a, b| a * b),
+        ScalarOp::Div => arith(
+            |a, b| if b == 0 { 0 } else { a.wrapping_div(b) },
+            |a, b| a / b,
+        ),
+        ScalarOp::Rem => arith(
+            |a, b| if b == 0 { 0 } else { a.wrapping_rem(b) },
+            |a, b| a % b,
+        ),
+        ScalarOp::Min => arith(|a, b| a.min(b), f64::min),
+        ScalarOp::Max => arith(|a, b| a.max(b), f64::max),
+        ScalarOp::Eq => compare(|o| o == Ordering::Equal, Some(|a, b| a == b)),
+        ScalarOp::Ne => compare(|o| o != Ordering::Equal, Some(|a, b| a != b)),
+        ScalarOp::Lt => compare(|o| o == Ordering::Less, Some(|a, b| !a & b)),
+        ScalarOp::Le => compare(|o| o != Ordering::Greater, Some(|a, b| a <= b)),
+        ScalarOp::Gt => compare(|o| o == Ordering::Greater, Some(|a, b| a & !b)),
+        ScalarOp::Ge => compare(|o| o != Ordering::Less, Some(|a, b| a >= b)),
+        ScalarOp::And | ScalarOp::Or => {
+            check_lanes(operands, is_bool)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let a = bool_lane(&operands[0], i)?;
+                let b = bool_lane(&operands[1], i)?;
+                out.push(if op == ScalarOp::And { a && b } else { a || b });
+            }
+            Ok(Array::Bool(out))
+        }
+        ScalarOp::Not => {
+            check_lanes(operands, is_bool)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(!bool_lane(&operands[0], i)?);
+            }
+            Ok(Array::Bool(out))
+        }
+        ScalarOp::Neg | ScalarOp::Abs => {
+            let t = operands[0].scalar_type();
+            if t.is_integer() {
+                check_lanes(operands, is_int)?;
+                let mut out = Array::empty(t);
+                for i in 0..n {
+                    let a = int_lane(&operands[0], i)?;
+                    let r = if op == ScalarOp::Neg {
+                        a.wrapping_neg()
+                    } else {
+                        a.wrapping_abs()
+                    };
+                    out.push(Scalar::int_of_type(r, t))?;
+                }
+                Ok(out)
+            } else if t == ScalarType::F64 {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let a = f64_lane(&operands[0], i)?;
+                    out.push(if op == ScalarOp::Neg { -a } else { a.abs() });
+                }
+                Ok(Array::F64(out))
+            } else {
+                Err(no_kernel(op, t))
+            }
+        }
+        ScalarOp::Sqrt => {
+            check_lanes(operands, is_numeric)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(f64_lane(&operands[0], i)?.sqrt());
+            }
+            Ok(Array::F64(out))
+        }
+        ScalarOp::Hash => {
+            let mut out = Vec::with_capacity(n);
+            match operands[0].scalar_type() {
+                ScalarType::Str => {
+                    for i in 0..n {
+                        out.push(hash_str(&str_lane(&operands[0], i)?));
+                    }
+                }
+                ScalarType::F64 => {
+                    for i in 0..n {
+                        out.push(hash_i64(f64_lane(&operands[0], i)?.to_bits() as i64));
+                    }
+                }
+                ScalarType::Bool => {
+                    for i in 0..n {
+                        out.push(hash_i64(bool_lane(&operands[0], i)? as i64));
+                    }
+                }
+                _ => {
+                    check_lanes(operands, is_int)?;
+                    for i in 0..n {
+                        out.push(hash_i64(int_lane(&operands[0], i)?));
+                    }
+                }
+            }
+            Ok(Array::I64(out))
+        }
+        ScalarOp::Cast(target) => {
+            let src = match &operands[0] {
+                OOperand::Col(a) => a.clone(),
+                OOperand::Const(s) => Array::splat(s, n),
+            };
+            Ok(src.cast(target)?)
+        }
+        ScalarOp::StrLen => {
+            check_lanes(operands, is_str)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(str_lane(&operands[0], i)?.len() as i64);
+            }
+            Ok(Array::I64(out))
+        }
+        ScalarOp::Concat => {
+            check_lanes(operands, is_str)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut s = str_lane(&operands[0], i)?;
+                s.push_str(&str_lane(&operands[1], i)?);
+                out.push(s);
+            }
+            Ok(Array::Str(out))
+        }
+    }
+}
+
+/// New selection from a boolean column: the lanes of `existing` (or all
+/// lanes) whose predicate is true.
+fn filter_bools(bools: &Array, existing: Option<&SelVec>) -> Result<SelVec, OracleError> {
+    let b = match bools {
+        Array::Bool(v) => v,
+        other => {
+            return Err(OracleError::NoKernel(format!(
+                "filter over {:?}",
+                other.scalar_type()
+            )))
+        }
+    };
+    let mut out = Vec::new();
+    match existing {
+        Some(sel) => {
+            for &i in sel.indices() {
+                if (i as usize) >= b.len() {
+                    return Err(OracleError::Precondition(format!(
+                        "selection index {i} out of range of {}-lane predicate",
+                        b.len()
+                    )));
+                }
+                if b[i as usize] {
+                    out.push(i);
+                }
+            }
+        }
+        None => {
+            for (i, &v) in b.iter().enumerate() {
+                if v {
+                    out.push(i as u32);
+                }
+            }
+        }
+    }
+    Ok(SelVec::new(out))
+}
+
+/// Reduce `input` (restricted to `sel`) with `f`, starting from `init` —
+/// the oracle's counterpart of the fold kernels, with identical promotion.
+fn fold(
+    f: FoldFn,
+    init: &Scalar,
+    input: &Array,
+    sel: Option<&SelVec>,
+) -> Result<Scalar, OracleError> {
+    let elem_ty = input.scalar_type();
+    let selected: Vec<usize> = match sel {
+        Some(s) => s.indices().iter().map(|&i| i as usize).collect(),
+        None => (0..input.len()).collect(),
+    };
+    match f {
+        FoldFn::Count => {
+            let base = init.as_i64().unwrap_or(0);
+            Ok(Scalar::I64(base + selected.len() as i64))
+        }
+        FoldFn::All | FoldFn::Any => {
+            let bools = match input {
+                Array::Bool(v) => v,
+                other => {
+                    return Err(OracleError::NoKernel(format!(
+                        "{} over {:?}",
+                        f.name(),
+                        other.scalar_type()
+                    )))
+                }
+            };
+            let init_b = init.as_bool().unwrap_or(f == FoldFn::All);
+            let result = if f == FoldFn::All {
+                init_b && selected.iter().all(|&i| bools[i])
+            } else {
+                init_b || selected.iter().any(|&i| bools[i])
+            };
+            Ok(Scalar::Bool(result))
+        }
+        FoldFn::Sum | FoldFn::Min | FoldFn::Max => {
+            let result_ty = if elem_ty == ScalarType::F64 {
+                ScalarType::F64
+            } else {
+                elem_ty
+                    .promote(init.scalar_type())
+                    .filter(|t| t.is_numeric())
+                    .ok_or_else(|| {
+                        OracleError::NoKernel(format!(
+                            "{} over {elem_ty:?} with {:?} init",
+                            f.name(),
+                            init.scalar_type()
+                        ))
+                    })?
+            };
+            if result_ty == ScalarType::F64 {
+                if !elem_ty.is_numeric() {
+                    return Err(OracleError::NoKernel(format!(
+                        "{} over {elem_ty:?}",
+                        f.name()
+                    )));
+                }
+                let init_v = init.as_f64().ok_or_else(|| {
+                    OracleError::NoKernel(format!("{} with non-numeric init", f.name()))
+                })?;
+                let mut acc = init_v;
+                for &i in &selected {
+                    let x = input.get(i)?.as_f64().expect("numeric checked");
+                    acc = match f {
+                        FoldFn::Sum => acc + x,
+                        FoldFn::Min => acc.min(x),
+                        FoldFn::Max => acc.max(x),
+                        _ => unreachable!(),
+                    };
+                }
+                Ok(Scalar::F64(acc))
+            } else {
+                let init_v = init.as_i64().ok_or_else(|| {
+                    OracleError::NoKernel(format!("{} with non-integer init", f.name()))
+                })?;
+                let mut acc = init_v;
+                for &i in &selected {
+                    let x = input.get(i)?.as_i64().expect("integer checked");
+                    acc = match f {
+                        FoldFn::Sum => acc.wrapping_add(x),
+                        FoldFn::Min => acc.min(x),
+                        FoldFn::Max => acc.max(x),
+                        _ => unreachable!(),
+                    };
+                }
+                Ok(Scalar::int_of_type(acc, result_ty))
+            }
+        }
+    }
+}
+
+/// Bounds-checked `data[indices[i]]`.
+fn gather(data: &Array, indices: &Array) -> Result<Array, OracleError> {
+    if !indices.scalar_type().is_integer() {
+        return Err(OracleError::NoKernel(format!(
+            "gather with {:?} indices",
+            indices.scalar_type()
+        )));
+    }
+    let n = data.len();
+    let mut out = Array::empty(data.scalar_type());
+    for i in 0..indices.len() {
+        let idx = indices.get(i)?.as_i64().expect("integer checked");
+        if idx < 0 || idx as usize >= n {
+            return Err(OracleError::Storage(StorageError::OutOfBounds {
+                index: idx.max(0) as usize,
+                len: n,
+            }));
+        }
+        out.push(data.get(idx as usize)?)?;
+    }
+    Ok(out)
+}
+
+/// Random write with conflict handling; the target grows with defaults.
+fn scatter(
+    target: &mut Array,
+    indices: &Array,
+    values: &Array,
+    conflict: ConflictFn,
+) -> Result<(), OracleError> {
+    if !indices.scalar_type().is_integer() {
+        return Err(OracleError::NoKernel(format!(
+            "scatter with {:?} indices",
+            indices.scalar_type()
+        )));
+    }
+    if indices.len() != values.len() {
+        return Err(OracleError::LengthMismatch {
+            left: indices.len(),
+            right: values.len(),
+        });
+    }
+    if values.scalar_type() != target.scalar_type() {
+        return Err(OracleError::Storage(StorageError::TypeMismatch {
+            expected: target.scalar_type(),
+            found: values.scalar_type(),
+        }));
+    }
+    let idx: Vec<i64> = (0..indices.len())
+        .map(|i| indices.get(i).map(|s| s.as_i64().expect("integer checked")))
+        .collect::<Result<_, _>>()?;
+    if let Some(&max) = idx.iter().max() {
+        if max < 0 {
+            return Err(OracleError::Precondition("negative scatter index".into()));
+        }
+        let needed = max as usize + 1;
+        while target.len() < needed {
+            target.push(default_scalar(target.scalar_type()))?;
+        }
+    }
+    for (i, &at) in idx.iter().enumerate() {
+        let old = target.get(at as usize)?;
+        let new = values.get(i)?;
+        let merged = conflict_merge(&old, &new, conflict)?;
+        target.write_at(at as usize, &Array::splat(&merged, 1))?;
+    }
+    Ok(())
+}
+
+fn default_scalar(ty: ScalarType) -> Scalar {
+    match ty {
+        t if t.is_integer() => Scalar::int_of_type(0, t),
+        ScalarType::F64 => Scalar::F64(0.0),
+        ScalarType::Bool => Scalar::Bool(false),
+        ScalarType::Str => Scalar::Str(String::new()),
+        _ => unreachable!("all types covered"),
+    }
+}
+
+/// Scatter conflict resolution on same-typed scalars.
+///
+/// Integer `add` is computed at `i64` and truncated to the slot width —
+/// identical to the engine's native-width addition in release builds (the
+/// fuzzer keeps scattered values small so debug overflow checks never
+/// fire on either side).
+fn conflict_merge(old: &Scalar, new: &Scalar, c: ConflictFn) -> Result<Scalar, OracleError> {
+    let ty = old.scalar_type();
+    Ok(match (ty, c) {
+        (_, ConflictFn::LastWins) if ty != ScalarType::Str => new.clone(),
+        (ScalarType::Str, ConflictFn::LastWins) => new.clone(),
+        (ScalarType::Str, other) => {
+            return Err(OracleError::Precondition(format!(
+                "scatter conflict {other:?} not defined for strings"
+            )))
+        }
+        (ScalarType::Bool, ConflictFn::Add) | (ScalarType::Bool, ConflictFn::Max) => {
+            Scalar::Bool(old.as_bool().expect("bool") | new.as_bool().expect("bool"))
+        }
+        (ScalarType::Bool, ConflictFn::Min) => {
+            Scalar::Bool(old.as_bool().expect("bool") & new.as_bool().expect("bool"))
+        }
+        (ScalarType::F64, ConflictFn::Add) => {
+            Scalar::F64(old.as_f64().expect("f64") + new.as_f64().expect("f64"))
+        }
+        (ScalarType::F64, ConflictFn::Min) => {
+            let (o, nv) = (old.as_f64().expect("f64"), new.as_f64().expect("f64"));
+            Scalar::F64(if nv < o { nv } else { o })
+        }
+        (ScalarType::F64, ConflictFn::Max) => {
+            let (o, nv) = (old.as_f64().expect("f64"), new.as_f64().expect("f64"));
+            Scalar::F64(if nv > o { nv } else { o })
+        }
+        (t, ConflictFn::Add) => {
+            let (o, nv) = (old.as_i64().expect("int"), new.as_i64().expect("int"));
+            Scalar::int_of_type(o.wrapping_add(nv), t)
+        }
+        (t, ConflictFn::Min) => {
+            let (o, nv) = (old.as_i64().expect("int"), new.as_i64().expect("int"));
+            Scalar::int_of_type(if nv < o { nv } else { o }, t)
+        }
+        (t, ConflictFn::Max) => {
+            let (o, nv) = (old.as_i64().expect("int"), new.as_i64().expect("int"));
+            Scalar::int_of_type(if nv > o { nv } else { o }, t)
+        }
+        (_, ConflictFn::LastWins) => unreachable!("handled above"),
+    })
+}
+
+/// Sorted-input merge, mirroring the kernel's preconditions: equal types,
+/// verified sortedness, no NaN on float inputs, no boolean merges.
+fn merge(kind: MergeKind, left: &Array, right: &Array) -> Result<Array, OracleError> {
+    use std::cmp::Ordering::{self, Equal, Greater, Less};
+    if left.scalar_type() != right.scalar_type() {
+        return Err(OracleError::NoKernel(format!(
+            "merge {} over {:?} and {:?}",
+            kind.name(),
+            left.scalar_type(),
+            right.scalar_type()
+        )));
+    }
+    let ty = left.scalar_type();
+    if ty == ScalarType::Bool {
+        return Err(OracleError::NoKernel("merge over Bool".into()));
+    }
+    if ty == ScalarType::F64 {
+        let has_nan = |a: &Array| {
+            (0..a.len()).any(|i| {
+                a.get(i)
+                    .ok()
+                    .and_then(|s| s.as_f64())
+                    .is_some_and(f64::is_nan)
+            })
+        };
+        if has_nan(left) || has_nan(right) {
+            return Err(OracleError::Precondition("merge input contains NaN".into()));
+        }
+    }
+    let cmp = |a: &Array, i: usize, b: &Array, j: usize| -> Ordering {
+        let x = a.get(i).expect("in range");
+        let y = b.get(j).expect("in range");
+        match (x, y) {
+            (Scalar::F64(x), Scalar::F64(y)) => x.partial_cmp(&y).expect("NaN excluded"),
+            (Scalar::Str(x), Scalar::Str(y)) => x.cmp(&y),
+            (x, y) => x
+                .as_i64()
+                .expect("integer")
+                .cmp(&y.as_i64().expect("integer")),
+        }
+    };
+    for (name, side) in [("left", left), ("right", right)] {
+        for i in 1..side.len() {
+            if cmp(side, i - 1, side, i) == Greater {
+                return Err(OracleError::Precondition(format!(
+                    "merge {name} input is not sorted"
+                )));
+            }
+        }
+    }
+    let (nl, nr) = (left.len(), right.len());
+    Ok(match kind {
+        MergeKind::Union => {
+            let mut out = Array::empty(ty);
+            let (mut i, mut j) = (0, 0);
+            while i < nl && j < nr {
+                if cmp(left, i, right, j) != Greater {
+                    out.push(left.get(i)?)?;
+                    i += 1;
+                } else {
+                    out.push(right.get(j)?)?;
+                    j += 1;
+                }
+            }
+            while i < nl {
+                out.push(left.get(i)?)?;
+                i += 1;
+            }
+            while j < nr {
+                out.push(right.get(j)?)?;
+                j += 1;
+            }
+            out
+        }
+        MergeKind::Intersect => {
+            let mut out = Array::empty(ty);
+            let (mut i, mut j) = (0, 0);
+            while i < nl && j < nr {
+                match cmp(left, i, right, j) {
+                    Less => i += 1,
+                    Greater => j += 1,
+                    Equal => {
+                        out.push(left.get(i)?)?;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out
+        }
+        MergeKind::Diff => {
+            let mut out = Array::empty(ty);
+            let (mut i, mut j) = (0, 0);
+            while i < nl {
+                if j >= nr {
+                    out.push(left.get(i)?)?;
+                    i += 1;
+                    continue;
+                }
+                match cmp(left, i, right, j) {
+                    Less => {
+                        out.push(left.get(i)?)?;
+                        i += 1;
+                    }
+                    Greater => j += 1,
+                    Equal => i += 1,
+                }
+            }
+            out
+        }
+        MergeKind::JoinLeftIdx | MergeKind::JoinRightIdx => {
+            let mut li: Vec<i64> = Vec::new();
+            let mut ri: Vec<i64> = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < nl && j < nr {
+                match cmp(left, i, right, j) {
+                    Less => i += 1,
+                    Greater => j += 1,
+                    Equal => {
+                        let mut i_end = i + 1;
+                        while i_end < nl && cmp(left, i_end, left, i) == Equal {
+                            i_end += 1;
+                        }
+                        let mut j_end = j + 1;
+                        while j_end < nr && cmp(right, j_end, right, j) == Equal {
+                            j_end += 1;
+                        }
+                        for a in i..i_end {
+                            for b in j..j_end {
+                                li.push(a as i64);
+                                ri.push(b as i64);
+                            }
+                        }
+                        i = i_end;
+                        j = j_end;
+                    }
+                }
+            }
+            Array::I64(if kind == MergeKind::JoinLeftIdx {
+                li
+            } else {
+                ri
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, buffers: OracleBuffers) -> Result<OracleBuffers, OracleError> {
+        let p = parse_program(src).unwrap();
+        Oracle::new(1024).run(&p, buffers)
+    }
+
+    #[test]
+    fn basic_pipeline() {
+        let b = OracleBuffers::new().with_input("xs", Array::from(vec![1i64, 5, 8, 12]));
+        let out = run(
+            "let a = read 0 xs in { let t = filter (\\x -> x > 2 && x < 10) a in { write out 0 (condense t) } }",
+            b,
+        )
+        .unwrap();
+        assert_eq!(out.output("out").unwrap(), &Array::from(vec![5i64, 8]));
+    }
+
+    #[test]
+    fn fold_promotion_and_count() {
+        let b = OracleBuffers::new().with_input("xs", Array::from(vec![1i64, 2, 3]));
+        let out = run(
+            "let a = read 0 xs in { let s = fold sum 10 a in { write out 0 s } }",
+            b,
+        )
+        .unwrap();
+        assert_eq!(out.output("out").unwrap(), &Array::from(vec![16i64]));
+    }
+
+    #[test]
+    fn merge_and_scatter() {
+        let b = OracleBuffers::new()
+            .with_input("xs", Array::from(vec![1i64, 3, 5]))
+            .with_input("ys", Array::from(vec![2i64, 3]));
+        let out = run(
+            "let a = read 0 xs in { let b = read 0 ys in { let m = merge union a b in { write out 0 m } } }",
+            b,
+        )
+        .unwrap();
+        assert_eq!(
+            out.output("out").unwrap(),
+            &Array::from(vec![1i64, 2, 3, 3, 5])
+        );
+
+        let b = OracleBuffers::new()
+            .with_input("vals", Array::from(vec![5i64, 7, 9]))
+            .with_input("keys", Array::from(vec![1i64, 1, 0]));
+        let out = run(
+            "let k = read 0 keys in { let v = read 0 vals in { scatter agg k v add } }",
+            b,
+        )
+        .unwrap();
+        assert_eq!(out.output("agg").unwrap(), &Array::from(vec![9i64, 12]));
+    }
+
+    #[test]
+    fn loops_and_short_reads() {
+        // Chunked copy loop: terminates via the empty tail read.
+        let src = "mut i\ni := 0\nloop {\n  let c = read i xs in {\n    if len(c) == 0 then { break }\n    write out i c\n    i := i + len(c)\n  }\n}";
+        let data: Vec<i64> = (0..3000).collect();
+        let b = OracleBuffers::new().with_input("xs", Array::from(data.clone()));
+        let out = run(src, b).unwrap();
+        assert_eq!(out.output("out").unwrap(), &Array::from(data));
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        // Negative gen length.
+        let err = run(
+            "let g = gen (\\i -> i) (0 - 5) in { write out 0 g }",
+            OracleBuffers::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OracleError::Shape(_)));
+        // Negative read position.
+        let b = OracleBuffers::new().with_input("xs", Array::from(vec![1i64]));
+        let err = run("let a = read (0 - 1) xs in { write out 0 a }", b).unwrap_err();
+        assert!(matches!(err, OracleError::Shape(_)));
+        // Unknown buffer / unbound var.
+        let err = run("write out 0 missing", OracleBuffers::new()).unwrap_err();
+        assert!(matches!(err, OracleError::Unbound(_)));
+        let err = run(
+            "let a = read 0 nope in { write out 0 a }",
+            OracleBuffers::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OracleError::UnknownBuffer(_)));
+        // Unsorted merge input.
+        let b = OracleBuffers::new()
+            .with_input("xs", Array::from(vec![3i64, 1]))
+            .with_input("ys", Array::from(vec![2i64]));
+        let err = run(
+            "let a = read 0 xs in { let b = read 0 ys in { write out 0 (merge union a b) } }",
+            b,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OracleError::Precondition(_)));
+    }
+
+    #[test]
+    fn iteration_guard() {
+        let err = parse_program("loop { }")
+            .map(|p| {
+                Oracle::new(16)
+                    .with_max_iterations(8)
+                    .run(&p, OracleBuffers::new())
+            })
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err, OracleError::IterationLimit(8));
+    }
+
+    #[test]
+    fn hash_constants_match_kernels() {
+        // Pinned values: if the kernels' multiplier/basis ever change,
+        // these fail before the fuzzer does.
+        assert_eq!(hash_i64(1), 0x9E37_79B9_7F4A_7C15u64 as i64);
+        assert_eq!(hash_str(""), 0xcbf2_9ce4_8422_2325u64 as i64);
+    }
+}

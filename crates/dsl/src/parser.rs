@@ -691,7 +691,10 @@ impl Parser {
                     if let Some(call) = self.named_call(&name)? {
                         return Ok(call);
                     }
-                    return Err(self.err(format!("unknown function {name}")));
+                    // Not a known function: a variable atom followed by a
+                    // parenthesized atom (skeletons take juxtaposed atoms,
+                    // e.g. `fold max acc (read 0 xs)`). Leave the LParen
+                    // for the caller.
                 }
                 Ok(Expr::Var(name))
             }
@@ -849,5 +852,26 @@ mod tests {
     fn float_literals() {
         assert_eq!(parse_expr("2.5").unwrap(), float(2.5));
         assert_eq!(parse_expr("-1.5").unwrap(), un(ScalarOp::Neg, float(1.5)));
+    }
+
+    #[test]
+    fn variable_atom_before_parenthesized_atom() {
+        // Regression (found by the query fuzzer): in a juxtaposed-atom
+        // position, `acc (read 0 xs)` is a variable atom followed by a
+        // parenthesized atom — not a call to an unknown function `acc`.
+        let e = parse_expr("fold max acc (read 0 xs)").unwrap();
+        assert_eq!(
+            e,
+            fold(
+                FoldFn::Max,
+                var("acc"),
+                read(Expr::Const(Scalar::I64(0)), "xs"),
+            )
+        );
+        // Known function names in call position still parse as calls.
+        assert_eq!(
+            parse_expr("max(a, b)").unwrap(),
+            bin(ScalarOp::Max, var("a"), var("b"))
+        );
     }
 }

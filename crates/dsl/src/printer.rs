@@ -133,7 +133,9 @@ fn lambda(f: &Lambda, out: &mut String) {
         out.push_str(p);
     }
     out.push_str(" -> ");
-    expr(&f.body, out);
+    // The parser reads lambda bodies with the scalar-expression grammar,
+    // so a scalar-typed skeleton body (e.g. a fold) must be parenthesized.
+    scalar_expr(&f.body, 0, out);
     out.push(')');
 }
 
@@ -230,6 +232,18 @@ fn infix_symbol(op: ScalarOp) -> Option<&'static str> {
     })
 }
 
+/// Format an `f64` constant so it re-lexes as a float: Rust's `Display`
+/// prints `1.0` as `"1"`, which the lexer would read back as an *integer*
+/// constant, silently changing the expression's type.
+fn f64_text(v: f64) -> String {
+    let s = v.to_string();
+    if s.contains('.') || !v.is_finite() {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
 fn scalar_expr(e: &Expr, parent_prec: u8, out: &mut String) {
     match e {
         Expr::Const(s) => match s {
@@ -238,6 +252,7 @@ fn scalar_expr(e: &Expr, parent_prec: u8, out: &mut String) {
                 out.push_str(v);
                 out.push('"');
             }
+            Scalar::F64(v) => out.push_str(&f64_text(*v)),
             other => out.push_str(&other.to_string()),
         },
         Expr::Var(v) => out.push_str(v),
@@ -307,7 +322,7 @@ fn atom(e: &Expr, out: &mut String) {
     match e {
         Expr::Var(_) => expr(e, out),
         Expr::Const(Scalar::I64(v)) if *v >= 0 => out.push_str(&v.to_string()),
-        Expr::Const(Scalar::F64(v)) if *v >= 0.0 => out.push_str(&v.to_string()),
+        Expr::Const(Scalar::F64(v)) if *v >= 0.0 => out.push_str(&f64_text(*v)),
         Expr::Const(Scalar::Bool(b)) => out.push_str(if *b { "true" } else { "false" }),
         Expr::Const(Scalar::Str(s)) => {
             out.push('"');
@@ -336,6 +351,46 @@ mod tests {
             panic!("reparse of {printed:?} failed: {err}");
         });
         assert_eq!(e, e2, "print was {printed:?}");
+    }
+
+    #[test]
+    fn whole_valued_floats_stay_floats() {
+        // Regression: `Display` prints 1.0 as "1", which re-lexes as an
+        // integer constant and silently retypes the expression.
+        use crate::ast::build::*;
+        use adaptvm_storage::scalar::Scalar;
+        for v in [0.0, 1.0, -2.0, 1.5, 100.0] {
+            let e = Expr::Const(Scalar::F64(v));
+            let printed = print_expr(&e);
+            let back = parse_expr(&printed).unwrap();
+            let want = if v < 0.0 {
+                un(crate::ast::ScalarOp::Neg, float(-v))
+            } else {
+                float(v)
+            };
+            assert_eq!(back, want, "printed {printed:?}");
+        }
+    }
+
+    #[test]
+    fn skeleton_lambda_bodies_are_parenthesized() {
+        // Regression (found by the query fuzzer): a scalar-typed skeleton
+        // as a lambda body — e.g. `map (\x -> fold all false bs) xs` — was
+        // printed bare, but the parser reads lambda bodies with the scalar
+        // grammar and needs the parens.
+        use crate::ast::{build, FoldFn, Lambda};
+        let e = build::map(
+            Lambda::new(
+                vec!["x"],
+                build::fold(FoldFn::All, build::boolean(false), build::var("bs")),
+            ),
+            vec![build::var("xs")],
+        );
+        let printed = print_expr(&e);
+        let back = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("reparse of {printed:?} failed: {err}");
+        });
+        assert_eq!(back, e, "printed {printed:?}");
     }
 
     #[test]

@@ -172,6 +172,44 @@ fn apply_type(op: ScalarOp, args: &[ScalarType]) -> Result<ScalarType, DslError>
     }
 }
 
+/// Reject skeletons nested inside a lambda body. Lambdas are lifted to
+/// whole-vector kernels, so their bodies must be per-lane scalar
+/// computation; a nested skeleton (e.g. a fold over a buffer read) would
+/// need per-lane re-evaluation, which the vectorized execution model
+/// cannot express — and which a naive per-lane interpreter *would*
+/// evaluate, silently diverging.
+fn check_lambda_body_shape(e: &Expr) -> Result<(), DslError> {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => Ok(()),
+        Expr::Apply(_, args) => {
+            for a in args {
+                check_lambda_body_shape(a)?;
+            }
+            Ok(())
+        }
+        Expr::Len(inner) => check_lambda_body_shape(inner),
+        other => Err(DslError::Type(format!(
+            "lambda bodies must be scalar expressions over their parameters; \
+             nested `{}` is not supported",
+            skeleton_name(other)
+        ))),
+    }
+}
+
+fn skeleton_name(e: &Expr) -> &'static str {
+    match e {
+        Expr::Map { .. } => "map",
+        Expr::Filter { .. } => "filter",
+        Expr::Fold { .. } => "fold",
+        Expr::Read { .. } => "read",
+        Expr::Gather { .. } => "gather",
+        Expr::Gen { .. } => "gen",
+        Expr::Condense(_) => "condense",
+        Expr::Merge { .. } => "merge",
+        _ => "expression",
+    }
+}
+
 /// Infer a lambda's result element type given its inputs' element types.
 pub fn infer_lambda(
     f: &Lambda,
@@ -185,6 +223,7 @@ pub fn infer_lambda(
             arg_types.len()
         )));
     }
+    check_lambda_body_shape(&f.body)?;
     let mut inner = env.clone();
     for (p, &t) in f.params.iter().zip(arg_types) {
         inner.vars.insert(p.clone(), Type::Scalar(t));
@@ -272,7 +311,13 @@ pub fn infer_expr(e: &Expr, env: &TypeEnv) -> Result<Type, DslError> {
             if !it.is_array() {
                 return Err(DslError::Type(format!("fold needs an array, got {it}")));
             }
-            let init_t = infer_expr(init, env)?.element();
+            let init_ty = infer_expr(init, env)?;
+            if init_ty.is_array() {
+                return Err(DslError::Type(format!(
+                    "fold init must be scalar, got {init_ty}"
+                )));
+            }
+            let init_t = init_ty.element();
             let elem = it.element();
             let result = match r {
                 FoldFn::Count => ScalarType::I64,
@@ -597,10 +642,142 @@ mod tests {
     }
 
     #[test]
+    fn fold_init_must_be_scalar() {
+        // Regression: an array-typed fold init used to pass the checker
+        // (via `.element()`) and only fail at runtime.
+        let err = ty("fold sum (read 0 ys) (read 0 xs)").unwrap_err();
+        assert!(
+            matches!(&err, DslError::Type(m) if m.contains("fold init must be scalar")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn every_scalar_op_error_path() {
+        // apply_type rejections, one per arm.
+        assert!(ty("true + false").is_err()); // arith needs numbers
+        assert!(ty("sqrt(\"x\")").is_err()); // sqrt needs a number
+        assert!(ty("abs(true)").is_err()); // abs/neg need numbers
+        assert!(ty("\"a\" == 1").is_err()); // incomparable Eq/Ne
+        assert!(ty("true < false").is_err()); // unordered Lt..Ge
+        assert!(ty("1 || true").is_err()); // and/or need bools
+        assert!(ty("!(1)").is_err()); // not needs bool
+        assert!(ty("strlen(1)").is_err()); // strlen needs a string
+        assert!(ty("concat(1, \"a\")").is_err()); // concat needs strings
+                                                  // Arity mismatch (builder-only; the parser fixes arity).
+        use crate::ast::build::*;
+        let bad = Expr::Apply(ScalarOp::Add, vec![int(1)]);
+        assert!(matches!(
+            infer_expr(&bad, &env()),
+            Err(DslError::Type(m)) if m.contains("operands")
+        ));
+    }
+
+    #[test]
+    fn every_skeleton_error_path() {
+        use crate::ast::build::*;
+        // Lambda body must be scalar (an array-producing skeleton is
+        // rejected by the body-shape rule).
+        let bad = map(lam1("x", read(int(0), "xs")), vec![read(int(0), "ys")]);
+        assert!(matches!(
+            infer_expr(&bad, &env()),
+            Err(DslError::Type(m)) if m.contains("must be scalar")
+        ));
+        // len of a scalar.
+        assert!(ty("len(1)").is_err());
+        // Filter: no inputs / scalar input / non-bool predicate.
+        let none = filter_multi(lam1("x", bin(ScalarOp::Gt, var("x"), int(0))), vec![]);
+        assert!(infer_expr(&none, &env()).is_err());
+        assert!(ty("filter (\\x -> x > 0) 1").is_err());
+        assert!(ty("filter (\\x -> x + 1) (read 0 xs)").is_err());
+        // Fold: scalar input / all over ints / sum over strings /
+        // incompatible init.
+        assert!(ty("fold sum 0 1").is_err());
+        assert!(ty("fold any 0 (read 0 xs)").is_err());
+        let senv = env().with_buffer("ss", ScalarType::Str);
+        assert!(infer_expr(&parse_expr("fold min 0 (read 0 ss)").unwrap(), &senv).is_err());
+        assert!(infer_expr(&parse_expr("fold sum \"s\" (read 0 xs)").unwrap(), &senv).is_err());
+        // Read/gen positions and lengths must be scalar integers.
+        assert!(ty("read 1.5 xs").is_err());
+        assert!(ty("read (read 0 xs) xs").is_err());
+        assert!(ty("gen (\\i -> i) 1.5").is_err());
+        // Gather needs integer indices.
+        assert!(infer_expr(
+            &parse_expr("gather (read 0 fs) xs").unwrap(),
+            &env().with_buffer("fs", ScalarType::F64)
+        )
+        .is_err());
+        // Condense and merge need arrays; merge elements must agree.
+        assert!(ty("condense 1").is_err());
+        assert!(ty("merge union 1 2").is_err());
+        assert!(infer_expr(
+            &parse_expr("merge union (read 0 xs) (read 0 fs)").unwrap(),
+            &env().with_buffer("fs", ScalarType::F64)
+        )
+        .is_err());
+        // Unbound buffer is DslError::Unbound.
+        assert!(matches!(ty("read 0 nope"), Err(DslError::Unbound(_))));
+    }
+
+    #[test]
+    fn every_statement_error_path() {
+        let e = env();
+        // Scatter: non-integer indices, element mismatch, unknown target.
+        let p =
+            parse_program("let i = read 0 fs in { let v = read 0 xs in { scatter w i v add } }")
+                .unwrap();
+        assert!(check_program(&p, &e.clone().with_buffer("fs", ScalarType::F64)).is_err());
+        let p =
+            parse_program("let i = read 0 xs in { let v = read 0 fs in { scatter w i v add } }")
+                .unwrap();
+        assert!(check_program(&p, &e.clone().with_buffer("fs", ScalarType::F64)).is_err());
+        let p =
+            parse_program("let i = read 0 xs in { let v = read 0 xs in { scatter gone i v add } }")
+                .unwrap();
+        assert!(matches!(check_program(&p, &e), Err(DslError::Unbound(_))));
+        // Write: unknown target / non-integer position.
+        let p = parse_program("let a = read 0 xs in { write gone 0 a }").unwrap();
+        assert!(matches!(check_program(&p, &e), Err(DslError::Unbound(_))));
+        let p = parse_program("let a = read 0 xs in { write v 1.5 a }").unwrap();
+        assert!(check_program(&p, &e).is_err());
+    }
+
+    #[test]
     fn let_scoping_restores() {
         // `a` out of scope after the let body.
         let p = parse_program("let a = read 0 xs in { write v 0 a }\nwrite v 0 a").unwrap();
         let err = check_program(&p, &env()).unwrap_err();
         assert!(matches!(err, DslError::Unbound(name) if name == "a"));
+    }
+
+    #[test]
+    fn skeletons_inside_lambda_bodies_are_rejected() {
+        // Regression (found by the query fuzzer): a scalar-typed fold
+        // inside a map lambda used to typecheck, but the vectorized
+        // engine cannot evaluate per-lane skeletons — and the normalizer
+        // leaked the parameter out of scope while flattening. Such bodies
+        // are now a type error.
+        let e = env();
+        let p = parse_program(
+            "let r = map (\\x -> (fold min x (read 0 xs))) (read 0 xs) in { write v 0 r }",
+        )
+        .unwrap();
+        assert!(matches!(check_program(&p, &e), Err(DslError::Type(_))));
+        // Same rule for filter predicates and gen bodies.
+        let p = parse_program(
+            "let r = filter (\\x -> (fold any false (x > (read 0 xs)))) (read 0 xs) in { write v 0 r }",
+        )
+        .unwrap();
+        assert!(matches!(check_program(&p, &e), Err(DslError::Type(_))));
+        let p =
+            parse_program("let r = gen (\\i -> i + (fold sum 0 (read 0 xs))) 4 in { write v 0 r }")
+                .unwrap();
+        assert!(matches!(check_program(&p, &e), Err(DslError::Type(_))));
+        // Plain scalar bodies (including len of a bound array) still pass.
+        let p = parse_program(
+            "let a = read 0 xs in { let r = map (\\x -> x + len(a)) a in { write v 0 r } }",
+        )
+        .unwrap();
+        check_program(&p, &e).unwrap();
     }
 }

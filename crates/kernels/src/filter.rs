@@ -69,6 +69,7 @@ pub fn filter_cmp(
         });
     }
     let n = common_len(operands)?;
+    check_existing(existing, n)?;
     match flavor {
         FilterFlavor::ComputeAll => {
             let bools = map_apply(op, operands, None, MapMode::Full)?;
@@ -97,6 +98,7 @@ pub fn filter_bools(
         op: "filter-bools".into(),
         types: vec![bools.scalar_type()],
     })?;
+    check_existing(existing, b.len())?;
     match flavor {
         FilterFlavor::Bitmap => {
             let bm = Bitmap::from_bools(b);
@@ -127,6 +129,23 @@ pub fn filter_bools(
             Ok(SelVec::new(out))
         }
     }
+}
+
+/// Every index of a pending selection must address a lane of the filter
+/// input. Out-of-range indices (a predicate column shorter than the flow
+/// carrier) would otherwise index past the column — and the three flavors
+/// would disagree on how. One typed error keeps them identical.
+fn check_existing(existing: Option<&SelVec>, n: usize) -> Result<(), KernelError> {
+    if let Some(sel) = existing {
+        for &i in sel.indices() {
+            if (i as usize) >= n {
+                return Err(KernelError::Precondition(format!(
+                    "selection index {i} out of range of {n}-lane filter input"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn selvec_loop(
@@ -326,6 +345,36 @@ mod tests {
             FilterFlavor::SelVecLoop
         )
         .is_err());
+    }
+
+    #[test]
+    fn out_of_range_selection_is_typed_error() {
+        // Regression: a pending selection addressing lanes past the
+        // predicate column used to panic in ComputeAll and silently
+        // mis-compare in SelVecLoop; now every flavor reports the same
+        // typed precondition error.
+        let sel = SelVec::new(vec![0, 5]);
+        let short = Array::from(vec![true, false]);
+        for flavor in FilterFlavor::ALL {
+            assert!(
+                matches!(
+                    filter_bools(&short, Some(&sel), flavor),
+                    Err(KernelError::Precondition(_))
+                ),
+                "{flavor:?}"
+            );
+        }
+        let d = Array::from(vec![1i64, 2]);
+        let ops = [Operand::Col(&d), Operand::Const(Scalar::I64(0))];
+        for flavor in FilterFlavor::ALL {
+            assert!(
+                matches!(
+                    filter_cmp(ScalarOp::Gt, &ops, Some(&sel), flavor),
+                    Err(KernelError::Precondition(_))
+                ),
+                "{flavor:?}"
+            );
+        }
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub fn scatter(
     }
     // Grow the target to cover the maximum index.
     if let Some(&max) = idx.iter().max() {
-        if max < 0 {
+        // Every index must be validated, not just the maximum: a mixed
+        // vector like [5, -1] passes a max-only check and then wraps to a
+        // huge usize at write time.
+        if idx.iter().any(|&i| i < 0) {
             return Err(KernelError::Precondition("negative scatter index".into()));
         }
         let needed = max as usize + 1;
@@ -248,6 +251,15 @@ mod tests {
             &Array::from(vec![-1i64]),
             &Array::from(vec![1i64]),
             ConflictFn::Add
+        )
+        .is_err());
+        // Mixed-sign indices: a positive maximum must not mask a negative
+        // entry (regression — this used to wrap to a huge usize and panic).
+        assert!(scatter(
+            &mut t,
+            &Array::from(vec![5i64, -1]),
+            &Array::from(vec![1i64, 2]),
+            ConflictFn::LastWins
         )
         .is_err());
         // String min undefined.

@@ -37,7 +37,14 @@
 //! * [`sort`] — external merge sort on the same protocol: morsel-parallel
 //!   sorted-run generation, budget-charged resident runs, spilled runs
 //!   streamed through a k-way merge that reproduces the stable in-memory
-//!   sort bit for bit (plus budgeted top-k).
+//!   sort bit for bit (plus budgeted top-k),
+//! * [`workload`] — the DSL→engine bridge: compile DSL *text* against a
+//!   buffer schema (parse → typecheck → normalize → re-check) into a
+//!   [`workload::Workload`] runnable under any VM strategy × any executor
+//!   (scoped pool / [`adaptvm_parallel::Scheduler`] /
+//!   [`adaptvm_parallel::QueryService`] with tenant + priority) ×
+//!   optional [`adaptvm_parallel::MemoryBudget`], with results
+//!   bit-identical across all of them.
 
 pub mod agg;
 pub mod compressed_exec;
@@ -47,3 +54,4 @@ pub mod parallel;
 pub mod sort;
 pub mod spill;
 pub mod tpch;
+pub mod workload;

@@ -923,6 +923,123 @@ pub fn q6_parallel(
     Ok((revenue, report))
 }
 
+/// Morsel-parallel TPC-H Q18 (large-volume customer): the big group-by —
+/// `sum(l_quantity) by l_orderkey` through the **spillable** parallel
+/// aggregate ([`crate::spill::parallel_hash_aggregate_spill`], which
+/// binds `opts`' effective memory budget) — feeding a filter
+/// (`total > threshold`) and a join back to `orders` for the date.
+///
+/// Bit-identical to [`tpch::q18_reference`] at every worker count,
+/// budget, and executor: the spilling aggregate is bit-identical to the
+/// sequential fold and already key-sorted, and the join is a point
+/// lookup per surviving group.
+pub fn q18_parallel(
+    lineitem: &Table,
+    orders: &Table,
+    threshold: f64,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(Vec<tpch::Q18Row>, adaptvm_parallel::SpillStats)> {
+    use adaptvm_kernels::KernelError;
+    let (groups, stats) =
+        crate::spill::parallel_hash_aggregate_spill(lineitem, "l_orderkey", "l_quantity", opts)?;
+    let okey = orders
+        .column_by_name("o_orderkey")
+        .map_err(KernelError::Storage)?
+        .to_i64_vec()
+        .ok_or_else(|| KernelError::Precondition("o_orderkey must be integer".into()))?;
+    let odate = orders
+        .column_by_name("o_orderdate")
+        .map_err(KernelError::Storage)?
+        .to_i64_vec()
+        .ok_or_else(|| KernelError::Precondition("o_orderdate must be integer".into()))?;
+    let dates: HashMap<i64, i64> = okey.into_iter().zip(odate).collect();
+    let rows = groups
+        .into_iter()
+        .filter(|(_, g)| g.sum > threshold)
+        .filter_map(|(k, g)| {
+            dates.get(&k).map(|&d| tpch::Q18Row {
+                o_orderkey: k,
+                o_orderdate: d,
+                total_qty: g.sum,
+                line_count: g.count,
+            })
+        })
+        .collect();
+    Ok((rows, stats))
+}
+
+/// Morsel-parallel TPC-H Q9 (product-type profit): a **mixed-key**
+/// adaptive join chain — two integer sides (selective part filter,
+/// supplier) and one Utf8 side (brand) — probed batch-by-batch under the
+/// reorder controller, with exact whole-cent profit grouped by the
+/// supplier's nation.
+///
+/// `batch_rows` sets the reorder observation granularity (one folded
+/// observation per join per batch); `bloom` builds every side with a
+/// Bloom pre-filter. Results are bit-identical to
+/// [`tpch::q9_reference`] for every worker count, batch size, Bloom
+/// setting, and executor — survivors merge in morsel order and the
+/// profit accumulators are integers. Returns the rows plus the number of
+/// join-order changes the controller made.
+pub fn q9_parallel(
+    data: &tpch::Q9Data,
+    batch_rows: usize,
+    bloom: bool,
+    every: u64,
+    opts: ParallelOpts<'_>,
+) -> OpResult<(Vec<tpch::Q9Row>, u64)> {
+    let mut part = HashTable::from_rows(&data.part_keys, &data.part_payload);
+    let mut supp = HashTable::from_rows(&data.supp_keys, &data.supp_payload);
+    let brand_payloads = Array::from(data.brand_payload.clone());
+    let mut brand = StrHashTable::build(&Array::from(data.brand_keys.clone()), &brand_payloads)
+        .expect("Utf8 keys with integer payloads");
+    if bloom {
+        part = part.with_bloom();
+        supp = supp.with_bloom();
+        brand = brand.with_bloom();
+    }
+    let mut chain = ParallelJoinChain::new_mixed(
+        vec![
+            JoinSide::Int(part),
+            JoinSide::Int(supp),
+            JoinSide::Str(brand),
+        ],
+        every,
+    );
+    let n = data.l_partkey.len();
+    let batch_rows = batch_rows.max(1);
+    let mut groups: HashMap<i64, (i64, i64)> = HashMap::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_rows).min(n);
+        let keys = [
+            KeyColumn::Int(&data.l_partkey[start..end]),
+            KeyColumn::Int(&data.l_suppkey[start..end]),
+            KeyColumn::Str(&data.l_brand[start..end]),
+        ];
+        let result = chain.probe_batch_mixed(&keys, opts)?;
+        for (&local, &pay) in result.indices.iter().zip(&result.payload_sum) {
+            let g = start + local as usize;
+            let nation = data.supp_nation[data.l_suppkey[g] as usize];
+            let profit = data.l_price_c[g] - data.l_cost_c[g] + pay;
+            let slot = groups.entry(nation).or_default();
+            slot.0 += profit;
+            slot.1 += 1;
+        }
+        start = end;
+    }
+    let mut rows: Vec<tpch::Q9Row> = groups
+        .into_iter()
+        .map(|(nation, (profit_c, count))| tpch::Q9Row {
+            nation,
+            profit_c,
+            rows: count,
+        })
+        .collect();
+    rows.sort_by_key(|r| r.nation);
+    Ok((rows, chain.reorders()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1398,5 +1515,53 @@ mod tests {
             report.trace_cache_hits >= 4,
             "shared cache must serve later morsels: {report:?}"
         );
+    }
+
+    #[test]
+    fn q18_matches_reference_under_both_distributions() {
+        for dist in [tpch::KeyDist::Uniform, tpch::KeyDist::Zipf] {
+            let li = tpch::lineitem_q18(20_000, 500, dist, 7);
+            let orders = tpch::orders(500, 7);
+            let expected = tpch::q18_reference(&li, &orders, 900.0);
+            assert!(!expected.is_empty(), "threshold must keep some groups");
+            for workers in [1usize, 4] {
+                let opts = ParallelOpts {
+                    workers,
+                    morsel_rows: 1024,
+                    ..ParallelOpts::default()
+                };
+                let (rows, _) = q18_parallel(&li, &orders, 900.0, opts).unwrap();
+                assert_eq!(rows.len(), expected.len());
+                for (a, b) in rows.iter().zip(&expected) {
+                    assert_eq!(a.o_orderkey, b.o_orderkey);
+                    assert_eq!(a.o_orderdate, b.o_orderdate);
+                    assert_eq!(a.line_count, b.line_count);
+                    assert_eq!(a.total_qty.to_bits(), b.total_qty.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q9_matches_reference_under_both_distributions() {
+        for dist in [tpch::KeyDist::Uniform, tpch::KeyDist::Zipf] {
+            let data = tpch::q9_data(20_000, 200, 64, 8, dist, 11);
+            let expected = tpch::q9_reference(&data);
+            assert!(!expected.is_empty());
+            for bloom in [false, true] {
+                for workers in [1usize, 4] {
+                    let opts = ParallelOpts {
+                        workers,
+                        morsel_rows: 512,
+                        ..ParallelOpts::default()
+                    };
+                    let (rows, _) = q9_parallel(&data, 4096, bloom, 2, opts).unwrap();
+                    assert_eq!(
+                        rows, expected,
+                        "dist={dist:?} bloom={bloom} workers={workers}"
+                    );
+                }
+            }
+        }
     }
 }

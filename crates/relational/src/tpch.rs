@@ -953,6 +953,298 @@ pub fn q3_reference(lineitem: &Table, orders: &Table, date: i64) -> f64 {
     revenue
 }
 
+// ---------------------------------------------------------------------
+// Skewed key distributions (Q18 / Q9 / stress generators)
+// ---------------------------------------------------------------------
+
+/// How a generated key column is distributed over its domain. The skewed
+/// mode is what drives the hot-group / hot-key regimes the adaptive
+/// operators exist for: pre-aggregation (Q1-style), grace-hash spilling
+/// with recursion-depth limits, and Bloom pre-filtering all behave
+/// qualitatively differently under Zipfian keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform over `[0, domain)`.
+    Uniform,
+    /// Zipf-ish (exponent ~1) over `[0, domain)` — key 0 is hottest.
+    Zipf,
+}
+
+impl KeyDist {
+    /// Sample `n` keys over `[0, domain)` (domain clamped to ≥ 1).
+    pub fn sample(self, n: usize, domain: usize, seed: u64) -> Array {
+        let domain = domain.max(1);
+        match self {
+            KeyDist::Uniform => datagen::uniform_i64(n, 0, domain as i64 - 1, seed),
+            KeyDist::Zipf => datagen::zipf_i64(n, domain, seed),
+        }
+    }
+}
+
+/// The lineitem slice Q18 reads: `l_orderkey` drawn from `dist` over the
+/// orders key domain and an integer-valued `l_quantity` (stored f64, the
+/// aggregate's value column). Under [`KeyDist::Zipf`] a few hot orders
+/// absorb most lineitems — the regime that stresses spill partitioning.
+pub fn lineitem_q18(n: usize, n_orders: usize, dist: KeyDist, seed: u64) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("l_orderkey", ScalarType::I64),
+            Field::new("l_quantity", ScalarType::F64),
+        ]),
+        vec![
+            dist.sample(n, n_orders, seed),
+            datagen::uniform_i64(n, 1, 50, seed.wrapping_add(7))
+                .cast(ScalarType::F64)
+                .expect("i64 casts to f64"),
+        ],
+    )
+    .expect("generator produces consistent columns")
+}
+
+/// [`lineitem_q3`] with a selectable key distribution (same schema; keys
+/// drawn from `dist` over twice the orders domain, so the selective-join
+/// miss rate is preserved under skew).
+pub fn lineitem_q3_dist(n: usize, n_orders: usize, dist: KeyDist, seed: u64) -> Table {
+    Table::new(
+        Schema::new(vec![
+            Field::new("l_orderkey", ScalarType::I64),
+            Field::new("l_extendedprice", ScalarType::F64),
+            Field::new("l_discount", ScalarType::F64),
+            Field::new("l_shipdate", ScalarType::I64),
+        ]),
+        vec![
+            dist.sample(n, 2 * n_orders.max(1), seed),
+            scale_down(datagen::uniform_i64(
+                n,
+                90_000,
+                10_500_000,
+                seed.wrapping_add(1),
+            )),
+            scale_down(datagen::uniform_i64(n, 0, 10, seed.wrapping_add(2))),
+            datagen::uniform_i64(n, 0, SHIPDATE_MAX, seed.wrapping_add(5)),
+        ],
+    )
+    .expect("generator produces consistent columns")
+}
+
+// ---------------------------------------------------------------------
+// TPC-H Q18 (large-volume customer): big group-by feeding a join
+// ---------------------------------------------------------------------
+
+/// One Q18 output row: an order whose total quantity exceeds the
+/// threshold, joined back to `orders` for its date.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Q18Row {
+    /// The order key (group key of the aggregate).
+    pub o_orderkey: i64,
+    /// The joined order date.
+    pub o_orderdate: i64,
+    /// `sum(l_quantity)` for the order.
+    pub total_qty: f64,
+    /// Lineitems contributing to the order.
+    pub line_count: i64,
+}
+
+/// Sequential Q18 oracle: hash-aggregate `l_quantity` by `l_orderkey`
+/// ([`crate::agg::aggregate_rows`] — the same fold the spilling
+/// aggregate is bit-identical to), keep groups with
+/// `sum > threshold`, and join the survivors to `orders`. Output sorted
+/// by order key.
+pub fn q18_reference(lineitem: &Table, orders: &Table, threshold: f64) -> Vec<Q18Row> {
+    use std::collections::HashMap;
+    let keys = lineitem
+        .column_by_name("l_orderkey")
+        .expect("schema")
+        .to_i64_vec()
+        .expect("i64");
+    let qty = lineitem
+        .column_by_name("l_quantity")
+        .expect("schema")
+        .to_f64_vec()
+        .expect("f64");
+    let okey = orders
+        .column_by_name("o_orderkey")
+        .expect("schema")
+        .to_i64_vec()
+        .expect("i64");
+    let odate = orders
+        .column_by_name("o_orderdate")
+        .expect("schema")
+        .to_i64_vec()
+        .expect("i64");
+    let dates: HashMap<i64, i64> = okey.into_iter().zip(odate).collect();
+    crate::agg::aggregate_rows(&keys, &qty)
+        .into_iter()
+        .filter(|(_, g)| g.sum > threshold)
+        .filter_map(|(k, g)| {
+            dates.get(&k).map(|&d| Q18Row {
+                o_orderkey: k,
+                o_orderdate: d,
+                total_qty: g.sum,
+                line_count: g.count,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// TPC-H Q9 (product-type profit): a mixed-key multi-join chain
+// ---------------------------------------------------------------------
+
+/// Generated inputs for the Q9-style profit query: three build sides
+/// (two integer-keyed — the selective *part* filter and the *supplier*
+/// side — and one Utf8-keyed *brand* side) plus the probe columns of the
+/// lineitem stream. Payloads are whole-cent integers so every profit
+/// accumulator is exact.
+#[derive(Debug, Clone)]
+pub struct Q9Data {
+    /// Surviving part keys (the `p_name like '%green%'` stand-in: only
+    /// half the part domain is present, so the join is selective).
+    pub part_keys: Vec<i64>,
+    /// Per-part payload (cents) folded into the profit projection.
+    pub part_payload: Vec<i64>,
+    /// All supplier keys (dense `0..n_supps`).
+    pub supp_keys: Vec<i64>,
+    /// Per-supplier payload (cents) folded into the profit projection.
+    pub supp_payload: Vec<i64>,
+    /// Nation of each supplier (index = supplier key).
+    pub supp_nation: Vec<i64>,
+    /// Surviving brand keys (Utf8; half the brand domain).
+    pub brand_keys: Vec<String>,
+    /// Per-brand payload (zero — the Utf8 side filters, the integer
+    /// sides carry the projection).
+    pub brand_payload: Vec<i64>,
+    /// Probe: part key per lineitem (drawn from `dist` over the *full*
+    /// part domain, so skew concentrates probes on hot parts).
+    pub l_partkey: Vec<i64>,
+    /// Probe: supplier key per lineitem.
+    pub l_suppkey: Vec<i64>,
+    /// Probe: brand per lineitem.
+    pub l_brand: Vec<String>,
+    /// Revenue cents per lineitem.
+    pub l_price_c: Vec<i64>,
+    /// Cost cents per lineitem.
+    pub l_cost_c: Vec<i64>,
+}
+
+/// Number of distinct brands in [`q9_data`]'s Utf8 side domain.
+pub const Q9_BRANDS: usize = 20;
+
+/// Generate Q9-style inputs: `n` lineitems over `n_parts` parts,
+/// `n_supps` suppliers, and `n_nations` nations, with `l_partkey` drawn
+/// from `dist`.
+pub fn q9_data(
+    n: usize,
+    n_parts: usize,
+    n_supps: usize,
+    n_nations: usize,
+    dist: KeyDist,
+    seed: u64,
+) -> Q9Data {
+    let n_parts = n_parts.max(2);
+    let n_supps = n_supps.max(1);
+    let n_nations = n_nations.max(1);
+    let part_keys: Vec<i64> = (0..(n_parts / 2) as i64).collect();
+    let part_payload: Vec<i64> = part_keys.iter().map(|k| 100 + (k % 900)).collect();
+    let supp_keys: Vec<i64> = (0..n_supps as i64).collect();
+    let supp_payload: Vec<i64> = supp_keys.iter().map(|k| 50 + (k % 500)).collect();
+    let supp_nation: Vec<i64> = supp_keys.iter().map(|k| k % n_nations as i64).collect();
+    let brand_keys: Vec<String> = (0..Q9_BRANDS / 2).map(|b| format!("BRAND#{b}")).collect();
+    let brand_payload = vec![0i64; brand_keys.len()];
+    let l_partkey = dist
+        .sample(n, n_parts, seed)
+        .to_i64_vec()
+        .expect("i64 keys");
+    let l_suppkey = datagen::uniform_i64(n, 0, n_supps as i64 - 1, seed.wrapping_add(11))
+        .to_i64_vec()
+        .expect("i64 keys");
+    let l_brand = datagen::uniform_i64(n, 0, Q9_BRANDS as i64 - 1, seed.wrapping_add(12))
+        .to_i64_vec()
+        .expect("i64")
+        .into_iter()
+        .map(|b| format!("BRAND#{b}"))
+        .collect();
+    let l_price_c = datagen::uniform_i64(n, 90_000, 10_500_000, seed.wrapping_add(13))
+        .to_i64_vec()
+        .expect("i64");
+    let l_cost_c = datagen::uniform_i64(n, 10_000, 90_000, seed.wrapping_add(14))
+        .to_i64_vec()
+        .expect("i64");
+    Q9Data {
+        part_keys,
+        part_payload,
+        supp_keys,
+        supp_payload,
+        supp_nation,
+        brand_keys,
+        brand_payload,
+        l_partkey,
+        l_suppkey,
+        l_brand,
+        l_price_c,
+        l_cost_c,
+    }
+}
+
+/// One Q9 output row: exact whole-cent profit per nation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q9Row {
+    /// Nation id.
+    pub nation: i64,
+    /// `sum(l_price_c - l_cost_c + matched payloads)` over surviving
+    /// lineitems of the nation's suppliers — exact integer cents.
+    pub profit_c: i64,
+    /// Surviving lineitems contributing to the nation.
+    pub rows: i64,
+}
+
+/// Sequential Q9 oracle: a lineitem survives when its part key is in the
+/// surviving part set, its supplier exists, and its brand is in the
+/// surviving brand set; its profit is
+/// `l_price_c - l_cost_c + Σ matched build payloads` (every duplicate
+/// build match contributes, mirroring the chain's payload projection).
+/// Profits group by the supplier's nation; output sorted by nation.
+pub fn q9_reference(data: &Q9Data) -> Vec<Q9Row> {
+    use std::collections::HashMap;
+    let mut part_pay: HashMap<i64, i64> = HashMap::new();
+    for (k, p) in data.part_keys.iter().zip(&data.part_payload) {
+        *part_pay.entry(*k).or_default() += p;
+    }
+    let mut supp_pay: HashMap<i64, i64> = HashMap::new();
+    for (k, p) in data.supp_keys.iter().zip(&data.supp_payload) {
+        *supp_pay.entry(*k).or_default() += p;
+    }
+    let mut brand_pay: HashMap<&str, i64> = HashMap::new();
+    for (k, p) in data.brand_keys.iter().zip(&data.brand_payload) {
+        *brand_pay.entry(k.as_str()).or_default() += p;
+    }
+    let mut groups: HashMap<i64, (i64, i64)> = HashMap::new();
+    for i in 0..data.l_partkey.len() {
+        let (Some(pp), Some(sp), Some(bp)) = (
+            part_pay.get(&data.l_partkey[i]),
+            supp_pay.get(&data.l_suppkey[i]),
+            brand_pay.get(data.l_brand[i].as_str()),
+        ) else {
+            continue;
+        };
+        let nation = data.supp_nation[data.l_suppkey[i] as usize];
+        let profit = data.l_price_c[i] - data.l_cost_c[i] + pp + sp + bp;
+        let slot = groups.entry(nation).or_default();
+        slot.0 += profit;
+        slot.1 += 1;
+    }
+    let mut out: Vec<Q9Row> = groups
+        .into_iter()
+        .map(|(nation, (profit_c, rows))| Q9Row {
+            nation,
+            profit_c,
+            rows,
+        })
+        .collect();
+    out.sort_by_key(|r| r.nation);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

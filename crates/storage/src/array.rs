@@ -141,7 +141,7 @@ impl Array {
     /// `len` is clamped to the available tail, mirroring the DSL `read`
     /// skeleton which returns a short final chunk.
     pub fn slice(&self, offset: usize, len: usize) -> Array {
-        let end = (offset + len).min(self.len());
+        let end = offset.saturating_add(len).min(self.len());
         let offset = offset.min(self.len());
         match self {
             Array::I8(v) => Array::I8(v[offset..end].to_vec()),
@@ -409,6 +409,9 @@ mod tests {
         assert_eq!(a.slice(3, 10), Array::from(vec![3i64, 4]));
         assert_eq!(a.slice(5, 10).len(), 0);
         assert_eq!(a.slice(0, 2), Array::from(vec![0i64, 1]));
+        // Regression: offset + len used to overflow usize in debug builds.
+        assert_eq!(a.slice(usize::MAX, 5).len(), 0);
+        assert_eq!(a.slice(2, usize::MAX), Array::from(vec![2i64, 3, 4]));
     }
 
     #[test]

@@ -635,17 +635,17 @@ fn exec_trace(
     let mut local: HashMap<String, Array> = HashMap::new();
     for spec in &trace.reads {
         let pos = interp
-            .eval_scalar_int(&spec.pos, env)
+            .eval_scalar_index(&spec.pos, env, "read position")
             .map_err(TraceFailure::Fatal)?;
         let len = match &spec.len {
             Some(l) => interp
-                .eval_scalar_int(l, env)
-                .map_err(TraceFailure::Fatal)? as usize,
+                .eval_scalar_index(l, env, "read length")
+                .map_err(TraceFailure::Fatal)?,
             None => chunk_size,
         };
         let chunk = env
             .buffers
-            .read(&spec.buffer, pos as usize, len)
+            .read(&spec.buffer, pos, len)
             .map_err(TraceFailure::Fatal)?;
         local.insert(spec.var.clone(), chunk);
     }
@@ -741,7 +741,7 @@ fn exec_trace(
     // 5. Perform the region's buffer writes.
     for spec in &trace.writes {
         let pos = interp
-            .eval_scalar_int(&spec.pos, env)
+            .eval_scalar_index(&spec.pos, env, "write position")
             .map_err(TraceFailure::Fatal)?;
         let value = env.get(&spec.value_var).map_err(TraceFailure::Fatal)?;
         let data = match value {
@@ -753,7 +753,7 @@ fn exec_trace(
             Value::Scalar(s) => Array::splat(s, 1),
         };
         env.buffers
-            .write(&spec.buffer, pos as usize, &data)
+            .write(&spec.buffer, pos, &data)
             .map_err(TraceFailure::Fatal)?;
     }
 

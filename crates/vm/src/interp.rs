@@ -94,14 +94,14 @@ impl<'p> Interpreter<'p> {
             }
             Stmt::Write { target, pos, value } => {
                 let t0 = Instant::now();
-                let pos = self.eval_scalar_int(pos, env)?;
+                let pos = self.eval_scalar_index(pos, env, "write position")?;
                 let v = self.eval(value, env)?;
                 let data = match v {
                     Value::Vector(vec) => vec.condense()?.data,
                     Value::Scalar(s) => Array::splat(&s, 1),
                 };
                 let tuples = data.len();
-                env.buffers.write(target, pos as usize, &data)?;
+                env.buffers.write(target, pos, &data)?;
                 self.profile.record(
                     &format!("write {target}"),
                     t0.elapsed().as_nanos() as u64,
@@ -172,12 +172,12 @@ impl<'p> Interpreter<'p> {
                 self.eval_apply(*op, &values)
             }
             Expr::Read { pos, data, len } => {
-                let pos = self.eval_scalar_int(pos, env)?;
+                let pos = self.eval_scalar_index(pos, env, "read position")?;
                 let len = match len {
-                    Some(l) => self.eval_scalar_int(l, env)? as usize,
+                    Some(l) => self.eval_scalar_index(l, env, "read length")?,
                     None => self.chunk_size,
                 };
-                let chunk = env.buffers.read(data, pos as usize, len)?;
+                let chunk = env.buffers.read(data, pos, len)?;
                 Ok(Value::dense(chunk))
             }
             Expr::Map { f, inputs } => {
@@ -210,7 +210,7 @@ impl<'p> Interpreter<'p> {
                 Ok(Value::dense(movement::gather(&buffer, &idx)?))
             }
             Expr::Gen { f, len } => {
-                let n = self.eval_scalar_int(len, env)? as usize;
+                let n = self.eval_scalar_index(len, env, "gen length")?;
                 let index = Value::dense(movement::gen_index(n));
                 if f.params.len() == 1
                     && matches!(f.body.as_ref(), Expr::Var(v) if *v == f.params[0])
@@ -245,6 +245,21 @@ impl<'p> Interpreter<'p> {
         self.eval(e, env)?
             .as_i64()
             .ok_or_else(|| VmError::Shape("expected a scalar integer".into()))
+    }
+
+    /// Evaluate a position/length operand that must be non-negative
+    /// (buffer offsets, chunk lengths, gen lengths) to a `usize`.
+    pub fn eval_scalar_index(
+        &mut self,
+        e: &Expr,
+        env: &mut Env,
+        what: &str,
+    ) -> Result<usize, VmError> {
+        let v = self.eval_scalar_int(e, env)?;
+        if v < 0 {
+            return Err(VmError::Shape(format!("{what} must be non-negative")));
+        }
+        Ok(v as usize)
     }
 
     /// Scalar ops over mixed scalar/vector operands: pure-scalar operands
@@ -495,6 +510,41 @@ mod tests {
         let p = parse_program(src).unwrap();
         let (buffers, _) = run_interpreted(&p, buffers, 1024).unwrap();
         buffers
+    }
+
+    #[test]
+    fn negative_positions_are_typed_errors() {
+        // Regression: negative read/write positions, read lengths, and gen
+        // lengths were cast straight to usize (huge allocations or debug
+        // overflow panics) instead of producing typed errors.
+        use adaptvm_dsl::ast::build::*;
+        use adaptvm_dsl::ast::{Program, ScalarOp};
+        let b = || Buffers::new().with_input("xs", Array::from(vec![1i64, 2, 3]));
+        for src in [
+            "let a = read (0 - 1) xs in { write out 0 a }",
+            "let a = read 0 xs in { write out (0 - 2) a }",
+            "let g = gen (\\i -> i) (0 - 5) in { write out 0 g }",
+        ] {
+            let p = parse_program(src).unwrap();
+            assert!(
+                matches!(run_interpreted(&p, b(), 1024), Err(VmError::Shape(_))),
+                "{src}"
+            );
+        }
+        // Negative explicit read length (no concrete syntax; builder only).
+        let p = Program::new(vec![adaptvm_dsl::ast::build::let_in(
+            "a",
+            adaptvm_dsl::ast::Expr::Read {
+                pos: Box::new(int(0)),
+                data: "xs".into(),
+                len: Some(Box::new(bin(ScalarOp::Sub, int(0), int(4)))),
+            },
+            vec![write("out", int(0), var("a"))],
+        )]);
+        assert!(matches!(
+            run_interpreted(&p, b(), 1024),
+            Err(VmError::Shape(_))
+        ));
     }
 
     #[test]

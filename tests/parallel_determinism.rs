@@ -571,3 +571,146 @@ fn interleaved_concurrent_queries_stay_bit_identical() {
     let stats = scheduler.stats();
     assert_eq!(stats.queries_submitted, stats.queries_completed);
 }
+
+// ---------------------------------------------------------------------------
+// Q18 / Q9 determinism sweeps (workers × morsel sizes × Bloom × spill
+// budgets) and skew regression properties.
+// ---------------------------------------------------------------------------
+
+use adaptvm::parallel::MemoryBudget;
+use adaptvm::relational::parallel::{q18_parallel, q9_parallel};
+use adaptvm::relational::spill::MAX_SPILL_DEPTH;
+use adaptvm::relational::tpch::KeyDist;
+use proptest::prelude::*;
+
+fn q18_bits(rows: &[tpch::Q18Row]) -> Vec<(i64, i64, u64, i64)> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.o_orderkey,
+                r.o_orderdate,
+                r.total_qty.to_bits(),
+                r.line_count,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn q18_bit_identical_across_workers_morsels_and_budgets() {
+    for dist in [KeyDist::Uniform, KeyDist::Zipf] {
+        let orders = tpch::orders(400, 7);
+        let li = tpch::lineitem_q18(30_000, 400, dist, 11);
+        let reference = q18_bits(&tpch::q18_reference(&li, &orders, 900.0));
+        assert!(!reference.is_empty(), "{dist:?}: degenerate reference");
+        for workers in WORKER_COUNTS {
+            for morsel_rows in [1_000, 4 * DEFAULT_CHUNK] {
+                for budget_bytes in [None, Some(4_000usize), Some(0usize)] {
+                    let budget = budget_bytes.map(MemoryBudget::bytes);
+                    let mut opts = ParallelOpts::new(workers, morsel_rows);
+                    if let Some(b) = budget.as_ref() {
+                        opts = opts.with_budget(b);
+                    }
+                    let label = format!(
+                        "{dist:?} workers={workers} morsel={morsel_rows} budget={budget_bytes:?}"
+                    );
+                    let (rows, spill) = q18_parallel(&li, &orders, 900.0, opts).unwrap();
+                    assert_eq!(q18_bits(&rows), reference, "{label}");
+                    match budget_bytes {
+                        Some(0) => assert!(spill.spilled(), "{label}: {spill:?}"),
+                        None => assert!(!spill.spilled(), "{label}: {spill:?}"),
+                        _ => {}
+                    }
+                    assert!(
+                        spill.max_recursion_depth <= MAX_SPILL_DEPTH,
+                        "{label}: {spill:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn q9_identical_across_workers_bloom_and_batch_sizes() {
+    for dist in [KeyDist::Uniform, KeyDist::Zipf] {
+        let data = tpch::q9_data(16_000, 200, 64, 8, dist, 23);
+        let reference = tpch::q9_reference(&data);
+        assert!(!reference.is_empty(), "{dist:?}: degenerate reference");
+        for workers in WORKER_COUNTS {
+            for bloom in [false, true] {
+                for batch_rows in [512, 4_096] {
+                    let opts = ParallelOpts::new(workers, 2_048);
+                    let (rows, _reorders) = q9_parallel(&data, batch_rows, bloom, 2, opts).unwrap();
+                    assert_eq!(
+                        rows, reference,
+                        "{dist:?} workers={workers} bloom={bloom} batch={batch_rows}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Zipf-skewed Q18 under an arbitrary tight budget: the spill path
+    /// must stay exact, and grace-hash recursion must stay within its
+    /// hard depth cap no matter how hot the hottest key is.
+    #[test]
+    fn q18_zipf_skew_spills_stay_exact_and_bounded(
+        seed in 0u64..64,
+        workers in 1usize..5,
+        budget_bytes in 0usize..6_000,
+    ) {
+        let orders = tpch::orders(64, seed);
+        let li = tpch::lineitem_q18(6_000, 64, KeyDist::Zipf, seed.wrapping_add(1));
+        let reference = q18_bits(&tpch::q18_reference(&li, &orders, 120.0));
+        let budget = MemoryBudget::bytes(budget_bytes);
+        let opts = ParallelOpts::new(workers, 1_024).with_budget(&budget);
+        let (rows, spill) = q18_parallel(&li, &orders, 120.0, opts).unwrap();
+        prop_assert_eq!(q18_bits(&rows), reference);
+        prop_assert!(spill.max_recursion_depth <= MAX_SPILL_DEPTH, "{:?}", spill);
+        // A forced build happens at most once per unsplittable leaf; with
+        // 64 distinct keys the leaves are bounded by the key count.
+        prop_assert!(spill.forced_builds <= 64, "{:?}", spill);
+    }
+
+    /// The all-duplicate-key extreme: every lineitem hits ONE order. The
+    /// hot partition can never be split by rehashing, so a zero budget
+    /// must take the forced-build path — and still be bit-identical.
+    #[test]
+    fn q18_single_hot_key_bit_identical_under_forced_builds(
+        seed in 0u64..64,
+        workers in 1usize..5,
+    ) {
+        let orders = tpch::orders(1, seed);
+        let li = tpch::lineitem_q18(4_000, 1, KeyDist::Uniform, seed.wrapping_add(1));
+        let reference = q18_bits(&tpch::q18_reference(&li, &orders, 0.0));
+        prop_assert_eq!(reference.len(), 1);
+        let budget = MemoryBudget::bytes(0);
+        let opts = ParallelOpts::new(workers, 512).with_budget(&budget);
+        let (rows, spill) = q18_parallel(&li, &orders, 0.0, opts).unwrap();
+        prop_assert_eq!(q18_bits(&rows), reference);
+        prop_assert!(spill.spilled(), "{:?}", spill);
+        prop_assert!(spill.forced_builds >= 1, "{:?}", spill);
+        prop_assert!(spill.max_recursion_depth <= MAX_SPILL_DEPTH, "{:?}", spill);
+    }
+
+    /// Zipf-skewed Q9 with a tiny part domain (hot probe keys): Bloom
+    /// filters and worker counts must not change the integer-cents
+    /// profit totals.
+    #[test]
+    fn q9_zipf_skew_matches_reference(
+        seed in 0u64..64,
+        workers in 1usize..5,
+        bloom in any::<bool>(),
+    ) {
+        let data = tpch::q9_data(4_000, 2, 8, 4, KeyDist::Zipf, seed);
+        let reference = tpch::q9_reference(&data);
+        let opts = ParallelOpts::new(workers, 512);
+        let (rows, _) = q9_parallel(&data, 1_024, bloom, 2, opts).unwrap();
+        prop_assert_eq!(rows, reference);
+    }
+}
