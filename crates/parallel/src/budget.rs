@@ -115,6 +115,9 @@ impl MemoryBudget {
         loop {
             let next = current.saturating_add(bytes);
             if next > self.limit {
+                crate::obs::emit(crate::obs::EventKind::BudgetRefused {
+                    bytes: bytes as u64,
+                });
                 return Err(BudgetExceeded {
                     requested: bytes,
                     in_use: current,
@@ -127,7 +130,12 @@ impl MemoryBudget {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    crate::obs::emit(crate::obs::EventKind::BudgetCharge {
+                        bytes: bytes as u64,
+                    });
+                    return Ok(());
+                }
                 Err(actual) => current = actual,
             }
         }
@@ -145,7 +153,12 @@ impl MemoryBudget {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => {
+                    crate::obs::emit(crate::obs::EventKind::BudgetRelease {
+                        bytes: bytes as u64,
+                    });
+                    return;
+                }
                 Err(actual) => current = actual,
             }
         }

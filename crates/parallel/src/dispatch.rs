@@ -66,11 +66,17 @@ impl Dispatcher {
     /// steal from the back of the longest other queue. `None` means the
     /// whole plan is drained.
     pub fn next(&self, worker: usize) -> Option<Morsel> {
+        self.next_from(worker).map(|(m, _)| m)
+    }
+
+    /// [`Dispatcher::next`], also reporting whether the morsel was stolen
+    /// from another worker's queue (tracing attribution).
+    pub fn next_from(&self, worker: usize) -> Option<(Morsel, bool)> {
         debug_assert!(worker < self.queues.len());
         if let Some(m) = self.lock(worker).pop_front() {
             self.executed[worker].fetch_add(1, Ordering::Relaxed);
             self.undispatched.fetch_sub(1, Ordering::Relaxed);
-            return Some(m);
+            return Some((m, false));
         }
         // Steal: pick the victim with the most remaining work. The length
         // survey is racy by design — a stale choice only means a second
@@ -86,7 +92,7 @@ impl Dispatcher {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 self.executed[worker].fetch_add(1, Ordering::Relaxed);
                 self.undispatched.fetch_sub(1, Ordering::Relaxed);
-                return Some(m);
+                return Some((m, true));
             }
             // The victim drained between survey and steal; survey again.
         }

@@ -50,6 +50,11 @@
 //!   [`MemoryBudget`]s), overload shedding (Batch before Normal before
 //!   Interactive), elastic concurrency, and a plain-text metrics
 //!   exposition ([`serve::telemetry::render_text`]),
+//! * [`obs`] — [`Trace`]/[`QueryProfile`]: the opt-in query tracing
+//!   subsystem — per-worker lock-free event rings recording typed spans
+//!   (morsels, JIT decisions, spill I/O, budget traffic, admission),
+//!   merged post-query in deterministic `(lane, seq)` order, exported as
+//!   Chrome trace-event JSON or a text summary,
 //! * [`exec`] — [`ParallelVm`]: one program instance per morsel, each on a
 //!   private `Env`/interpreter, all sharing one JIT code cache (compile
 //!   once, inject everywhere) and merging their profiles into one run
@@ -81,6 +86,7 @@ pub mod dispatch;
 pub mod exec;
 pub mod join;
 pub mod morsel;
+pub mod obs;
 pub mod pool;
 pub mod scheduler;
 pub mod scratch;
@@ -95,6 +101,7 @@ pub use join::{
     BuildProbeStats,
 };
 pub use morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
+pub use obs::{ClockMode, EventKind, ProfileRollup, QueryProfile, Trace, TraceEvent};
 pub use pool::{run_morsels, run_morsels_with, Runner};
 pub use scheduler::{
     CancelReason, CancelToken, ElasticityConfig, MorselElasticity, ProfileWindow, QueryError,

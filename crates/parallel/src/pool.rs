@@ -8,10 +8,19 @@
 //! thread — *by construction* identical to a sequential loop over the
 //! plan, which is the anchor of every determinism guarantee upstairs.
 
+use std::time::Instant;
+
 use crate::dispatch::{DispatchStats, Dispatcher};
 use crate::morsel::{Morsel, MorselPlan};
+use crate::obs::{self, EventKind};
 use crate::scheduler::{CancelReason, CancelToken, QueryOutcomeKind, RunError, Scheduler};
 use crate::serve::{Priority, QueryService, SubmitOpts, TenantId};
+
+/// The trace lane for worker `w` (worker ids past the lane budget share
+/// the last worker lane).
+pub(crate) fn worker_lane(w: usize) -> u16 {
+    w.min(obs::MAX_WORKER_LANES - 1) as u16
+}
 
 /// Where a morsel plan executes: a scoped per-run pool (threads spawned
 /// and joined inside the call), a long-lived [`Scheduler`] (threads
@@ -195,6 +204,9 @@ where
 {
     let workers = workers.max(1);
     let dispatcher = Dispatcher::new(plan.morsels(), workers);
+    // Capture the caller's trace scope (if any) before fanning out, so
+    // worker threads inherit it; one relaxed load when tracing is off.
+    let scope = obs::current_scope();
     let check = || -> Result<(), CancelReason> {
         match cancel {
             Some(token) => token.check(),
@@ -210,10 +222,20 @@ where
 
     if workers == 1 {
         // Inline sequential execution: the single-threaded reference path.
+        let _lane = scope.as_ref().map(|(t, st)| t.enter_lane(0, st));
         let mut results = Vec::with_capacity(plan.len());
-        while let Some(m) = dispatcher.next(0) {
+        while let Some((m, stolen)) = dispatcher.next_from(0) {
             check().map_err(cancel_err)?;
+            let t0 = scope.as_ref().map(|_| Instant::now());
             results.push(task(0, &m).map_err(RunError::Task)?);
+            if let Some((trace, _)) = &scope {
+                obs::emit(EventKind::Morsel {
+                    index: m.index as u32,
+                    rows: m.len as u32,
+                    stolen,
+                    dur_ns: trace.dur_ns(t0.expect("timed when traced").elapsed()),
+                });
+            }
         }
         return Ok((results, dispatcher.stats()));
     }
@@ -229,16 +251,34 @@ where
                 let task = &task;
                 let stop = &stop;
                 let check = &check;
+                let scope = scope.clone();
                 s.spawn(move || {
+                    let _lane = scope
+                        .as_ref()
+                        .map(|(t, st)| t.enter_lane(worker_lane(w), st));
                     let mut out: Vec<(usize, T)> = Vec::new();
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                        let Some(m) = dispatcher.next(w) else { break };
+                        let Some((m, stolen)) = dispatcher.next_from(w) else {
+                            break;
+                        };
                         if let Err(reason) = check() {
                             stop.store(true, std::sync::atomic::Ordering::Relaxed);
                             return Err(cancel_err(reason));
                         }
+                        let t0 = scope.as_ref().map(|_| Instant::now());
                         match task(w, &m) {
-                            Ok(v) => out.push((m.index, v)),
+                            Ok(v) => {
+                                if let Some((trace, _)) = &scope {
+                                    obs::emit(EventKind::Morsel {
+                                        index: m.index as u32,
+                                        rows: m.len as u32,
+                                        stolen,
+                                        dur_ns: trace
+                                            .dur_ns(t0.expect("timed when traced").elapsed()),
+                                    });
+                                }
+                                out.push((m.index, v));
+                            }
                             Err(e) => {
                                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
                                 return Err(RunError::Task(e));

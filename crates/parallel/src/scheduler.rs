@@ -103,6 +103,7 @@ use adaptvm_storage::DEFAULT_CHUNK;
 
 use crate::dispatch::{DispatchStats, Dispatcher};
 use crate::morsel::{Morsel, MorselPlan, DEFAULT_MORSEL_ROWS};
+use crate::obs::{self, EventKind, QueryProfile, Trace};
 
 /// Capacity of the scheduler's shared code cache (many queries' worth of
 /// specialized traces; mirrors `exec::SHARED_CACHE_CAPACITY`).
@@ -275,6 +276,19 @@ pub enum QueryOutcomeKind {
     DeadlineExceeded,
 }
 
+impl QueryOutcomeKind {
+    /// Stable lowercase name (trace events, metrics labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryOutcomeKind::Completed => "completed",
+            QueryOutcomeKind::TaskError => "task_error",
+            QueryOutcomeKind::Panicked => "panicked",
+            QueryOutcomeKind::Cancelled => "cancelled",
+            QueryOutcomeKind::DeadlineExceeded => "deadline",
+        }
+    }
+}
+
 /// A completion hook: runs exactly once, on the worker that finalizes the
 /// query, right after the result is handed to the joiner.
 pub(crate) type DoneHook = Box<dyn FnOnce(QueryOutcomeKind) + Send + 'static>;
@@ -288,6 +302,11 @@ pub struct SubmitOptions {
     /// Abort the query once this much time passes after submission;
     /// checked at morsel boundaries (cooperative, never mid-morsel).
     pub deadline: Option<Duration>,
+    /// Record this query's execution into a [`Trace`] (morsel spans, JIT
+    /// decisions, spill I/O); read it back via [`QueryHandle::profile`].
+    /// When absent, the submitting thread's ambient trace scope (if any)
+    /// is inherited.
+    pub trace: Option<Trace>,
     /// Completion hook for the serving layer (telemetry + slot release).
     pub(crate) on_done: Option<DoneHook>,
 }
@@ -305,6 +324,12 @@ impl SubmitOptions {
         self
     }
 
+    /// Record this query's execution into `trace`.
+    pub fn with_trace(mut self, trace: Trace) -> SubmitOptions {
+        self.trace = Some(trace);
+        self
+    }
+
     pub(crate) fn with_on_done(mut self, hook: DoneHook) -> SubmitOptions {
         self.on_done = Some(hook);
         self
@@ -316,6 +341,7 @@ impl fmt::Debug for SubmitOptions {
         f.debug_struct("SubmitOptions")
             .field("cancel", &self.cancel)
             .field("deadline", &self.deadline)
+            .field("trace", &self.trace.is_some())
             .field("on_done", &self.on_done.is_some())
             .finish()
     }
@@ -430,6 +456,9 @@ impl MorselElasticity {
         } else {
             current
         };
+        if next != current {
+            obs::morsel_resized(current, next);
+        }
         self.rows.store(next, Ordering::Relaxed);
         next
     }
@@ -502,6 +531,10 @@ struct QueryCore<'env, T, E, R> {
     failure: Mutex<Option<Abort<E>>>,
     finish: Mutex<Option<Finish<'env, T, E, R>>>,
     counters: Arc<Counters>,
+    /// Trace scope workers enter around each morsel of this query
+    /// (explicit [`SubmitOptions::trace`] or the submitter's ambient
+    /// scope).
+    scope: Option<(Trace, &'static str)>,
 }
 
 impl<T: Send, E: Send, R: Send> QueryCore<'_, T, E, R> {
@@ -582,15 +615,28 @@ impl<T: Send, E: Send, R: Send> QueryCore<'_, T, E, R> {
 
 impl<T: Send, E: Send, R: Send> Job for QueryCore<'_, T, E, R> {
     fn run_unit(&self, worker: usize) -> Unit {
-        let Some(m) = self.dispatcher.next(worker) else {
+        let Some((m, stolen)) = self.dispatcher.next_from(worker) else {
             return Unit::Empty;
         };
         if !self.stop.load(Ordering::Acquire) {
             if let Some(reason) = self.cancelled_now() {
                 self.abort_with(Abort::Cancelled(reason));
             } else {
+                let _lane = self
+                    .scope
+                    .as_ref()
+                    .map(|(t, st)| t.enter_lane(crate::pool::worker_lane(worker), st));
+                let t0 = self.scope.as_ref().map(|_| Instant::now());
                 match catch_unwind(AssertUnwindSafe(|| (self.task)(worker, &m))) {
                     Ok(Ok(value)) => {
+                        if let Some((trace, _)) = &self.scope {
+                            obs::emit(EventKind::Morsel {
+                                index: m.index as u32,
+                                rows: m.len as u32,
+                                stolen,
+                                dur_ns: trace.dur_ns(t0.expect("timed when traced").elapsed()),
+                            });
+                        }
                         self.results.lock().unwrap_or_else(|e| e.into_inner())[m.index] =
                             Some(value);
                         self.executed.fetch_add(1, Ordering::Relaxed);
@@ -624,6 +670,7 @@ pub struct QueryHandle<R, E> {
     morsels: usize,
     cancel: CancelToken,
     executed: Arc<AtomicU64>,
+    trace: Option<Trace>,
 }
 
 impl<R, E> QueryHandle<R, E> {
@@ -648,6 +695,13 @@ impl<R, E> QueryHandle<R, E> {
     /// The query's cancel token (shareable; see [`CancelToken`]).
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// The merged execution profile so far (`None` when the query was
+    /// submitted without a trace). Non-destructive and callable at any
+    /// time; call after [`QueryHandle::join`] for the complete profile.
+    pub fn profile(&self) -> Option<QueryProfile> {
+        self.trace.as_ref().map(Trace::profile)
     }
 
     fn map(outcome: Outcome<R, E>) -> Result<R, QueryError<E>> {
@@ -894,11 +948,13 @@ impl Scheduler {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn make_core<'env, T, E, R>(
         &self,
         plan: &MorselPlan,
         cancel: CancelToken,
         deadline: Option<Instant>,
+        trace: Option<Trace>,
         on_done: Option<DoneHook>,
         task: TaskFn<'env, T, E>,
         merge: MergeFn<'env, T, R>,
@@ -911,6 +967,10 @@ impl Scheduler {
         let (tx, rx) = channel();
         let mut results = Vec::with_capacity(plan.len());
         results.resize_with(plan.len(), || None);
+        // An explicit trace wins; otherwise inherit the submitting
+        // thread's scope so nested runs land in the enclosing query's
+        // profile. One relaxed load when tracing is off.
+        let scope = trace.map(|t| (t, "query")).or_else(obs::current_scope);
         let core = QueryCore {
             dispatcher: Dispatcher::new(plan.morsels(), self.workers),
             task,
@@ -923,6 +983,7 @@ impl Scheduler {
             failure: Mutex::new(None),
             finish: Mutex::new(Some(Finish { merge, tx, on_done })),
             counters: self.counters.clone(),
+            scope,
         };
         (core, rx)
     }
@@ -968,6 +1029,7 @@ impl Scheduler {
         let SubmitOptions {
             cancel,
             deadline,
+            trace,
             on_done,
         } = opts;
         let token = cancel.unwrap_or_default();
@@ -976,11 +1038,13 @@ impl Scheduler {
             &plan,
             token.clone(),
             deadline,
+            trace,
             on_done,
             Box::new(task),
             Box::new(merge),
         );
         let executed = core.executed.clone();
+        let handle_trace = core.scope.as_ref().map(|(t, _)| t.clone());
         if morsels == 0 {
             // Nothing to dispatch: finalize inline (merge of an empty vec).
             self.admit(None)?;
@@ -993,6 +1057,7 @@ impl Scheduler {
             morsels,
             cancel: token,
             executed,
+            trace: handle_trace,
         })
     }
 
@@ -1056,7 +1121,15 @@ impl Scheduler {
         let token = cancel.cloned().unwrap_or_default();
         type ScopedMerge<T> = fn(Vec<T>, DispatchStats) -> (Vec<T>, DispatchStats);
         let merge: ScopedMerge<T> = |values, stats| (values, stats);
-        let (core, rx) = self.make_core(plan, token, None, None, Box::new(task), Box::new(merge));
+        let (core, rx) = self.make_core(
+            plan,
+            token,
+            None,
+            None,
+            None,
+            Box::new(task),
+            Box::new(merge),
+        );
         let core = Arc::new(core);
         // SAFETY: the registry requires `'static` jobs because workers
         // outlive any particular caller, but this query's task/results only

@@ -189,6 +189,8 @@ impl Drop for PartitionScratchLease {
 /// buckets, warmed from the pool when possible.
 pub fn acquire_partition(fanout: usize) -> PartitionScratchLease {
     let pooled = INT_POOL.lock().expect("scratch pool poisoned").pop();
+    let reused = pooled.is_some();
+    crate::obs::emit(crate::obs::EventKind::ScratchAcquire { reused });
     let mut scratch = match pooled {
         Some(s) => {
             REUSED.fetch_add(1, Ordering::Relaxed);
@@ -240,6 +242,8 @@ impl Drop for StrScratchLease {
 /// Lease a Utf8 partition scratch with at least `fanout` buckets.
 pub fn acquire_str(fanout: usize) -> StrScratchLease {
     let pooled = STR_POOL.lock().expect("scratch pool poisoned").pop();
+    let reused = pooled.is_some();
+    crate::obs::emit(crate::obs::EventKind::ScratchAcquire { reused });
     let mut scratch = match pooled {
         Some(s) => {
             REUSED.fetch_add(1, Ordering::Relaxed);

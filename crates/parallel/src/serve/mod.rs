@@ -72,6 +72,7 @@ use std::time::{Duration, Instant};
 
 use crate::dispatch::DispatchStats;
 use crate::morsel::{Morsel, MorselPlan};
+use crate::obs::{self, EventKind, QueryProfile, Trace};
 use crate::scheduler::{
     CancelReason, CancelToken, DoneHook, QueryError, QueryHandle, QueryOutcomeKind, RunError,
     Scheduler, SubmitOptions,
@@ -80,8 +81,8 @@ use crate::scheduler::{
 use queue::FairQueues;
 use telemetry::Telemetry;
 pub use telemetry::{
-    render_text, LatencyHistogram, LatencySnapshot, PriorityStats, ServiceStats, TenantStats,
-    HISTOGRAM_BUCKETS,
+    render_text, render_text_with, EngineSnapshot, LatencyHistogram, LatencySnapshot,
+    PriorityStats, ServiceStats, TenantStats, HISTOGRAM_BUCKETS,
 };
 use tenant::TenantSched;
 pub use tenant::{TenantId, TenantQuota, TenantRegistry};
@@ -300,6 +301,11 @@ pub struct SubmitOpts {
     /// anonymous pseudo-tenant). Must come from the registry the service
     /// was built with.
     pub tenant: Option<TenantId>,
+    /// Record this query's admission lifecycle and execution into a
+    /// [`Trace`] (read back via [`ServeHandle::profile`] or
+    /// [`Trace::profile`]). When absent, the submitting thread's ambient
+    /// trace scope (if any) is inherited.
+    pub trace: Option<Trace>,
 }
 
 impl SubmitOpts {
@@ -349,6 +355,13 @@ impl SubmitOpts {
         self.tenant = Some(tenant);
         self
     }
+
+    /// Record this query's admission lifecycle and execution into
+    /// `trace`.
+    pub fn with_trace(mut self, trace: Trace) -> SubmitOpts {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -374,7 +387,24 @@ struct PendingQuery {
     slot: usize,
     cancel: CancelToken,
     deadline: Option<Instant>,
+    /// The query's trace (admission events go to its control lane).
+    trace: Option<Trace>,
     launch: Box<dyn FnOnce(Launch<'_>) + Send>,
+}
+
+/// Record a serve-layer lifecycle event on the query's control lane.
+fn serve_event(trace: &Option<Trace>, kind: EventKind) {
+    if let Some(t) = trace {
+        t.record(obs::CONTROL_LANE, "serve", kind);
+    }
+}
+
+/// Refusal-reason label for trace events.
+fn cancel_reason_name(reason: CancelReason) -> &'static str {
+    match reason {
+        CancelReason::Cancelled => "cancelled",
+        CancelReason::DeadlineExceeded => "deadline",
+    }
 }
 
 struct ServeState {
@@ -543,6 +573,7 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                     priority,
                     slot,
                     cancel,
+                    trace,
                     launch,
                     ..
                 } = aged.item;
@@ -555,6 +586,13 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                     }
                 };
                 inner.record_refusal(priority, slot, reason, aged.enqueued);
+                serve_event(
+                    &trace,
+                    EventKind::Refused {
+                        priority: priority.name(),
+                        reason: cancel_reason_name(reason),
+                    },
+                );
                 refusals.push((launch, reason));
             }
             drop(st);
@@ -597,6 +635,7 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                     slot,
                     cancel,
                     deadline,
+                    trace,
                     launch,
                 } = aged.item;
                 let ts = &mut st.tenant_sched[slot];
@@ -615,6 +654,13 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                 match refuse {
                     Some(reason) => {
                         inner.record_refusal(priority, slot, reason, admitted);
+                        serve_event(
+                            &trace,
+                            EventKind::Refused {
+                                priority: priority.name(),
+                                reason: cancel_reason_name(reason),
+                            },
+                        );
                         drop(st);
                         launch(Launch::Refuse(reason));
                     }
@@ -628,8 +674,30 @@ fn dispatch_loop(inner: &Arc<Inner>) {
                         if let Some(c) = inner.tenant_counters(slot) {
                             c.queue_wait.record(wait);
                         }
+                        if let Some(t) = &trace {
+                            t.record(
+                                obs::CONTROL_LANE,
+                                "serve",
+                                EventKind::Dispatched {
+                                    priority: priority.name(),
+                                    stride_lane: priority.index() as u8,
+                                    queue_wait_ns: t.dur_ns(wait),
+                                },
+                            );
+                        }
                         let hook_inner = inner.clone();
+                        let hook_trace = trace.clone();
                         let on_done: DoneHook = Box::new(move |kind| {
+                            if let Some(t) = &hook_trace {
+                                t.record(
+                                    obs::CONTROL_LANE,
+                                    "serve",
+                                    EventKind::Completed {
+                                        outcome: kind.name(),
+                                        latency_ns: t.dur_ns(admitted.elapsed()),
+                                    },
+                                );
+                            }
                             hook_inner.complete(id, priority, slot, admitted, kind);
                         });
                         drop(st);
@@ -685,6 +753,7 @@ pub struct ServeHandle<R, E> {
     stage: Receiver<Result<QueryHandle<R, E>, CancelReason>>,
     cancel: CancelToken,
     priority: Priority,
+    trace: Option<Trace>,
 }
 
 impl<R, E> ServeHandle<R, E> {
@@ -703,6 +772,14 @@ impl<R, E> ServeHandle<R, E> {
     /// The query's cancel token.
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// The merged execution profile so far (`None` when the query was
+    /// submitted without a trace and no ambient scope was active).
+    /// Non-destructive; call after [`ServeHandle::join`] for the full
+    /// admission → completion event stream.
+    pub fn profile(&self) -> Option<QueryProfile> {
+        self.trace.as_ref().map(Trace::profile)
     }
 
     fn map_stage(
@@ -968,11 +1045,13 @@ impl QueryService {
         let inner = &self.inner;
         let p = pending.priority;
         let slot = pending.slot;
+        let trace = pending.trace.clone();
         let tc = inner.tenant_counters(slot);
         inner.telemetry.counters(p).submitted.fetch_add(1, Relaxed);
         if let Some(c) = tc {
             c.submitted.fetch_add(1, Relaxed);
         }
+        serve_event(&trace, EventKind::Submitted { priority: p.name() });
         let mut st = inner.lock();
         loop {
             if st.draining || st.stopped {
@@ -984,6 +1063,13 @@ impl QueryService {
                 if let Some(c) = tc {
                     c.rejected_shutdown.fetch_add(1, Relaxed);
                 }
+                serve_event(
+                    &trace,
+                    EventKind::Refused {
+                        priority: p.name(),
+                        reason: "shutdown",
+                    },
+                );
                 return Err(AdmissionError::ShuttingDown);
             }
             // Shed recovery: once the backlog has drained to ≤ ¼ of
@@ -1006,6 +1092,13 @@ impl QueryService {
                 if let Some(c) = tc {
                     c.shed.fetch_add(1, Relaxed);
                 }
+                serve_event(
+                    &trace,
+                    EventKind::Refused {
+                        priority: p.name(),
+                        reason: "shed",
+                    },
+                );
                 return Err(AdmissionError::Shed(p));
             }
             // Tenant queue-depth quota (anonymous slot is uncapped).
@@ -1028,6 +1121,7 @@ impl QueryService {
                         if let Some(c) = tc {
                             c.admitted.fetch_add(1, Relaxed);
                         }
+                        serve_event(&trace, EventKind::Admitted { priority: p.name() });
                         drop(st);
                         inner.cv.notify_all();
                         return Ok(());
@@ -1048,6 +1142,13 @@ impl QueryService {
                         if let Some(c) = tc {
                             c.rejected_quota.fetch_add(1, Relaxed);
                         }
+                        serve_event(
+                            &trace,
+                            EventKind::Refused {
+                                priority: p.name(),
+                                reason: "quota",
+                            },
+                        );
                         Err(AdmissionError::TenantQuota(TenantId(slot)))
                     } else {
                         // Sustained class-queue pressure escalates the
@@ -1065,6 +1166,13 @@ impl QueryService {
                         if let Some(c) = tc {
                             c.rejected_full.fetch_add(1, Relaxed);
                         }
+                        serve_event(
+                            &trace,
+                            EventKind::Refused {
+                                priority: p.name(),
+                                reason: "full",
+                            },
+                        );
                         Err(AdmissionError::QueueFull(p))
                     };
                 }
@@ -1082,6 +1190,13 @@ impl QueryService {
                         if let Some(c) = tc {
                             c.admission_timeouts.fetch_add(1, Relaxed);
                         }
+                        serve_event(
+                            &trace,
+                            EventKind::Refused {
+                                priority: p.name(),
+                                reason: "timeout",
+                            },
+                        );
                         return Err(AdmissionError::Timeout);
                     }
                     let (guard, _) = inner
@@ -1110,8 +1225,12 @@ impl QueryService {
     {
         let token = opts.cancel.clone().unwrap_or_default();
         let deadline = opts.deadline.map(|d| Instant::now() + d);
+        // An explicit trace wins; otherwise inherit the submitting
+        // thread's ambient scope.
+        let trace = opts.trace.clone().or_else(obs::current);
         let (stx, srx) = channel();
         let launch_token = token.clone();
+        let launch_trace = trace.clone();
         let launch = Box::new(move |launch: Launch<'_>| match launch {
             Launch::Run { scheduler, on_done } => {
                 let mut sopts = SubmitOptions::default()
@@ -1119,6 +1238,9 @@ impl QueryService {
                     .with_on_done(on_done);
                 if let Some(dl) = deadline {
                     sopts = sopts.with_deadline(dl.saturating_duration_since(Instant::now()));
+                }
+                if let Some(t) = launch_trace {
+                    sopts = sopts.with_trace(t);
                 }
                 let handle = scheduler
                     .submit_opts(plan, sopts, task, merge)
@@ -1134,12 +1256,14 @@ impl QueryService {
             slot: self.slot_of(opts.tenant),
             cancel: token.clone(),
             deadline,
+            trace: trace.clone(),
             launch,
         };
         let handle = ServeHandle {
             stage: srx,
             cancel: token,
             priority: opts.priority,
+            trace,
         };
         (pending, handle)
     }
@@ -1237,12 +1361,14 @@ impl QueryService {
         outcome_of: impl FnOnce(&R) -> QueryOutcomeKind,
     ) -> Result<R, GateError> {
         let token = opts.cancel.clone().unwrap_or_default();
+        let trace = opts.trace.clone().or_else(obs::current);
         let (gtx, grx) = channel::<Result<DoneHook, CancelReason>>();
         let pending = PendingQuery {
             priority: opts.priority,
             slot: self.slot_of(opts.tenant),
             cancel: token.clone(),
             deadline: opts.deadline.map(|d| Instant::now() + d),
+            trace: trace.clone(),
             launch: Box::new(move |launch| match launch {
                 Launch::Run { on_done, .. } => {
                     let _ = gtx.send(Ok(on_done));
@@ -1265,7 +1391,12 @@ impl QueryService {
                 let guard = GateGuard {
                     on_done: Some(on_done),
                 };
+                // Enter the trace on the calling thread so the pipeline
+                // inside `f` (and the scheduler runs it issues) inherits
+                // this query's scope.
+                let scope = trace.as_ref().map(|t| t.enter());
                 let r = f(self.scheduler());
+                drop(scope);
                 guard.finish(outcome_of(&r));
                 Ok(r)
             }
@@ -1323,6 +1454,13 @@ impl QueryService {
                     aged.item.slot,
                     CancelReason::Cancelled,
                     aged.enqueued,
+                );
+                serve_event(
+                    &aged.item.trace,
+                    EventKind::Refused {
+                        priority: priority.name(),
+                        reason: "cancelled",
+                    },
                 );
                 (aged.item.launch)(Launch::Refuse(CancelReason::Cancelled));
             }

@@ -15,7 +15,7 @@
 //! text document with a **stable, versioned line format** (golden-tested
 //! so it cannot silently drift):
 //!
-//! * The first line is exactly `# adaptvm-serve-metrics v1`. No other
+//! * The first line is exactly `# adaptvm-serve-metrics v2`. No other
 //!   comment, `HELP`, or `TYPE` lines are emitted.
 //! * Every other line is `name value` or `name{key="value"} escaped`,
 //!   with **exactly one** label (`priority="…"` or `tenant="…"`), plus
@@ -28,9 +28,19 @@
 //!   histogram is empty), then `name_sum` (seconds) and `name_count`.
 //! * Families appear in a fixed order: service-level gauges, scheduler
 //!   counters, per-priority families (lane order: interactive, normal,
-//!   batch), then per-tenant families in registration order.
+//!   batch), per-tenant families in registration order, then the
+//!   unlabelled `engine_*` process-wide counters.
 //! * Integer values print in decimal; seconds print as Rust's shortest
 //!   round-trip `f64` (e.g. `0.000128`, `1.048576`).
+//!
+//! ## v1 → v2
+//!
+//! v2 is a byte-stable superset of v1: every line v1 emitted is emitted
+//! unchanged and in the same order; v2 appends the `engine_*` family
+//! block — JIT compiles/cache hits/deopts, spill bytes written/read,
+//! scratch-arena pool activity, and morsel-elasticity resize events —
+//! sampled from the process-wide always-on counters (see
+//! [`EngineSnapshot`]).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -391,6 +401,64 @@ impl ServiceStats {
     }
 }
 
+/// A point-in-time sample of the process-wide engine counters rendered
+/// as the `engine_*` families of the v2 exposition: JIT activity
+/// ([`adaptvm_vm::jit_counters`]), spill I/O byte totals
+/// ([`adaptvm_storage::spill::io_counters`]), scratch-arena pool churn
+/// ([`crate::scratch_stats`]), and morsel-elasticity resizes
+/// ([`crate::obs::morsel_resize_counters`]).
+///
+/// All sources are monotonic relaxed atomics that are **always on** —
+/// they cost one `fetch_add` at each event site whether or not tracing
+/// is enabled, so the exposition never needs a [`crate::obs::Trace`].
+/// [`render_text`] captures a live snapshot; tests inject a synthetic
+/// one through [`render_text_with`] to keep goldens deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Fragments compiled (sync or via a background publish).
+    pub jit_compiles: u64,
+    /// Fragments injected from a shared cache without compiling.
+    pub jit_cache_hits: u64,
+    /// Fragments submitted to a background compile server.
+    pub jit_async_submits: u64,
+    /// Build/compile/run failures that fell back to interpretation.
+    pub jit_deopts: u64,
+    /// Encoded bytes written to spill run files.
+    pub spill_bytes_written: u64,
+    /// Encoded bytes read back from spill run files.
+    pub spill_bytes_read: u64,
+    /// Scratch arenas allocated fresh because the pool was empty.
+    pub scratch_created: u64,
+    /// Scratch arenas handed out from the pool (buffers already warm).
+    pub scratch_reused: u64,
+    /// Morsel-elasticity resizes that grew the morsel size.
+    pub morsel_grow: u64,
+    /// Morsel-elasticity resizes that shrank the morsel size.
+    pub morsel_shrink: u64,
+}
+
+impl EngineSnapshot {
+    /// Sample every process-wide engine counter right now.
+    pub fn capture() -> EngineSnapshot {
+        let jit = adaptvm_vm::jit_counters();
+        let io = adaptvm_storage::spill::io_counters();
+        let scratch = crate::scratch_stats();
+        let (morsel_grow, morsel_shrink) = crate::obs::morsel_resize_counters();
+        EngineSnapshot {
+            jit_compiles: jit.compiles,
+            jit_cache_hits: jit.cache_hits,
+            jit_async_submits: jit.async_submits,
+            jit_deopts: jit.deopts,
+            spill_bytes_written: io.bytes_written,
+            spill_bytes_read: io.bytes_read,
+            scratch_created: scratch.created,
+            scratch_reused: scratch.reused,
+            morsel_grow,
+            morsel_shrink,
+        }
+    }
+}
+
 /// A named counter family: exposition name plus field accessor.
 type CounterFamily<T, V> = (&'static str, fn(&T) -> V);
 
@@ -445,11 +513,20 @@ fn render_histogram(out: &mut String, name: &str, key: &str, value: &str, h: &La
 }
 
 /// Render a [`ServiceStats`] snapshot as the versioned plain-text metrics
-/// exposition (see the module docs for the format contract). The output
-/// is deterministic for a given snapshot — golden-testable byte for byte.
+/// exposition, sampling the process-wide engine counters live (see the
+/// module docs for the format contract). For a deterministic rendering —
+/// golden-testable byte for byte — inject the engine sample through
+/// [`render_text_with`].
 pub fn render_text(stats: &ServiceStats) -> String {
+    render_text_with(stats, &EngineSnapshot::capture())
+}
+
+/// Render a [`ServiceStats`] snapshot plus an explicit [`EngineSnapshot`]
+/// as the versioned plain-text metrics exposition. The output is
+/// deterministic for a given pair of snapshots.
+pub fn render_text_with(stats: &ServiceStats, engine: &EngineSnapshot) -> String {
     let mut out = String::with_capacity(16 * 1024);
-    out.push_str("# adaptvm-serve-metrics v1\n");
+    out.push_str("# adaptvm-serve-metrics v2\n");
 
     // Service-level gauges.
     let _ = writeln!(out, "serve_running {}", stats.running);
@@ -598,6 +675,26 @@ pub fn render_text(stats: &ServiceStats) -> String {
         );
     }
 
+    // Engine-wide process counters (v2): appended after every v1 family
+    // so the v1 prefix of the document stays byte-identical.
+    let engine_counters: [CounterFamily<EngineSnapshot, u64>; 10] = [
+        ("engine_jit_compiles_total", |e| e.jit_compiles),
+        ("engine_jit_cache_hits_total", |e| e.jit_cache_hits),
+        ("engine_jit_async_submits_total", |e| e.jit_async_submits),
+        ("engine_jit_deopts_total", |e| e.jit_deopts),
+        ("engine_spill_bytes_written_total", |e| {
+            e.spill_bytes_written
+        }),
+        ("engine_spill_bytes_read_total", |e| e.spill_bytes_read),
+        ("engine_scratch_created_total", |e| e.scratch_created),
+        ("engine_scratch_reused_total", |e| e.scratch_reused),
+        ("engine_morsel_grow_total", |e| e.morsel_grow),
+        ("engine_morsel_shrink_total", |e| e.morsel_shrink),
+    ];
+    for (name, get) in engine_counters {
+        let _ = writeln!(out, "{name} {}", get(engine));
+    }
+
     out
 }
 
@@ -648,7 +745,7 @@ mod tests {
             ..TenantStats::default()
         });
         let text = render_text(&stats);
-        assert!(text.starts_with("# adaptvm-serve-metrics v1\n"));
+        assert!(text.starts_with("# adaptvm-serve-metrics v2\n"));
         assert!(text.contains("tenant_weight{tenant=\"we\\\"ird\\\\te\\nnant\"} 3"));
         assert!(text.contains("tenant_submitted_total{tenant=\"we\\\"ird\\\\te\\nnant\"} 7"));
         // Empty histograms emit no quantile lines, but do emit sum/count.
@@ -678,6 +775,25 @@ mod tests {
         );
         assert!(text.contains("serve_latency_seconds_sum{priority=\"normal\"} 0.0001"));
         assert!(text.contains("serve_latency_seconds_count{priority=\"normal\"} 1"));
+    }
+
+    #[test]
+    fn engine_families_append_without_disturbing_v1_lines() {
+        let stats = ServiceStats::default();
+        let engine = EngineSnapshot {
+            jit_compiles: 3,
+            spill_bytes_read: 9,
+            ..EngineSnapshot::default()
+        };
+        let text = render_text_with(&stats, &engine);
+        assert!(text.contains("\nengine_jit_compiles_total 3\n"));
+        assert!(text.contains("\nengine_spill_bytes_read_total 9\n"));
+        assert!(text.ends_with("engine_morsel_shrink_total 0\n"));
+        // The engine sample only affects the appended block: everything
+        // before the first engine_* line is byte-identical across samples.
+        let zero = render_text_with(&stats, &EngineSnapshot::default());
+        let prefix = |s: &str| s[..s.find("engine_").unwrap()].to_string();
+        assert_eq!(prefix(&text), prefix(&zero));
     }
 
     #[test]

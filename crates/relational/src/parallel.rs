@@ -46,13 +46,13 @@ use adaptvm_kernels::{FilterFlavor, MapMode};
 use adaptvm_parallel::{
     build_then_probe_with, BuildProbeStats, CancelToken, MemoryBudget, Morsel, MorselPlan,
     ParallelRunReport, ParallelVm, Priority, QueryService, RunError, Runner, Scheduler, SubmitOpts,
-    TenantId,
+    TenantId, Trace,
 };
 use adaptvm_storage::scalar::Scalar;
 use adaptvm_storage::schema::Table;
 use adaptvm_storage::Array;
 use adaptvm_vm::reorder::ReorderController;
-use adaptvm_vm::{VmConfig, VmError};
+use adaptvm_vm::{Vm, VmConfig, VmError};
 
 use crate::agg::{AdaptiveAggregator, GroupState, PreAgg};
 use crate::join::{
@@ -114,6 +114,14 @@ pub struct ParallelOpts<'a> {
     /// pipelines fall back to the tenant's registered budget — see
     /// [`ParallelOpts::effective_budget`].
     pub memory_budget: Option<&'a MemoryBudget>,
+    /// Record this pipeline's execution into a query trace (see
+    /// [`adaptvm_parallel::obs`]): every morsel, JIT, spill, budget, and
+    /// scratch event it produces lands in the trace's per-worker rings,
+    /// ready to merge into an [`adaptvm_parallel::QueryProfile`]. `None`
+    /// (the default) leaves tracing off — event sites then cost one
+    /// relaxed atomic load. Tracing never changes results: traced runs
+    /// are bit-identical to untraced ones.
+    pub trace: Option<&'a Trace>,
 }
 
 impl Default for ParallelOpts<'_> {
@@ -127,6 +135,7 @@ impl Default for ParallelOpts<'_> {
             tenant: None,
             cancel: None,
             memory_budget: None,
+            trace: None,
         }
     }
 }
@@ -203,6 +212,20 @@ impl<'a> ParallelOpts<'a> {
     pub fn with_tenant(mut self, tenant: TenantId) -> ParallelOpts<'a> {
         self.tenant = Some(tenant);
         self
+    }
+
+    /// Record this pipeline's execution into `trace`; see
+    /// [`ParallelOpts::trace`].
+    pub fn with_trace(mut self, trace: &'a Trace) -> ParallelOpts<'a> {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Enter the attached trace (if any) under `stage`. Pipelines hold
+    /// the returned guard for their whole run: workers inherit the scope
+    /// when the run is dispatched, so their events carry this label.
+    pub(crate) fn stage(&self, stage: &'static str) -> Option<adaptvm_parallel::obs::ScopeGuard> {
+        self.trace.map(|t| t.enter_stage(stage))
     }
 
     /// The memory budget the out-of-core pipelines actually charge: an
@@ -285,6 +308,7 @@ where
     T: Send,
     F: Fn(&Morsel) -> OpResult<T> + Send + Sync,
 {
+    let _stage = opts.stage("scan");
     let plan = MorselPlan::new(table.rows(), opts.effective_morsel_rows());
     opts.runner()
         .run_with(&plan, opts.cancel, |_, m| stage(m))
@@ -308,6 +332,7 @@ pub fn parallel_filter_project_sum(
     mode: MapMode,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(f64, usize)> {
+    let _stage = opts.stage("filter-project-sum");
     let chunk_rows = chunk_rows.max(1);
     let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
     let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
@@ -354,6 +379,7 @@ pub fn parallel_hash_aggregate(
     chunk_rows: usize,
     opts: ParallelOpts<'_>,
 ) -> OpResult<Vec<(i64, GroupState)>> {
+    let _stage = opts.stage("aggregate");
     let chunk_rows = chunk_rows.max(1);
     let keys = table
         .column_by_name(key_col)
@@ -427,6 +453,7 @@ pub fn parallel_build_hash_table(
     bloom: bool,
     opts: ParallelOpts<'_>,
 ) -> OpResult<HashTable> {
+    let _stage = opts.stage("build");
     let (k, p) = build_rows(keys, payloads)?;
     let plan = MorselPlan::new(k.len(), opts.effective_morsel_rows());
     let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
@@ -468,6 +495,7 @@ pub fn parallel_hash_join(
     bloom: bool,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(HashTable, ParallelJoinOutput)> {
+    let _stage = opts.stage("join");
     let (bk, bp) = build_rows(build_keys, build_payloads)?;
     let build_plan = MorselPlan::new(bk.len(), opts.effective_morsel_rows());
     let probe_plan = MorselPlan::new(probe_keys.len(), opts.effective_morsel_rows());
@@ -526,6 +554,7 @@ pub fn parallel_hash_join_str(
     bloom: bool,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(StrHashTable, ParallelJoinOutput)> {
+    let _stage = opts.stage("join-str");
     let bk = build_keys.as_str().ok_or_else(|| {
         adaptvm_kernels::KernelError::Precondition("join build keys must be strings".into())
     })?;
@@ -654,6 +683,7 @@ impl ParallelJoinChain {
         keys: &[KeyColumn<'_>],
         opts: ParallelOpts<'_>,
     ) -> OpResult<ChainResult> {
+        let _stage = opts.stage("join-chain");
         let n = validate_mixed_columns(&self.sides, keys);
         let order = self.controller.current_order().to_vec();
         let plan = MorselPlan::new(n, opts.effective_morsel_rows());
@@ -710,6 +740,7 @@ pub fn q3_parallel(
     bloom: bool,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(f64, BuildProbeStats)> {
+    let _stage = opts.stage("q3");
     let chunk_rows = chunk_rows.max(1);
     let okey = ops::int_column(orders, "o_orderkey")?;
     let odate = ops::int_column(orders, "o_orderdate")?;
@@ -778,6 +809,7 @@ pub fn q1_parallel_vectorized(
     chunk_rows: usize,
     opts: ParallelOpts<'_>,
 ) -> OpResult<Vec<Q1Row>> {
+    let _stage = opts.stage("q1");
     let chunk_rows = chunk_rows.max(1);
     let plan = MorselPlan::chunk_aligned(table.rows(), opts.effective_morsel_rows(), chunk_rows);
     let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
@@ -807,6 +839,7 @@ pub fn q1_parallel_vectorized(
 /// [`tpch::q1_fused`] up to floating-point associativity (counts and
 /// integer-valued sums are exact). Fails only on cancellation/rejection.
 pub fn q1_parallel_fused(table: &Table, opts: ParallelOpts<'_>) -> OpResult<Vec<Q1Row>> {
+    let _stage = opts.stage("q1");
     let plan = MorselPlan::new(table.rows(), opts.effective_morsel_rows());
     let run = opts.runner().run_with(&plan, opts.cancel, |_, m| {
         Ok::<_, Infallible>(tpch::q1_fused_range(table, m.start, m.len))
@@ -831,6 +864,7 @@ pub fn q1_parallel_adaptive(
     chunk_rows: usize,
     opts: ParallelOpts<'_>,
 ) -> OpResult<Vec<Q1Row>> {
+    let _stage = opts.stage("q1");
     let chunk_rows = chunk_rows.max(1);
     let plan =
         MorselPlan::chunk_aligned(compact.qty.len(), opts.effective_morsel_rows(), chunk_rows);
@@ -868,6 +902,7 @@ pub fn q6_parallel(
     config: VmConfig,
     opts: ParallelOpts<'_>,
 ) -> Result<(f64, ParallelRunReport), VmError> {
+    let _stage = opts.stage("q6");
     let plan = MorselPlan::chunk_aligned(
         table.rows(),
         opts.effective_morsel_rows(),
@@ -894,6 +929,9 @@ pub fn q6_parallel(
         }
         if let Some(token) = opts.cancel {
             sopts = sopts.with_cancel(token.clone());
+        }
+        if let Some(t) = opts.trace {
+            sopts = sopts.with_trace(t.clone());
         }
         service
             .run_gated_with(
@@ -939,9 +977,22 @@ pub fn q18_parallel(
     threshold: f64,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(Vec<tpch::Q18Row>, adaptvm_parallel::SpillStats)> {
-    use adaptvm_kernels::KernelError;
+    let _stage = opts.stage("q18");
     let (groups, stats) =
         crate::spill::parallel_hash_aggregate_spill(lineitem, "l_orderkey", "l_quantity", opts)?;
+    let rows = q18_finish(groups, orders, threshold)?;
+    Ok((rows, stats))
+}
+
+/// The shared tail of the Q18 pipelines: apply the HAVING filter to the
+/// key-sorted group sums and join the survivors back to `orders` for the
+/// date.
+fn q18_finish(
+    groups: Vec<(i64, GroupState)>,
+    orders: &Table,
+    threshold: f64,
+) -> OpResult<Vec<tpch::Q18Row>> {
+    use adaptvm_kernels::KernelError;
     let okey = orders
         .column_by_name("o_orderkey")
         .map_err(KernelError::Storage)?
@@ -953,7 +1004,7 @@ pub fn q18_parallel(
         .to_i64_vec()
         .ok_or_else(|| KernelError::Precondition("o_orderdate must be integer".into()))?;
     let dates: HashMap<i64, i64> = okey.into_iter().zip(odate).collect();
-    let rows = groups
+    Ok(groups
         .into_iter()
         .filter(|(_, g)| g.sum > threshold)
         .filter_map(|(k, g)| {
@@ -964,7 +1015,59 @@ pub fn q18_parallel(
                 line_count: g.count,
             })
         })
-        .collect();
+        .collect())
+}
+
+/// [`q18_parallel`] with the HAVING clause **re-evaluated through the
+/// adaptive VM**: the spillable parallel aggregate computes the per-order
+/// quantity sums exactly as in [`q18_parallel`], then a Q6-shaped DSL
+/// program ([`tpch::q18_having_program`]) recomputes
+/// `sum(total where total > threshold)` over those group sums inside the
+/// VM — interpreting, tracing, JIT-compiling, or deoptimizing per
+/// `config.strategy`. The host still materializes the result rows; the
+/// VM's kept-quantity sum must agree **bit-exactly** with the host's
+/// (quantities are integer-valued f64 and the sums stay far below 2^53,
+/// so addition order cannot matter), and any disagreement surfaces as
+/// [`VmError::Shape`].
+///
+/// The VM leg makes this the engine's one-stop profiling query: a single
+/// traced call produces admission, morsel, spill, budget, **and** JIT
+/// events in one [`adaptvm_parallel::QueryProfile`].
+pub fn q18_parallel_vm(
+    lineitem: &Table,
+    orders: &Table,
+    threshold: f64,
+    config: VmConfig,
+    opts: ParallelOpts<'_>,
+) -> Result<(Vec<tpch::Q18Row>, adaptvm_parallel::SpillStats), VmError> {
+    let _stage = opts.stage("q18");
+    let (groups, stats) =
+        crate::spill::parallel_hash_aggregate_spill(lineitem, "l_orderkey", "l_quantity", opts)
+            .map_err(VmError::Kernel)?;
+    // HAVING through the VM over the aggregated (key-sorted) group sums.
+    // Empty input is degenerate — nothing to filter, nothing to check.
+    if !groups.is_empty() {
+        let sums: Vec<f64> = groups.iter().map(|(_, g)| g.sum).collect();
+        let program = tpch::q18_having_program(sums.len() as i64, threshold);
+        let buffers = adaptvm_vm::Buffers::new().with_input("sums", Array::from(sums));
+        let (out, _report) = Vm::new(config).run(&program, buffers)?;
+        let vm_kept = out
+            .output("kept")
+            .and_then(|a| a.as_f64())
+            .and_then(|v| v.first().copied())
+            .ok_or_else(|| VmError::Shape("q18 HAVING program produced no kept output".into()))?;
+        let host_kept: f64 = groups
+            .iter()
+            .map(|(_, g)| g.sum)
+            .filter(|&s| s > threshold)
+            .sum();
+        if vm_kept.to_bits() != host_kept.to_bits() {
+            return Err(VmError::Shape(format!(
+                "q18 HAVING disagreement: VM kept {vm_kept}, host kept {host_kept}"
+            )));
+        }
+    }
+    let rows = q18_finish(groups, orders, threshold).map_err(VmError::Kernel)?;
     Ok((rows, stats))
 }
 
@@ -988,6 +1091,7 @@ pub fn q9_parallel(
     every: u64,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(Vec<tpch::Q9Row>, u64)> {
+    let _stage = opts.stage("q9");
     let mut part = HashTable::from_rows(&data.part_keys, &data.part_payload);
     let mut supp = HashTable::from_rows(&data.supp_keys, &data.supp_payload);
     let brand_payloads = Array::from(data.brand_payload.clone());

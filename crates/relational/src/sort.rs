@@ -33,7 +33,7 @@ use std::collections::BinaryHeap;
 
 use adaptvm_kernels::KernelError;
 use adaptvm_parallel::{
-    run_spillable, BudgetLease, MemoryBudget, Morsel, MorselPlan, RunError, SpillCheckpoint,
+    obs, run_spillable, BudgetLease, MemoryBudget, Morsel, MorselPlan, RunError, SpillCheckpoint,
     SpillStats, SpillableOp,
 };
 use adaptvm_storage::spill::{IntRun, IntRunWriter, RunCursor, SpillDir};
@@ -160,6 +160,7 @@ impl<'a> SpillableOp for SortOp<'a> {
                         dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
                     }
                     let d = dir.as_ref().expect("just created");
+                    let _io = obs::spill_scope("sort", r.min(u16::MAX as usize) as u16, 0);
                     let mut w = IntRunWriter::create(d.run_path(&format!("sort-r{r}")))
                         .map_err(KernelError::Storage)?;
                     for lo in (0..keys.len()).step_by(crate::spill::SPILL_FRAME_ROWS) {
@@ -195,6 +196,8 @@ impl<'a> SpillableOp for SortOp<'a> {
     ) -> Result<Self::Settled, RunError<KernelError>> {
         debug_assert!(outs.is_empty(), "sort has no consume phase");
         checkpoint.check()?;
+        // The k-way merge streams every disk run; label its frame reads.
+        let _io = obs::spill_scope("sort-merge", 0, 0);
         let SortSides { mut sources, _dir } = shared;
         let total = self.keys.len();
         let cap = self.limit.map_or(total, |k| k.min(total));
@@ -233,6 +236,7 @@ fn run_sort(
     limit: Option<usize>,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(SortedRows, SpillStats)> {
+    let _stage = opts.stage("sort");
     if keys.len() != payloads.len() {
         return Err(KernelError::Precondition(format!(
             "sort keys and payloads must have equal lengths ({} vs {})",

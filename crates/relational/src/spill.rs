@@ -84,8 +84,8 @@ use std::collections::HashMap;
 use adaptvm_kernels::map::{hash_i64, hash_str};
 use adaptvm_kernels::KernelError;
 use adaptvm_parallel::{
-    acquire_partition, acquire_str, run_spillable, BudgetLease, MemoryBudget, Morsel, MorselPlan,
-    PartitionScratch, RunError, SpillCheckpoint, SpillStats, SpillableOp, StrScratch,
+    acquire_partition, acquire_str, obs, run_spillable, BudgetLease, MemoryBudget, Morsel,
+    MorselPlan, PartitionScratch, RunError, SpillCheckpoint, SpillStats, SpillableOp, StrScratch,
 };
 use adaptvm_storage::spill::{IntRun, IntRunWriter, SpillDir, StrBatch, StrRun, StrRunWriter};
 use adaptvm_storage::{Array, Table};
@@ -336,6 +336,7 @@ impl<'a> SpillableOp for IntJoinSpillOp<'a> {
                     dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
                 }
                 let d = dir.as_ref().expect("just created");
+                let _io = obs::spill_scope("join-build", b as u16, 0);
                 let mut w = IntRunWriter::create(d.run_path(&format!("int-d0-b{b}")))
                     .map_err(KernelError::Storage)?;
                 for lo in (0..keys.len()).step_by(SPILL_FRAME_ROWS) {
@@ -426,6 +427,7 @@ impl<'a> SpillableOp for IntJoinSpillOp<'a> {
         for (b, run) in runs.into_iter().enumerate() {
             let Some(run) = run else { continue };
             let dir = dir.as_ref().expect("spilled partitions imply a spill dir");
+            let _io = obs::spill_scope("join", b as u16, 0);
             let probe = int_probe_of(
                 std::mem::take(&mut deferred[b]),
                 self.probe_keys,
@@ -471,6 +473,7 @@ pub fn parallel_hash_join_spill(
     bloom: bool,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(ParallelJoinOutput, SpillStats)> {
+    let _stage = opts.stage("join-spill");
     let (bk, bp) = crate::parallel::build_rows(build_keys, build_payloads)?;
     let budget = opts.effective_budget().unwrap_or(&UNLIMITED);
     let mut op = IntJoinSpillOp {
@@ -679,6 +682,7 @@ fn settle_int_run(
         stats.partitions_spilled += 1;
         stats.runs_written += 1;
         stats.bytes_written += sub_run.bytes();
+        let _io = obs::spill_scope("join", s as u16, (depth + 1) as u16);
         settle_int_run(
             sub_run,
             probe_s,
@@ -860,6 +864,7 @@ impl<'a> SpillableOp for StrJoinSpillOp<'a> {
                     dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
                 }
                 let d = dir.as_ref().expect("just created");
+                let _io = obs::spill_scope("join-str-build", b as u16, 0);
                 let mut w = StrRunWriter::create(d.run_path(&format!("str-d0-b{b}")))
                     .map_err(KernelError::Storage)?;
                 append_str_chunked(&mut w, &batch)?;
@@ -940,6 +945,7 @@ impl<'a> SpillableOp for StrJoinSpillOp<'a> {
         for (b, run) in runs.into_iter().enumerate() {
             let Some(run) = run else { continue };
             let dir = dir.as_ref().expect("spilled partitions imply a spill dir");
+            let _io = obs::spill_scope("join-str", b as u16, 0);
             let probe = str_probe_of(
                 std::mem::take(&mut deferred[b]),
                 self.probe_keys,
@@ -984,6 +990,7 @@ pub fn parallel_hash_join_str_spill(
     bloom: bool,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(ParallelJoinOutput, SpillStats)> {
+    let _stage = opts.stage("join-str-spill");
     let bk = build_keys
         .as_str()
         .ok_or_else(|| KernelError::Precondition("join build keys must be strings".to_string()))?;
@@ -1186,6 +1193,7 @@ fn settle_str_run(
         stats.partitions_spilled += 1;
         stats.runs_written += 1;
         stats.bytes_written += sub_run.bytes();
+        let _io = obs::spill_scope("join-str", s as u16, (depth + 1) as u16);
         settle_str_run(
             sub_run,
             probe_s,
@@ -1283,6 +1291,7 @@ impl<'a> SpillableOp for AggSpillOp<'a> {
                     dir = Some(SpillDir::new().map_err(KernelError::Storage)?);
                 }
                 let d = dir.as_ref().expect("just created");
+                let _io = obs::spill_scope("agg", b as u16, 0);
                 let mut w = IntRunWriter::create(d.run_path(&format!("agg-d0-b{b}")))
                     .map_err(KernelError::Storage)?;
                 for lo in (0..keys.len()).step_by(SPILL_FRAME_ROWS) {
@@ -1329,7 +1338,9 @@ impl<'a> SpillableOp for AggSpillOp<'a> {
         }
         drop(leases);
         let mut scratch = acquire_partition(SPILL_FANOUT);
-        for run in runs.into_iter().flatten() {
+        for (b, run) in runs.into_iter().enumerate() {
+            let Some(run) = run else { continue };
+            let _io = obs::spill_scope("agg", b as u16, 0);
             settle_agg_run(
                 run,
                 0,
@@ -1410,11 +1421,13 @@ fn settle_agg_run(
     }
     stats.bytes_read += run.bytes();
     run.delete();
-    for writer in writers.into_iter().flatten() {
+    for (s, writer) in writers.into_iter().enumerate() {
+        let Some(writer) = writer else { continue };
         let sub_run = writer.finish().map_err(storage_err)?;
         stats.partitions_spilled += 1;
         stats.runs_written += 1;
         stats.bytes_written += sub_run.bytes();
+        let _io = obs::spill_scope("agg", s as u16, (depth + 1) as u16);
         settle_agg_run(
             sub_run, // non-empty by construction: writers are lazy
             depth + 1,
@@ -1465,6 +1478,7 @@ pub fn parallel_hash_aggregate_spill(
     value_col: &str,
     opts: ParallelOpts<'_>,
 ) -> OpResult<(Vec<(i64, GroupState)>, SpillStats)> {
+    let _stage = opts.stage("agg-spill");
     let keys = table
         .column_by_name(key_col)
         .map_err(KernelError::Storage)?

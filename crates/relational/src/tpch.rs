@@ -580,6 +580,42 @@ pub fn q6_program(rows: i64, date_lo: i64) -> Program {
     parse_program(&src).expect("q6 source is well-formed")
 }
 
+/// TPC-H Q18's HAVING clause as a DSL program:
+/// `sum(total for total in sums where total > threshold)` over the
+/// aggregated per-order quantity sums, chunked through the same
+/// loop/read/filter/fold shape as [`q6_program`] so the adaptive VM
+/// treats it as a hot loop (interpret → trace → JIT per the configured
+/// strategy). Buffer: `sums` (f64); the kept-quantity total is written
+/// to `kept`.
+///
+/// Quantity sums are integer-valued f64 far below 2^53, so the chunked
+/// fold is bit-identical to any other summation order —
+/// [`crate::parallel::q18_parallel_vm`] exploits this to cross-check the
+/// VM against the host filter exactly.
+pub fn q18_having_program(rows: i64, threshold: f64) -> Program {
+    let src = format!(
+        r#"
+        mut i
+        mut tot
+        i := 0
+        tot := 0.0
+        loop {{
+          let s = read i sums in {{
+            let t = filter (\x -> x > {threshold:?}) s in {{
+              let k = fold sum 0.0 t in {{
+                tot := tot + k
+                i := i + len(s)
+              }}
+            }}
+          }}
+          if i >= {rows} then {{ break }}
+        }}
+        write kept 0 tot
+        "#
+    );
+    parse_program(&src).expect("q18 HAVING source is well-formed")
+}
+
 /// Q6 input buffers from a lineitem table.
 pub fn q6_buffers(table: &Table) -> adaptvm_vm::Buffers {
     adaptvm_vm::Buffers::new()

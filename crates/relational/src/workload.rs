@@ -180,6 +180,17 @@ impl Workload {
     /// morsel, shorter/longer arrays (parameters, dimension tables) are
     /// passed whole, and per-morsel outputs are concatenated in morsel
     /// order — worker-count independent by construction.
+    ///
+    /// A program without an explicit chunk loop (`read 0 …`, no
+    /// `loop`) processes only the **first chunk** of its morsel's
+    /// slice, so such programs must run with `opts.morsel_rows ==
+    /// config.chunk_size` (morsel = chunk) to cover every row; leaving
+    /// `morsel_rows` elastic (0) makes the covered row set — and thus
+    /// the output — depend on the scheduler's adaptive morsel sizing.
+    /// Loop-shaped programs (see [`tpch::q6_program`]'s chunked-loop
+    /// idiom) consume their whole slice at any morsel size.
+    ///
+    /// [`tpch::q6_program`]: crate::tpch::q6_program
     pub fn run_partitioned(
         &self,
         rows: usize,
@@ -246,6 +257,7 @@ impl Workload {
     where
         F: Fn(&Morsel) -> (Program, Buffers) + Send + Sync,
     {
+        let _stage = opts.stage("workload");
         let pvm = ParallelVm::new(opts.effective_workers(), config);
         if let Some(service) = opts.service {
             let mut sopts = adaptvm_parallel::SubmitOpts::new(opts.priority);
@@ -254,6 +266,9 @@ impl Workload {
             }
             if let Some(token) = opts.cancel {
                 sopts = sopts.with_cancel(token.clone());
+            }
+            if let Some(t) = opts.trace {
+                sopts = sopts.with_trace(t.clone());
             }
             service
                 .run_gated_with(

@@ -47,11 +47,71 @@ use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::error::StorageError;
 
 /// Process-wide counter making [`SpillDir`] names unique.
 static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------------
+// Spill I/O observability
+// ---------------------------------------------------------------------------
+
+/// One spill I/O event: a frame written to or read from a run file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillIoEvent {
+    /// `true` for a frame write, `false` for a frame read.
+    pub write: bool,
+    /// Encoded frame bytes moved (header included).
+    pub bytes: u64,
+    /// Rows in the frame.
+    pub rows: u64,
+}
+
+/// A snapshot of the process-wide spill I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillIoCounters {
+    /// Encoded bytes written to run files.
+    pub bytes_written: u64,
+    /// Encoded bytes read back from run files.
+    pub bytes_read: u64,
+}
+
+static SPILL_BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+static SPILL_BYTES_READ: AtomicU64 = AtomicU64::new(0);
+
+type IoHook = Box<dyn Fn(SpillIoEvent) + Send + Sync>;
+
+static IO_HOOK: OnceLock<IoHook> = OnceLock::new();
+
+/// Install the process-wide spill I/O event hook (the tracing subsystem
+/// in `adaptvm_parallel` routes events into the current query's trace).
+/// The first installation wins; returns `false` if one is installed.
+pub fn install_io_hook(hook: IoHook) -> bool {
+    IO_HOOK.set(hook).is_ok()
+}
+
+/// The process-wide spill I/O byte totals (monotonic since process
+/// start). Always on: each frame costs one relaxed `fetch_add`.
+pub fn io_counters() -> SpillIoCounters {
+    SpillIoCounters {
+        bytes_written: SPILL_BYTES_WRITTEN.load(Ordering::Relaxed),
+        bytes_read: SPILL_BYTES_READ.load(Ordering::Relaxed),
+    }
+}
+
+/// Count one frame of spill I/O and forward it to the hook, if any.
+fn io_event(ev: SpillIoEvent) {
+    if ev.write {
+        SPILL_BYTES_WRITTEN.fetch_add(ev.bytes, Ordering::Relaxed);
+    } else {
+        SPILL_BYTES_READ.fetch_add(ev.bytes, Ordering::Relaxed);
+    }
+    if let Some(hook) = IO_HOOK.get() {
+        hook(ev);
+    }
+}
 
 /// Sanity ceiling on rows per frame, enforced by the writers and trusted
 /// by the readers: a corrupt frame header can then never trigger an
@@ -354,6 +414,11 @@ impl RunWriter {
             .map_err(|e| io_err("writing spill run", &self.path, e))?;
         self.rows += rows as u64;
         self.bytes += self.frame.len() as u64;
+        io_event(SpillIoEvent {
+            write: true,
+            bytes: self.frame.len() as u64,
+            rows: rows as u64,
+        });
         Ok(())
     }
 
@@ -476,6 +541,12 @@ impl RunReader {
                 self.path.display()
             )));
         }
+        let header_len = if self.schema.utf8_key { 8 } else { 4 };
+        io_event(SpillIoEvent {
+            write: false,
+            bytes: (header_len + body_len) as u64,
+            rows: rows as u64,
+        });
         let (offsets, arena) = if self.schema.utf8_key {
             let (lens, arena) = self.body[..utf8_bytes].split_at(rows * 4);
             let mut offsets = Vec::with_capacity(rows + 1);

@@ -238,14 +238,21 @@ impl Vm {
                 let (trace, hit) = cache.get_or_compile(key, || Arc::new(compile(frag, &model)));
                 if hit {
                     report.trace_cache_hits += 1;
+                    crate::obs::jit_event(crate::obs::JitEvent::CacheHit);
                 } else {
                     report.compile_ns_total += trace.cost_ns;
+                    crate::obs::jit_event(crate::obs::JitEvent::Compile {
+                        cost_ns: trace.cost_ns,
+                    });
                 }
                 trace
             }
             None => {
                 let trace = Arc::new(compile(frag, &self.config.cost_model));
                 report.compile_ns_total += trace.cost_ns;
+                crate::obs::jit_event(crate::obs::JitEvent::Compile {
+                    cost_ns: trace.cost_ns,
+                });
                 trace
             }
         }
@@ -367,7 +374,10 @@ impl Vm {
                         state: VmState::InjectFunctions,
                     });
                 }
-                Err(_) => report.fallbacks += 1,
+                Err(_) => {
+                    report.fallbacks += 1;
+                    crate::obs::jit_event(crate::obs::JitEvent::Deopt);
+                }
             }
         }
 
@@ -417,6 +427,7 @@ impl Vm {
                                     self.config.code_cache.as_ref().and_then(|c| c.get(&key));
                                 if let Some(trace) = cached {
                                     report.trace_cache_hits += 1;
+                                    crate::obs::jit_event(crate::obs::JitEvent::CacheHit);
                                     inject(
                                         &mut injections,
                                         &graph,
@@ -432,12 +443,20 @@ impl Vm {
                                     // fingerprint, pick the trace up from
                                     // the publish cache once it lands.
                                     match shared.submit_unique(frag) {
-                                        Ok(ours) => shared_pending.push((
-                                            key,
-                                            region.nodes.clone(),
-                                            ours.is_some(),
-                                        )),
-                                        Err(_) => report.fallbacks += 1,
+                                        Ok(ours) => {
+                                            crate::obs::jit_event(
+                                                crate::obs::JitEvent::AsyncSubmit,
+                                            );
+                                            shared_pending.push((
+                                                key,
+                                                region.nodes.clone(),
+                                                ours.is_some(),
+                                            ))
+                                        }
+                                        Err(_) => {
+                                            report.fallbacks += 1;
+                                            crate::obs::jit_event(crate::obs::JitEvent::Deopt);
+                                        }
                                     }
                                     continue;
                                 }
@@ -445,6 +464,7 @@ impl Vm {
                                     CompileServer::start(self.config.cost_model)
                                 });
                                 if let Ok(ticket) = srv.submit(frag) {
+                                    crate::obs::jit_event(crate::obs::JitEvent::AsyncSubmit);
                                     pending.insert(ticket, (region.seed, region.nodes.clone()));
                                 }
                             } else {
@@ -453,7 +473,10 @@ impl Vm {
                                 report.injected_traces += 1;
                             }
                         }
-                        Err(_) => report.fallbacks += 1,
+                        Err(_) => {
+                            report.fallbacks += 1;
+                            crate::obs::jit_event(crate::obs::JitEvent::Deopt);
+                        }
                     }
                 }
                 if !self.config.async_compile || report.injected_traces > injected_before {
@@ -481,8 +504,12 @@ impl Vm {
                             let (_, nodes, ours) = shared_pending.remove(i);
                             if ours {
                                 report.compile_ns_total += trace.cost_ns;
+                                crate::obs::jit_event(crate::obs::JitEvent::Publish {
+                                    cost_ns: trace.cost_ns,
+                                });
                             } else {
                                 report.trace_cache_hits += 1;
+                                crate::obs::jit_event(crate::obs::JitEvent::CacheHit);
                             }
                             inject(&mut injections, &graph, &flat, nodes, trace);
                             report.injected_traces += 1;
@@ -507,6 +534,9 @@ impl Vm {
                     for f in finished {
                         if let Some((_, nodes)) = pending.remove(&f.ticket) {
                             report.compile_ns_total += f.trace.cost_ns;
+                            crate::obs::jit_event(crate::obs::JitEvent::Publish {
+                                cost_ns: f.trace.cost_ns,
+                            });
                             if let Some(cache) = &self.config.code_cache {
                                 cache.insert(
                                     TraceKey {
@@ -570,6 +600,7 @@ impl Vm {
                                 // skip those scalars and feed stale values
                                 // to the nodes after them.
                                 report.fallbacks += 1;
+                                crate::obs::jit_event(crate::obs::JitEvent::Deopt);
                                 injections.remove(*k);
                                 plan = build_plan(&flat, &injections);
                                 continue;

@@ -22,6 +22,7 @@ pub mod engine;
 pub mod env;
 pub mod error;
 pub mod interp;
+pub mod obs;
 pub mod placement;
 pub mod profile;
 pub mod reorder;
@@ -30,4 +31,5 @@ pub use adaptive::{BanditPolicy, FixedPolicy, FlavorPolicy};
 pub use engine::{RunReport, Strategy, Vm, VmConfig, VmState};
 pub use env::{Buffers, Env};
 pub use error::VmError;
+pub use obs::{install_jit_hook, jit_counters, JitCounters, JitEvent};
 pub use profile::Profile;

@@ -1,0 +1,168 @@
+//! Trace DSL queries end to end: compile workloads with the
+//! [`adaptvm::relational::workload::Workload`] bridge, run them through
+//! the admission-controlled [`QueryService`] with a live
+//! [`Trace`](adaptvm::parallel::Trace), then print each merged
+//! [`QueryProfile`](adaptvm::parallel::QueryProfile)'s human summary
+//! and write a Chrome trace-event JSON to a temp path —
+//! `chrome://tracing` or <https://ui.perfetto.dev> will load it.
+//!
+//! Two queries show the two tracing shapes:
+//! * a **chunk-local scan** fanned out morsel-parallel
+//!   ([`Workload::run_partitioned`]) — dozens of per-worker morsel
+//!   spans with steal attribution,
+//! * a **loop-shaped Q6-style revenue query** run as one VM task
+//!   ([`Workload::run`]) — the adaptive VM's chunk loop goes hot and
+//!   the profile records the JIT compile events.
+//!
+//! ```sh
+//! cargo run --release --example trace_query
+//! ```
+
+use std::time::Instant;
+
+use adaptvm::parallel::serve::{Priority, QueryService, ServeConfig};
+use adaptvm::parallel::Trace;
+use adaptvm::relational::parallel::ParallelOpts;
+use adaptvm::relational::workload::Workload;
+use adaptvm::storage::{Array, ScalarType};
+use adaptvm::vm::{Strategy, VmConfig};
+
+/// A chunk-local program: every output is a pure function of its
+/// morsel's slice, so per-morsel outputs concatenate in morsel order
+/// and the run is worker-count independent by construction.
+const SCAN_SRC: &str = "\
+let gains = map (\\p d -> p * d) (read 0 price) (read 0 disc) in {
+  write gains 0 (condense (filter (\\g -> g > 0.0) gains))
+  write scaled 0 (map (\\q -> q * 2 + 1) (read 0 qty))
+}
+";
+
+const SCAN_SCHEMA: &[(&str, ScalarType)] = &[
+    ("price", ScalarType::F64),
+    ("disc", ScalarType::F64),
+    ("qty", ScalarType::I64),
+    ("gains", ScalarType::F64),
+    ("scaled", ScalarType::I64),
+];
+
+/// A Q6-style revenue query as an explicit chunked loop (the shape the
+/// adaptive VM traces and JIT-compiles once it runs hot).
+fn revenue_src(rows: usize) -> String {
+    format!(
+        "\
+mut i
+mut rev
+i := 0
+rev := 0.0
+loop {{
+  let p = read i price in {{
+    let d = read i disc in {{
+      let t = filter (\\a b -> b >= 0.01 && b <= 0.07 && a < 9000.0) p d in {{
+        let r = map (\\a b -> a * b) t d in {{
+          let s = fold sum 0.0 r in {{
+            rev := rev + s
+            i := i + len(p)
+          }}
+        }}
+      }}
+    }}
+  }}
+  if i >= {rows} then {{ break }}
+}}
+write revenue 0 rev
+"
+    )
+}
+
+const REVENUE_SCHEMA: &[(&str, ScalarType)] = &[
+    ("price", ScalarType::F64),
+    ("disc", ScalarType::F64),
+    ("revenue", ScalarType::F64),
+];
+
+fn main() {
+    let n = 1_000_000usize;
+    let price = Array::from(
+        (0..n as i64)
+            .map(|i| (i % 10_000) as f64 + 1.0)
+            .collect::<Vec<_>>(),
+    );
+    let disc = Array::from(
+        (0..n as i64)
+            .map(|i| ((i * 7) % 21 - 10) as f64 * 0.01)
+            .collect::<Vec<_>>(),
+    );
+    let qty = Array::from((0..n as i64).map(|i| i % 50 + 1).collect::<Vec<_>>());
+
+    let service = QueryService::new(ServeConfig::default().with_workers(4));
+    let config = VmConfig {
+        strategy: Strategy::Adaptive,
+        hot_threshold: 2,
+        ..VmConfig::default()
+    };
+    // Pin morsel == chunk: `SCAN_SRC` reads one chunk per run (no loop),
+    // so each morsel must be exactly one chunk for the concatenated
+    // outputs to cover every row — see `Workload::run_partitioned`.
+    let mut opts = ParallelOpts::served(&service, Priority::Interactive);
+    opts.morsel_rows = config.chunk_size;
+
+    // Query 1: the chunk-local scan, morsel-parallel.
+    let inputs: Vec<(&str, Array)> = vec![
+        ("price", price.clone()),
+        ("disc", disc.clone()),
+        ("qty", qty),
+    ];
+    println!("== query 1: morsel-parallel scan ({n} rows)\n{SCAN_SRC}");
+    let scan = Workload::compile(SCAN_SRC, SCAN_SCHEMA).expect("scan compiles");
+
+    // Untraced oracle first: tracing must never change results.
+    let (oracle, _) = scan
+        .run_partitioned(n, &inputs, config.clone(), opts)
+        .expect("untraced scan");
+    let trace = Trace::new();
+    let t0 = Instant::now();
+    let (out, report) = scan
+        .run_partitioned(n, &inputs, config.clone(), opts.with_trace(&trace))
+        .expect("traced scan");
+    let wall = t0.elapsed();
+    assert_eq!(out, oracle, "traced scan must be bit-identical to untraced");
+    let scan_profile = trace.profile();
+    println!(
+        "traced: {:.2} ms over {} morsels, bit-identical to the untraced oracle\n",
+        wall.as_secs_f64() * 1e3,
+        report.morsels,
+    );
+    println!("{}", scan_profile.summary());
+
+    // Query 2: the loop-shaped revenue query — one VM task whose chunk
+    // loop goes hot and JIT-compiles under the adaptive strategy.
+    let src = revenue_src(n);
+    println!("\n== query 2: adaptive VM revenue query ({n} rows, chunked loop)");
+    let revenue = Workload::compile(&src, REVENUE_SCHEMA).expect("revenue compiles");
+    let inputs: Vec<(&str, Array)> = vec![("price", price), ("disc", disc)];
+    let trace = Trace::new();
+    let t0 = Instant::now();
+    let (out, report) = revenue
+        .run(&inputs, config, opts.with_trace(&trace))
+        .expect("traced revenue");
+    let wall = t0.elapsed();
+    let rev = out["revenue"].as_f64().and_then(|v| v.first().copied());
+    let vm_profile = trace.profile();
+    println!(
+        "traced: {:.2} ms, revenue {:?}, {} JIT-injected traces\n",
+        wall.as_secs_f64() * 1e3,
+        rev,
+        report.injected_traces,
+    );
+    println!("{}", vm_profile.summary());
+
+    let json = scan_profile.chrome_trace();
+    let path = std::env::temp_dir().join("adaptvm_trace_query.json");
+    std::fs::write(&path, &json).expect("write chrome trace");
+    println!(
+        "\nwrote {} ({} bytes) — load it in chrome://tracing or https://ui.perfetto.dev",
+        path.display(),
+        json.len()
+    );
+    service.shutdown();
+}

@@ -11,8 +11,9 @@
 use std::time::Duration;
 
 use adaptvm::parallel::serve::{
-    render_text, LatencySnapshot, QueryService, ServeConfig, ServiceStats, SubmitOpts as ServeOpts,
-    TenantQuota, TenantRegistry, TenantStats, HISTOGRAM_BUCKETS,
+    render_text, render_text_with, EngineSnapshot, LatencySnapshot, QueryService, ServeConfig,
+    ServiceStats, SubmitOpts as ServeOpts, TenantQuota, TenantRegistry, TenantStats,
+    HISTOGRAM_BUCKETS,
 };
 use adaptvm::parallel::MorselPlan;
 
@@ -71,8 +72,9 @@ fn empty_hist(name: &str, key: &str, value: &str) -> String {
 
 /// The full exposition of a hand-built snapshot, byte for byte. Pins the
 /// header, every family name, the family-major order (service gauges →
-/// scheduler counters → per-priority → per-tenant), the lane order, and
-/// zero-value formatting.
+/// scheduler counters → per-priority → per-tenant → engine), the lane
+/// order, and zero-value formatting. The engine block is injected through
+/// `render_text_with` so the golden stays independent of process history.
 #[test]
 fn golden_full_exposition() {
     let mut stats = ServiceStats {
@@ -101,7 +103,20 @@ fn golden_full_exposition() {
         ..TenantStats::default()
     });
 
-    let mut want = String::from("# adaptvm-serve-metrics v1\n");
+    let engine = EngineSnapshot {
+        jit_compiles: 11,
+        jit_cache_hits: 22,
+        jit_async_submits: 2,
+        jit_deopts: 1,
+        spill_bytes_written: 4096,
+        spill_bytes_read: 2048,
+        scratch_created: 6,
+        scratch_reused: 18,
+        morsel_grow: 4,
+        morsel_shrink: 3,
+    };
+
+    let mut want = String::from("# adaptvm-serve-metrics v2\n");
     want.push_str("serve_running 1\n");
     want.push_str("serve_draining 0\n");
     want.push_str("serve_concurrent_limit 4\n");
@@ -163,8 +178,19 @@ fn golden_full_exposition() {
     want.push_str("tenant_in_flight{tenant=\"acme\"} 0\n");
     want.push_str(&empty_hist("tenant_queue_wait_seconds", "tenant", "acme"));
     want.push_str(&empty_hist("tenant_latency_seconds", "tenant", "acme"));
+    // Engine-wide counters close the document (the v2 extension).
+    want.push_str("engine_jit_compiles_total 11\n");
+    want.push_str("engine_jit_cache_hits_total 22\n");
+    want.push_str("engine_jit_async_submits_total 2\n");
+    want.push_str("engine_jit_deopts_total 1\n");
+    want.push_str("engine_spill_bytes_written_total 4096\n");
+    want.push_str("engine_spill_bytes_read_total 2048\n");
+    want.push_str("engine_scratch_created_total 6\n");
+    want.push_str("engine_scratch_reused_total 18\n");
+    want.push_str("engine_morsel_grow_total 4\n");
+    want.push_str("engine_morsel_shrink_total 3\n");
 
-    let got = render_text(&stats);
+    let got = render_text_with(&stats, &engine);
     // Compare line-by-line first for a readable failure, then the whole.
     for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
         assert_eq!(g, w, "exposition line {}", i + 1);
@@ -349,11 +375,12 @@ fn round_trip_parse_of_live_service() {
         );
     }
     let stats = service.stats();
+    let engine_before = EngineSnapshot::capture();
     let text = render_text(&stats);
     assert_eq!(text, render_text(&stats), "rendering is deterministic");
 
     let mut lines = text.lines();
-    assert_eq!(lines.next(), Some("# adaptvm-serve-metrics v1"));
+    assert_eq!(lines.next(), Some("# adaptvm-serve-metrics v2"));
     // Every line parses; collect (name, labels) → value.
     let mut metrics = Vec::new();
     for line in lines {
@@ -383,6 +410,141 @@ fn round_trip_parse_of_live_service() {
         lookup("tenant_latency_seconds_count", "tenant", "acme"),
         stats.tenant("acme").unwrap().latency.count as f64
     );
+    // Engine counters are monotonic process-wide totals: the rendered
+    // value is bracketed by captures taken before and after the render.
+    let engine_after = EngineSnapshot::capture();
+    let engine_bounds: [(&str, u64, u64); 10] = [
+        (
+            "engine_jit_compiles_total",
+            engine_before.jit_compiles,
+            engine_after.jit_compiles,
+        ),
+        (
+            "engine_jit_cache_hits_total",
+            engine_before.jit_cache_hits,
+            engine_after.jit_cache_hits,
+        ),
+        (
+            "engine_jit_async_submits_total",
+            engine_before.jit_async_submits,
+            engine_after.jit_async_submits,
+        ),
+        (
+            "engine_jit_deopts_total",
+            engine_before.jit_deopts,
+            engine_after.jit_deopts,
+        ),
+        (
+            "engine_spill_bytes_written_total",
+            engine_before.spill_bytes_written,
+            engine_after.spill_bytes_written,
+        ),
+        (
+            "engine_spill_bytes_read_total",
+            engine_before.spill_bytes_read,
+            engine_after.spill_bytes_read,
+        ),
+        (
+            "engine_scratch_created_total",
+            engine_before.scratch_created,
+            engine_after.scratch_created,
+        ),
+        (
+            "engine_scratch_reused_total",
+            engine_before.scratch_reused,
+            engine_after.scratch_reused,
+        ),
+        (
+            "engine_morsel_grow_total",
+            engine_before.morsel_grow,
+            engine_after.morsel_grow,
+        ),
+        (
+            "engine_morsel_shrink_total",
+            engine_before.morsel_shrink,
+            engine_after.morsel_shrink,
+        ),
+    ];
+    for (name, lo, hi) in engine_bounds {
+        let got = metrics
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("engine family {name} absent"))
+            .2;
+        assert!(
+            got >= lo as f64 && got <= hi as f64,
+            "{name} = {got} outside [{lo}, {hi}]"
+        );
+    }
+
+    // Every family the renderer emitted must be reconciled by this test:
+    // an unknown base name means the exposition grew a family nobody
+    // checks, which is exactly the drift this suite exists to catch.
+    let known: &[&str] = &[
+        "serve_running",
+        "serve_draining",
+        "serve_concurrent_limit",
+        "serve_shed_level",
+        "serve_queue_depth",
+        "serve_concurrency_grow_total",
+        "serve_concurrency_shrink_total",
+        "scheduler_queries_submitted_total",
+        "scheduler_queries_completed_total",
+        "scheduler_morsels_executed_total",
+        "serve_submitted_total",
+        "serve_admitted_total",
+        "serve_rejected_full_total",
+        "serve_rejected_quota_total",
+        "serve_rejected_shutdown_total",
+        "serve_admission_timeouts_total",
+        "serve_shed_total",
+        "serve_completed_total",
+        "serve_task_errors_total",
+        "serve_panicked_total",
+        "serve_cancelled_total",
+        "serve_deadline_expired_total",
+        "serve_queue_wait_seconds",
+        "serve_latency_seconds",
+        "tenant_weight",
+        "tenant_submitted_total",
+        "tenant_admitted_total",
+        "tenant_rejected_full_total",
+        "tenant_rejected_quota_total",
+        "tenant_rejected_shutdown_total",
+        "tenant_admission_timeouts_total",
+        "tenant_shed_total",
+        "tenant_completed_total",
+        "tenant_task_errors_total",
+        "tenant_panicked_total",
+        "tenant_cancelled_total",
+        "tenant_deadline_expired_total",
+        "tenant_queued",
+        "tenant_in_flight",
+        "tenant_queue_wait_seconds",
+        "tenant_latency_seconds",
+        "engine_jit_compiles_total",
+        "engine_jit_cache_hits_total",
+        "engine_jit_async_submits_total",
+        "engine_jit_deopts_total",
+        "engine_spill_bytes_written_total",
+        "engine_spill_bytes_read_total",
+        "engine_scratch_created_total",
+        "engine_scratch_reused_total",
+        "engine_morsel_grow_total",
+        "engine_morsel_shrink_total",
+    ];
+    for (name, _, _) in &metrics {
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(
+            known.contains(&base),
+            "family {name:?} rendered but not reconciled by this test"
+        );
+    }
+
     // `le` is always the last label on bucket lines; `quantile` likewise.
     for (name, labels, _) in &metrics {
         if name.ends_with("_bucket") {
@@ -406,6 +568,8 @@ fn round_trip_parse_of_live_service() {
         "tenant_queued",
         "tenant_queue_wait_seconds_count",
         "tenant_latency_seconds_count",
+        "engine_jit_compiles_total",
+        "engine_morsel_shrink_total",
     ];
     let first = |name: &str| {
         metrics
