@@ -24,6 +24,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crate::builder::{Fragment, ReadSpec, WriteSpec};
 use crate::cache::{CodeCache, TraceKey};
 use crate::error::JitError;
+use crate::exec::{self, NativeTrace};
 use crate::ir::{self, PackedProgram, TraceIr, TraceResult};
 use crate::passes::{optimize, PassStats};
 
@@ -93,6 +94,29 @@ pub struct CompiledTrace {
     /// so execution never re-validates. A pack error is surfaced on the
     /// first run and triggers the VM's interpretation fallback.
     packed: Result<PackedProgram, JitError>,
+    /// Native machine code for the trace, when the host supports it and
+    /// the trace is eligible (see [`exec::compile_native`]). `None` means
+    /// the interpreted-trace tier serves every run — never an error.
+    native: Option<Arc<NativeTrace>>,
+}
+
+/// Which tier produced a trace result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceTier {
+    /// Generated x86-64 machine code.
+    Native,
+    /// The packed trace interpreter.
+    Interpreted,
+}
+
+/// How one tiered trace execution went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierRun {
+    /// The tier whose result was returned.
+    pub tier: TraceTier,
+    /// True when native code started the chunk but deopted, so the result
+    /// came from the interpreter re-run.
+    pub native_deopt: bool,
 }
 
 impl CompiledTrace {
@@ -106,6 +130,63 @@ impl CompiledTrace {
             Ok(p) => ir::run_packed(&self.ir, p, inputs, candidates),
             Err(e) => Err(e.clone()),
         }
+    }
+
+    /// Whether native machine code was generated for this trace.
+    pub fn has_native(&self) -> bool {
+        self.native.is_some()
+    }
+
+    /// Emitted native code size in bytes, when a native body exists.
+    pub fn native_code_len(&self) -> Option<usize> {
+        self.native.as_ref().map(|n| n.code_len())
+    }
+
+    /// Execute preferring the native tier. Native code runs only for the
+    /// packed (no pending selection) path it was compiled for; any guard
+    /// deopt discards the native attempt and re-runs the interpreter over
+    /// the same chunk, so the returned result is always bit-identical to
+    /// [`CompiledTrace::run`]. `allow_native: false` pins the interpreted
+    /// tier (engine config / non-x86-64 hosts).
+    pub fn run_tiered(
+        &self,
+        inputs: &[&Array],
+        candidates: Option<&SelVec>,
+        allow_native: bool,
+    ) -> Result<(TraceResult, TierRun), JitError> {
+        if allow_native && candidates.is_none() && self.packed.is_ok() {
+            if let Some(nt) = &self.native {
+                match exec::run_native(&self.ir, nt, inputs) {
+                    Ok(r) => {
+                        return Ok((
+                            r,
+                            TierRun {
+                                tier: TraceTier::Native,
+                                native_deopt: false,
+                            },
+                        ));
+                    }
+                    Err(_) => {
+                        let r = self.run(inputs, candidates)?;
+                        return Ok((
+                            r,
+                            TierRun {
+                                tier: TraceTier::Interpreted,
+                                native_deopt: true,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let r = self.run(inputs, candidates)?;
+        Ok((
+            r,
+            TierRun {
+                tier: TraceTier::Interpreted,
+                native_deopt: false,
+            },
+        ))
     }
 }
 
@@ -124,6 +205,14 @@ pub fn compile(fragment: Fragment, model: &CostModel) -> CompiledTrace {
         }
     }
     let packed = ir.pack();
+    // Lower to machine code only for traces the interpreter validated;
+    // ineligible traces (or non-x86-64 hosts) keep `native: None` and are
+    // served by the interpreted tier.
+    let native = if packed.is_ok() {
+        exec::compile_native(&ir).map(Arc::new)
+    } else {
+        None
+    };
     CompiledTrace {
         ir,
         reads: fragment.reads,
@@ -132,6 +221,7 @@ pub fn compile(fragment: Fragment, model: &CostModel) -> CompiledTrace {
         cost_ns: model.cost_ns(n_ops),
         fingerprint,
         packed,
+        native,
     }
 }
 
@@ -424,6 +514,29 @@ mod tests {
         // The second finishes too (poll or wait).
         let trace2 = server.wait(t2).unwrap();
         assert_eq!(trace2.fingerprint, trace.fingerprint);
+    }
+
+    #[test]
+    fn tiered_run_matches_interpreted_run() {
+        let _g = crate::exec::test_hook_guard();
+        let trace = compile(fig2_whole_fragment(), &CostModel::untimed());
+        let x = Array::from(vec![1i64, -2, 3, 40, -5, 6]);
+        let reference = trace.run(&[&x], None).unwrap();
+        let (tiered, tr) = trace.run_tiered(&[&x], None, true).unwrap();
+        assert_eq!(format!("{reference:?}"), format!("{tiered:?}"));
+        if crate::exec::native_available() {
+            assert!(trace.has_native(), "fig2 fragment should lower natively");
+            assert_eq!(tr.tier, TraceTier::Native);
+            assert!(!tr.native_deopt);
+            assert!(trace.native_code_len().unwrap() > 0);
+        } else {
+            assert_eq!(tr.tier, TraceTier::Interpreted);
+        }
+        // Pinning the interpreter always works.
+        let (pinned, tr2) = trace.run_tiered(&[&x], None, false).unwrap();
+        assert_eq!(format!("{reference:?}"), format!("{pinned:?}"));
+        assert_eq!(tr2.tier, TraceTier::Interpreted);
+        assert!(!tr2.native_deopt);
     }
 
     #[test]

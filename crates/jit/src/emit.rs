@@ -1,0 +1,1089 @@
+//! x86-64 machine-code emission for the native backend.
+//!
+//! This module is pure byte generation — it never executes anything —
+//! so it compiles and unit-tests on every host; only [`crate::exec`]
+//! is architecture-gated.
+//!
+//! ## Register plan
+//!
+//! Fixed (callee-saved, live for the whole function):
+//!
+//! | reg | role |
+//! |-----|------|
+//! | r13 | `NativeCtx` pointer |
+//! | rbx | lane index `i` |
+//! | r12 | lane count `n` |
+//! | r14 | filter pass flag (0/1) |
+//! | r15 | remaining guard budget |
+//!
+//! Scratch (never allocated): rax, rcx, r10, r11, xmm0, xmm1.
+//! Allocatable pools: GPRs {rdx, rsi, rdi, r8, r9} for i64 lanes,
+//! xmm2..xmm15 for f64 lanes — all caller-saved, which is why
+//! [`crate::ssa`] stack-forces values that live across helper calls.
+//!
+//! Every op follows the same uniform shape — load operands into scratch,
+//! compute into scratch, store to the value's allocated location — so
+//! correctness does not depend on which `Loc` the allocator picked.
+//!
+//! ## ABI & frame
+//!
+//! The emitted function is `extern "C" fn(*mut NativeCtx) -> i64`
+//! (SysV64: ctx in rdi, status in rax — 0 ok, 1 guard budget exhausted,
+//! 2 output capacity exceeded). The prologue pushes 6 callee-saved
+//! registers and reserves `8*slots` bytes (padded so rsp is 16-aligned
+//! at helper-call sites). Helper arguments go through rdi/rsi (ints) or
+//! stay in xmm0/xmm1 (floats); results return in rax/xmm0.
+
+use crate::ir::{LaneType, K};
+use crate::regalloc::{Allocation, Loc};
+use crate::ssa::{Operand, SsaFold, SsaProgram};
+use adaptvm_dsl::ast::FoldFn;
+
+// ---------------------------------------------------------------------
+// NativeCtx field offsets (struct defined in `exec`; a test there pins
+// these against `mem::offset_of!`).
+
+pub(crate) const CTX_INPUTS: i32 = 0;
+pub(crate) const CTX_N: i32 = 8;
+pub(crate) const CTX_ARR_PTRS: i32 = 16;
+pub(crate) const CTX_ARR_COUNTS: i32 = 24;
+pub(crate) const CTX_ARR_CAP: i32 = 32;
+pub(crate) const CTX_SEL_PTRS: i32 = 40;
+pub(crate) const CTX_SEL_COUNTS: i32 = 48;
+pub(crate) const CTX_FOLDS: i32 = 56;
+pub(crate) const CTX_BUDGET: i32 = 64;
+
+/// Addresses of the `extern "C"` helper functions (provided by `exec`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Helpers {
+    pub i64_div: u64,
+    pub i64_rem: u64,
+    pub f64_rem: u64,
+    pub f64_min: u64,
+    pub f64_max: u64,
+    pub f64_cast_i8: u64,
+    pub f64_cast_i16: u64,
+    pub f64_cast_i32: u64,
+}
+
+// ---------------------------------------------------------------------
+// GPR numbers.
+
+const RAX: u8 = 0;
+const RCX: u8 = 1;
+const RDX: u8 = 2;
+const RBX: u8 = 3;
+const RSP: u8 = 4;
+const RBP: u8 = 5;
+const RSI: u8 = 6;
+const RDI: u8 = 7;
+const R8: u8 = 8;
+const R9: u8 = 9;
+const R10: u8 = 10;
+const R11: u8 = 11;
+const R12: u8 = 12;
+const R13: u8 = 13;
+const R14: u8 = 14;
+const R15: u8 = 15;
+
+/// Allocatable GPR pool for i64 lanes (index = abstract pool register).
+const GPR_POOL: [u8; 5] = [RDX, RSI, RDI, R8, R9];
+/// f64 pool register `r` is physical xmm `2 + r`.
+const XMM_BASE: u8 = 2;
+/// Pool sizes handed to the allocator.
+pub(crate) const GPR_POOL_SIZE: u8 = GPR_POOL.len() as u8;
+pub(crate) const XMM_POOL_SIZE: u8 = 14;
+
+/// x86 condition codes (the low nibble of the 0F 9x/4x/8x opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cc {
+    Ae = 3,
+    E = 4,
+    Ne = 5,
+    Be = 6,
+    A = 7,
+    S = 8,
+    P = 10,
+    Np = 11,
+    L = 12,
+    Ge = 13,
+    Le = 14,
+    G = 15,
+}
+
+// ---------------------------------------------------------------------
+// Assembler.
+
+#[derive(Debug, Clone, Copy)]
+struct Label(usize);
+
+struct Asm {
+    code: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    /// (patch position of the rel32, label index).
+    fixups: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    fn new() -> Asm {
+        Asm {
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    fn bind(&mut self, l: Label) {
+        debug_assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len());
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        for (pos, label) in self.fixups {
+            let target = self.labels[label].expect("unbound label");
+            let rel = (target as i64 - (pos as i64 + 4)) as i32;
+            self.code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        self.code
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.code.push(b);
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// REX prefix if any bit is needed.
+    fn rex(&mut self, w: bool, reg: u8, index: u8, base: u8) {
+        let r = (reg >> 3) & 1;
+        let x = (index >> 3) & 1;
+        let b = (base >> 3) & 1;
+        if w || r != 0 || x != 0 || b != 0 {
+            self.u8(0x40 | (u8::from(w) << 3) | (r << 2) | (x << 1) | b);
+        }
+    }
+
+    fn modrm(&mut self, md: u8, reg: u8, rm: u8) {
+        self.u8((md << 6) | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    /// `prefix? REX opcode… modrm(reg, rm-direct)`.
+    fn rr(&mut self, pfx: Option<u8>, w: bool, opc: &[u8], reg: u8, rm: u8) {
+        if let Some(p) = pfx {
+            self.u8(p);
+        }
+        self.rex(w, reg, 0, rm);
+        self.code.extend_from_slice(opc);
+        self.modrm(3, reg, rm);
+    }
+
+    /// `prefix? REX opcode… modrm(reg, [base+disp32])` (always disp32; SIB
+    /// when the base is rsp/r12).
+    fn rm(&mut self, pfx: Option<u8>, w: bool, opc: &[u8], reg: u8, base: u8, disp: i32) {
+        if let Some(p) = pfx {
+            self.u8(p);
+        }
+        self.rex(w, reg, 0, base);
+        self.code.extend_from_slice(opc);
+        if base & 7 == 4 {
+            self.modrm(2, reg, 4);
+            self.u8(0x24); // SIB: no index, base rsp/r12
+        } else {
+            self.modrm(2, reg, base);
+        }
+        self.i32(disp);
+    }
+
+    /// `prefix? REX opcode… modrm(reg, [base+index<<scale])` with disp32 0.
+    #[allow(clippy::too_many_arguments)]
+    fn rms(
+        &mut self,
+        pfx: Option<u8>,
+        w: bool,
+        opc: &[u8],
+        reg: u8,
+        base: u8,
+        index: u8,
+        scale: u8,
+    ) {
+        debug_assert_ne!(index & 7, 4, "rsp cannot be an index");
+        if let Some(p) = pfx {
+            self.u8(p);
+        }
+        self.rex(w, reg, index, base);
+        self.code.extend_from_slice(opc);
+        self.modrm(2, reg, 4);
+        self.u8((scale << 6) | ((index & 7) << 3) | (base & 7));
+        self.i32(0);
+    }
+
+    // --- GPR instructions ------------------------------------------
+
+    /// mov dst, src (64-bit).
+    fn mov_rr(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x89], src, dst);
+    }
+
+    /// movabs dst, imm64.
+    fn mov_ri(&mut self, dst: u8, imm: u64) {
+        self.rex(true, 0, 0, dst);
+        self.u8(0xB8 + (dst & 7));
+        self.u64(imm);
+    }
+
+    /// mov dst, [base+disp].
+    fn mov_load(&mut self, dst: u8, base: u8, disp: i32) {
+        self.rm(None, true, &[0x8B], dst, base, disp);
+    }
+
+    /// mov [base+disp], src.
+    fn mov_store(&mut self, base: u8, disp: i32, src: u8) {
+        self.rm(None, true, &[0x89], src, base, disp);
+    }
+
+    /// mov dst, [base+index<<scale].
+    fn mov_load_idx(&mut self, dst: u8, base: u8, index: u8, scale: u8) {
+        self.rms(None, true, &[0x8B], dst, base, index, scale);
+    }
+
+    /// mov [base+index<<scale], src (64-bit).
+    fn mov_store_idx(&mut self, base: u8, index: u8, scale: u8, src: u8) {
+        self.rms(None, true, &[0x89], src, base, index, scale);
+    }
+
+    /// mov [base+index<<scale], src32 (32-bit store).
+    fn mov_store32_idx(&mut self, base: u8, index: u8, scale: u8, src: u8) {
+        self.rms(None, false, &[0x89], src, base, index, scale);
+    }
+
+    fn add_rr(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x01], src, dst);
+    }
+
+    fn sub_rr(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x29], src, dst);
+    }
+
+    fn and_rr(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x21], src, dst);
+    }
+
+    fn or_rr(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x09], src, dst);
+    }
+
+    fn xor_rr(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x31], src, dst);
+    }
+
+    /// cmp a, b (sets flags for a ? b).
+    fn cmp_rr(&mut self, a: u8, b: u8) {
+        self.rr(None, true, &[0x39], b, a);
+    }
+
+    /// cmp a, [base+disp].
+    fn cmp_mem(&mut self, a: u8, base: u8, disp: i32) {
+        self.rm(None, true, &[0x3B], a, base, disp);
+    }
+
+    fn test_rr(&mut self, a: u8, b: u8) {
+        self.rr(None, true, &[0x85], b, a);
+    }
+
+    fn imul_rr(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x0F, 0xAF], dst, src);
+    }
+
+    fn neg(&mut self, r: u8) {
+        self.rr(None, true, &[0xF7], 3, r);
+    }
+
+    fn sar_imm(&mut self, r: u8, imm: u8) {
+        self.rr(None, true, &[0xC1], 7, r);
+        self.u8(imm);
+    }
+
+    fn add_imm(&mut self, r: u8, imm: i32) {
+        self.rr(None, true, &[0x81], 0, r);
+        self.i32(imm);
+    }
+
+    fn sub_imm(&mut self, r: u8, imm: i32) {
+        self.rr(None, true, &[0x81], 5, r);
+        self.i32(imm);
+    }
+
+    fn cmov(&mut self, cc: Cc, dst: u8, src: u8) {
+        self.rr(None, true, &[0x0F, 0x40 + cc as u8], dst, src);
+    }
+
+    /// setcc on an 8-bit register; restricted to al (0) / cl (1) so no
+    /// REX is needed and no high-byte aliasing can occur.
+    fn setcc(&mut self, cc: Cc, rm8: u8) {
+        debug_assert!(rm8 <= 1, "setcc restricted to al/cl");
+        self.u8(0x0F);
+        self.u8(0x90 + cc as u8);
+        self.modrm(3, 0, rm8);
+    }
+
+    /// movzx dst64, src8 (src restricted to al/cl).
+    fn movzx8(&mut self, dst: u8, src8: u8) {
+        debug_assert!(src8 <= 1);
+        self.rr(None, true, &[0x0F, 0xB6], dst, src8);
+    }
+
+    /// movsx dst64, src8 (al/cl).
+    fn movsx8(&mut self, dst: u8, src8: u8) {
+        debug_assert!(src8 <= 1);
+        self.rr(None, true, &[0x0F, 0xBE], dst, src8);
+    }
+
+    /// movsx dst64, src16.
+    fn movsx16(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x0F, 0xBF], dst, src);
+    }
+
+    /// movsxd dst64, src32.
+    fn movsxd(&mut self, dst: u8, src: u8) {
+        self.rr(None, true, &[0x63], dst, src);
+    }
+
+    fn push(&mut self, r: u8) {
+        if r >= 8 {
+            self.u8(0x41);
+        }
+        self.u8(0x50 + (r & 7));
+    }
+
+    fn pop(&mut self, r: u8) {
+        if r >= 8 {
+            self.u8(0x41);
+        }
+        self.u8(0x58 + (r & 7));
+    }
+
+    fn call_r(&mut self, r: u8) {
+        if r >= 8 {
+            self.u8(0x41);
+        }
+        self.u8(0xFF);
+        self.modrm(3, 2, r);
+    }
+
+    fn ret(&mut self) {
+        self.u8(0xC3);
+    }
+
+    fn jcc(&mut self, cc: Cc, l: Label) {
+        self.u8(0x0F);
+        self.u8(0x80 + cc as u8);
+        self.fixups.push((self.code.len(), l.0));
+        self.i32(0);
+    }
+
+    fn jmp(&mut self, l: Label) {
+        self.u8(0xE9);
+        self.fixups.push((self.code.len(), l.0));
+        self.i32(0);
+    }
+
+    // --- SSE2 scalar-double instructions ---------------------------
+
+    /// movsd dst, src (register).
+    fn movsd_rr(&mut self, dst: u8, src: u8) {
+        self.rr(Some(0xF2), false, &[0x0F, 0x10], dst, src);
+    }
+
+    fn movsd_load(&mut self, dst: u8, base: u8, disp: i32) {
+        self.rm(Some(0xF2), false, &[0x0F, 0x10], dst, base, disp);
+    }
+
+    fn movsd_store(&mut self, base: u8, disp: i32, src: u8) {
+        self.rm(Some(0xF2), false, &[0x0F, 0x11], src, base, disp);
+    }
+
+    fn movsd_load_idx(&mut self, dst: u8, base: u8, index: u8, scale: u8) {
+        self.rms(Some(0xF2), false, &[0x0F, 0x10], dst, base, index, scale);
+    }
+
+    fn movsd_store_idx(&mut self, base: u8, index: u8, scale: u8, src: u8) {
+        self.rms(Some(0xF2), false, &[0x0F, 0x11], src, base, index, scale);
+    }
+
+    /// addsd/subsd/mulsd/divsd/sqrtsd dst, src via the opcode byte.
+    fn sse_arith(&mut self, opc: u8, dst: u8, src: u8) {
+        self.rr(Some(0xF2), false, &[0x0F, opc], dst, src);
+    }
+
+    fn ucomisd(&mut self, a: u8, b: u8) {
+        self.rr(Some(0x66), false, &[0x0F, 0x2E], a, b);
+    }
+
+    fn xorpd(&mut self, dst: u8, src: u8) {
+        self.rr(Some(0x66), false, &[0x0F, 0x57], dst, src);
+    }
+
+    fn andpd(&mut self, dst: u8, src: u8) {
+        self.rr(Some(0x66), false, &[0x0F, 0x54], dst, src);
+    }
+
+    /// movq xmm, r64.
+    fn movq_xr(&mut self, x: u8, r: u8) {
+        self.rr(Some(0x66), true, &[0x0F, 0x6E], x, r);
+    }
+
+    /// movq r64, xmm.
+    fn movq_rx(&mut self, r: u8, x: u8) {
+        self.rr(Some(0x66), true, &[0x0F, 0x7E], x, r);
+    }
+
+    /// cvtsi2sd xmm, r64.
+    fn cvtsi2sd(&mut self, x: u8, r: u8) {
+        self.rr(Some(0xF2), true, &[0x0F, 0x2A], x, r);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace codegen.
+
+const ABS_MASK: u64 = 0x7fff_ffff_ffff_ffff;
+const SIGN_BIT: u64 = 0x8000_0000_0000_0000;
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+struct Gen<'a> {
+    a: Asm,
+    p: &'a SsaProgram,
+    locs: &'a [Loc],
+    h: &'a Helpers,
+    deopt_cap: Label,
+}
+
+impl Gen<'_> {
+    /// Load an i64 operand into scratch GPR `g` (clobbers r10 for inputs).
+    fn load_i(&mut self, op: Operand, g: u8) {
+        match op {
+            Operand::Input(k) => {
+                self.a.mov_load(R10, R13, CTX_INPUTS);
+                self.a.mov_load(R10, R10, 8 * k as i32);
+                self.a.mov_load_idx(g, R10, RBX, 3);
+            }
+            Operand::Value(v) => match self.locs[v as usize] {
+                Loc::Reg(r) => self.a.mov_rr(g, GPR_POOL[r as usize]),
+                Loc::Stack(s) => self.a.mov_load(g, RSP, 8 * s as i32),
+            },
+            Operand::Const(bits) => self.a.mov_ri(g, bits),
+        }
+    }
+
+    /// Load an f64 operand into scratch xmm `x` (clobbers rax/r10).
+    fn load_f(&mut self, op: Operand, x: u8) {
+        match op {
+            Operand::Input(k) => {
+                self.a.mov_load(R10, R13, CTX_INPUTS);
+                self.a.mov_load(R10, R10, 8 * k as i32);
+                self.a.movsd_load_idx(x, R10, RBX, 3);
+            }
+            Operand::Value(v) => match self.locs[v as usize] {
+                Loc::Reg(r) => self.a.movsd_rr(x, XMM_BASE + r),
+                Loc::Stack(s) => self.a.movsd_load(x, RSP, 8 * s as i32),
+            },
+            Operand::Const(bits) => {
+                self.a.mov_ri(RAX, bits);
+                self.a.movq_xr(x, RAX);
+            }
+        }
+    }
+
+    /// Store rax to value `v`'s location.
+    fn store_i(&mut self, v: u32) {
+        match self.locs[v as usize] {
+            Loc::Reg(r) => self.a.mov_rr(GPR_POOL[r as usize], RAX),
+            Loc::Stack(s) => self.a.mov_store(RSP, 8 * s as i32, RAX),
+        }
+    }
+
+    /// Store xmm0 to value `v`'s location.
+    fn store_f(&mut self, v: u32) {
+        match self.locs[v as usize] {
+            Loc::Reg(r) => self.a.movsd_rr(XMM_BASE + r, 0),
+            Loc::Stack(s) => self.a.movsd_store(RSP, 8 * s as i32, 0),
+        }
+    }
+
+    fn call_helper(&mut self, addr: u64) {
+        self.a.mov_ri(RAX, addr);
+        self.a.call_r(RAX);
+    }
+
+    /// i64 comparison result (rax vs rcx) into rax as 0/1.
+    fn cmp_i_flag(&mut self, k: K) {
+        let cc = match k {
+            K::Eq => Cc::E,
+            K::Ne => Cc::Ne,
+            K::Lt => Cc::L,
+            K::Le => Cc::Le,
+            K::Gt => Cc::G,
+            K::Ge => Cc::Ge,
+            _ => unreachable!("validated comparison"),
+        };
+        self.a.cmp_rr(RAX, RCX);
+        self.a.setcc(cc, 0);
+        self.a.movzx8(RAX, 0);
+    }
+
+    /// f64 comparison result (xmm0 vs xmm1) into rax as 0/1, with Rust's
+    /// NaN semantics (any unordered comparison except `Ne` is false).
+    fn cmp_f_flag(&mut self, k: K) {
+        match k {
+            // a<b ⇔ b>a: ucomisd b,a then `a` (CF=0 and ZF=0); unordered
+            // sets CF so both the strict and non-strict forms read false.
+            K::Lt => {
+                self.a.ucomisd(1, 0);
+                self.a.setcc(Cc::A, 0);
+                self.a.movzx8(RAX, 0);
+            }
+            K::Le => {
+                self.a.ucomisd(1, 0);
+                self.a.setcc(Cc::Ae, 0);
+                self.a.movzx8(RAX, 0);
+            }
+            K::Gt => {
+                self.a.ucomisd(0, 1);
+                self.a.setcc(Cc::A, 0);
+                self.a.movzx8(RAX, 0);
+            }
+            K::Ge => {
+                self.a.ucomisd(0, 1);
+                self.a.setcc(Cc::Ae, 0);
+                self.a.movzx8(RAX, 0);
+            }
+            // Equality needs the parity bit: unordered sets ZF *and* PF.
+            K::Eq => {
+                self.a.ucomisd(0, 1);
+                self.a.setcc(Cc::E, 0);
+                self.a.setcc(Cc::Np, 1);
+                self.a.movzx8(RAX, 0);
+                self.a.movzx8(RCX, 1);
+                self.a.and_rr(RAX, RCX);
+            }
+            K::Ne => {
+                self.a.ucomisd(0, 1);
+                self.a.setcc(Cc::Ne, 0);
+                self.a.setcc(Cc::P, 1);
+                self.a.movzx8(RAX, 0);
+                self.a.movzx8(RCX, 1);
+                self.a.or_rr(RAX, RCX);
+            }
+            _ => unreachable!("validated comparison"),
+        }
+    }
+
+    /// One i64 op: operands → rax/rcx, result → rax, stored to dst.
+    fn op_i(&mut self, op: &crate::ssa::SsaOp) {
+        self.load_i(op.a, RAX);
+        if let Some(b) = op.b {
+            self.load_i(b, RCX);
+        }
+        match op.k {
+            K::Add => self.a.add_rr(RAX, RCX),
+            K::Sub => self.a.sub_rr(RAX, RCX),
+            K::Mul => self.a.imul_rr(RAX, RCX),
+            K::Div | K::Rem => {
+                self.a.mov_rr(RDI, RAX);
+                self.a.mov_rr(RSI, RCX);
+                let addr = if op.k == K::Div {
+                    self.h.i64_div
+                } else {
+                    self.h.i64_rem
+                };
+                self.call_helper(addr);
+            }
+            K::Min => {
+                self.a.cmp_rr(RAX, RCX);
+                self.a.cmov(Cc::G, RAX, RCX);
+            }
+            K::Max => {
+                self.a.cmp_rr(RAX, RCX);
+                self.a.cmov(Cc::L, RAX, RCX);
+            }
+            K::Neg => self.a.neg(RAX),
+            K::Abs => {
+                // Branch-free wrapping_abs (i64::MIN stays i64::MIN).
+                self.a.mov_rr(RCX, RAX);
+                self.a.sar_imm(RCX, 63);
+                self.a.xor_rr(RAX, RCX);
+                self.a.sub_rr(RAX, RCX);
+            }
+            K::Eq | K::Ne | K::Lt | K::Le | K::Gt | K::Ge => self.cmp_i_flag(op.k),
+            K::And | K::Or => {
+                self.a.test_rr(RCX, RCX);
+                self.a.setcc(Cc::Ne, 1);
+                self.a.test_rr(RAX, RAX);
+                self.a.setcc(Cc::Ne, 0);
+                self.a.movzx8(RAX, 0);
+                self.a.movzx8(RCX, 1);
+                if op.k == K::And {
+                    self.a.and_rr(RAX, RCX);
+                } else {
+                    self.a.or_rr(RAX, RCX);
+                }
+            }
+            K::Not => {
+                self.a.test_rr(RAX, RAX);
+                self.a.setcc(Cc::E, 0);
+                self.a.movzx8(RAX, 0);
+            }
+            K::CastBool => {
+                self.a.test_rr(RAX, RAX);
+                self.a.setcc(Cc::Ne, 0);
+                self.a.movzx8(RAX, 0);
+            }
+            K::Hash => {
+                self.a.mov_ri(R10, HASH_MUL);
+                self.a.imul_rr(RAX, R10);
+            }
+            K::CastI8 => self.a.movsx8(RAX, 0),
+            K::CastI16 => self.a.movsx16(RAX, RAX),
+            K::CastI32 => self.a.movsxd(RAX, RAX),
+            K::Ident => {}
+            K::Sqrt => unreachable!("rejected by ssa::build"),
+        }
+        self.store_i(op.dst);
+    }
+
+    /// One f64 op: operands → xmm0/xmm1, result → xmm0, stored to dst.
+    fn op_f(&mut self, op: &crate::ssa::SsaOp) {
+        self.load_f(op.a, 0);
+        if let Some(b) = op.b {
+            self.load_f(b, 1);
+        }
+        match op.k {
+            K::Add => self.a.sse_arith(0x58, 0, 1),
+            K::Sub => self.a.sse_arith(0x5C, 0, 1),
+            K::Mul => self.a.sse_arith(0x59, 0, 1),
+            K::Div => self.a.sse_arith(0x5E, 0, 1),
+            K::Sqrt => self.a.sse_arith(0x51, 0, 0),
+            K::Rem => self.call_helper(self.h.f64_rem),
+            K::Min => self.call_helper(self.h.f64_min),
+            K::Max => self.call_helper(self.h.f64_max),
+            K::CastI8 => self.call_helper(self.h.f64_cast_i8),
+            K::CastI16 => self.call_helper(self.h.f64_cast_i16),
+            K::CastI32 => self.call_helper(self.h.f64_cast_i32),
+            K::Neg => {
+                self.a.mov_ri(RAX, SIGN_BIT);
+                self.a.movq_xr(1, RAX);
+                self.a.xorpd(0, 1);
+            }
+            K::Abs => {
+                self.a.mov_ri(RAX, ABS_MASK);
+                self.a.movq_xr(1, RAX);
+                self.a.andpd(0, 1);
+            }
+            K::Eq | K::Ne | K::Lt | K::Le | K::Gt | K::Ge => {
+                self.cmp_f_flag(op.k);
+                self.a.cvtsi2sd(0, RAX);
+            }
+            K::And | K::Or => {
+                // Truthiness is `bits & !sign != 0` — true for NaN, false
+                // for ±0.0, exactly `x != 0.0`.
+                self.a.movq_rx(RAX, 0);
+                self.a.movq_rx(RCX, 1);
+                self.a.mov_ri(R10, ABS_MASK);
+                self.a.and_rr(RAX, R10);
+                self.a.setcc(Cc::Ne, 0);
+                self.a.and_rr(RCX, R10);
+                self.a.setcc(Cc::Ne, 1);
+                self.a.movzx8(RAX, 0);
+                self.a.movzx8(RCX, 1);
+                if op.k == K::And {
+                    self.a.and_rr(RAX, RCX);
+                } else {
+                    self.a.or_rr(RAX, RCX);
+                }
+                self.a.cvtsi2sd(0, RAX);
+            }
+            K::Not | K::CastBool => {
+                self.a.movq_rx(RAX, 0);
+                self.a.mov_ri(R10, ABS_MASK);
+                self.a.and_rr(RAX, R10);
+                self.a.setcc(if op.k == K::Not { Cc::E } else { Cc::Ne }, 0);
+                self.a.movzx8(RAX, 0);
+                self.a.cvtsi2sd(0, RAX);
+            }
+            K::Ident => {}
+            K::Hash => unreachable!("rejected by ssa::build"),
+        }
+        self.store_f(op.dst);
+    }
+
+    fn emit_filter(&mut self) {
+        let Some((k, lhs, rhs)) = self.p.filter else {
+            return;
+        };
+        match self.p.lane {
+            LaneType::I64 => {
+                self.load_i(lhs, RAX);
+                self.load_i(rhs, RCX);
+                self.cmp_i_flag(k);
+            }
+            LaneType::F64 => {
+                self.load_f(lhs, 0);
+                self.load_f(rhs, 1);
+                self.cmp_f_flag(k);
+            }
+        }
+        self.a.mov_rr(R14, RAX);
+    }
+
+    /// Append one element to array `slot`; the value is in rcx (i64) or
+    /// xmm0 (f64). Deopts when the buffer is at capacity.
+    fn array_push(&mut self, slot: u32) {
+        let d = 8 * slot as i32;
+        self.a.mov_load(R10, R13, CTX_ARR_COUNTS);
+        self.a.mov_load(R11, R10, d);
+        self.a.cmp_mem(R11, R13, CTX_ARR_CAP);
+        let cap = self.deopt_cap;
+        self.a.jcc(Cc::Ae, cap);
+        self.a.mov_load(RAX, R13, CTX_ARR_PTRS);
+        self.a.mov_load(RAX, RAX, d);
+        match self.p.lane {
+            LaneType::I64 => self.a.mov_store_idx(RAX, R11, 3, RCX),
+            LaneType::F64 => self.a.movsd_store_idx(RAX, R11, 3, 0),
+        }
+        self.a.add_imm(R11, 1);
+        self.a.mov_store(R10, d, R11);
+    }
+
+    fn emit_array(&mut self, slot: u32, src: Operand) {
+        match self.p.lane {
+            LaneType::I64 => self.load_i(src, RCX),
+            LaneType::F64 => self.load_f(src, 0),
+        }
+        self.array_push(slot);
+    }
+
+    /// Append the lane index to selection vector `slot` (at most one push
+    /// per lane, so the n-capacity buffer can never overflow).
+    fn emit_sel(&mut self, slot: u32) {
+        let d = 8 * slot as i32;
+        self.a.mov_load(R10, R13, CTX_SEL_COUNTS);
+        self.a.mov_load(R11, R10, d);
+        self.a.mov_load(RAX, R13, CTX_SEL_PTRS);
+        self.a.mov_load(RAX, RAX, d);
+        self.a.mov_store32_idx(RAX, R11, 2, RBX);
+        self.a.add_imm(R11, 1);
+        self.a.mov_store(R10, d, R11);
+    }
+
+    fn emit_fold(&mut self, f: &SsaFold) {
+        let acc = 16 * f.slot as i32;
+        let cnt = acc + 8;
+        match (f.f, self.p.lane) {
+            (FoldFn::Sum, LaneType::I64) => {
+                self.load_i(f.src, RAX);
+                if f.masked {
+                    // Failing lanes contribute 0 (identical to the
+                    // interpreter's branch-free select).
+                    self.a.mov_ri(RCX, 0);
+                    self.a.test_rr(R14, R14);
+                    self.a.cmov(Cc::E, RAX, RCX);
+                }
+                self.a.mov_load(R10, R13, CTX_FOLDS);
+                self.a.mov_load(RCX, R10, acc);
+                self.a.add_rr(RCX, RAX);
+                self.a.mov_store(R10, acc, RCX);
+            }
+            (FoldFn::Sum, LaneType::F64) => {
+                self.load_f(f.src, 0);
+                if f.masked {
+                    // Failing lanes add +0.0 — NOT a skipped add: the
+                    // interpreter always adds, which rewrites -0.0 sums.
+                    let keep = self.a.new_label();
+                    self.a.test_rr(R14, R14);
+                    self.a.jcc(Cc::Ne, keep);
+                    self.a.xorpd(0, 0);
+                    self.a.bind(keep);
+                }
+                self.a.mov_load(R10, R13, CTX_FOLDS);
+                self.a.movsd_load(1, R10, acc);
+                self.a.sse_arith(0x58, 1, 0); // addsd xmm1, xmm0
+                self.a.movsd_store(R10, acc, 1);
+            }
+            (FoldFn::Min | FoldFn::Max, LaneType::I64) => {
+                let skip = self.a.new_label();
+                if f.masked {
+                    self.a.test_rr(R14, R14);
+                    self.a.jcc(Cc::E, skip);
+                }
+                self.load_i(f.src, RAX);
+                self.a.mov_load(R10, R13, CTX_FOLDS);
+                self.a.mov_load(RCX, R10, acc);
+                self.a.cmp_rr(RAX, RCX);
+                let cc = if f.f == FoldFn::Min { Cc::Ge } else { Cc::Le };
+                self.a.jcc(cc, skip);
+                self.a.mov_store(R10, acc, RAX);
+                self.a.bind(skip);
+            }
+            (FoldFn::Min | FoldFn::Max, LaneType::F64) => {
+                let skip = self.a.new_label();
+                if f.masked {
+                    self.a.test_rr(R14, R14);
+                    self.a.jcc(Cc::E, skip);
+                }
+                self.load_f(f.src, 0);
+                self.a.mov_load(R10, R13, CTX_FOLDS);
+                self.a.movsd_load(1, R10, acc);
+                // Replace only on a strict ordered win — NaN never
+                // replaces the accumulator (plain `<`/`>`, not fmin).
+                if f.f == FoldFn::Min {
+                    self.a.ucomisd(1, 0); // acc > v ⇔ v < acc
+                } else {
+                    self.a.ucomisd(0, 1); // v > acc
+                }
+                self.a.jcc(Cc::Be, skip);
+                self.a.movsd_store(R10, acc, 0);
+                self.a.bind(skip);
+            }
+            (FoldFn::Count, _) => {
+                self.a.mov_load(R10, R13, CTX_FOLDS);
+                self.a.mov_load(RCX, R10, cnt);
+                if f.masked {
+                    self.a.add_rr(RCX, R14);
+                } else {
+                    self.a.add_imm(RCX, 1);
+                }
+                self.a.mov_store(R10, cnt, RCX);
+            }
+            _ => unreachable!("fold kinds validated by ssa::build"),
+        }
+    }
+}
+
+/// Emit the whole trace loop; returns the raw machine code.
+pub(crate) fn emit_trace(p: &SsaProgram, alloc: &Allocation, h: &Helpers) -> Vec<u8> {
+    let mut a = Asm::new();
+    let slots = alloc.stack_slots as i32;
+    // 6 pushes leave rsp ≡ 8 (mod 16); pad the frame so helper-call
+    // sites see a 16-aligned stack.
+    let frame = if slots % 2 == 0 {
+        8 * slots + 8
+    } else {
+        8 * slots
+    };
+
+    for r in [RBP, RBX, R12, R13, R14, R15] {
+        a.push(r);
+    }
+    a.sub_imm(RSP, frame);
+    a.mov_rr(R13, RDI);
+    a.mov_load(R12, R13, CTX_N);
+    a.mov_load(R15, R13, CTX_BUDGET);
+    a.mov_ri(RBX, 0);
+
+    let loop_top = a.new_label();
+    let done = a.new_label();
+    let deopt_budget = a.new_label();
+    let deopt_cap = a.new_label();
+    let epilogue = a.new_label();
+
+    a.bind(loop_top);
+    a.cmp_rr(RBX, R12);
+    a.jcc(Cc::Ae, done);
+    a.sub_imm(R15, 1);
+    a.jcc(Cc::S, deopt_budget);
+
+    let mut g = Gen {
+        a,
+        p,
+        locs: &alloc.locs,
+        h,
+        deopt_cap,
+    };
+    // Body order mirrors the interpreter's `run_blocks` exactly:
+    // pre → filter → post (unconditional) → dense → guarded
+    // compact/sel → folds.
+    for op in &p.ops[..p.pre_len] {
+        match p.lane {
+            LaneType::I64 => g.op_i(op),
+            LaneType::F64 => g.op_f(op),
+        }
+    }
+    g.emit_filter();
+    for op in &p.ops[p.pre_len..] {
+        match p.lane {
+            LaneType::I64 => g.op_i(op),
+            LaneType::F64 => g.op_f(op),
+        }
+    }
+    for &(slot, src) in &p.dense {
+        g.emit_array(slot, src);
+    }
+    let guarded = !p.compact.is_empty() || p.sel_count > 0;
+    let skip_guard = g.a.new_label();
+    if p.filter.is_some() && guarded {
+        g.a.test_rr(R14, R14);
+        g.a.jcc(Cc::E, skip_guard);
+    }
+    for &(slot, src) in &p.compact {
+        g.emit_array(slot, src);
+    }
+    for slot in 0..p.sel_count {
+        g.emit_sel(slot);
+    }
+    if p.filter.is_some() && guarded {
+        g.a.bind(skip_guard);
+    }
+    for f in &p.folds {
+        g.emit_fold(f);
+    }
+    let mut a = g.a;
+
+    a.add_imm(RBX, 1);
+    a.jmp(loop_top);
+
+    a.bind(done);
+    a.mov_ri(RAX, 0);
+    a.jmp(epilogue);
+    a.bind(deopt_budget);
+    a.mov_ri(RAX, 1);
+    a.jmp(epilogue);
+    a.bind(deopt_cap);
+    a.mov_ri(RAX, 2);
+    a.bind(epilogue);
+    a.add_imm(RSP, frame);
+    for r in [R15, R14, R13, R12, RBX, RBP] {
+        a.pop(r);
+    }
+    a.ret();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(f: impl FnOnce(&mut Asm)) -> Vec<u8> {
+        let mut a = Asm::new();
+        f(&mut a);
+        a.finish()
+    }
+
+    #[test]
+    fn gpr_encodings_match_reference() {
+        assert_eq!(bytes(|a| a.mov_rr(R13, RDI)), [0x49, 0x89, 0xFD]);
+        assert_eq!(
+            bytes(|a| a.mov_load(R12, R13, 8)),
+            [0x4D, 0x8B, 0xA5, 0x08, 0x00, 0x00, 0x00]
+        );
+        assert_eq!(
+            bytes(|a| a.mov_store(RSP, 8, RAX)),
+            [0x48, 0x89, 0x84, 0x24, 0x08, 0x00, 0x00, 0x00]
+        );
+        assert_eq!(bytes(|a| a.cmp_rr(RBX, R12)), [0x4C, 0x39, 0xE3]);
+        assert_eq!(bytes(|a| a.imul_rr(RAX, R10)), [0x49, 0x0F, 0xAF, 0xC2]);
+        assert_eq!(bytes(|a| a.neg(RAX)), [0x48, 0xF7, 0xD8]);
+        assert_eq!(bytes(|a| a.sar_imm(RCX, 63)), [0x48, 0xC1, 0xF9, 0x3F]);
+        assert_eq!(bytes(|a| a.cmov(Cc::G, RAX, RCX)), [0x48, 0x0F, 0x4F, 0xC1]);
+        assert_eq!(bytes(|a| a.setcc(Cc::Ne, 0)), [0x0F, 0x95, 0xC0]);
+        assert_eq!(bytes(|a| a.movzx8(RAX, 0)), [0x48, 0x0F, 0xB6, 0xC0]);
+        assert_eq!(bytes(|a| a.movsxd(RAX, RAX)), [0x48, 0x63, 0xC0]);
+        assert_eq!(bytes(|a| a.push(R12)), [0x41, 0x54]);
+        assert_eq!(bytes(|a| a.pop(R15)), [0x41, 0x5F]);
+        assert_eq!(bytes(|a| a.call_r(RAX)), [0xFF, 0xD0]);
+        assert_eq!(
+            bytes(|a| a.mov_load_idx(RAX, R10, RBX, 3)),
+            [0x49, 0x8B, 0x84, 0xDA, 0x00, 0x00, 0x00, 0x00]
+        );
+        assert_eq!(
+            bytes(|a| a.mov_store32_idx(RAX, R11, 2, RBX)),
+            [0x42, 0x89, 0x9C, 0x98, 0x00, 0x00, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn sse_encodings_match_reference() {
+        assert_eq!(bytes(|a| a.sse_arith(0x58, 0, 1)), [0xF2, 0x0F, 0x58, 0xC1]);
+        assert_eq!(bytes(|a| a.ucomisd(0, 1)), [0x66, 0x0F, 0x2E, 0xC1]);
+        assert_eq!(bytes(|a| a.movq_rx(RAX, 0)), [0x66, 0x48, 0x0F, 0x7E, 0xC0]);
+        assert_eq!(bytes(|a| a.movq_xr(1, RAX)), [0x66, 0x48, 0x0F, 0x6E, 0xC8]);
+        assert_eq!(
+            bytes(|a| a.cvtsi2sd(0, RAX)),
+            [0xF2, 0x48, 0x0F, 0x2A, 0xC0]
+        );
+        assert_eq!(bytes(|a| a.movsd_rr(2, 0)), [0xF2, 0x0F, 0x10, 0xD0]);
+        assert_eq!(
+            bytes(|a| a.movsd_load(3, RSP, 16)),
+            [0xF2, 0x0F, 0x10, 0x9C, 0x24, 0x10, 0x00, 0x00, 0x00]
+        );
+        // High xmm registers need REX.R after the mandatory prefix.
+        assert_eq!(bytes(|a| a.movsd_rr(9, 0)), [0xF2, 0x44, 0x0F, 0x10, 0xC8]);
+    }
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        let end = a.new_label();
+        a.bind(top);
+        a.jcc(Cc::E, end); // forward: over the jmp (5 bytes)
+        a.jmp(top); // backward: -11 (6 + 5 bytes back to 0)
+        a.bind(end);
+        a.ret();
+        let code = a.finish();
+        assert_eq!(&code[2..6], &5i32.to_le_bytes());
+        assert_eq!(&code[7..11], &(-11i32).to_le_bytes());
+    }
+
+    #[test]
+    fn emitted_trace_is_nonempty_and_returns() {
+        use crate::ir::{LaneType as Lt, OutputSpec, Src, TraceIr, TraceOp};
+        use crate::regalloc::allocate;
+        use adaptvm_dsl::ast::ScalarOp;
+        use adaptvm_storage::scalar::ScalarType;
+        let ir = TraceIr {
+            lane: Lt::I64,
+            inputs: vec!["x".into()],
+            n_regs: 1,
+            pre_ops: vec![TraceOp {
+                op: ScalarOp::Mul,
+                dst: 0,
+                args: vec![Src::Input(0), Src::ConstI(2)],
+            }],
+            filter: None,
+            post_ops: vec![],
+            outputs: vec![OutputSpec::Array {
+                name: "out".into(),
+                src: Src::Reg(0),
+                compacted: false,
+                out_ty: ScalarType::I64,
+            }],
+        };
+        let p = crate::ssa::build(&ir).unwrap();
+        let alloc = allocate(&p.intervals, GPR_POOL_SIZE);
+        let h = Helpers {
+            i64_div: 0,
+            i64_rem: 0,
+            f64_rem: 0,
+            f64_min: 0,
+            f64_max: 0,
+            f64_cast_i8: 0,
+            f64_cast_i16: 0,
+            f64_cast_i32: 0,
+        };
+        let code = emit_trace(&p, &alloc, &h);
+        assert!(code.len() > 40);
+        assert_eq!(*code.last().unwrap(), 0xC3, "ends in ret");
+        assert_eq!(code[0], 0x55, "starts with push rbp");
+    }
+}

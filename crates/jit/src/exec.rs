@@ -1,0 +1,726 @@
+//! Native trace execution: W^X code buffers, the call-frame contract
+//! with generated code, and guard-based deopt.
+//!
+//! ## W^X policy
+//!
+//! Generated code lives in an anonymous private mapping that is never
+//! writable and executable at the same time: `mmap(PROT_READ|PROT_WRITE)`
+//! → copy the code in → `mprotect(PROT_READ|PROT_EXEC)`. The mapping is
+//! unmapped on drop. x86 keeps instruction caches coherent with stores,
+//! so no explicit flush is needed after the protection flip.
+//!
+//! ## Deopt contract
+//!
+//! The generated function writes **only** into caller-owned buffers
+//! described by the `NativeCtx` ABI struct and returns a status: `0`
+//! ok, `1` guard
+//! budget exhausted, `2` output capacity exceeded. On any non-zero
+//! status the caller discards every buffer and re-runs the packed
+//! interpreter over the whole chunk — deopt is trivially clean because
+//! no partial native state is ever observable. Inputs the native code
+//! cannot consume (non-numeric arrays) deopt before the call for the
+//! same reason ([`NativeDeopt::Type`]).
+//!
+//! Everything architecture-specific is behind
+//! `cfg(all(target_arch = "x86_64", target_os = "linux"))`; on other
+//! hosts `compile_native` returns `None` and the engine stays on the
+//! interpreted-trace tier.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::OnceLock;
+
+/// Why a native execution refused to produce a result. The caller falls
+/// back to the packed interpreter, which either produces the
+/// bit-identical answer or surfaces the same error the interpreted tier
+/// always produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeDeopt {
+    /// The per-lane guard budget hit zero (see
+    /// [`set_native_guard_budget`]).
+    GuardBudget,
+    /// An output buffer reached its capacity guard.
+    Capacity,
+    /// Inputs not representable in the trace's lane domain.
+    Type,
+}
+
+// ---------------------------------------------------------------------
+// Test hooks (present on every target so test code is portable).
+
+/// Armed guard budget; -1 = disarmed.
+static GUARD_BUDGET: AtomicI64 = AtomicI64::new(-1);
+/// Armed output-capacity limit; -1 = disarmed.
+static CAP_LIMIT: AtomicI64 = AtomicI64::new(-1);
+
+/// Test hook: native code decrements a per-lane budget and deopts when
+/// it reaches zero ("fail after N lanes"). `None` disarms (the default:
+/// an effectively unlimited budget).
+pub fn set_native_guard_budget(lanes: Option<u64>) {
+    GUARD_BUDGET.store(
+        lanes.map_or(-1, |b| b.min(i64::MAX as u64) as i64),
+        Ordering::SeqCst,
+    );
+}
+
+/// Test hook: caps every native output buffer at `len` entries so
+/// capacity guards fire deterministically. `None` disarms.
+pub fn set_native_capacity_limit(len: Option<u64>) {
+    CAP_LIMIT.store(
+        len.map_or(-1, |b| b.min(i64::MAX as u64) as i64),
+        Ordering::SeqCst,
+    );
+}
+
+fn guard_budget() -> Option<u64> {
+    let v = GUARD_BUDGET.load(Ordering::SeqCst);
+    (v >= 0).then_some(v as u64)
+}
+
+fn capacity_limit() -> Option<u64> {
+    let v = CAP_LIMIT.load(Ordering::SeqCst);
+    (v >= 0).then_some(v as u64)
+}
+
+/// Whether the native tier can run here: x86-64 Linux, not force-disabled
+/// via `ADAPTVM_NATIVE=0`. Cached after the first call.
+pub fn native_available() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        cfg!(all(target_arch = "x86_64", target_os = "linux"))
+            && !matches!(std::env::var("ADAPTVM_NATIVE"), Ok(v) if v == "0")
+    })
+}
+
+pub use imp::NativeTrace;
+pub(crate) use imp::{compile_native, run_native};
+
+/// Serializes unit tests that arm the global hooks (or depend on them
+/// being disarmed) so they cannot race under the parallel test runner.
+#[cfg(test)]
+pub(crate) fn test_hook_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod imp {
+    use super::{capacity_limit, guard_budget, native_available, NativeDeopt};
+    use crate::emit::{emit_trace, Helpers, GPR_POOL_SIZE, XMM_POOL_SIZE};
+    use crate::ir::{assemble, LaneNum, LaneType, OutputSpec, TraceIr, TraceResult};
+    use crate::regalloc::allocate;
+    use crate::ssa;
+    use adaptvm_storage::array::Array;
+    use std::ffi::c_void;
+
+    // ----------------------------------------------------------------
+    // W^X executable buffer.
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const PROT_EXEC: i32 = 4;
+    const MAP_PRIVATE: i32 = 2;
+    const MAP_ANONYMOUS: i32 = 0x20;
+    const PAGE: usize = 4096;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    struct ExecBuf {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    impl ExecBuf {
+        fn new(code: &[u8]) -> Option<ExecBuf> {
+            let len = code.len().max(1).div_ceil(PAGE) * PAGE;
+            unsafe {
+                let p = mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS,
+                    -1,
+                    0,
+                );
+                if p as isize == -1 || p.is_null() {
+                    return None;
+                }
+                std::ptr::copy_nonoverlapping(code.as_ptr(), p as *mut u8, code.len());
+                if mprotect(p, len, PROT_READ | PROT_EXEC) != 0 {
+                    munmap(p, len);
+                    return None;
+                }
+                Some(ExecBuf {
+                    ptr: p as *mut u8,
+                    len,
+                })
+            }
+        }
+    }
+
+    impl Drop for ExecBuf {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+
+    // SAFETY: the mapping is immutable (RX) after construction and owned
+    // exclusively by this value; executing it from any thread is safe.
+    unsafe impl Send for ExecBuf {}
+    unsafe impl Sync for ExecBuf {}
+
+    // ----------------------------------------------------------------
+    // The call-frame contract with generated code.
+
+    /// Everything the generated loop touches, passed by pointer in rdi.
+    /// Field offsets are pinned against the `CTX_*` constants the
+    /// emitter uses (see the test below).
+    #[repr(C)]
+    pub(crate) struct NativeCtx {
+        /// Widened input arrays (`*const T` each), one per trace input.
+        inputs: *const *const u8,
+        /// Lane count.
+        n: u64,
+        /// Output array buffers (`*mut T` each, capacity ≥ `n`).
+        arr_ptrs: *const *mut u8,
+        /// Elements written per array buffer.
+        arr_counts: *mut u64,
+        /// Capacity guard shared by all array buffers.
+        arr_cap: u64,
+        /// Selection-vector buffers (capacity ≥ `n`).
+        sel_ptrs: *const *mut u32,
+        sel_counts: *mut u64,
+        /// Fold cells, stride 16: `[acc_bits, count]` per fold.
+        folds: *mut u64,
+        /// Remaining lanes before a forced guard deopt.
+        guard_budget: i64,
+    }
+
+    /// A compiled native trace: executable machine code implementing the
+    /// full fused loop of one [`TraceIr`].
+    pub struct NativeTrace {
+        buf: ExecBuf,
+        code_len: usize,
+    }
+
+    impl NativeTrace {
+        fn entry(&self) -> extern "C" fn(*mut NativeCtx) -> i64 {
+            // SAFETY: buf holds a complete function emitted by
+            // `emit_trace` with exactly this signature.
+            unsafe { std::mem::transmute(self.buf.ptr) }
+        }
+
+        /// Emitted code size in bytes (for reporting/inspection).
+        pub fn code_len(&self) -> usize {
+            self.code_len
+        }
+    }
+
+    impl std::fmt::Debug for NativeTrace {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("NativeTrace")
+                .field("code_len", &self.code_len)
+                .finish()
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Helpers the generated code calls (exact Rust semantics).
+
+    extern "C" fn h_i64_div(a: i64, b: i64) -> i64 {
+        if b == 0 {
+            0
+        } else {
+            a.wrapping_div(b)
+        }
+    }
+    extern "C" fn h_i64_rem(a: i64, b: i64) -> i64 {
+        if b == 0 {
+            0
+        } else {
+            a.wrapping_rem(b)
+        }
+    }
+    extern "C" fn h_f64_rem(a: f64, b: f64) -> f64 {
+        a % b
+    }
+    extern "C" fn h_f64_min(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    extern "C" fn h_f64_max(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    extern "C" fn h_f64_cast_i8(a: f64) -> f64 {
+        a as i8 as f64
+    }
+    extern "C" fn h_f64_cast_i16(a: f64) -> f64 {
+        a as i16 as f64
+    }
+    extern "C" fn h_f64_cast_i32(a: f64) -> f64 {
+        a as i32 as f64
+    }
+
+    fn helpers() -> Helpers {
+        Helpers {
+            i64_div: h_i64_div as extern "C" fn(i64, i64) -> i64 as usize as u64,
+            i64_rem: h_i64_rem as extern "C" fn(i64, i64) -> i64 as usize as u64,
+            f64_rem: h_f64_rem as extern "C" fn(f64, f64) -> f64 as usize as u64,
+            f64_min: h_f64_min as extern "C" fn(f64, f64) -> f64 as usize as u64,
+            f64_max: h_f64_max as extern "C" fn(f64, f64) -> f64 as usize as u64,
+            f64_cast_i8: h_f64_cast_i8 as extern "C" fn(f64) -> f64 as usize as u64,
+            f64_cast_i16: h_f64_cast_i16 as extern "C" fn(f64) -> f64 as usize as u64,
+            f64_cast_i32: h_f64_cast_i32 as extern "C" fn(f64) -> f64 as usize as u64,
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Compile + run.
+
+    /// Lower a trace to native code, or `None` when it is not eligible
+    /// (unsupported op, read-before-write registers, inconvertible fold
+    /// init, tier disabled). `None` is never an error — the engine keeps
+    /// the interpreted-trace tier.
+    pub(crate) fn compile_native(ir: &TraceIr) -> Option<NativeTrace> {
+        if !native_available() {
+            return None;
+        }
+        let p = ssa::build(ir).ok()?;
+        for o in &ir.outputs {
+            if let OutputSpec::Fold { init, .. } = o {
+                match ir.lane {
+                    LaneType::I64 => {
+                        <i64 as LaneNum>::from_scalar(init)?;
+                    }
+                    LaneType::F64 => {
+                        <f64 as LaneNum>::from_scalar(init)?;
+                    }
+                }
+            }
+        }
+        let pool = match ir.lane {
+            LaneType::I64 => GPR_POOL_SIZE,
+            LaneType::F64 => XMM_POOL_SIZE,
+        };
+        let alloc = allocate(&p.intervals, pool);
+        let code = emit_trace(&p, &alloc, &helpers());
+        let buf = ExecBuf::new(&code)?;
+        Some(NativeTrace {
+            code_len: code.len(),
+            buf,
+        })
+    }
+
+    /// Lane values as raw bits, for moving accumulators across the ABI.
+    trait LaneBits: Copy {
+        fn to_bits_u64(self) -> u64;
+        fn from_bits_u64(b: u64) -> Self;
+    }
+    impl LaneBits for i64 {
+        fn to_bits_u64(self) -> u64 {
+            self as u64
+        }
+        fn from_bits_u64(b: u64) -> i64 {
+            b as i64
+        }
+    }
+    impl LaneBits for f64 {
+        fn to_bits_u64(self) -> u64 {
+            self.to_bits()
+        }
+        fn from_bits_u64(b: u64) -> f64 {
+            f64::from_bits(b)
+        }
+    }
+
+    /// Run the native trace over a chunk (no pending selection — the
+    /// gathered path stays interpreted).
+    pub(crate) fn run_native(
+        ir: &TraceIr,
+        nt: &NativeTrace,
+        inputs: &[&Array],
+    ) -> Result<TraceResult, NativeDeopt> {
+        if inputs.len() != ir.inputs.len() {
+            return Err(NativeDeopt::Type);
+        }
+        let n = inputs.first().map_or(0, |a| a.len());
+        if inputs.iter().any(|a| a.len() != n) {
+            return Err(NativeDeopt::Type);
+        }
+        match ir.lane {
+            LaneType::I64 => run_typed::<i64>(ir, nt, inputs, n),
+            LaneType::F64 => run_typed::<f64>(ir, nt, inputs, n),
+        }
+    }
+
+    fn run_typed<T: LaneNum + LaneBits>(
+        ir: &TraceIr,
+        nt: &NativeTrace,
+        inputs: &[&Array],
+        n: usize,
+    ) -> Result<TraceResult, NativeDeopt> {
+        // Widen inputs to the lane type (borrow when already native).
+        let mut owned: Vec<Vec<T>> = Vec::new();
+        let mut in_ptrs: Vec<*const u8> = Vec::with_capacity(inputs.len());
+        for a in inputs {
+            match T::view(a) {
+                Some(s) => in_ptrs.push(s.as_ptr() as *const u8),
+                None => {
+                    let w = T::widen(a).ok_or(NativeDeopt::Type)?;
+                    in_ptrs.push(w.as_ptr() as *const u8);
+                    owned.push(w);
+                }
+            }
+        }
+        // Output buffers, fixed capacity n (one push per lane maximum).
+        let mut arr_bufs: Vec<Vec<T>> = Vec::new();
+        let mut sel_bufs: Vec<Vec<u32>> = Vec::new();
+        let mut fold_cells: Vec<u64> = Vec::new();
+        for o in &ir.outputs {
+            match o {
+                OutputSpec::Array { .. } => arr_bufs.push(Vec::with_capacity(n)),
+                OutputSpec::Sel { .. } => sel_bufs.push(Vec::with_capacity(n)),
+                OutputSpec::Fold { init, .. } => {
+                    let iv = T::from_scalar(init).ok_or(NativeDeopt::Type)?;
+                    fold_cells.push(iv.to_bits_u64());
+                    fold_cells.push(init.as_i64().unwrap_or(0) as u64);
+                }
+            }
+        }
+        let arr_ptrs: Vec<*mut u8> = arr_bufs
+            .iter_mut()
+            .map(|b| b.as_mut_ptr() as *mut u8)
+            .collect();
+        let mut arr_counts: Vec<u64> = vec![0; arr_bufs.len()];
+        let sel_ptrs: Vec<*mut u32> = sel_bufs.iter_mut().map(|b| b.as_mut_ptr()).collect();
+        let mut sel_counts: Vec<u64> = vec![0; sel_bufs.len()];
+        let mut ctx = NativeCtx {
+            inputs: in_ptrs.as_ptr(),
+            n: n as u64,
+            arr_ptrs: arr_ptrs.as_ptr(),
+            arr_counts: arr_counts.as_mut_ptr(),
+            arr_cap: capacity_limit().map_or(n as u64, |c| c.min(n as u64)),
+            sel_ptrs: sel_ptrs.as_ptr(),
+            sel_counts: sel_counts.as_mut_ptr(),
+            folds: fold_cells.as_mut_ptr(),
+            guard_budget: guard_budget().map_or(i64::MAX, |b| b.min(i64::MAX as u64) as i64),
+        };
+        let status = (nt.entry())(&mut ctx);
+        match status {
+            0 => {}
+            1 => return Err(NativeDeopt::GuardBudget),
+            2 => return Err(NativeDeopt::Capacity),
+            _ => return Err(NativeDeopt::Type),
+        }
+        for (buf, &c) in arr_bufs.iter_mut().zip(&arr_counts) {
+            if c as usize > n {
+                return Err(NativeDeopt::Capacity);
+            }
+            // SAFETY: generated code wrote exactly `c ≤ capacity`
+            // elements into this buffer.
+            unsafe { buf.set_len(c as usize) };
+        }
+        for (buf, &c) in sel_bufs.iter_mut().zip(&sel_counts) {
+            if c as usize > n {
+                return Err(NativeDeopt::Capacity);
+            }
+            // SAFETY: as above; at most one index per lane.
+            unsafe { buf.set_len(c as usize) };
+        }
+        let accs: Vec<(T, i64)> = fold_cells
+            .chunks_exact(2)
+            .map(|c| (T::from_bits_u64(c[0]), c[1] as i64))
+            .collect();
+        Ok(assemble(ir, arr_bufs, sel_bufs, accs))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::emit::{
+            CTX_ARR_CAP, CTX_ARR_COUNTS, CTX_ARR_PTRS, CTX_BUDGET, CTX_FOLDS, CTX_INPUTS, CTX_N,
+            CTX_SEL_COUNTS, CTX_SEL_PTRS,
+        };
+        use crate::ir::{execute, FilterCheck, LaneType, Src, TraceOp};
+        use adaptvm_dsl::ast::{FoldFn, ScalarOp};
+        use adaptvm_storage::scalar::{Scalar, ScalarType};
+        use std::mem::offset_of;
+
+        #[test]
+        fn ctx_offsets_match_the_emitter() {
+            assert_eq!(offset_of!(NativeCtx, inputs), CTX_INPUTS as usize);
+            assert_eq!(offset_of!(NativeCtx, n), CTX_N as usize);
+            assert_eq!(offset_of!(NativeCtx, arr_ptrs), CTX_ARR_PTRS as usize);
+            assert_eq!(offset_of!(NativeCtx, arr_counts), CTX_ARR_COUNTS as usize);
+            assert_eq!(offset_of!(NativeCtx, arr_cap), CTX_ARR_CAP as usize);
+            assert_eq!(offset_of!(NativeCtx, sel_ptrs), CTX_SEL_PTRS as usize);
+            assert_eq!(offset_of!(NativeCtx, sel_counts), CTX_SEL_COUNTS as usize);
+            assert_eq!(offset_of!(NativeCtx, folds), CTX_FOLDS as usize);
+            assert_eq!(offset_of!(NativeCtx, guard_budget), CTX_BUDGET as usize);
+        }
+
+        /// i64: y = x*3 + 1; filter y > 10; compacted out, sel, guarded
+        /// sum, unguarded min, count.
+        fn i64_pipeline_ir() -> TraceIr {
+            TraceIr {
+                lane: LaneType::I64,
+                inputs: vec!["x".into()],
+                n_regs: 2,
+                pre_ops: vec![
+                    TraceOp {
+                        op: ScalarOp::Mul,
+                        dst: 0,
+                        args: vec![Src::Input(0), Src::ConstI(3)],
+                    },
+                    TraceOp {
+                        op: ScalarOp::Add,
+                        dst: 1,
+                        args: vec![Src::Reg(0), Src::ConstI(1)],
+                    },
+                ],
+                filter: Some(FilterCheck {
+                    op: ScalarOp::Gt,
+                    lhs: Src::Reg(1),
+                    rhs: Src::ConstI(10),
+                }),
+                post_ops: vec![],
+                outputs: vec![
+                    OutputSpec::Array {
+                        name: "y".into(),
+                        src: Src::Reg(1),
+                        compacted: true,
+                        out_ty: ScalarType::I64,
+                    },
+                    OutputSpec::Sel {
+                        name: "s".into(),
+                        flow: "x".into(),
+                    },
+                    OutputSpec::Fold {
+                        name: "total".into(),
+                        f: FoldFn::Sum,
+                        init: Scalar::I64(0),
+                        src: Src::Reg(1),
+                        guarded: true,
+                    },
+                    OutputSpec::Fold {
+                        name: "lo".into(),
+                        f: FoldFn::Min,
+                        init: Scalar::I64(i64::MAX),
+                        src: Src::Reg(0),
+                        guarded: false,
+                    },
+                    OutputSpec::Fold {
+                        name: "hits".into(),
+                        f: FoldFn::Count,
+                        init: Scalar::I64(0),
+                        src: Src::Reg(1),
+                        guarded: true,
+                    },
+                ],
+            }
+        }
+
+        /// f64 with helper-call ops: y = sqrt(|x|) + x % 2.5, filtered,
+        /// with guarded sum and unguarded max.
+        fn f64_pipeline_ir() -> TraceIr {
+            TraceIr {
+                lane: LaneType::F64,
+                inputs: vec!["x".into()],
+                n_regs: 4,
+                pre_ops: vec![
+                    TraceOp {
+                        op: ScalarOp::Abs,
+                        dst: 0,
+                        args: vec![Src::Input(0)],
+                    },
+                    TraceOp {
+                        op: ScalarOp::Sqrt,
+                        dst: 1,
+                        args: vec![Src::Reg(0)],
+                    },
+                    TraceOp {
+                        op: ScalarOp::Rem,
+                        dst: 2,
+                        args: vec![Src::Input(0), Src::ConstF(2.5)],
+                    },
+                    TraceOp {
+                        op: ScalarOp::Add,
+                        dst: 3,
+                        args: vec![Src::Reg(1), Src::Reg(2)],
+                    },
+                ],
+                filter: Some(FilterCheck {
+                    op: ScalarOp::Lt,
+                    lhs: Src::Input(0),
+                    rhs: Src::ConstF(50.0),
+                }),
+                post_ops: vec![],
+                outputs: vec![
+                    OutputSpec::Array {
+                        name: "y".into(),
+                        src: Src::Reg(3),
+                        compacted: true,
+                        out_ty: ScalarType::F64,
+                    },
+                    OutputSpec::Fold {
+                        name: "total".into(),
+                        f: FoldFn::Sum,
+                        init: Scalar::F64(0.0),
+                        src: Src::Reg(3),
+                        guarded: true,
+                    },
+                    OutputSpec::Fold {
+                        name: "hi".into(),
+                        f: FoldFn::Max,
+                        init: Scalar::F64(f64::NEG_INFINITY),
+                        src: Src::Reg(1),
+                        guarded: false,
+                    },
+                ],
+            }
+        }
+
+        fn assert_native_matches(ir: &TraceIr, inputs: &[&Array]) {
+            let nt = compile_native(ir).expect("trace should lower natively");
+            let native = run_native(ir, &nt, inputs).expect("clean native run");
+            let interp = execute(ir, inputs, None).unwrap();
+            assert_eq!(
+                format!("{interp:?}"),
+                format!("{native:?}"),
+                "native result must be bit-identical to the interpreter"
+            );
+        }
+
+        #[test]
+        fn native_matches_interpreter_on_i64_pipeline() {
+            let _g = super::super::test_hook_guard();
+            let xs: Vec<i64> = (-20..80).map(|k| k * 7 % 23).collect();
+            assert_native_matches(&i64_pipeline_ir(), &[&Array::from(xs)]);
+        }
+
+        #[test]
+        fn native_matches_interpreter_on_f64_helper_ops() {
+            let _g = super::super::test_hook_guard();
+            let mut xs: Vec<f64> = (0..64).map(|k| (k as f64 - 17.0) * 1.375).collect();
+            xs.push(f64::NAN);
+            xs.push(-0.0);
+            xs.push(f64::INFINITY);
+            assert_native_matches(&f64_pipeline_ir(), &[&Array::from(xs)]);
+        }
+
+        #[test]
+        fn empty_chunk_runs_clean() {
+            let _g = super::super::test_hook_guard();
+            assert_native_matches(&i64_pipeline_ir(), &[&Array::from(Vec::<i64>::new())]);
+        }
+
+        #[test]
+        fn guard_budget_forces_deopt() {
+            let _g = super::super::test_hook_guard();
+            let ir = i64_pipeline_ir();
+            let nt = compile_native(&ir).unwrap();
+            let xs = Array::from((0..32).collect::<Vec<i64>>());
+            super::super::set_native_guard_budget(Some(8));
+            let r = run_native(&ir, &nt, &[&xs]);
+            super::super::set_native_guard_budget(None);
+            assert_eq!(r.unwrap_err(), NativeDeopt::GuardBudget);
+            // Disarmed again: the same chunk runs clean.
+            assert!(run_native(&ir, &nt, &[&xs]).is_ok());
+        }
+
+        #[test]
+        fn capacity_limit_forces_deopt() {
+            let _g = super::super::test_hook_guard();
+            let ir = i64_pipeline_ir();
+            let nt = compile_native(&ir).unwrap();
+            // All 32 lanes pass the filter but only 4 slots are allowed.
+            let xs = Array::from((100..132).collect::<Vec<i64>>());
+            super::super::set_native_capacity_limit(Some(4));
+            let r = run_native(&ir, &nt, &[&xs]);
+            super::super::set_native_capacity_limit(None);
+            assert_eq!(r.unwrap_err(), NativeDeopt::Capacity);
+            assert!(run_native(&ir, &nt, &[&xs]).is_ok());
+        }
+
+        #[test]
+        fn non_numeric_inputs_type_deopt() {
+            let _g = super::super::test_hook_guard();
+            let ir = i64_pipeline_ir();
+            let nt = compile_native(&ir).unwrap();
+            let xs = Array::from(vec!["a".to_string(), "b".to_string()]);
+            assert_eq!(run_native(&ir, &nt, &[&xs]), Err(NativeDeopt::Type));
+        }
+
+        #[test]
+        fn mismatched_input_arity_type_deopts() {
+            let _g = super::super::test_hook_guard();
+            let ir = i64_pipeline_ir();
+            let nt = compile_native(&ir).unwrap();
+            let a = Array::from(vec![1i64, 2]);
+            let b = Array::from(vec![3i64]);
+            assert_eq!(run_native(&ir, &nt, &[]), Err(NativeDeopt::Type));
+            assert_eq!(run_native(&ir, &nt, &[&a, &b]), Err(NativeDeopt::Type));
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+mod imp {
+    use super::NativeDeopt;
+    use crate::ir::{TraceIr, TraceResult};
+    use adaptvm_storage::array::Array;
+
+    /// Placeholder on hosts without a native backend (never constructed).
+    #[derive(Debug)]
+    pub struct NativeTrace {
+        _private: std::convert::Infallible,
+    }
+
+    impl NativeTrace {
+        /// Emitted code size in bytes (uninhabited — never called).
+        pub fn code_len(&self) -> usize {
+            match self._private {}
+        }
+    }
+
+    pub(crate) fn compile_native(_ir: &TraceIr) -> Option<NativeTrace> {
+        None
+    }
+
+    pub(crate) fn run_native(
+        _ir: &TraceIr,
+        _nt: &NativeTrace,
+        _inputs: &[&Array],
+    ) -> Result<TraceResult, NativeDeopt> {
+        Err(NativeDeopt::Type)
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+
+    #[test]
+    fn hooks_arm_and_disarm() {
+        let _g = test_hook_guard();
+        set_native_guard_budget(Some(3));
+        assert_eq!(super::guard_budget(), Some(3));
+        set_native_guard_budget(None);
+        assert_eq!(super::guard_budget(), None);
+        set_native_capacity_limit(Some(0));
+        assert_eq!(super::capacity_limit(), Some(0));
+        set_native_capacity_limit(None);
+        assert_eq!(super::capacity_limit(), None);
+    }
+}

@@ -490,7 +490,7 @@ impl LaneNum for f64 {
     }
 }
 
-fn kind_of(op: ScalarOp) -> Result<K, JitError> {
+pub(crate) fn kind_of(op: ScalarOp) -> Result<K, JitError> {
     Ok(match op {
         ScalarOp::Add => K::Add,
         ScalarOp::Sub => K::Sub,
@@ -991,7 +991,7 @@ fn run_selected<T: LaneNum>(
 }
 
 /// Assemble a [`TraceResult`] in output declaration order.
-fn assemble<T: LaneNum>(
+pub(crate) fn assemble<T: LaneNum>(
     ir: &TraceIr,
     mut arr_bufs: Vec<Vec<T>>,
     mut sel_bufs: Vec<Vec<u32>>,

@@ -1,0 +1,201 @@
+//! Linear-scan register allocation for the native backend.
+//!
+//! The allocator is deliberately architecture-neutral: it maps **live
+//! intervals** (produced by the crate's SSA pass from a trace's value
+//! definitions and last uses) onto an abstract pool of `pool` registers
+//! plus unbounded stack slots. The native emitter decides what the pool
+//! registers physically are (caller-saved GPRs for integer lanes, XMM
+//! registers for float lanes).
+//!
+//! Two rules keep the generated code correct:
+//!
+//! * two intervals that are **live at the same time never share a
+//!   register** (the invariant `tests/jit_native.rs` proptests), and
+//! * an interval whose live range **crosses a helper-call site** is
+//!   forced onto the stack (`needs_stack`), because every pool register
+//!   is caller-saved under the SysV ABI the helpers are called with.
+//!
+//! Intervals are half-open positions `[start, end)` in the linearized
+//! trace: a value defined at position `p` and last used at position `q`
+//! has `start = p`, `end = q`. A use at position `p` and a definition at
+//! the same position do not conflict — the emitter routes every operand
+//! through scratch registers, so the operand is consumed before the
+//! destination is written.
+
+/// The live range of one SSA value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Definition position in the linearized trace.
+    pub start: u32,
+    /// Last-use position (inclusive as a use; the interval is treated as
+    /// `[start, end)` for conflict purposes — see module docs).
+    pub end: u32,
+    /// Forced to a stack slot (the range crosses a call that clobbers
+    /// every pool register).
+    pub needs_stack: bool,
+}
+
+impl Interval {
+    /// Whether two intervals are simultaneously live.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Where a value lives for its whole life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// Abstract pool register `0..pool`.
+    Reg(u8),
+    /// 8-byte stack slot index (frame-relative).
+    Stack(u32),
+}
+
+/// The result of an allocation pass.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location per interval, in input order.
+    pub locs: Vec<Loc>,
+    /// Number of stack slots used.
+    pub stack_slots: u32,
+}
+
+/// Linear-scan allocation of `intervals` onto `pool` registers.
+///
+/// Intervals may arrive in any order; they are processed by increasing
+/// `start` (stable on ties). Intervals with `needs_stack` — and any
+/// interval arriving while all pool registers are occupied — get a stack
+/// slot. Stack slots are never reused across intervals (trace value
+/// counts are small; simplicity wins over frame size).
+pub fn allocate(intervals: &[Interval], pool: u8) -> Allocation {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| intervals[i].start);
+
+    let mut locs = vec![Loc::Stack(0); intervals.len()];
+    let mut stack_slots = 0u32;
+    // Free registers, lowest first for deterministic output.
+    let mut free: Vec<u8> = (0..pool).rev().collect();
+    // Currently register-resident intervals: (end, reg).
+    let mut active: Vec<(u32, u8)> = Vec::new();
+
+    for &i in &order {
+        let iv = intervals[i];
+        // Expire intervals whose range ended at or before this start
+        // (half-open ranges: end == start does not conflict).
+        let mut k = 0;
+        while k < active.len() {
+            if active[k].0 <= iv.start {
+                let (_, reg) = active.swap_remove(k);
+                free.push(reg);
+                free.sort_unstable_by(|a, b| b.cmp(a));
+            } else {
+                k += 1;
+            }
+        }
+        if iv.needs_stack || iv.start == iv.end {
+            // Call-crossing values live on the stack; zero-length
+            // intervals (defined, never read) still need a store target.
+            locs[i] = Loc::Stack(stack_slots);
+            stack_slots += 1;
+            continue;
+        }
+        match free.pop() {
+            Some(reg) => {
+                locs[i] = Loc::Reg(reg);
+                active.push((iv.end, reg));
+            }
+            None => {
+                locs[i] = Loc::Stack(stack_slots);
+                stack_slots += 1;
+            }
+        }
+    }
+    Allocation { locs, stack_slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: u32, end: u32) -> Interval {
+        Interval {
+            start,
+            end,
+            needs_stack: false,
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals_reuse_the_first_register() {
+        let a = allocate(&[iv(0, 2), iv(2, 4), iv(4, 6)], 4);
+        assert_eq!(a.locs, vec![Loc::Reg(0), Loc::Reg(0), Loc::Reg(0)]);
+        assert_eq!(a.stack_slots, 0);
+    }
+
+    #[test]
+    fn overlapping_intervals_get_distinct_registers() {
+        let a = allocate(&[iv(0, 10), iv(1, 9), iv(2, 8)], 4);
+        let regs: Vec<_> = a.locs.iter().collect();
+        assert_eq!(
+            regs,
+            vec![&Loc::Reg(0), &Loc::Reg(1), &Loc::Reg(2)],
+            "{a:?}"
+        );
+    }
+
+    #[test]
+    fn pool_exhaustion_spills_to_stack() {
+        let ivs: Vec<Interval> = (0..5).map(|k| iv(k, 100)).collect();
+        let a = allocate(&ivs, 3);
+        let spilled = a.locs.iter().filter(|l| matches!(l, Loc::Stack(_))).count();
+        assert_eq!(spilled, 2);
+        assert_eq!(a.stack_slots, 2);
+    }
+
+    #[test]
+    fn call_crossing_intervals_are_stack_forced() {
+        let ivs = [
+            Interval {
+                start: 0,
+                end: 10,
+                needs_stack: true,
+            },
+            iv(1, 3),
+        ];
+        let a = allocate(&ivs, 4);
+        assert_eq!(a.locs[0], Loc::Stack(0));
+        assert_eq!(a.locs[1], Loc::Reg(0));
+    }
+
+    #[test]
+    fn no_overlapping_pair_shares_a_register() {
+        // A deterministic mini-stress; the full property lives in
+        // tests/jit_native.rs as a proptest.
+        let mut ivs = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let start = (x >> 33) as u32 % 64;
+            let len = ((x >> 20) as u32 % 8) + 1;
+            ivs.push(iv(start, start + len));
+        }
+        let a = allocate(&ivs, 5);
+        for i in 0..ivs.len() {
+            for j in i + 1..ivs.len() {
+                if let (Loc::Reg(ri), Loc::Reg(rj)) = (a.locs[i], a.locs[j]) {
+                    if ivs[i].overlaps(&ivs[j]) {
+                        assert_ne!(ri, rj, "{:?} vs {:?}", ivs[i], ivs[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unread_values_get_stack_slots() {
+        let a = allocate(&[iv(3, 3)], 4);
+        assert_eq!(a.locs[0], Loc::Stack(0));
+    }
+}

@@ -1,0 +1,460 @@
+//! SSA construction for the native backend.
+//!
+//! A [`TraceIr`] uses a small file of mutable registers; the native
+//! emitter wants pure values with known live ranges. This pass renames
+//! every register write to a fresh **value id**, resolves every operand
+//! to an input / value / lane-domain constant, and computes per-value
+//! live intervals for [`crate::regalloc`].
+//!
+//! The pass also decides whether a trace is *eligible* for native code
+//! at all. `run_blocks` (the packed interpreter) keeps register state
+//! across blocks, so a trace that reads a register before writing it in
+//! program order has semantics a per-lane loop cannot reproduce — such
+//! traces (and any op outside the supported set) are rejected here,
+//! which makes the engine fall back to the interpreted-trace tier.
+//!
+//! ## Positions
+//!
+//! Ops are linearized as: pre op `j` at position `j`, the filter at
+//! position `pre_len`, post op `j` at `pre_len + 1 + j`, and all output
+//! emission (dense/compacted arrays, selections, folds) at a single
+//! trailing position. Helper-call sites (ops lowered to `extern "C"`
+//! calls) clobber every pool register, so a value whose interval strictly
+//! crosses a call position is marked `needs_stack`.
+
+use adaptvm_dsl::ast::FoldFn;
+
+use crate::error::JitError;
+use crate::ir::{kind_of, LaneType, OutputSpec, Src, TraceIr, K};
+use crate::regalloc::Interval;
+
+/// A resolved operand: trace input, SSA value, or a constant already
+/// converted to the lane domain's bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Operand {
+    /// Index into the widened input arrays.
+    Input(u32),
+    /// SSA value id.
+    Value(u32),
+    /// Lane-domain constant as raw bits (i64 bits or f64 bits).
+    Const(u64),
+}
+
+/// One SSA operation. `b` is `None` for unary ops.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SsaOp {
+    pub k: K,
+    pub a: Operand,
+    pub b: Option<Operand>,
+    /// Destination value id.
+    pub dst: u32,
+    /// Lowered to an `extern "C"` helper call (clobbers pool registers).
+    pub calls: bool,
+}
+
+/// One fold accumulator update.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SsaFold {
+    /// Fold cell index (declaration order of `Fold` outputs).
+    pub slot: u32,
+    pub f: FoldFn,
+    pub src: Operand,
+    /// Accumulate only lanes passing the filter.
+    pub masked: bool,
+}
+
+/// The SSA form of a trace, ready for allocation + emission.
+#[derive(Debug, Clone)]
+pub(crate) struct SsaProgram {
+    pub lane: LaneType,
+    /// Pre ops followed by post ops.
+    pub ops: Vec<SsaOp>,
+    /// `ops[..pre_len]` are unguarded; the filter sits between.
+    pub pre_len: usize,
+    pub filter: Option<(K, Operand, Operand)>,
+    /// Dense array outputs: (array slot, per-lane source).
+    pub dense: Vec<(u32, Operand)>,
+    /// Compacted array outputs (emitted only for passing lanes).
+    pub compact: Vec<(u32, Operand)>,
+    /// Number of selection-vector outputs.
+    pub sel_count: u32,
+    pub folds: Vec<SsaFold>,
+    /// Live interval per value id.
+    pub intervals: Vec<Interval>,
+}
+
+/// Ops the emitter lowers without a second operand.
+fn is_unary(k: K) -> bool {
+    matches!(
+        k,
+        K::Neg
+            | K::Abs
+            | K::Sqrt
+            | K::Not
+            | K::Hash
+            | K::CastI8
+            | K::CastI16
+            | K::CastI32
+            | K::CastBool
+            | K::Ident
+    )
+}
+
+/// Ops lowered to helper calls in the given lane domain (exact Rust
+/// semantics are cheaper to call than to re-encode: saturating casts,
+/// `fmod`, NaN-aware min/max, trapping-free integer division).
+fn is_call(lane: LaneType, k: K) -> bool {
+    match lane {
+        LaneType::I64 => matches!(k, K::Div | K::Rem),
+        LaneType::F64 => matches!(
+            k,
+            K::Rem | K::Min | K::Max | K::CastI8 | K::CastI16 | K::CastI32
+        ),
+    }
+}
+
+/// Same domain restrictions as [`crate::ir`]'s `LaneNum::supports`.
+fn supports(lane: LaneType, k: K) -> bool {
+    match lane {
+        LaneType::I64 => k != K::Sqrt,
+        LaneType::F64 => k != K::Hash,
+    }
+}
+
+struct Builder {
+    lane: LaneType,
+    n_inputs: usize,
+    /// Trace register -> current value id.
+    reg_map: Vec<Option<u32>>,
+    /// Definition position per value.
+    defs: Vec<u32>,
+    /// Last-use position per value.
+    ends: Vec<u32>,
+}
+
+impl Builder {
+    fn resolve(&mut self, src: &Src, pos: u32) -> Result<Operand, JitError> {
+        Ok(match src {
+            Src::Input(k) => {
+                if *k >= self.n_inputs {
+                    return Err(JitError::Unresolved(format!("input #{k} out of range")));
+                }
+                Operand::Input(*k as u32)
+            }
+            Src::Reg(r) => {
+                let v = self.reg_map.get(*r).copied().flatten().ok_or_else(|| {
+                    JitError::Unsupported(format!("native: register #{r} read before write"))
+                })?;
+                self.ends[v as usize] = self.ends[v as usize].max(pos);
+                Operand::Value(v)
+            }
+            Src::ConstI(v) => Operand::Const(match self.lane {
+                LaneType::I64 => *v as u64,
+                LaneType::F64 => (*v as f64).to_bits(),
+            }),
+            Src::ConstF(v) => Operand::Const(match self.lane {
+                LaneType::I64 => (*v as i64) as u64,
+                LaneType::F64 => v.to_bits(),
+            }),
+        })
+    }
+
+    fn op(&mut self, op: &crate::ir::TraceOp, pos: u32) -> Result<SsaOp, JitError> {
+        let k = kind_of(op.op)?;
+        if !supports(self.lane, k) {
+            return Err(JitError::Unsupported(format!(
+                "native: {:?} in this lane domain",
+                op.op
+            )));
+        }
+        let first = op
+            .args
+            .first()
+            .ok_or_else(|| JitError::Unresolved("native: op with no operands".into()))?;
+        let a = self.resolve(first, pos)?;
+        let b = if is_unary(k) {
+            None
+        } else {
+            // Missing second operands pack as the lane default, whose bit
+            // pattern is 0 in both domains.
+            Some(match op.args.get(1) {
+                Some(s) => self.resolve(s, pos)?,
+                None => Operand::Const(0),
+            })
+        };
+        if op.dst >= self.reg_map.len() {
+            return Err(JitError::Unresolved(format!(
+                "destination register #{} out of range",
+                op.dst
+            )));
+        }
+        let dst = self.defs.len() as u32;
+        self.defs.push(pos);
+        self.ends.push(pos);
+        self.reg_map[op.dst] = Some(dst);
+        Ok(SsaOp {
+            k,
+            a,
+            b,
+            dst,
+            calls: is_call(self.lane, k),
+        })
+    }
+}
+
+/// Build the SSA form of `ir`, or explain why it is not natively
+/// compilable.
+pub(crate) fn build(ir: &TraceIr) -> Result<SsaProgram, JitError> {
+    let pre_len = ir.pre_ops.len();
+    let mut b = Builder {
+        lane: ir.lane,
+        n_inputs: ir.inputs.len(),
+        reg_map: vec![None; ir.n_regs.max(1)],
+        defs: Vec::new(),
+        ends: Vec::new(),
+    };
+    let mut ops = Vec::with_capacity(pre_len + ir.post_ops.len());
+    for (j, op) in ir.pre_ops.iter().enumerate() {
+        ops.push(b.op(op, j as u32)?);
+    }
+    let filter = match &ir.filter {
+        None => None,
+        Some(fc) => {
+            let k = kind_of(fc.op)?;
+            if !matches!(k, K::Eq | K::Ne | K::Lt | K::Le | K::Gt | K::Ge) {
+                return Err(JitError::Unsupported(format!("filter op {:?}", fc.op)));
+            }
+            let pos = pre_len as u32;
+            Some((k, b.resolve(&fc.lhs, pos)?, b.resolve(&fc.rhs, pos)?))
+        }
+    };
+    for (j, op) in ir.post_ops.iter().enumerate() {
+        ops.push(b.op(op, (pre_len + 1 + j) as u32)?);
+    }
+    let emit_pos = ops.len() as u32 + 2;
+
+    let mut dense = Vec::new();
+    let mut compact = Vec::new();
+    let mut folds = Vec::new();
+    let (mut arr_slot, mut sel_count, mut fold_slot) = (0u32, 0u32, 0u32);
+    for o in &ir.outputs {
+        match o {
+            OutputSpec::Array { src, compacted, .. } => {
+                let s = b.resolve(src, emit_pos)?;
+                if *compacted {
+                    compact.push((arr_slot, s));
+                } else {
+                    dense.push((arr_slot, s));
+                }
+                arr_slot += 1;
+            }
+            OutputSpec::Sel { .. } => sel_count += 1,
+            OutputSpec::Fold {
+                f, src, guarded, ..
+            } => {
+                if !matches!(f, FoldFn::Sum | FoldFn::Min | FoldFn::Max | FoldFn::Count) {
+                    return Err(JitError::Unsupported(format!("fold {f:?} in trace")));
+                }
+                folds.push(SsaFold {
+                    slot: fold_slot,
+                    f: *f,
+                    src: b.resolve(src, emit_pos)?,
+                    // `run_blocks` masks a fold only when a filter exists
+                    // AND the fold is guarded; native must match exactly.
+                    masked: ir.filter.is_some() && *guarded,
+                });
+                fold_slot += 1;
+            }
+        }
+    }
+
+    // Live intervals + call-crossing analysis.
+    let call_sites: Vec<u32> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.calls)
+        .map(|(idx, _)| {
+            if idx < pre_len {
+                idx as u32
+            } else {
+                idx as u32 + 1
+            }
+        })
+        .collect();
+    let intervals: Vec<Interval> = b
+        .defs
+        .iter()
+        .zip(&b.ends)
+        .map(|(&start, &end)| Interval {
+            start,
+            end,
+            needs_stack: call_sites.iter().any(|&c| start < c && end > c),
+        })
+        .collect();
+
+    Ok(SsaProgram {
+        lane: ir.lane,
+        ops,
+        pre_len,
+        filter,
+        dense,
+        compact,
+        sel_count,
+        folds,
+        intervals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FilterCheck, TraceOp};
+    use adaptvm_dsl::ast::ScalarOp;
+    use adaptvm_storage::scalar::{Scalar, ScalarType};
+
+    fn map_ir() -> TraceIr {
+        TraceIr {
+            lane: LaneType::I64,
+            inputs: vec!["x".into()],
+            n_regs: 2,
+            pre_ops: vec![
+                TraceOp {
+                    op: ScalarOp::Mul,
+                    dst: 0,
+                    args: vec![Src::Input(0), Src::ConstI(2)],
+                },
+                TraceOp {
+                    op: ScalarOp::Add,
+                    dst: 1,
+                    args: vec![Src::Reg(0), Src::ConstI(3)],
+                },
+            ],
+            filter: None,
+            post_ops: vec![],
+            outputs: vec![OutputSpec::Array {
+                name: "out".into(),
+                src: Src::Reg(1),
+                compacted: false,
+                out_ty: ScalarType::I64,
+            }],
+        }
+    }
+
+    #[test]
+    fn renames_registers_to_values() {
+        let p = build(&map_ir()).unwrap();
+        assert_eq!(p.ops.len(), 2);
+        assert_eq!(p.ops[0].dst, 0);
+        assert_eq!(p.ops[1].dst, 1);
+        assert_eq!(p.ops[1].a, Operand::Value(0));
+        assert_eq!(p.dense, vec![(0, Operand::Value(1))]);
+        // v0 defined at 0, last used at 1; v1 used by the emit stage.
+        assert_eq!(p.intervals[0].start, 0);
+        assert_eq!(p.intervals[0].end, 1);
+        assert_eq!(p.intervals[1].end, p.ops.len() as u32 + 2);
+    }
+
+    #[test]
+    fn rejects_read_before_write() {
+        let mut ir = map_ir();
+        ir.pre_ops[0].args[0] = Src::Reg(1); // reads r1 before any write
+        assert!(matches!(
+            build(&ir),
+            Err(JitError::Unsupported(m)) if m.contains("read before write")
+        ));
+    }
+
+    #[test]
+    fn rewrites_of_a_register_get_fresh_values() {
+        let mut ir = map_ir();
+        ir.pre_ops[1].dst = 0; // r0 written twice
+        ir.outputs = vec![OutputSpec::Array {
+            name: "out".into(),
+            src: Src::Reg(0),
+            compacted: false,
+            out_ty: ScalarType::I64,
+        }];
+        let p = build(&ir).unwrap();
+        // The output reads the SECOND definition of r0.
+        assert_eq!(p.dense[0].1, Operand::Value(1));
+    }
+
+    #[test]
+    fn constants_are_converted_to_lane_bits() {
+        let mut ir = map_ir();
+        ir.lane = LaneType::F64;
+        let p = build(&ir).unwrap();
+        assert_eq!(p.ops[0].b, Some(Operand::Const(2.0f64.to_bits())));
+    }
+
+    #[test]
+    fn call_crossing_values_are_stack_marked() {
+        // v0 = x*2 ; v1 = x/3 (helper call) ; out = v0+v1: v0 crosses the
+        // call, the call's own operand/result do not.
+        let ir = TraceIr {
+            lane: LaneType::I64,
+            inputs: vec!["x".into()],
+            n_regs: 3,
+            pre_ops: vec![
+                TraceOp {
+                    op: ScalarOp::Mul,
+                    dst: 0,
+                    args: vec![Src::Input(0), Src::ConstI(2)],
+                },
+                TraceOp {
+                    op: ScalarOp::Div,
+                    dst: 1,
+                    args: vec![Src::Input(0), Src::ConstI(3)],
+                },
+                TraceOp {
+                    op: ScalarOp::Add,
+                    dst: 2,
+                    args: vec![Src::Reg(0), Src::Reg(1)],
+                },
+            ],
+            filter: None,
+            post_ops: vec![],
+            outputs: vec![OutputSpec::Array {
+                name: "out".into(),
+                src: Src::Reg(2),
+                compacted: false,
+                out_ty: ScalarType::I64,
+            }],
+        };
+        let p = build(&ir).unwrap();
+        assert!(p.ops[1].calls);
+        assert!(p.intervals[0].needs_stack, "{:?}", p.intervals);
+        assert!(!p.intervals[1].needs_stack);
+        assert!(!p.intervals[2].needs_stack);
+    }
+
+    #[test]
+    fn guarded_folds_are_masked_only_with_a_filter() {
+        let mut ir = map_ir();
+        ir.outputs.push(OutputSpec::Fold {
+            name: "s".into(),
+            f: FoldFn::Sum,
+            init: Scalar::I64(0),
+            src: Src::Reg(1),
+            guarded: true,
+        });
+        // No filter: the guarded fold still accumulates every lane.
+        let p = build(&ir).unwrap();
+        assert!(!p.folds[0].masked);
+        ir.filter = Some(FilterCheck {
+            op: ScalarOp::Gt,
+            lhs: Src::Reg(0),
+            rhs: Src::ConstI(0),
+        });
+        let p = build(&ir).unwrap();
+        assert!(p.folds[0].masked);
+    }
+
+    #[test]
+    fn rejects_unsupported_domain_ops() {
+        let mut ir = map_ir();
+        ir.pre_ops[0].op = ScalarOp::Sqrt;
+        ir.pre_ops[0].args = vec![Src::Input(0)];
+        assert!(build(&ir).is_err());
+    }
+}

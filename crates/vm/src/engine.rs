@@ -36,7 +36,7 @@ use adaptvm_dsl::value::{Value, Vector};
 use adaptvm_hetsim::exec::run_trace_on;
 use adaptvm_jit::builder::{build_fragment, Fragment};
 use adaptvm_jit::cache::{CodeCache, TraceKey, GENERIC_SITUATION};
-use adaptvm_jit::compiler::{compile, CompileServer, CompiledTrace, CostModel};
+use adaptvm_jit::compiler::{compile, CompileServer, CompiledTrace, CostModel, TierRun, TraceTier};
 use adaptvm_jit::JitError;
 use adaptvm_storage::array::Array;
 use adaptvm_storage::scalar::ScalarType;
@@ -120,6 +120,12 @@ pub struct VmConfig {
     /// morsel runs. A non-publishing server is ignored (the run falls back
     /// to a private server), because unclaimed finishes would be lost.
     pub compile_server: Option<Arc<CompileServer>>,
+    /// Dispatch injected traces to their native machine-code bodies when
+    /// the host supports it (x86-64 Linux, not disabled via
+    /// `ADAPTVM_NATIVE=0`). `false` pins every trace to the interpreted
+    /// tier; results are bit-identical either way — a native guard deopt
+    /// transparently re-runs the chunk on the interpreter.
+    pub native: bool,
 }
 
 impl Default for VmConfig {
@@ -134,6 +140,7 @@ impl Default for VmConfig {
             devices: Vec::new(),
             code_cache: None,
             compile_server: None,
+            native: adaptvm_jit::exec::native_available(),
         }
     }
 }
@@ -157,6 +164,13 @@ pub struct RunReport {
     pub fallbacks: u64,
     /// Traces injected straight from the shared code cache (no compile).
     pub trace_cache_hits: u64,
+    /// Trace-step executions served by native machine code (a subset of
+    /// `trace_executions`).
+    pub native_trace_executions: u64,
+    /// Native executions that hit a guard and re-ran on the interpreted
+    /// tier (counted under `trace_executions`, not `fallbacks` — the
+    /// trace stays injected and the answer is unchanged).
+    pub native_deopts: u64,
     /// The run profile.
     pub profile: Profile,
     /// Virtual nanoseconds charged per device (placement runs).
@@ -366,7 +380,14 @@ impl Vm {
             match build_fragment(&graph, &region, &uses, &hints) {
                 Ok(frag) => {
                     let trace = self.compile_cached(frag, &mut report);
-                    inject(&mut injections, &graph, &flat, region.nodes.clone(), trace);
+                    inject(
+                        &mut injections,
+                        &graph,
+                        &flat,
+                        region.nodes.clone(),
+                        trace,
+                        self.config.native,
+                    );
                     report.injected_traces += 1;
                     plan = build_plan(&flat, &injections);
                     report.transitions.push(StateTransition {
@@ -434,6 +455,7 @@ impl Vm {
                                         &flat,
                                         region.nodes.clone(),
                                         trace,
+                                        self.config.native,
                                     );
                                     report.injected_traces += 1;
                                     continue;
@@ -469,7 +491,14 @@ impl Vm {
                                 }
                             } else {
                                 let trace = self.compile_cached(frag, &mut report);
-                                inject(&mut injections, &graph, &flat, region.nodes.clone(), trace);
+                                inject(
+                                    &mut injections,
+                                    &graph,
+                                    &flat,
+                                    region.nodes.clone(),
+                                    trace,
+                                    self.config.native,
+                                );
                                 report.injected_traces += 1;
                             }
                         }
@@ -511,7 +540,14 @@ impl Vm {
                                 report.trace_cache_hits += 1;
                                 crate::obs::jit_event(crate::obs::JitEvent::CacheHit);
                             }
-                            inject(&mut injections, &graph, &flat, nodes, trace);
+                            inject(
+                                &mut injections,
+                                &graph,
+                                &flat,
+                                nodes,
+                                trace,
+                                self.config.native,
+                            );
                             report.injected_traces += 1;
                             landed_any = true;
                         }
@@ -546,7 +582,14 @@ impl Vm {
                                     f.trace.clone(),
                                 );
                             }
-                            inject(&mut injections, &graph, &flat, nodes, f.trace);
+                            inject(
+                                &mut injections,
+                                &graph,
+                                &flat,
+                                nodes,
+                                f.trace,
+                                self.config.native,
+                            );
                             report.injected_traces += 1;
                         }
                     }
@@ -583,8 +626,18 @@ impl Vm {
                             self.config.chunk_size,
                             placement.as_mut(),
                             &mut device_clocks,
+                            self.config.native,
                         ) {
-                            Ok(()) => report.trace_executions += 1,
+                            Ok(tier) => {
+                                report.trace_executions += 1;
+                                if tier.tier == TraceTier::Native {
+                                    report.native_trace_executions += 1;
+                                }
+                                if tier.native_deopt {
+                                    report.native_deopts += 1;
+                                    crate::obs::jit_event(crate::obs::JitEvent::NativeDeopt);
+                                }
+                            }
                             Err(TraceFailure::Recoverable(_)) => {
                                 // Drop the injection for good and resume at
                                 // the same plan position. The rebuilt plan
@@ -658,7 +711,8 @@ fn exec_trace(
     chunk_size: usize,
     placement: Option<&mut PlacementPolicy>,
     device_clocks: &mut [u64],
-) -> Result<(), TraceFailure> {
+    allow_native: bool,
+) -> Result<TierRun, TraceFailure> {
     let trace = &inj.trace;
     let t0 = Instant::now();
 
@@ -710,8 +764,14 @@ fn exec_trace(
         .map(|n| local.get(n).expect("collected above"))
         .collect();
 
-    // 3. Run (with placement when devices are registered).
+    // 3. Run (with placement when devices are registered). Placement runs
+    // stay on the interpreted tier — the device cost model meters that
+    // path; only the plain host dispatch goes native.
     let lanes = inputs.first().map_or(0, |a| a.len());
+    let mut tier = TierRun {
+        tier: TraceTier::Interpreted,
+        native_deopt: false,
+    };
     let result = match placement {
         Some(policy) => {
             let bytes_in: usize = inputs.iter().map(|a| a.byte_size()).sum();
@@ -729,9 +789,13 @@ fn exec_trace(
             );
             run.result
         }
-        None => trace
-            .run(&inputs, None)
-            .map_err(TraceFailure::Recoverable)?,
+        None => {
+            let (r, t) = trace
+                .run_tiered(&inputs, None, allow_native)
+                .map_err(TraceFailure::Recoverable)?;
+            tier = t;
+            r
+        }
     };
 
     // 4. Bind outputs (arrays first — selections may reference them).
@@ -793,7 +857,7 @@ fn exec_trace(
         t0.elapsed().as_nanos() as u64,
         lanes,
     );
-    Ok(())
+    Ok(tier)
 }
 
 /// A flattened loop body: document-ordered items.
@@ -901,6 +965,7 @@ fn inject(
     flat: &FlatBody,
     nodes: Vec<NodeId>,
     trace: Arc<CompiledTrace>,
+    native: bool,
 ) {
     let covered: HashSet<NodeId> = nodes.iter().copied().collect();
     let mut anchor = None;
@@ -912,6 +977,11 @@ fn inject(
         }
     }
     let Some(anchor) = anchor else { return };
+    if native && trace.has_native() {
+        // The injected trace carries an executable machine-code body the
+        // engine will dispatch to.
+        crate::obs::jit_event(crate::obs::JitEvent::NativeInstall);
+    }
     injections.push(Injection {
         anchor,
         covered,

@@ -28,6 +28,7 @@ pub mod profile;
 pub mod reorder;
 
 pub use adaptive::{BanditPolicy, FixedPolicy, FlavorPolicy};
+pub use adaptvm_jit::exec::native_available;
 pub use engine::{RunReport, Strategy, Vm, VmConfig, VmState};
 pub use env::{Buffers, Env};
 pub use error::VmError;

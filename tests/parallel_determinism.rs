@@ -714,3 +714,175 @@ proptest! {
         prop_assert_eq!(rows, reference);
     }
 }
+
+// ---------------------------------------------------------------------
+// Order-by / top-k: external sort sweeps against the stable oracle
+// ---------------------------------------------------------------------
+
+use adaptvm::parallel::SpillStats;
+use adaptvm::relational::sort::{external_sort, external_top_k, sort_rows};
+use adaptvm::relational::workload::Workload;
+use adaptvm::storage::ScalarType;
+
+/// Duplicate-heavy keys so stability is load-bearing: equal keys must
+/// keep input (morsel) order through every merge shape.
+fn dup_heavy_rows(n: usize, seed: i64) -> (Vec<i64>, Vec<i64>) {
+    let keys: Vec<i64> = (0..n as i64).map(|i| (i * 131 + seed) % 97).collect();
+    let payloads: Vec<i64> = (0..n as i64).collect();
+    (keys, payloads)
+}
+
+fn check_spill(spill: &SpillStats, budget_bytes: Option<usize>, label: &str) {
+    match budget_bytes {
+        Some(0) => assert!(spill.spilled(), "{label}: {spill:?}"),
+        None => assert!(!spill.spilled(), "{label}: {spill:?}"),
+        _ => {}
+    }
+    assert!(
+        spill.max_recursion_depth <= MAX_SPILL_DEPTH,
+        "{label}: {spill:?}"
+    );
+}
+
+#[test]
+fn order_by_bit_identical_across_workers_morsels_and_budgets() {
+    let (keys, payloads) = dup_heavy_rows(20_000, 7);
+    let reference = sort_rows(&keys, &payloads);
+    for workers in WORKER_COUNTS {
+        for morsel_rows in [512, 4 * DEFAULT_CHUNK] {
+            for budget_bytes in [None, Some(16_000usize), Some(0usize)] {
+                let budget = budget_bytes.map(MemoryBudget::bytes);
+                let mut opts = ParallelOpts::new(workers, morsel_rows);
+                if let Some(b) = budget.as_ref() {
+                    opts = opts.with_budget(b);
+                }
+                let label =
+                    format!("workers={workers} morsel={morsel_rows} budget={budget_bytes:?}");
+                let (got, spill) = external_sort(&keys, &payloads, opts).unwrap();
+                assert_eq!(got, reference, "{label}");
+                check_spill(&spill, budget_bytes, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn top_k_is_the_oracle_prefix_across_workers_and_budgets() {
+    let (keys, payloads) = dup_heavy_rows(12_000, 3);
+    let (ok, op) = sort_rows(&keys, &payloads);
+    for workers in WORKER_COUNTS {
+        for k in [0usize, 1, 100, keys.len(), 2 * keys.len()] {
+            for budget_bytes in [None, Some(0usize)] {
+                let budget = budget_bytes.map(MemoryBudget::bytes);
+                let mut opts = ParallelOpts::new(workers, 1_000);
+                if let Some(b) = budget.as_ref() {
+                    opts = opts.with_budget(b);
+                }
+                let label = format!("workers={workers} k={k} budget={budget_bytes:?}");
+                let ((tk, tp), spill) = external_top_k(&keys, &payloads, k, opts).unwrap();
+                let cut = k.min(ok.len());
+                assert_eq!(tk.as_slice(), &ok[..cut], "{label}");
+                assert_eq!(tp.as_slice(), &op[..cut], "{label}");
+                check_spill(&spill, budget_bytes, &label);
+            }
+        }
+    }
+}
+
+/// TPC-H Q18's ORDER BY total_qty DESC LIMIT 10 tail: aggregate with the
+/// spill-capable join, then top-k on the negated (integer-valued) totals.
+/// The ranking must be identical at every worker count and budget.
+#[test]
+fn q18_order_by_total_desc_top_k_matches_oracle() {
+    let orders = tpch::orders(400, 7);
+    let li = tpch::lineitem_q18(30_000, 400, KeyDist::Zipf, 11);
+    let reference_rows = tpch::q18_reference(&li, &orders, 300.0);
+    assert!(reference_rows.len() > 10, "degenerate reference");
+    // Totals are integer-valued f64 (sums of 1..=50 quantities), so a
+    // negated-i64 key gives an exact descending order; payload keeps the
+    // orderkey as a stable tiebreak witness.
+    let keys: Vec<i64> = reference_rows
+        .iter()
+        .map(|r| -(r.total_qty as i64))
+        .collect();
+    let payloads: Vec<i64> = reference_rows.iter().map(|r| r.o_orderkey).collect();
+    let oracle = sort_rows(&keys, &payloads);
+    for workers in WORKER_COUNTS {
+        for budget_bytes in [None, Some(0usize)] {
+            let budget = budget_bytes.map(MemoryBudget::bytes);
+            let mut opts = ParallelOpts::new(workers, 1_000);
+            if let Some(b) = budget.as_ref() {
+                opts = opts.with_budget(b);
+            }
+            let label = format!("workers={workers} budget={budget_bytes:?}");
+            let ((tk, tp), spill) = external_top_k(&keys, &payloads, 10, opts).unwrap();
+            assert_eq!(tk.as_slice(), &oracle.0[..10], "{label}");
+            assert_eq!(tp.as_slice(), &oracle.1[..10], "{label}");
+            check_spill(&spill, budget_bytes, &label);
+        }
+    }
+}
+
+/// Order-by over a **DSL-computed** column: the chunked-loop workload
+/// computes `3x + 1` per row (through whatever tier the host supports —
+/// native machine code where available), and the computed column feeds
+/// the external sort. End to end the ranking must be bit-identical at
+/// every worker count, with and without the native tier.
+#[test]
+fn dsl_computed_column_order_by_is_worker_and_tier_invariant() {
+    const SCHEMA: &[(&str, ScalarType)] = &[("xs", ScalarType::I64), ("oi", ScalarType::I64)];
+    const SRC: &str = "\
+mut i
+i := 0
+loop {
+  let x = read i xs in {
+    let scaled = map (\\a -> a * 3 + 1) x in {
+      write oi i scaled
+      i := i + len(x)
+    }
+  }
+  if i >= 8192 then { break }
+}
+";
+    let workload = Workload::compile(SRC, SCHEMA).unwrap();
+    let xs: Vec<i64> = (0..8192i64).map(|k| (k * 37) % 193 - 50).collect();
+    let inputs = [("xs", Array::from(xs.clone()))];
+    let payloads: Vec<i64> = (0..xs.len() as i64).collect();
+    let mut reference: Option<(Vec<i64>, Vec<i64>)> = None;
+    for native in [false, true] {
+        for workers in WORKER_COUNTS {
+            let config = VmConfig {
+                strategy: Strategy::Adaptive,
+                hot_threshold: 2,
+                native,
+                ..VmConfig::default()
+            };
+            let opts = ParallelOpts::new(workers, 1_000);
+            let (out, _report) = workload.run(&inputs, config, opts).unwrap();
+            let keys = out["oi"].to_i64_vec().expect("oi is i64");
+            assert_eq!(keys.len(), xs.len(), "native={native} workers={workers}");
+            let sorted = sort_rows(&keys, &payloads);
+            let ((gk, gp), _) =
+                external_top_k(&keys, &payloads, 64, ParallelOpts::new(workers, 1_000)).unwrap();
+            assert_eq!(
+                gk.as_slice(),
+                &sorted.0[..64],
+                "native={native} workers={workers}"
+            );
+            assert_eq!(
+                gp.as_slice(),
+                &sorted.1[..64],
+                "native={native} workers={workers}"
+            );
+            match &reference {
+                None => reference = Some(sorted),
+                Some(r) => {
+                    assert_eq!(
+                        &sorted, r,
+                        "native={native} workers={workers}: ranking diverged"
+                    )
+                }
+            }
+        }
+    }
+}
